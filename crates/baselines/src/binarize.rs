@@ -1,0 +1,83 @@
+//! Outcome binarization for the prediction-rule baselines.
+//!
+//! IDS and FRL assume a binary label; the paper "binned the salary variable
+//! in SO using the average value" (§7.1). Boolean outcomes pass through.
+
+use faircap_table::{Column, DataFrame, Mask, Result, TableError};
+
+/// Binary label per row: `true` = positive class ("high outcome").
+///
+/// Numeric outcomes are thresholded at their mean; boolean outcomes map
+/// directly.
+pub fn binarize_outcome(df: &DataFrame, outcome: &str) -> Result<Vec<bool>> {
+    let col = df.column(outcome)?;
+    match col {
+        Column::Bool(v) => Ok(v.clone()),
+        Column::Int(_) | Column::Float(_) => {
+            let mean = col
+                .mean(&Mask::ones(df.n_rows()))
+                .expect("numeric column with rows has a mean");
+            Ok((0..df.n_rows())
+                .map(|i| col.get_f64(i).unwrap() >= mean)
+                .collect())
+        }
+        Column::Cat(_) => Err(TableError::TypeMismatch {
+            column: outcome.to_owned(),
+            expected: "numeric or boolean",
+            actual: "categorical",
+        }),
+    }
+}
+
+/// Positive-class rate over the rows of `mask`.
+pub fn positive_rate(labels: &[bool], mask: &Mask) -> f64 {
+    let n = mask.count();
+    if n == 0 {
+        return 0.0;
+    }
+    let pos = mask.iter_ones().filter(|&i| labels[i]).count();
+    pos as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faircap_table::DataFrame;
+
+    #[test]
+    fn numeric_thresholds_at_mean() {
+        let df = DataFrame::builder()
+            .float("o", vec![10.0, 20.0, 30.0, 40.0])
+            .build()
+            .unwrap();
+        let labels = binarize_outcome(&df, "o").unwrap();
+        // mean = 25 → [false, false, true, true]
+        assert_eq!(labels, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn bool_passes_through() {
+        let df = DataFrame::builder()
+            .bool("o", vec![true, false, true])
+            .build()
+            .unwrap();
+        assert_eq!(binarize_outcome(&df, "o").unwrap(), vec![true, false, true]);
+    }
+
+    #[test]
+    fn categorical_rejected() {
+        let df = DataFrame::builder().cat("o", &["a", "b"]).build().unwrap();
+        assert!(binarize_outcome(&df, "o").is_err());
+    }
+
+    #[test]
+    fn positive_rate_over_mask() {
+        let labels = vec![true, false, true, true];
+        assert_eq!(positive_rate(&labels, &Mask::ones(4)), 0.75);
+        assert_eq!(
+            positive_rate(&labels, &Mask::from_indices(4, &[1, 2])),
+            0.5
+        );
+        assert_eq!(positive_rate(&labels, &Mask::zeros(4)), 0.0);
+    }
+}

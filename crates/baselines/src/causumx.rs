@@ -1,0 +1,91 @@
+//! CauSumX-style baseline (Youngmann et al., SIGMOD 2024).
+//!
+//! CauSumX summarizes causal explanations for aggregate views: per group it
+//! finds the treatment with the highest CATE, then greedily selects a
+//! summary under a coverage budget — *without any fairness consideration*.
+//! The paper (§7.1) notes that applied to our setting it "can be viewed as
+//! a solution to our problem with only an overall coverage constraint",
+//! which is exactly how we instantiate it: FairCap's machinery with
+//! `FairnessConstraint::None` and a population-only group-coverage
+//! constraint.
+
+use faircap_core::{
+    run, CoverageConstraint, FairCapConfig, FairnessConstraint, ProblemInput, SolutionReport,
+};
+
+/// Run the CauSumX-style baseline: utility-only treatment mining + greedy
+/// summary under an overall coverage constraint of `theta`.
+pub fn causumx(input: &ProblemInput<'_>, theta: f64) -> SolutionReport {
+    let mut cfg = FairCapConfig {
+        fairness: FairnessConstraint::None,
+        coverage: CoverageConstraint::Group {
+            theta,
+            theta_protected: 0.0,
+        },
+        ..FairCapConfig::default()
+    };
+    cfg.parallel = true;
+    let mut report = run(input, &cfg);
+    report.label = format!("CauSumX (θ={theta})");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faircap_causal::scm::{bernoulli, normal, Scm};
+    use faircap_table::{Pattern, Value};
+
+    #[test]
+    fn causumx_ignores_fairness() {
+        // Planted: unfair treatment has double the overall effect.
+        let scm = Scm::new()
+            .categorical("seg", &[("a", 0.5), ("b", 0.5)])
+            .unwrap()
+            .categorical("grp", &[("p", 0.3), ("np", 0.7)])
+            .unwrap()
+            .node(
+                "t",
+                &[],
+                Box::new(|_, rng| {
+                    Value::Str(if bernoulli(rng, 0.4) { "yes" } else { "no" }.into())
+                }),
+            )
+            .unwrap()
+            .node(
+                "o",
+                &["grp", "t"],
+                Box::new(|row, rng| {
+                    let mut v = 10.0;
+                    if row.str("t") == "yes" {
+                        v += if row.str("grp") == "p" { 2.0 } else { 20.0 };
+                    }
+                    Value::Float(v + normal(rng, 0.0, 2.0))
+                }),
+            )
+            .unwrap();
+        let df = scm.sample(4000, 31).unwrap();
+        let dag = scm.dag();
+        let imm: Vec<String> = vec!["seg".into(), "grp".into()];
+        let mt: Vec<String> = vec!["t".into()];
+        let prot = Pattern::of_eq(&[("grp", Value::from("p"))]);
+        let input = ProblemInput {
+            df: &df,
+            dag: &dag,
+            outcome: "o",
+            immutable: &imm,
+            mutable: &mt,
+            protected: &prot,
+        };
+        let report = causumx(&input, 0.5);
+        assert!(report.label.contains("CauSumX"));
+        assert!(!report.rules.is_empty());
+        assert!(report.summary.coverage >= 0.5);
+        // No fairness: the disparity survives.
+        assert!(
+            report.summary.unfairness > 5.0,
+            "unfairness {} should stay large",
+            report.summary.unfairness
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Falling Rule Lists (Wang & Rudin, AISTATS 2015; optimization variant
+//! Chen & Rudin 2018).
+//!
+//! An FRL is an *ordered* list of IF-THEN rules whose positive-class
+//! probabilities are monotonically non-increasing: the first rule captures
+//! the highest-risk (here: highest-outcome) stratum, and so on, ending in a
+//! default rule. The original learns the list with Bayesian/combinatorial
+//! search; we use the standard greedy construction — repeatedly take the
+//! frequent pattern with the highest positive rate among *not-yet-covered*
+//! rows, subject to the monotonicity constraint — which preserves the
+//! model class and its ordering semantics.
+
+use crate::binarize::{binarize_outcome, positive_rate};
+use faircap_mining::{apriori, AprioriConfig};
+use faircap_table::{DataFrame, Mask, Pattern, Result};
+
+/// One stratum of a falling rule list.
+#[derive(Debug, Clone)]
+pub struct FrlRule {
+    /// IF clause.
+    pub pattern: Pattern,
+    /// Positive-class probability among rows first captured by this rule.
+    pub probability: f64,
+    /// Rows captured (not covered by any earlier rule).
+    pub captured: Mask,
+}
+
+/// FRL hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct FrlConfig {
+    /// Support threshold for candidate mining.
+    pub min_support: f64,
+    /// Maximum predicates per pattern.
+    pub max_len: usize,
+    /// Maximum list length (excluding the default rule).
+    pub max_rules: usize,
+    /// Minimum rows a rule must newly capture.
+    pub min_capture: usize,
+}
+
+impl Default for FrlConfig {
+    fn default() -> Self {
+        FrlConfig {
+            min_support: 0.05,
+            max_len: 2,
+            max_rules: 9,
+            min_capture: 20,
+        }
+    }
+}
+
+/// A learned falling rule list.
+#[derive(Debug, Clone)]
+pub struct FallingRuleList {
+    /// Ordered rules, probabilities non-increasing.
+    pub rules: Vec<FrlRule>,
+    /// Positive probability of the default (else) rule.
+    pub default_probability: f64,
+}
+
+impl FallingRuleList {
+    /// Predicted positive probability for a row.
+    pub fn predict(&self, df: &DataFrame, row: usize) -> Result<f64> {
+        for r in &self.rules {
+            if r.pattern.matches_row(df, row)? {
+                return Ok(r.probability);
+            }
+        }
+        Ok(self.default_probability)
+    }
+}
+
+/// Learn a falling rule list over the named attributes.
+pub fn learn_falling_rule_list(
+    df: &DataFrame,
+    attributes: &[String],
+    outcome: &str,
+    config: &FrlConfig,
+) -> Result<FallingRuleList> {
+    let labels = binarize_outcome(df, outcome)?;
+    let all = Mask::ones(df.n_rows());
+    let frequent = apriori(
+        df,
+        attributes,
+        &all,
+        &AprioriConfig {
+            min_support: config.min_support,
+            max_len: config.max_len,
+            max_values_per_attr: 16,
+        },
+    )?;
+
+    let mut remaining = all.clone();
+    let mut rules: Vec<FrlRule> = Vec::new();
+    let mut prev_prob = 1.0f64;
+    while rules.len() < config.max_rules && remaining.any() {
+        // Candidate score: positive rate among the rows it would capture.
+        let mut best: Option<(usize, f64, Mask)> = None;
+        for (idx, f) in frequent.iter().enumerate() {
+            let captured = &f.support & &remaining;
+            if captured.count() < config.min_capture {
+                continue;
+            }
+            let rate = positive_rate(&labels, &captured);
+            if rate > prev_prob + 1e-12 {
+                continue; // would break the falling property
+            }
+            let better = match &best {
+                None => true,
+                Some((_, r, _)) => {
+                    rate > *r + 1e-12
+                        || ((rate - *r).abs() <= 1e-12
+                            && captured.count() > best.as_ref().unwrap().2.count())
+                }
+            };
+            if better {
+                best = Some((idx, rate, captured));
+            }
+        }
+        let Some((idx, rate, captured)) = best else { break };
+        // Stop once the best stratum is no better than what remains overall.
+        let remaining_rate = positive_rate(&labels, &remaining);
+        if rate <= remaining_rate + 1e-9 {
+            break;
+        }
+        remaining.andnot_inplace(&captured);
+        rules.push(FrlRule {
+            pattern: frequent[idx].pattern.clone(),
+            probability: rate,
+            captured,
+        });
+        prev_prob = rate;
+    }
+    let default_probability = positive_rate(&labels, &remaining);
+    Ok(FallingRuleList {
+        rules,
+        default_probability,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // config tweaking reads better imperatively
+mod tests {
+    use super::*;
+
+    /// tier=a rows are 90% positive, tier=b 50%, tier=c 10%.
+    fn df() -> DataFrame {
+        let mut tier = Vec::new();
+        let mut o = Vec::new();
+        for i in 0..300 {
+            let (t, positive) = match i % 3 {
+                0 => ("a", i % 10 != 0),          // 90%
+                1 => ("b", i % 2 == 0),           // 50%
+                _ => ("c", i % 10 == 0),          // 10%
+            };
+            tier.push(t);
+            o.push(if positive { 1.0 } else { 0.0 });
+        }
+        DataFrame::builder()
+            .cat("tier", &tier)
+            .float("o", o)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn probabilities_are_falling() {
+        let frl =
+            learn_falling_rule_list(&df(), &["tier".into()], "o", &FrlConfig::default()).unwrap();
+        assert!(!frl.rules.is_empty());
+        for w in frl.rules.windows(2) {
+            assert!(
+                w[0].probability >= w[1].probability - 1e-12,
+                "probabilities must fall: {} then {}",
+                w[0].probability,
+                w[1].probability
+            );
+        }
+        if let Some(last) = frl.rules.last() {
+            assert!(last.probability >= frl.default_probability - 1e-9);
+        }
+    }
+
+    #[test]
+    fn highest_tier_selected_first() {
+        let frl =
+            learn_falling_rule_list(&df(), &["tier".into()], "o", &FrlConfig::default()).unwrap();
+        assert_eq!(frl.rules[0].pattern.to_string(), "tier = a");
+        assert!((frl.rules[0].probability - 0.9).abs() < 0.02);
+    }
+
+    #[test]
+    fn captured_rows_are_disjoint() {
+        let frl =
+            learn_falling_rule_list(&df(), &["tier".into()], "o", &FrlConfig::default()).unwrap();
+        for i in 0..frl.rules.len() {
+            for j in i + 1..frl.rules.len() {
+                assert_eq!(
+                    frl.rules[i].captured.intersect_count(&frl.rules[j].captured),
+                    0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predict_uses_first_match() {
+        let d = df();
+        let frl =
+            learn_falling_rule_list(&d, &["tier".into()], "o", &FrlConfig::default()).unwrap();
+        // row 0 has tier=a
+        let p = frl.predict(&d, 0).unwrap();
+        assert!((p - frl.rules[0].probability).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_rules_cap() {
+        let mut cfg = FrlConfig::default();
+        cfg.max_rules = 1;
+        let frl = learn_falling_rule_list(&df(), &["tier".into()], "o", &cfg).unwrap();
+        assert!(frl.rules.len() <= 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! # faircap-baselines
+//!
+//! The three baselines of the paper's evaluation (§7.1), plus the IF-clause
+//! adaptation machinery:
+//!
+//! * [`causumx`] — CauSumX-style utility-only greedy (no fairness), the
+//!   paper's positioning of its closest prior work.
+//! * [`ids`] — Interpretable Decision Sets (Lakkaraju et al. 2016):
+//!   unordered IF-THEN prediction rules via a seven-term submodular
+//!   objective with greedy maximization.
+//! * [`frl`] — Falling Rule Lists (Wang & Rudin 2015): an ordered
+//!   prediction list with monotonically non-increasing positive rates.
+//! * [`adapt`] — the paper's two evaluation adaptations: IF clauses as
+//!   grouping patterns (step 2 mines interventions) or as intervention
+//!   patterns over the whole population.
+
+#![warn(missing_docs)]
+
+pub mod adapt;
+pub mod binarize;
+pub mod causumx;
+pub mod frl;
+pub mod ids;
+
+pub use adapt::{adapt_if_clauses, IfClauseRole};
+pub use causumx::causumx;
+pub use frl::{learn_falling_rule_list, FallingRuleList, FrlConfig, FrlRule};
+pub use ids::{learn_decision_set, DecisionSet, IdsConfig, IdsRule};

@@ -1,0 +1,84 @@
+//! Ablation: the linear (OLS) vs. stratified CATE estimators — cost of a
+//! single estimate and of a full FairCap run under each (DESIGN.md's
+//! estimator design choice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faircap_bench::{input_of, BENCH_ROWS, BENCH_SEED};
+use faircap_causal::{CateEngine, EstimatorKind};
+use faircap_core::{run, FairCapConfig};
+use faircap_data::so;
+use faircap_table::{Mask, Pattern, Value};
+use std::hint::black_box;
+
+fn bench_single_estimate(c: &mut Criterion) {
+    let ds = so::generate(BENCH_ROWS, BENCH_SEED);
+    let all = Mask::ones(ds.df.n_rows());
+    let pattern = Pattern::of_eq(&[("certifications", Value::from("yes"))]);
+    let mut group = c.benchmark_group("ablation_single_cate");
+    for kind in [EstimatorKind::Linear, EstimatorKind::Stratified, EstimatorKind::Ipw] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    // Fresh engine per iteration so the cache cannot hide
+                    // the estimator cost.
+                    let engine = CateEngine::new(&ds.df, &ds.dag, "salary", kind);
+                    black_box(engine.cate(&all, &pattern))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let ds = so::generate(BENCH_ROWS, BENCH_SEED);
+    let input = input_of(&ds);
+    let mut group = c.benchmark_group("ablation_full_run");
+    group.sample_size(10);
+    for kind in [EstimatorKind::Linear, EstimatorKind::Stratified, EstimatorKind::Ipw] {
+        let cfg = FairCapConfig {
+            estimator: kind,
+            ..FairCapConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| black_box(run(&input, cfg)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallelism(c: &mut Criterion) {
+    // §5.2 optimization (ii): parallel vs serial intervention mining.
+    let ds = so::generate(BENCH_ROWS, BENCH_SEED);
+    let input = input_of(&ds);
+    let mut group = c.benchmark_group("ablation_parallel_step2");
+    group.sample_size(10);
+    for parallel in [false, true] {
+        let cfg = FairCapConfig {
+            parallel,
+            ..FairCapConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if parallel { "parallel" } else { "serial" }),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| black_box(run(&input, cfg)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_estimate,
+    bench_full_run,
+    bench_parallelism
+);
+criterion_main!(benches);

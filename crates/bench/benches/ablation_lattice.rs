@@ -1,0 +1,75 @@
+//! Ablation: the §5.2 positive-parent lattice pruning vs. exhaustive
+//! enumeration of intervention patterns — how many CATE estimations does
+//! the materialization rule save?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faircap_bench::{BENCH_ROWS, BENCH_SEED};
+use faircap_causal::{CateEngine, EstimatorKind};
+use faircap_data::so;
+use faircap_mining::{positive_lattice, single_attribute_items};
+use faircap_table::Mask;
+use std::hint::black_box;
+
+fn bench_lattice_pruning(c: &mut Criterion) {
+    let ds = so::generate(BENCH_ROWS, BENCH_SEED);
+    let all = Mask::ones(ds.df.n_rows());
+    let items = single_attribute_items(&ds.df, &ds.mutable, &all, 24).unwrap();
+    let mut group = c.benchmark_group("ablation_lattice_pruning");
+    group.sample_size(10);
+
+    // Pruned: only positive-CATE parents are expanded (the paper's rule).
+    group.bench_function(BenchmarkId::from_parameter("positive_parent"), |b| {
+        b.iter(|| {
+            let engine = CateEngine::new(&ds.df, &ds.dag, "salary", EstimatorKind::Linear);
+            let nodes = positive_lattice(
+                &items,
+                2,
+                |pattern, _| engine.cate(&all, pattern).map(|e| e.cate),
+                |&cate| cate > 0.0,
+            );
+            black_box(nodes.len())
+        });
+    });
+
+    // Exhaustive: every node expands regardless of sign.
+    group.bench_function(BenchmarkId::from_parameter("exhaustive"), |b| {
+        b.iter(|| {
+            let engine = CateEngine::new(&ds.df, &ds.dag, "salary", EstimatorKind::Linear);
+            let nodes = positive_lattice(
+                &items,
+                2,
+                |pattern, _| engine.cate(&all, pattern).map(|e| e.cate),
+                |_| true,
+            );
+            black_box(nodes.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_cost_policies(c: &mut Criterion) {
+    use faircap_core::{run, CostModel, CostPolicy, FairCapConfig};
+    let ds = so::generate(BENCH_ROWS, BENCH_SEED);
+    let input = faircap_bench::input_of(&ds);
+    let mut group = c.benchmark_group("ablation_cost_policy");
+    group.sample_size(10);
+    let policies: [(&str, CostPolicy); 3] = [
+        ("ignore", CostPolicy::Ignore),
+        ("budget", CostPolicy::Budget { max_rule_cost: 5.0 }),
+        ("penalize", CostPolicy::Penalize { weight: 0.5 }),
+    ];
+    for (name, policy) in policies {
+        let cfg = FairCapConfig {
+            cost_model: CostModel::with_default(2.0),
+            cost_policy: policy,
+            ..FairCapConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(run(&input, cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lattice_pruning, bench_cost_policies);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion counterpart of Figure 3: end-to-end FairCap runtime per problem
+//! setting (the by-step breakdown is printed by the `fig3` binary; criterion
+//! measures the stable totals). Uses a 6K-row sample — shape, not absolute
+//! seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faircap_bench::{input_of, nine_variants, BENCH_ROWS, BENCH_SEED};
+use faircap_core::{run, FairnessKind};
+use faircap_data::so;
+use std::hint::black_box;
+
+fn bench_settings(c: &mut Criterion) {
+    let ds = so::generate(BENCH_ROWS, BENCH_SEED);
+    let input = input_of(&ds);
+    let mut group = c.benchmark_group("fig3_settings");
+    group.sample_size(10);
+    for (label, cfg) in nine_variants(FairnessKind::StatisticalParity, 10_000.0, 0.5, 0.5) {
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &cfg, |b, cfg| {
+            b.iter(|| black_box(run(&input, cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_settings);
+criterion_main!(benches);

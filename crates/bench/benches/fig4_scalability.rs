@@ -1,0 +1,49 @@
+//! Criterion counterpart of Figure 4: runtime vs dataset fraction (25–100%)
+//! for the unconstrained and group-fairness settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use faircap_bench::{input_of, BENCH_ROWS, BENCH_SEED};
+use faircap_core::{run, FairCapConfig, FairnessConstraint, FairnessScope};
+use faircap_data::so;
+use std::hint::black_box;
+
+fn bench_fractions(c: &mut Criterion) {
+    let full = so::generate(BENCH_ROWS, BENCH_SEED);
+    let configs = [
+        ("no_constraint", FairCapConfig::default()),
+        (
+            "group_sp",
+            FairCapConfig {
+                fairness: FairnessConstraint::StatisticalParity {
+                    scope: FairnessScope::Group,
+                    epsilon: 10_000.0,
+                },
+                ..FairCapConfig::default()
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("fig4_dataset_fraction");
+    group.sample_size(10);
+    for percent in [25u32, 50, 75, 100] {
+        let ds = if percent == 100 {
+            full.clone()
+        } else {
+            full.subsample(percent as f64 / 100.0, 7)
+        };
+        group.throughput(Throughput::Elements(ds.df.n_rows() as u64));
+        for (name, cfg) in &configs {
+            group.bench_with_input(
+                BenchmarkId::new(*name, percent),
+                &ds,
+                |b, ds| {
+                    let input = input_of(ds);
+                    b.iter(|| black_box(run(&input, cfg)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fractions);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion counterpart of Figure 5: runtime vs number of mutable (2–6)
+//! and immutable (5–10) attributes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faircap_bench::{input_of, BENCH_ROWS, BENCH_SEED};
+use faircap_core::{run, FairCapConfig};
+use faircap_data::so;
+use std::hint::black_box;
+
+fn bench_mutable(c: &mut Criterion) {
+    let full = so::generate(BENCH_ROWS, BENCH_SEED);
+    let cfg = FairCapConfig::default();
+    let mut group = c.benchmark_group("fig5_mutable_attrs");
+    group.sample_size(10);
+    for n_mut in 2..=6usize {
+        let ds = full.restrict_attrs(10, n_mut);
+        group.bench_with_input(BenchmarkId::from_parameter(n_mut), &ds, |b, ds| {
+            let input = input_of(ds);
+            b.iter(|| black_box(run(&input, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_immutable(c: &mut Criterion) {
+    let full = so::generate(BENCH_ROWS, BENCH_SEED);
+    let cfg = FairCapConfig::default();
+    let mut group = c.benchmark_group("fig5_immutable_attrs");
+    group.sample_size(10);
+    for n_imm in 5..=10usize {
+        let ds = full.restrict_attrs(n_imm, 6);
+        group.bench_with_input(BenchmarkId::from_parameter(n_imm), &ds, |b, ds| {
+            let input = input_of(ds);
+            b.iter(|| black_box(run(&input, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mutable, bench_immutable);
+criterion_main!(benches);

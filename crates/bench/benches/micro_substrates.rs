@@ -1,0 +1,83 @@
+//! Microbenchmarks for the substrates: mask algebra, pattern coverage,
+//! Apriori mining, and d-separation — the building blocks whose cost the
+//! end-to-end figures aggregate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faircap_bench::{BENCH_ROWS, BENCH_SEED};
+use faircap_causal::d_separated_names;
+use faircap_data::so;
+use faircap_mining::{apriori, AprioriConfig};
+use faircap_table::{Mask, Pattern, Value};
+use std::hint::black_box;
+
+fn bench_mask_ops(c: &mut Criterion) {
+    let n = 38_000;
+    let a = Mask::from_indices(n, &(0..n).step_by(3).collect::<Vec<_>>());
+    let b = Mask::from_indices(n, &(0..n).step_by(7).collect::<Vec<_>>());
+    c.bench_function("mask_and_38k", |bch| bch.iter(|| black_box(&a & &b)));
+    c.bench_function("mask_intersect_count_38k", |bch| {
+        bch.iter(|| black_box(a.intersect_count(&b)))
+    });
+    c.bench_function("mask_iter_ones_38k", |bch| {
+        bch.iter(|| black_box(a.iter_ones().sum::<usize>()))
+    });
+}
+
+fn bench_pattern_coverage(c: &mut Criterion) {
+    let ds = so::generate(BENCH_ROWS, BENCH_SEED);
+    let single = Pattern::of_eq(&[("gdp_group", Value::from("low"))]);
+    let triple = Pattern::of_eq(&[
+        ("gdp_group", Value::from("high")),
+        ("age", Value::from("25-34")),
+        ("gender", Value::from("male")),
+    ]);
+    c.bench_function("pattern_coverage_1pred", |b| {
+        b.iter(|| black_box(single.coverage(&ds.df).unwrap()))
+    });
+    c.bench_function("pattern_coverage_3pred", |b| {
+        b.iter(|| black_box(triple.coverage(&ds.df).unwrap()))
+    });
+}
+
+fn bench_apriori(c: &mut Criterion) {
+    let ds = so::generate(BENCH_ROWS, BENCH_SEED);
+    let all = Mask::ones(ds.df.n_rows());
+    let mut group = c.benchmark_group("apriori_immutables");
+    for max_len in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(max_len), &max_len, |b, &l| {
+            let cfg = AprioriConfig {
+                min_support: 0.1,
+                max_len: l,
+                max_values_per_attr: 24,
+            };
+            b.iter(|| black_box(apriori(&ds.df, &ds.immutable, &all, &cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dsep(c: &mut Criterion) {
+    let ds = so::generate(1_000, BENCH_SEED);
+    c.bench_function("d_separation_so_dag", |b| {
+        b.iter(|| {
+            black_box(
+                d_separated_names(
+                    &ds.dag,
+                    &["education"],
+                    &["salary"],
+                    &["age", "gdp_group", "parents_education", "student"],
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mask_ops,
+    bench_pattern_coverage,
+    bench_apriori,
+    bench_dsep
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 3 — runtime of each FairCap step (group mining, treatment mining,
+//! greedy selection) across the nine problem settings, on Stack Overflow.
+//!
+//! Prints a CSV series (one row per setting) matching the figure's stacked
+//! bars.
+//!
+//! ```sh
+//! cargo run --release -p faircap-bench --bin fig3
+//! ```
+
+use faircap_bench::{input_of, nine_variants};
+use faircap_core::{run, FairnessKind};
+use faircap_data::so;
+
+fn main() {
+    let ds = so::generate(so::SO_DEFAULT_ROWS, 42);
+    let input = input_of(&ds);
+    println!("Figure 3: runtime by step (seconds), Stack Overflow, SP ε=$10k");
+    println!("setting,group_mining_s,treatment_mining_s,greedy_selection_s,total_s");
+    for (label, cfg) in nine_variants(FairnessKind::StatisticalParity, 10_000.0, 0.5, 0.5) {
+        let report = run(&input, &cfg);
+        let t = &report.timings;
+        println!(
+            "{label},{:.3},{:.3},{:.3},{:.3}",
+            t.grouping.as_secs_f64(),
+            t.intervention.as_secs_f64(),
+            t.greedy.as_secs_f64(),
+            t.total().as_secs_f64()
+        );
+    }
+    println!("\nShape targets (paper Fig. 3): treatment mining (step 2) dominates;");
+    println!("group mining is negligible; rule-coverage settings run fastest because");
+    println!("the raised Apriori threshold prunes grouping patterns.");
+}

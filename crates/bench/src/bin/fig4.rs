@@ -1,0 +1,60 @@
+//! Figure 4 — total runtime as a function of the dataset fraction (25%,
+//! 50%, 75%, 100% of Stack Overflow) for the nine FairCap settings plus the
+//! IDS and FRL baselines.
+//!
+//! ```sh
+//! cargo run --release -p faircap-bench --bin fig4
+//! ```
+
+use faircap_bench::{input_of, nine_variants};
+use faircap_core::{run, FairnessKind};
+use faircap_data::so;
+use std::time::Instant;
+
+fn main() {
+    let full = so::generate(so::SO_DEFAULT_ROWS, 42);
+    println!("Figure 4: total runtime (seconds) vs dataset fraction, Stack Overflow");
+    print!("setting");
+    let fractions = [0.25, 0.5, 0.75, 1.0];
+    for f in fractions {
+        print!(",{:.0}%", f * 100.0);
+    }
+    println!();
+
+    let variants = nine_variants(FairnessKind::StatisticalParity, 10_000.0, 0.5, 0.5);
+    let samples: Vec<_> = fractions
+        .iter()
+        .map(|&f| {
+            if f >= 1.0 {
+                full.clone()
+            } else {
+                full.subsample(f, 7)
+            }
+        })
+        .collect();
+    for (label, cfg) in &variants {
+        print!("{label}");
+        for ds in &samples {
+            let input = input_of(ds);
+            let report = run(&input, cfg);
+            print!(",{:.3}", report.timings.total().as_secs_f64());
+        }
+        println!();
+    }
+    // Baseline curves: IDS and FRL rule learning on the same samples.
+    print!("IDS");
+    for ds in &samples {
+        let t = Instant::now();
+        let _ = faircap_bench::ids_if_clauses(ds);
+        print!(",{:.3}", t.elapsed().as_secs_f64());
+    }
+    println!();
+    print!("FRL");
+    for ds in &samples {
+        let t = Instant::now();
+        let _ = faircap_bench::frl_if_clauses(ds);
+        print!(",{:.3}", t.elapsed().as_secs_f64());
+    }
+    println!();
+    println!("\nShape target (paper Fig. 4): runtime grows roughly linearly in rows.");
+}

@@ -1,0 +1,232 @@
+//! Backdoor criterion and adjustment-set selection.
+//!
+//! A set `Z` satisfies the backdoor criterion relative to `(T, O)` when
+//! (i) no node of `Z` is a descendant of `T`, and (ii) `Z` blocks every path
+//! between `T` and `O` that starts with an arrow *into* `T`. Condition (ii)
+//! is equivalent to `T ⊥ O | Z` in the graph with `T`'s outgoing edges
+//! removed (as long as (i) holds), which is how we verify it.
+
+use crate::dsep::d_separated;
+use crate::error::{CausalError, Result};
+use crate::graph::{Dag, NodeId};
+use std::collections::HashSet;
+
+/// Check the backdoor criterion for adjustment set `z` relative to
+/// treatments `t` and outcome `o`.
+pub fn is_valid_backdoor(g: &Dag, t: &[NodeId], o: NodeId, z: &[NodeId]) -> bool {
+    // (i) no descendants of T in Z (nor T itself / the outcome).
+    let desc = g.descendants(t);
+    if z.iter().any(|n| desc.contains(n) || t.contains(n) || *n == o) {
+        return false;
+    }
+    // (ii) T ⊥ O | Z in G with T's outgoing edges removed.
+    //
+    // With outgoing edges of T cut, every remaining T–O path starts with an
+    // arrow into T, i.e. is a backdoor path.
+    let cut = g.without_outgoing(t);
+    d_separated(&cut, t, &[o], z)
+}
+
+/// Find an adjustment set for estimating the effect of `t` on `o`.
+///
+/// Strategy, mirroring the common practice (and DoWhy's default behaviour on
+/// the paper's DAGs):
+///
+/// 1. Try `Z = Pa(T) \ (T ∪ {O})` — the parents of the treatment variables.
+///    This always satisfies the backdoor criterion under causal sufficiency.
+/// 2. If that fails (e.g. a parent is also a descendant of another treatment
+///    node), fall back to all non-descendants of `T` that are ancestors of
+///    `T` or `O`, minus `T ∪ {O}`.
+/// 3. Greedily shrink: drop any node whose removal keeps the set valid,
+///    scanning in reverse insertion order so the result is deterministic and
+///    inclusion-minimal.
+///
+/// Returns the adjustment set (possibly empty — meaning the effect is
+/// identified without adjustment), or an error when no valid set exists.
+pub fn find_adjustment_set(g: &Dag, t: &[NodeId], o: NodeId) -> Result<Vec<NodeId>> {
+    debug_assert!(!t.is_empty());
+    let mut candidate: Vec<NodeId> = Vec::new();
+    let mut seen = HashSet::new();
+    for &ti in t {
+        for &p in g.parents(ti) {
+            if !t.contains(&p) && p != o && seen.insert(p) {
+                candidate.push(p);
+            }
+        }
+    }
+    candidate.sort_unstable();
+
+    if !is_valid_backdoor(g, t, o, &candidate) {
+        // Fallback: every non-descendant of T that is an ancestor of T or O.
+        let desc = g.descendants(t);
+        let mut anc = g.ancestors(t);
+        anc.extend(g.ancestors(&[o]));
+        let mut fallback: Vec<NodeId> = (0..g.n_nodes())
+            .filter(|n| {
+                anc.contains(n) && !desc.contains(n) && !t.contains(n) && *n != o
+            })
+            .collect();
+        fallback.sort_unstable();
+        if !is_valid_backdoor(g, t, o, &fallback) {
+            return Err(CausalError::Estimation(format!(
+                "no valid backdoor adjustment set for {:?} -> {}",
+                t.iter().map(|&i| g.name(i)).collect::<Vec<_>>(),
+                g.name(o)
+            )));
+        }
+        candidate = fallback;
+    }
+
+    // Greedy minimization (inclusion-minimal, not minimum).
+    let mut i = candidate.len();
+    while i > 0 {
+        i -= 1;
+        let mut trial = candidate.clone();
+        trial.remove(i);
+        if is_valid_backdoor(g, t, o, &trial) {
+            candidate = trial;
+        }
+    }
+    Ok(candidate)
+}
+
+/// Name-based wrapper around [`find_adjustment_set`].
+pub fn find_adjustment_set_names(g: &Dag, t: &[&str], o: &str) -> Result<Vec<String>> {
+    let t_ids: Vec<NodeId> = t.iter().map(|n| g.node(n)).collect::<Result<_>>()?;
+    let o_id = g.node(o)?;
+    let z = find_adjustment_set(g, &t_ids, o_id)?;
+    Ok(z.into_iter().map(|i| g.name(i).to_owned()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(g: &Dag, ids: &[NodeId]) -> Vec<String> {
+        let mut v: Vec<String> = ids.iter().map(|&i| g.name(i).to_owned()).collect();
+        v.sort();
+        v
+    }
+
+    /// Classic confounding triangle: Z -> T, Z -> O, T -> O.
+    #[test]
+    fn confounder_must_be_adjusted() {
+        let g = Dag::from_edges(&[("Z", "T"), ("Z", "O"), ("T", "O")]).unwrap();
+        let t = g.node("T").unwrap();
+        let o = g.node("O").unwrap();
+        let z = g.node("Z").unwrap();
+        assert!(!is_valid_backdoor(&g, &[t], o, &[]));
+        assert!(is_valid_backdoor(&g, &[t], o, &[z]));
+        let adj = find_adjustment_set(&g, &[t], o).unwrap();
+        assert_eq!(names(&g, &adj), vec!["Z"]);
+    }
+
+    /// No backdoor path: T -> O with an independent W.
+    #[test]
+    fn no_confounding_gives_empty_set() {
+        let g = Dag::from_edges(&[("T", "O"), ("W", "O")]).unwrap();
+        let t = g.node("T").unwrap();
+        let o = g.node("O").unwrap();
+        assert!(is_valid_backdoor(&g, &[t], o, &[]));
+        let adj = find_adjustment_set(&g, &[t], o).unwrap();
+        assert!(adj.is_empty());
+    }
+
+    /// Mediator must not be adjusted: T -> M -> O.
+    #[test]
+    fn mediator_not_in_adjustment() {
+        let g = Dag::from_edges(&[("T", "M"), ("M", "O"), ("Z", "T"), ("Z", "O")]).unwrap();
+        let t = g.node("T").unwrap();
+        let o = g.node("O").unwrap();
+        let m = g.node("M").unwrap();
+        let z = g.node("Z").unwrap();
+        assert!(!is_valid_backdoor(&g, &[t], o, &[m]), "mediator is a descendant");
+        assert!(!is_valid_backdoor(&g, &[t], o, &[m, z]));
+        let adj = find_adjustment_set(&g, &[t], o).unwrap();
+        assert_eq!(names(&g, &adj), vec!["Z"]);
+    }
+
+    /// Collider: conditioning on it would *open* a path; the valid set is ∅.
+    #[test]
+    fn collider_left_alone() {
+        // T <- A -> C <- B -> O, T -> O.
+        let g = Dag::from_edges(&[
+            ("A", "T"),
+            ("A", "C"),
+            ("B", "C"),
+            ("B", "O"),
+            ("T", "O"),
+        ])
+        .unwrap();
+        let t = g.node("T").unwrap();
+        let o = g.node("O").unwrap();
+        let a = g.node("A").unwrap();
+        let c = g.node("C").unwrap();
+        // ∅ is valid: the only T..O backdoor path goes through collider C.
+        assert!(is_valid_backdoor(&g, &[t], o, &[]));
+        // {C} is invalid (opens A -> C <- B).
+        assert!(!is_valid_backdoor(&g, &[t], o, &[c]));
+        // {C, A} valid again.
+        assert!(is_valid_backdoor(&g, &[t], o, &[c, a]));
+        // Parents-of-T heuristic yields {A}; minimization may shrink to ∅.
+        let adj = find_adjustment_set(&g, &[t], o).unwrap();
+        assert!(is_valid_backdoor(&g, &[t], o, &adj));
+    }
+
+    /// Multi-treatment adjustment (intervention patterns span attributes).
+    #[test]
+    fn multiple_treatments() {
+        let g = Dag::from_edges(&[
+            ("Z", "T1"),
+            ("Z", "T2"),
+            ("Z", "O"),
+            ("T1", "O"),
+            ("T2", "O"),
+        ])
+        .unwrap();
+        let t1 = g.node("T1").unwrap();
+        let t2 = g.node("T2").unwrap();
+        let o = g.node("O").unwrap();
+        let adj = find_adjustment_set(&g, &[t1, t2], o).unwrap();
+        assert_eq!(names(&g, &adj), vec!["Z"]);
+        assert!(is_valid_backdoor(&g, &[t1, t2], o, &adj));
+    }
+
+    /// Paper Fig. 1: Education -> Salary with Age confounding via
+    /// Age -> Education and Age -> Role -> Salary.
+    #[test]
+    fn paper_fig1_education_salary() {
+        let g = Dag::from_edges(&[
+            ("Ethnicity", "Role"),
+            ("Gender", "Role"),
+            ("Age", "Role"),
+            ("Age", "Education"),
+            ("Education", "Role"),
+            ("Education", "Salary"),
+            ("Role", "Salary"),
+        ])
+        .unwrap();
+        let adj = find_adjustment_set_names(&g, &["Education"], "Salary").unwrap();
+        assert_eq!(adj, vec!["Age"]);
+        // Role is a mediator and must not appear.
+        assert!(!adj.contains(&"Role".to_owned()));
+    }
+
+    #[test]
+    fn treatment_itself_never_in_set() {
+        let g = Dag::from_edges(&[("Z", "T"), ("Z", "O"), ("T", "O")]).unwrap();
+        let t = g.node("T").unwrap();
+        let o = g.node("O").unwrap();
+        assert!(!is_valid_backdoor(&g, &[t], o, &[t]));
+        assert!(!is_valid_backdoor(&g, &[t], o, &[o]));
+    }
+
+    /// 1-layer "independence" DAG from Table 6: every attribute points only
+    /// at the outcome; the adjustment set is empty.
+    #[test]
+    fn one_layer_dag_needs_no_adjustment() {
+        let g = Dag::from_edges(&[("A", "O"), ("B", "O"), ("T", "O")]).unwrap();
+        let adj = find_adjustment_set_names(&g, &["T"], "O").unwrap();
+        assert!(adj.is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! High-level CATE queries for prescription rules.
+//!
+//! [`CateEngine`] binds a dataset, a causal DAG, and an outcome, and answers
+//! "what is the CATE of intervention pattern `P_int` within subgroup mask
+//! `g`?" — the quantity behind every utility in the paper (Definition 4.4).
+//! Adjustment sets are derived from the DAG once per treatment-attribute set
+//! and cached; full estimates are cached per `(group, intervention)` pair,
+//! which the greedy phase hits repeatedly.
+
+use crate::backdoor::find_adjustment_set_names;
+use crate::error::Result;
+use crate::estimate::{estimate_cate, Estimate, EstimatorKind};
+use crate::graph::Dag;
+use faircap_table::{DataFrame, Mask, Pattern};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Engine answering CATE queries against one dataset + DAG.
+pub struct CateEngine<'a> {
+    df: &'a DataFrame,
+    dag: &'a Dag,
+    outcome: String,
+    kind: EstimatorKind,
+    adjustment_cache: Mutex<HashMap<Vec<String>, Option<Vec<String>>>>,
+    treated_cache: Mutex<HashMap<Pattern, Mask>>,
+    estimate_cache: Mutex<HashMap<(u64, Pattern), Option<Estimate>>>,
+}
+
+impl<'a> CateEngine<'a> {
+    /// Create an engine. `outcome` must be a numeric or boolean column.
+    pub fn new(df: &'a DataFrame, dag: &'a Dag, outcome: &str, kind: EstimatorKind) -> Self {
+        CateEngine {
+            df,
+            dag,
+            outcome: outcome.to_owned(),
+            kind,
+            adjustment_cache: Mutex::new(HashMap::new()),
+            treated_cache: Mutex::new(HashMap::new()),
+            estimate_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The dataset the engine is bound to.
+    pub fn df(&self) -> &DataFrame {
+        self.df
+    }
+
+    /// The causal DAG the engine is bound to.
+    pub fn dag(&self) -> &Dag {
+        self.dag
+    }
+
+    /// The outcome attribute.
+    pub fn outcome(&self) -> &str {
+        &self.outcome
+    }
+
+    /// Whether an attribute has any causal path to the outcome — the paper's
+    /// §5.2 optimization (i): attributes without one cannot change the CATE
+    /// and are skipped during intervention mining.
+    pub fn affects_outcome(&self, attr: &str) -> bool {
+        match (self.dag.node(attr), self.dag.node(&self.outcome)) {
+            (Ok(a), Ok(o)) => a != o && self.dag.is_reachable(a, o),
+            _ => false,
+        }
+    }
+
+    /// Backdoor adjustment set for a treatment-attribute set (cached).
+    /// `None` when identification fails.
+    pub fn adjustment_for(&self, treatment_attrs: &[String]) -> Option<Vec<String>> {
+        let key: Vec<String> = treatment_attrs.to_vec();
+        if let Some(hit) = self.adjustment_cache.lock().get(&key) {
+            return hit.clone();
+        }
+        let in_dag: Vec<&str> = treatment_attrs
+            .iter()
+            .map(|s| s.as_str())
+            .filter(|a| self.dag.has_node(a))
+            .collect();
+        let computed = if in_dag.is_empty() {
+            None
+        } else {
+            find_adjustment_set_names(self.dag, &in_dag, &self.outcome).ok()
+        };
+        self.adjustment_cache.lock().insert(key, computed.clone());
+        computed
+    }
+
+    /// Mask of rows satisfying an intervention pattern (cached).
+    pub fn treated_mask(&self, intervention: &Pattern) -> Result<Mask> {
+        if let Some(hit) = self.treated_cache.lock().get(intervention) {
+            return Ok(hit.clone());
+        }
+        let m = intervention.coverage(self.df)?;
+        self.treated_cache
+            .lock()
+            .insert(intervention.clone(), m.clone());
+        Ok(m)
+    }
+
+    /// CATE of `intervention` within `group` (Definition 4.4 utilities).
+    ///
+    /// Returns `None` when the effect is not estimable: unidentified
+    /// adjustment, insufficient overlap, or a degenerate design.
+    pub fn cate(&self, group: &Mask, intervention: &Pattern) -> Option<Estimate> {
+        let key = (mask_fingerprint(group), intervention.clone());
+        if let Some(hit) = self.estimate_cache.lock().get(&key) {
+            return *hit;
+        }
+        let result = self.cate_uncached(group, intervention);
+        self.estimate_cache.lock().insert(key, result);
+        result
+    }
+
+    fn cate_uncached(&self, group: &Mask, intervention: &Pattern) -> Option<Estimate> {
+        if intervention.is_empty() {
+            return None;
+        }
+        let attrs: Vec<String> = intervention
+            .attributes()
+            .into_iter()
+            .map(|s| s.to_owned())
+            .collect();
+        let adjustment = self.adjustment_for(&attrs)?;
+        let treated = self.treated_mask(intervention).ok()?;
+        estimate_cate(
+            self.kind,
+            self.df,
+            group,
+            &treated,
+            &self.outcome,
+            &adjustment,
+        )
+        .ok()
+    }
+
+    /// Number of cached estimates (diagnostics).
+    pub fn cache_len(&self) -> usize {
+        self.estimate_cache.lock().len()
+    }
+}
+
+fn mask_fingerprint(mask: &Mask) -> u64 {
+    let mut h = DefaultHasher::new();
+    mask.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scm::{bernoulli, normal, Scm};
+    use faircap_table::Value;
+
+    /// region → educated → income, region → income. Planted effect: +20.
+    fn fixture() -> (DataFrame, Dag) {
+        let scm = Scm::new()
+            .categorical("region", &[("north", 0.5), ("south", 0.5)])
+            .unwrap()
+            .node(
+                "educated",
+                &["region"],
+                Box::new(|row, rng| {
+                    let p = if row.str("region") == "north" { 0.7 } else { 0.3 };
+                    Value::Bool(bernoulli(rng, p))
+                }),
+            )
+            .unwrap()
+            .node(
+                "income",
+                &["region", "educated"],
+                Box::new(|row, rng| {
+                    let base = if row.str("region") == "north" { 60.0 } else { 40.0 };
+                    let boost = if row.flag("educated") { 20.0 } else { 0.0 };
+                    Value::Float(base + boost + normal(rng, 0.0, 5.0))
+                }),
+            )
+            .unwrap();
+        let df = scm.sample(4000, 11).unwrap();
+        let dag = scm.dag();
+        (df, dag)
+    }
+
+    #[test]
+    fn engine_recovers_planted_effect() {
+        let (df, dag) = fixture();
+        let engine = CateEngine::new(&df, &dag, "income", EstimatorKind::Linear);
+        let all = Mask::ones(df.n_rows());
+        let p = Pattern::of_eq(&[("educated", Value::Bool(true))]);
+        let est = engine.cate(&all, &p).unwrap();
+        assert!((est.cate - 20.0).abs() < 1.0, "cate = {}", est.cate);
+        assert!(est.is_significant(0.01));
+    }
+
+    #[test]
+    fn caching_returns_identical_results() {
+        let (df, dag) = fixture();
+        let engine = CateEngine::new(&df, &dag, "income", EstimatorKind::Linear);
+        let all = Mask::ones(df.n_rows());
+        let p = Pattern::of_eq(&[("educated", Value::Bool(true))]);
+        let a = engine.cate(&all, &p);
+        let before = engine.cache_len();
+        let b = engine.cate(&all, &p);
+        assert_eq!(a, b);
+        assert_eq!(engine.cache_len(), before);
+    }
+
+    #[test]
+    fn subgroup_query_differs_from_global() {
+        let (df, dag) = fixture();
+        let engine = CateEngine::new(&df, &dag, "income", EstimatorKind::Linear);
+        let north = Pattern::of_eq(&[("region", Value::from("north"))])
+            .coverage(&df)
+            .unwrap();
+        let p = Pattern::of_eq(&[("educated", Value::Bool(true))]);
+        let est = engine.cate(&north, &p).unwrap();
+        assert!((est.cate - 20.0).abs() < 1.5, "north cate = {}", est.cate);
+        assert!(est.n_treated + est.n_control <= north.count());
+    }
+
+    #[test]
+    fn empty_intervention_yields_none() {
+        let (df, dag) = fixture();
+        let engine = CateEngine::new(&df, &dag, "income", EstimatorKind::Linear);
+        assert!(engine.cate(&Mask::ones(df.n_rows()), &Pattern::empty()).is_none());
+    }
+
+    #[test]
+    fn affects_outcome_prunes_unconnected() {
+        let (df, dag) = fixture();
+        let engine = CateEngine::new(&df, &dag, "income", EstimatorKind::Linear);
+        assert!(engine.affects_outcome("educated"));
+        assert!(engine.affects_outcome("region"));
+        assert!(!engine.affects_outcome("income")); // the outcome itself
+        assert!(!engine.affects_outcome("not_a_column"));
+    }
+
+    #[test]
+    fn unknown_treatment_attribute_yields_none() {
+        let (df, dag) = fixture();
+        let engine = CateEngine::new(&df, &dag, "income", EstimatorKind::Linear);
+        let p = Pattern::of_eq(&[("ghost", Value::Int(1))]);
+        assert!(engine.cate(&Mask::ones(df.n_rows()), &p).is_none());
+    }
+
+    #[test]
+    fn stratified_engine_agrees_with_linear() {
+        let (df, dag) = fixture();
+        let lin = CateEngine::new(&df, &dag, "income", EstimatorKind::Linear);
+        let strat = CateEngine::new(&df, &dag, "income", EstimatorKind::Stratified);
+        let all = Mask::ones(df.n_rows());
+        let p = Pattern::of_eq(&[("educated", Value::Bool(true))]);
+        let a = lin.cate(&all, &p).unwrap().cate;
+        let b = strat.cate(&all, &p).unwrap().cate;
+        assert!((a - b).abs() < 1.0, "linear {a} vs stratified {b}");
+    }
+}

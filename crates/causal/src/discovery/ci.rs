@@ -1,0 +1,267 @@
+//! Conditional-independence tests over tabular data.
+//!
+//! The PC algorithm needs a test of `X ⊥ Y | Z` on observed data. We use the
+//! G² (log-likelihood-ratio) test on contingency tables, stratified over the
+//! joint values of `Z`. Numeric columns are quantile-binned first. This is
+//! the standard CI test for discrete data (Spirtes–Glymour–Scheines).
+
+use crate::error::{CausalError, Result};
+use faircap_table::stats::chi2_sf;
+use faircap_table::{Column, DataFrame, Mask};
+use std::collections::HashMap;
+
+/// Number of quantile bins applied to numeric columns before testing.
+const NUMERIC_BINS: usize = 3;
+
+/// Discretized view of one column: per-row level codes plus cardinality.
+#[derive(Debug, Clone)]
+pub struct Discretized {
+    codes: Vec<u32>,
+    levels: usize,
+}
+
+impl Discretized {
+    /// Discretize a column: categorical/bool pass through, numeric columns
+    /// are quantile-binned into three levels.
+    pub fn from_column(col: &Column) -> Discretized {
+        match col {
+            Column::Cat(c) => Discretized {
+                codes: c.codes().to_vec(),
+                levels: c.cardinality(),
+            },
+            Column::Bool(v) => Discretized {
+                codes: v.iter().map(|&b| b as u32).collect(),
+                levels: 2,
+            },
+            Column::Int(_) | Column::Float(_) => {
+                let n = col.len();
+                let mut values: Vec<f64> = (0..n).map(|i| col.get_f64(i).unwrap()).collect();
+                let mut sorted = values.clone();
+                sorted.sort_by(|a, b| a.total_cmp(b));
+                let cuts: Vec<f64> = (1..NUMERIC_BINS)
+                    .map(|q| sorted[(q * n / NUMERIC_BINS).min(n.saturating_sub(1))])
+                    .collect();
+                let codes = values
+                    .drain(..)
+                    .map(|v| cuts.iter().take_while(|&&c| v >= c).count() as u32)
+                    .collect();
+                Discretized {
+                    codes,
+                    levels: NUMERIC_BINS,
+                }
+            }
+        }
+    }
+
+    /// Level code of a row.
+    pub fn code(&self, row: usize) -> u32 {
+        self.codes[row]
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+}
+
+/// A dataset pre-discretized for CI testing.
+pub struct CiData {
+    columns: Vec<Discretized>,
+    names: Vec<String>,
+    n_rows: usize,
+}
+
+impl CiData {
+    /// Discretize all (or the named subset of) columns of a frame.
+    pub fn new(df: &DataFrame, names: &[String]) -> Result<CiData> {
+        let mut columns = Vec::with_capacity(names.len());
+        for n in names {
+            columns.push(Discretized::from_column(df.column(n)?));
+        }
+        Ok(CiData {
+            columns,
+            names: names.to_vec(),
+            n_rows: df.n_rows(),
+        })
+    }
+
+    /// Variable names, in test index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// p-value of the G² test of `x ⊥ y | z` (variable indices), restricted
+    /// to the rows of `within` (pass `Mask::ones` for the full data).
+    ///
+    /// Statistics and degrees of freedom are summed over the `Z` strata;
+    /// strata too small to test contribute nothing. Returns `1.0` (cannot
+    /// reject independence) when no stratum is testable — the conservative
+    /// choice for edge deletion in PC.
+    pub fn ci_test(&self, x: usize, y: usize, z: &[usize], within: &Mask) -> Result<f64> {
+        if x == y {
+            return Err(CausalError::Estimation("ci_test with x == y".into()));
+        }
+        let cx = &self.columns[x];
+        let cy = &self.columns[y];
+        let (rx, ry) = (cx.levels(), cy.levels());
+
+        // Partition rows by the joint Z value.
+        let mut strata: HashMap<u64, Vec<u64>> = HashMap::new();
+        for row in within.iter_ones() {
+            let mut key = 0u64;
+            for &zi in z {
+                let col = &self.columns[zi];
+                key = key * col.levels() as u64 + col.code(row) as u64;
+            }
+            let table = strata
+                .entry(key)
+                .or_insert_with(|| vec![0u64; rx * ry]);
+            table[cx.code(row) as usize * ry + cy.code(row) as usize] += 1;
+        }
+
+        let mut stat = 0.0;
+        let mut df_total = 0.0;
+        for table in strata.values() {
+            if let Some(r) = faircap_table::stats::g2_independence(table, rx, ry) {
+                stat += r.statistic;
+                df_total += r.df;
+            }
+        }
+        if df_total == 0.0 {
+            return Ok(1.0);
+        }
+        Ok(chi2_sf(stat, df_total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scm::{bernoulli, Scm};
+    use faircap_table::Value;
+
+    /// a → b → c chain: a ⊥̸ c marginally, a ⊥ c | b.
+    fn chain_data() -> DataFrame {
+        Scm::new()
+            .categorical("a", &[("0", 0.5), ("1", 0.5)])
+            .unwrap()
+            .node(
+                "b",
+                &["a"],
+                Box::new(|row, rng| {
+                    let p = if row.str("a") == "1" { 0.85 } else { 0.15 };
+                    Value::Str(if bernoulli(rng, p) { "1" } else { "0" }.into())
+                }),
+            )
+            .unwrap()
+            .node(
+                "c",
+                &["b"],
+                Box::new(|row, rng| {
+                    let p = if row.str("b") == "1" { 0.85 } else { 0.15 };
+                    Value::Str(if bernoulli(rng, p) { "1" } else { "0" }.into())
+                }),
+            )
+            .unwrap()
+            .sample(3000, 5)
+            .unwrap()
+    }
+
+    fn ci(df: &DataFrame) -> CiData {
+        let names: Vec<String> = df.names().to_vec();
+        CiData::new(df, &names).unwrap()
+    }
+
+    #[test]
+    fn chain_dependencies_detected() {
+        let df = chain_data();
+        let data = ci(&df);
+        let all = Mask::ones(df.n_rows());
+        // a, b, c are indices 0, 1, 2.
+        let p_marginal = data.ci_test(0, 2, &[], &all).unwrap();
+        assert!(p_marginal < 0.01, "a and c are dependent: p = {p_marginal}");
+        let p_cond = data.ci_test(0, 2, &[1], &all).unwrap();
+        assert!(p_cond > 0.05, "a ⊥ c | b: p = {p_cond}");
+    }
+
+    #[test]
+    fn independent_variables_not_rejected() {
+        let df = Scm::new()
+            .categorical("x", &[("0", 0.5), ("1", 0.5)])
+            .unwrap()
+            .categorical("y", &[("0", 0.3), ("1", 0.7)])
+            .unwrap()
+            .sample(3000, 9)
+            .unwrap();
+        let data = ci(&df);
+        let p = data.ci_test(0, 1, &[], &Mask::ones(df.n_rows())).unwrap();
+        assert!(p > 0.05, "independent: p = {p}");
+    }
+
+    #[test]
+    fn collider_conditioning_induces_dependence() {
+        // x → s ← y; x ⊥ y but x ⊥̸ y | s.
+        let df = Scm::new()
+            .categorical("x", &[("0", 0.5), ("1", 0.5)])
+            .unwrap()
+            .categorical("y", &[("0", 0.5), ("1", 0.5)])
+            .unwrap()
+            .node(
+                "s",
+                &["x", "y"],
+                Box::new(|row, rng| {
+                    let same = row.str("x") == row.str("y");
+                    let p = if same { 0.9 } else { 0.1 };
+                    Value::Str(if bernoulli(rng, p) { "1" } else { "0" }.into())
+                }),
+            )
+            .unwrap()
+            .sample(3000, 13)
+            .unwrap();
+        let data = ci(&df);
+        let all = Mask::ones(df.n_rows());
+        assert!(data.ci_test(0, 1, &[], &all).unwrap() > 0.05);
+        assert!(data.ci_test(0, 1, &[2], &all).unwrap() < 0.01);
+    }
+
+    #[test]
+    fn numeric_columns_are_binned() {
+        let df = DataFrame::builder()
+            .int("x", (0..300).map(|i| i % 3).collect())
+            .int("y", (0..300).map(|i| (i % 3) * 10).collect())
+            .build()
+            .unwrap();
+        let data = ci(&df);
+        let p = data.ci_test(0, 1, &[], &Mask::ones(300)).unwrap();
+        assert!(p < 1e-6, "perfectly correlated: p = {p}");
+    }
+
+    #[test]
+    fn untestable_returns_one() {
+        // Constant column: no effective levels → p = 1.
+        let df = DataFrame::builder()
+            .cat("x", &["k"; 50])
+            .cat("y", &(0..50).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        let data = ci(&df);
+        assert_eq!(data.ci_test(0, 1, &[], &Mask::ones(50)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn same_variable_rejected() {
+        let df = chain_data();
+        let data = ci(&df);
+        assert!(data.ci_test(0, 0, &[], &Mask::ones(df.n_rows())).is_err());
+    }
+}

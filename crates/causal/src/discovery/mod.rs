@@ -1,0 +1,11 @@
+//! Causal discovery from observational data.
+//!
+//! Provides the PC-stable algorithm ([`pc::pc_dag`]) over discretized data
+//! with G² conditional-independence tests ([`ci::CiData`]). Used to produce
+//! the "PC DAG" variant of the paper's Table 6 robustness experiment.
+
+pub mod ci;
+pub mod pc;
+
+pub use ci::CiData;
+pub use pc::{pc_dag, PcConfig};

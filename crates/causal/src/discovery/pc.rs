@@ -1,0 +1,468 @@
+//! The PC-stable causal discovery algorithm.
+//!
+//! Produces a DAG from observational data, used by the paper's Table 6
+//! ("PC DAG" robustness row):
+//!
+//! 1. **Skeleton** — start complete; remove the edge `x − y` whenever a
+//!    conditioning set `S ⊆ adj(x) \ {y}` (or of `y`) makes them independent
+//!    per the G² test. PC-stable: neighborhoods are frozen per level, making
+//!    the result order-independent.
+//! 2. **V-structures** — for non-adjacent `x, y` with common neighbor `z`,
+//!    orient `x → z ← y` when `z` is not in the separating set.
+//! 3. **Meek rules R1–R3** — propagate forced orientations (R4 only applies
+//!    with background knowledge, which we do not use).
+//! 4. **DAG extension** — orient remaining undirected edges in a
+//!    deterministic order that avoids directed cycles.
+
+use super::ci::CiData;
+use crate::error::Result;
+use crate::graph::Dag;
+use faircap_table::{DataFrame, Mask};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for [`pc_dag`].
+#[derive(Debug, Clone, Copy)]
+pub struct PcConfig {
+    /// Significance level for the CI tests (edges are *removed* when
+    /// `p > alpha`). 0.05 is conventional.
+    pub alpha: f64,
+    /// Largest conditioning-set size examined.
+    pub max_cond_size: usize,
+}
+
+impl Default for PcConfig {
+    fn default() -> Self {
+        PcConfig {
+            alpha: 0.05,
+            max_cond_size: 3,
+        }
+    }
+}
+
+/// Partially directed graph used internally during orientation.
+struct Pdag {
+    n: usize,
+    /// `directed[i]` contains `j` when `i → j` is oriented.
+    directed: Vec<HashSet<usize>>,
+    /// Undirected edges as `(min, max)` pairs.
+    undirected: HashSet<(usize, usize)>,
+}
+
+impl Pdag {
+    fn new(n: usize) -> Pdag {
+        Pdag {
+            n,
+            directed: vec![HashSet::new(); n],
+            undirected: HashSet::new(),
+        }
+    }
+
+    fn key(a: usize, b: usize) -> (usize, usize) {
+        (a.min(b), a.max(b))
+    }
+
+    fn adjacent(&self, a: usize, b: usize) -> bool {
+        self.undirected.contains(&Self::key(a, b))
+            || self.directed[a].contains(&b)
+            || self.directed[b].contains(&a)
+    }
+
+    fn has_undirected(&self, a: usize, b: usize) -> bool {
+        self.undirected.contains(&Self::key(a, b))
+    }
+
+    /// Orient `a → b` (removing any undirected mark). Refuses orientations
+    /// that contradict an existing `b → a`.
+    fn orient(&mut self, a: usize, b: usize) -> bool {
+        if self.directed[b].contains(&a) {
+            return false;
+        }
+        self.undirected.remove(&Self::key(a, b));
+        self.directed[a].insert(b)
+    }
+
+    /// Directed-reachability: can we walk `from ⇒ to` using oriented edges?
+    fn reaches(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &self.directed[u] {
+                if v == to {
+                    return true;
+                }
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// Apply Meek rules R1–R3 until fixpoint.
+    fn meek(&mut self) {
+        loop {
+            let mut changed = false;
+            let edges: Vec<(usize, usize)> = self.undirected.iter().copied().collect();
+            for (x, y) in edges {
+                for (b, c) in [(x, y), (y, x)] {
+                    if !self.has_undirected(b, c) {
+                        continue;
+                    }
+                    // R1: a → b, b − c, a ∦ c  ⇒  b → c.
+                    let r1 = (0..self.n).any(|a| {
+                        a != c && self.directed[a].contains(&b) && !self.adjacent(a, c)
+                    });
+                    if r1 && self.orient(b, c) {
+                        changed = true;
+                        continue;
+                    }
+                    // R2: b → a → c with b − c  ⇒  b → c (avoid a cycle).
+                    let r2 = (0..self.n).any(|a| {
+                        self.directed[b].contains(&a) && self.directed[a].contains(&c)
+                    });
+                    if r2 && self.orient(b, c) {
+                        changed = true;
+                        continue;
+                    }
+                    // R3: b − a1, b − a2, a1 → c, a2 → c, a1 ∦ a2  ⇒  b → c.
+                    let nbrs: Vec<usize> = (0..self.n)
+                        .filter(|&a| self.has_undirected(b, a) && self.directed[a].contains(&c))
+                        .collect();
+                    let r3 = nbrs.iter().enumerate().any(|(i, &a1)| {
+                        nbrs[i + 1..].iter().any(|&a2| !self.adjacent(a1, a2))
+                    });
+                    if r3 && self.orient(b, c) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+}
+
+/// Enumerate all `k`-subsets of `items`, invoking `f`; stops early when `f`
+/// returns `true` and propagates that.
+fn for_each_subset(items: &[usize], k: usize, f: &mut impl FnMut(&[usize]) -> bool) -> bool {
+    fn rec(
+        items: &[usize],
+        k: usize,
+        start: usize,
+        buf: &mut Vec<usize>,
+        f: &mut impl FnMut(&[usize]) -> bool,
+    ) -> bool {
+        if buf.len() == k {
+            return f(buf);
+        }
+        for i in start..items.len() {
+            buf.push(items[i]);
+            if rec(items, k, i + 1, buf, f) {
+                return true;
+            }
+            buf.pop();
+        }
+        false
+    }
+    rec(items, k, 0, &mut Vec::with_capacity(k), f)
+}
+
+/// Run PC-stable over the named columns of `df` and return a DAG.
+pub fn pc_dag(df: &DataFrame, variables: &[String], config: PcConfig) -> Result<Dag> {
+    let data = CiData::new(df, variables)?;
+    let n = data.n_vars();
+    let all_rows = Mask::ones(data.n_rows());
+
+    // --- Phase 1: skeleton (PC-stable). ---
+    let mut adj: Vec<HashSet<usize>> = (0..n)
+        .map(|i| (0..n).filter(|&j| j != i).collect())
+        .collect();
+    let mut sepset: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    for level in 0..=config.max_cond_size {
+        // Freeze neighborhoods for this level (the "stable" part).
+        let frozen = adj.clone();
+        let mut removals: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+        for x in 0..n {
+            for &y in frozen[x].iter() {
+                if y < x || !adj[x].contains(&y) {
+                    continue;
+                }
+                let mut candidates: Vec<usize> =
+                    frozen[x].iter().copied().filter(|&v| v != y).collect();
+                candidates.sort_unstable();
+                let mut other: Vec<usize> =
+                    frozen[y].iter().copied().filter(|&v| v != x).collect();
+                other.sort_unstable();
+                let mut separated: Option<Vec<usize>> = None;
+                for cands in [&candidates, &other] {
+                    if cands.len() < level || separated.is_some() {
+                        continue;
+                    }
+                    for_each_subset(cands, level, &mut |s| {
+                        match data.ci_test(x, y, s, &all_rows) {
+                            Ok(p) if p > config.alpha => {
+                                separated = Some(s.to_vec());
+                                true
+                            }
+                            _ => false,
+                        }
+                    });
+                }
+                if let Some(s) = separated {
+                    removals.push((x, y, s));
+                }
+            }
+        }
+        for (x, y, s) in removals {
+            adj[x].remove(&y);
+            adj[y].remove(&x);
+            sepset.insert((x.min(y), x.max(y)), s);
+        }
+        if adj.iter().all(|a| a.len() <= level) {
+            break;
+        }
+    }
+
+    // --- Phase 2: v-structures. ---
+    let mut g = Pdag::new(n);
+    for (x, neighbors) in adj.iter().enumerate() {
+        for &y in neighbors {
+            if x < y {
+                g.undirected.insert((x, y));
+            }
+        }
+    }
+    for z in 0..n {
+        let nbrs: Vec<usize> = adj[z].iter().copied().collect();
+        for (i, &x) in nbrs.iter().enumerate() {
+            for &y in &nbrs[i + 1..] {
+                if adj[x].contains(&y) {
+                    continue; // x, y adjacent: not an unshielded triple
+                }
+                let s = sepset.get(&(x.min(y), x.max(y)));
+                if s.map(|s| !s.contains(&z)).unwrap_or(false) {
+                    g.orient(x, z);
+                    g.orient(y, z);
+                }
+            }
+        }
+    }
+
+    // --- Phase 3: Meek rules. ---
+    g.meek();
+
+    // --- Phase 4: extend to a DAG. ---
+    // Orient remaining undirected edges in deterministic order, low → high
+    // index unless that creates a directed cycle, re-running Meek each time.
+    loop {
+        let mut edges: Vec<(usize, usize)> = g.undirected.iter().copied().collect();
+        if edges.is_empty() {
+            break;
+        }
+        edges.sort_unstable();
+        let (a, b) = edges[0];
+        if !g.reaches(b, a) {
+            g.orient(a, b);
+        } else {
+            g.orient(b, a);
+        }
+        g.meek();
+    }
+
+    // Materialize the Dag.
+    let mut dag = Dag::new();
+    for name in variables {
+        dag.ensure_node(name);
+    }
+    // Deterministic edge order.
+    for a in 0..n {
+        let mut tos: Vec<usize> = g.directed[a].iter().copied().collect();
+        tos.sort_unstable();
+        for b in tos {
+            // A contradictory double orientation cannot survive `orient`,
+            // and cycles are prevented in phase 4; still, skip defensively.
+            if dag
+                .add_edge_by_name(&variables[a], &variables[b])
+                .is_err()
+            {
+                continue;
+            }
+        }
+    }
+    Ok(dag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scm::{bernoulli, Scm};
+    use faircap_table::Value;
+
+    fn binary(dep: f64) -> impl Fn(&crate::scm::Row<'_>, &str) -> f64 {
+        move |row, parent| {
+            if row.str(parent) == "1" {
+                dep
+            } else {
+                1.0 - dep
+            }
+        }
+    }
+
+    /// Collider x → z ← y is identifiable from observational data alone.
+    #[test]
+    fn recovers_collider() {
+        let scm = Scm::new()
+            .categorical("x", &[("0", 0.5), ("1", 0.5)])
+            .unwrap()
+            .categorical("y", &[("0", 0.5), ("1", 0.5)])
+            .unwrap()
+            .node(
+                "z",
+                &["x", "y"],
+                Box::new(|row, rng| {
+                    let p = match (row.str("x"), row.str("y")) {
+                        ("1", "1") => 0.95,
+                        ("0", "0") => 0.05,
+                        _ => 0.5,
+                    };
+                    Value::Str(if bernoulli(rng, p) { "1" } else { "0" }.into())
+                }),
+            )
+            .unwrap();
+        let df = scm.sample(4000, 21).unwrap();
+        let vars: Vec<String> = df.names().to_vec();
+        let dag = pc_dag(&df, &vars, PcConfig::default()).unwrap();
+        let x = dag.node("x").unwrap();
+        let y = dag.node("y").unwrap();
+        let z = dag.node("z").unwrap();
+        assert!(dag.has_edge(x, z), "x → z expected\n{}", dag.to_dot());
+        assert!(dag.has_edge(y, z), "y → z expected\n{}", dag.to_dot());
+        assert!(!dag.has_edge(x, y) && !dag.has_edge(y, x));
+    }
+
+    /// Chain a → b → c: skeleton a−b−c with no a−c edge; orientation of a
+    /// chain is not identifiable (Markov equivalence), so we only check the
+    /// skeleton and acyclicity.
+    #[test]
+    fn chain_skeleton_correct() {
+        let f = binary(0.85);
+        let scm = Scm::new()
+            .categorical("a", &[("0", 0.5), ("1", 0.5)])
+            .unwrap()
+            .node(
+                "b",
+                &["a"],
+                Box::new(move |row, rng| {
+                    Value::Str(if bernoulli(rng, f(row, "a")) { "1" } else { "0" }.into())
+                }),
+            )
+            .unwrap()
+            .node(
+                "c",
+                &["b"],
+                Box::new(|row, rng| {
+                    let p = if row.str("b") == "1" { 0.85 } else { 0.15 };
+                    Value::Str(if bernoulli(rng, p) { "1" } else { "0" }.into())
+                }),
+            )
+            .unwrap();
+        let df = scm.sample(4000, 33).unwrap();
+        let vars: Vec<String> = df.names().to_vec();
+        let dag = pc_dag(&df, &vars, PcConfig::default()).unwrap();
+        let a = dag.node("a").unwrap();
+        let b = dag.node("b").unwrap();
+        let c = dag.node("c").unwrap();
+        let linked = |u, v| dag.has_edge(u, v) || dag.has_edge(v, u);
+        assert!(linked(a, b), "a−b missing");
+        assert!(linked(b, c), "b−c missing");
+        assert!(!linked(a, c), "a−c must be absent");
+        // DAG extension must produce a directed acyclic graph.
+        assert_eq!(dag.topological_order().len(), 3);
+    }
+
+    #[test]
+    fn independent_variables_no_edges() {
+        let scm = Scm::new()
+            .categorical("p", &[("0", 0.5), ("1", 0.5)])
+            .unwrap()
+            .categorical("q", &[("0", 0.4), ("1", 0.6)])
+            .unwrap()
+            .categorical("r", &[("0", 0.7), ("1", 0.3)])
+            .unwrap();
+        let df = scm.sample(3000, 40).unwrap();
+        let vars: Vec<String> = df.names().to_vec();
+        let dag = pc_dag(&df, &vars, PcConfig::default()).unwrap();
+        assert_eq!(dag.n_edges(), 0, "{}", dag.to_dot());
+    }
+
+    #[test]
+    fn subset_enumeration() {
+        let items = [1usize, 2, 3, 4];
+        let mut seen = Vec::new();
+        for_each_subset(&items, 2, &mut |s| {
+            seen.push(s.to_vec());
+            false
+        });
+        assert_eq!(seen.len(), 6);
+        assert!(seen.contains(&vec![1, 3]));
+        // early stop works
+        let mut count = 0;
+        let stopped = for_each_subset(&items, 2, &mut |_| {
+            count += 1;
+            count == 2
+        });
+        assert!(stopped);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn result_is_always_acyclic() {
+        // Denser structure; whatever PC finds, the extension must be a DAG.
+        let scm = Scm::new()
+            .categorical("a", &[("0", 0.5), ("1", 0.5)])
+            .unwrap()
+            .node(
+                "b",
+                &["a"],
+                Box::new(|row, rng| {
+                    let p = if row.str("a") == "1" { 0.8 } else { 0.2 };
+                    Value::Str(if bernoulli(rng, p) { "1" } else { "0" }.into())
+                }),
+            )
+            .unwrap()
+            .node(
+                "c",
+                &["a", "b"],
+                Box::new(|row, rng| {
+                    let mut p: f64 = 0.2;
+                    if row.str("a") == "1" {
+                        p += 0.3;
+                    }
+                    if row.str("b") == "1" {
+                        p += 0.3;
+                    }
+                    Value::Str(if bernoulli(rng, p) { "1" } else { "0" }.into())
+                }),
+            )
+            .unwrap()
+            .node(
+                "d",
+                &["c"],
+                Box::new(|row, rng| {
+                    let p = if row.str("c") == "1" { 0.85 } else { 0.15 };
+                    Value::Str(if bernoulli(rng, p) { "1" } else { "0" }.into())
+                }),
+            )
+            .unwrap();
+        let df = scm.sample(4000, 55).unwrap();
+        let vars: Vec<String> = df.names().to_vec();
+        let dag = pc_dag(&df, &vars, PcConfig::default()).unwrap();
+        assert_eq!(dag.topological_order().len(), dag.n_nodes());
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types for the causal substrate.
+
+use std::fmt;
+
+/// Errors raised by causal-graph and estimation operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CausalError {
+    /// Referenced a variable not present in the graph.
+    UnknownVariable(String),
+    /// Adding an edge would create a directed cycle.
+    CycleDetected {
+        /// Edge source.
+        from: String,
+        /// Edge target.
+        to: String,
+    },
+    /// A variable was declared twice.
+    DuplicateVariable(String),
+    /// Estimation failed (degenerate design, no overlap, singular system…).
+    Estimation(String),
+    /// The underlying table layer reported an error.
+    Table(faircap_table::TableError),
+    /// Structural-equation specification problem.
+    Scm(String),
+}
+
+impl fmt::Display for CausalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CausalError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            CausalError::CycleDetected { from, to } => {
+                write!(f, "edge {from} -> {to} would create a cycle")
+            }
+            CausalError::DuplicateVariable(v) => write!(f, "duplicate variable `{v}`"),
+            CausalError::Estimation(msg) => write!(f, "estimation failed: {msg}"),
+            CausalError::Table(e) => write!(f, "table error: {e}"),
+            CausalError::Scm(msg) => write!(f, "scm error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CausalError {}
+
+impl From<faircap_table::TableError> for CausalError {
+    fn from(e: faircap_table::TableError) -> Self {
+        CausalError::Table(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CausalError>;

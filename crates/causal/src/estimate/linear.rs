@@ -1,0 +1,242 @@
+//! OLS linear-adjustment CATE estimator.
+//!
+//! Fits `O ~ 1 + T + Z` on the subgroup rows, where `T` is the 0/1 treatment
+//! indicator and `Z` the one-hot-encoded adjustment covariates (first level
+//! dropped per covariate; numeric covariates enter directly). The coefficient
+//! on `T` is the CATE; its standard error comes from `σ̂²(XᵀX)⁻¹`.
+
+use super::{design, Estimate, MIN_ARM_SIZE};
+use crate::error::{CausalError, Result};
+use crate::linalg::{inverse_spd, solve_spd, Matrix};
+use faircap_table::stats::t_sf_two_sided;
+use faircap_table::{DataFrame, Mask};
+
+/// Estimate the CATE by linear regression. See module docs.
+pub fn estimate(
+    df: &DataFrame,
+    group: &Mask,
+    treated: &Mask,
+    outcome: &str,
+    adjustment: &[String],
+) -> Result<Estimate> {
+    let in_group: Vec<usize> = group.to_indices();
+    let n = in_group.len();
+    let n_treated = group.intersect_count(treated);
+    let n_control = n - n_treated;
+    if n_treated < MIN_ARM_SIZE || n_control < MIN_ARM_SIZE {
+        return Err(CausalError::Estimation(format!(
+            "insufficient overlap: {n_treated} treated / {n_control} control"
+        )));
+    }
+
+    // Column layout: [intercept, T, covariate blocks...].
+    let (blocks, z_width) = design::build_blocks(df, adjustment, group)?;
+    let k: usize = 2 + z_width;
+    if n <= k + 1 {
+        return Err(CausalError::Estimation(format!(
+            "too few rows ({n}) for {k} regressors"
+        )));
+    }
+
+    let outcome_col = df.column(outcome)?;
+    let mut x = Matrix::zeros(n, k);
+    let mut y = vec![0.0; n];
+    for (r, &row) in in_group.iter().enumerate() {
+        y[r] = outcome_col.get_f64(row).ok_or_else(|| {
+            CausalError::Estimation(format!("outcome `{outcome}` is not numeric"))
+        })?;
+        let xr = x.row_mut(r);
+        xr[0] = 1.0;
+        xr[1] = if treated.get(row) { 1.0 } else { 0.0 };
+        let mut offset = 2;
+        for b in &blocks {
+            b.fill(row, &mut xr[offset..offset + b.width()]);
+            offset += b.width();
+        }
+    }
+
+    let gram = x.gram();
+    let xty = x.t_mul_vec(&y);
+    let beta = solve_spd(&gram, &xty)?;
+
+    // Residual variance and the (1,1) entry of (XᵀX)⁻¹ for the SE of T.
+    let fitted = x.mul_vec(&beta);
+    let rss: f64 = y
+        .iter()
+        .zip(&fitted)
+        .map(|(yi, fi)| (yi - fi) * (yi - fi))
+        .sum();
+    let dof = (n - k) as f64;
+    let sigma2 = rss / dof;
+    let inv = inverse_spd(&gram)?;
+    let var_t = sigma2 * inv.get(1, 1);
+    let cate = beta[1];
+    if var_t <= 0.0 || !var_t.is_finite() {
+        return Err(CausalError::Estimation(
+            "degenerate variance for treatment coefficient".into(),
+        ));
+    }
+    let std_err = var_t.sqrt();
+    let t_stat = cate / std_err;
+    Ok(Estimate {
+        cate,
+        std_err,
+        t_stat,
+        p_value: t_sf_two_sided(t_stat, dof),
+        n_treated,
+        n_control,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faircap_table::DataFrame;
+
+    /// Confounded data where the truth is known exactly:
+    /// z ∈ {0,1}; T more likely when z=1; O = 10·T + 50·z (no noise).
+    /// Naive difference-in-means is biased upward; adjustment recovers 10.
+    fn confounded_frame() -> (DataFrame, Mask) {
+        let mut z = Vec::new();
+        let mut t = Vec::new();
+        let mut o = Vec::new();
+        // z=0: 40 rows, 10 treated; z=1: 40 rows, 30 treated.
+        for i in 0..40 {
+            z.push("low");
+            let ti = i < 10;
+            t.push(ti);
+            o.push(if ti { 10.0 } else { 0.0 });
+        }
+        for i in 0..40 {
+            z.push("high");
+            let ti = i < 30;
+            t.push(ti);
+            o.push(50.0 + if ti { 10.0 } else { 0.0 });
+        }
+        let treated = Mask::from_bools(&t);
+        let df = DataFrame::builder()
+            .cat("z", &z)
+            .bool("t", t)
+            .float("o", o)
+            .build()
+            .unwrap();
+        (df, treated)
+    }
+
+    #[test]
+    fn recovers_true_effect_under_confounding() {
+        let (df, treated) = confounded_frame();
+        let all = Mask::ones(df.n_rows());
+        let est = estimate(&df, &all, &treated, "o", &["z".into()]).unwrap();
+        assert!((est.cate - 10.0).abs() < 1e-8, "cate = {}", est.cate);
+        assert!(est.p_value < 1e-6);
+        assert_eq!(est.n_treated, 40);
+        assert_eq!(est.n_control, 40);
+    }
+
+    #[test]
+    fn naive_estimate_is_biased() {
+        let (df, treated) = confounded_frame();
+        let all = Mask::ones(df.n_rows());
+        // No adjustment: E[O|T=1] = (10·10 + 30·60)/40 = 47.5,
+        // E[O|T=0] = (30·0 + 10·50)/40 = 12.5 → naive effect 35.
+        let est = estimate(&df, &all, &treated, "o", &[]).unwrap();
+        assert!((est.cate - 35.0).abs() < 1e-8, "naive = {}", est.cate);
+    }
+
+    #[test]
+    fn numeric_covariate_adjustment() {
+        // O = 5·T + 2·age, T correlated with age.
+        let n = 200;
+        let mut age = Vec::new();
+        let mut t = Vec::new();
+        let mut o = Vec::new();
+        for i in 0..n {
+            let a = 20 + (i % 40) as i64;
+            let ti = a >= 40;
+            age.push(a);
+            t.push(ti);
+            o.push(5.0 * ti as i64 as f64 + 2.0 * a as f64);
+        }
+        let treated = Mask::from_bools(&t);
+        let df = DataFrame::builder()
+            .int("age", age)
+            .float("o", o)
+            .build()
+            .unwrap();
+        let all = Mask::ones(n);
+        let est = estimate(&df, &all, &treated, "o", &["age".into()]).unwrap();
+        assert!((est.cate - 5.0).abs() < 1e-8, "cate = {}", est.cate);
+    }
+
+    #[test]
+    fn subgroup_estimation_restricts_rows() {
+        let (df, treated) = confounded_frame();
+        // Only the z=low stratum: effect is exactly 10 with no confounding.
+        let low = faircap_table::Pattern::of_eq(&[("z", "low".into())])
+            .coverage(&df)
+            .unwrap();
+        let est = estimate(&df, &low, &treated, "o", &[]).unwrap();
+        assert!((est.cate - 10.0).abs() < 1e-8);
+        assert_eq!(est.n_treated + est.n_control, 40);
+    }
+
+    #[test]
+    fn insufficient_overlap_rejected() {
+        let df = DataFrame::builder()
+            .float("o", vec![1.0; 20])
+            .build()
+            .unwrap();
+        let all = Mask::ones(20);
+        let treated = Mask::from_indices(20, &[0, 1]); // 2 treated < MIN_ARM_SIZE
+        assert!(estimate(&df, &all, &treated, "o", &[]).is_err());
+        let all_treated = Mask::ones(20);
+        assert!(estimate(&df, &all, &all_treated, "o", &[]).is_err());
+    }
+
+    #[test]
+    fn categorical_outcome_rejected() {
+        let df = DataFrame::builder()
+            .cat("o", &["a"; 20])
+            .bool("t", vec![true; 20])
+            .build()
+            .unwrap();
+        let all = Mask::ones(20);
+        let treated = Mask::from_indices(20, &(0..10).collect::<Vec<_>>());
+        assert!(estimate(&df, &all, &treated, "o", &[]).is_err());
+    }
+
+    #[test]
+    fn noisy_effect_significant_and_null_not() {
+        // Deterministic pseudo-noise (no rand dependency needed here).
+        let n = 400;
+        let mut t = Vec::new();
+        let mut o_effect = Vec::new();
+        let mut o_null = Vec::new();
+        let mut state = 0x12345678u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        for i in 0..n {
+            let ti = i % 2 == 0;
+            t.push(ti);
+            let noise = rng() * 4.0;
+            o_effect.push(if ti { 8.0 } else { 0.0 } + noise);
+            o_null.push(noise);
+        }
+        let treated = Mask::from_bools(&t);
+        let all = Mask::ones(n);
+        let df = DataFrame::builder()
+            .float("oe", o_effect)
+            .float("on", o_null)
+            .build()
+            .unwrap();
+        let sig = estimate(&df, &all, &treated, "oe", &[]).unwrap();
+        assert!(sig.is_significant(0.01), "p = {}", sig.p_value);
+        let null = estimate(&df, &all, &treated, "on", &[]).unwrap();
+        assert!(!null.is_significant(0.01), "p = {}", null.p_value);
+    }
+}

@@ -1,0 +1,478 @@
+//! Causal DAGs (Pearl's graphical causal model, Section 3 of the paper).
+//!
+//! Nodes are the observed endogenous variables; exogenous variables are
+//! implicit. The graph enforces acyclicity on every edge insertion.
+
+use crate::error::{CausalError, Result};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Index of a node inside a [`Dag`].
+pub type NodeId = usize;
+
+/// A directed acyclic graph over named variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dag {
+    names: Vec<String>,
+    by_name: HashMap<String, NodeId>,
+    parents: Vec<Vec<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+}
+
+impl Dag {
+    /// An empty graph.
+    pub fn new() -> Dag {
+        Dag {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+            parents: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Build from a list of `(parent, child)` name pairs. Nodes are created
+    /// on first mention.
+    pub fn from_edges(edges: &[(&str, &str)]) -> Result<Dag> {
+        let mut g = Dag::new();
+        for &(a, b) in edges {
+            let a = g.ensure_node(a);
+            let b = g.ensure_node(b);
+            g.add_edge(a, b)?;
+        }
+        Ok(g)
+    }
+
+    /// Add a node, erroring if the name already exists.
+    pub fn add_node(&mut self, name: &str) -> Result<NodeId> {
+        if self.by_name.contains_key(name) {
+            return Err(CausalError::DuplicateVariable(name.to_owned()));
+        }
+        Ok(self.insert_node(name))
+    }
+
+    /// Get the id for `name`, creating the node if needed.
+    pub fn ensure_node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        self.insert_node(name)
+    }
+
+    fn insert_node(&mut self, name: &str) -> NodeId {
+        let id = self.names.len();
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        self.parents.push(Vec::new());
+        self.children.push(Vec::new());
+        id
+    }
+
+    /// Add a directed edge, rejecting duplicates silently and cycles with an
+    /// error.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<()> {
+        if self.children[from].contains(&to) {
+            return Ok(());
+        }
+        if from == to || self.is_reachable(to, from) {
+            return Err(CausalError::CycleDetected {
+                from: self.names[from].clone(),
+                to: self.names[to].clone(),
+            });
+        }
+        self.children[from].push(to);
+        self.parents[to].push(from);
+        Ok(())
+    }
+
+    /// Add an edge by node names, creating nodes as needed.
+    pub fn add_edge_by_name(&mut self, from: &str, to: &str) -> Result<()> {
+        let a = self.ensure_node(from);
+        let b = self.ensure_node(to);
+        self.add_edge(a, b)
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.children.iter().map(|c| c.len()).sum()
+    }
+
+    /// Node id for a name.
+    pub fn node(&self, name: &str) -> Result<NodeId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| CausalError::UnknownVariable(name.to_owned()))
+    }
+
+    /// True if the variable exists.
+    pub fn has_node(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Name of a node id.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id]
+    }
+
+    /// All node names in insertion order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Direct parents of a node.
+    pub fn parents(&self, id: NodeId) -> &[NodeId] {
+        &self.parents[id]
+    }
+
+    /// Direct children of a node.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.children[id]
+    }
+
+    /// True if the directed edge exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.children[from].contains(&to)
+    }
+
+    /// True if `to` is reachable from `from` by directed edges (reflexive).
+    pub fn is_reachable(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.n_nodes()];
+        let mut queue = VecDeque::from([from]);
+        seen[from] = true;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.children[u] {
+                if v == to {
+                    return true;
+                }
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// All ancestors of the given nodes (not reflexive).
+    pub fn ancestors(&self, of: &[NodeId]) -> HashSet<NodeId> {
+        self.closure(of, |id| &self.parents[id])
+    }
+
+    /// All descendants of the given nodes (not reflexive).
+    pub fn descendants(&self, of: &[NodeId]) -> HashSet<NodeId> {
+        self.closure(of, |id| &self.children[id])
+    }
+
+    fn closure<'a, F>(&'a self, of: &[NodeId], next: F) -> HashSet<NodeId>
+    where
+        F: Fn(NodeId) -> &'a [NodeId],
+    {
+        let mut seen = HashSet::new();
+        let mut queue: VecDeque<NodeId> = of.iter().copied().collect();
+        while let Some(u) = queue.pop_front() {
+            for &v in next(u) {
+                if seen.insert(v) {
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Topological order of all nodes (parents before children).
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        let mut in_deg: Vec<usize> = self.parents.iter().map(|p| p.len()).collect();
+        let mut queue: VecDeque<NodeId> = (0..self.n_nodes()).filter(|&i| in_deg[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.n_nodes());
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &self.children[u] {
+                in_deg[v] -= 1;
+                if in_deg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.n_nodes(), "graph must be acyclic");
+        order
+    }
+
+    /// The graph with all edges *out of* the given nodes removed — used for
+    /// backdoor-criterion checks (`G` with `T`'s outgoing edges cut).
+    pub fn without_outgoing(&self, nodes: &[NodeId]) -> Dag {
+        let cut: HashSet<NodeId> = nodes.iter().copied().collect();
+        let mut g = self.clone();
+        for &u in &cut {
+            for &v in &self.children[u] {
+                g.parents[v].retain(|&p| p != u);
+            }
+            g.children[u].clear();
+        }
+        g
+    }
+
+    /// The subgraph induced by the named nodes: keeps only those nodes and
+    /// the edges between them. Names not present in the graph are ignored.
+    ///
+    /// Note: paths through dropped nodes are *not* contracted; this is the
+    /// plain induced subgraph, used by the attribute-count scalability
+    /// benchmarks where exact identification is not the point.
+    pub fn induced_subgraph(&self, keep: &[&str]) -> Dag {
+        let mut g = Dag::new();
+        for &name in keep {
+            if self.has_node(name) {
+                g.ensure_node(name);
+            }
+        }
+        for &name in keep {
+            let Ok(u) = self.node(name) else { continue };
+            for &v in &self.children[u] {
+                let child = &self.names[v];
+                if g.has_node(child) {
+                    g.add_edge_by_name(name, child)
+                        .expect("subgraph of a DAG is acyclic");
+                }
+            }
+        }
+        g
+    }
+
+    /// Parse a DAG from an edge-list text format: one `A -> B` per line
+    /// (an optional trailing `;` and `#`-comments are allowed, as are the
+    /// node/edge lines of [`Dag::to_dot`] output with quoted names).
+    pub fn parse_edge_list(text: &str) -> Result<Dag> {
+        let mut g = Dag::new();
+        for raw in text.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            let line = line.strip_suffix(';').unwrap_or(line).trim();
+            if line.is_empty()
+                || line.starts_with("digraph")
+                || line == "{"
+                || line == "}"
+            {
+                continue;
+            }
+            let unquote = |s: &str| s.trim().trim_matches('"').to_owned();
+            match line.split_once("->") {
+                Some((from, to)) => {
+                    g.add_edge_by_name(&unquote(from), &unquote(to))?;
+                }
+                None => {
+                    // a bare node declaration
+                    g.ensure_node(&unquote(line));
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Render in GraphViz DOT format.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph G {\n");
+        for name in &self.names {
+            s.push_str(&format!("  \"{name}\";\n"));
+        }
+        for (u, children) in self.children.iter().enumerate() {
+            for &v in children {
+                s.push_str(&format!("  \"{}\" -> \"{}\";\n", self.names[u], self.names[v]));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl Default for Dag {
+    fn default() -> Self {
+        Dag::new()
+    }
+}
+
+impl fmt::Display for Dag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dag[{} nodes, {} edges]", self.n_nodes(), self.n_edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 (partial SO DAG).
+    fn fig1() -> Dag {
+        Dag::from_edges(&[
+            ("Ethnicity", "Role"),
+            ("Gender", "Role"),
+            ("Age", "Role"),
+            ("Age", "Education"),
+            ("Education", "Role"),
+            ("Education", "Salary"),
+            ("Role", "Salary"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let g = fig1();
+        assert_eq!(g.n_nodes(), 6);
+        assert_eq!(g.n_edges(), 7);
+        let role = g.node("Role").unwrap();
+        let salary = g.node("Salary").unwrap();
+        assert!(g.has_edge(role, salary));
+        assert!(!g.has_edge(salary, role));
+        assert!(g.node("Nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut g = Dag::new();
+        g.add_node("A").unwrap();
+        assert!(matches!(
+            g.add_node("A"),
+            Err(CausalError::DuplicateVariable(_))
+        ));
+        // ensure_node is idempotent
+        assert_eq!(g.ensure_node("A"), 0);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g = Dag::from_edges(&[("A", "B"), ("B", "C")]).unwrap();
+        let c = g.node("C").unwrap();
+        let a = g.node("A").unwrap();
+        assert!(matches!(
+            g.add_edge(c, a),
+            Err(CausalError::CycleDetected { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(a, a),
+            Err(CausalError::CycleDetected { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_edge_is_noop() {
+        let mut g = Dag::from_edges(&[("A", "B")]).unwrap();
+        g.add_edge_by_name("A", "B").unwrap();
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    fn ancestors_descendants() {
+        let g = fig1();
+        let salary = g.node("Salary").unwrap();
+        let anc = g.ancestors(&[salary]);
+        let anc_names: HashSet<&str> = anc.iter().map(|&i| g.name(i)).collect();
+        assert_eq!(
+            anc_names,
+            HashSet::from(["Ethnicity", "Gender", "Age", "Education", "Role"])
+        );
+        let age = g.node("Age").unwrap();
+        let desc = g.descendants(&[age]);
+        let desc_names: HashSet<&str> = desc.iter().map(|&i| g.name(i)).collect();
+        assert_eq!(desc_names, HashSet::from(["Education", "Role", "Salary"]));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = fig1();
+        let order = g.topological_order();
+        assert_eq!(order.len(), g.n_nodes());
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for u in 0..g.n_nodes() {
+            for &v in g.children(u) {
+                assert!(pos[&u] < pos[&v], "{} before {}", g.name(u), g.name(v));
+            }
+        }
+    }
+
+    #[test]
+    fn without_outgoing_cuts_edges() {
+        let g = fig1();
+        let edu = g.node("Education").unwrap();
+        let cut = g.without_outgoing(&[edu]);
+        assert!(cut.children(edu).is_empty());
+        let salary = cut.node("Salary").unwrap();
+        assert!(!cut.parents(salary).contains(&edu));
+        // incoming edges survive
+        assert_eq!(cut.parents(edu).len(), g.parents(edu).len());
+        // original untouched
+        assert!(!g.children(edu).is_empty());
+    }
+
+    #[test]
+    fn reachability() {
+        let g = fig1();
+        let age = g.node("Age").unwrap();
+        let salary = g.node("Salary").unwrap();
+        assert!(g.is_reachable(age, salary));
+        assert!(!g.is_reachable(salary, age));
+        assert!(g.is_reachable(age, age));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = fig1();
+        let sub = g.induced_subgraph(&["Age", "Education", "Salary", "Ghost"]);
+        assert_eq!(sub.n_nodes(), 3);
+        let age = sub.node("Age").unwrap();
+        let edu = sub.node("Education").unwrap();
+        let sal = sub.node("Salary").unwrap();
+        assert!(sub.has_edge(age, edu));
+        assert!(sub.has_edge(edu, sal));
+        // Age -> Role -> Salary existed only through the dropped Role node.
+        assert!(!sub.has_edge(age, sal));
+        assert_eq!(sub.n_edges(), 2);
+    }
+
+    #[test]
+    fn dot_rendering() {
+        let g = Dag::from_edges(&[("A", "B")]).unwrap();
+        let dot = g.to_dot();
+        assert!(dot.contains("\"A\" -> \"B\""));
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn edge_list_parsing() {
+        let g = Dag::parse_edge_list(
+            "# a comment\nage -> salary;\n  education->salary\nlonely_node\n",
+        )
+        .unwrap();
+        assert_eq!(g.n_nodes(), 4);
+        assert_eq!(g.n_edges(), 2);
+        let age = g.node("age").unwrap();
+        let salary = g.node("salary").unwrap();
+        assert!(g.has_edge(age, salary));
+        assert!(g.has_node("lonely_node"));
+    }
+
+    #[test]
+    fn edge_list_roundtrips_dot_output() {
+        let g = fig1();
+        let parsed = Dag::parse_edge_list(&g.to_dot()).unwrap();
+        assert_eq!(parsed.n_nodes(), g.n_nodes());
+        assert_eq!(parsed.n_edges(), g.n_edges());
+        for u in 0..g.n_nodes() {
+            for &v in g.children(u) {
+                let pu = parsed.node(g.name(u)).unwrap();
+                let pv = parsed.node(g.name(v)).unwrap();
+                assert!(parsed.has_edge(pu, pv));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_rejects_cycles() {
+        assert!(Dag::parse_edge_list("a -> b\nb -> a\n").is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # faircap-causal
+//!
+//! Causal-inference substrate for the FairCap reproduction (Section 3 of the
+//! paper), built from scratch:
+//!
+//! * [`graph::Dag`] — Pearl-style causal DAGs with cycle-checked insertion.
+//! * [`dsep`] — d-separation via the moralized-ancestral-graph criterion.
+//! * [`backdoor`] — backdoor-criterion validation and adjustment-set search.
+//! * [`estimate`] — CATE estimators: OLS linear adjustment (the paper's
+//!   DoWhy default) and exact stratification.
+//! * [`cate::CateEngine`] — cached high-level CATE queries for rules.
+//! * [`discovery`] — PC-stable causal discovery (Table 6's "PC DAG").
+//! * [`scm`] — structural causal models for generating the synthetic
+//!   Stack Overflow / German Credit stand-ins with known ground truth.
+
+#![warn(missing_docs)]
+
+pub mod backdoor;
+pub mod cate;
+pub mod dsep;
+pub mod error;
+pub mod estimate;
+pub mod graph;
+pub mod linalg;
+pub mod scm;
+
+pub mod discovery;
+
+pub use backdoor::{find_adjustment_set, find_adjustment_set_names, is_valid_backdoor};
+pub use cate::CateEngine;
+pub use dsep::{d_separated, d_separated_names};
+pub use error::{CausalError, Result};
+pub use estimate::{estimate_cate, Estimate, EstimatorKind};
+pub use graph::{Dag, NodeId};
+pub use scm::Scm;

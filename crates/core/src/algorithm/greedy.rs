@@ -1,0 +1,475 @@
+//! Step 3 (§5.3): greedy selection of the final ruleset.
+//!
+//! At each iteration the rule maximizing
+//! `score = coverage-gain (while unmet) + benefit/U + ΔExpUtility/U`
+//! is added, where `U` normalizes utilities to the best candidate's scale so
+//! the three terms are commensurable. Group-scope constraints are enforced
+//! as validity: a rule whose addition would violate group SP / BGL is
+//! skipped. The loop stops when the best marginal score drops below the
+//! configured threshold (once coverage is satisfied), when `max_rules` is
+//! hit, or when no candidate remains.
+
+use crate::config::FairCapConfig;
+use crate::constraints::{
+    rule_satisfies_coverage, rule_satisfies_fairness, summary_satisfies_coverage,
+    summary_satisfies_fairness,
+};
+use crate::rule::Rule;
+use crate::utility::RulesetUtility;
+use faircap_table::Mask;
+
+/// Result of the greedy phase.
+#[derive(Debug, Clone)]
+pub struct GreedyOutcome {
+    /// Selected rules, in selection order.
+    pub selected: Vec<Rule>,
+    /// Utility summary of the selected set.
+    pub summary: RulesetUtility,
+    /// Whether all constraints hold for the final set.
+    pub constraints_met: bool,
+}
+
+/// Incrementally maintained Eq. 5–7 state for the selected ruleset, with
+/// O(|coverage(r)|) candidate previews instead of full recomputation.
+struct RulesetState<'a> {
+    protected: &'a Mask,
+    n_rows: usize,
+    n_protected: usize,
+    /// Per-row best overall utility (NEG_INFINITY = uncovered).
+    best: Vec<f64>,
+    /// Per-row worst protected utility (INFINITY = uncovered).
+    worst: Vec<f64>,
+    sum_best_protected: f64,
+    sum_best_non_protected: f64,
+    sum_worst_protected: f64,
+    n_cov_protected: usize,
+    n_cov_non_protected: usize,
+}
+
+impl<'a> RulesetState<'a> {
+    fn new(n_rows: usize, protected: &'a Mask) -> Self {
+        RulesetState {
+            protected,
+            n_rows,
+            n_protected: protected.count(),
+            best: vec![f64::NEG_INFINITY; n_rows],
+            worst: vec![f64::INFINITY; n_rows],
+            sum_best_protected: 0.0,
+            sum_best_non_protected: 0.0,
+            sum_worst_protected: 0.0,
+            n_cov_protected: 0,
+            n_cov_non_protected: 0,
+        }
+    }
+
+    fn summary_from(
+        &self,
+        sum_best_p: f64,
+        sum_best_np: f64,
+        sum_worst_p: f64,
+        n_cov_p: usize,
+        n_cov_np: usize,
+    ) -> RulesetUtility {
+        let expected = (sum_best_p + sum_best_np) / self.n_rows.max(1) as f64;
+        let expected_protected = if n_cov_p > 0 {
+            sum_worst_p / n_cov_p as f64
+        } else {
+            0.0
+        };
+        let expected_non_protected = if n_cov_np > 0 {
+            sum_best_np / n_cov_np as f64
+        } else {
+            0.0
+        };
+        RulesetUtility {
+            expected,
+            expected_protected,
+            expected_non_protected,
+            coverage: (n_cov_p + n_cov_np) as f64 / self.n_rows.max(1) as f64,
+            coverage_protected: if self.n_protected > 0 {
+                n_cov_p as f64 / self.n_protected as f64
+            } else {
+                0.0
+            },
+            unfairness: expected_non_protected - expected_protected,
+        }
+    }
+
+    /// Current summary.
+    fn summary(&self) -> RulesetUtility {
+        self.summary_from(
+            self.sum_best_protected,
+            self.sum_best_non_protected,
+            self.sum_worst_protected,
+            self.n_cov_protected,
+            self.n_cov_non_protected,
+        )
+    }
+
+    /// Summary if `rule` were added, without mutating state.
+    fn preview(&self, rule: &Rule) -> RulesetUtility {
+        let (d_bp, d_bnp, d_wp, d_cp, d_cnp) = self.deltas(rule);
+        self.summary_from(
+            self.sum_best_protected + d_bp,
+            self.sum_best_non_protected + d_bnp,
+            self.sum_worst_protected + d_wp,
+            self.n_cov_protected + d_cp,
+            self.n_cov_non_protected + d_cnp,
+        )
+    }
+
+    /// Add `rule` to the state.
+    fn commit(&mut self, rule: &Rule) {
+        let u = rule.utility.overall;
+        let up = rule.utility.protected;
+        for i in rule.coverage.iter_ones() {
+            let is_p = self.protected.get(i);
+            if self.best[i] == f64::NEG_INFINITY {
+                // newly covered
+                if is_p {
+                    self.n_cov_protected += 1;
+                    self.sum_best_protected += u;
+                } else {
+                    self.n_cov_non_protected += 1;
+                    self.sum_best_non_protected += u;
+                }
+                self.best[i] = u;
+            } else if u > self.best[i] {
+                let delta = u - self.best[i];
+                if is_p {
+                    self.sum_best_protected += delta;
+                } else {
+                    self.sum_best_non_protected += delta;
+                }
+                self.best[i] = u;
+            }
+        }
+        for i in rule.coverage_protected.iter_ones() {
+            if self.worst[i] == f64::INFINITY {
+                self.worst[i] = up;
+                self.sum_worst_protected += up;
+            } else if up < self.worst[i] {
+                self.sum_worst_protected += up - self.worst[i];
+                self.worst[i] = up;
+            }
+        }
+    }
+
+    /// Aggregate deltas from adding `rule` (same walk as [`commit`], no
+    /// mutation).
+    fn deltas(&self, rule: &Rule) -> (f64, f64, f64, usize, usize) {
+        let u = rule.utility.overall;
+        let up = rule.utility.protected;
+        let (mut d_bp, mut d_bnp, mut d_wp) = (0.0, 0.0, 0.0);
+        let (mut d_cp, mut d_cnp) = (0usize, 0usize);
+        for i in rule.coverage.iter_ones() {
+            let is_p = self.protected.get(i);
+            if self.best[i] == f64::NEG_INFINITY {
+                if is_p {
+                    d_cp += 1;
+                    d_bp += u;
+                } else {
+                    d_cnp += 1;
+                    d_bnp += u;
+                }
+            } else if u > self.best[i] {
+                if is_p {
+                    d_bp += u - self.best[i];
+                } else {
+                    d_bnp += u - self.best[i];
+                }
+            }
+        }
+        for i in rule.coverage_protected.iter_ones() {
+            if self.worst[i] == f64::INFINITY {
+                d_wp += up;
+            } else if up < self.worst[i] {
+                d_wp += up - self.worst[i];
+            }
+        }
+        (d_bp, d_bnp, d_wp, d_cp, d_cnp)
+    }
+}
+
+/// Run the greedy selection over candidate rules.
+pub fn greedy_select(
+    mut candidates: Vec<Rule>,
+    config: &FairCapConfig,
+    n_rows: usize,
+    protected: &Mask,
+) -> GreedyOutcome {
+    let n_protected = protected.count();
+    // Matroid-style pre-filters: individual fairness + rule coverage +
+    // positive utility (Definition 4.4's "discard rules with negative
+    // utility").
+    candidates.retain(|r| {
+        r.utility.overall > 0.0
+            && rule_satisfies_fairness(r, &config.fairness)
+            && rule_satisfies_coverage(r, &config.coverage, n_rows, n_protected)
+    });
+    // Deterministic processing order.
+    candidates.sort_by(|a, b| {
+        (&a.grouping, &a.intervention).cmp(&(&b.grouping, &b.intervention))
+    });
+
+    let u_norm = candidates
+        .iter()
+        .map(|r| r.utility.overall)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+
+    let mut state = RulesetState::new(n_rows, protected);
+    let mut selected: Vec<Rule> = Vec::new();
+    let mut used = vec![false; candidates.len()];
+
+    while selected.len() < config.max_rules {
+        let current = state.summary();
+        let coverage_unmet = !summary_satisfies_coverage(&current, &config.coverage);
+        let mut best_idx: Option<usize> = None;
+        let mut best_score = f64::NEG_INFINITY;
+        for (idx, rule) in candidates.iter().enumerate() {
+            if used[idx] {
+                continue;
+            }
+            let preview = state.preview(rule);
+            // Group-scope fairness is enforced invariantly: every
+            // intermediate set (hence the final one) must satisfy it, using
+            // exactly the same predicate as the final validity check.
+            if !summary_satisfies_fairness(&preview, &config.fairness) {
+                continue;
+            }
+            let mut score = 0.0;
+            if coverage_unmet {
+                score += (preview.coverage - current.coverage)
+                    + (preview.coverage_protected - current.coverage_protected);
+            }
+            score += config.lambda_utility * (preview.expected - current.expected) / u_norm;
+            score += rule.benefit / u_norm * 0.1; // quality tie-break term
+            if score > best_score {
+                best_score = score;
+                best_idx = Some(idx);
+            }
+        }
+        let Some(idx) = best_idx else {
+            break; // no valid candidate remains
+        };
+        // Stop when the marginal gain is negligible — unless coverage
+        // constraints still need rules.
+        if !coverage_unmet && best_score < config.min_marginal_gain {
+            break;
+        }
+        state.commit(&candidates[idx]);
+        used[idx] = true;
+        selected.push(candidates[idx].clone());
+    }
+
+    let summary = state.summary();
+    let refs: Vec<&Rule> = selected.iter().collect();
+    let constraints_met = crate::constraints::solution_is_valid(
+        &refs,
+        &summary,
+        &config.fairness,
+        &config.coverage,
+        n_rows,
+        n_protected,
+    );
+    GreedyOutcome {
+        selected,
+        summary,
+        constraints_met,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // config tweaking reads better imperatively
+mod tests {
+    use super::*;
+    use crate::config::{CoverageConstraint, FairnessConstraint, FairnessScope};
+    use crate::rule::RuleUtility;
+    use crate::utility::ruleset_utility;
+    use faircap_table::Pattern;
+
+    fn rule(
+        tag: &str,
+        cov: &[usize],
+        cov_p: &[usize],
+        overall: f64,
+        prot: f64,
+        np: f64,
+    ) -> Rule {
+        Rule {
+            grouping: Pattern::of_eq(&[("g", tag.into())]),
+            intervention: Pattern::of_eq(&[("t", tag.into())]),
+            coverage: Mask::from_indices(20, cov),
+            coverage_protected: Mask::from_indices(20, cov_p),
+            utility: RuleUtility {
+                overall,
+                protected: prot,
+                non_protected: np,
+                p_value: 0.001,
+            },
+            benefit: overall,
+        }
+    }
+
+    /// rows 0..5 protected.
+    fn protected() -> Mask {
+        Mask::from_indices(20, &[0, 1, 2, 3, 4])
+    }
+
+    #[test]
+    fn incremental_state_matches_batch_computation() {
+        let p = protected();
+        let rules = vec![
+            rule("a", &[0, 1, 5, 6, 7], &[0, 1], 10.0, 4.0, 12.0),
+            rule("b", &[1, 2, 7, 8], &[1, 2], 20.0, 9.0, 22.0),
+            rule("c", &[3, 9, 10, 11], &[3], 5.0, 5.0, 5.0),
+        ];
+        let mut state = RulesetState::new(20, &p);
+        for r in &rules {
+            // preview must equal committing on a copy
+            let preview = state.preview(r);
+            state.commit(r);
+            let direct = state.summary();
+            assert!((preview.expected - direct.expected).abs() < 1e-12);
+            assert!((preview.expected_protected - direct.expected_protected).abs() < 1e-12);
+            assert!((preview.coverage - direct.coverage).abs() < 1e-12);
+        }
+        // final state must equal the batch Eq. 5–7 computation
+        let refs: Vec<&Rule> = rules.iter().collect();
+        let batch = ruleset_utility(&refs, 20, &p);
+        let inc = state.summary();
+        assert!((batch.expected - inc.expected).abs() < 1e-12);
+        assert!((batch.expected_protected - inc.expected_protected).abs() < 1e-12);
+        assert!(
+            (batch.expected_non_protected - inc.expected_non_protected).abs() < 1e-12
+        );
+        assert!((batch.coverage - inc.coverage).abs() < 1e-12);
+        assert!((batch.unfairness - inc.unfairness).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_prefers_high_utility() {
+        let cfg = FairCapConfig::default();
+        let candidates = vec![
+            rule("low", &[0, 1, 5, 6], &[0, 1], 2.0, 2.0, 2.0),
+            rule("high", &[2, 3, 7, 8], &[2, 3], 50.0, 45.0, 52.0),
+        ];
+        let out = greedy_select(candidates, &cfg, 20, &protected());
+        assert!(!out.selected.is_empty());
+        assert_eq!(out.selected[0].grouping.to_string(), "g = high");
+    }
+
+    #[test]
+    fn negative_utility_rules_dropped() {
+        let cfg = FairCapConfig::default();
+        let candidates = vec![rule("neg", &[0, 1, 5], &[0], -3.0, -3.0, -3.0)];
+        let out = greedy_select(candidates, &cfg, 20, &protected());
+        assert!(out.selected.is_empty());
+    }
+
+    #[test]
+    fn group_coverage_forces_more_rules() {
+        let mut cfg = FairCapConfig::default();
+        cfg.min_marginal_gain = 10.0; // would stop immediately without coverage pressure
+        cfg.coverage = CoverageConstraint::Group {
+            theta: 0.5,
+            theta_protected: 0.0,
+        };
+        let candidates = vec![
+            rule("a", &(0..6).collect::<Vec<_>>(), &[0, 1, 2], 10.0, 10.0, 10.0),
+            rule("b", &(6..12).collect::<Vec<_>>(), &[], 9.0, 0.0, 9.0),
+            rule("c", &(12..18).collect::<Vec<_>>(), &[], 8.0, 0.0, 8.0),
+        ];
+        let out = greedy_select(candidates, &cfg, 20, &protected());
+        // needs ≥ 10 of 20 rows covered → at least two rules
+        assert!(out.selected.len() >= 2, "selected {}", out.selected.len());
+        assert!(out.summary.coverage >= 0.5);
+        assert!(out.constraints_met);
+    }
+
+    #[test]
+    fn group_sp_blocks_unfair_additions() {
+        let mut cfg = FairCapConfig::default();
+        cfg.fairness = FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Group,
+            epsilon: 3.0,
+        };
+        let candidates = vec![
+            // fair rule
+            rule("fair", &[0, 1, 5, 6], &[0, 1], 10.0, 9.0, 11.0),
+            // very unfair rule on disjoint rows — would blow the ruleset gap
+            rule("unfair", &[2, 3, 8, 9], &[2, 3], 40.0, 5.0, 42.0),
+        ];
+        let out = greedy_select(candidates, &cfg, 20, &protected());
+        assert!(out.constraints_met);
+        assert!(
+            (out.summary.expected_non_protected - out.summary.expected_protected).abs()
+                <= 3.0,
+            "unfairness {} must be ≤ ε",
+            out.summary.unfairness
+        );
+        assert!(out
+            .selected
+            .iter()
+            .all(|r| r.grouping.to_string() != "g = unfair"));
+    }
+
+    #[test]
+    fn group_bgl_enforced() {
+        let mut cfg = FairCapConfig::default();
+        cfg.fairness = FairnessConstraint::BoundedGroupLoss {
+            scope: FairnessScope::Group,
+            tau: 8.0,
+        };
+        let candidates = vec![
+            rule("good", &[0, 1, 5, 6], &[0, 1], 12.0, 9.0, 13.0),
+            // protected utility 2 < τ — adding it would sink ExpUtility_p
+            rule("bad", &[0, 1, 2, 7], &[0, 1, 2], 30.0, 2.0, 33.0),
+        ];
+        let out = greedy_select(candidates, &cfg, 20, &protected());
+        assert!(out.summary.expected_protected >= 8.0);
+        assert!(out
+            .selected
+            .iter()
+            .all(|r| r.grouping.to_string() != "g = bad"));
+    }
+
+    #[test]
+    fn max_rules_cap_respected() {
+        let mut cfg = FairCapConfig::default();
+        cfg.max_rules = 2;
+        cfg.min_marginal_gain = 0.0;
+        let candidates: Vec<Rule> = (0..5)
+            .map(|i| {
+                rule(
+                    &format!("r{i}"),
+                    &[i, i + 5, i + 10],
+                    &[i],
+                    10.0 + i as f64,
+                    10.0,
+                    10.0,
+                )
+            })
+            .collect();
+        let out = greedy_select(candidates, &cfg, 20, &protected());
+        assert_eq!(out.selected.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_selection() {
+        let cfg = FairCapConfig::default();
+        let mk = || {
+            vec![
+                rule("a", &[0, 5, 6], &[0], 10.0, 10.0, 10.0),
+                rule("b", &[1, 7, 8], &[1], 10.0, 10.0, 10.0),
+                rule("c", &[2, 9, 10], &[2], 10.0, 10.0, 10.0),
+            ]
+        };
+        let o1 = greedy_select(mk(), &cfg, 20, &protected());
+        let o2 = greedy_select(mk(), &cfg, 20, &protected());
+        let s1: Vec<String> = o1.selected.iter().map(|r| r.to_string()).collect();
+        let s2: Vec<String> = o2.selected.iter().map(|r| r.to_string()).collect();
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Fairness-penalized benefit of a rule (§5.2 for statistical parity, §5.4
+//! for bounded group loss).
+//!
+//! During intervention mining FairCap does not pick the treatment with the
+//! highest CATE but the one with the highest *benefit*: utility discounted
+//! by how far the treatment is from being fair.
+
+use crate::config::FairnessConstraint;
+use crate::rule::RuleUtility;
+
+/// Benefit of a utility triple under the given fairness constraint.
+///
+/// * No constraint → the plain utility (CauSumX behaviour).
+/// * Statistical parity (§5.2):
+///   `utility / (1 + utility_p̄ − utility_p)` when the non-protected group
+///   gains more, else the plain utility.
+/// * Bounded group loss (§5.4):
+///   `utility / (1 + τ − utility_p)` when the protected utility falls short
+///   of τ, else the plain utility.
+///
+/// Both penalties apply to group *and* individual scopes — the scope only
+/// changes how constraints are enforced, not how treatments are scored.
+pub fn benefit(utility: &RuleUtility, fairness: &FairnessConstraint) -> f64 {
+    match fairness {
+        FairnessConstraint::None => utility.overall,
+        FairnessConstraint::StatisticalParity { .. } => {
+            let gap = utility.non_protected - utility.protected;
+            if gap >= 0.0 {
+                utility.overall / (1.0 + gap)
+            } else {
+                utility.overall
+            }
+        }
+        FairnessConstraint::BoundedGroupLoss { tau, .. } => {
+            let shortfall = tau - utility.protected;
+            if shortfall >= 0.0 {
+                utility.overall / (1.0 + shortfall)
+            } else {
+                utility.overall
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FairnessScope;
+
+    fn u(overall: f64, protected: f64, non_protected: f64) -> RuleUtility {
+        RuleUtility {
+            overall,
+            protected,
+            non_protected,
+            p_value: 0.0,
+        }
+    }
+
+    #[test]
+    fn no_constraint_is_identity() {
+        assert_eq!(benefit(&u(42.0, 1.0, 99.0), &FairnessConstraint::None), 42.0);
+    }
+
+    #[test]
+    fn sp_penalizes_gap() {
+        let f = FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Group,
+            epsilon: 10.0,
+        };
+        // gap 9 → 100 / 10
+        assert!((benefit(&u(100.0, 1.0, 10.0), &f) - 10.0).abs() < 1e-12);
+        // protected gains more → no penalty
+        assert_eq!(benefit(&u(100.0, 20.0, 10.0), &f), 100.0);
+        // zero gap → utility/(1+0)
+        assert_eq!(benefit(&u(100.0, 10.0, 10.0), &f), 100.0);
+    }
+
+    #[test]
+    fn sp_prefers_fair_over_high_utility() {
+        let f = FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Group,
+            epsilon: 10.0,
+        };
+        // High-utility unfair (38 vs 11, on $k scale) loses to lower-utility
+        // fair (14 vs 12) — the core behavioural claim of step 2.
+        let unfair = benefit(&u(30_000.0, 11_000.0, 38_000.0), &f);
+        let fair = benefit(&u(13_000.0, 12_000.0, 14_000.0), &f);
+        assert!(fair > unfair, "fair {fair} should beat unfair {unfair}");
+    }
+
+    #[test]
+    fn bgl_penalizes_shortfall() {
+        let f = FairnessConstraint::BoundedGroupLoss {
+            scope: FairnessScope::Group,
+            tau: 0.3,
+        };
+        // protected 0.1 < τ: penalty /(1 + 0.2)
+        let b = benefit(&u(0.4, 0.1, 0.45), &f);
+        assert!((b - 0.4 / 1.2).abs() < 1e-12);
+        // protected above τ: no penalty
+        assert_eq!(benefit(&u(0.4, 0.35, 0.45), &f), 0.4);
+    }
+
+    #[test]
+    fn scope_does_not_change_score() {
+        let g = FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Group,
+            epsilon: 1.0,
+        };
+        let i = FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Individual,
+            epsilon: 1.0,
+        };
+        let triple = u(50.0, 5.0, 20.0);
+        assert_eq!(benefit(&triple, &g), benefit(&triple, &i));
+    }
+}

@@ -1,0 +1,191 @@
+//! The paper's Figure 2: a decision tree guiding users to the right problem
+//! variant.
+
+use crate::config::{CoverageConstraint, FairnessConstraint, FairnessScope};
+
+/// Which fairness definition the user prefers (the SP/BGL choice is "left to
+/// the user", §4.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FairnessKind {
+    /// Statistical parity.
+    StatisticalParity,
+    /// Bounded group loss.
+    BoundedGroupLoss,
+}
+
+/// Answers to Figure 2's questions.
+#[derive(Debug, Clone, Copy)]
+pub struct VariantAnswers {
+    /// "Fairness constraint?" — do you need one at all?
+    pub wants_fairness: bool,
+    /// "Group fairness?" — group-level (true) or per-individual (false).
+    pub group_fairness: bool,
+    /// Which fairness definition to use when fairness is wanted.
+    pub kind: FairnessKind,
+    /// Fairness threshold (ε for SP, τ for BGL).
+    pub threshold: f64,
+    /// "Coverage requirement?" — do you need one at all?
+    pub wants_coverage: bool,
+    /// "For every rule?" — per-rule (true) or whole-ruleset (false).
+    pub per_rule_coverage: bool,
+    /// Coverage thresholds (θ, θ_p).
+    pub theta: f64,
+    /// Protected coverage threshold.
+    pub theta_protected: f64,
+}
+
+/// Walk Figure 2 and produce the constraint pair for the chosen leaf.
+pub fn choose_variant(a: &VariantAnswers) -> (FairnessConstraint, CoverageConstraint) {
+    let fairness = if !a.wants_fairness {
+        FairnessConstraint::None
+    } else {
+        let scope = if a.group_fairness {
+            FairnessScope::Group
+        } else {
+            FairnessScope::Individual
+        };
+        match a.kind {
+            FairnessKind::StatisticalParity => FairnessConstraint::StatisticalParity {
+                scope,
+                epsilon: a.threshold,
+            },
+            FairnessKind::BoundedGroupLoss => FairnessConstraint::BoundedGroupLoss {
+                scope,
+                tau: a.threshold,
+            },
+        }
+    };
+    let coverage = if !a.wants_coverage {
+        CoverageConstraint::None
+    } else if a.per_rule_coverage {
+        CoverageConstraint::Rule {
+            theta: a.theta,
+            theta_protected: a.theta_protected,
+        }
+    } else {
+        CoverageConstraint::Group {
+            theta: a.theta,
+            theta_protected: a.theta_protected,
+        }
+    };
+    (fairness, coverage)
+}
+
+/// The nine structural leaves of Figure 2, instantiated with the given
+/// thresholds — the rows of the paper's Table 4 (FairCap section).
+pub fn all_structural_variants(
+    kind: FairnessKind,
+    fairness_threshold: f64,
+    theta: f64,
+    theta_protected: f64,
+) -> Vec<(String, FairnessConstraint, CoverageConstraint)> {
+    let mut out = Vec::with_capacity(9);
+    let fairness_options: [(&str, Option<bool>); 3] = [
+        ("no fairness", None),
+        ("group fairness", Some(true)),
+        ("individual fairness", Some(false)),
+    ];
+    let coverage_options: [(&str, Option<bool>); 3] = [
+        ("no coverage", None),
+        ("group coverage", Some(false)),
+        ("rule coverage", Some(true)),
+    ];
+    for (flabel, fopt) in fairness_options {
+        for (clabel, copt) in coverage_options {
+            let answers = VariantAnswers {
+                wants_fairness: fopt.is_some(),
+                group_fairness: fopt.unwrap_or(true),
+                kind,
+                threshold: fairness_threshold,
+                wants_coverage: copt.is_some(),
+                per_rule_coverage: copt.unwrap_or(false),
+                theta,
+                theta_protected,
+            };
+            let (f, c) = choose_variant(&answers);
+            out.push((format!("{flabel} + {clabel}"), f, c));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_constraints_leaf() {
+        let (f, c) = choose_variant(&VariantAnswers {
+            wants_fairness: false,
+            group_fairness: true,
+            kind: FairnessKind::StatisticalParity,
+            threshold: 0.0,
+            wants_coverage: false,
+            per_rule_coverage: false,
+            theta: 0.0,
+            theta_protected: 0.0,
+        });
+        assert!(matches!(f, FairnessConstraint::None));
+        assert!(matches!(c, CoverageConstraint::None));
+    }
+
+    #[test]
+    fn group_sp_with_rule_coverage_leaf() {
+        let (f, c) = choose_variant(&VariantAnswers {
+            wants_fairness: true,
+            group_fairness: true,
+            kind: FairnessKind::StatisticalParity,
+            threshold: 10_000.0,
+            wants_coverage: true,
+            per_rule_coverage: true,
+            theta: 0.5,
+            theta_protected: 0.5,
+        });
+        assert!(matches!(
+            f,
+            FairnessConstraint::StatisticalParity {
+                scope: FairnessScope::Group,
+                ..
+            }
+        ));
+        assert!(matches!(c, CoverageConstraint::Rule { .. }));
+    }
+
+    #[test]
+    fn individual_bgl_leaf() {
+        let (f, _) = choose_variant(&VariantAnswers {
+            wants_fairness: true,
+            group_fairness: false,
+            kind: FairnessKind::BoundedGroupLoss,
+            threshold: 0.1,
+            wants_coverage: false,
+            per_rule_coverage: false,
+            theta: 0.0,
+            theta_protected: 0.0,
+        });
+        assert!(matches!(
+            f,
+            FairnessConstraint::BoundedGroupLoss {
+                scope: FairnessScope::Individual,
+                tau
+            } if tau == 0.1
+        ));
+    }
+
+    #[test]
+    fn nine_structural_leaves() {
+        let variants =
+            all_structural_variants(FairnessKind::StatisticalParity, 10_000.0, 0.5, 0.5);
+        assert_eq!(variants.len(), 9);
+        // first row is the no-constraints leaf
+        assert!(matches!(variants[0].1, FairnessConstraint::None));
+        assert!(matches!(variants[0].2, CoverageConstraint::None));
+        // labels are unique
+        let mut labels: Vec<&String> = variants.iter().map(|(l, _, _)| l).collect();
+        labels.dedup();
+        assert_eq!(labels.len(), 9);
+        // with the SP/BGL doubling this yields the paper's 18 variants
+        let bgl = all_structural_variants(FairnessKind::BoundedGroupLoss, 0.1, 0.3, 0.3);
+        assert_eq!(variants.len() + bgl.len(), 18);
+    }
+}

@@ -1,0 +1,37 @@
+//! # faircap-core
+//!
+//! FairCap — *Fair and Actionable Causal Prescription Ruleset* (SIGMOD 2025)
+//! — selects a small set of prescription rules `(P_grp, P_int)` maximizing
+//! expected utility (CATE-based, Definition 4.5) under fairness (§4.6) and
+//! coverage (§4.5) constraints, via the three-step algorithm of §5:
+//! Apriori grouping-pattern mining → fairness-aware intervention mining on a
+//! positive-parent lattice → greedy ruleset selection.
+//!
+//! ```no_run
+//! use faircap_core::{run, FairCapConfig, ProblemInput};
+//! # fn problem_input() -> ProblemInput<'static> { unimplemented!() }
+//! let input: ProblemInput = problem_input();
+//! let report = run(&input, &FairCapConfig::default());
+//! println!("{report}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod benefit;
+pub mod config;
+pub mod cost;
+pub mod constraints;
+pub mod decision_tree;
+pub mod report;
+pub mod rule;
+pub mod utility;
+
+pub use algorithm::{run, ProblemInput};
+pub use benefit::benefit;
+pub use config::{CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope};
+pub use cost::{CostModel, CostPolicy};
+pub use decision_tree::{all_structural_variants, choose_variant, FairnessKind, VariantAnswers};
+pub use report::{SolutionReport, StepTimings};
+pub use rule::{Rule, RuleUtility};
+pub use utility::{ruleset_utility, RulesetUtility};

@@ -1,0 +1,211 @@
+//! Ruleset expected utilities (Definition 4.5, Eqs. 5–7).
+//!
+//! * Overall / non-protected individuals take the **max** utility over the
+//!   rules that cover them (they pick the best recommendation).
+//! * Protected individuals take the **min** (the paper's conservative
+//!   worst-case reading, since the decision-maker may hand them any
+//!   applicable rule).
+//!
+//! All three are computed in one pass over the rules with per-row
+//! accumulators.
+
+use crate::rule::Rule;
+use faircap_table::Mask;
+use serde::Serialize;
+
+/// Expected-utility summary of a ruleset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RulesetUtility {
+    /// Eq. 5 — average best-rule utility over the whole population
+    /// (denominator `n = |D|`).
+    pub expected: f64,
+    /// Eq. 6 — average *worst* applicable-rule utility over covered
+    /// protected individuals (denominator = covered protected count).
+    pub expected_protected: f64,
+    /// Eq. 7 — average best-rule utility over covered non-protected
+    /// individuals (denominator = covered non-protected count).
+    pub expected_non_protected: f64,
+    /// Fraction of the population covered by at least one rule.
+    pub coverage: f64,
+    /// Fraction of the protected group covered by at least one rule.
+    pub coverage_protected: f64,
+    /// Unfairness score used in the paper's tables:
+    /// `expected_non_protected − expected_protected`.
+    pub unfairness: f64,
+}
+
+impl RulesetUtility {
+    /// The all-zero summary of an empty ruleset.
+    pub fn empty() -> RulesetUtility {
+        RulesetUtility {
+            expected: 0.0,
+            expected_protected: 0.0,
+            expected_non_protected: 0.0,
+            coverage: 0.0,
+            coverage_protected: 0.0,
+            unfairness: 0.0,
+        }
+    }
+}
+
+/// Compute the utility summary of `rules` against a population of `n_rows`
+/// rows with the given protected mask.
+///
+/// Each rule contributes its **overall** utility to the non-protected
+/// accumulator and its **protected** utility to the protected accumulator,
+/// mirroring the paper's use of `utility(r)` in Eq. 5/7 and worst-case
+/// protected utilities in Eq. 6.
+pub fn ruleset_utility(rules: &[&Rule], n_rows: usize, protected: &Mask) -> RulesetUtility {
+    if rules.is_empty() || n_rows == 0 {
+        return RulesetUtility::empty();
+    }
+    // Per-row best (max) utility for everyone, worst (min) for protected.
+    let mut best = vec![f64::NEG_INFINITY; n_rows];
+    let mut worst = vec![f64::INFINITY; n_rows];
+    let mut covered = Mask::zeros(n_rows);
+    for r in rules {
+        for i in r.coverage.iter_ones() {
+            best[i] = best[i].max(r.utility.overall);
+            covered.set(i, true);
+        }
+        for i in r.coverage_protected.iter_ones() {
+            worst[i] = worst[i].min(r.utility.protected);
+        }
+    }
+
+    let n_protected_total = protected.count();
+    let covered_protected = &covered & protected;
+    let covered_non_protected = covered.andnot(protected);
+
+    let mut sum_all = 0.0;
+    let mut sum_np = 0.0;
+    for i in covered_non_protected.iter_ones() {
+        sum_all += best[i];
+        sum_np += best[i];
+    }
+    let mut sum_p = 0.0;
+    for i in covered_protected.iter_ones() {
+        // Protected rows still count their best utility in Eq. 5 (it
+        // averages max over everyone), but Eq. 6 takes the min.
+        sum_all += best[i];
+        sum_p += worst[i];
+    }
+
+    let n_cov_p = covered_protected.count();
+    let n_cov_np = covered_non_protected.count();
+    let expected = sum_all / n_rows as f64;
+    let expected_protected = if n_cov_p > 0 { sum_p / n_cov_p as f64 } else { 0.0 };
+    let expected_non_protected = if n_cov_np > 0 {
+        sum_np / n_cov_np as f64
+    } else {
+        0.0
+    };
+    RulesetUtility {
+        expected,
+        expected_protected,
+        expected_non_protected,
+        coverage: covered.fraction(),
+        coverage_protected: if n_protected_total > 0 {
+            n_cov_p as f64 / n_protected_total as f64
+        } else {
+            0.0
+        },
+        unfairness: expected_non_protected - expected_protected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::RuleUtility;
+    use faircap_table::Pattern;
+
+    fn rule(cov: &[usize], cov_p: &[usize], overall: f64, prot: f64, np: f64) -> Rule {
+        Rule {
+            grouping: Pattern::empty(),
+            intervention: Pattern::empty(),
+            coverage: Mask::from_indices(10, cov),
+            coverage_protected: Mask::from_indices(10, cov_p),
+            utility: RuleUtility {
+                overall,
+                protected: prot,
+                non_protected: np,
+                p_value: 0.0,
+            },
+            benefit: 0.0,
+        }
+    }
+
+    /// Protected rows: 0..5. Non-protected: 5..10.
+    fn protected() -> Mask {
+        Mask::from_indices(10, &[0, 1, 2, 3, 4])
+    }
+
+    #[test]
+    fn empty_ruleset_is_zero() {
+        let u = ruleset_utility(&[], 10, &protected());
+        assert_eq!(u, RulesetUtility::empty());
+    }
+
+    #[test]
+    fn single_rule_matches_definitions() {
+        // Covers rows 0,1 (protected) and 5,6 (non-protected).
+        let r = rule(&[0, 1, 5, 6], &[0, 1], 10.0, 4.0, 12.0);
+        let u = ruleset_utility(&[&r], 10, &protected());
+        // Eq. 5: 4 covered rows × overall 10 / n=10.
+        assert!((u.expected - 4.0).abs() < 1e-12);
+        // Eq. 6: protected covered = {0,1}, min utility = 4.
+        assert!((u.expected_protected - 4.0).abs() < 1e-12);
+        // Eq. 7: non-protected covered = {5,6}, max = overall 10.
+        assert!((u.expected_non_protected - 10.0).abs() < 1e-12);
+        assert!((u.coverage - 0.4).abs() < 1e-12);
+        assert!((u.coverage_protected - 0.4).abs() < 1e-12);
+        assert!((u.unfairness - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_for_everyone_min_for_protected() {
+        // Two overlapping rules on row 0 (protected) and row 9 (non-prot).
+        let r1 = rule(&[0, 9], &[0], 10.0, 3.0, 11.0);
+        let r2 = rule(&[0, 9], &[0], 20.0, 8.0, 22.0);
+        let u = ruleset_utility(&[&r1, &r2], 10, &protected());
+        // Non-protected row 9 takes max(10, 20) = 20.
+        assert!((u.expected_non_protected - 20.0).abs() < 1e-12);
+        // Protected row 0 takes min(3, 8) = 3.
+        assert!((u.expected_protected - 3.0).abs() < 1e-12);
+        // Eq. 5 averages max for everyone: (20 + 20)/10 = 4.
+        assert!((u.expected - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_rules_average() {
+        let r1 = rule(&[0, 1], &[0, 1], 10.0, 10.0, 10.0);
+        let r2 = rule(&[5, 6], &[], 30.0, 0.0, 30.0);
+        let u = ruleset_utility(&[&r1, &r2], 10, &protected());
+        assert!((u.expected - (2.0 * 10.0 + 2.0 * 30.0) / 10.0).abs() < 1e-12);
+        assert!((u.expected_protected - 10.0).abs() < 1e-12);
+        assert!((u.expected_non_protected - 30.0).abs() < 1e-12);
+        assert!((u.unfairness - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adding_rules_never_decreases_coverage() {
+        let r1 = rule(&[0, 1], &[0, 1], 5.0, 5.0, 5.0);
+        let r2 = rule(&[2, 7], &[2], 5.0, 5.0, 5.0);
+        let u1 = ruleset_utility(&[&r1], 10, &protected());
+        let u12 = ruleset_utility(&[&r1, &r2], 10, &protected());
+        assert!(u12.coverage >= u1.coverage);
+        assert!(u12.coverage_protected >= u1.coverage_protected);
+        // Eq. 5 is monotone in added rules (max over more rules).
+        assert!(u12.expected >= u1.expected - 1e-12);
+    }
+
+    #[test]
+    fn no_protected_group_degenerates() {
+        let r = rule(&[0, 1], &[], 7.0, 0.0, 7.0);
+        let u = ruleset_utility(&[&r], 10, &Mask::zeros(10));
+        assert_eq!(u.expected_protected, 0.0);
+        assert_eq!(u.coverage_protected, 0.0);
+        assert!((u.expected_non_protected - 7.0).abs() < 1e-12);
+    }
+}

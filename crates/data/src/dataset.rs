@@ -1,0 +1,249 @@
+//! The dataset bundle every FairCap experiment consumes.
+
+use faircap_causal::discovery::{pc_dag, PcConfig};
+use faircap_causal::Dag;
+use faircap_table::{DataFrame, Mask, Pattern};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dataset plus all the causal/fairness metadata FairCap needs:
+/// the frame, the ground-truth DAG, the outcome attribute, the
+/// immutable/mutable split (Definition 4.3), and the protected-group
+/// pattern (§4.1).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name ("stackoverflow", "german", …).
+    pub name: String,
+    /// The data.
+    pub df: DataFrame,
+    /// Causal DAG over the frame's columns.
+    pub dag: Dag,
+    /// Outcome attribute `O`.
+    pub outcome: String,
+    /// Immutable attributes `I` (grouping-pattern vocabulary).
+    pub immutable: Vec<String>,
+    /// Mutable attributes `M` (intervention-pattern vocabulary).
+    pub mutable: Vec<String>,
+    /// Protected-group pattern `P_p`.
+    pub protected: Pattern,
+}
+
+impl Dataset {
+    /// Mask of protected rows.
+    pub fn protected_mask(&self) -> Mask {
+        self.protected
+            .coverage(&self.df)
+            .expect("protected pattern must evaluate against the frame")
+    }
+
+    /// Fraction of rows in the protected group.
+    pub fn protected_fraction(&self) -> f64 {
+        self.protected_mask().fraction()
+    }
+
+    /// Restrict to the first `n_immutable` immutable and `n_mutable` mutable
+    /// attributes (plus the outcome), with the induced sub-DAG — the
+    /// workload knob of the paper's Figure 5.
+    pub fn restrict_attrs(&self, n_immutable: usize, n_mutable: usize) -> Dataset {
+        let immutable: Vec<String> = self
+            .immutable
+            .iter()
+            .take(n_immutable)
+            .cloned()
+            .collect();
+        let mutable: Vec<String> = self.mutable.iter().take(n_mutable).cloned().collect();
+        let mut cols: Vec<String> = immutable.clone();
+        cols.extend(mutable.iter().cloned());
+        cols.push(self.outcome.clone());
+        let keep: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+        Dataset {
+            name: format!("{}[{}i,{}m]", self.name, n_immutable, n_mutable),
+            df: self
+                .df
+                .select(&keep)
+                .expect("attribute subset must exist"),
+            dag: self.dag.induced_subgraph(&keep),
+            outcome: self.outcome.clone(),
+            immutable,
+            mutable,
+            protected: self.protected.clone(),
+        }
+    }
+
+    /// Keep a random `fraction` of rows (seeded) — the paper's Figure 4
+    /// dataset-size knob.
+    pub fn subsample(&self, fraction: f64, seed: u64) -> Dataset {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mask = Mask::zeros(self.df.n_rows());
+        for i in 0..self.df.n_rows() {
+            if rng.random::<f64>() < fraction {
+                mask.set(i, true);
+            }
+        }
+        Dataset {
+            name: format!("{}[{:.0}%]", self.name, fraction * 100.0),
+            df: self.df.filter(&mask).expect("mask is frame-sized"),
+            dag: self.dag.clone(),
+            outcome: self.outcome.clone(),
+            immutable: self.immutable.clone(),
+            mutable: self.mutable.clone(),
+            protected: self.protected.clone(),
+        }
+    }
+
+    /// All non-outcome attributes, immutables first.
+    pub fn attributes(&self) -> Vec<String> {
+        let mut v = self.immutable.clone();
+        v.extend(self.mutable.iter().cloned());
+        v
+    }
+
+    /// Persist the frame as CSV (useful for inspecting the generated data
+    /// or feeding it to external tools).
+    pub fn to_csv<P: AsRef<std::path::Path>>(&self, path: P) -> faircap_table::Result<()> {
+        faircap_table::csv::write_csv(&self.df, path)
+    }
+}
+
+/// The causal-DAG robustness variants of the paper's Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DagVariant {
+    /// The generator's ground-truth DAG.
+    Original,
+    /// Every attribute points only at the outcome (ignoring the graph).
+    OneLayerIndep,
+    /// Immutables → each mutable → outcome; immutables do not hit the
+    /// outcome directly (all immutables act as pure confounders).
+    TwoLayerMutable,
+    /// Immutables → each mutable; *all* attributes → outcome.
+    TwoLayer,
+    /// DAG recovered by the PC algorithm from the data.
+    Pc,
+}
+
+impl DagVariant {
+    /// Display name matching Table 6's row labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DagVariant::Original => "Original causal DAG",
+            DagVariant::OneLayerIndep => "1-Layer Indep DAG",
+            DagVariant::TwoLayerMutable => "2-Layer Mutable DAG",
+            DagVariant::TwoLayer => "2-Layer DAG",
+            DagVariant::Pc => "PC DAG",
+        }
+    }
+
+    /// All five variants in the paper's row order.
+    pub fn all() -> [DagVariant; 5] {
+        [
+            DagVariant::Original,
+            DagVariant::OneLayerIndep,
+            DagVariant::TwoLayerMutable,
+            DagVariant::TwoLayer,
+            DagVariant::Pc,
+        ]
+    }
+}
+
+/// Build the DAG for a [`DagVariant`] of a dataset. `Pc` runs PC-stable
+/// discovery over all attributes plus the outcome (can take a while on
+/// large frames).
+pub fn build_dag_variant(ds: &Dataset, variant: DagVariant) -> Dag {
+    match variant {
+        DagVariant::Original => ds.dag.clone(),
+        DagVariant::OneLayerIndep => {
+            let mut g = Dag::new();
+            g.ensure_node(&ds.outcome);
+            for a in ds.attributes() {
+                g.add_edge_by_name(&a, &ds.outcome).expect("star is acyclic");
+            }
+            g
+        }
+        DagVariant::TwoLayerMutable => {
+            let mut g = Dag::new();
+            g.ensure_node(&ds.outcome);
+            for m in &ds.mutable {
+                for i in &ds.immutable {
+                    g.add_edge_by_name(i, m).expect("bipartite is acyclic");
+                }
+                g.add_edge_by_name(m, &ds.outcome).expect("acyclic");
+            }
+            g
+        }
+        DagVariant::TwoLayer => {
+            let mut g = build_dag_variant(ds, DagVariant::TwoLayerMutable);
+            for i in &ds.immutable {
+                g.add_edge_by_name(i, &ds.outcome).expect("acyclic");
+            }
+            g
+        }
+        DagVariant::Pc => {
+            let mut vars = ds.attributes();
+            vars.push(ds.outcome.clone());
+            pc_dag(&ds.df, &vars, PcConfig::default())
+                .expect("PC discovery should not fail on generated data")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::so;
+
+    #[test]
+    fn dag_variant_labels_match_table6() {
+        assert_eq!(DagVariant::Original.label(), "Original causal DAG");
+        assert_eq!(DagVariant::Pc.label(), "PC DAG");
+        assert_eq!(DagVariant::all().len(), 5);
+    }
+
+    #[test]
+    fn one_layer_variant_is_a_star() {
+        let ds = so::generate(300, 1);
+        let g = build_dag_variant(&ds, DagVariant::OneLayerIndep);
+        let o = g.node(&ds.outcome).unwrap();
+        for a in ds.attributes() {
+            let n = g.node(&a).unwrap();
+            assert!(g.has_edge(n, o));
+            assert!(g.parents(n).is_empty());
+        }
+    }
+
+    #[test]
+    fn two_layer_mutable_has_no_direct_immutable_outcome_edges() {
+        let ds = so::generate(300, 1);
+        let g = build_dag_variant(&ds, DagVariant::TwoLayerMutable);
+        let o = g.node(&ds.outcome).unwrap();
+        for i in &ds.immutable {
+            let n = g.node(i).unwrap();
+            assert!(!g.has_edge(n, o), "{i} must not hit the outcome directly");
+        }
+        for m in &ds.mutable {
+            let n = g.node(m).unwrap();
+            assert!(g.has_edge(n, o));
+        }
+    }
+
+    #[test]
+    fn csv_export_roundtrips() {
+        let ds = so::generate(50, 9);
+        let dir = std::env::temp_dir().join("faircap_dataset_csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("so_sample.csv");
+        ds.to_csv(&path).unwrap();
+        let back = faircap_table::csv::read_csv(&path).unwrap();
+        assert_eq!(back.n_rows(), 50);
+        assert_eq!(back.names(), ds.df.names());
+    }
+
+    #[test]
+    fn subsample_is_deterministic() {
+        let ds = so::generate(500, 2);
+        let a = ds.subsample(0.4, 3);
+        let b = ds.subsample(0.4, 3);
+        assert_eq!(a.df, b.df);
+        assert_ne!(a.df, ds.subsample(0.4, 4).df);
+    }
+}

@@ -1,0 +1,504 @@
+//! Synthetic German Credit stand-in.
+//!
+//! The paper's second dataset: 1000 account holders, 20 attributes (15
+//! mutable), binary outcome `good_credit`, protected group = single females
+//! (9.2 % of rows), BGL fairness. This module generates an SCM equivalent:
+//! the outcome is a Bernoulli draw from a logistic structural equation whose
+//! coefficients are the named constants below. Effects are on the log-odds
+//! scale; the resulting probability-scale CATEs land in the paper's
+//! 0.2–0.5 range so its thresholds (τ = 0.1) carry over.
+//!
+//! Disparity is planted the same way as in the SO generator: some
+//! treatments (checking balance, housing) help the non-protected group
+//! substantially more, while others (savings, skilled employment) are near
+//! parity — so BGL constraints redirect the optimizer.
+
+use crate::dataset::Dataset;
+use faircap_causal::scm::{bernoulli, Row, Scm};
+use faircap_table::{Pattern, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Immutable attributes.
+pub const GERMAN_IMMUTABLE: [&str; 5] = [
+    "age_group",
+    "sex",
+    "personal_status",
+    "foreign_worker",
+    "dependents",
+];
+
+/// Mutable attributes (15, as in the paper's Table 3).
+pub const GERMAN_MUTABLE: [&str; 15] = [
+    "checking_balance",
+    "savings",
+    "employment",
+    "job_skill",
+    "housing",
+    "purpose",
+    "credit_amount",
+    "duration",
+    "installment_rate",
+    "other_debtors",
+    "property",
+    "telephone",
+    "existing_credits",
+    "residence_since",
+    "loan_plans",
+];
+
+/// Default row count, matching the original dataset.
+pub const GERMAN_DEFAULT_ROWS: usize = 1_000;
+
+/// Baseline log-odds of a good credit score.
+pub const BASE_LOGIT: f64 = -1.1;
+
+/// Log-odds effect of `checking_balance = "200+"`, (non-protected,
+/// protected): the deliberately *unfair* high-utility treatment.
+pub const CHECKING_200_EFFECT: (f64, f64) = (1.9, 0.7);
+/// Log-odds effect of `savings = "500+"` — near parity.
+pub const SAVINGS_500_EFFECT: (f64, f64) = (1.1, 1.0);
+/// Log-odds effect of `job_skill = "skilled"` — near parity.
+pub const SKILLED_EFFECT: (f64, f64) = (0.9, 0.85);
+/// Log-odds effect of `housing = "own"` — moderately unfair.
+pub const HOUSING_OWN_EFFECT: (f64, f64) = (1.0, 0.5);
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Build the German Credit structural causal model.
+pub fn german_scm() -> Scm {
+    let pick = |rng: &mut StdRng, probs: &[(&'static str, f64)]| -> String {
+        let total: f64 = probs.iter().map(|(_, w)| w).sum();
+        let mut x = rng.random::<f64>() * total;
+        for (name, w) in probs {
+            x -= w;
+            if x <= 0.0 {
+                return (*name).to_string();
+            }
+        }
+        probs.last().unwrap().0.to_string()
+    };
+
+    Scm::new()
+        // ---------- immutable layer ----------
+        .categorical(
+            "age_group",
+            &[("19-25", 0.20), ("26-35", 0.33), ("36-49", 0.30), ("50+", 0.17)],
+        )
+        .unwrap()
+        .categorical("sex", &[("male", 0.69), ("female", 0.31)])
+        .unwrap()
+        .node(
+            "personal_status",
+            &["sex", "age_group"],
+            Box::new(move |row, rng| {
+                // single-female mass ≈ 0.31 × 0.30 ≈ 9.2 % of all rows.
+                let single_p = match (row.str("sex"), row.str("age_group")) {
+                    ("female", "19-25") => 0.52,
+                    ("female", "26-35") => 0.33,
+                    ("female", _) => 0.17,
+                    ("male", "19-25") => 0.62,
+                    ("male", "26-35") => 0.40,
+                    _ => 0.22,
+                };
+                let probs = [
+                    ("single", single_p),
+                    ("married", (1.0 - single_p) * 0.75),
+                    ("divorced", (1.0 - single_p) * 0.25),
+                ];
+                Value::Str(pick(rng, &probs))
+            }),
+        )
+        .unwrap()
+        .categorical("foreign_worker", &[("yes", 0.07), ("no", 0.93)])
+        .unwrap()
+        .node(
+            "dependents",
+            &["age_group", "personal_status"],
+            Box::new(|row, rng| {
+                let mut p: f64 = match row.str("age_group") {
+                    "19-25" => 0.10,
+                    "26-35" => 0.35,
+                    _ => 0.45,
+                };
+                if row.str("personal_status") == "single" {
+                    p *= 0.4;
+                }
+                Value::Str(if bernoulli(rng, p) { "1+" } else { "0" }.into())
+            }),
+        )
+        .unwrap()
+        // ---------- mutable layer ----------
+        .node(
+            "employment",
+            &["age_group"],
+            Box::new(move |row, rng| {
+                let probs: &[(&str, f64)] = match row.str("age_group") {
+                    "19-25" => &[("unemployed", 0.14), ("<1y", 0.34), ("1-4y", 0.38), ("4y+", 0.14)],
+                    "26-35" => &[("unemployed", 0.07), ("<1y", 0.18), ("1-4y", 0.42), ("4y+", 0.33)],
+                    _ => &[("unemployed", 0.05), ("<1y", 0.08), ("1-4y", 0.30), ("4y+", 0.57)],
+                };
+                Value::Str(pick(rng, probs))
+            }),
+        )
+        .unwrap()
+        .node(
+            "job_skill",
+            &["employment"],
+            Box::new(move |row, rng| {
+                let probs: &[(&str, f64)] = match row.str("employment") {
+                    "4y+" => &[("unskilled", 0.12), ("skilled", 0.58), ("highly_skilled", 0.30)],
+                    "1-4y" => &[("unskilled", 0.22), ("skilled", 0.60), ("highly_skilled", 0.18)],
+                    _ => &[("unskilled", 0.40), ("skilled", 0.50), ("highly_skilled", 0.10)],
+                };
+                Value::Str(pick(rng, probs))
+            }),
+        )
+        .unwrap()
+        .node(
+            "checking_balance",
+            &["employment", "sex"],
+            Box::new(move |row, rng| {
+                let mut w: Vec<(&str, f64)> = vec![
+                    ("none", 0.36),
+                    ("<100", 0.28),
+                    ("100-200", 0.16),
+                    ("200+", 0.20),
+                ];
+                if row.str("employment") == "4y+" {
+                    w[3].1 += 0.12;
+                    w[0].1 -= 0.08;
+                }
+                if row.str("sex") == "female" {
+                    w[3].1 -= 0.04;
+                }
+                Value::Str(pick(rng, &w))
+            }),
+        )
+        .unwrap()
+        .node(
+            "savings",
+            &["employment"],
+            Box::new(move |row, rng| {
+                let probs: &[(&str, f64)] = match row.str("employment") {
+                    "4y+" => &[("none", 0.30), ("<500", 0.38), ("500+", 0.32)],
+                    _ => &[("none", 0.48), ("<500", 0.36), ("500+", 0.16)],
+                };
+                Value::Str(pick(rng, probs))
+            }),
+        )
+        .unwrap()
+        .node(
+            "housing",
+            &["age_group", "personal_status"],
+            Box::new(move |row, rng| {
+                let own_p: f64 = match row.str("age_group") {
+                    "19-25" => 0.25,
+                    "26-35" => 0.52,
+                    _ => 0.68,
+                };
+                let own_p = if row.str("personal_status") == "single" {
+                    own_p * 0.7
+                } else {
+                    own_p
+                };
+                let probs = [
+                    ("own", own_p),
+                    ("rent", (1.0 - own_p) * 0.8),
+                    ("free", (1.0 - own_p) * 0.2),
+                ];
+                Value::Str(pick(rng, &probs))
+            }),
+        )
+        .unwrap()
+        .categorical(
+            "purpose",
+            &[
+                ("car_new", 0.22),
+                ("car_used", 0.10),
+                ("furniture", 0.18),
+                ("radio_tv", 0.27),
+                ("education", 0.06),
+                ("business", 0.09),
+                ("unspecified", 0.08),
+            ],
+        )
+        .unwrap()
+        .node(
+            "credit_amount",
+            &["purpose"],
+            Box::new(move |row, rng| {
+                let probs: &[(&str, f64)] = match row.str("purpose") {
+                    "business" | "car_new" => &[("low", 0.18), ("mid", 0.42), ("high", 0.40)],
+                    "radio_tv" | "furniture" => &[("low", 0.52), ("mid", 0.36), ("high", 0.12)],
+                    _ => &[("low", 0.34), ("mid", 0.40), ("high", 0.26)],
+                };
+                Value::Str(pick(rng, probs))
+            }),
+        )
+        .unwrap()
+        .node(
+            "duration",
+            &["credit_amount"],
+            Box::new(move |row, rng| {
+                let probs: &[(&str, f64)] = match row.str("credit_amount") {
+                    "high" => &[("short", 0.12), ("mid", 0.38), ("long", 0.50)],
+                    "mid" => &[("short", 0.30), ("mid", 0.48), ("long", 0.22)],
+                    _ => &[("short", 0.55), ("mid", 0.35), ("long", 0.10)],
+                };
+                Value::Str(pick(rng, probs))
+            }),
+        )
+        .unwrap()
+        .categorical(
+            "installment_rate",
+            &[("1", 0.14), ("2", 0.23), ("3", 0.16), ("4", 0.47)],
+        )
+        .unwrap()
+        .categorical(
+            "other_debtors",
+            &[("none", 0.91), ("guarantor", 0.05), ("co_applicant", 0.04)],
+        )
+        .unwrap()
+        .node(
+            "property",
+            &["housing"],
+            Box::new(move |row, rng| {
+                let probs: &[(&str, f64)] = if row.str("housing") == "own" {
+                    &[("real_estate", 0.45), ("savings_ins", 0.25), ("car", 0.22), ("none", 0.08)]
+                } else {
+                    &[("real_estate", 0.10), ("savings_ins", 0.24), ("car", 0.36), ("none", 0.30)]
+                };
+                Value::Str(pick(rng, probs))
+            }),
+        )
+        .unwrap()
+        .node(
+            "telephone",
+            &["job_skill"],
+            Box::new(|row, rng| {
+                let p = if row.str("job_skill") == "highly_skilled" { 0.72 } else { 0.36 };
+                Value::Str(if bernoulli(rng, p) { "yes" } else { "none" }.into())
+            }),
+        )
+        .unwrap()
+        .categorical("existing_credits", &[("1", 0.63), ("2+", 0.37)])
+        .unwrap()
+        .node(
+            "residence_since",
+            &["age_group"],
+            Box::new(|row, rng| {
+                let p = match row.str("age_group") {
+                    "19-25" => 0.30,
+                    "26-35" => 0.45,
+                    _ => 0.62,
+                };
+                Value::Str(if bernoulli(rng, p) { "4y+" } else { "<4y" }.into())
+            }),
+        )
+        .unwrap()
+        .categorical(
+            "loan_plans",
+            &[("none", 0.81), ("bank", 0.14), ("stores", 0.05)],
+        )
+        .unwrap()
+        // ---------- outcome ----------
+        .node(
+            "good_credit",
+            &[
+                "sex",
+                "personal_status",
+                "age_group",
+                "checking_balance",
+                "savings",
+                "employment",
+                "job_skill",
+                "housing",
+                "duration",
+                "credit_amount",
+                "installment_rate",
+                "other_debtors",
+                "property",
+                "existing_credits",
+                "loan_plans",
+            ],
+            Box::new(move |row: &Row<'_>, rng| {
+                let protected =
+                    row.str("sex") == "female" && row.str("personal_status") == "single";
+                let pick2 = |pair: (f64, f64)| if protected { pair.1 } else { pair.0 };
+                let mut x = BASE_LOGIT;
+                // immutable contributions
+                x += match row.str("age_group") {
+                    "19-25" => -0.3,
+                    "36-49" => 0.2,
+                    "50+" => 0.25,
+                    _ => 0.0,
+                };
+                // mutable contributions (treatment effects)
+                x += match row.str("checking_balance") {
+                    "200+" => pick2(CHECKING_200_EFFECT),
+                    "100-200" => pick2((0.8, 0.4)),
+                    "<100" => 0.15,
+                    _ => 0.0,
+                };
+                x += match row.str("savings") {
+                    "500+" => pick2(SAVINGS_500_EFFECT),
+                    "<500" => 0.35,
+                    _ => 0.0,
+                };
+                x += match row.str("employment") {
+                    "4y+" => 0.55,
+                    "1-4y" => 0.30,
+                    "<1y" => 0.10,
+                    _ => 0.0,
+                };
+                x += match row.str("job_skill") {
+                    "highly_skilled" => pick2((1.0, 0.95)),
+                    "skilled" => pick2(SKILLED_EFFECT),
+                    _ => 0.0,
+                };
+                x += match row.str("housing") {
+                    "own" => pick2(HOUSING_OWN_EFFECT),
+                    "free" => 0.2,
+                    _ => 0.0,
+                };
+                x += match row.str("duration") {
+                    "long" => -0.55,
+                    "mid" => -0.20,
+                    _ => 0.0,
+                };
+                x += match row.str("credit_amount") {
+                    "high" => -0.40,
+                    "mid" => -0.10,
+                    _ => 0.0,
+                };
+                x += match row.str("installment_rate") {
+                    "4" => -0.25,
+                    "3" => -0.10,
+                    _ => 0.0,
+                };
+                x += match row.str("other_debtors") {
+                    "guarantor" => 0.5,
+                    "co_applicant" => -0.2,
+                    _ => 0.0,
+                };
+                x += match row.str("property") {
+                    "real_estate" => 0.35,
+                    "savings_ins" => 0.20,
+                    "car" => 0.10,
+                    _ => 0.0,
+                };
+                x += if row.str("existing_credits") == "2+" { -0.15 } else { 0.0 };
+                x += match row.str("loan_plans") {
+                    "bank" => -0.35,
+                    "stores" => -0.25,
+                    _ => 0.0,
+                };
+                Value::Bool(bernoulli(rng, sigmoid(x)))
+            }),
+        )
+        .unwrap()
+}
+
+/// Generate the German Credit stand-in dataset.
+pub fn generate(n_rows: usize, seed: u64) -> Dataset {
+    let scm = german_scm();
+    let df = scm.sample(n_rows, seed).expect("German SCM is well-formed");
+    let dag = scm.dag();
+    Dataset {
+        name: "german".into(),
+        df,
+        dag,
+        outcome: "good_credit".into(),
+        immutable: GERMAN_IMMUTABLE.iter().map(|s| (*s).to_string()).collect(),
+        mutable: GERMAN_MUTABLE.iter().map(|s| (*s).to_string()).collect(),
+        protected: Pattern::of_eq(&[
+            ("sex", Value::from("female")),
+            ("personal_status", Value::from("single")),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faircap_causal::{CateEngine, EstimatorKind};
+    use faircap_table::Mask;
+
+    #[test]
+    fn shape_matches_paper() {
+        let ds = generate(GERMAN_DEFAULT_ROWS, 1);
+        assert_eq!(ds.df.n_rows(), 1_000);
+        // 5 immutable + 15 mutable + outcome = 21 columns.
+        assert_eq!(ds.df.n_cols(), 21);
+        assert_eq!(ds.mutable.len(), 15);
+        for a in ds.attributes() {
+            assert!(ds.dag.has_node(&a), "{a} not in DAG");
+        }
+    }
+
+    #[test]
+    fn protected_fraction_near_9_2_percent() {
+        let ds = generate(20_000, 2); // large n for a tight check
+        let frac = ds.protected_fraction();
+        assert!(
+            (frac - 0.092).abs() < 0.015,
+            "single females {frac} should be ≈ 0.092"
+        );
+    }
+
+    #[test]
+    fn outcome_is_binary_with_sane_base_rate() {
+        let ds = generate(5_000, 3);
+        let all = Mask::ones(ds.df.n_rows());
+        let rate = ds.df.mean("good_credit", &all).unwrap().unwrap();
+        assert!((0.4..0.9).contains(&rate), "base rate {rate}");
+    }
+
+    #[test]
+    fn checking_effect_disparate_savings_parity() {
+        let ds = generate(30_000, 4);
+        let engine = CateEngine::new(&ds.df, &ds.dag, "good_credit", EstimatorKind::Linear);
+        let prot = ds.protected_mask();
+        let nonprot = !&prot;
+        let checking = Pattern::of_eq(&[("checking_balance", Value::from("200+"))]);
+        let c_np = engine.cate(&nonprot, &checking).expect("estimable");
+        let c_p = engine.cate(&prot, &checking).expect("estimable");
+        assert!(
+            c_np.cate > c_p.cate + 0.05,
+            "checking 200+ should be disparate: {} vs {}",
+            c_np.cate,
+            c_p.cate
+        );
+        let savings = Pattern::of_eq(&[("savings", Value::from("500+"))]);
+        let s_np = engine.cate(&nonprot, &savings).expect("estimable");
+        let s_p = engine.cate(&prot, &savings).expect("estimable");
+        assert!(
+            (s_np.cate - s_p.cate).abs() < 0.08,
+            "savings should be parity: {} vs {}",
+            s_np.cate,
+            s_p.cate
+        );
+    }
+
+    #[test]
+    fn effects_are_probability_scale() {
+        let ds = generate(30_000, 5);
+        let engine = CateEngine::new(&ds.df, &ds.dag, "good_credit", EstimatorKind::Linear);
+        let all = Mask::ones(ds.df.n_rows());
+        let checking = Pattern::of_eq(&[("checking_balance", Value::from("200+"))]);
+        let est = engine.cate(&all, &checking).expect("estimable");
+        assert!(
+            (0.05..0.6).contains(&est.cate),
+            "probability-scale CATE, got {}",
+            est.cate
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(300, 9).df, generate(300, 9).df);
+    }
+}

@@ -1,0 +1,23 @@
+//! # faircap-data
+//!
+//! Synthetic stand-ins for the paper's evaluation datasets, generated from
+//! documented structural causal models with planted (known) treatment
+//! effects:
+//!
+//! * [`so`] — Stack Overflow 2021 survey equivalent: 38 K rows, 20
+//!   attributes (10 mutable), continuous salary, protected = low-GDP
+//!   countries (≈21.5 %).
+//! * [`german`] — German Credit equivalent: 1000 rows, 20 attributes (15
+//!   mutable), binary credit outcome, protected = single females (≈9.2 %).
+//! * [`dataset::Dataset`] — the bundle (frame + DAG + outcome + I/M split +
+//!   protected pattern) every experiment consumes, with the Figure 4/5
+//!   workload knobs (`subsample`, `restrict_attrs`) and the Table 6 DAG
+//!   variants ([`dataset::DagVariant`]).
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod german;
+pub mod so;
+
+pub use dataset::{build_dag_variant, DagVariant, Dataset};

@@ -1,0 +1,20 @@
+//! # faircap-mining
+//!
+//! Frequent-pattern substrate for FairCap:
+//!
+//! * [`apriori`] — the Apriori algorithm over attribute–value items, used by
+//!   step 1 (§5.1) to mine grouping patterns with a support threshold.
+//! * [`lattice`] — the positive-parent lattice traversal of step 2 (§5.2),
+//!   generic over the scoring function so the core crate can plug in
+//!   fairness-penalized CATE benefits.
+//! * [`item`] — enumeration of `attr = value` items with support masks.
+
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod item;
+pub mod lattice;
+
+pub use apriori::{apriori, AprioriConfig, FrequentPattern};
+pub use item::single_attribute_items;
+pub use lattice::{positive_lattice, LatticeNode};

@@ -1,0 +1,223 @@
+//! Minimal CSV reader/writer with type inference.
+//!
+//! Supports RFC-4180-style quoting (`"` escaping by doubling), a header row,
+//! and per-column inference: a column whose values all parse as `i64` becomes
+//! `Int`, else all-`f64` becomes `Float`, else all `true`/`false` becomes
+//! `Bool`, otherwise `Cat`. Empty cells are only permitted in categorical
+//! columns (as the literal empty string); numeric inference treats a column
+//! containing empty cells as categorical.
+
+use crate::column::{CatColumn, Column};
+use crate::dataframe::DataFrame;
+use crate::error::{Result, TableError};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parse one CSV record, honoring quotes. Returns the fields.
+fn parse_record(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(TableError::Csv(format!(
+                            "unexpected quote mid-field in: {line}"
+                        )));
+                    }
+                }
+                ',' => fields.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv(format!("unterminated quote in: {line}")));
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Read a frame from any reader. First record is the header.
+pub fn read_csv_from<R: Read>(reader: R) -> Result<DataFrame> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines();
+    let header = match lines.next() {
+        Some(h) => parse_record(&h?)?,
+        None => return Err(TableError::Csv("empty input".into())),
+    };
+    let n_cols = header.len();
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); n_cols];
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let rec = parse_record(&line)?;
+        if rec.len() != n_cols {
+            return Err(TableError::Csv(format!(
+                "record {} has {} fields, expected {}",
+                lineno + 2,
+                rec.len(),
+                n_cols
+            )));
+        }
+        for (col, cell) in cells.iter_mut().zip(rec) {
+            col.push(cell);
+        }
+    }
+    let mut b = DataFrame::builder();
+    for (name, values) in header.iter().zip(&cells) {
+        b = b.column(name, infer_column(values));
+    }
+    b.build()
+}
+
+/// Read a frame from a file path.
+pub fn read_csv<P: AsRef<Path>>(path: P) -> Result<DataFrame> {
+    read_csv_from(std::fs::File::open(path)?)
+}
+
+fn infer_column(values: &[String]) -> Column {
+    if !values.is_empty() && values.iter().all(|v| v.parse::<i64>().is_ok()) {
+        return Column::Int(values.iter().map(|v| v.parse().unwrap()).collect());
+    }
+    if !values.is_empty() && values.iter().all(|v| v.parse::<f64>().is_ok()) {
+        return Column::Float(values.iter().map(|v| v.parse().unwrap()).collect());
+    }
+    if !values.is_empty() && values.iter().all(|v| v == "true" || v == "false") {
+        return Column::Bool(values.iter().map(|v| v == "true").collect());
+    }
+    Column::Cat(CatColumn::from_values(values))
+}
+
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Write a frame as CSV to any writer.
+pub fn write_csv_to<W: Write>(df: &DataFrame, mut w: W) -> Result<()> {
+    let header: Vec<String> = df.names().iter().map(|n| quote_field(n)).collect();
+    writeln!(w, "{}", header.join(","))?;
+    for r in 0..df.n_rows() {
+        let mut row = Vec::with_capacity(df.n_cols());
+        for c in 0..df.n_cols() {
+            row.push(quote_field(&df.column_at(c).get(r).to_string()));
+        }
+        writeln!(w, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Write a frame as CSV to a file path.
+pub fn write_csv<P: AsRef<Path>>(df: &DataFrame, path: P) -> Result<()> {
+    write_csv_to(df, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Value};
+
+    #[test]
+    fn roundtrip_inference() {
+        let csv = "name,age,score,active\nalice,30,1.5,true\nbob,25,2.25,false\n";
+        let df = read_csv_from(csv.as_bytes()).unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.dtype("name").unwrap(), DataType::Cat);
+        assert_eq!(df.dtype("age").unwrap(), DataType::Int);
+        assert_eq!(df.dtype("score").unwrap(), DataType::Float);
+        assert_eq!(df.dtype("active").unwrap(), DataType::Bool);
+        assert_eq!(df.get(1, "age").unwrap(), Value::Int(25));
+
+        let mut out = Vec::new();
+        write_csv_to(&df, &mut out).unwrap();
+        let df2 = read_csv_from(out.as_slice()).unwrap();
+        assert_eq!(df, df2);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let csv = "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n";
+        let df = read_csv_from(csv.as_bytes()).unwrap();
+        assert_eq!(df.get(0, "a").unwrap(), Value::from("hello, world"));
+        assert_eq!(df.get(0, "b").unwrap(), Value::from("say \"hi\""));
+        // and they survive a roundtrip
+        let mut out = Vec::new();
+        write_csv_to(&df, &mut out).unwrap();
+        assert_eq!(read_csv_from(out.as_slice()).unwrap(), df);
+    }
+
+    #[test]
+    fn ragged_record_rejected() {
+        let csv = "a,b\n1,2\n3\n";
+        let err = read_csv_from(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, TableError::Csv(_)));
+        assert!(err.to_string().contains("record 3"));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let csv = "a\n\"oops\n";
+        assert!(read_csv_from(csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(read_csv_from("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "a\n1\n\n2\n";
+        let df = read_csv_from(csv.as_bytes()).unwrap();
+        assert_eq!(df.n_rows(), 2);
+    }
+
+    #[test]
+    fn int_like_strings_with_empty_become_cat() {
+        let csv = "a\n1\n\n3\n";
+        // middle row blank → skipped entirely; now force an empty cell
+        let df = read_csv_from(csv.as_bytes()).unwrap();
+        assert_eq!(df.dtype("a").unwrap(), DataType::Int);
+        let csv = "a,b\n1,x\n,y\n";
+        let df = read_csv_from(csv.as_bytes()).unwrap();
+        assert_eq!(df.dtype("a").unwrap(), DataType::Cat);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("faircap_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let df = DataFrame::builder()
+            .cat("c", &["x", "y"])
+            .int("n", vec![1, 2])
+            .build()
+            .unwrap();
+        write_csv(&df, &path).unwrap();
+        let df2 = read_csv(&path).unwrap();
+        assert_eq!(df, df2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types for the table substrate.
+
+use std::fmt;
+
+/// Errors raised by table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Referenced a column that does not exist.
+    UnknownColumn(String),
+    /// A column was added whose length differs from the frame's row count.
+    LengthMismatch {
+        /// Column that failed to attach.
+        column: String,
+        /// Length of the offending column.
+        expected: usize,
+        /// Row count of the frame.
+        actual: usize,
+    },
+    /// Two columns with the same name were inserted.
+    DuplicateColumn(String),
+    /// Operation applied to a column of an incompatible type.
+    TypeMismatch {
+        /// Column involved.
+        column: String,
+        /// What the operation needed.
+        expected: &'static str,
+        /// What the column actually is.
+        actual: &'static str,
+    },
+    /// Malformed CSV input.
+    Csv(String),
+    /// An I/O failure while reading or writing CSV.
+    Io(String),
+    /// A mask whose length does not match the frame it is applied to.
+    MaskLength {
+        /// Length of the supplied mask.
+        mask: usize,
+        /// Row count of the frame.
+        rows: usize,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            TableError::LengthMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column `{column}` has {expected} rows but the frame has {actual}"
+            ),
+            TableError::DuplicateColumn(name) => write!(f, "duplicate column `{name}`"),
+            TableError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column `{column}`: expected a {expected} column, found {actual}"
+            ),
+            TableError::Csv(msg) => write!(f, "csv parse error: {msg}"),
+            TableError::Io(msg) => write!(f, "io error: {msg}"),
+            TableError::MaskLength { mask, rows } => {
+                write!(f, "mask of length {mask} applied to frame with {rows} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TableError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TableError::UnknownColumn("salary".into());
+        assert!(e.to_string().contains("salary"));
+        let e = TableError::LengthMismatch {
+            column: "x".into(),
+            expected: 3,
+            actual: 5,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+        let e = TableError::TypeMismatch {
+            column: "age".into(),
+            expected: "numeric",
+            actual: "categorical",
+        };
+        assert!(e.to_string().contains("numeric"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: TableError = io.into();
+        assert!(matches!(e, TableError::Io(_)));
+    }
+}

@@ -1,0 +1,270 @@
+//! Conjunctive patterns (Definition 4.1) and their coverage (Definition 4.2).
+//!
+//! A [`Pattern`] is a conjunction of [`Predicate`]s, kept sorted by attribute
+//! so that structurally equal patterns compare and hash equal regardless of
+//! construction order. The empty pattern covers every row.
+
+use crate::dataframe::DataFrame;
+use crate::error::Result;
+use crate::mask::Mask;
+use crate::predicate::Predicate;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A conjunction of predicates over distinct positions.
+///
+/// Invariant: predicates are sorted by `(attr, op, value)` and deduplicated.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Pattern {
+    predicates: Vec<Predicate>,
+}
+
+impl Pattern {
+    /// The empty pattern, which covers all rows.
+    pub fn empty() -> Self {
+        Pattern::default()
+    }
+
+    /// Build from predicates; sorts and deduplicates.
+    pub fn new(mut predicates: Vec<Predicate>) -> Self {
+        predicates.sort();
+        predicates.dedup();
+        Pattern { predicates }
+    }
+
+    /// Convenience constructor for a conjunction of equality predicates.
+    pub fn of_eq(pairs: &[(&str, Value)]) -> Self {
+        Pattern::new(
+            pairs
+                .iter()
+                .map(|(a, v)| Predicate::eq(a, v.clone()))
+                .collect(),
+        )
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// True for the empty pattern.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// The predicates, sorted.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Attribute names mentioned (sorted, deduplicated).
+    pub fn attributes(&self) -> Vec<&str> {
+        let mut attrs: Vec<&str> = self.predicates.iter().map(|p| p.attr.as_str()).collect();
+        attrs.dedup();
+        attrs
+    }
+
+    /// New pattern with `pred` added.
+    pub fn with(&self, pred: Predicate) -> Pattern {
+        let mut preds = self.predicates.clone();
+        preds.push(pred);
+        Pattern::new(preds)
+    }
+
+    /// Conjunction of two patterns.
+    pub fn and(&self, other: &Pattern) -> Pattern {
+        let mut preds = self.predicates.clone();
+        preds.extend_from_slice(&other.predicates);
+        Pattern::new(preds)
+    }
+
+    /// All sub-patterns obtained by dropping exactly one predicate — the
+    /// parents in the pattern lattice. The empty pattern has no parents.
+    pub fn parents(&self) -> Vec<Pattern> {
+        (0..self.predicates.len())
+            .map(|i| {
+                let mut preds = self.predicates.clone();
+                preds.remove(i);
+                Pattern { predicates: preds }
+            })
+            .collect()
+    }
+
+    /// Mask of rows covered by the pattern (Definition 4.2).
+    pub fn coverage(&self, df: &DataFrame) -> Result<Mask> {
+        let mut m = Mask::ones(df.n_rows());
+        for p in &self.predicates {
+            m.and_inplace(&p.eval(df)?);
+            if m.none() {
+                break;
+            }
+        }
+        Ok(m)
+    }
+
+    /// Whether one row satisfies all predicates.
+    pub fn matches_row(&self, df: &DataFrame, row: usize) -> Result<bool> {
+        for p in &self.predicates {
+            if !p.matches_row(df, row)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// True iff `other` contains every predicate of `self` (so `self` is a
+    /// syntactic generalization and covers a superset of rows).
+    pub fn is_subpattern_of(&self, other: &Pattern) -> bool {
+        self.predicates.iter().all(|p| other.predicates.contains(p))
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.predicates.is_empty() {
+            return f.write_str("⊤");
+        }
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ∧ ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Predicate> for Pattern {
+    fn from_iter<T: IntoIterator<Item = Predicate>>(iter: T) -> Self {
+        Pattern::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+
+    fn df() -> DataFrame {
+        DataFrame::builder()
+            .cat("country", &["US", "IN", "US", "DE", "IN", "US"])
+            .cat("role", &["dev", "dev", "qa", "dev", "mgr", "dev"])
+            .int("age", vec![25, 31, 40, 29, 22, 35])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_pattern_covers_all() {
+        let p = Pattern::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.coverage(&df()).unwrap().count(), 6);
+        assert_eq!(p.to_string(), "⊤");
+    }
+
+    #[test]
+    fn construction_order_invariant() {
+        let a = Pattern::new(vec![
+            Predicate::eq("role", Value::from("dev")),
+            Predicate::eq("country", Value::from("US")),
+        ]);
+        let b = Pattern::new(vec![
+            Predicate::eq("country", Value::from("US")),
+            Predicate::eq("role", Value::from("dev")),
+        ]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn conjunction_coverage_is_intersection() {
+        let d = df();
+        let us = Pattern::of_eq(&[("country", Value::from("US"))]);
+        let dev = Pattern::of_eq(&[("role", Value::from("dev"))]);
+        let both = us.and(&dev);
+        let m_us = us.coverage(&d).unwrap();
+        let m_dev = dev.coverage(&d).unwrap();
+        assert_eq!(both.coverage(&d).unwrap(), &m_us & &m_dev);
+        assert_eq!(both.coverage(&d).unwrap().to_indices(), vec![0, 5]);
+    }
+
+    #[test]
+    fn with_extends() {
+        let p = Pattern::of_eq(&[("country", Value::from("US"))])
+            .with(Predicate::new("age", CmpOp::Ge, Value::Int(30)));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.coverage(&df()).unwrap().to_indices(), vec![2, 5]);
+    }
+
+    #[test]
+    fn dedup_in_constructor() {
+        let p = Pattern::new(vec![
+            Predicate::eq("a", Value::Int(1)),
+            Predicate::eq("a", Value::Int(1)),
+        ]);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn parents_drop_one_predicate() {
+        let p = Pattern::of_eq(&[
+            ("country", Value::from("US")),
+            ("role", Value::from("dev")),
+        ]);
+        let parents = p.parents();
+        assert_eq!(parents.len(), 2);
+        for parent in &parents {
+            assert_eq!(parent.len(), 1);
+            assert!(parent.is_subpattern_of(&p));
+        }
+        assert!(Pattern::empty().parents().is_empty());
+    }
+
+    #[test]
+    fn subpattern_implies_coverage_superset() {
+        let d = df();
+        let gen = Pattern::of_eq(&[("role", Value::from("dev"))]);
+        let spec = gen.with(Predicate::eq("country", Value::from("US")));
+        assert!(gen.is_subpattern_of(&spec));
+        let m_gen = gen.coverage(&d).unwrap();
+        let m_spec = spec.coverage(&d).unwrap();
+        assert!(m_spec.is_subset(&m_gen));
+    }
+
+    #[test]
+    fn matches_row_consistent_with_coverage() {
+        let d = df();
+        let p = Pattern::of_eq(&[("country", Value::from("IN"))])
+            .with(Predicate::new("age", CmpOp::Lt, Value::Int(30)));
+        let m = p.coverage(&d).unwrap();
+        for r in 0..d.n_rows() {
+            assert_eq!(m.get(r), p.matches_row(&d, r).unwrap());
+        }
+    }
+
+    #[test]
+    fn display_joins_with_wedge() {
+        let p = Pattern::of_eq(&[
+            ("country", Value::from("US")),
+            ("role", Value::from("dev")),
+        ]);
+        assert_eq!(p.to_string(), "country = US ∧ role = dev");
+    }
+
+    #[test]
+    fn attributes_deduped() {
+        let p = Pattern::new(vec![
+            Predicate::new("age", CmpOp::Ge, Value::Int(20)),
+            Predicate::new("age", CmpOp::Lt, Value::Int(30)),
+            Predicate::eq("role", Value::from("dev")),
+        ]);
+        assert_eq!(p.attributes(), vec!["age", "role"]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Single-attribute comparison predicates (Definition 4.1 of the paper).
+//!
+//! A predicate is `attr op value` with `op ∈ {=, ≠, <, >, ≤, ≥}`. Evaluating a
+//! predicate against a frame produces a row [`Mask`]. Null semantics follow
+//! SQL: a null cell never satisfies a predicate.
+
+use crate::column::Column;
+use crate::dataframe::DataFrame;
+use crate::error::Result;
+use crate::mask::Mask;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to an ordering result.
+    fn matches(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// Symbol used when rendering rules.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "≠",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "≤",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => "≥",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// `attr op value`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Attribute name.
+    pub attr: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant compared against.
+    pub value: Value,
+}
+
+impl Predicate {
+    /// Construct an arbitrary predicate.
+    pub fn new(attr: &str, op: CmpOp, value: Value) -> Self {
+        Predicate {
+            attr: attr.to_owned(),
+            op,
+            value,
+        }
+    }
+
+    /// Shorthand for equality predicates, the common case in patterns.
+    pub fn eq(attr: &str, value: Value) -> Self {
+        Predicate::new(attr, CmpOp::Eq, value)
+    }
+
+    /// Shorthand for inequality predicates.
+    pub fn ne(attr: &str, value: Value) -> Self {
+        Predicate::new(attr, CmpOp::Ne, value)
+    }
+
+    /// Evaluate against a frame, producing the mask of satisfying rows.
+    pub fn eval(&self, df: &DataFrame) -> Result<Mask> {
+        let col = df.column(&self.attr)?;
+        Ok(self.eval_column(col, df.n_rows()))
+    }
+
+    /// Evaluate against a single column of known length.
+    ///
+    /// Categorical columns are compared through dictionary codes: an `Eq`
+    /// against a value missing from the dictionary is all-false, `Ne`
+    /// all-true, without any per-row string comparison.
+    pub fn eval_column(&self, col: &Column, n_rows: usize) -> Mask {
+        debug_assert_eq!(col.len(), n_rows);
+        let mut m = Mask::zeros(n_rows);
+        match (col, &self.value) {
+            (Column::Cat(c), Value::Str(s)) if self.op == CmpOp::Eq || self.op == CmpOp::Ne => {
+                match (c.code_of(s), self.op) {
+                    (Some(code), CmpOp::Eq) => {
+                        for (i, &cd) in c.codes().iter().enumerate() {
+                            if cd == code {
+                                m.set(i, true);
+                            }
+                        }
+                    }
+                    (Some(code), _) => {
+                        for (i, &cd) in c.codes().iter().enumerate() {
+                            if cd != code {
+                                m.set(i, true);
+                            }
+                        }
+                    }
+                    (None, CmpOp::Eq) => {}
+                    (None, _) => m = Mask::ones(n_rows),
+                }
+            }
+            (Column::Int(v), _) => {
+                for (i, &x) in v.iter().enumerate() {
+                    if self.op.matches(Value::Int(x).cmp(&self.value)) {
+                        m.set(i, true);
+                    }
+                }
+            }
+            (Column::Float(v), _) => {
+                for (i, &x) in v.iter().enumerate() {
+                    if self.op.matches(Value::Float(x).cmp(&self.value)) {
+                        m.set(i, true);
+                    }
+                }
+            }
+            (Column::Bool(v), _) => {
+                for (i, &x) in v.iter().enumerate() {
+                    if self.op.matches(Value::Bool(x).cmp(&self.value)) {
+                        m.set(i, true);
+                    }
+                }
+            }
+            (Column::Cat(c), _) => {
+                // Ordered comparison on strings, or comparison against a
+                // non-string constant (never matches for Eq).
+                for (i, &cd) in c.codes().iter().enumerate() {
+                    let v = Value::Str(c.value_of(cd).to_owned());
+                    if self.op.matches(v.cmp(&self.value)) {
+                        m.set(i, true);
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Whether a single row of a frame satisfies the predicate.
+    pub fn matches_row(&self, df: &DataFrame, row: usize) -> Result<bool> {
+        let v = df.get(row, &self.attr)?;
+        if v.is_null() {
+            return Ok(false);
+        }
+        Ok(self.op.matches(v.cmp(&self.value)))
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.attr, self.op, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        DataFrame::builder()
+            .cat("role", &["dev", "qa", "dev", "mgr"])
+            .int("age", vec![25, 31, 40, 29])
+            .float("salary", vec![120.0, 30.0, 150.0, 90.0])
+            .bool("remote", vec![true, false, true, false])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn eq_on_categorical() {
+        let p = Predicate::eq("role", Value::from("dev"));
+        assert_eq!(p.eval(&df()).unwrap().to_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn ne_on_categorical() {
+        let p = Predicate::ne("role", Value::from("dev"));
+        assert_eq!(p.eval(&df()).unwrap().to_indices(), vec![1, 3]);
+    }
+
+    #[test]
+    fn eq_missing_dictionary_value() {
+        let p = Predicate::eq("role", Value::from("intern"));
+        assert!(p.eval(&df()).unwrap().none());
+        let p = Predicate::ne("role", Value::from("intern"));
+        assert_eq!(p.eval(&df()).unwrap().count(), 4);
+    }
+
+    #[test]
+    fn numeric_range_ops() {
+        let d = df();
+        let p = Predicate::new("age", CmpOp::Ge, Value::Int(30));
+        assert_eq!(p.eval(&d).unwrap().to_indices(), vec![1, 2]);
+        let p = Predicate::new("salary", CmpOp::Lt, Value::Float(100.0));
+        assert_eq!(p.eval(&d).unwrap().to_indices(), vec![1, 3]);
+        // int column vs float constant
+        let p = Predicate::new("age", CmpOp::Gt, Value::Float(29.5));
+        assert_eq!(p.eval(&d).unwrap().to_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn bool_predicates() {
+        let p = Predicate::eq("remote", Value::Bool(true));
+        assert_eq!(p.eval(&df()).unwrap().to_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn matches_row_agrees_with_eval() {
+        let d = df();
+        let preds = [
+            Predicate::eq("role", Value::from("qa")),
+            Predicate::new("age", CmpOp::Le, Value::Int(29)),
+            Predicate::new("salary", CmpOp::Gt, Value::Float(100.0)),
+        ];
+        for p in &preds {
+            let m = p.eval(&d).unwrap();
+            for r in 0..d.n_rows() {
+                assert_eq!(m.get(r), p.matches_row(&d, r).unwrap(), "pred {p} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let p = Predicate::eq("nope", Value::Int(1));
+        assert!(p.eval(&df()).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        let p = Predicate::new("age", CmpOp::Ge, Value::Int(30));
+        assert_eq!(p.to_string(), "age ≥ 30");
+    }
+}

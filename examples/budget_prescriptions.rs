@@ -1,0 +1,94 @@
+//! Budget-constrained prescriptions — the paper's §8 future-work extension.
+//!
+//! ```sh
+//! cargo run --release --example budget_prescriptions
+//! ```
+//!
+//! §8 motivates intervention costs: "some interventions may be impractical
+//! or vary significantly in cost (e.g., moving to the US versus learning
+//! Python)". This example assigns costs to the Stack Overflow mutable
+//! attributes and compares three policies: ignore costs (the published
+//! algorithm), a hard per-rule budget, and cost-effectiveness ranking.
+
+use faircap::core::{run, CostModel, CostPolicy, FairCapConfig, ProblemInput, SolutionReport};
+use faircap::data::so;
+use faircap::table::Value;
+
+fn main() {
+    let ds = so::generate(12_000, 42);
+    let input = ProblemInput {
+        df: &ds.df,
+        dag: &ds.dag,
+        outcome: &ds.outcome,
+        immutable: &ds.immutable,
+        mutable: &ds.mutable,
+        protected: &ds.protected,
+    };
+
+    // Cost units ≈ "effort years". Degrees are expensive; habits are cheap.
+    let costs = || {
+        CostModel::with_default(1.0)
+            .set("education", Value::from("bachelor"), 16.0)
+            .set("education", Value::from("master"), 22.0)
+            .set("education", Value::from("phd"), 40.0)
+            .set("undergrad_major", Value::from("cs"), 16.0)
+            .set_attribute("dev_role", 6.0)
+            .set_attribute("computer_hours", 0.5)
+            .set_attribute("languages_count", 2.0)
+            .set_attribute("certifications", 1.5)
+            .set_attribute("open_source", 1.0)
+            .set_attribute("training", 0.5)
+    };
+
+    let policies: Vec<(&str, CostPolicy)> = vec![
+        ("ignore costs (published algorithm)", CostPolicy::Ignore),
+        (
+            "hard budget: ≤ 8 effort-years per rule",
+            CostPolicy::Budget { max_rule_cost: 8.0 },
+        ),
+        (
+            "cost-effectiveness (benefit / (1 + 0.2·cost))",
+            CostPolicy::Penalize { weight: 0.2 },
+        ),
+    ];
+
+    let model = costs();
+    for (title, cost_policy) in policies {
+        let cfg = FairCapConfig {
+            cost_model: costs(),
+            cost_policy,
+            ..FairCapConfig::default()
+        };
+        let report = run(&input, &cfg);
+        println!("=== {title} ===");
+        summarize(&report, &model);
+    }
+}
+
+fn summarize(report: &SolutionReport, model: &CostModel) {
+    let avg_cost = if report.rules.is_empty() {
+        0.0
+    } else {
+        report
+            .rules
+            .iter()
+            .map(|r| model.pattern_cost(&r.intervention))
+            .sum::<f64>()
+            / report.rules.len() as f64
+    };
+    println!(
+        "{} rules, exp utility {:.0}, avg intervention cost {:.1}",
+        report.size(),
+        report.summary.expected,
+        avg_cost
+    );
+    for r in report.rules.iter().take(3) {
+        println!(
+            "  {} (utility {:.0}, cost {:.1})",
+            r,
+            r.utility.overall,
+            model.pattern_cost(&r.intervention)
+        );
+    }
+    println!();
+}

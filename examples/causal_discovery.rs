@@ -1,0 +1,96 @@
+//! Causal-substrate tour: d-separation, backdoor adjustment, CATE
+//! estimation against planted ground truth, and PC structure discovery —
+//! the machinery behind the paper's Table 6 robustness experiment.
+//!
+//! ```sh
+//! cargo run --release --example causal_discovery
+//! ```
+
+use faircap::causal::discovery::{pc_dag, PcConfig};
+use faircap::causal::{d_separated_names, find_adjustment_set_names, CateEngine, EstimatorKind};
+use faircap::data::{build_dag_variant, so, DagVariant};
+use faircap::table::{Mask, Pattern, Value};
+
+fn main() {
+    let ds = so::generate(10_000, 42);
+
+    // --- 1. The ground-truth DAG and d-separation queries. ---
+    println!("Ground-truth SO DAG: {} nodes, {} edges", ds.dag.n_nodes(), ds.dag.n_edges());
+    for (x, y, z) in [
+        ("education", "salary", vec![]),
+        ("age", "salary", vec!["years_coding", "education", "dependents", "student", "computer_hours"]),
+    ] {
+        let sep = d_separated_names(
+            &ds.dag,
+            &[x],
+            &[y],
+            &z.to_vec(),
+        )
+        .unwrap();
+        println!("  {x} ⊥ {y} | {z:?} ?  {sep}");
+    }
+
+    // --- 2. Backdoor adjustment sets. ---
+    for treatment in ["education", "dev_role", "certifications"] {
+        let z = find_adjustment_set_names(&ds.dag, &[treatment], "salary").unwrap();
+        println!("adjustment set for {treatment} -> salary: {z:?}");
+    }
+
+    // --- 3. Estimators vs planted ground truth. ---
+    let engine = CateEngine::new(&ds.df, &ds.dag, "salary", EstimatorKind::Linear);
+    let nonprot = !&ds.protected_mask();
+    let cert = Pattern::of_eq(&[("certifications", Value::from("yes"))]);
+    let est = engine.cate(&nonprot, &cert).expect("estimable");
+    println!(
+        "\ncertifications=yes CATE (non-protected): estimated {:.0}, planted {:.0}",
+        est.cate,
+        so::CERTIFICATIONS_EFFECT.0
+    );
+
+    // --- 4. PC discovery on a column subset (full 21 columns is slow). ---
+    let sub: Vec<String> = [
+        "age",
+        "years_coding",
+        "education",
+        "dev_role",
+        "salary",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let discovered = pc_dag(&ds.df, &sub, PcConfig::default()).unwrap();
+    println!("\nPC-discovered DAG over {sub:?}:");
+    print!("{}", discovered.to_dot());
+
+    // --- 5. The Table 6 DAG variants. ---
+    println!("\nTable 6 DAG variants (node/edge counts):");
+    for variant in [
+        DagVariant::Original,
+        DagVariant::OneLayerIndep,
+        DagVariant::TwoLayerMutable,
+        DagVariant::TwoLayer,
+    ] {
+        let dag = build_dag_variant(&ds, variant);
+        println!(
+            "  {:<22} {:>3} nodes {:>4} edges",
+            variant.label(),
+            dag.n_nodes(),
+            dag.n_edges()
+        );
+    }
+
+    // --- 6. Estimate robustness: same query under two DAG variants. ---
+    let one_layer = build_dag_variant(&ds, DagVariant::OneLayerIndep);
+    let naive_engine = CateEngine::new(&ds.df, &one_layer, "salary", EstimatorKind::Linear);
+    let naive = naive_engine
+        .cate(&Mask::ones(ds.df.n_rows()), &cert)
+        .expect("estimable");
+    let adjusted = engine
+        .cate(&Mask::ones(ds.df.n_rows()), &cert)
+        .expect("estimable");
+    println!(
+        "\ncertifications CATE, whole population: 1-layer DAG (no adjustment) {:.0} vs original DAG {:.0}",
+        naive.cate, adjusted.cate
+    );
+    println!("(education confounds certifications, so the unadjusted estimate is inflated)");
+}

@@ -1,0 +1,91 @@
+//! Bring your own data: run FairCap on a CSV file with a hand-written
+//! causal DAG — the adoption path for real datasets.
+//!
+//! ```sh
+//! cargo run --release --example custom_dataset
+//! ```
+//!
+//! For the demo we first export a sample of the synthetic survey to a CSV
+//! (pretend this file came from your data warehouse), then load it back,
+//! declare a causal DAG and the mutable/immutable split by hand, and solve.
+
+use faircap::causal::Dag;
+use faircap::core::{
+    run, FairCapConfig, FairnessConstraint, FairnessScope, ProblemInput,
+};
+use faircap::table::{csv, Pattern, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 0. Materialize "your" CSV (stand-in for a real export). ---
+    let dir = std::env::temp_dir().join("faircap_custom_dataset");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("employees.csv");
+    let sample = faircap::data::so::generate(8_000, 123);
+    let keep: Vec<&str> = vec![
+        "age",
+        "gdp_group",
+        "years_coding",
+        "education",
+        "dev_role",
+        "certifications",
+        "salary",
+    ];
+    csv::write_csv(&sample.df.select(&keep)?, &path)?;
+    println!("wrote {}", path.display());
+
+    // --- 1. Load the CSV (types are inferred). ---
+    let df = csv::read_csv(&path)?;
+    println!("loaded {} rows × {} columns", df.n_rows(), df.n_cols());
+
+    // --- 2. Declare the causal DAG (domain knowledge). ---
+    let mut dag = Dag::new();
+    for (from, to) in [
+        ("age", "years_coding"),
+        ("age", "education"),
+        ("age", "salary"),
+        ("gdp_group", "education"),
+        ("gdp_group", "salary"),
+        ("years_coding", "dev_role"),
+        ("years_coding", "salary"),
+        ("education", "dev_role"),
+        ("education", "certifications"),
+        ("education", "salary"),
+        ("dev_role", "salary"),
+        ("certifications", "salary"),
+    ] {
+        dag.add_edge_by_name(from, to)?;
+    }
+
+    // --- 3. Declare the problem: outcome, I/M split, protected group. ---
+    let immutable: Vec<String> = ["age", "gdp_group", "years_coding"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mutable: Vec<String> = ["education", "dev_role", "certifications"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let protected = Pattern::of_eq(&[("gdp_group", Value::from("low"))]);
+
+    let input = ProblemInput {
+        df: &df,
+        dag: &dag,
+        outcome: "salary",
+        immutable: &immutable,
+        mutable: &mutable,
+        protected: &protected,
+    };
+
+    // --- 4. Solve with group SP fairness. ---
+    let cfg = FairCapConfig {
+        fairness: FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Group,
+            epsilon: 10_000.0,
+        },
+        ..FairCapConfig::default()
+    };
+    let report = run(&input, &cfg);
+    println!("\n{report}");
+    println!("{}", report.rule_cards());
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Case study (paper §6, German Credit): bounded-group-loss fairness on a
+//! binary outcome.
+//!
+//! ```sh
+//! cargo run --release --example german_credit_study
+//! ```
+
+use faircap::core::{
+    run, CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope, ProblemInput,
+};
+use faircap::data::german;
+
+fn main() {
+    let ds = german::generate(german::GERMAN_DEFAULT_ROWS, 42);
+    println!(
+        "German Credit stand-in: {} rows, protected = {} ({:.1}%)\n",
+        ds.df.n_rows(),
+        ds.protected,
+        ds.protected_fraction() * 100.0
+    );
+    let input = ProblemInput {
+        df: &ds.df,
+        dag: &ds.dag,
+        outcome: &ds.outcome,
+        immutable: &ds.immutable,
+        mutable: &ds.mutable,
+        protected: &ds.protected,
+    };
+
+    // No constraints.
+    let unconstrained = run(&input, &FairCapConfig::default());
+    println!("=== No constraints ===\n{unconstrained}");
+    println!("{}", unconstrained.rule_cards());
+
+    // Group BGL fairness (τ = 0.1) + group coverage (θ = 0.3), the paper's
+    // German defaults.
+    let cfg = FairCapConfig {
+        fairness: FairnessConstraint::BoundedGroupLoss {
+            scope: FairnessScope::Group,
+            tau: 0.1,
+        },
+        coverage: CoverageConstraint::Group {
+            theta: 0.3,
+            theta_protected: 0.3,
+        },
+        ..FairCapConfig::default()
+    };
+    let fair = run(&input, &cfg);
+    println!("=== Group BGL (τ=0.1) + group coverage (θ=0.3) ===\n{fair}");
+    println!("{}", fair.rule_cards());
+
+    println!("Paper §6 shape: BGL only bounds the protected group's expected gain");
+    println!("from below, so some protected/non-protected disparity persists even");
+    println!("with the constraint active — but the protected floor holds (≥ τ).");
+    println!(
+        "Measured: protected expected utility {:.3} (τ = 0.1), unfairness {:.3}.",
+        fair.summary.expected_protected, fair.summary.unfairness
+    );
+}

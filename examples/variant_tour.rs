@@ -1,0 +1,59 @@
+//! Tour of the paper's Figure 2 decision tree: walk all nine structural
+//! constraint variants on a small Stack Overflow sample and compare the
+//! solutions side by side.
+//!
+//! ```sh
+//! cargo run --release --example variant_tour
+//! ```
+
+use faircap::core::{
+    all_structural_variants, choose_variant, run, FairCapConfig, FairnessKind, ProblemInput,
+    SolutionReport, VariantAnswers,
+};
+use faircap::data::so;
+
+fn main() {
+    // Use a smaller sample so the tour finishes quickly.
+    let ds = so::generate(8_000, 42);
+    let input = ProblemInput {
+        df: &ds.df,
+        dag: &ds.dag,
+        outcome: &ds.outcome,
+        immutable: &ds.immutable,
+        mutable: &ds.mutable,
+        protected: &ds.protected,
+    };
+
+    // First, the interactive view: one walk through the decision tree.
+    println!("Figure 2 walk-through: \"I need group-level fairness and a");
+    println!("whole-ruleset coverage guarantee\" leads to:");
+    let answers = VariantAnswers {
+        wants_fairness: true,
+        group_fairness: true,
+        kind: FairnessKind::StatisticalParity,
+        threshold: 10_000.0,
+        wants_coverage: true,
+        per_rule_coverage: false,
+        theta: 0.5,
+        theta_protected: 0.5,
+    };
+    let (fairness, coverage) = choose_variant(&answers);
+    println!("  fairness  = {}", fairness.label());
+    println!("  coverage  = {}\n", coverage.label());
+
+    // Then all nine leaves, as the paper's Table 4 enumerates them.
+    println!("All nine structural variants (SP, ε=$10k, θ=θp=0.5), 8k-row sample:");
+    println!("{}", SolutionReport::table_header());
+    for (label, fairness, coverage) in
+        all_structural_variants(FairnessKind::StatisticalParity, 10_000.0, 0.5, 0.5)
+    {
+        let cfg = FairCapConfig {
+            fairness,
+            coverage,
+            ..FairCapConfig::default()
+        };
+        let mut report = run(&input, &cfg);
+        report.label = label;
+        println!("{}", report.table_row());
+    }
+}

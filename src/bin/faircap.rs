@@ -1,0 +1,27 @@
+//! The `faircap` command-line tool: run Prescription Ruleset Selection on a
+//! CSV file with a user-supplied causal DAG.
+//!
+//! ```sh
+//! cargo run --release --bin faircap -- --help
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match faircap::cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg == faircap::cli::USAGE { 0 } else { 2 });
+        }
+    };
+    match faircap::cli::execute(&opts) {
+        Ok(report) => {
+            println!("{report}");
+            print!("{}", report.rule_cards());
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

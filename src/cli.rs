@@ -1,0 +1,377 @@
+//! Argument parsing and orchestration for the `faircap` command-line tool.
+//!
+//! Kept in the library so the parsing logic is unit-testable; the binary in
+//! `src/bin/faircap.rs` is a thin wrapper.
+
+use faircap_causal::{Dag, EstimatorKind};
+use faircap_core::{
+    run, CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope, ProblemInput,
+    SolutionReport,
+};
+use faircap_table::{csv, DataFrame, Pattern, Predicate, Value};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Default)]
+pub struct CliOptions {
+    /// CSV file with the data.
+    pub data: String,
+    /// Edge-list / DOT file with the causal DAG.
+    pub dag: String,
+    /// Outcome attribute.
+    pub outcome: String,
+    /// Comma-separated mutable attributes; all other non-outcome columns
+    /// are treated as immutable.
+    pub mutable: Vec<String>,
+    /// Protected-group predicates `attr=value`, comma-separated.
+    pub protected: Vec<(String, String)>,
+    /// Fairness spec: `none`, `sp-group:EPS`, `sp-individual:EPS`,
+    /// `bgl-group:TAU`, `bgl-individual:TAU`.
+    pub fairness: String,
+    /// Coverage spec: `none`, `group:THETA:THETA_P`, `rule:THETA:THETA_P`.
+    pub coverage: String,
+    /// Estimator: `linear`, `stratified`, `ipw`.
+    pub estimator: String,
+    /// Maximum rules to select.
+    pub max_rules: usize,
+}
+
+/// Usage text printed on `--help` or parse errors.
+pub const USAGE: &str = "\
+faircap — fair and actionable causal prescription rulesets
+
+USAGE:
+  faircap --data FILE.csv --dag DAG.txt --outcome COL \\
+          --mutable a,b,c --protected attr=value[,attr=value] \\
+          [--fairness sp-group:10000] [--coverage group:0.5:0.5] \\
+          [--estimator linear|stratified|ipw] [--max-rules 20]
+
+The DAG file holds one `parent -> child` edge per line (DOT output of this
+tool's own Dag type is accepted). Fairness: none | sp-group:EPS |
+sp-individual:EPS | bgl-group:TAU | bgl-individual:TAU. Coverage:
+none | group:THETA:THETA_P | rule:THETA:THETA_P.";
+
+/// Parse CLI arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions {
+        fairness: "none".into(),
+        coverage: "none".into(),
+        estimator: "linear".into(),
+        max_rules: 20,
+        ..CliOptions::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_owned());
+        }
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--data" => opts.data = value()?,
+            "--dag" => opts.dag = value()?,
+            "--outcome" => opts.outcome = value()?,
+            "--mutable" => {
+                opts.mutable = value()?
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--protected" => {
+                for pair in value()?.split(',') {
+                    let (attr, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("--protected needs attr=value, got `{pair}`"))?;
+                    opts.protected
+                        .push((attr.trim().to_owned(), v.trim().to_owned()));
+                }
+            }
+            "--fairness" => opts.fairness = value()?,
+            "--coverage" => opts.coverage = value()?,
+            "--estimator" => opts.estimator = value()?,
+            "--max-rules" => {
+                opts.max_rules = value()?
+                    .parse()
+                    .map_err(|e| format!("--max-rules: {e}"))?
+            }
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    for (name, val) in [
+        ("--data", &opts.data),
+        ("--dag", &opts.dag),
+        ("--outcome", &opts.outcome),
+    ] {
+        if val.is_empty() {
+            return Err(format!("{name} is required\n\n{USAGE}"));
+        }
+    }
+    if opts.mutable.is_empty() {
+        return Err(format!("--mutable is required\n\n{USAGE}"));
+    }
+    if opts.protected.is_empty() {
+        return Err(format!("--protected is required\n\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+/// Translate the fairness spec string into a constraint.
+pub fn parse_fairness(spec: &str) -> Result<FairnessConstraint, String> {
+    if spec == "none" {
+        return Ok(FairnessConstraint::None);
+    }
+    let (kind, threshold) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("fairness spec `{spec}` needs KIND:THRESHOLD"))?;
+    let threshold: f64 = threshold
+        .parse()
+        .map_err(|e| format!("fairness threshold: {e}"))?;
+    let scope = |s: &str| {
+        if s.ends_with("group") {
+            FairnessScope::Group
+        } else {
+            FairnessScope::Individual
+        }
+    };
+    match kind {
+        "sp-group" | "sp-individual" => Ok(FairnessConstraint::StatisticalParity {
+            scope: scope(kind),
+            epsilon: threshold,
+        }),
+        "bgl-group" | "bgl-individual" => Ok(FairnessConstraint::BoundedGroupLoss {
+            scope: scope(kind),
+            tau: threshold,
+        }),
+        other => Err(format!("unknown fairness kind `{other}`")),
+    }
+}
+
+/// Translate the coverage spec string into a constraint.
+pub fn parse_coverage(spec: &str) -> Result<CoverageConstraint, String> {
+    if spec == "none" {
+        return Ok(CoverageConstraint::None);
+    }
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!("coverage spec `{spec}` needs KIND:THETA:THETA_P"));
+    }
+    let theta: f64 = parts[1].parse().map_err(|e| format!("theta: {e}"))?;
+    let theta_protected: f64 = parts[2].parse().map_err(|e| format!("theta_p: {e}"))?;
+    match parts[0] {
+        "group" => Ok(CoverageConstraint::Group {
+            theta,
+            theta_protected,
+        }),
+        "rule" => Ok(CoverageConstraint::Rule {
+            theta,
+            theta_protected,
+        }),
+        other => Err(format!("unknown coverage kind `{other}`")),
+    }
+}
+
+/// Translate the estimator spec string.
+pub fn parse_estimator(spec: &str) -> Result<EstimatorKind, String> {
+    match spec {
+        "linear" => Ok(EstimatorKind::Linear),
+        "stratified" => Ok(EstimatorKind::Stratified),
+        "ipw" => Ok(EstimatorKind::Ipw),
+        other => Err(format!("unknown estimator `{other}`")),
+    }
+}
+
+/// Build the protected pattern, inferring value types from the frame.
+pub fn protected_pattern(
+    df: &DataFrame,
+    pairs: &[(String, String)],
+) -> Result<Pattern, String> {
+    let mut preds = Vec::with_capacity(pairs.len());
+    for (attr, raw) in pairs {
+        let col = df
+            .column(attr)
+            .map_err(|e| format!("protected attribute: {e}"))?;
+        let value = match col.data_type() {
+            faircap_table::DataType::Int => Value::Int(
+                raw.parse::<i64>()
+                    .map_err(|e| format!("protected value for {attr}: {e}"))?,
+            ),
+            faircap_table::DataType::Float => Value::Float(
+                raw.parse::<f64>()
+                    .map_err(|e| format!("protected value for {attr}: {e}"))?,
+            ),
+            faircap_table::DataType::Bool => Value::Bool(raw == "true"),
+            faircap_table::DataType::Cat => Value::from(raw.as_str()),
+        };
+        preds.push(Predicate::eq(attr, value));
+    }
+    Ok(Pattern::new(preds))
+}
+
+/// Load inputs and run FairCap according to the options.
+pub fn execute(opts: &CliOptions) -> Result<SolutionReport, String> {
+    let df = csv::read_csv(&opts.data).map_err(|e| format!("reading {}: {e}", opts.data))?;
+    let dag_text = std::fs::read_to_string(&opts.dag)
+        .map_err(|e| format!("reading {}: {e}", opts.dag))?;
+    let dag = Dag::parse_edge_list(&dag_text).map_err(|e| format!("parsing DAG: {e}"))?;
+    if !df.has_column(&opts.outcome) {
+        return Err(format!("outcome column `{}` not in the data", opts.outcome));
+    }
+    for m in &opts.mutable {
+        if !df.has_column(m) {
+            return Err(format!("mutable attribute `{m}` not in the data"));
+        }
+    }
+    let immutable: Vec<String> = df
+        .names()
+        .iter()
+        .filter(|c| **c != opts.outcome && !opts.mutable.contains(c))
+        .cloned()
+        .collect();
+    let protected = protected_pattern(&df, &opts.protected)?;
+    let cfg = FairCapConfig {
+        fairness: parse_fairness(&opts.fairness)?,
+        coverage: parse_coverage(&opts.coverage)?,
+        estimator: parse_estimator(&opts.estimator)?,
+        max_rules: opts.max_rules,
+        ..FairCapConfig::default()
+    };
+    let input = ProblemInput {
+        df: &df,
+        dag: &dag,
+        outcome: &opts.outcome,
+        immutable: &immutable,
+        mutable: &opts.mutable,
+        protected: &protected,
+    };
+    Ok(run(&input, &cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let opts = parse_args(&args(
+            "--data d.csv --dag g.txt --outcome salary --mutable edu,role \
+             --protected gdp=low --fairness sp-group:10000 \
+             --coverage group:0.5:0.5 --estimator ipw --max-rules 7",
+        ))
+        .unwrap();
+        assert_eq!(opts.data, "d.csv");
+        assert_eq!(opts.mutable, vec!["edu", "role"]);
+        assert_eq!(opts.protected, vec![("gdp".into(), "low".into())]);
+        assert_eq!(opts.max_rules, 7);
+        assert!(matches!(
+            parse_fairness(&opts.fairness).unwrap(),
+            FairnessConstraint::StatisticalParity {
+                scope: FairnessScope::Group,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_coverage(&opts.coverage).unwrap(),
+            CoverageConstraint::Group { .. }
+        ));
+        assert!(matches!(
+            parse_estimator(&opts.estimator).unwrap(),
+            EstimatorKind::Ipw
+        ));
+    }
+
+    #[test]
+    fn missing_required_flags_rejected() {
+        assert!(parse_args(&args("--data d.csv")).is_err());
+        assert!(parse_args(&args(
+            "--data d.csv --dag g.txt --outcome o --mutable m"
+        ))
+        .is_err()); // no --protected
+        assert!(parse_args(&args("--bogus x")).is_err());
+        assert!(parse_args(&args("--data")).is_err()); // dangling value
+    }
+
+    #[test]
+    fn fairness_spec_variants() {
+        assert!(matches!(
+            parse_fairness("none").unwrap(),
+            FairnessConstraint::None
+        ));
+        assert!(matches!(
+            parse_fairness("bgl-individual:0.1").unwrap(),
+            FairnessConstraint::BoundedGroupLoss {
+                scope: FairnessScope::Individual,
+                ..
+            }
+        ));
+        assert!(parse_fairness("sp-group").is_err());
+        assert!(parse_fairness("nope:3").is_err());
+        assert!(parse_fairness("sp-group:abc").is_err());
+    }
+
+    #[test]
+    fn coverage_spec_variants() {
+        assert!(matches!(
+            parse_coverage("rule:0.3:0.2").unwrap(),
+            CoverageConstraint::Rule { theta, theta_protected }
+                if theta == 0.3 && theta_protected == 0.2
+        ));
+        assert!(parse_coverage("group:0.5").is_err());
+        assert!(parse_coverage("huh:0.5:0.5").is_err());
+    }
+
+    #[test]
+    fn protected_pattern_infers_types() {
+        let df = DataFrame::builder()
+            .cat("city", &["x", "y"])
+            .int("tier", vec![1, 2])
+            .bool("flag", vec![true, false])
+            .build()
+            .unwrap();
+        let p = protected_pattern(
+            &df,
+            &[
+                ("city".into(), "x".into()),
+                ("tier".into(), "2".into()),
+                ("flag".into(), "true".into()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(protected_pattern(&df, &[("ghost".into(), "1".into())]).is_err());
+        assert!(protected_pattern(&df, &[("tier".into(), "NaNope".into())]).is_err());
+    }
+
+    #[test]
+    fn execute_end_to_end_via_files() {
+        // Materialize a tiny CSV + DAG, run the whole CLI path.
+        let dir = std::env::temp_dir().join("faircap_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.csv");
+        let dagf = dir.join("g.txt");
+        let ds = faircap_data::so::generate(2_000, 3);
+        let keep = ["gdp_group", "age", "certifications", "training", "salary"];
+        faircap_table::csv::write_csv(&ds.df.select(&keep).unwrap(), &data).unwrap();
+        std::fs::write(
+            &dagf,
+            "gdp_group -> salary\nage -> salary\ncertifications -> salary\ntraining -> salary\n",
+        )
+        .unwrap();
+        let opts = parse_args(&args(&format!(
+            "--data {} --dag {} --outcome salary --mutable certifications,training \
+             --protected gdp_group=low --max-rules 5",
+            data.display(),
+            dagf.display()
+        )))
+        .unwrap();
+        let report = execute(&opts).unwrap();
+        assert!(report.size() <= 5);
+        assert!(!report.rules.is_empty());
+    }
+}

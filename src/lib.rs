@@ -1,0 +1,28 @@
+//! # faircap
+//!
+//! Facade crate for the FairCap workspace — a from-scratch Rust
+//! reproduction of *“Fair and Actionable Causal Prescription Ruleset”*
+//! (SIGMOD 2025). Re-exports every layer:
+//!
+//! * [`table`] — columnar frames, bitset masks, conjunctive patterns, CSV,
+//!   statistics.
+//! * [`causal`] — causal DAGs, d-separation, backdoor adjustment, CATE
+//!   estimation, PC discovery, SCM sampling.
+//! * [`mining`] — Apriori and the positive-parent lattice.
+//! * [`core`] — the FairCap algorithm, constraints, and reports.
+//! * [`baselines`] — CauSumX / IDS / FRL and the IF-clause adaptations.
+//! * [`data`] — synthetic Stack Overflow and German Credit stand-ins.
+//!
+//! See the [README](https://github.com/faircap/faircap-rs) and the
+//! runnable examples (`cargo run --release --example quickstart`).
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use faircap_baselines as baselines;
+pub use faircap_causal as causal;
+pub use faircap_core as core;
+pub use faircap_data as data;
+pub use faircap_mining as mining;
+pub use faircap_table as table;

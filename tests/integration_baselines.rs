@@ -1,0 +1,148 @@
+//! Integration tests for the baselines and their IF-clause adaptations on
+//! the synthetic datasets (the §7.2 comparison).
+
+use faircap::baselines::{
+    adapt_if_clauses, causumx, learn_decision_set, learn_falling_rule_list, FrlConfig, IdsConfig,
+    IfClauseRole,
+};
+use faircap::core::{run, FairCapConfig, FairnessConstraint, FairnessScope, ProblemInput};
+use faircap::data::{so, Dataset};
+
+fn input(ds: &Dataset) -> ProblemInput<'_> {
+    ProblemInput {
+        df: &ds.df,
+        dag: &ds.dag,
+        outcome: &ds.outcome,
+        immutable: &ds.immutable,
+        mutable: &ds.mutable,
+        protected: &ds.protected,
+    }
+}
+
+#[test]
+fn causumx_matches_unfair_faircap_shape() {
+    let ds = so::generate(6_000, 42);
+    let report = causumx(&input(&ds), 0.5);
+    assert!(report.label.contains("CauSumX"));
+    assert!(report.summary.coverage >= 0.5);
+    // No fairness: large disparity expected on this data.
+    assert!(report.summary.unfairness > 5_000.0);
+}
+
+#[test]
+fn ids_rules_predict_not_prescribe() {
+    // §7.2: IDS rules are prediction rules, possibly mentioning non-causal
+    // attributes; they never carry a causal guarantee. We verify they mine
+    // the dominant correlate (gdp_group) which FairCap can never recommend
+    // (it is immutable).
+    let ds = so::generate(6_000, 42);
+    let attrs = ds.attributes();
+    let set = learn_decision_set(
+        &ds.df,
+        &attrs,
+        &ds.outcome,
+        &IdsConfig {
+            lambda_interp: 0.1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(!set.rules.is_empty());
+    let mentions_immutable = set.rules.iter().any(|r| {
+        r.pattern
+            .attributes()
+            .iter()
+            .any(|a| ds.immutable.iter().any(|i| i == a))
+    });
+    assert!(
+        mentions_immutable,
+        "association rules should pick up immutable correlates"
+    );
+}
+
+#[test]
+fn frl_list_is_falling_on_so() {
+    let ds = so::generate(6_000, 42);
+    let attrs = ds.attributes();
+    let frl = learn_falling_rule_list(&ds.df, &attrs, &ds.outcome, &FrlConfig::default()).unwrap();
+    assert!(!frl.rules.is_empty());
+    for w in frl.rules.windows(2) {
+        assert!(w[0].probability >= w[1].probability - 1e-12);
+    }
+    // The top stratum should be a high-salary segment (high GDP and/or a
+    // lucrative role) with probability well above the base rate.
+    assert!(frl.rules[0].probability > 0.6);
+}
+
+#[test]
+fn adaptations_produce_comparable_reports() {
+    let ds = so::generate(6_000, 42);
+    let inp = input(&ds);
+    let clauses = {
+        let attrs = ds.attributes();
+        learn_falling_rule_list(&ds.df, &attrs, &ds.outcome, &FrlConfig::default())
+            .unwrap()
+            .rules
+            .into_iter()
+            .map(|r| r.pattern)
+            .collect::<Vec<_>>()
+    };
+    let as_grouping = adapt_if_clauses(
+        &inp,
+        &clauses,
+        IfClauseRole::Grouping,
+        "FRL grouping",
+        &FairCapConfig::default(),
+    );
+    let as_intervention = adapt_if_clauses(
+        &inp,
+        &clauses,
+        IfClauseRole::Intervention,
+        "FRL intervention",
+        &FairCapConfig::default(),
+    );
+    // intervention adaptation covers everyone by construction
+    if !as_intervention.rules.is_empty() {
+        assert!((as_intervention.summary.coverage - 1.0).abs() < 1e-9);
+    }
+    // grouping adaptation only covers the clause regions
+    assert!(as_grouping.summary.coverage <= 1.0);
+}
+
+#[test]
+fn faircap_beats_adaptations_on_utility_fairness_tradeoff() {
+    // Table 4's headline comparison: with fairness constraints FairCap
+    // should dominate the baselines on protected utility.
+    let ds = so::generate(6_000, 42);
+    let inp = input(&ds);
+    let cfg = FairCapConfig {
+        fairness: FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Group,
+            epsilon: 10_000.0,
+        },
+        ..FairCapConfig::default()
+    };
+    let faircap = run(&inp, &cfg);
+    let clauses = {
+        let attrs = ds.attributes();
+        learn_falling_rule_list(&ds.df, &attrs, &ds.outcome, &FrlConfig::default())
+            .unwrap()
+            .rules
+            .into_iter()
+            .map(|r| r.pattern)
+            .collect::<Vec<_>>()
+    };
+    let baseline = adapt_if_clauses(
+        &inp,
+        &clauses,
+        IfClauseRole::Grouping,
+        "FRL grouping",
+        &FairCapConfig::default(),
+    );
+    assert!(
+        faircap.summary.expected_protected >= baseline.summary.expected_protected,
+        "FairCap protected utility {} should be ≥ baseline {}",
+        faircap.summary.expected_protected,
+        baseline.summary.expected_protected
+    );
+}

@@ -1,0 +1,124 @@
+//! Integration tests for the §8 cost extension: budget-constrained and
+//! cost-penalized intervention mining on the Stack Overflow stand-in.
+
+use faircap::core::{run, CostModel, CostPolicy, FairCapConfig, ProblemInput};
+use faircap::data::{so, Dataset};
+use faircap::table::Value;
+
+fn input(ds: &Dataset) -> ProblemInput<'_> {
+    ProblemInput {
+        df: &ds.df,
+        dag: &ds.dag,
+        outcome: &ds.outcome,
+        immutable: &ds.immutable,
+        mutable: &ds.mutable,
+        protected: &ds.protected,
+    }
+}
+
+/// Education is expensive, everything else cheap — the §8 motivating case
+/// ("pursuing a bachelor's degree … versus learning Python").
+fn education_heavy_costs() -> CostModel {
+    CostModel::with_default(1.0)
+        .set("education", Value::from("phd"), 50.0)
+        .set("education", Value::from("master"), 30.0)
+        .set("education", Value::from("bachelor"), 20.0)
+        .set_attribute("dev_role", 5.0)
+}
+
+#[test]
+fn budget_excludes_expensive_interventions() {
+    let ds = so::generate(6_000, 42);
+    let cfg = FairCapConfig {
+        cost_model: education_heavy_costs(),
+        cost_policy: CostPolicy::Budget {
+            max_rule_cost: 10.0,
+        },
+        ..FairCapConfig::default()
+    };
+    let report = run(&input(&ds), &cfg);
+    assert!(!report.rules.is_empty());
+    let model = education_heavy_costs();
+    for r in &report.rules {
+        let cost = model.pattern_cost(&r.intervention);
+        assert!(cost <= 10.0, "rule {} costs {cost} > budget", r);
+        // in particular: no education-based prescriptions at this budget
+        assert!(
+            !r.intervention.to_string().contains("education"),
+            "education interventions cost ≥ 20: {}",
+            r.intervention
+        );
+    }
+}
+
+#[test]
+fn tight_budget_costs_utility() {
+    let ds = so::generate(6_000, 42);
+    let unconstrained = run(&input(&ds), &FairCapConfig::default());
+    let cfg = FairCapConfig {
+        cost_model: education_heavy_costs(),
+        cost_policy: CostPolicy::Budget { max_rule_cost: 2.0 },
+        ..FairCapConfig::default()
+    };
+    let cheap = run(&input(&ds), &cfg);
+    assert!(
+        cheap.summary.expected <= unconstrained.summary.expected + 1e-9,
+        "budget {} should not beat unconstrained {}",
+        cheap.summary.expected,
+        unconstrained.summary.expected
+    );
+}
+
+#[test]
+fn penalty_shifts_to_cost_effective_rules() {
+    let ds = so::generate(6_000, 42);
+    let model = education_heavy_costs();
+    let baseline = run(&input(&ds), &FairCapConfig::default());
+    let cfg = FairCapConfig {
+        cost_model: education_heavy_costs(),
+        cost_policy: CostPolicy::Penalize { weight: 1.0 },
+        ..FairCapConfig::default()
+    };
+    let penalized = run(&input(&ds), &cfg);
+    assert!(!penalized.rules.is_empty());
+    let avg_cost = |rules: &[faircap::core::Rule]| -> f64 {
+        rules
+            .iter()
+            .map(|r| model.pattern_cost(&r.intervention))
+            .sum::<f64>()
+            / rules.len().max(1) as f64
+    };
+    assert!(
+        avg_cost(&penalized.rules) <= avg_cost(&baseline.rules) + 1e-9,
+        "penalized rules should be cheaper on average: {} vs {}",
+        avg_cost(&penalized.rules),
+        avg_cost(&baseline.rules)
+    );
+}
+
+#[test]
+fn zero_cost_model_is_a_noop() {
+    let ds = so::generate(4_000, 7);
+    let plain = run(&input(&ds), &FairCapConfig::default());
+    let cfg = FairCapConfig {
+        cost_model: CostModel::default(), // all-zero costs
+        cost_policy: CostPolicy::Penalize { weight: 10.0 },
+        ..FairCapConfig::default()
+    };
+    let costed = run(&input(&ds), &cfg);
+    let a: Vec<String> = plain.rules.iter().map(|r| r.to_string()).collect();
+    let b: Vec<String> = costed.rules.iter().map(|r| r.to_string()).collect();
+    assert_eq!(a, b, "zero costs must not change the solution");
+}
+
+#[test]
+fn infeasible_budget_yields_empty_solution() {
+    let ds = so::generate(4_000, 7);
+    let cfg = FairCapConfig {
+        cost_model: CostModel::with_default(100.0),
+        cost_policy: CostPolicy::Budget { max_rule_cost: 1.0 },
+        ..FairCapConfig::default()
+    };
+    let report = run(&input(&ds), &cfg);
+    assert!(report.rules.is_empty());
+}

@@ -1,0 +1,210 @@
+//! End-to-end integration tests: the full FairCap pipeline on the synthetic
+//! Stack Overflow and German Credit stand-ins, checking the paper's
+//! qualitative claims (Table 4's shape) on small samples.
+
+use faircap::core::{
+    run, CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope, ProblemInput,
+};
+use faircap::data::{german, so, Dataset};
+
+fn input(ds: &Dataset) -> ProblemInput<'_> {
+    ProblemInput {
+        df: &ds.df,
+        dag: &ds.dag,
+        outcome: &ds.outcome,
+        immutable: &ds.immutable,
+        mutable: &ds.mutable,
+        protected: &ds.protected,
+    }
+}
+
+fn so_small() -> Dataset {
+    so::generate(6_000, 42)
+}
+
+#[test]
+fn unconstrained_run_finds_high_utility_rules() {
+    let ds = so_small();
+    let report = run(&input(&ds), &FairCapConfig::default());
+    assert!(!report.rules.is_empty());
+    assert!(report.constraints_met);
+    // Salary-scale utilities, and every rule is statistically significant.
+    assert!(report.summary.expected > 5_000.0);
+    for r in &report.rules {
+        assert!(r.utility.overall > 0.0);
+        assert!(r.utility.p_value <= 0.05, "rule {} p={}", r, r.utility.p_value);
+        // grouping over immutables, intervention over mutables
+        for attr in r.grouping.attributes() {
+            assert!(ds.immutable.iter().any(|a| a == attr), "{attr} not immutable");
+        }
+        for attr in r.intervention.attributes() {
+            assert!(ds.mutable.iter().any(|a| a == attr), "{attr} not mutable");
+        }
+    }
+}
+
+#[test]
+fn group_sp_satisfied_and_costs_utility() {
+    let ds = so_small();
+    let unconstrained = run(&input(&ds), &FairCapConfig::default());
+    let cfg = FairCapConfig {
+        fairness: FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Group,
+            epsilon: 10_000.0,
+        },
+        ..FairCapConfig::default()
+    };
+    let fair = run(&input(&ds), &cfg);
+    assert!(fair.constraints_met);
+    assert!(fair.summary.unfairness.abs() <= 10_000.0);
+    assert!(fair.summary.expected <= unconstrained.summary.expected + 1e-6);
+    assert!(fair.summary.unfairness < unconstrained.summary.unfairness);
+}
+
+#[test]
+fn individual_sp_bounds_every_rule() {
+    let ds = so_small();
+    let cfg = FairCapConfig {
+        fairness: FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Individual,
+            epsilon: 10_000.0,
+        },
+        ..FairCapConfig::default()
+    };
+    let report = run(&input(&ds), &cfg);
+    assert!(report.constraints_met);
+    for r in &report.rules {
+        assert!(
+            r.utility.gap() <= 10_000.0,
+            "rule {} gap {}",
+            r,
+            r.utility.gap()
+        );
+    }
+}
+
+#[test]
+fn rule_coverage_filters_small_groups() {
+    let ds = so_small();
+    let cfg = FairCapConfig {
+        coverage: CoverageConstraint::Rule {
+            theta: 0.5,
+            theta_protected: 0.5,
+        },
+        ..FairCapConfig::default()
+    };
+    let report = run(&input(&ds), &cfg);
+    assert!(report.constraints_met);
+    let n = ds.df.n_rows() as f64;
+    let np = ds.protected_mask().count() as f64;
+    for r in &report.rules {
+        assert!(r.coverage_count() as f64 >= 0.5 * n);
+        assert!(r.coverage_protected_count() as f64 >= 0.5 * np);
+    }
+    // Rule coverage restricts the candidate pool (paper: fewer rules).
+    let unconstrained = run(&input(&ds), &FairCapConfig::default());
+    assert!(report.size() <= unconstrained.size());
+}
+
+#[test]
+fn group_coverage_reaches_thresholds() {
+    let ds = so_small();
+    let cfg = FairCapConfig {
+        coverage: CoverageConstraint::Group {
+            theta: 0.8,
+            theta_protected: 0.8,
+        },
+        ..FairCapConfig::default()
+    };
+    let report = run(&input(&ds), &cfg);
+    assert!(report.constraints_met);
+    assert!(report.summary.coverage >= 0.8);
+    assert!(report.summary.coverage_protected >= 0.8);
+}
+
+#[test]
+fn german_bgl_group_holds_protected_floor() {
+    let ds = german::generate(1_000, 42);
+    let cfg = FairCapConfig {
+        fairness: FairnessConstraint::BoundedGroupLoss {
+            scope: FairnessScope::Group,
+            tau: 0.1,
+        },
+        coverage: CoverageConstraint::Group {
+            theta: 0.3,
+            theta_protected: 0.3,
+        },
+        ..FairCapConfig::default()
+    };
+    let report = run(&input(&ds), &cfg);
+    assert!(report.constraints_met, "{report}");
+    assert!(report.summary.expected_protected >= 0.1);
+    assert!(report.summary.coverage >= 0.3);
+}
+
+#[test]
+fn german_bgl_individual_bounds_every_rule() {
+    let ds = german::generate(1_000, 42);
+    let cfg = FairCapConfig {
+        fairness: FairnessConstraint::BoundedGroupLoss {
+            scope: FairnessScope::Individual,
+            tau: 0.1,
+        },
+        ..FairCapConfig::default()
+    };
+    let report = run(&input(&ds), &cfg);
+    assert!(report.constraints_met);
+    for r in &report.rules {
+        assert!(
+            r.utility.protected >= 0.1,
+            "rule {} protected utility {} < τ",
+            r,
+            r.utility.protected
+        );
+    }
+}
+
+#[test]
+fn german_outcome_scale_is_probability() {
+    let ds = german::generate(1_000, 42);
+    let report = run(&input(&ds), &FairCapConfig::default());
+    assert!(!report.rules.is_empty());
+    assert!(
+        report.summary.expected > 0.05 && report.summary.expected < 1.0,
+        "expected utility {} should be probability-scale",
+        report.summary.expected
+    );
+}
+
+#[test]
+fn fairness_threshold_sweep_is_monotone_in_utility() {
+    // Table 5's shape: looser ε admits higher-utility (less fair) solutions.
+    let ds = so_small();
+    let mut utilities = Vec::new();
+    for epsilon in [2_500.0, 10_000.0, 40_000.0] {
+        let cfg = FairCapConfig {
+            fairness: FairnessConstraint::StatisticalParity {
+                scope: FairnessScope::Group,
+                epsilon,
+            },
+            ..FairCapConfig::default()
+        };
+        let report = run(&input(&ds), &cfg);
+        assert!(report.summary.unfairness.abs() <= epsilon, "ε={epsilon}");
+        utilities.push(report.summary.expected);
+    }
+    assert!(
+        utilities[0] <= utilities[2] + 1e-6,
+        "tightest ε should not beat loosest: {utilities:?}"
+    );
+}
+
+#[test]
+fn report_rows_render() {
+    let ds = so::generate(3_000, 11);
+    let report = run(&input(&ds), &FairCapConfig::default());
+    let row = report.table_row();
+    assert!(row.contains('%'));
+    assert!(!report.rule_cards().is_empty());
+    assert!(report.timings.total().as_nanos() > 0);
+}

@@ -1,0 +1,207 @@
+//! Property-based tests for the core objective machinery: ruleset expected
+//! utilities (Eqs. 5–7), the benefit functions, and the theoretical
+//! properties the paper proves (Lemma 4.1's refinement argument, Prop. 9.1's
+//! non-negativity/monotonicity, Prop. 9.2's matroid structure).
+
+use faircap::core::{
+    benefit, ruleset_utility, FairnessConstraint, FairnessScope, Rule, RuleUtility,
+};
+use faircap::table::{Mask, Pattern, Value};
+use proptest::prelude::*;
+
+const N_ROWS: usize = 60;
+
+fn rule_strategy() -> impl Strategy<Value = Rule> {
+    (
+        prop::collection::vec(any::<bool>(), N_ROWS),
+        0.0f64..100.0,
+        0.0f64..100.0,
+        0.0f64..100.0,
+        0u32..1000,
+    )
+        .prop_map(|(cov, overall, prot, np, tag)| {
+            let coverage = Mask::from_bools(&cov);
+            // protected rows are 0..20 by convention here
+            let protected = Mask::from_indices(N_ROWS, &(0..20).collect::<Vec<_>>());
+            Rule {
+                grouping: Pattern::of_eq(&[("tag", Value::Int(tag as i64))]),
+                intervention: Pattern::empty(),
+                coverage_protected: &coverage & &protected,
+                coverage,
+                utility: RuleUtility {
+                    overall,
+                    protected: prot,
+                    non_protected: np,
+                    p_value: 0.01,
+                },
+                benefit: 0.0,
+            }
+        })
+}
+
+fn protected() -> Mask {
+    Mask::from_indices(N_ROWS, &(0..20).collect::<Vec<_>>())
+}
+
+proptest! {
+    /// Prop. 9.1 flavor: Eq. 5 is non-negative and monotone — adding a rule
+    /// never decreases ExpUtility or coverage.
+    #[test]
+    fn expected_utility_nonnegative_and_monotone(
+        rules in prop::collection::vec(rule_strategy(), 1..8),
+    ) {
+        let prot = protected();
+        for k in 1..=rules.len() {
+            let head: Vec<&Rule> = rules[..k - 1].iter().collect();
+            let with: Vec<&Rule> = rules[..k].iter().collect();
+            let u_head = ruleset_utility(&head, N_ROWS, &prot);
+            let u_with = ruleset_utility(&with, N_ROWS, &prot);
+            prop_assert!(u_with.expected >= 0.0);
+            prop_assert!(u_with.expected >= u_head.expected - 1e-9,
+                "Eq. 5 must be monotone: {} then {}", u_head.expected, u_with.expected);
+            prop_assert!(u_with.coverage >= u_head.coverage - 1e-12);
+            prop_assert!(u_with.coverage_protected >= u_head.coverage_protected - 1e-12);
+        }
+    }
+
+    /// Eq. 5 is submodular in the added rule: the marginal gain of a rule
+    /// shrinks as the base set grows (diminishing returns).
+    #[test]
+    fn expected_utility_submodular(
+        base in prop::collection::vec(rule_strategy(), 0..5),
+        extra in rule_strategy(),
+        addition in rule_strategy(),
+    ) {
+        let prot = protected();
+        // S ⊆ T with T = S ∪ {extra}; marginal of `addition` shrinks.
+        let s: Vec<&Rule> = base.iter().collect();
+        let mut t = s.clone();
+        t.push(&extra);
+        let mut s_plus = s.clone();
+        s_plus.push(&addition);
+        let mut t_plus = t.clone();
+        t_plus.push(&addition);
+        let gain_s = ruleset_utility(&s_plus, N_ROWS, &prot).expected
+            - ruleset_utility(&s, N_ROWS, &prot).expected;
+        let gain_t = ruleset_utility(&t_plus, N_ROWS, &prot).expected
+            - ruleset_utility(&t, N_ROWS, &prot).expected;
+        prop_assert!(gain_t <= gain_s + 1e-9,
+            "submodularity violated: gain under superset {gain_t} > {gain_s}");
+    }
+
+    /// Eq. 6 uses worst-case (min) semantics: adding rules can only lower
+    /// the per-individual protected utility on already-covered rows.
+    #[test]
+    fn protected_worst_case_min(
+        rules in prop::collection::vec(rule_strategy(), 1..6),
+    ) {
+        let prot = protected();
+        let all: Vec<&Rule> = rules.iter().collect();
+        let summary = ruleset_utility(&all, N_ROWS, &prot);
+        // the protected expectation can never exceed the best single-rule
+        // protected utility among rules that actually cover protected rows
+        let max_prot = rules
+            .iter()
+            .filter(|r| r.coverage_protected.any())
+            .map(|r| r.utility.protected)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max_prot.is_finite() {
+            prop_assert!(summary.expected_protected <= max_prot + 1e-9);
+        } else {
+            prop_assert_eq!(summary.expected_protected, 0.0);
+        }
+    }
+
+    /// SP benefit never exceeds the plain utility, equals it when the
+    /// protected group gains at least as much, and is monotone in the gap.
+    #[test]
+    fn sp_benefit_properties(
+        overall in 0.0f64..1000.0,
+        prot in 0.0f64..1000.0,
+        np in 0.0f64..1000.0,
+        widen in 0.0f64..100.0,
+    ) {
+        let f = FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Group,
+            epsilon: 1.0,
+        };
+        let u = RuleUtility { overall, protected: prot, non_protected: np, p_value: 0.0 };
+        let b = benefit(&u, &f);
+        prop_assert!(b <= overall + 1e-9);
+        if prot >= np {
+            prop_assert!((b - overall).abs() < 1e-12);
+        } else {
+            // widening the gap cannot increase the benefit
+            let wider = RuleUtility {
+                overall,
+                protected: prot,
+                non_protected: np + widen,
+                p_value: 0.0,
+            };
+            prop_assert!(benefit(&wider, &f) <= b + 1e-12);
+        }
+    }
+
+    /// BGL benefit: monotone in protected utility, capped by the plain
+    /// utility.
+    #[test]
+    fn bgl_benefit_properties(
+        overall in 0.0f64..1000.0,
+        prot in 0.0f64..200.0,
+        raise in 0.0f64..50.0,
+        tau in 0.0f64..100.0,
+    ) {
+        let f = FairnessConstraint::BoundedGroupLoss {
+            scope: FairnessScope::Group,
+            tau,
+        };
+        let low = RuleUtility { overall, protected: prot, non_protected: 0.0, p_value: 0.0 };
+        let high = RuleUtility { overall, protected: prot + raise, non_protected: 0.0, p_value: 0.0 };
+        prop_assert!(benefit(&low, &f) <= benefit(&high, &f) + 1e-12);
+        prop_assert!(benefit(&low, &f) <= overall + 1e-9);
+    }
+
+    /// Prop. 9.2 (matroid / hereditary): individual-scope constraints are
+    /// per-rule, so any subset of a valid set is valid.
+    #[test]
+    fn individual_constraints_hereditary(
+        rules in prop::collection::vec(rule_strategy(), 1..6),
+        epsilon in 0.0f64..200.0,
+        subset_bits in prop::collection::vec(any::<bool>(), 6),
+    ) {
+        use faircap::core::constraints::rule_satisfies_fairness;
+        let f = FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Individual,
+            epsilon,
+        };
+        let valid: Vec<&Rule> = rules
+            .iter()
+            .filter(|r| rule_satisfies_fairness(r, &f))
+            .collect();
+        // every sub-selection of the valid set remains valid
+        let subset: Vec<&&Rule> = valid
+            .iter()
+            .zip(subset_bits.iter().cycle())
+            .filter(|(_, &keep)| keep)
+            .map(|(r, _)| r)
+            .collect();
+        prop_assert!(subset.iter().all(|r| rule_satisfies_fairness(r, &f)));
+    }
+}
+
+/// Lemma 4.1: for any rule there is a refinement (here: a singleton
+/// sub-coverage) whose utility is at least the rule's — utility is an
+/// average, so some covered tuple attains it.
+#[test]
+fn lemma_4_1_singleton_refinement() {
+    // Deterministic instance: per-tuple utilities 1..=10 with average 5.5.
+    let per_tuple: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+    let avg = per_tuple.iter().sum::<f64>() / per_tuple.len() as f64;
+    let best = per_tuple.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        best >= avg,
+        "the max per-tuple utility must reach the average (Lemma 4.1)"
+    );
+    // And the singleton refinement achieves it exactly.
+    assert_eq!(best, 10.0);
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for CSV I/O: arbitrary frames survive a write/read
+//! roundtrip, including hostile string content (quotes, commas, unicode).
+
+use faircap::table::csv::{read_csv_from, write_csv_to};
+use faircap::table::DataFrame;
+use proptest::prelude::*;
+
+/// Strings that stress the quoting logic but avoid newline-in-cell (our
+/// reader is line-based; embedded newlines are rejected at write-read
+/// equivalence level, so we exclude them from the generator and test the
+/// rejection separately).
+fn cell_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z]{0,8}",
+        Just("has,comma".to_string()),
+        Just("has\"quote".to_string()),
+        Just("\"quoted\"".to_string()),
+        Just("ünïcodé ✓".to_string()),
+        Just(String::new()),
+        Just("   spaces   ".to_string()),
+        Just(",,".to_string()),
+    ]
+}
+
+fn frame_strategy() -> impl Strategy<Value = DataFrame> {
+    (1usize..40).prop_flat_map(|n| {
+        (
+            prop::collection::vec(cell_strategy(), n),
+            prop::collection::vec(-1000i64..1000, n),
+            prop::collection::vec(-100.0f64..100.0, n),
+            prop::collection::vec(any::<bool>(), n),
+        )
+            .prop_map(|(texts, ints, floats, bools)| {
+                let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+                DataFrame::builder()
+                    .cat("text", &refs)
+                    .int("n", ints)
+                    .float("x", floats)
+                    .bool("b", bools)
+                    .build()
+                    .unwrap()
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_preserves_shape_and_values(df in frame_strategy()) {
+        let mut buf = Vec::new();
+        write_csv_to(&df, &mut buf).unwrap();
+        let back = read_csv_from(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.n_rows(), df.n_rows());
+        prop_assert_eq!(back.n_cols(), df.n_cols());
+        prop_assert_eq!(back.names(), df.names());
+        // Values survive cell-by-cell. Types may legitimately differ
+        // (a float column whose sampled values happen to all be integral
+        // re-infers as Int; an all-"true"/"false" text column as Bool), so
+        // compare through the rendered value, with a numeric fast-path.
+        for r in 0..df.n_rows() {
+            for name in df.names() {
+                let orig = df.get(r, name).unwrap();
+                let read = back.get(r, name).unwrap();
+                match (orig.as_f64(), read.as_f64()) {
+                    (Some(a), Some(b)) => {
+                        prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                            "row {} col {}: {} vs {}", r, name, a, b)
+                    }
+                    _ => prop_assert_eq!(
+                        orig.to_string(),
+                        read.to_string(),
+                        "row {} col {}", r, name
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn float_roundtrip_exact_when_finite(values in prop::collection::vec(-1e12f64..1e12, 1..30)) {
+        let df = DataFrame::builder().float("x", values.clone()).build().unwrap();
+        let mut buf = Vec::new();
+        write_csv_to(&df, &mut buf).unwrap();
+        let back = read_csv_from(buf.as_slice()).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            let got = back.get(i, "x").unwrap().as_f64().unwrap();
+            // Display-based serialization of f64 in Rust is shortest-exact,
+            // so the roundtrip is bit-exact.
+            prop_assert_eq!(got, *v);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Property test: the greedy phase's incremental Eq. 5–7 accounting must
+//! agree exactly with the batch `ruleset_utility` computation on arbitrary
+//! rule sets — validated through the public `run` pipeline summary.
+
+use faircap::core::{ruleset_utility, Rule, RuleUtility};
+use faircap::table::{Mask, Pattern, Value};
+use proptest::prelude::*;
+
+const N: usize = 80;
+
+fn rule_strategy(idx: usize) -> impl Strategy<Value = Rule> {
+    (
+        prop::collection::vec(any::<bool>(), N),
+        0.1f64..50.0,
+        0.0f64..50.0,
+    )
+        .prop_map(move |(cov, overall, prot)| {
+            let coverage = Mask::from_bools(&cov);
+            let protected = Mask::from_indices(N, &(0..30).collect::<Vec<_>>());
+            Rule {
+                grouping: Pattern::of_eq(&[("g", Value::Int(idx as i64))]),
+                intervention: Pattern::of_eq(&[("t", Value::Int(idx as i64))]),
+                coverage_protected: &coverage & &protected,
+                coverage,
+                utility: RuleUtility {
+                    overall,
+                    protected: prot,
+                    non_protected: overall,
+                    p_value: 0.0,
+                },
+                benefit: overall,
+            }
+        })
+}
+
+fn rules_strategy() -> impl Strategy<Value = Vec<Rule>> {
+    (1usize..7).prop_flat_map(|k| {
+        (0..k)
+            .map(rule_strategy)
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    /// Greedy's final summary equals the batch recomputation over the rules
+    /// it selected — the incremental state cannot drift.
+    #[test]
+    fn greedy_summary_matches_batch(rules in rules_strategy()) {
+        use faircap::core::algorithm::greedy::greedy_select;
+        use faircap::core::FairCapConfig;
+        let protected = Mask::from_indices(N, &(0..30).collect::<Vec<_>>());
+        let cfg = FairCapConfig {
+            min_marginal_gain: 0.0,
+            ..FairCapConfig::default()
+        };
+        let outcome = greedy_select(rules, &cfg, N, &protected);
+        let refs: Vec<&Rule> = outcome.selected.iter().collect();
+        let batch = ruleset_utility(&refs, N, &protected);
+        prop_assert!((outcome.summary.expected - batch.expected).abs() < 1e-9);
+        prop_assert!(
+            (outcome.summary.expected_protected - batch.expected_protected).abs() < 1e-9
+        );
+        prop_assert!(
+            (outcome.summary.expected_non_protected - batch.expected_non_protected).abs()
+                < 1e-9
+        );
+        prop_assert!((outcome.summary.coverage - batch.coverage).abs() < 1e-12);
+        prop_assert!(
+            (outcome.summary.coverage_protected - batch.coverage_protected).abs() < 1e-12
+        );
+    }
+
+    /// Greedy never selects a rule twice and never exceeds the cap.
+    #[test]
+    fn greedy_selects_distinct_rules(rules in rules_strategy()) {
+        use faircap::core::algorithm::greedy::greedy_select;
+        use faircap::core::FairCapConfig;
+        let protected = Mask::from_indices(N, &(0..30).collect::<Vec<_>>());
+        let cfg = FairCapConfig {
+            max_rules: 4,
+            min_marginal_gain: 0.0,
+            ..FairCapConfig::default()
+        };
+        let outcome = greedy_select(rules, &cfg, N, &protected);
+        prop_assert!(outcome.selected.len() <= 4);
+        let mut keys: Vec<String> = outcome.selected.iter().map(|r| r.to_string()).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before);
+    }
+}

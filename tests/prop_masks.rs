@@ -1,0 +1,89 @@
+//! Property-based tests for the bitset mask algebra — the row-selection
+//! substrate every coverage computation rests on.
+
+use faircap::table::Mask;
+use proptest::prelude::*;
+
+/// Strategy: a mask of length `len` given by a boolean vector.
+fn mask_strategy(len: usize) -> impl Strategy<Value = Mask> {
+    prop::collection::vec(any::<bool>(), len).prop_map(|bits| Mask::from_bools(&bits))
+}
+
+proptest! {
+    #[test]
+    fn and_is_intersection(a in mask_strategy(200), b in mask_strategy(200)) {
+        let c = &a & &b;
+        for i in 0..200 {
+            prop_assert_eq!(c.get(i), a.get(i) && b.get(i));
+        }
+        prop_assert_eq!(c.count(), a.intersect_count(&b));
+    }
+
+    #[test]
+    fn or_is_union(a in mask_strategy(200), b in mask_strategy(200)) {
+        let c = &a | &b;
+        for i in 0..200 {
+            prop_assert_eq!(c.get(i), a.get(i) || b.get(i));
+        }
+        prop_assert_eq!(c.count(), a.union_count(&b));
+    }
+
+    #[test]
+    fn not_is_complement(a in mask_strategy(193)) {
+        let c = !&a;
+        prop_assert_eq!(c.count(), 193 - a.count());
+        let back = !&c;
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn andnot_is_difference(a in mask_strategy(130), b in mask_strategy(130)) {
+        let c = a.andnot(&b);
+        for i in 0..130 {
+            prop_assert_eq!(c.get(i), a.get(i) && !b.get(i));
+        }
+        // difference + intersection partitions a
+        prop_assert_eq!(c.count() + a.intersect_count(&b), a.count());
+    }
+
+    #[test]
+    fn de_morgan(a in mask_strategy(128), b in mask_strategy(128)) {
+        let lhs = !&(&a & &b);
+        let rhs = &(!&a) | &(!&b);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn inclusion_exclusion(a in mask_strategy(150), b in mask_strategy(150)) {
+        prop_assert_eq!(
+            a.union_count(&b) + a.intersect_count(&b),
+            a.count() + b.count()
+        );
+    }
+
+    #[test]
+    fn subset_iff_andnot_empty(a in mask_strategy(90), b in mask_strategy(90)) {
+        prop_assert_eq!(a.is_subset(&b), a.andnot(&b).none());
+        // intersection is always a subset of both operands
+        let c = &a & &b;
+        prop_assert!(c.is_subset(&a) && c.is_subset(&b));
+    }
+
+    #[test]
+    fn iter_ones_roundtrip(a in mask_strategy(257)) {
+        let idx = a.to_indices();
+        prop_assert_eq!(idx.len(), a.count());
+        // ascending and within range
+        for w in idx.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        let rebuilt = Mask::from_indices(257, &idx);
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn fraction_bounds(a in mask_strategy(64)) {
+        let f = a.fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the mining substrate: Apriori's guarantees
+//! (support threshold, downward closure, one-item-per-attribute) and the
+//! positive-parent lattice invariants hold on random frames.
+
+use faircap::mining::{apriori, positive_lattice, single_attribute_items, AprioriConfig};
+use faircap::table::{DataFrame, Mask};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const LEVELS_A: [&str; 3] = ["a0", "a1", "a2"];
+const LEVELS_B: [&str; 2] = ["b0", "b1"];
+const LEVELS_C: [&str; 4] = ["c0", "c1", "c2", "c3"];
+
+fn frame_strategy() -> impl Strategy<Value = DataFrame> {
+    (10usize..150).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0usize..LEVELS_A.len(), n),
+            prop::collection::vec(0usize..LEVELS_B.len(), n),
+            prop::collection::vec(0usize..LEVELS_C.len(), n),
+        )
+            .prop_map(|(a, b, c)| {
+                let ca: Vec<&str> = a.iter().map(|&i| LEVELS_A[i]).collect();
+                let cb: Vec<&str> = b.iter().map(|&i| LEVELS_B[i]).collect();
+                let cc: Vec<&str> = c.iter().map(|&i| LEVELS_C[i]).collect();
+                DataFrame::builder()
+                    .cat("a", &ca)
+                    .cat("b", &cb)
+                    .cat("c", &cc)
+                    .build()
+                    .unwrap()
+            })
+    })
+}
+
+fn attrs() -> Vec<String> {
+    vec!["a".into(), "b".into(), "c".into()]
+}
+
+proptest! {
+    #[test]
+    fn apriori_respects_support_threshold(
+        df in frame_strategy(),
+        min_support in 0.05f64..0.6,
+        max_len in 1usize..4,
+    ) {
+        let within = Mask::ones(df.n_rows());
+        let cfg = AprioriConfig { min_support, max_len, max_values_per_attr: 8 };
+        let found = apriori(&df, &attrs(), &within, &cfg).unwrap();
+        let min_count = ((min_support * df.n_rows() as f64).ceil() as usize).max(1);
+        for f in &found {
+            prop_assert!(f.count() >= min_count, "{} has {} < {}", f.pattern, f.count(), min_count);
+            prop_assert!(f.pattern.len() <= max_len);
+            // support mask is the true coverage
+            prop_assert_eq!(&f.support, &f.pattern.coverage(&df).unwrap());
+        }
+    }
+
+    #[test]
+    fn apriori_downward_closure(df in frame_strategy()) {
+        let within = Mask::ones(df.n_rows());
+        let cfg = AprioriConfig { min_support: 0.1, max_len: 3, max_values_per_attr: 8 };
+        let found = apriori(&df, &attrs(), &within, &cfg).unwrap();
+        let keys: HashSet<_> = found.iter().map(|f| f.pattern.clone()).collect();
+        for f in &found {
+            if f.pattern.len() > 1 {
+                for parent in f.pattern.parents() {
+                    prop_assert!(keys.contains(&parent),
+                        "parent {} of frequent {} missing", parent, f.pattern);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apriori_is_complete_for_singletons(df in frame_strategy()) {
+        // Every (attr, value) with enough support must appear as a
+        // singleton pattern.
+        let within = Mask::ones(df.n_rows());
+        let cfg = AprioriConfig { min_support: 0.2, max_len: 1, max_values_per_attr: 8 };
+        let found = apriori(&df, &attrs(), &within, &cfg).unwrap();
+        let found_set: HashSet<String> =
+            found.iter().map(|f| f.pattern.to_string()).collect();
+        let min_count = ((0.2 * df.n_rows() as f64).ceil() as usize).max(1);
+        let items = single_attribute_items(&df, &attrs(), &within, 8).unwrap();
+        for (pred, mask) in items {
+            if mask.count() >= min_count {
+                prop_assert!(found_set.contains(&pred.to_string()),
+                    "missing frequent singleton {}", pred);
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_nodes_have_positive_ancestry(df in frame_strategy()) {
+        // Every evaluated node of length > 1 must have all its parents
+        // evaluated and positive, per §5.2's materialization rule.
+        let within = Mask::ones(df.n_rows());
+        let items = single_attribute_items(&df, &attrs(), &within, 8).unwrap();
+        // score = +1 if the pattern covers an even number of rows, −1 odd
+        let nodes = positive_lattice(
+            &items,
+            3,
+            |_, mask| Some(if mask.count() % 2 == 0 { 1.0 } else { -1.0 }),
+            |&s| s > 0.0,
+        );
+        let positive: HashSet<_> = nodes
+            .iter()
+            .filter(|n| n.score > 0.0)
+            .map(|n| n.pattern.clone())
+            .collect();
+        for n in &nodes {
+            if n.pattern.len() > 1 {
+                for parent in n.pattern.parents() {
+                    prop_assert!(positive.contains(&parent),
+                        "node {} materialized without positive parent {}",
+                        n.pattern, parent);
+                }
+            }
+            // masks are exact coverages
+            prop_assert_eq!(&n.mask, &n.pattern.coverage(&df).unwrap());
+        }
+    }
+
+    #[test]
+    fn lattice_no_duplicate_nodes(df in frame_strategy()) {
+        let within = Mask::ones(df.n_rows());
+        let items = single_attribute_items(&df, &attrs(), &within, 8).unwrap();
+        let nodes = positive_lattice(&items, 3, |_, _| Some(1.0), |&s| s > 0.0);
+        let mut seen = HashSet::new();
+        for n in &nodes {
+            prop_assert!(seen.insert(n.pattern.clone()), "duplicate {}", n.pattern);
+            // one predicate per attribute
+            let attrs = n.pattern.attributes();
+            let mut dedup = attrs.clone();
+            dedup.dedup();
+            prop_assert_eq!(attrs.len(), dedup.len());
+        }
+    }
+}

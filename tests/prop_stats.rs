@@ -1,0 +1,82 @@
+//! Property-based tests for the statistics substrate: distribution
+//! functions must behave like distribution functions.
+
+use faircap::table::stats::{
+    beta_inc, chi2_sf, gamma_p, gamma_q, ln_gamma, normal_cdf, t_sf_two_sided, welch_t_test,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn gamma_p_q_sum_to_one(a in 0.1f64..50.0, x in 0.0f64..100.0) {
+        let p = gamma_p(a, x);
+        let q = gamma_q(a, x);
+        prop_assert!((p + q - 1.0).abs() < 1e-9, "a={a} x={x}: {p} + {q}");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+    }
+
+    #[test]
+    fn gamma_p_monotone_in_x(a in 0.1f64..30.0, x1 in 0.0f64..50.0, dx in 0.0f64..10.0) {
+        prop_assert!(gamma_p(a, x1 + dx) >= gamma_p(a, x1) - 1e-12);
+    }
+
+    #[test]
+    fn chi2_sf_monotone_decreasing(k in 0.5f64..40.0, x1 in 0.0f64..60.0, dx in 0.0f64..20.0) {
+        prop_assert!(chi2_sf(x1 + dx, k) <= chi2_sf(x1, k) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&chi2_sf(x1, k)));
+    }
+
+    #[test]
+    fn normal_cdf_is_a_cdf(x in -8.0f64..8.0, dx in 0.0f64..4.0) {
+        let a = normal_cdf(x);
+        let b = normal_cdf(x + dx);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!(b >= a - 1e-12);
+        // symmetry
+        prop_assert!((normal_cdf(-x) - (1.0 - a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_inc_is_a_cdf(a in 0.2f64..20.0, b in 0.2f64..20.0, x in 0.0f64..1.0, dx in 0.0f64..0.5) {
+        let v = beta_inc(a, b, x);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        let x2 = (x + dx).min(1.0);
+        prop_assert!(beta_inc(a, b, x2) >= v - 1e-9);
+        // symmetry relation I_x(a,b) = 1 − I_{1−x}(b,a)
+        prop_assert!((v - (1.0 - beta_inc(b, a, 1.0 - x))).abs() < 1e-8);
+    }
+
+    #[test]
+    fn t_p_value_decreases_with_statistic(df in 1.0f64..200.0, t in 0.0f64..8.0, dt in 0.0f64..4.0) {
+        let p1 = t_sf_two_sided(t, df);
+        let p2 = t_sf_two_sided(t + dt, df);
+        prop_assert!(p2 <= p1 + 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p1));
+    }
+
+    #[test]
+    fn welch_t_sign_follows_mean_difference(
+        m1 in -50.0f64..50.0,
+        m2 in -50.0f64..50.0,
+        v in 0.5f64..20.0,
+        n in 5usize..200,
+    ) {
+        if let Some(r) = welch_t_test(m1, v, n, m2, v, n) {
+            if m1 > m2 {
+                prop_assert!(r.statistic > 0.0);
+            } else if m1 < m2 {
+                prop_assert!(r.statistic < 0.0);
+            }
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&r.p_value));
+            prop_assert!(r.df > 0.0);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_recurrence(x in 0.5f64..50.0) {
+        // Γ(x+1) = x·Γ(x)  ⇒  lnΓ(x+1) = ln x + lnΓ(x)
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "x={x}");
+    }
+}
