@@ -3,10 +3,10 @@
 //! (then run FairCap's step 2 to find interventions) or as *intervention
 //! patterns* applied to the entire population.
 
-use faircap_causal::CateEngine;
 use faircap_core::algorithm::intervention::{mine_intervention, subgroup_utility};
 use faircap_core::{
-    ruleset_utility, FairCapConfig, ProblemInput, Rule, RuleUtility, SolutionReport, StepTimings,
+    ruleset_utility, FairCapConfig, PrescriptionSession, Result, Rule, RuleUtility, SolutionReport,
+    StepTimings,
 };
 use faircap_table::{Mask, Pattern};
 use std::time::Instant;
@@ -27,19 +27,21 @@ pub enum IfClauseRole {
 /// rules freely mix mutable and immutable attributes (one of the paper's
 /// qualitative criticisms — their "interventions" can be non-actionable,
 /// e.g. `gdp_group = high`). Duplicate clauses are merged.
+///
+/// Runs against a prepared [`PrescriptionSession`], sharing its CATE
+/// caches; a clause whose pattern references unknown columns surfaces as a
+/// typed error instead of a panic.
 pub fn adapt_if_clauses(
-    input: &ProblemInput<'_>,
+    session: &PrescriptionSession,
     if_clauses: &[Pattern],
     role: IfClauseRole,
     label: &str,
     config: &FairCapConfig,
-) -> SolutionReport {
+) -> Result<SolutionReport> {
     let start = Instant::now();
-    let protected_mask = input
-        .protected
-        .coverage(input.df)
-        .expect("protected pattern evaluates");
-    let engine = CateEngine::new(input.df, input.dag, input.outcome, config.estimator);
+    let df = session.df();
+    let protected_mask = session.protected_mask();
+    let query = session.engine().with_estimator(&config.estimator);
 
     let mut clauses: Vec<Pattern> = if_clauses
         .iter()
@@ -53,13 +55,13 @@ pub fn adapt_if_clauses(
     match role {
         IfClauseRole::Grouping => {
             for grouping in &clauses {
-                let coverage = grouping.coverage(input.df).expect("pattern evaluates");
+                let coverage = grouping.coverage(df)?;
                 if let Some(rule) = mine_intervention(
-                    &engine,
+                    &query,
                     grouping,
                     &coverage,
-                    &protected_mask,
-                    input.mutable,
+                    protected_mask,
+                    session.mutable(),
                     config,
                 ) {
                     rules.push(rule);
@@ -67,18 +69,18 @@ pub fn adapt_if_clauses(
             }
         }
         IfClauseRole::Intervention => {
-            let everyone = Mask::ones(input.df.n_rows());
-            let cov_p = &everyone & &protected_mask;
-            let cov_np = everyone.andnot(&protected_mask);
+            let everyone = Mask::ones(df.n_rows());
+            let cov_p = &everyone & protected_mask;
+            let cov_np = everyone.andnot(protected_mask);
             for intervention in &clauses {
-                let Some(est) = engine.cate(&everyone, intervention) else {
+                let Some(est) = query.cate(&everyone, intervention) else {
                     continue;
                 };
                 if est.cate <= 0.0 {
                     continue; // negative-utility rules are discarded (§4.3)
                 }
-                let u_p = subgroup_utility(&engine, &cov_p, intervention, est.cate);
-                let u_np = subgroup_utility(&engine, &cov_np, intervention, est.cate);
+                let u_p = subgroup_utility(&query, &cov_p, intervention, est.cate);
+                let u_np = subgroup_utility(&query, &cov_np, intervention, est.cate);
                 let utility = RuleUtility {
                     overall: est.cate,
                     protected: u_p,
@@ -98,9 +100,9 @@ pub fn adapt_if_clauses(
     }
 
     let refs: Vec<&Rule> = rules.iter().collect();
-    let summary = ruleset_utility(&refs, input.df.n_rows(), &protected_mask);
+    let summary = ruleset_utility(&refs, df.n_rows(), protected_mask);
     let elapsed = start.elapsed();
-    SolutionReport {
+    Ok(SolutionReport {
         label: label.to_owned(),
         n_candidates: rules.len(),
         n_grouping_patterns: clauses.len(),
@@ -112,17 +114,17 @@ pub fn adapt_if_clauses(
             intervention: elapsed,
             greedy: std::time::Duration::ZERO,
         },
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use faircap_causal::scm::{bernoulli, normal, Scm};
-    use faircap_causal::Dag;
-    use faircap_table::{DataFrame, Value};
+    use faircap_core::FairCap;
+    use faircap_table::Value;
 
-    fn fixture() -> (DataFrame, Dag, Vec<String>, Vec<String>, Pattern) {
+    fn session() -> PrescriptionSession {
         let scm = Scm::new()
             .categorical("seg", &[("a", 0.5), ("b", 0.5)])
             .unwrap()
@@ -153,38 +155,33 @@ mod tests {
             .unwrap();
         let df = scm.sample(4000, 77).unwrap();
         let dag = scm.dag();
-        (
-            df,
-            dag,
-            vec!["seg".into(), "grp".into()],
-            vec!["t".into()],
-            Pattern::of_eq(&[("grp", Value::from("p"))]),
-        )
+        FairCap::builder()
+            .data(df)
+            .dag(dag)
+            .outcome("o")
+            .immutable(["seg", "grp"])
+            .mutable(["t"])
+            .protected(Pattern::of_eq(&[("grp", Value::from("p"))]))
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn grouping_adaptation_mines_interventions() {
-        let (df, dag, imm, mt, prot) = fixture();
-        let input = ProblemInput {
-            df: &df,
-            dag: &dag,
-            outcome: "o",
-            immutable: &imm,
-            mutable: &mt,
-            protected: &prot,
-        };
+        let s = session();
         // Baseline IF clauses mixing mutable + immutable attributes.
         let clauses = vec![
             Pattern::of_eq(&[("seg", Value::from("a")), ("t", Value::from("yes"))]),
             Pattern::of_eq(&[("seg", Value::from("b"))]),
         ];
         let report = adapt_if_clauses(
-            &input,
+            &s,
             &clauses,
             IfClauseRole::Grouping,
             "IDS (IF as grouping)",
             &FairCapConfig::default(),
-        );
+        )
+        .unwrap();
         // The first clause pins `t = yes`, so no contrast exists within its
         // group and only the `seg = b` clause yields a rule.
         assert_eq!(report.rules.len(), 1);
@@ -195,23 +192,16 @@ mod tests {
 
     #[test]
     fn intervention_adaptation_covers_everyone() {
-        let (df, dag, imm, mt, prot) = fixture();
-        let input = ProblemInput {
-            df: &df,
-            dag: &dag,
-            outcome: "o",
-            immutable: &imm,
-            mutable: &mt,
-            protected: &prot,
-        };
+        let s = session();
         let clauses = vec![Pattern::of_eq(&[("t", Value::from("yes"))])];
         let report = adapt_if_clauses(
-            &input,
+            &s,
             &clauses,
             IfClauseRole::Intervention,
             "FRL (IF as intervention)",
             &FairCapConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(report.rules.len(), 1);
         assert!((report.summary.coverage - 1.0).abs() < 1e-12);
         // measured effect ≈ planted mix (0.3·4 + 0.7·12 = 9.6)
@@ -230,52 +220,50 @@ mod tests {
         // Baseline clauses mixing mutable and immutable attributes stay
         // intact — the paper's criticism that such "interventions" are not
         // actionable is part of the reproduction.
-        let (df, dag, imm, mt, prot) = fixture();
-        let input = ProblemInput {
-            df: &df,
-            dag: &dag,
-            outcome: "o",
-            immutable: &imm,
-            mutable: &mt,
-            protected: &prot,
-        };
+        let s = session();
         let clauses = vec![Pattern::of_eq(&[
             ("seg", Value::from("a")),
             ("t", Value::from("yes")),
         ])];
         let report = adapt_if_clauses(
-            &input,
+            &s,
             &clauses,
             IfClauseRole::Intervention,
             "x",
             &FairCapConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(report.rules.len(), 1);
-        assert!(report.rules[0]
-            .intervention
-            .to_string()
-            .contains("seg = a"));
+        assert!(report.rules[0].intervention.to_string().contains("seg = a"));
     }
 
     #[test]
     fn duplicate_clauses_merged() {
-        let (df, dag, imm, mt, prot) = fixture();
-        let input = ProblemInput {
-            df: &df,
-            dag: &dag,
-            outcome: "o",
-            immutable: &imm,
-            mutable: &mt,
-            protected: &prot,
-        };
+        let s = session();
         let clause = Pattern::of_eq(&[("t", Value::from("yes"))]);
         let report = adapt_if_clauses(
-            &input,
+            &s,
             &[clause.clone(), clause],
             IfClauseRole::Intervention,
             "x",
             &FairCapConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(report.rules.len(), 1);
+    }
+
+    #[test]
+    fn unknown_clause_column_is_a_typed_error() {
+        let s = session();
+        let clauses = vec![Pattern::of_eq(&[("ghost", Value::from("x"))])];
+        let err = adapt_if_clauses(
+            &s,
+            &clauses,
+            IfClauseRole::Grouping,
+            "x",
+            &FairCapConfig::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("ghost"));
     }
 }

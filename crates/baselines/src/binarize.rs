@@ -74,10 +74,7 @@ mod tests {
     fn positive_rate_over_mask() {
         let labels = vec![true, false, true, true];
         assert_eq!(positive_rate(&labels, &Mask::ones(4)), 0.75);
-        assert_eq!(
-            positive_rate(&labels, &Mask::from_indices(4, &[1, 2])),
-            0.5
-        );
+        assert_eq!(positive_rate(&labels, &Mask::from_indices(4, &[1, 2])), 0.5);
         assert_eq!(positive_rate(&labels, &Mask::zeros(4)), 0.0);
     }
 }

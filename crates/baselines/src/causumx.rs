@@ -10,30 +10,33 @@
 //! constraint.
 
 use faircap_core::{
-    run, CoverageConstraint, FairCapConfig, FairnessConstraint, ProblemInput, SolutionReport,
+    CoverageConstraint, FairnessConstraint, PrescriptionSession, Result, SolutionReport,
+    SolveRequest,
 };
 
 /// Run the CauSumX-style baseline: utility-only treatment mining + greedy
 /// summary under an overall coverage constraint of `theta`.
-pub fn causumx(input: &ProblemInput<'_>, theta: f64) -> SolutionReport {
-    let mut cfg = FairCapConfig {
-        fairness: FairnessConstraint::None,
-        coverage: CoverageConstraint::Group {
+///
+/// Takes a prepared [`PrescriptionSession`], so running the baseline after
+/// (or before) FairCap variants on the same session reuses every cached
+/// CATE estimate.
+pub fn causumx(session: &PrescriptionSession, theta: f64) -> Result<SolutionReport> {
+    let request = SolveRequest::default()
+        .fairness(FairnessConstraint::None)
+        .coverage(CoverageConstraint::Group {
             theta,
             theta_protected: 0.0,
-        },
-        ..FairCapConfig::default()
-    };
-    cfg.parallel = true;
-    let mut report = run(input, &cfg);
+        });
+    let mut report = session.solve(&request)?;
     report.label = format!("CauSumX (θ={theta})");
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use faircap_causal::scm::{bernoulli, normal, Scm};
+    use faircap_core::FairCap;
     use faircap_table::{Pattern, Value};
 
     #[test]
@@ -66,18 +69,16 @@ mod tests {
             .unwrap();
         let df = scm.sample(4000, 31).unwrap();
         let dag = scm.dag();
-        let imm: Vec<String> = vec!["seg".into(), "grp".into()];
-        let mt: Vec<String> = vec!["t".into()];
-        let prot = Pattern::of_eq(&[("grp", Value::from("p"))]);
-        let input = ProblemInput {
-            df: &df,
-            dag: &dag,
-            outcome: "o",
-            immutable: &imm,
-            mutable: &mt,
-            protected: &prot,
-        };
-        let report = causumx(&input, 0.5);
+        let session = FairCap::builder()
+            .data(df)
+            .dag(dag)
+            .outcome("o")
+            .immutable(["seg", "grp"])
+            .mutable(["t"])
+            .protected(Pattern::of_eq(&[("grp", Value::from("p"))]))
+            .build()
+            .unwrap();
+        let report = causumx(&session, 0.5).unwrap();
         assert!(report.label.contains("CauSumX"));
         assert!(!report.rules.is_empty());
         assert!(report.summary.coverage >= 0.5);

@@ -117,7 +117,9 @@ pub fn learn_falling_rule_list(
                 best = Some((idx, rate, captured));
             }
         }
-        let Some((idx, rate, captured)) = best else { break };
+        let Some((idx, rate, captured)) = best else {
+            break;
+        };
         // Stop once the best stratum is no better than what remains overall.
         let remaining_rate = positive_rate(&labels, &remaining);
         if rate <= remaining_rate + 1e-9 {
@@ -149,9 +151,9 @@ mod tests {
         let mut o = Vec::new();
         for i in 0..300 {
             let (t, positive) = match i % 3 {
-                0 => ("a", i % 10 != 0),          // 90%
-                1 => ("b", i % 2 == 0),           // 50%
-                _ => ("c", i % 10 == 0),          // 10%
+                0 => ("a", i % 10 != 0), // 90%
+                1 => ("b", i % 2 == 0),  // 50%
+                _ => ("c", i % 10 == 0), // 10%
             };
             tier.push(t);
             o.push(if positive { 1.0 } else { 0.0 });
@@ -196,7 +198,9 @@ mod tests {
         for i in 0..frl.rules.len() {
             for j in i + 1..frl.rules.len() {
                 assert_eq!(
-                    frl.rules[i].captured.intersect_count(&frl.rules[j].captured),
+                    frl.rules[i]
+                        .captured
+                        .intersect_count(&frl.rules[j].captured),
                     0
                 );
             }

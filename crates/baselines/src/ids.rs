@@ -164,8 +164,7 @@ impl<'a> Scorer<'a> {
         let f1 = (budget - rules.len() as f64).max(0.0) / budget;
         // f2: short rules.
         let total_len: usize = rules.iter().map(|r| r.pattern.len()).sum();
-        let f2 = 1.0
-            - total_len as f64 / (self.max_len as f64 * budget).max(1.0);
+        let f2 = 1.0 - total_len as f64 / (self.max_len as f64 * budget).max(1.0);
         // f3/f4: low overlap between rules of the same / different class.
         let mut overlap_same = 0.0;
         let mut overlap_diff = 0.0;
@@ -210,8 +209,7 @@ impl<'a> Scorer<'a> {
         }
         let f7 = correct.count() as f64 / n;
 
-        self.config.lambda_interp * (f1 + f2 + f3 + f4 + f5)
-            + self.config.lambda_acc * (f6 + f7)
+        self.config.lambda_interp * (f1 + f2 + f3 + f4 + f5) + self.config.lambda_acc * (f6 + f7)
     }
 }
 
@@ -223,9 +221,13 @@ mod tests {
     /// Outcome perfectly determined by `flag`: rules on `flag` should win.
     fn df() -> DataFrame {
         let n = 200;
-        let flags: Vec<&str> = (0..n).map(|i| if i % 2 == 0 { "on" } else { "off" }).collect();
+        let flags: Vec<&str> = (0..n)
+            .map(|i| if i % 2 == 0 { "on" } else { "off" })
+            .collect();
         let noise: Vec<&str> = (0..n).map(|i| if i % 3 == 0 { "x" } else { "y" }).collect();
-        let outcome: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 100.0 } else { 0.0 }).collect();
+        let outcome: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 100.0 } else { 0.0 })
+            .collect();
         DataFrame::builder()
             .cat("flag", &flags)
             .cat("noise", &noise)
@@ -251,7 +253,10 @@ mod tests {
             .find(|r| r.pattern.to_string() == "flag = on")
             .expect("flag = on should be selected");
         assert!(on_rule.class, "flag=on predicts the high class");
-        let off_rule = ds.rules.iter().find(|r| r.pattern.to_string() == "flag = off");
+        let off_rule = ds
+            .rules
+            .iter()
+            .find(|r| r.pattern.to_string() == "flag = off");
         if let Some(r) = off_rule {
             assert!(!r.class);
         }

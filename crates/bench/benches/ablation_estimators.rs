@@ -3,19 +3,26 @@
 //! estimator design choice).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use faircap_bench::{input_of, BENCH_ROWS, BENCH_SEED};
+use faircap_bench::{session_of, BENCH_ROWS, BENCH_SEED};
 use faircap_causal::{CateEngine, EstimatorKind};
-use faircap_core::{run, FairCapConfig};
+use faircap_core::{FairCapConfig, SolveRequest};
 use faircap_data::so;
 use faircap_table::{Mask, Pattern, Value};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_single_estimate(c: &mut Criterion) {
     let ds = so::generate(BENCH_ROWS, BENCH_SEED);
+    let df = Arc::new(ds.df.clone());
+    let dag = Arc::new(ds.dag.clone());
     let all = Mask::ones(ds.df.n_rows());
     let pattern = Pattern::of_eq(&[("certifications", Value::from("yes"))]);
     let mut group = c.benchmark_group("ablation_single_cate");
-    for kind in [EstimatorKind::Linear, EstimatorKind::Stratified, EstimatorKind::Ipw] {
+    for kind in [
+        EstimatorKind::Linear,
+        EstimatorKind::Stratified,
+        EstimatorKind::Ipw,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{kind:?}")),
             &kind,
@@ -23,8 +30,9 @@ fn bench_single_estimate(c: &mut Criterion) {
                 b.iter(|| {
                     // Fresh engine per iteration so the cache cannot hide
                     // the estimator cost.
-                    let engine = CateEngine::new(&ds.df, &ds.dag, "salary", kind);
-                    black_box(engine.cate(&all, &pattern))
+                    let engine =
+                        CateEngine::new(Arc::clone(&df), Arc::clone(&dag), "salary").unwrap();
+                    black_box(engine.cate(&all, &pattern, &kind))
                 });
             },
         );
@@ -34,10 +42,13 @@ fn bench_single_estimate(c: &mut Criterion) {
 
 fn bench_full_run(c: &mut Criterion) {
     let ds = so::generate(BENCH_ROWS, BENCH_SEED);
-    let input = input_of(&ds);
     let mut group = c.benchmark_group("ablation_full_run");
     group.sample_size(10);
-    for kind in [EstimatorKind::Linear, EstimatorKind::Stratified, EstimatorKind::Ipw] {
+    for kind in [
+        EstimatorKind::Linear,
+        EstimatorKind::Stratified,
+        EstimatorKind::Ipw,
+    ] {
         let cfg = FairCapConfig {
             estimator: kind,
             ..FairCapConfig::default()
@@ -46,7 +57,10 @@ fn bench_full_run(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{kind:?}")),
             &cfg,
             |b, cfg| {
-                b.iter(|| black_box(run(&input, cfg)));
+                b.iter(|| {
+                    let session = session_of(&ds).unwrap();
+                    black_box(session.solve(&SolveRequest::from(cfg.clone())).unwrap())
+                });
             },
         );
     }
@@ -56,7 +70,6 @@ fn bench_full_run(c: &mut Criterion) {
 fn bench_parallelism(c: &mut Criterion) {
     // §5.2 optimization (ii): parallel vs serial intervention mining.
     let ds = so::generate(BENCH_ROWS, BENCH_SEED);
-    let input = input_of(&ds);
     let mut group = c.benchmark_group("ablation_parallel_step2");
     group.sample_size(10);
     for parallel in [false, true] {
@@ -68,7 +81,10 @@ fn bench_parallelism(c: &mut Criterion) {
             BenchmarkId::from_parameter(if parallel { "parallel" } else { "serial" }),
             &cfg,
             |b, cfg| {
-                b.iter(|| black_box(run(&input, cfg)));
+                b.iter(|| {
+                    let session = session_of(&ds).unwrap();
+                    black_box(session.solve(&SolveRequest::from(cfg.clone())).unwrap())
+                });
             },
         );
     }

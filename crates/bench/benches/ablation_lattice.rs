@@ -9,9 +9,12 @@ use faircap_data::so;
 use faircap_mining::{positive_lattice, single_attribute_items};
 use faircap_table::Mask;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_lattice_pruning(c: &mut Criterion) {
     let ds = so::generate(BENCH_ROWS, BENCH_SEED);
+    let df = Arc::new(ds.df.clone());
+    let dag = Arc::new(ds.dag.clone());
     let all = Mask::ones(ds.df.n_rows());
     let items = single_attribute_items(&ds.df, &ds.mutable, &all, 24).unwrap();
     let mut group = c.benchmark_group("ablation_lattice_pruning");
@@ -20,11 +23,15 @@ fn bench_lattice_pruning(c: &mut Criterion) {
     // Pruned: only positive-CATE parents are expanded (the paper's rule).
     group.bench_function(BenchmarkId::from_parameter("positive_parent"), |b| {
         b.iter(|| {
-            let engine = CateEngine::new(&ds.df, &ds.dag, "salary", EstimatorKind::Linear);
+            let engine = CateEngine::new(Arc::clone(&df), Arc::clone(&dag), "salary").unwrap();
             let nodes = positive_lattice(
                 &items,
                 2,
-                |pattern, _| engine.cate(&all, pattern).map(|e| e.cate),
+                |pattern, _| {
+                    engine
+                        .cate(&all, pattern, &EstimatorKind::Linear)
+                        .map(|e| e.cate)
+                },
                 |&cate| cate > 0.0,
             );
             black_box(nodes.len())
@@ -34,11 +41,15 @@ fn bench_lattice_pruning(c: &mut Criterion) {
     // Exhaustive: every node expands regardless of sign.
     group.bench_function(BenchmarkId::from_parameter("exhaustive"), |b| {
         b.iter(|| {
-            let engine = CateEngine::new(&ds.df, &ds.dag, "salary", EstimatorKind::Linear);
+            let engine = CateEngine::new(Arc::clone(&df), Arc::clone(&dag), "salary").unwrap();
             let nodes = positive_lattice(
                 &items,
                 2,
-                |pattern, _| engine.cate(&all, pattern).map(|e| e.cate),
+                |pattern, _| {
+                    engine
+                        .cate(&all, pattern, &EstimatorKind::Linear)
+                        .map(|e| e.cate)
+                },
                 |_| true,
             );
             black_box(nodes.len())
@@ -48,9 +59,8 @@ fn bench_lattice_pruning(c: &mut Criterion) {
 }
 
 fn bench_cost_policies(c: &mut Criterion) {
-    use faircap_core::{run, CostModel, CostPolicy, FairCapConfig};
+    use faircap_core::{CostModel, CostPolicy, FairCapConfig, SolveRequest};
     let ds = so::generate(BENCH_ROWS, BENCH_SEED);
-    let input = faircap_bench::input_of(&ds);
     let mut group = c.benchmark_group("ablation_cost_policy");
     group.sample_size(10);
     let policies: [(&str, CostPolicy); 3] = [
@@ -65,7 +75,10 @@ fn bench_cost_policies(c: &mut Criterion) {
             ..FairCapConfig::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| black_box(run(&input, cfg)));
+            b.iter(|| {
+                let session = faircap_bench::session_of(&ds).unwrap();
+                black_box(session.solve(&SolveRequest::from(cfg.clone())).unwrap())
+            });
         });
     }
     group.finish();

@@ -4,23 +4,47 @@
 //! seconds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use faircap_bench::{input_of, nine_variants, BENCH_ROWS, BENCH_SEED};
-use faircap_core::{run, FairnessKind};
+use faircap_bench::{nine_variants, session_of, BENCH_ROWS, BENCH_SEED};
+use faircap_core::{FairnessKind, SolveRequest};
 use faircap_data::so;
 use std::hint::black_box;
 
 fn bench_settings(c: &mut Criterion) {
     let ds = so::generate(BENCH_ROWS, BENCH_SEED);
-    let input = input_of(&ds);
     let mut group = c.benchmark_group("fig3_settings");
     group.sample_size(10);
     for (label, cfg) in nine_variants(FairnessKind::StatisticalParity, 10_000.0, 0.5, 0.5) {
         group.bench_with_input(BenchmarkId::from_parameter(&label), &cfg, |b, cfg| {
-            b.iter(|| black_box(run(&input, cfg)));
+            // Cold-start semantics: session built inside the iteration.
+            b.iter(|| {
+                let session = session_of(&ds).unwrap();
+                black_box(session.solve(&SolveRequest::from(cfg.clone())).unwrap())
+            });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_settings);
+fn bench_warm_resolve(c: &mut Criterion) {
+    // The serving scenario the session API exists for: constraints change,
+    // the session (and its CATE caches) persists.
+    let ds = so::generate(BENCH_ROWS, BENCH_SEED);
+    let variants = nine_variants(FairnessKind::StatisticalParity, 10_000.0, 0.5, 0.5);
+    let mut group = c.benchmark_group("fig3_warm_resolve");
+    group.sample_size(10);
+    let session = session_of(&ds).unwrap();
+    for (_, cfg) in &variants {
+        session.solve(&SolveRequest::from(cfg.clone())).unwrap(); // warm up
+    }
+    group.bench_function(BenchmarkId::from_parameter("nine_variants_warm"), |b| {
+        b.iter(|| {
+            for (_, cfg) in &variants {
+                black_box(session.solve(&SolveRequest::from(cfg.clone())).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_settings, bench_warm_resolve);
 criterion_main!(benches);

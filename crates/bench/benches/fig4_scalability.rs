@@ -2,8 +2,8 @@
 //! for the unconstrained and group-fairness settings.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use faircap_bench::{input_of, BENCH_ROWS, BENCH_SEED};
-use faircap_core::{run, FairCapConfig, FairnessConstraint, FairnessScope};
+use faircap_bench::{session_of, BENCH_ROWS, BENCH_SEED};
+use faircap_core::{FairCapConfig, FairnessConstraint, FairnessScope, SolveRequest};
 use faircap_data::so;
 use std::hint::black_box;
 
@@ -32,14 +32,12 @@ fn bench_fractions(c: &mut Criterion) {
         };
         group.throughput(Throughput::Elements(ds.df.n_rows() as u64));
         for (name, cfg) in &configs {
-            group.bench_with_input(
-                BenchmarkId::new(*name, percent),
-                &ds,
-                |b, ds| {
-                    let input = input_of(ds);
-                    b.iter(|| black_box(run(&input, cfg)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(*name, percent), &ds, |b, ds| {
+                b.iter(|| {
+                    let session = session_of(ds).unwrap();
+                    black_box(session.solve(&SolveRequest::from(cfg.clone())).unwrap())
+                });
+            });
         }
     }
     group.finish();

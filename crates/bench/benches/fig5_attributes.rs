@@ -2,8 +2,8 @@
 //! and immutable (5–10) attributes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use faircap_bench::{input_of, BENCH_ROWS, BENCH_SEED};
-use faircap_core::{run, FairCapConfig};
+use faircap_bench::{session_of, BENCH_ROWS, BENCH_SEED};
+use faircap_core::{FairCapConfig, SolveRequest};
 use faircap_data::so;
 use std::hint::black_box;
 
@@ -15,8 +15,10 @@ fn bench_mutable(c: &mut Criterion) {
     for n_mut in 2..=6usize {
         let ds = full.restrict_attrs(10, n_mut);
         group.bench_with_input(BenchmarkId::from_parameter(n_mut), &ds, |b, ds| {
-            let input = input_of(ds);
-            b.iter(|| black_box(run(&input, &cfg)));
+            b.iter(|| {
+                let session = session_of(ds).unwrap();
+                black_box(session.solve(&SolveRequest::from(cfg.clone())).unwrap())
+            });
         });
     }
     group.finish();
@@ -30,8 +32,10 @@ fn bench_immutable(c: &mut Criterion) {
     for n_imm in 5..=10usize {
         let ds = full.restrict_attrs(n_imm, 6);
         group.bench_with_input(BenchmarkId::from_parameter(n_imm), &ds, |b, ds| {
-            let input = input_of(ds);
-            b.iter(|| black_box(run(&input, &cfg)));
+            b.iter(|| {
+                let session = session_of(ds).unwrap();
+                black_box(session.solve(&SolveRequest::from(cfg.clone())).unwrap())
+            });
         });
     }
     group.finish();

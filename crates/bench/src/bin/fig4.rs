@@ -6,8 +6,8 @@
 //! cargo run --release -p faircap-bench --bin fig4
 //! ```
 
-use faircap_bench::{input_of, nine_variants};
-use faircap_core::{run, FairnessKind};
+use faircap_bench::{nine_variants, session_of};
+use faircap_core::{FairnessKind, SolveRequest};
 use faircap_data::so;
 use std::time::Instant;
 
@@ -35,8 +35,10 @@ fn main() {
     for (label, cfg) in &variants {
         print!("{label}");
         for ds in &samples {
-            let input = input_of(ds);
-            let report = run(&input, cfg);
+            let session = session_of(ds).expect("subsample is well-formed");
+            let report = session
+                .solve(&SolveRequest::from(cfg.clone()))
+                .expect("variant config is valid");
             print!(",{:.3}", report.timings.total().as_secs_f64());
         }
         println!();

@@ -7,8 +7,8 @@
 //! cargo run --release -p faircap-bench --bin fig5
 //! ```
 
-use faircap_bench::input_of;
-use faircap_core::{run, FairCapConfig, FairnessConstraint, FairnessScope};
+use faircap_bench::session_of;
+use faircap_core::{FairCapConfig, FairnessConstraint, FairnessScope, SolveRequest};
 use faircap_data::{so, Dataset};
 use std::time::Instant;
 
@@ -44,8 +44,10 @@ fn sweep(title: &str, datasets: &[(String, Dataset)]) {
     for (label, cfg) in settings() {
         print!("{label}");
         for (_, ds) in datasets {
-            let input = input_of(ds);
-            let report = run(&input, &cfg);
+            let session = session_of(ds).expect("restricted dataset is well-formed");
+            let report = session
+                .solve(&SolveRequest::from(cfg.clone()))
+                .expect("variant config is valid");
             print!(",{:.3}", report.timings.total().as_secs_f64());
         }
         println!();

@@ -7,8 +7,8 @@
 //! cargo run --release -p faircap-bench --bin table4
 //! ```
 
-use faircap_bench::{baseline_rows, input_of, nine_variants};
-use faircap_core::{run, FairCapConfig, FairnessKind, SolutionReport};
+use faircap_bench::{baseline_rows, nine_variants, session_of};
+use faircap_core::{FairCapConfig, FairnessKind, SolutionReport, SolveRequest};
 use faircap_data::{german, so};
 
 fn main() {
@@ -17,28 +17,39 @@ fn main() {
     let so = so::generate(so::SO_DEFAULT_ROWS, 42);
     println!("Table 4 (top): Stack Overflow — statistical-parity fairness, ε=$10k, θ=θp=0.5");
     println!("{}", SolutionReport::table_header());
-    let input = input_of(&so);
+    let session = session_of(&so).expect("SO dataset is well-formed");
     for (label, cfg) in nine_variants(FairnessKind::StatisticalParity, 10_000.0, 0.5, 0.5) {
-        let mut report = run(&input, &cfg);
+        let mut report = session
+            .solve(&SolveRequest::from(cfg))
+            .expect("variant config is valid");
         report.label = label;
         println!("{}", report.table_row());
     }
-    for report in baseline_rows(&so, &FairCapConfig::default()) {
+    for report in baseline_rows(&session, &so, &FairCapConfig::default()).expect("baselines run") {
         println!("{}", report.table_row());
     }
+    let stats = session.cache_stats();
+    println!(
+        "(cate cache: {} hits / {} misses across all 13 rows)",
+        stats.hits, stats.misses
+    );
 
     // ---------------- German Credit, BGL fairness ----------------
     // Paper defaults (§6): coverage thresholds 0.3, fairness threshold 0.1.
     let german = german::generate(german::GERMAN_DEFAULT_ROWS, 42);
     println!("\nTable 4 (bottom): German Credit — bounded-group-loss fairness, τ=0.1, θ=θp=0.3");
     println!("{}", SolutionReport::table_header());
-    let input = input_of(&german);
+    let session = session_of(&german).expect("German dataset is well-formed");
     for (label, cfg) in nine_variants(FairnessKind::BoundedGroupLoss, 0.1, 0.3, 0.3) {
-        let mut report = run(&input, &cfg);
+        let mut report = session
+            .solve(&SolveRequest::from(cfg))
+            .expect("variant config is valid");
         report.label = label;
         println!("{}", report.table_row());
     }
-    for report in baseline_rows(&german, &FairCapConfig::default()) {
+    for report in
+        baseline_rows(&session, &german, &FairCapConfig::default()).expect("baselines run")
+    {
         println!("{}", report.table_row());
     }
 

@@ -5,32 +5,33 @@
 //! cargo run --release -p faircap-bench --bin table5
 //! ```
 
-use faircap_bench::input_of;
-use faircap_core::{
-    run, FairCapConfig, FairnessConstraint, FairnessScope, SolutionReport,
-};
+use faircap_bench::session_of;
+use faircap_core::{FairnessConstraint, FairnessScope, SolutionReport, SolveRequest};
 use faircap_data::so;
 
 fn main() {
     let ds = so::generate(so::SO_DEFAULT_ROWS, 42);
-    let input = input_of(&ds);
+    let session = session_of(&ds).expect("SO dataset is well-formed");
     println!("Table 5: Stack Overflow — varying the SP fairness threshold ε");
     println!("{}", SolutionReport::table_header());
     for scope in [FairnessScope::Group, FairnessScope::Individual] {
         for epsilon in [2_500.0, 5_000.0, 10_000.0, 20_000.0] {
-            let cfg = FairCapConfig {
-                fairness: FairnessConstraint::StatisticalParity { scope, epsilon },
-                ..FairCapConfig::default()
-            };
+            let request = SolveRequest::default()
+                .fairness(FairnessConstraint::StatisticalParity { scope, epsilon });
             let scope_name = match scope {
                 FairnessScope::Group => "Group SP",
                 FairnessScope::Individual => "Individual SP",
             };
-            let mut report = run(&input, &cfg);
+            let mut report = session.solve(&request).expect("request is valid");
             report.label = format!("{scope_name} ({:.1}K)", epsilon / 1_000.0);
             println!("{}", report.table_row());
         }
     }
+    let stats = session.cache_stats();
+    println!(
+        "\n(one session, 8 solves: {} cache hits, {} estimations — ε-sweeps re-estimate nothing)",
+        stats.hits, stats.misses
+    );
     println!("\nShape targets (paper Table 5):");
     println!("  * group SP: unfairness grows with ε and stays ≤ ε; utility grows with ε;");
     println!("  * individual SP: per-rule gaps are ≤ ε but the worst-case ruleset");

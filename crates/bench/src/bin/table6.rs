@@ -7,21 +7,33 @@
 //! cargo run --release -p faircap-bench --bin table6
 //! ```
 
-use faircap_bench::input_of;
 use faircap_core::{
-    run, CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope, ProblemInput,
-    SolutionReport,
+    CoverageConstraint, FairCap, FairCapConfig, FairnessConstraint, FairnessScope, SolutionReport,
+    SolveRequest,
 };
 use faircap_data::{build_dag_variant, german, so, DagVariant, Dataset};
+use std::sync::Arc;
 
 fn run_block(ds: &Dataset, cfg: &FairCapConfig, title: &str) {
     println!("{title}");
     println!("{}", SolutionReport::table_header());
+    // The frame is shared across variants; each DAG variant invalidates the
+    // adjustment-set caches, so it gets its own session.
+    let df = Arc::new(ds.df.clone());
     for variant in DagVariant::all() {
         let dag = build_dag_variant(ds, variant);
-        let base = input_of(ds);
-        let input = ProblemInput { dag: &dag, ..base };
-        let mut report = run(&input, cfg);
+        let session = FairCap::builder()
+            .data(Arc::clone(&df))
+            .dag(dag)
+            .outcome(&ds.outcome)
+            .immutable(ds.immutable.iter().cloned())
+            .mutable(ds.mutable.iter().cloned())
+            .protected(ds.protected.clone())
+            .build()
+            .expect("dataset is well-formed");
+        let mut report = session
+            .solve(&SolveRequest::from(cfg.clone()))
+            .expect("config is valid");
         report.label = variant.label().to_owned();
         println!("{}", report.table_row());
     }

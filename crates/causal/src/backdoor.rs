@@ -16,7 +16,9 @@ use std::collections::HashSet;
 pub fn is_valid_backdoor(g: &Dag, t: &[NodeId], o: NodeId, z: &[NodeId]) -> bool {
     // (i) no descendants of T in Z (nor T itself / the outcome).
     let desc = g.descendants(t);
-    if z.iter().any(|n| desc.contains(n) || t.contains(n) || *n == o) {
+    if z.iter()
+        .any(|n| desc.contains(n) || t.contains(n) || *n == o)
+    {
         return false;
     }
     // (ii) T ⊥ O | Z in G with T's outgoing edges removed.
@@ -62,9 +64,7 @@ pub fn find_adjustment_set(g: &Dag, t: &[NodeId], o: NodeId) -> Result<Vec<NodeI
         let mut anc = g.ancestors(t);
         anc.extend(g.ancestors(&[o]));
         let mut fallback: Vec<NodeId> = (0..g.n_nodes())
-            .filter(|n| {
-                anc.contains(n) && !desc.contains(n) && !t.contains(n) && *n != o
-            })
+            .filter(|n| anc.contains(n) && !desc.contains(n) && !t.contains(n) && *n != o)
             .collect();
         fallback.sort_unstable();
         if !is_valid_backdoor(g, t, o, &fallback) {
@@ -140,7 +140,10 @@ mod tests {
         let o = g.node("O").unwrap();
         let m = g.node("M").unwrap();
         let z = g.node("Z").unwrap();
-        assert!(!is_valid_backdoor(&g, &[t], o, &[m]), "mediator is a descendant");
+        assert!(
+            !is_valid_backdoor(&g, &[t], o, &[m]),
+            "mediator is a descendant"
+        );
         assert!(!is_valid_backdoor(&g, &[t], o, &[m, z]));
         let adj = find_adjustment_set(&g, &[t], o).unwrap();
         assert_eq!(names(&g, &adj), vec!["Z"]);
@@ -150,14 +153,8 @@ mod tests {
     #[test]
     fn collider_left_alone() {
         // T <- A -> C <- B -> O, T -> O.
-        let g = Dag::from_edges(&[
-            ("A", "T"),
-            ("A", "C"),
-            ("B", "C"),
-            ("B", "O"),
-            ("T", "O"),
-        ])
-        .unwrap();
+        let g =
+            Dag::from_edges(&[("A", "T"), ("A", "C"), ("B", "C"), ("B", "O"), ("T", "O")]).unwrap();
         let t = g.node("T").unwrap();
         let o = g.node("O").unwrap();
         let a = g.node("A").unwrap();

@@ -1,60 +1,124 @@
 //! High-level CATE queries for prescription rules.
 //!
-//! [`CateEngine`] binds a dataset, a causal DAG, and an outcome, and answers
-//! "what is the CATE of intervention pattern `P_int` within subgroup mask
-//! `g`?" — the quantity behind every utility in the paper (Definition 4.4).
-//! Adjustment sets are derived from the DAG once per treatment-attribute set
-//! and cached; full estimates are cached per `(group, intervention)` pair,
-//! which the greedy phase hits repeatedly.
+//! [`CateEngine`] owns a dataset (via `Arc`), a causal DAG, and an outcome,
+//! and answers "what is the CATE of intervention pattern `P_int` within
+//! subgroup mask `g`?" — the quantity behind every utility in the paper
+//! (Definition 4.4). The engine is **estimator-agnostic**: the estimator is
+//! supplied per query (see [`Estimator`]), so one long-lived engine serves
+//! repeated solves under different estimators while sharing its caches.
+//!
+//! Three caches persist across queries:
+//!
+//! * adjustment sets, derived from the DAG once per treatment-attribute set;
+//! * treated-row masks, one per intervention pattern;
+//! * full estimates, keyed by `(estimator, group, intervention)` — the cache
+//!   the greedy phase and repeated constraint re-solves hit hardest.
+//!
+//! Hit/miss counters ([`CateEngine::cache_stats`]) make the reuse
+//! observable; the session integration tests assert on them.
 
 use crate::backdoor::find_adjustment_set_names;
-use crate::error::Result;
-use crate::estimate::{estimate_cate, Estimate, EstimatorKind};
+use crate::error::{CausalError, Result};
+use crate::estimate::{Estimate, Estimator};
 use crate::graph::Dag;
-use faircap_table::{DataFrame, Mask, Pattern};
+use faircap_table::{DataFrame, DataType, Mask, Pattern};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Engine answering CATE queries against one dataset + DAG.
-pub struct CateEngine<'a> {
-    df: &'a DataFrame,
-    dag: &'a Dag,
-    outcome: String,
-    kind: EstimatorKind,
-    adjustment_cache: Mutex<HashMap<Vec<String>, Option<Vec<String>>>>,
-    treated_cache: Mutex<HashMap<Pattern, Mask>>,
-    estimate_cache: Mutex<HashMap<(u64, Pattern), Option<Estimate>>>,
+/// Estimate-cache hit/miss counters (see [`CateEngine::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered from the estimate cache.
+    pub hits: u64,
+    /// Queries that had to run an estimation (or re-discover that the pair
+    /// is not estimable).
+    pub misses: u64,
+    /// Entries currently held in the estimate cache.
+    pub entries: usize,
 }
 
-impl<'a> CateEngine<'a> {
-    /// Create an engine. `outcome` must be a numeric or boolean column.
-    pub fn new(df: &'a DataFrame, dag: &'a Dag, outcome: &str, kind: EstimatorKind) -> Self {
-        CateEngine {
+/// Cached estimates of one `(estimator, group)` scope, per intervention.
+type PatternEstimates = HashMap<Pattern, Option<Estimate>>;
+
+/// Engine answering CATE queries against one dataset + DAG.
+pub struct CateEngine {
+    df: Arc<DataFrame>,
+    dag: Arc<Dag>,
+    outcome: String,
+    adjustment_cache: Mutex<HashMap<Vec<String>, Option<Vec<String>>>>,
+    treated_cache: Mutex<HashMap<Pattern, Mask>>,
+    // Two-level keying keeps cache *hits* allocation-free: the outer key
+    // (estimator-name hash, group-mask fingerprint) is `Copy`, and the
+    // inner lookup borrows the query's `Pattern`; only a miss clones the
+    // pattern for insertion.
+    estimate_cache: Mutex<HashMap<(u64, u64), PatternEstimates>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for CateEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CateEngine")
+            .field("outcome", &self.outcome)
+            .field("n_rows", &self.df.n_rows())
+            .field("cache_stats", &self.cache_stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CateEngine {
+    /// Create an engine bound to a frame, a DAG, and an outcome column.
+    ///
+    /// Fails (rather than panicking or silently answering `None` forever)
+    /// when the outcome column is missing or non-numeric.
+    pub fn new(df: Arc<DataFrame>, dag: Arc<Dag>, outcome: impl Into<String>) -> Result<Self> {
+        let outcome = outcome.into();
+        let col = df.column(&outcome)?;
+        if col.data_type() == DataType::Cat {
+            return Err(CausalError::InvalidOutcome {
+                column: outcome,
+                reason: "categorical columns cannot be averaged; use a numeric or boolean outcome"
+                    .into(),
+            });
+        }
+        Ok(CateEngine {
             df,
             dag,
-            outcome: outcome.to_owned(),
-            kind,
+            outcome,
             adjustment_cache: Mutex::new(HashMap::new()),
             treated_cache: Mutex::new(HashMap::new()),
             estimate_cache: Mutex::new(HashMap::new()),
-        }
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
     }
 
     /// The dataset the engine is bound to.
     pub fn df(&self) -> &DataFrame {
-        self.df
+        &self.df
     }
 
     /// The causal DAG the engine is bound to.
     pub fn dag(&self) -> &Dag {
-        self.dag
+        &self.dag
     }
 
     /// The outcome attribute.
     pub fn outcome(&self) -> &str {
         &self.outcome
+    }
+
+    /// Bind an estimator for a batch of queries; the returned view shares
+    /// this engine's caches.
+    pub fn with_estimator<'a>(&'a self, estimator: &'a dyn Estimator) -> CateQuery<'a> {
+        CateQuery {
+            engine: self,
+            estimator,
+        }
     }
 
     /// Whether an attribute has any causal path to the outcome — the paper's
@@ -82,7 +146,7 @@ impl<'a> CateEngine<'a> {
         let computed = if in_dag.is_empty() {
             None
         } else {
-            find_adjustment_set_names(self.dag, &in_dag, &self.outcome).ok()
+            find_adjustment_set_names(&self.dag, &in_dag, &self.outcome).ok()
         };
         self.adjustment_cache.lock().insert(key, computed.clone());
         computed
@@ -93,28 +157,52 @@ impl<'a> CateEngine<'a> {
         if let Some(hit) = self.treated_cache.lock().get(intervention) {
             return Ok(hit.clone());
         }
-        let m = intervention.coverage(self.df)?;
+        let m = intervention.coverage(&self.df)?;
         self.treated_cache
             .lock()
             .insert(intervention.clone(), m.clone());
         Ok(m)
     }
 
-    /// CATE of `intervention` within `group` (Definition 4.4 utilities).
+    /// CATE of `intervention` within `group` under `estimator`
+    /// (Definition 4.4 utilities).
     ///
     /// Returns `None` when the effect is not estimable: unidentified
-    /// adjustment, insufficient overlap, or a degenerate design.
-    pub fn cate(&self, group: &Mask, intervention: &Pattern) -> Option<Estimate> {
-        let key = (mask_fingerprint(group), intervention.clone());
-        if let Some(hit) = self.estimate_cache.lock().get(&key) {
+    /// adjustment, insufficient overlap, or a degenerate design. Both
+    /// estimable and non-estimable answers are cached per
+    /// `(estimator, group, intervention)`.
+    pub fn cate(
+        &self,
+        group: &Mask,
+        intervention: &Pattern,
+        estimator: &dyn Estimator,
+    ) -> Option<Estimate> {
+        let scope = (str_fingerprint(estimator.name()), mask_fingerprint(group));
+        if let Some(hit) = self
+            .estimate_cache
+            .lock()
+            .get(&scope)
+            .and_then(|per_pattern| per_pattern.get(intervention))
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return *hit;
         }
-        let result = self.cate_uncached(group, intervention);
-        self.estimate_cache.lock().insert(key, result);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = self.cate_uncached(group, intervention, estimator);
+        self.estimate_cache
+            .lock()
+            .entry(scope)
+            .or_default()
+            .insert(intervention.clone(), result);
         result
     }
 
-    fn cate_uncached(&self, group: &Mask, intervention: &Pattern) -> Option<Estimate> {
+    fn cate_uncached(
+        &self,
+        group: &Mask,
+        intervention: &Pattern,
+        estimator: &dyn Estimator,
+    ) -> Option<Estimate> {
         if intervention.is_empty() {
             return None;
         }
@@ -125,20 +213,66 @@ impl<'a> CateEngine<'a> {
             .collect();
         let adjustment = self.adjustment_for(&attrs)?;
         let treated = self.treated_mask(intervention).ok()?;
-        estimate_cate(
-            self.kind,
-            self.df,
-            group,
-            &treated,
-            &self.outcome,
-            &adjustment,
-        )
-        .ok()
+        estimator
+            .estimate(&self.df, group, &treated, &self.outcome, &adjustment)
+            .ok()
     }
 
     /// Number of cached estimates (diagnostics).
     pub fn cache_len(&self) -> usize {
-        self.estimate_cache.lock().len()
+        self.estimate_cache
+            .lock()
+            .values()
+            .map(PatternEstimates::len)
+            .sum()
+    }
+
+    /// Estimate-cache hit/miss counters since the engine was built.
+    ///
+    /// `misses` counts actual estimation work; a solve that adds no misses
+    /// performed no redundant CATE estimation.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache_len(),
+        }
+    }
+}
+
+/// A [`CateEngine`] bound to one estimator — the view the mining and greedy
+/// phases consume. Cheap to construct per solve; all caches live on the
+/// engine and are shared across views.
+#[derive(Clone, Copy)]
+pub struct CateQuery<'a> {
+    engine: &'a CateEngine,
+    estimator: &'a dyn Estimator,
+}
+
+impl<'a> CateQuery<'a> {
+    /// The underlying engine.
+    pub fn engine(&self) -> &'a CateEngine {
+        self.engine
+    }
+
+    /// The bound estimator.
+    pub fn estimator(&self) -> &'a dyn Estimator {
+        self.estimator
+    }
+
+    /// The dataset the engine is bound to.
+    pub fn df(&self) -> &'a DataFrame {
+        self.engine.df()
+    }
+
+    /// See [`CateEngine::affects_outcome`].
+    pub fn affects_outcome(&self, attr: &str) -> bool {
+        self.engine.affects_outcome(attr)
+    }
+
+    /// See [`CateEngine::cate`].
+    pub fn cate(&self, group: &Mask, intervention: &Pattern) -> Option<Estimate> {
+        self.engine.cate(group, intervention, self.estimator)
     }
 }
 
@@ -148,14 +282,21 @@ fn mask_fingerprint(mask: &Mask) -> u64 {
     h.finish()
 }
 
+fn str_fingerprint(s: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::estimate::EstimatorKind;
     use crate::scm::{bernoulli, normal, Scm};
     use faircap_table::Value;
 
     /// region → educated → income, region → income. Planted effect: +20.
-    fn fixture() -> (DataFrame, Dag) {
+    fn fixture() -> (Arc<DataFrame>, Arc<Dag>) {
         let scm = Scm::new()
             .categorical("region", &[("north", 0.5), ("south", 0.5)])
             .unwrap()
@@ -163,7 +304,11 @@ mod tests {
                 "educated",
                 &["region"],
                 Box::new(|row, rng| {
-                    let p = if row.str("region") == "north" { 0.7 } else { 0.3 };
+                    let p = if row.str("region") == "north" {
+                        0.7
+                    } else {
+                        0.3
+                    };
                     Value::Bool(bernoulli(rng, p))
                 }),
             )
@@ -172,65 +317,91 @@ mod tests {
                 "income",
                 &["region", "educated"],
                 Box::new(|row, rng| {
-                    let base = if row.str("region") == "north" { 60.0 } else { 40.0 };
+                    let base = if row.str("region") == "north" {
+                        60.0
+                    } else {
+                        40.0
+                    };
                     let boost = if row.flag("educated") { 20.0 } else { 0.0 };
                     Value::Float(base + boost + normal(rng, 0.0, 5.0))
                 }),
             )
             .unwrap();
-        let df = scm.sample(4000, 11).unwrap();
-        let dag = scm.dag();
+        let df = Arc::new(scm.sample(4000, 11).unwrap());
+        let dag = Arc::new(scm.dag());
         (df, dag)
+    }
+
+    fn engine() -> CateEngine {
+        let (df, dag) = fixture();
+        CateEngine::new(df, dag, "income").unwrap()
     }
 
     #[test]
     fn engine_recovers_planted_effect() {
-        let (df, dag) = fixture();
-        let engine = CateEngine::new(&df, &dag, "income", EstimatorKind::Linear);
-        let all = Mask::ones(df.n_rows());
+        let engine = engine();
+        let all = Mask::ones(engine.df().n_rows());
         let p = Pattern::of_eq(&[("educated", Value::Bool(true))]);
-        let est = engine.cate(&all, &p).unwrap();
+        let est = engine.cate(&all, &p, &EstimatorKind::Linear).unwrap();
         assert!((est.cate - 20.0).abs() < 1.0, "cate = {}", est.cate);
         assert!(est.is_significant(0.01));
     }
 
     #[test]
-    fn caching_returns_identical_results() {
-        let (df, dag) = fixture();
-        let engine = CateEngine::new(&df, &dag, "income", EstimatorKind::Linear);
-        let all = Mask::ones(df.n_rows());
+    fn caching_returns_identical_results_and_counts_hits() {
+        let engine = engine();
+        let all = Mask::ones(engine.df().n_rows());
         let p = Pattern::of_eq(&[("educated", Value::Bool(true))]);
-        let a = engine.cate(&all, &p);
-        let before = engine.cache_len();
-        let b = engine.cate(&all, &p);
+        let a = engine.cate(&all, &p, &EstimatorKind::Linear);
+        let before = engine.cache_stats();
+        assert_eq!(before.hits, 0);
+        assert_eq!(before.misses, 1);
+        let b = engine.cate(&all, &p, &EstimatorKind::Linear);
         assert_eq!(a, b);
-        assert_eq!(engine.cache_len(), before);
+        let after = engine.cache_stats();
+        assert_eq!(after.hits, 1);
+        assert_eq!(after.misses, 1);
+        assert_eq!(after.entries, before.entries);
+    }
+
+    #[test]
+    fn distinct_estimators_cache_separately() {
+        let engine = engine();
+        let all = Mask::ones(engine.df().n_rows());
+        let p = Pattern::of_eq(&[("educated", Value::Bool(true))]);
+        engine.cate(&all, &p, &EstimatorKind::Linear);
+        engine.cate(&all, &p, &EstimatorKind::Stratified);
+        assert_eq!(engine.cache_stats().misses, 2);
+        assert_eq!(engine.cache_len(), 2);
+        // Re-querying either is a hit.
+        engine.cate(&all, &p, &EstimatorKind::Stratified);
+        assert_eq!(engine.cache_stats().hits, 1);
     }
 
     #[test]
     fn subgroup_query_differs_from_global() {
-        let (df, dag) = fixture();
-        let engine = CateEngine::new(&df, &dag, "income", EstimatorKind::Linear);
+        let engine = engine();
         let north = Pattern::of_eq(&[("region", Value::from("north"))])
-            .coverage(&df)
+            .coverage(engine.df())
             .unwrap();
         let p = Pattern::of_eq(&[("educated", Value::Bool(true))]);
-        let est = engine.cate(&north, &p).unwrap();
+        let est = engine.cate(&north, &p, &EstimatorKind::Linear).unwrap();
         assert!((est.cate - 20.0).abs() < 1.5, "north cate = {}", est.cate);
         assert!(est.n_treated + est.n_control <= north.count());
     }
 
     #[test]
     fn empty_intervention_yields_none() {
-        let (df, dag) = fixture();
-        let engine = CateEngine::new(&df, &dag, "income", EstimatorKind::Linear);
-        assert!(engine.cate(&Mask::ones(df.n_rows()), &Pattern::empty()).is_none());
+        let engine = engine();
+        let all = Mask::ones(engine.df().n_rows());
+        assert!(engine
+            .cate(&all, &Pattern::empty(), &EstimatorKind::Linear)
+            .is_none());
     }
 
     #[test]
     fn affects_outcome_prunes_unconnected() {
-        let (df, dag) = fixture();
-        let engine = CateEngine::new(&df, &dag, "income", EstimatorKind::Linear);
+        let engine = engine();
         assert!(engine.affects_outcome("educated"));
         assert!(engine.affects_outcome("region"));
         assert!(!engine.affects_outcome("income")); // the outcome itself
@@ -239,21 +410,54 @@ mod tests {
 
     #[test]
     fn unknown_treatment_attribute_yields_none() {
-        let (df, dag) = fixture();
-        let engine = CateEngine::new(&df, &dag, "income", EstimatorKind::Linear);
+        let engine = engine();
+        let all = Mask::ones(engine.df().n_rows());
         let p = Pattern::of_eq(&[("ghost", Value::Int(1))]);
-        assert!(engine.cate(&Mask::ones(df.n_rows()), &p).is_none());
+        assert!(engine.cate(&all, &p, &EstimatorKind::Linear).is_none());
     }
 
     #[test]
     fn stratified_engine_agrees_with_linear() {
-        let (df, dag) = fixture();
-        let lin = CateEngine::new(&df, &dag, "income", EstimatorKind::Linear);
-        let strat = CateEngine::new(&df, &dag, "income", EstimatorKind::Stratified);
-        let all = Mask::ones(df.n_rows());
+        let engine = engine();
+        let all = Mask::ones(engine.df().n_rows());
         let p = Pattern::of_eq(&[("educated", Value::Bool(true))]);
-        let a = lin.cate(&all, &p).unwrap().cate;
-        let b = strat.cate(&all, &p).unwrap().cate;
+        let a = engine.cate(&all, &p, &EstimatorKind::Linear).unwrap().cate;
+        let b = engine
+            .cate(&all, &p, &EstimatorKind::Stratified)
+            .unwrap()
+            .cate;
         assert!((a - b).abs() < 1.0, "linear {a} vs stratified {b}");
+    }
+
+    #[test]
+    fn missing_outcome_is_a_typed_error() {
+        let (df, dag) = fixture();
+        let err = CateEngine::new(df, dag, "no_such_column").unwrap_err();
+        assert!(matches!(
+            err,
+            CausalError::Table(faircap_table::TableError::UnknownColumn(_))
+        ));
+        assert!(err.to_string().contains("no_such_column"));
+    }
+
+    #[test]
+    fn categorical_outcome_is_a_typed_error() {
+        let (df, dag) = fixture();
+        let err = CateEngine::new(df, dag, "region").unwrap_err();
+        assert!(matches!(err, CausalError::InvalidOutcome { .. }));
+        assert!(err.to_string().contains("region"));
+    }
+
+    #[test]
+    fn query_view_shares_caches() {
+        let engine = engine();
+        let all = Mask::ones(engine.df().n_rows());
+        let p = Pattern::of_eq(&[("educated", Value::Bool(true))]);
+        let q = engine.with_estimator(&EstimatorKind::Linear);
+        let a = q.cate(&all, &p);
+        let b = engine.cate(&all, &p, &EstimatorKind::Linear);
+        assert_eq!(a, b);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 }

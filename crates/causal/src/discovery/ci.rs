@@ -123,9 +123,7 @@ impl CiData {
                 let col = &self.columns[zi];
                 key = key * col.levels() as u64 + col.code(row) as u64;
             }
-            let table = strata
-                .entry(key)
-                .or_insert_with(|| vec![0u64; rx * ry]);
+            let table = strata.entry(key).or_insert_with(|| vec![0u64; rx * ry]);
             table[cx.code(row) as usize * ry + cy.code(row) as usize] += 1;
         }
 
@@ -173,7 +171,7 @@ mod tests {
                 }),
             )
             .unwrap()
-            .sample(3000, 5)
+            .sample(3000, 7)
             .unwrap()
     }
 
@@ -251,7 +249,12 @@ mod tests {
         // Constant column: no effective levels → p = 1.
         let df = DataFrame::builder()
             .cat("x", &["k"; 50])
-            .cat("y", &(0..50).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<_>>())
+            .cat(
+                "y",
+                &(0..50)
+                    .map(|i| if i % 2 == 0 { "a" } else { "b" })
+                    .collect::<Vec<_>>(),
+            )
             .build()
             .unwrap();
         let data = ci(&df);

@@ -114,17 +114,15 @@ impl Pdag {
                         continue;
                     }
                     // R1: a → b, b − c, a ∦ c  ⇒  b → c.
-                    let r1 = (0..self.n).any(|a| {
-                        a != c && self.directed[a].contains(&b) && !self.adjacent(a, c)
-                    });
+                    let r1 = (0..self.n)
+                        .any(|a| a != c && self.directed[a].contains(&b) && !self.adjacent(a, c));
                     if r1 && self.orient(b, c) {
                         changed = true;
                         continue;
                     }
                     // R2: b → a → c with b − c  ⇒  b → c (avoid a cycle).
-                    let r2 = (0..self.n).any(|a| {
-                        self.directed[b].contains(&a) && self.directed[a].contains(&c)
-                    });
+                    let r2 = (0..self.n)
+                        .any(|a| self.directed[b].contains(&a) && self.directed[a].contains(&c));
                     if r2 && self.orient(b, c) {
                         changed = true;
                         continue;
@@ -133,9 +131,10 @@ impl Pdag {
                     let nbrs: Vec<usize> = (0..self.n)
                         .filter(|&a| self.has_undirected(b, a) && self.directed[a].contains(&c))
                         .collect();
-                    let r3 = nbrs.iter().enumerate().any(|(i, &a1)| {
-                        nbrs[i + 1..].iter().any(|&a2| !self.adjacent(a1, a2))
-                    });
+                    let r3 = nbrs
+                        .iter()
+                        .enumerate()
+                        .any(|(i, &a1)| nbrs[i + 1..].iter().any(|&a2| !self.adjacent(a1, a2)));
                     if r3 && self.orient(b, c) {
                         changed = true;
                     }
@@ -196,23 +195,24 @@ pub fn pc_dag(df: &DataFrame, variables: &[String], config: PcConfig) -> Result<
                 let mut candidates: Vec<usize> =
                     frozen[x].iter().copied().filter(|&v| v != y).collect();
                 candidates.sort_unstable();
-                let mut other: Vec<usize> =
-                    frozen[y].iter().copied().filter(|&v| v != x).collect();
+                let mut other: Vec<usize> = frozen[y].iter().copied().filter(|&v| v != x).collect();
                 other.sort_unstable();
                 let mut separated: Option<Vec<usize>> = None;
                 for cands in [&candidates, &other] {
                     if cands.len() < level || separated.is_some() {
                         continue;
                     }
-                    for_each_subset(cands, level, &mut |s| {
-                        match data.ci_test(x, y, s, &all_rows) {
+                    for_each_subset(
+                        cands,
+                        level,
+                        &mut |s| match data.ci_test(x, y, s, &all_rows) {
                             Ok(p) if p > config.alpha => {
                                 separated = Some(s.to_vec());
                                 true
                             }
                             _ => false,
-                        }
-                    });
+                        },
+                    );
                 }
                 if let Some(s) = separated {
                     removals.push((x, y, s));
@@ -287,10 +287,7 @@ pub fn pc_dag(df: &DataFrame, variables: &[String], config: PcConfig) -> Result<
         for b in tos {
             // A contradictory double orientation cannot survive `orient`,
             // and cycles are prevented in phase 4; still, skip defensively.
-            if dag
-                .add_edge_by_name(&variables[a], &variables[b])
-                .is_err()
-            {
+            if dag.add_edge_by_name(&variables[a], &variables[b]).is_err() {
                 continue;
             }
         }
@@ -359,7 +356,14 @@ mod tests {
                 "b",
                 &["a"],
                 Box::new(move |row, rng| {
-                    Value::Str(if bernoulli(rng, f(row, "a")) { "1" } else { "0" }.into())
+                    Value::Str(
+                        if bernoulli(rng, f(row, "a")) {
+                            "1"
+                        } else {
+                            "0"
+                        }
+                        .into(),
+                    )
                 }),
             )
             .unwrap()

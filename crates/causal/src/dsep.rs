@@ -32,7 +32,12 @@ pub fn d_separated(g: &Dag, x: &[NodeId], y: &[NodeId], z: &[NodeId]) -> bool {
         if !in_anc(v) {
             continue;
         }
-        let ps: Vec<NodeId> = g.parents(v).iter().copied().filter(|&p| in_anc(p)).collect();
+        let ps: Vec<NodeId> = g
+            .parents(v)
+            .iter()
+            .copied()
+            .filter(|&p| in_anc(p))
+            .collect();
         for &p in &ps {
             adj[p].insert(v);
             adj[v].insert(p);
@@ -151,9 +156,7 @@ mod tests {
         // Role is a collider on Gender → Role ← Education → Salary, so
         // conditioning on it opens that path.
         assert!(!d_separated_names(&g, &["Gender"], &["Salary"], &["Role"]).unwrap());
-        assert!(
-            d_separated_names(&g, &["Gender"], &["Salary"], &["Role", "Education"]).unwrap()
-        );
+        assert!(d_separated_names(&g, &["Gender"], &["Salary"], &["Role", "Education"]).unwrap());
         assert!(!d_separated_names(&g, &["Gender"], &["Salary"], &[]).unwrap());
     }
 
@@ -168,8 +171,7 @@ mod tests {
     #[test]
     fn set_valued_queries() {
         // A -> C <- B, A -> D, B -> E
-        let g =
-            Dag::from_edges(&[("A", "C"), ("B", "C"), ("A", "D"), ("B", "E")]).unwrap();
+        let g = Dag::from_edges(&[("A", "C"), ("B", "C"), ("A", "D"), ("B", "E")]).unwrap();
         // {D} vs {E}: paths only via A -> C <- B collider (blocked) → separated.
         assert!(d_separated_names(&g, &["D"], &["E"], &[]).unwrap());
         assert!(!d_separated_names(&g, &["D"], &["E"], &["C"]).unwrap());

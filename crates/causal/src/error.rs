@@ -22,6 +22,13 @@ pub enum CausalError {
     Table(faircap_table::TableError),
     /// Structural-equation specification problem.
     Scm(String),
+    /// The outcome column exists but cannot be used as an outcome.
+    InvalidOutcome {
+        /// The offending column.
+        column: String,
+        /// Why it is unusable (e.g. its actual type).
+        reason: String,
+    },
 }
 
 impl fmt::Display for CausalError {
@@ -35,6 +42,9 @@ impl fmt::Display for CausalError {
             CausalError::Estimation(msg) => write!(f, "estimation failed: {msg}"),
             CausalError::Table(e) => write!(f, "table error: {e}"),
             CausalError::Scm(msg) => write!(f, "scm error: {msg}"),
+            CausalError::InvalidOutcome { column, reason } => {
+                write!(f, "outcome column `{column}` is unusable: {reason}")
+            }
         }
     }
 }

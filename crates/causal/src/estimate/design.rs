@@ -140,8 +140,7 @@ mod tests {
             .int("x", vec![1, 2, 3])
             .build()
             .unwrap();
-        let (blocks, width) =
-            build_blocks(&df, &["c".into(), "x".into()], &Mask::ones(3)).unwrap();
+        let (blocks, width) = build_blocks(&df, &["c".into(), "x".into()], &Mask::ones(3)).unwrap();
         assert_eq!(blocks.len(), 2);
         assert_eq!(width, 2); // (2−1) + 1
     }

@@ -233,7 +233,11 @@ mod tests {
             x.set(i, 1, g as u8 as f64);
             // deterministic pattern with exact rates: within each parity
             // class, (i/2) cycles 0,1,2,3 → 75% treated in-group, 25% out.
-            t.push(if g { (i / 2) % 4 != 0 } else { (i / 2) % 4 == 0 });
+            t.push(if g {
+                (i / 2) % 4 != 0
+            } else {
+                (i / 2) % 4 == 0
+            });
         }
         let probs = logistic_fit(&x, &t).unwrap();
         let mean_g: f64 =
@@ -249,8 +253,7 @@ mod tests {
         let (df, treated) = confounded_frame();
         let all = Mask::ones(df.n_rows());
         let ipw = estimate(&df, &all, &treated, "o", &["z".into()]).unwrap();
-        let lin =
-            super::super::linear::estimate(&df, &all, &treated, "o", &["z".into()]).unwrap();
+        let lin = super::super::linear::estimate(&df, &all, &treated, "o", &["z".into()]).unwrap();
         assert!(
             (ipw.cate - lin.cate).abs() < 1e-6,
             "ipw {} vs linear {}",

@@ -64,6 +64,51 @@ pub enum EstimatorKind {
 /// inference meaningless.
 pub const MIN_ARM_SIZE: usize = 5;
 
+/// A pluggable CATE estimator.
+///
+/// [`EstimatorKind`] implements this for the three built-in estimators;
+/// downstream crates can implement it to bring their own (e.g. doubly-robust
+/// AIPW) and pass it per solve request without rebuilding a session. The
+/// [`CateEngine`](crate::cate::CateEngine) caches estimates keyed by
+/// [`Estimator::name`], so implementations must return a name that uniquely
+/// identifies the estimator's behaviour.
+pub trait Estimator: Send + Sync {
+    /// Stable identifier used in cache keys and labels.
+    fn name(&self) -> &str;
+
+    /// Estimate the CATE of `treated` vs. control within `group`, adjusting
+    /// for the backdoor set `adjustment`.
+    fn estimate(
+        &self,
+        df: &DataFrame,
+        group: &Mask,
+        treated: &Mask,
+        outcome: &str,
+        adjustment: &[String],
+    ) -> Result<Estimate>;
+}
+
+impl Estimator for EstimatorKind {
+    fn name(&self) -> &str {
+        match self {
+            EstimatorKind::Linear => "linear",
+            EstimatorKind::Stratified => "stratified",
+            EstimatorKind::Ipw => "ipw",
+        }
+    }
+
+    fn estimate(
+        &self,
+        df: &DataFrame,
+        group: &Mask,
+        treated: &Mask,
+        outcome: &str,
+        adjustment: &[String],
+    ) -> Result<Estimate> {
+        estimate_cate(*self, df, group, treated, outcome, adjustment)
+    }
+}
+
 /// Estimate the CATE of `treated` vs. control within `group`.
 ///
 /// * `group` — rows of the subpopulation (full-frame mask).
@@ -80,9 +125,7 @@ pub fn estimate_cate(
 ) -> Result<Estimate> {
     match kind {
         EstimatorKind::Linear => linear::estimate(df, group, treated, outcome, adjustment),
-        EstimatorKind::Stratified => {
-            stratified::estimate(df, group, treated, outcome, adjustment)
-        }
+        EstimatorKind::Stratified => stratified::estimate(df, group, treated, outcome, adjustment),
         EstimatorKind::Ipw => ipw::estimate(df, group, treated, outcome, adjustment),
     }
 }

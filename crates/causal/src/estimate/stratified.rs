@@ -105,7 +105,10 @@ pub fn estimate(
     } else {
         // Zero sampling variance (deterministic outcome); treat a non-zero
         // effect as exact.
-        (f64::INFINITY * cate.signum(), if cate == 0.0 { 1.0 } else { 0.0 })
+        (
+            f64::INFINITY * cate.signum(),
+            if cate == 0.0 { 1.0 } else { 0.0 },
+        )
     };
     Ok(Estimate {
         cate,
@@ -147,7 +150,10 @@ fn stratum_keys(df: &DataFrame, group: &Mask, adjustment: &[String]) -> Result<V
 /// Quantile-bin a numeric column over the given rows into `NUMERIC_BINS`
 /// bins; ties collapse bins naturally.
 fn quantile_bins(col: &Column, rows: &[usize]) -> Vec<u64> {
-    let mut values: Vec<f64> = rows.iter().map(|&r| col.get_f64(r).unwrap_or(0.0)).collect();
+    let mut values: Vec<f64> = rows
+        .iter()
+        .map(|&r| col.get_f64(r).unwrap_or(0.0))
+        .collect();
     let mut sorted = values.clone();
     sorted.sort_by(|a, b| a.total_cmp(b));
     let cuts: Vec<f64> = (1..NUMERIC_BINS)
@@ -212,15 +218,21 @@ mod tests {
     #[test]
     fn strata_without_positivity_are_skipped() {
         // Stratum "only" has no control rows at all → excluded.
-        let z = ["a", "a", "a", "a", "a", "a", "a", "a", "a", "a", "a", "a",
-                 "only", "only", "only", "only", "only", "only"];
+        let z = [
+            "a", "a", "a", "a", "a", "a", "a", "a", "a", "a", "a", "a", "only", "only", "only",
+            "only", "only", "only",
+        ];
         let t = vec![
-            true, false, true, false, true, false, true, false, true, false, true, false,
-            true, true, true, true, true, true,
+            true, false, true, false, true, false, true, false, true, false, true, false, true,
+            true, true, true, true, true,
         ];
         let o: Vec<f64> = t.iter().map(|&ti| if ti { 7.0 } else { 0.0 }).collect();
         let treated = Mask::from_bools(&t);
-        let df = DataFrame::builder().cat("z", &z).float("o", o).build().unwrap();
+        let df = DataFrame::builder()
+            .cat("z", &z)
+            .float("o", o)
+            .build()
+            .unwrap();
         let all = Mask::ones(df.n_rows());
         let est = estimate(&df, &all, &treated, "o", &["z".into()]).unwrap();
         assert!((est.cate - 7.0).abs() < 1e-9);
@@ -244,7 +256,11 @@ mod tests {
             o.push(3.0 * ti as i64 as f64 + a as f64);
         }
         let treated = Mask::from_bools(&t);
-        let df = DataFrame::builder().int("age", age).float("o", o).build().unwrap();
+        let df = DataFrame::builder()
+            .int("age", age)
+            .float("o", o)
+            .build()
+            .unwrap();
         let all = Mask::ones(n);
         let est = estimate(&df, &all, &treated, "o", &["age".into()]).unwrap();
         // Within each quantile bin the treated/control age distributions are
@@ -256,17 +272,25 @@ mod tests {
     fn no_positivity_anywhere_errors() {
         // Every stratum fully treated or fully control.
         let z = ["a", "a", "a", "a", "a", "a", "b", "b", "b", "b", "b", "b"];
-        let t = vec![true, true, true, true, true, true, false, false, false, false, false, false];
+        let t = vec![
+            true, true, true, true, true, true, false, false, false, false, false, false,
+        ];
         let o = vec![1.0; 12];
         let treated = Mask::from_bools(&t);
-        let df = DataFrame::builder().cat("z", &z).float("o", o).build().unwrap();
+        let df = DataFrame::builder()
+            .cat("z", &z)
+            .float("o", o)
+            .build()
+            .unwrap();
         let all = Mask::ones(12);
         assert!(estimate(&df, &all, &treated, "o", &["z".into()]).is_err());
     }
 
     #[test]
     fn empty_adjustment_is_difference_in_means() {
-        let t = [true, true, true, true, true, false, false, false, false, false];
+        let t = [
+            true, true, true, true, true, false, false, false, false, false,
+        ];
         let o = [5.0, 5.0, 5.0, 5.0, 5.0, 2.0, 2.0, 2.0, 2.0, 2.0];
         let treated = Mask::from_bools(&t);
         let df = DataFrame::builder().float("o", o.to_vec()).build().unwrap();
@@ -279,8 +303,12 @@ mod tests {
     #[test]
     fn binary_outcome_supported() {
         // Boolean outcome behaves as 0/1 (German Credit's credit score).
-        let t = [true, true, true, true, true, true, false, false, false, false, false, false];
-        let o = vec![true, true, true, true, true, false, false, false, false, false, false, true];
+        let t = [
+            true, true, true, true, true, true, false, false, false, false, false, false,
+        ];
+        let o = vec![
+            true, true, true, true, true, false, false, false, false, false, false, true,
+        ];
         let treated = Mask::from_bools(&t);
         let df = DataFrame::builder().bool("o", o).build().unwrap();
         let all = Mask::ones(12);

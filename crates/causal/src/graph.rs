@@ -253,11 +253,7 @@ impl Dag {
         for raw in text.lines() {
             let line = raw.split('#').next().unwrap_or("").trim();
             let line = line.strip_suffix(';').unwrap_or(line).trim();
-            if line.is_empty()
-                || line.starts_with("digraph")
-                || line == "{"
-                || line == "}"
-            {
+            if line.is_empty() || line.starts_with("digraph") || line == "{" || line == "}" {
                 continue;
             }
             let unquote = |s: &str| s.trim().trim_matches('"').to_owned();
@@ -282,7 +278,10 @@ impl Dag {
         }
         for (u, children) in self.children.iter().enumerate() {
             for &v in children {
-                s.push_str(&format!("  \"{}\" -> \"{}\";\n", self.names[u], self.names[v]));
+                s.push_str(&format!(
+                    "  \"{}\" -> \"{}\";\n",
+                    self.names[u], self.names[v]
+                ));
             }
         }
         s.push_str("}\n");
@@ -444,10 +443,9 @@ mod tests {
 
     #[test]
     fn edge_list_parsing() {
-        let g = Dag::parse_edge_list(
-            "# a comment\nage -> salary;\n  education->salary\nlonely_node\n",
-        )
-        .unwrap();
+        let g =
+            Dag::parse_edge_list("# a comment\nage -> salary;\n  education->salary\nlonely_node\n")
+                .unwrap();
         assert_eq!(g.n_nodes(), 4);
         assert_eq!(g.n_edges(), 2);
         let age = g.node("age").unwrap();

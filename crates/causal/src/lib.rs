@@ -27,9 +27,9 @@ pub mod scm;
 pub mod discovery;
 
 pub use backdoor::{find_adjustment_set, find_adjustment_set_names, is_valid_backdoor};
-pub use cate::CateEngine;
+pub use cate::{CacheStats, CateEngine, CateQuery};
 pub use dsep::{d_separated, d_separated_names};
 pub use error::{CausalError, Result};
-pub use estimate::{estimate_cate, Estimate, EstimatorKind};
+pub use estimate::{estimate_cate, Estimate, Estimator, EstimatorKind};
 pub use graph::{Dag, NodeId};
 pub use scm::Scm;

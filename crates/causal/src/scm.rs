@@ -13,39 +13,66 @@ use crate::graph::Dag;
 use faircap_table::{Column, DataFrame, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::Cell;
 use std::collections::HashMap;
+
+/// Fallback value handed to an equation after a faulted parent read; the
+/// fault is reported as a typed error by [`Scm::sample`] before the bogus
+/// row can be observed.
+static FAULT_FALLBACK: Value = Value::Bool(false);
 
 /// Sampled values of a single row during generation; structural equations
 /// read their parents from here.
+///
+/// A read of an undeclared or ill-typed parent does **not** panic: it
+/// records the fault (with the offending column name) and returns a benign
+/// placeholder, and [`Scm::sample`] turns the recorded fault into a
+/// [`CausalError::Scm`] as soon as the equation returns.
 pub struct Row<'a> {
     values: &'a HashMap<String, Value>,
+    fault: &'a Cell<Option<String>>,
 }
 
 impl Row<'_> {
+    fn record_fault(&self, reason: String) {
+        // Keep the first fault; later reads of the poisoned row are noise.
+        let first = self.fault.take().unwrap_or(reason);
+        self.fault.set(Some(first));
+    }
+
     /// Parent value by name.
-    ///
-    /// # Panics
-    /// Panics if the parent has not been declared (a bug in the SCM spec —
-    /// construction validates declared parents, so equations must only read
-    /// those).
     pub fn get(&self, name: &str) -> &Value {
-        self.values
-            .get(name)
-            .unwrap_or_else(|| panic!("structural equation read undeclared parent `{name}`"))
+        match self.values.get(name) {
+            Some(v) => v,
+            None => {
+                self.record_fault(format!(
+                    "structural equation read undeclared parent `{name}`"
+                ));
+                &FAULT_FALLBACK
+            }
+        }
     }
 
     /// Categorical parent as `&str`.
     pub fn str(&self, name: &str) -> &str {
-        self.get(name).as_str().unwrap_or_else(|| {
-            panic!("parent `{name}` is not categorical")
-        })
+        match self.get(name).as_str() {
+            Some(s) => s,
+            None => {
+                self.record_fault(format!("parent `{name}` is not categorical"));
+                ""
+            }
+        }
     }
 
     /// Numeric parent as `f64` (bools as 0/1).
     pub fn num(&self, name: &str) -> f64 {
-        self.get(name)
-            .as_f64()
-            .unwrap_or_else(|| panic!("parent `{name}` is not numeric"))
+        match self.get(name).as_f64() {
+            Some(x) => x,
+            None => {
+                self.record_fault(format!("parent `{name}` is not numeric"));
+                0.0
+            }
+        }
     }
 
     /// Boolean parent.
@@ -80,12 +107,7 @@ impl Scm {
 
     /// Declare a node. Parents must already be declared (this enforces a
     /// valid topological order and acyclicity by construction).
-    pub fn node(
-        mut self,
-        name: &str,
-        parents: &[&str],
-        equation: Equation,
-    ) -> Result<Scm> {
+    pub fn node(mut self, name: &str, parents: &[&str], equation: Equation) -> Result<Scm> {
         if self.by_name.contains_key(name) {
             return Err(CausalError::DuplicateVariable(name.to_owned()));
         }
@@ -107,10 +129,8 @@ impl Scm {
 
     /// Exogenous categorical node with the given level weights.
     pub fn categorical(self, name: &str, levels: &[(&str, f64)]) -> Result<Scm> {
-        let levels: Vec<(String, f64)> = levels
-            .iter()
-            .map(|(l, w)| ((*l).to_owned(), *w))
-            .collect();
+        let levels: Vec<(String, f64)> =
+            levels.iter().map(|(l, w)| ((*l).to_owned(), *w)).collect();
         if levels.is_empty() {
             return Err(CausalError::Scm(format!("node `{name}` has no levels")));
         }
@@ -142,14 +162,28 @@ impl Scm {
     }
 
     /// Sample `n` i.i.d. rows with a seeded RNG.
+    ///
+    /// Fails with a typed [`CausalError::Scm`] (naming the node and the
+    /// offending parent column) when an equation reads an undeclared or
+    /// ill-typed parent, instead of aborting the process.
     pub fn sample(&self, n: usize, seed: u64) -> Result<DataFrame> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut columns: Vec<Vec<Value>> = vec![Vec::with_capacity(n); self.nodes.len()];
         let mut current: HashMap<String, Value> = HashMap::with_capacity(self.nodes.len());
+        let fault: Cell<Option<String>> = Cell::new(None);
         for _ in 0..n {
             current.clear();
             for (i, node) in self.nodes.iter().enumerate() {
-                let v = (node.equation)(&Row { values: &current }, &mut rng);
+                let v = (node.equation)(
+                    &Row {
+                        values: &current,
+                        fault: &fault,
+                    },
+                    &mut rng,
+                );
+                if let Some(reason) = fault.take() {
+                    return Err(CausalError::Scm(format!("node `{}`: {reason}", node.name)));
+                }
                 current.insert(node.name.clone(), v.clone());
                 columns[i].push(v);
             }
@@ -261,7 +295,11 @@ mod tests {
                 "educated",
                 &["region"],
                 Box::new(|row, rng| {
-                    let p = if row.str("region") == "north" { 0.7 } else { 0.3 };
+                    let p = if row.str("region") == "north" {
+                        0.7
+                    } else {
+                        0.3
+                    };
                     Value::Bool(bernoulli(rng, p))
                 }),
             )
@@ -270,7 +308,11 @@ mod tests {
                 "income",
                 &["region", "educated"],
                 Box::new(|row, rng| {
-                    let base = if row.str("region") == "north" { 60.0 } else { 40.0 };
+                    let base = if row.str("region") == "north" {
+                        60.0
+                    } else {
+                        40.0
+                    };
                     let boost = if row.flag("educated") { 20.0 } else { 0.0 };
                     Value::Float(base + boost + normal(rng, 0.0, 5.0))
                 }),
@@ -304,6 +346,52 @@ mod tests {
     fn undeclared_parent_rejected() {
         let r = Scm::new().node("x", &["ghost"], Box::new(|_, _| Value::Int(0)));
         assert!(matches!(r, Err(CausalError::Scm(_))));
+    }
+
+    #[test]
+    fn undeclared_parent_read_is_a_typed_error() {
+        // The node declares no parents but its equation reads one anyway:
+        // construction can't catch it, sampling must fail cleanly.
+        let scm = Scm::new()
+            .node("x", &[], Box::new(|row, _| row.get("ghost").clone()))
+            .unwrap();
+        let err = scm.sample(10, 0).unwrap_err();
+        assert!(matches!(err, CausalError::Scm(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("ghost") && msg.contains('x'), "{msg}");
+    }
+
+    #[test]
+    fn undeclared_parent_str_read_keeps_first_fault() {
+        // `str()` on an undeclared parent faults twice (missing, then
+        // ill-typed fallback); the first fault must survive to sample().
+        let scm = Scm::new()
+            .node(
+                "x",
+                &[],
+                Box::new(|row, _| Value::Str(row.str("ghost").to_owned())),
+            )
+            .unwrap();
+        let err = scm.sample(10, 0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("undeclared parent `ghost`"), "{msg}");
+    }
+
+    #[test]
+    fn ill_typed_parent_read_is_a_typed_error() {
+        let scm = Scm::new()
+            .categorical("c", &[("a", 1.0)])
+            .unwrap()
+            .node(
+                "y",
+                &["c"],
+                Box::new(|row, _| Value::Float(row.num("c") + 1.0)),
+            )
+            .unwrap();
+        let err = scm.sample(10, 0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("`c` is not numeric"), "{msg}");
+        assert!(msg.contains("`y`"), "{msg}");
     }
 
     #[test]
@@ -343,7 +431,12 @@ mod tests {
             &[],
         )
         .unwrap();
-        assert!(naive.cate > adj.cate + 2.0, "naive {} should exceed adjusted {}", naive.cate, adj.cate);
+        assert!(
+            naive.cate > adj.cate + 2.0,
+            "naive {} should exceed adjusted {}",
+            naive.cate,
+            adj.cate
+        );
     }
 
     #[test]

@@ -208,9 +208,7 @@ pub fn greedy_select(
             && rule_satisfies_coverage(r, &config.coverage, n_rows, n_protected)
     });
     // Deterministic processing order.
-    candidates.sort_by(|a, b| {
-        (&a.grouping, &a.intervention).cmp(&(&b.grouping, &b.intervention))
-    });
+    candidates.sort_by(|a, b| (&a.grouping, &a.intervention).cmp(&(&b.grouping, &b.intervention)));
 
     let u_norm = candidates
         .iter()
@@ -289,14 +287,7 @@ mod tests {
     use crate::utility::ruleset_utility;
     use faircap_table::Pattern;
 
-    fn rule(
-        tag: &str,
-        cov: &[usize],
-        cov_p: &[usize],
-        overall: f64,
-        prot: f64,
-        np: f64,
-    ) -> Rule {
+    fn rule(tag: &str, cov: &[usize], cov_p: &[usize], overall: f64, prot: f64, np: f64) -> Rule {
         Rule {
             grouping: Pattern::of_eq(&[("g", tag.into())]),
             intervention: Pattern::of_eq(&[("t", tag.into())]),
@@ -341,9 +332,7 @@ mod tests {
         let inc = state.summary();
         assert!((batch.expected - inc.expected).abs() < 1e-12);
         assert!((batch.expected_protected - inc.expected_protected).abs() < 1e-12);
-        assert!(
-            (batch.expected_non_protected - inc.expected_non_protected).abs() < 1e-12
-        );
+        assert!((batch.expected_non_protected - inc.expected_non_protected).abs() < 1e-12);
         assert!((batch.coverage - inc.coverage).abs() < 1e-12);
         assert!((batch.unfairness - inc.unfairness).abs() < 1e-12);
     }
@@ -377,7 +366,14 @@ mod tests {
             theta_protected: 0.0,
         };
         let candidates = vec![
-            rule("a", &(0..6).collect::<Vec<_>>(), &[0, 1, 2], 10.0, 10.0, 10.0),
+            rule(
+                "a",
+                &(0..6).collect::<Vec<_>>(),
+                &[0, 1, 2],
+                10.0,
+                10.0,
+                10.0,
+            ),
             rule("b", &(6..12).collect::<Vec<_>>(), &[], 9.0, 0.0, 9.0),
             rule("c", &(12..18).collect::<Vec<_>>(), &[], 8.0, 0.0, 8.0),
         ];
@@ -404,8 +400,7 @@ mod tests {
         let out = greedy_select(candidates, &cfg, 20, &protected());
         assert!(out.constraints_met);
         assert!(
-            (out.summary.expected_non_protected - out.summary.expected_protected).abs()
-                <= 3.0,
+            (out.summary.expected_non_protected - out.summary.expected_protected).abs() <= 3.0,
             "unfairness {} must be ≤ ε",
             out.summary.unfairness
         );

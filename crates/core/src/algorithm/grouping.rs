@@ -74,9 +74,8 @@ mod tests {
     #[test]
     fn mines_with_default_threshold() {
         let cfg = FairCapConfig::default();
-        let pats =
-            mine_grouping_patterns(&df(), &["age".into(), "grp".into()], &protected(), &cfg)
-                .unwrap();
+        let pats = mine_grouping_patterns(&df(), &["age".into(), "grp".into()], &protected(), &cfg)
+            .unwrap();
         assert!(!pats.is_empty());
         // Every pattern covers ≥ 10% of 40 = 4 rows.
         assert!(pats.iter().all(|p| p.count() >= 4));

@@ -5,7 +5,7 @@ use crate::benefit::benefit;
 use crate::config::FairCapConfig;
 use crate::constraints::rule_satisfies_fairness;
 use crate::rule::{Rule, RuleUtility};
-use faircap_causal::CateEngine;
+use faircap_causal::CateQuery;
 use faircap_mining::{positive_lattice, single_attribute_items};
 use faircap_table::{Mask, Pattern};
 
@@ -23,14 +23,14 @@ use faircap_table::{Mask, Pattern};
 ///
 /// Returns `None` when no estimable positive treatment exists.
 pub fn mine_intervention(
-    engine: &CateEngine<'_>,
+    query: &CateQuery<'_>,
     grouping: &Pattern,
     coverage: &Mask,
     protected: &Mask,
     mutable: &[String],
     config: &FairCapConfig,
 ) -> Option<Rule> {
-    mine_top_interventions(engine, grouping, coverage, protected, mutable, config, 1)
+    mine_top_interventions(query, grouping, coverage, protected, mutable, config, 1)
         .into_iter()
         .next()
 }
@@ -43,7 +43,7 @@ pub fn mine_intervention(
 /// extra estimation cost — exposed as the `interventions_per_group` knob
 /// and evaluated by the `ablation_lattice` bench.
 pub fn mine_top_interventions(
-    engine: &CateEngine<'_>,
+    query: &CateQuery<'_>,
     grouping: &Pattern,
     coverage: &Mask,
     protected: &Mask,
@@ -51,11 +51,11 @@ pub fn mine_top_interventions(
     config: &FairCapConfig,
     k: usize,
 ) -> Vec<Rule> {
-    let df = engine.df();
+    let df = query.df();
     // Optimization (i): only attributes causally connected to the outcome.
     let causal_mutable: Vec<String> = mutable
         .iter()
-        .filter(|a| engine.affects_outcome(a))
+        .filter(|a| query.affects_outcome(a))
         .cloned()
         .collect();
     if causal_mutable.is_empty() || k == 0 {
@@ -80,7 +80,7 @@ pub fn mine_top_interventions(
     let nodes = positive_lattice(
         &items,
         config.max_intervention_len,
-        |pattern, _mask| engine.cate(coverage, pattern),
+        |pattern, _mask| query.cate(coverage, pattern),
         |est| est.cate > 0.0,
     );
 
@@ -102,8 +102,8 @@ pub fn mine_top_interventions(
         // (Definition 4.4: 0 when the sub-coverage is empty; when it is
         // non-empty but too small to estimate, the overall CATE is the best
         // available prediction for those rows — see DESIGN.md).
-        let u_p = subgroup_utility(engine, &coverage_p, &node.pattern, est.cate);
-        let u_np = subgroup_utility(engine, &coverage_np, &node.pattern, est.cate);
+        let u_p = subgroup_utility(query, &coverage_p, &node.pattern, est.cate);
+        let u_np = subgroup_utility(query, &coverage_np, &node.pattern, est.cate);
         let utility = RuleUtility {
             overall: est.cate,
             protected: u_p,
@@ -139,7 +139,7 @@ pub fn mine_top_interventions(
 /// overall CATE as the fallback prediction for a non-empty sub-coverage
 /// that is too small to estimate on its own.
 pub fn subgroup_utility(
-    engine: &CateEngine<'_>,
+    query: &CateQuery<'_>,
     sub_coverage: &Mask,
     intervention: &Pattern,
     overall: f64,
@@ -147,7 +147,7 @@ pub fn subgroup_utility(
     if sub_coverage.none() {
         return 0.0;
     }
-    engine
+    query
         .cate(sub_coverage, intervention)
         .map(|e| e.cate)
         .unwrap_or(overall)
@@ -159,26 +159,31 @@ mod tests {
     use super::*;
     use crate::config::{FairnessConstraint, FairnessScope};
     use faircap_causal::scm::{bernoulli, normal, Scm};
-    use faircap_causal::{Dag, EstimatorKind};
+    use faircap_causal::{CateEngine, Dag, EstimatorKind};
     use faircap_table::{DataFrame, Value};
+    use std::sync::Arc;
 
     /// Two binary treatments: `big` has a large but unfair effect
     /// (+30 non-protected / +6 protected), `fair` a smaller parity effect
     /// (+12 / +11). Group = everyone.
-    fn fixture() -> (DataFrame, Dag, Mask) {
+    fn fixture() -> (Arc<DataFrame>, Arc<Dag>, Mask) {
         let scm = Scm::new()
             .categorical("grp", &[("p", 0.3), ("np", 0.7)])
             .unwrap()
             .node(
                 "big",
                 &[],
-                Box::new(|_, rng| Value::Str(if bernoulli(rng, 0.4) { "yes" } else { "no" }.into())),
+                Box::new(|_, rng| {
+                    Value::Str(if bernoulli(rng, 0.4) { "yes" } else { "no" }.into())
+                }),
             )
             .unwrap()
             .node(
                 "fair",
                 &[],
-                Box::new(|_, rng| Value::Str(if bernoulli(rng, 0.4) { "yes" } else { "no" }.into())),
+                Box::new(|_, rng| {
+                    Value::Str(if bernoulli(rng, 0.4) { "yes" } else { "no" }.into())
+                }),
             )
             .unwrap()
             .node(
@@ -197,8 +202,8 @@ mod tests {
                 }),
             )
             .unwrap();
-        let df = scm.sample(6000, 17).unwrap();
-        let dag = scm.dag();
+        let df = Arc::new(scm.sample(6000, 17).unwrap());
+        let dag = Arc::new(scm.dag());
         let protected = Pattern::of_eq(&[("grp", Value::from("p"))])
             .coverage(&df)
             .unwrap();
@@ -212,11 +217,12 @@ mod tests {
     #[test]
     fn unconstrained_picks_highest_cate() {
         let (df, dag, protected) = fixture();
-        let engine = CateEngine::new(&df, &dag, "outcome", EstimatorKind::Linear);
+        let engine = CateEngine::new(df.clone(), dag, "outcome").unwrap();
+        let query = engine.with_estimator(&EstimatorKind::Linear);
         let cfg = FairCapConfig::default();
         let all = Mask::ones(df.n_rows());
         let rule = mine_intervention(
-            &engine,
+            &query,
             &Pattern::empty(),
             &all,
             &protected,
@@ -235,7 +241,8 @@ mod tests {
     #[test]
     fn sp_constraint_redirects_to_fair_treatment() {
         let (df, dag, protected) = fixture();
-        let engine = CateEngine::new(&df, &dag, "outcome", EstimatorKind::Linear);
+        let engine = CateEngine::new(df.clone(), dag, "outcome").unwrap();
+        let query = engine.with_estimator(&EstimatorKind::Linear);
         let mut cfg = FairCapConfig::default();
         cfg.fairness = FairnessConstraint::StatisticalParity {
             scope: FairnessScope::Group,
@@ -243,7 +250,7 @@ mod tests {
         };
         let all = Mask::ones(df.n_rows());
         let rule = mine_intervention(
-            &engine,
+            &query,
             &Pattern::empty(),
             &all,
             &protected,
@@ -263,7 +270,8 @@ mod tests {
     #[test]
     fn individual_sp_filters_unfair_candidates() {
         let (df, dag, protected) = fixture();
-        let engine = CateEngine::new(&df, &dag, "outcome", EstimatorKind::Linear);
+        let engine = CateEngine::new(df.clone(), dag, "outcome").unwrap();
+        let query = engine.with_estimator(&EstimatorKind::Linear);
         let mut cfg = FairCapConfig::default();
         cfg.fairness = FairnessConstraint::StatisticalParity {
             scope: FairnessScope::Individual,
@@ -271,7 +279,7 @@ mod tests {
         };
         let all = Mask::ones(df.n_rows());
         let rule = mine_intervention(
-            &engine,
+            &query,
             &Pattern::empty(),
             &all,
             &protected,
@@ -286,11 +294,12 @@ mod tests {
     #[test]
     fn top_k_returns_ordered_distinct_interventions() {
         let (df, dag, protected) = fixture();
-        let engine = CateEngine::new(&df, &dag, "outcome", EstimatorKind::Linear);
+        let engine = CateEngine::new(df.clone(), dag, "outcome").unwrap();
+        let query = engine.with_estimator(&EstimatorKind::Linear);
         let cfg = FairCapConfig::default();
         let all = Mask::ones(df.n_rows());
         let rules = mine_top_interventions(
-            &engine,
+            &query,
             &Pattern::empty(),
             &all,
             &protected,
@@ -306,7 +315,7 @@ mod tests {
         }
         // k = 1 equals the single-best wrapper
         let single = mine_intervention(
-            &engine,
+            &query,
             &Pattern::empty(),
             &all,
             &protected,
@@ -320,13 +329,14 @@ mod tests {
     #[test]
     fn no_causal_mutables_yields_none() {
         let (df, dag, protected) = fixture();
-        let engine = CateEngine::new(&df, &dag, "outcome", EstimatorKind::Linear);
+        let engine = CateEngine::new(df.clone(), dag, "outcome").unwrap();
+        let query = engine.with_estimator(&EstimatorKind::Linear);
         let cfg = FairCapConfig::default();
         let all = Mask::ones(df.n_rows());
         // "grp" is immutable here, but pretend it's the only mutable: it has
         // a path to outcome, so use a truly disconnected name instead.
         let rule = mine_intervention(
-            &engine,
+            &query,
             &Pattern::empty(),
             &all,
             &protected,
@@ -339,12 +349,13 @@ mod tests {
     #[test]
     fn small_group_without_contrast_yields_none() {
         let (df, dag, protected) = fixture();
-        let engine = CateEngine::new(&df, &dag, "outcome", EstimatorKind::Linear);
+        let engine = CateEngine::new(df.clone(), dag, "outcome").unwrap();
+        let query = engine.with_estimator(&EstimatorKind::Linear);
         let cfg = FairCapConfig::default();
         // a 6-row group: too small for both arms of any treatment
         let tiny = Mask::from_indices(df.n_rows(), &[0, 1, 2, 3, 4, 5]);
         let rule = mine_intervention(
-            &engine,
+            &query,
             &Pattern::empty(),
             &tiny,
             &protected,

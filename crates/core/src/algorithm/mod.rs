@@ -1,19 +1,29 @@
 //! The FairCap three-step algorithm (Algorithm 1).
+//!
+//! The pipeline lives on [`PrescriptionSession::solve`]; this module holds
+//! the per-step implementations (`grouping`, `intervention`, `greedy`), the
+//! fan-out across grouping patterns, and the deprecated one-shot [`run`]
+//! compatibility shim.
+//!
+//! [`PrescriptionSession::solve`]: crate::session::PrescriptionSession::solve
 
 pub mod greedy;
 pub mod grouping;
 pub mod intervention;
 
 use crate::config::FairCapConfig;
-use crate::report::{SolutionReport, StepTimings};
+use crate::report::SolutionReport;
 use crate::rule::Rule;
-use faircap_causal::{CateEngine, Dag};
+use crate::session::{FairCap, SolveRequest};
+use faircap_causal::{CateQuery, Dag};
 use faircap_table::{DataFrame, Mask, Pattern};
-use std::time::Instant;
 
 /// Everything a Prescription Ruleset Selection instance needs
 /// (Definition 4.6): data, causal model, outcome, the immutable/mutable
 /// split, and the protected group.
+///
+/// Only consumed by the deprecated [`run`] shim; the session API takes the
+/// same fields through [`FairCap::builder`].
 #[derive(Clone, Copy)]
 pub struct ProblemInput<'a> {
     /// The database `D`.
@@ -31,68 +41,49 @@ pub struct ProblemInput<'a> {
 }
 
 /// Run FairCap end to end and return the solution with per-step timings.
+///
+/// One-shot compatibility shim: builds a throwaway session (cloning the
+/// frame and DAG), solves once, and discards every cache — and panics on
+/// invalid input, because its signature predates typed errors. New code
+/// should build a [`FairCap::builder`] session and call
+/// [`solve`](crate::session::PrescriptionSession::solve), which returns
+/// `Result` and reuses caches across calls.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a PrescriptionSession via FairCap::builder() and call solve(); \
+            run() rebuilds the engine caches on every call and panics on bad input"
+)]
 pub fn run(input: &ProblemInput<'_>, config: &FairCapConfig) -> SolutionReport {
-    let protected_mask = input
-        .protected
-        .coverage(input.df)
-        .expect("protected pattern must evaluate");
-    let engine = CateEngine::new(input.df, input.dag, input.outcome, config.estimator);
-
-    // ---- Step 1: grouping patterns (§5.1). ----
-    let t0 = Instant::now();
-    let groups = grouping::mine_grouping_patterns(
-        input.df,
-        input.immutable,
-        &protected_mask,
-        config,
+    let session = FairCap::builder()
+        .data(input.df.clone())
+        .dag(input.dag.clone())
+        .outcome(input.outcome)
+        .immutable(input.immutable.iter().cloned())
+        .mutable(input.mutable.iter().cloned())
+        .protected(input.protected.clone())
+        .build()
+        .expect("invalid problem input (the deprecated run() shim panics; the builder reports this as a typed error)");
+    session.solve(&SolveRequest::from(config.clone())).expect(
+        "invalid config (the deprecated run() shim panics; solve() reports this as a typed error)",
     )
-    .expect("grouping mining cannot fail on a valid frame");
-    let grouping_time = t0.elapsed();
-
-    // ---- Step 2: intervention mining (§5.2), parallel across groups. ----
-    let t1 = Instant::now();
-    let candidates = mine_all_interventions(&engine, &groups, &protected_mask, input, config);
-    let intervention_time = t1.elapsed();
-
-    // ---- Step 3: greedy selection (§5.3). ----
-    let t2 = Instant::now();
-    let outcome = greedy::greedy_select(
-        candidates.clone(),
-        config,
-        input.df.n_rows(),
-        &protected_mask,
-    );
-    let greedy_time = t2.elapsed();
-
-    SolutionReport {
-        label: config.label(),
-        rules: outcome.selected,
-        summary: outcome.summary,
-        constraints_met: outcome.constraints_met,
-        n_grouping_patterns: groups.len(),
-        n_candidates: candidates.len(),
-        timings: StepTimings {
-            grouping: grouping_time,
-            intervention: intervention_time,
-            greedy: greedy_time,
-        },
-    }
 }
 
-fn mine_all_interventions(
-    engine: &CateEngine<'_>,
+/// Step-2 fan-out: mine the top interventions of every grouping pattern,
+/// in parallel when configured (§5.2 optimization (ii)).
+pub(crate) fn mine_all_interventions(
+    query: &CateQuery<'_>,
     groups: &[faircap_mining::FrequentPattern],
     protected_mask: &Mask,
-    input: &ProblemInput<'_>,
+    mutable: &[String],
     config: &FairCapConfig,
 ) -> Vec<Rule> {
     let worker = |g: &faircap_mining::FrequentPattern| -> Vec<Rule> {
         intervention::mine_top_interventions(
-            engine,
+            query,
             &g.pattern,
             &g.support,
             protected_mask,
-            input.mutable,
+            mutable,
             config,
             config.interventions_per_group.max(1),
         )
@@ -104,37 +95,28 @@ fn mine_all_interventions(
         .map(|n| n.get())
         .unwrap_or(4)
         .min(groups.len());
+    let chunk = groups.len().div_ceil(n_threads);
     // One result slot per group keeps the output order deterministic
     // regardless of thread scheduling.
     let mut slots: Vec<Vec<Rule>> = vec![Vec::new(); groups.len()];
-    crossbeam::thread::scope(|scope| {
-        for (chunk_idx, (group_chunk, slot_chunk)) in groups
-            .chunks(groups.len().div_ceil(n_threads))
-            .zip(slots.chunks_mut(groups.len().div_ceil(n_threads)))
-            .enumerate()
-        {
-            let _ = chunk_idx;
-            scope.spawn(move |_| {
+    std::thread::scope(|scope| {
+        for (group_chunk, slot_chunk) in groups.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            scope.spawn(move || {
                 for (g, slot) in group_chunk.iter().zip(slot_chunk.iter_mut()) {
                     *slot = worker(g);
                 }
             });
         }
-    })
-    .expect("intervention mining workers must not panic");
+    });
     slots.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
-#[allow(clippy::field_reassign_with_default)] // config tweaking reads better imperatively
 mod tests {
     use super::*;
-    use crate::config::{CoverageConstraint, FairnessConstraint, FairnessScope};
     use faircap_causal::scm::{bernoulli, normal, Scm};
     use faircap_table::Value;
 
-    /// A compact end-to-end fixture: one immutable (segment), protected
-    /// subgroup, two binary treatments with planted unfair/fair effects.
     fn fixture() -> (DataFrame, Dag, Vec<String>, Vec<String>, Pattern) {
         let scm = Scm::new()
             .categorical("segment", &[("a", 0.5), ("b", 0.5)])
@@ -142,15 +124,7 @@ mod tests {
             .categorical("grp", &[("p", 0.3), ("np", 0.7)])
             .unwrap()
             .node(
-                "big",
-                &[],
-                Box::new(|_, rng| {
-                    Value::Str(if bernoulli(rng, 0.4) { "yes" } else { "no" }.into())
-                }),
-            )
-            .unwrap()
-            .node(
-                "fair",
+                "treat",
                 &[],
                 Box::new(|_, rng| {
                     Value::Str(if bernoulli(rng, 0.4) { "yes" } else { "no" }.into())
@@ -159,36 +133,32 @@ mod tests {
             .unwrap()
             .node(
                 "outcome",
-                &["segment", "grp", "big", "fair"],
+                &["segment", "grp", "treat"],
                 Box::new(|row, rng| {
-                    let p = row.str("grp") == "p";
                     let mut v = 50.0;
-                    if row.str("segment") == "a" {
-                        v += 5.0;
-                    }
-                    if row.str("big") == "yes" {
-                        v += if p { 6.0 } else { 30.0 };
-                    }
-                    if row.str("fair") == "yes" {
-                        v += if p { 11.0 } else { 12.0 };
+                    if row.str("treat") == "yes" {
+                        v += if row.str("grp") == "p" { 8.0 } else { 20.0 };
                     }
                     Value::Float(v + normal(rng, 0.0, 4.0))
                 }),
             )
             .unwrap();
-        let df = scm.sample(5000, 23).unwrap();
+        let df = scm.sample(4000, 23).unwrap();
         let dag = scm.dag();
         (
             df,
             dag,
             vec!["segment".into(), "grp".into()],
-            vec!["big".into(), "fair".into()],
+            vec!["treat".into()],
             Pattern::of_eq(&[("grp", Value::from("p"))]),
         )
     }
 
+    /// The deprecated shim must keep producing exactly what an equivalent
+    /// session solve produces (one release of behavioural compatibility).
     #[test]
-    fn end_to_end_unconstrained() {
+    #[allow(deprecated)]
+    fn run_shim_matches_session_solve() {
         let (df, dag, imm, mt, prot) = fixture();
         let input = ProblemInput {
             df: &df,
@@ -198,116 +168,20 @@ mod tests {
             mutable: &mt,
             protected: &prot,
         };
-        let report = run(&input, &FairCapConfig::default());
-        assert!(!report.rules.is_empty());
-        assert!(report.summary.expected > 0.0);
-        assert!(report.n_grouping_patterns > 0);
-        // Unconstrained: the big unfair treatment should dominate.
-        assert!(
-            report.summary.unfairness > 10.0,
-            "unconstrained unfairness {}",
-            report.summary.unfairness
-        );
-    }
-
-    #[test]
-    fn end_to_end_group_sp_reduces_unfairness() {
-        let (df, dag, imm, mt, prot) = fixture();
-        let input = ProblemInput {
-            df: &df,
-            dag: &dag,
-            outcome: "outcome",
-            immutable: &imm,
-            mutable: &mt,
-            protected: &prot,
-        };
-        let unconstrained = run(&input, &FairCapConfig::default());
-        let mut cfg = FairCapConfig::default();
-        cfg.fairness = FairnessConstraint::StatisticalParity {
-            scope: FairnessScope::Group,
-            epsilon: 5.0,
-        };
-        let fair = run(&input, &cfg);
-        assert!(fair.constraints_met, "group SP must be satisfiable here");
-        assert!(
-            fair.summary.unfairness.abs() <= 5.0,
-            "unfairness {} > ε",
-            fair.summary.unfairness
-        );
-        // Fairness costs utility (Table 4's headline phenomenon).
-        assert!(
-            fair.summary.expected <= unconstrained.summary.expected + 1e-9,
-            "fair {} should not exceed unconstrained {}",
-            fair.summary.expected,
-            unconstrained.summary.expected
-        );
-        assert!(fair.summary.unfairness.abs() < unconstrained.summary.unfairness.abs());
-    }
-
-    #[test]
-    fn end_to_end_group_coverage() {
-        let (df, dag, imm, mt, prot) = fixture();
-        let input = ProblemInput {
-            df: &df,
-            dag: &dag,
-            outcome: "outcome",
-            immutable: &imm,
-            mutable: &mt,
-            protected: &prot,
-        };
-        let mut cfg = FairCapConfig::default();
-        cfg.coverage = CoverageConstraint::Group {
-            theta: 0.9,
-            theta_protected: 0.9,
-        };
-        let report = run(&input, &cfg);
-        assert!(report.constraints_met);
-        assert!(report.summary.coverage >= 0.9);
-        assert!(report.summary.coverage_protected >= 0.9);
-    }
-
-    #[test]
-    fn parallel_and_serial_agree() {
-        let (df, dag, imm, mt, prot) = fixture();
-        let input = ProblemInput {
-            df: &df,
-            dag: &dag,
-            outcome: "outcome",
-            immutable: &imm,
-            mutable: &mt,
-            protected: &prot,
-        };
-        let mut serial_cfg = FairCapConfig::default();
-        serial_cfg.parallel = false;
-        let mut parallel_cfg = FairCapConfig::default();
-        parallel_cfg.parallel = true;
-        let a = run(&input, &serial_cfg);
-        let b = run(&input, &parallel_cfg);
-        let ra: Vec<String> = a.rules.iter().map(|r| r.to_string()).collect();
-        let rb: Vec<String> = b.rules.iter().map(|r| r.to_string()).collect();
-        assert_eq!(ra, rb);
-        assert_eq!(a.summary, b.summary);
-    }
-
-    #[test]
-    fn timings_are_populated() {
-        let (df, dag, imm, mt, prot) = fixture();
-        let input = ProblemInput {
-            df: &df,
-            dag: &dag,
-            outcome: "outcome",
-            immutable: &imm,
-            mutable: &mt,
-            protected: &prot,
-        };
-        let report = run(&input, &FairCapConfig::default());
-        let t = &report.timings;
-        assert!(t.grouping.as_nanos() > 0);
-        assert!(t.intervention.as_nanos() > 0);
-        // total is the sum
-        assert_eq!(
-            t.total(),
-            t.grouping + t.intervention + t.greedy
-        );
+        let via_shim = run(&input, &FairCapConfig::default());
+        let session = FairCap::builder()
+            .data(df)
+            .dag(dag)
+            .outcome("outcome")
+            .immutable(imm)
+            .mutable(mt)
+            .protected(prot)
+            .build()
+            .unwrap();
+        let via_session = session.solve(&SolveRequest::default()).unwrap();
+        assert_eq!(via_shim.summary, via_session.summary);
+        let a: Vec<String> = via_shim.rules.iter().map(|r| r.to_string()).collect();
+        let b: Vec<String> = via_session.rules.iter().map(|r| r.to_string()).collect();
+        assert_eq!(a, b);
     }
 }

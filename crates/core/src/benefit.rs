@@ -58,7 +58,10 @@ mod tests {
 
     #[test]
     fn no_constraint_is_identity() {
-        assert_eq!(benefit(&u(42.0, 1.0, 99.0), &FairnessConstraint::None), 42.0);
+        assert_eq!(
+            benefit(&u(42.0, 1.0, 99.0), &FairnessConstraint::None),
+            42.0
+        );
     }
 
     #[test]

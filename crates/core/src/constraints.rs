@@ -34,8 +34,7 @@ pub fn rule_satisfies_coverage(
             theta_protected,
         } => {
             rule.coverage_count() as f64 >= theta * n_rows as f64
-                && rule.coverage_protected_count() as f64
-                    >= theta_protected * n_protected as f64
+                && rule.coverage_protected_count() as f64 >= theta_protected * n_protected as f64
         }
         _ => true,
     }
@@ -44,17 +43,12 @@ pub fn rule_satisfies_coverage(
 /// Does a ruleset-level summary satisfy a **group-scope** fairness
 /// constraint? Individual-scope constraints are vacuously true here (they
 /// are enforced per rule).
-pub fn summary_satisfies_fairness(
-    summary: &RulesetUtility,
-    fairness: &FairnessConstraint,
-) -> bool {
+pub fn summary_satisfies_fairness(summary: &RulesetUtility, fairness: &FairnessConstraint) -> bool {
     match fairness {
         FairnessConstraint::StatisticalParity {
             scope: FairnessScope::Group,
             epsilon,
-        } => {
-            (summary.expected_protected - summary.expected_non_protected).abs() <= *epsilon
-        }
+        } => (summary.expected_protected - summary.expected_non_protected).abs() <= *epsilon,
         FairnessConstraint::BoundedGroupLoss {
             scope: FairnessScope::Group,
             tau,
@@ -65,10 +59,7 @@ pub fn summary_satisfies_fairness(
 
 /// Does a ruleset-level summary satisfy a **group-scope** coverage
 /// constraint? Rule-scope constraints are vacuously true here.
-pub fn summary_satisfies_coverage(
-    summary: &RulesetUtility,
-    coverage: &CoverageConstraint,
-) -> bool {
+pub fn summary_satisfies_coverage(summary: &RulesetUtility, coverage: &CoverageConstraint) -> bool {
     match coverage {
         CoverageConstraint::Group {
             theta,
@@ -150,9 +141,24 @@ mod tests {
             theta_protected: 0.5,
         };
         // 100 rows, 20 protected → needs cov ≥ 30 and cov_p ≥ 10.
-        assert!(rule_satisfies_coverage(&rule(30, 10, 0.0, 0.0), &c, 100, 20));
-        assert!(!rule_satisfies_coverage(&rule(29, 10, 0.0, 0.0), &c, 100, 20));
-        assert!(!rule_satisfies_coverage(&rule(30, 9, 0.0, 0.0), &c, 100, 20));
+        assert!(rule_satisfies_coverage(
+            &rule(30, 10, 0.0, 0.0),
+            &c,
+            100,
+            20
+        ));
+        assert!(!rule_satisfies_coverage(
+            &rule(29, 10, 0.0, 0.0),
+            &c,
+            100,
+            20
+        ));
+        assert!(!rule_satisfies_coverage(
+            &rule(30, 9, 0.0, 0.0),
+            &c,
+            100,
+            20
+        ));
         // group scope never rejects a single rule
         let g = CoverageConstraint::Group {
             theta: 0.9,
@@ -206,12 +212,14 @@ mod tests {
             theta: 0.1,
             theta_protected: 0.1,
         };
-        let rules = [rule(20, 5, 10.0, 12.0),
+        let rules = [
+            rule(20, 5, 10.0, 12.0),
             rule(30, 8, 8.0, 11.0),
-            rule(15, 4, 9.0, 13.0)];
-        let all_valid = rules.iter().all(|r| {
-            rule_satisfies_fairness(r, &f) && rule_satisfies_coverage(r, &c, 100, 20)
-        });
+            rule(15, 4, 9.0, 13.0),
+        ];
+        let all_valid = rules
+            .iter()
+            .all(|r| rule_satisfies_fairness(r, &f) && rule_satisfies_coverage(r, &c, 100, 20));
         assert!(all_valid);
         // every subset is valid because validity is per-rule
         for i in 0..rules.len() {

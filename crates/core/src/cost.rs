@@ -52,10 +52,7 @@ impl CostModel {
 
     /// Cost of one assignment.
     pub fn assignment_cost(&self, attr: &str, value: &Value) -> f64 {
-        if let Some(&c) = self
-            .by_assignment
-            .get(&(attr.to_owned(), value.clone()))
-        {
+        if let Some(&c) = self.by_assignment.get(&(attr.to_owned(), value.clone())) {
             return c;
         }
         self.by_attribute.get(attr).copied().unwrap_or(self.default)

@@ -174,8 +174,7 @@ mod tests {
 
     #[test]
     fn nine_structural_leaves() {
-        let variants =
-            all_structural_variants(FairnessKind::StatisticalParity, 10_000.0, 0.5, 0.5);
+        let variants = all_structural_variants(FairnessKind::StatisticalParity, 10_000.0, 0.5, 0.5);
         assert_eq!(variants.len(), 9);
         // first row is the no-constraints leaf
         assert!(matches!(variants[0].1, FairnessConstraint::None));

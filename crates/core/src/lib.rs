@@ -7,31 +7,56 @@
 //! Apriori grouping-pattern mining → fairness-aware intervention mining on a
 //! positive-parent lattice → greedy ruleset selection.
 //!
+//! The entry point is the [`session`] engine API: build a validated,
+//! long-lived [`PrescriptionSession`] once, then re-solve it under changing
+//! constraints and estimators with full cache reuse:
+//!
 //! ```no_run
-//! use faircap_core::{run, FairCapConfig, ProblemInput};
-//! # fn problem_input() -> ProblemInput<'static> { unimplemented!() }
-//! let input: ProblemInput = problem_input();
-//! let report = run(&input, &FairCapConfig::default());
-//! println!("{report}");
+//! use faircap_core::{FairCap, FairnessConstraint, FairnessScope, SolveRequest};
+//! # fn inputs() -> (faircap_table::DataFrame, faircap_causal::Dag, faircap_table::Pattern) { unimplemented!() }
+//! let (df, dag, protected) = inputs();
+//! let session = FairCap::builder()
+//!     .data(df)
+//!     .dag(dag)
+//!     .outcome("salary")
+//!     .immutable(["country", "age"])
+//!     .mutable(["education", "training"])
+//!     .protected(protected)
+//!     .build()?;
+//! let unconstrained = session.solve(&SolveRequest::default())?;
+//! let fair = session.solve(&SolveRequest::default().fairness(
+//!     FairnessConstraint::StatisticalParity { scope: FairnessScope::Group, epsilon: 10_000.0 },
+//! ))?; // reuses every CATE estimate the first solve computed
+//! println!("{unconstrained}\n{fair}");
+//! # Ok::<(), faircap_core::Error>(())
 //! ```
+//!
+//! The pre-0.2 one-shot [`run`] free function remains as a deprecated shim
+//! for one release.
 
 #![warn(missing_docs)]
 
 pub mod algorithm;
 pub mod benefit;
 pub mod config;
-pub mod cost;
 pub mod constraints;
+pub mod cost;
 pub mod decision_tree;
+pub mod error;
 pub mod report;
 pub mod rule;
+pub mod session;
 pub mod utility;
 
-pub use algorithm::{run, ProblemInput};
+#[allow(deprecated)]
+pub use algorithm::run;
+pub use algorithm::ProblemInput;
 pub use benefit::benefit;
 pub use config::{CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope};
 pub use cost::{CostModel, CostPolicy};
 pub use decision_tree::{all_structural_variants, choose_variant, FairnessKind, VariantAnswers};
+pub use error::{Error, Result};
 pub use report::{SolutionReport, StepTimings};
 pub use rule::{Rule, RuleUtility};
+pub use session::{FairCap, PrescriptionSession, SessionBuilder, SolveRequest};
 pub use utility::{ruleset_utility, RulesetUtility};

@@ -69,7 +69,14 @@ impl SolutionReport {
     pub fn table_header() -> String {
         format!(
             "{:<46} {:>7} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
-            "setting", "#rules", "coverage", "cov pro", "exp utility", "exp non-pro", "exp pro", "unfairness",
+            "setting",
+            "#rules",
+            "coverage",
+            "cov pro",
+            "exp utility",
+            "exp non-pro",
+            "exp pro",
+            "unfairness",
         )
     }
 
@@ -145,9 +152,7 @@ mod tests {
         assert!(row.contains("27934.76"));
         assert!(row.contains("9999.35"));
         // header aligns with the same column count
-        assert!(
-            SolutionReport::table_header().split_whitespace().count() >= 8
-        );
+        assert!(SolutionReport::table_header().split_whitespace().count() >= 8);
     }
 
     #[test]

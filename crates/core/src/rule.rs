@@ -138,8 +138,7 @@ mod tests {
         let df = frame();
         let protected = eq_pattern(&[("grp", "p")]).coverage(&df).unwrap();
         let grouping = eq_pattern(&[("age", "young")]);
-        let (coverage, coverage_protected) =
-            coverage_masks(&df, &grouping, &protected).unwrap();
+        let (coverage, coverage_protected) = coverage_masks(&df, &grouping, &protected).unwrap();
         let r = Rule {
             grouping,
             intervention: eq_pattern(&[("edu", "phd")]),

@@ -1,0 +1,804 @@
+//! The long-lived engine API: [`FairCap::builder`] →
+//! [`PrescriptionSession`] → [`PrescriptionSession::solve`].
+//!
+//! The paper's workload is inherently interactive: one Prescription Ruleset
+//! Selection instance (data + DAG + outcome + attribute split + protected
+//! group) is re-solved many times under different fairness/coverage
+//! constraints and estimators (Tables 3–6 all re-solve one dataset this
+//! way). A session is built — and validated — once, then
+//! [`solve`](PrescriptionSession::solve) is called per constraint
+//! combination:
+//!
+//! * the [`CateEngine`]'s adjustment/treated/estimate caches persist across
+//!   solves, so re-solving under a new fairness constraint performs **no
+//!   redundant CATE estimation** (observable via
+//!   [`PrescriptionSession::cache_stats`]);
+//! * grouping-pattern mining output is cached per effective Apriori
+//!   parameters;
+//! * the estimator is chosen per request ([`SolveRequest::estimator`]), so
+//!   comparing estimators does not rebuild the session;
+//! * every failure mode is a typed [`Error`] — nothing on the build or
+//!   solve path panics on user data.
+
+use crate::algorithm::greedy;
+use crate::algorithm::{grouping, mine_all_interventions};
+use crate::config::{CoverageConstraint, FairCapConfig, FairnessConstraint};
+use crate::error::{Error, Result};
+use crate::report::{SolutionReport, StepTimings};
+use faircap_causal::{CacheStats, CateEngine, Dag, Estimator, EstimatorKind};
+use faircap_mining::FrequentPattern;
+use faircap_table::{DataFrame, Mask, Pattern};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Entry point to the engine API.
+///
+/// ```no_run
+/// use faircap_core::{FairCap, SolveRequest};
+/// # fn inputs() -> (faircap_table::DataFrame, faircap_causal::Dag, faircap_table::Pattern) { unimplemented!() }
+/// let (df, dag, protected) = inputs();
+/// let session = FairCap::builder()
+///     .data(df)
+///     .dag(dag)
+///     .outcome("salary")
+///     .immutable(["country", "age"])
+///     .mutable(["education", "training"])
+///     .protected(protected)
+///     .build()?;
+/// let report = session.solve(&SolveRequest::default())?;
+/// println!("{report}");
+/// # Ok::<(), faircap_core::Error>(())
+/// ```
+pub struct FairCap;
+
+impl FairCap {
+    /// Start building a [`PrescriptionSession`].
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+}
+
+/// Builder for [`PrescriptionSession`]; validates the whole problem
+/// instance up front so `build` is the only place construction can fail.
+#[derive(Default)]
+pub struct SessionBuilder {
+    df: Option<Arc<DataFrame>>,
+    dag: Option<Arc<Dag>>,
+    outcome: Option<String>,
+    immutable: Vec<String>,
+    mutable: Vec<String>,
+    protected: Option<Pattern>,
+}
+
+impl SessionBuilder {
+    /// The database `D`. Accepts an owned frame or a shared `Arc`.
+    pub fn data(mut self, df: impl Into<Arc<DataFrame>>) -> Self {
+        self.df = Some(df.into());
+        self
+    }
+
+    /// The causal DAG `G_D`. Accepts an owned DAG or a shared `Arc`.
+    pub fn dag(mut self, dag: impl Into<Arc<Dag>>) -> Self {
+        self.dag = Some(dag.into());
+        self
+    }
+
+    /// Outcome attribute `O` (numeric or boolean column).
+    pub fn outcome(mut self, outcome: impl Into<String>) -> Self {
+        self.outcome = Some(outcome.into());
+        self
+    }
+
+    /// Immutable attributes `I` (grouping-pattern vocabulary).
+    pub fn immutable<I, S>(mut self, attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.immutable = attrs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Mutable attributes `M` (intervention-pattern vocabulary).
+    pub fn mutable<I, S>(mut self, attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.mutable = attrs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Protected-group pattern `P_p`.
+    pub fn protected(mut self, pattern: Pattern) -> Self {
+        self.protected = Some(pattern);
+        self
+    }
+
+    /// Validate the instance and assemble the session.
+    pub fn build(self) -> Result<PrescriptionSession> {
+        let df = self.df.ok_or(Error::MissingField("data"))?;
+        let dag = self.dag.ok_or(Error::MissingField("dag"))?;
+        let outcome = self.outcome.ok_or(Error::MissingField("outcome"))?;
+        let protected = self.protected.ok_or(Error::MissingField("protected"))?;
+
+        for (role, attrs) in [("immutable", &self.immutable), ("mutable", &self.mutable)] {
+            for a in attrs {
+                if !df.has_column(a) {
+                    return Err(Error::UnknownAttribute {
+                        role,
+                        name: a.clone(),
+                    });
+                }
+            }
+        }
+        for a in &self.immutable {
+            if self.mutable.contains(a) {
+                return Err(Error::ConflictingRoles {
+                    name: a.clone(),
+                    roles: ("immutable", "mutable"),
+                });
+            }
+        }
+        for (role, attrs) in [("immutable", &self.immutable), ("mutable", &self.mutable)] {
+            if attrs.contains(&outcome) {
+                return Err(Error::ConflictingRoles {
+                    name: outcome.clone(),
+                    roles: (role, "outcome"),
+                });
+            }
+        }
+        // Validates outcome existence and type — before the DAG-membership
+        // check, so a missing column is reported as the missing column
+        // rather than as a DAG problem.
+        let engine = CateEngine::new(Arc::clone(&df), Arc::clone(&dag), &outcome)?;
+        if !dag.has_node(&outcome) {
+            return Err(Error::OutcomeNotInDag { outcome });
+        }
+        // Validates the protected pattern's columns; an empty match is fine
+        // (protected metrics then degrade to 0, as in the paper's Eq. 5).
+        let protected_mask = protected.coverage(&df)?;
+
+        Ok(PrescriptionSession {
+            df,
+            dag,
+            outcome,
+            immutable: self.immutable,
+            mutable: self.mutable,
+            protected,
+            protected_mask,
+            engine,
+            groupings: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+/// One solve invocation: the constraint system plus algorithm knobs, and an
+/// optional estimator override.
+///
+/// `config` carries the constraints (`fairness`, `coverage`), the rule
+/// budget (`max_rules`, i.e. the `k` of the greedy phase), and every other
+/// knob of [`FairCapConfig`]. `estimator` — when set — overrides
+/// `config.estimator` with an arbitrary [`Estimator`] implementation,
+/// allowing per-request estimator selection without rebuilding the session.
+#[derive(Clone, Default)]
+pub struct SolveRequest {
+    /// Constraints and algorithm knobs.
+    pub config: FairCapConfig,
+    /// Estimator override; `None` uses `config.estimator`.
+    pub estimator: Option<Arc<dyn Estimator>>,
+}
+
+impl SolveRequest {
+    /// A request with default (unconstrained) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the fairness constraint.
+    pub fn fairness(mut self, fairness: FairnessConstraint) -> Self {
+        self.config.fairness = fairness;
+        self
+    }
+
+    /// Set the coverage constraint.
+    pub fn coverage(mut self, coverage: CoverageConstraint) -> Self {
+        self.config.coverage = coverage;
+        self
+    }
+
+    /// Cap the number of selected rules (the greedy `k`).
+    pub fn max_rules(mut self, k: usize) -> Self {
+        self.config.max_rules = k;
+        self
+    }
+
+    /// Select one of the built-in estimators.
+    pub fn estimator_kind(mut self, kind: EstimatorKind) -> Self {
+        self.config.estimator = kind;
+        self.estimator = None;
+        self
+    }
+
+    /// Plug in a custom estimator for this request.
+    pub fn estimator(mut self, estimator: Arc<dyn Estimator>) -> Self {
+        self.estimator = Some(estimator);
+        self
+    }
+}
+
+impl From<FairCapConfig> for SolveRequest {
+    fn from(config: FairCapConfig) -> Self {
+        SolveRequest {
+            config,
+            estimator: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for SolveRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveRequest")
+            .field("config", &self.config)
+            .field(
+                "estimator",
+                &self.estimator.as_ref().map(|e| e.name().to_owned()),
+            )
+            .finish()
+    }
+}
+
+/// Cache key for grouping-pattern mining output: the effective Apriori
+/// parameters after §5.4's threshold raising and protected-support filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct GroupingKey {
+    support_bits: u64,
+    max_len: usize,
+    protected_need: usize,
+}
+
+impl GroupingKey {
+    fn of(config: &FairCapConfig, protected: &Mask) -> GroupingKey {
+        let mut min_support = config.apriori_threshold;
+        let mut protected_need = 0;
+        if let CoverageConstraint::Rule {
+            theta,
+            theta_protected,
+        } = config.coverage
+        {
+            min_support = min_support.max(theta);
+            protected_need = (theta_protected * protected.count() as f64).ceil() as usize;
+        }
+        GroupingKey {
+            support_bits: min_support.to_bits(),
+            max_len: config.max_group_len,
+            protected_need,
+        }
+    }
+}
+
+/// A validated, long-lived Prescription Ruleset Selection instance.
+///
+/// Owns the data, the DAG, the [`CateEngine`] (with its adjustment /
+/// treated-mask / estimate caches), and the grouping-pattern mining cache.
+/// Build once via [`FairCap::builder`], then call
+/// [`solve`](Self::solve) repeatedly — each call may change constraints,
+/// estimator, and rule budget while reusing every cache the previous calls
+/// warmed up. All methods take `&self`; the session is `Sync` and can serve
+/// concurrent solves.
+pub struct PrescriptionSession {
+    df: Arc<DataFrame>,
+    dag: Arc<Dag>,
+    outcome: String,
+    immutable: Vec<String>,
+    mutable: Vec<String>,
+    protected: Pattern,
+    protected_mask: Mask,
+    engine: CateEngine,
+    groupings: Mutex<HashMap<GroupingKey, Arc<Vec<FrequentPattern>>>>,
+}
+
+impl std::fmt::Debug for PrescriptionSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrescriptionSession")
+            .field("n_rows", &self.df.n_rows())
+            .field("outcome", &self.outcome)
+            .field("immutable", &self.immutable)
+            .field("mutable", &self.mutable)
+            .field("protected", &self.protected.to_string())
+            .field("cache_stats", &self.cache_stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PrescriptionSession {
+    /// The database `D`.
+    pub fn df(&self) -> &DataFrame {
+        &self.df
+    }
+
+    /// The causal DAG `G_D`.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Outcome attribute `O`.
+    pub fn outcome(&self) -> &str {
+        &self.outcome
+    }
+
+    /// Immutable attributes `I`.
+    pub fn immutable(&self) -> &[String] {
+        &self.immutable
+    }
+
+    /// Mutable attributes `M`.
+    pub fn mutable(&self) -> &[String] {
+        &self.mutable
+    }
+
+    /// Protected-group pattern `P_p`.
+    pub fn protected(&self) -> &Pattern {
+        &self.protected
+    }
+
+    /// Mask of protected rows (precomputed at build time).
+    pub fn protected_mask(&self) -> &Mask {
+        &self.protected_mask
+    }
+
+    /// The underlying CATE engine (shared caches, hit counters).
+    pub fn engine(&self) -> &CateEngine {
+        &self.engine
+    }
+
+    /// Estimate-cache hit/miss counters accumulated over all solves.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// Solve the instance under one constraint/estimator combination.
+    ///
+    /// Reuses every cache warmed by previous solves on this session; a
+    /// repeat solve that only changes the fairness constraint performs no
+    /// new CATE estimation at all.
+    pub fn solve(&self, request: &SolveRequest) -> Result<SolutionReport> {
+        let config = &request.config;
+        validate_config(config)?;
+        let estimator: &dyn Estimator = request.estimator.as_deref().unwrap_or(&config.estimator);
+        let query = self.engine.with_estimator(estimator);
+
+        // ---- Step 1: grouping patterns (§5.1), cached per parameters. ----
+        let t0 = Instant::now();
+        let groups = self.grouping_patterns(config)?;
+        let grouping_time = t0.elapsed();
+
+        // ---- Step 2: intervention mining (§5.2), parallel across groups. ----
+        let t1 = Instant::now();
+        let candidates =
+            mine_all_interventions(&query, &groups, &self.protected_mask, &self.mutable, config);
+        let n_candidates = candidates.len();
+        let intervention_time = t1.elapsed();
+
+        // ---- Step 3: greedy selection (§5.3). ----
+        let t2 = Instant::now();
+        let outcome =
+            greedy::greedy_select(candidates, config, self.df.n_rows(), &self.protected_mask);
+        let greedy_time = t2.elapsed();
+
+        Ok(SolutionReport {
+            label: config.label(),
+            rules: outcome.selected,
+            summary: outcome.summary,
+            constraints_met: outcome.constraints_met,
+            n_grouping_patterns: groups.len(),
+            n_candidates,
+            timings: StepTimings {
+                grouping: grouping_time,
+                intervention: intervention_time,
+                greedy: greedy_time,
+            },
+        })
+    }
+
+    /// Step-1 output for the request's effective Apriori parameters,
+    /// mining at most once per distinct parameter set.
+    fn grouping_patterns(&self, config: &FairCapConfig) -> Result<Arc<Vec<FrequentPattern>>> {
+        let key = GroupingKey::of(config, &self.protected_mask);
+        if let Some(hit) = self.groupings.lock().get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let mined = Arc::new(grouping::mine_grouping_patterns(
+            &self.df,
+            &self.immutable,
+            &self.protected_mask,
+            config,
+        )?);
+        self.groupings.lock().insert(key, Arc::clone(&mined));
+        Ok(mined)
+    }
+}
+
+fn validate_config(config: &FairCapConfig) -> Result<()> {
+    let unit = 0.0..=1.0;
+    if !config.apriori_threshold.is_finite() || !unit.contains(&config.apriori_threshold) {
+        return Err(Error::InvalidRequest(format!(
+            "apriori_threshold must be in [0, 1], got {}",
+            config.apriori_threshold
+        )));
+    }
+    if !config.alpha.is_finite() || !unit.contains(&config.alpha) {
+        return Err(Error::InvalidRequest(format!(
+            "alpha must be in [0, 1], got {}",
+            config.alpha
+        )));
+    }
+    match config.coverage {
+        CoverageConstraint::None => {}
+        CoverageConstraint::Group {
+            theta,
+            theta_protected,
+        }
+        | CoverageConstraint::Rule {
+            theta,
+            theta_protected,
+        } => {
+            for (name, v) in [("theta", theta), ("theta_protected", theta_protected)] {
+                if !v.is_finite() || !unit.contains(&v) {
+                    return Err(Error::InvalidRequest(format!(
+                        "coverage {name} must be in [0, 1], got {v}"
+                    )));
+                }
+            }
+        }
+    }
+    match config.fairness {
+        FairnessConstraint::None => {}
+        FairnessConstraint::StatisticalParity { epsilon, .. } => {
+            if !epsilon.is_finite() || epsilon < 0.0 {
+                return Err(Error::InvalidRequest(format!(
+                    "statistical-parity epsilon must be finite and non-negative, got {epsilon}"
+                )));
+            }
+        }
+        FairnessConstraint::BoundedGroupLoss { tau, .. } => {
+            if !tau.is_finite() {
+                return Err(Error::InvalidRequest(format!(
+                    "bounded-group-loss tau must be finite, got {tau}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // config tweaking reads better imperatively
+mod tests {
+    use super::*;
+    use crate::config::FairnessScope;
+    use faircap_causal::scm::{bernoulli, normal, Scm};
+    use faircap_causal::CausalError;
+    use faircap_table::{TableError, Value};
+
+    /// One immutable (segment), protected subgroup, two binary treatments
+    /// with planted unfair/fair effects.
+    fn fixture() -> (DataFrame, Dag, Pattern) {
+        let scm = Scm::new()
+            .categorical("segment", &[("a", 0.5), ("b", 0.5)])
+            .unwrap()
+            .categorical("grp", &[("p", 0.3), ("np", 0.7)])
+            .unwrap()
+            .node(
+                "big",
+                &[],
+                Box::new(|_, rng| {
+                    Value::Str(if bernoulli(rng, 0.4) { "yes" } else { "no" }.into())
+                }),
+            )
+            .unwrap()
+            .node(
+                "fair",
+                &[],
+                Box::new(|_, rng| {
+                    Value::Str(if bernoulli(rng, 0.4) { "yes" } else { "no" }.into())
+                }),
+            )
+            .unwrap()
+            .node(
+                "outcome",
+                &["segment", "grp", "big", "fair"],
+                Box::new(|row, rng| {
+                    let p = row.str("grp") == "p";
+                    let mut v = 50.0;
+                    if row.str("segment") == "a" {
+                        v += 5.0;
+                    }
+                    if row.str("big") == "yes" {
+                        v += if p { 6.0 } else { 30.0 };
+                    }
+                    if row.str("fair") == "yes" {
+                        v += if p { 11.0 } else { 12.0 };
+                    }
+                    Value::Float(v + normal(rng, 0.0, 4.0))
+                }),
+            )
+            .unwrap();
+        let df = scm.sample(5000, 23).unwrap();
+        let dag = scm.dag();
+        (df, dag, Pattern::of_eq(&[("grp", Value::from("p"))]))
+    }
+
+    fn session() -> PrescriptionSession {
+        let (df, dag, prot) = fixture();
+        FairCap::builder()
+            .data(df)
+            .dag(dag)
+            .outcome("outcome")
+            .immutable(["segment", "grp"])
+            .mutable(["big", "fair"])
+            .protected(prot)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_unconstrained() {
+        let s = session();
+        let report = s.solve(&SolveRequest::default()).unwrap();
+        assert!(!report.rules.is_empty());
+        assert!(report.summary.expected > 0.0);
+        assert!(report.n_grouping_patterns > 0);
+        // Unconstrained: the big unfair treatment should dominate.
+        assert!(
+            report.summary.unfairness > 10.0,
+            "unconstrained unfairness {}",
+            report.summary.unfairness
+        );
+    }
+
+    #[test]
+    fn resolving_under_new_constraint_reuses_estimates() {
+        let s = session();
+        let unconstrained = s.solve(&SolveRequest::default()).unwrap();
+        let after_first = s.cache_stats();
+        assert!(after_first.misses > 0);
+
+        let fair = s
+            .solve(
+                &SolveRequest::default().fairness(FairnessConstraint::StatisticalParity {
+                    scope: FairnessScope::Group,
+                    epsilon: 5.0,
+                }),
+            )
+            .unwrap();
+        let after_second = s.cache_stats();
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "constraint-only re-solve must not estimate anything new"
+        );
+        assert!(after_second.hits > after_first.hits);
+
+        assert!(fair.constraints_met, "group SP must be satisfiable here");
+        assert!(fair.summary.unfairness.abs() <= 5.0);
+        // Fairness costs utility (Table 4's headline phenomenon).
+        assert!(fair.summary.expected <= unconstrained.summary.expected + 1e-9);
+        assert!(fair.summary.unfairness.abs() < unconstrained.summary.unfairness.abs());
+    }
+
+    #[test]
+    fn end_to_end_group_coverage() {
+        let s = session();
+        let report = s
+            .solve(
+                &SolveRequest::default().coverage(CoverageConstraint::Group {
+                    theta: 0.9,
+                    theta_protected: 0.9,
+                }),
+            )
+            .unwrap();
+        assert!(report.constraints_met);
+        assert!(report.summary.coverage >= 0.9);
+        assert!(report.summary.coverage_protected >= 0.9);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let s = session();
+        let mut serial_cfg = FairCapConfig::default();
+        serial_cfg.parallel = false;
+        let mut parallel_cfg = FairCapConfig::default();
+        parallel_cfg.parallel = true;
+        let a = s.solve(&SolveRequest::from(serial_cfg)).unwrap();
+        let b = s.solve(&SolveRequest::from(parallel_cfg)).unwrap();
+        let ra: Vec<String> = a.rules.iter().map(|r| r.to_string()).collect();
+        let rb: Vec<String> = b.rules.iter().map(|r| r.to_string()).collect();
+        assert_eq!(ra, rb);
+        assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn per_request_estimator_without_rebuild() {
+        let s = session();
+        let lin = s
+            .solve(&SolveRequest::default().estimator_kind(EstimatorKind::Linear))
+            .unwrap();
+        let strat = s
+            .solve(&SolveRequest::default().estimator_kind(EstimatorKind::Stratified))
+            .unwrap();
+        assert!(!lin.rules.is_empty() && !strat.rules.is_empty());
+        // A custom estimator object routes through the same engine.
+        let custom: Arc<dyn Estimator> = Arc::new(EstimatorKind::Linear);
+        let via_custom = s.solve(&SolveRequest::default().estimator(custom)).unwrap();
+        assert_eq!(
+            lin.summary, via_custom.summary,
+            "Arc<dyn Estimator> must match the built-in path"
+        );
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let s = session();
+        let report = s.solve(&SolveRequest::default()).unwrap();
+        let t = &report.timings;
+        assert!(t.grouping.as_nanos() > 0);
+        assert!(t.intervention.as_nanos() > 0);
+        assert_eq!(t.total(), t.grouping + t.intervention + t.greedy);
+    }
+
+    #[test]
+    fn builder_rejects_missing_fields() {
+        let (df, dag, prot) = fixture();
+        let err = FairCap::builder()
+            .data(df.clone())
+            .dag(dag.clone())
+            .protected(prot.clone())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::MissingField("outcome"));
+        let err = FairCap::builder().build().unwrap_err();
+        assert_eq!(err, Error::MissingField("data"));
+    }
+
+    #[test]
+    fn builder_rejects_unknown_attributes() {
+        let (df, dag, prot) = fixture();
+        let err = FairCap::builder()
+            .data(df.clone())
+            .dag(dag.clone())
+            .outcome("outcome")
+            .immutable(["segment", "ghost"])
+            .mutable(["big"])
+            .protected(prot.clone())
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::UnknownAttribute { role: "immutable", ref name } if name == "ghost"
+        ));
+        // A column missing from the data is reported as the missing column,
+        // even if it is also absent from the DAG.
+        let err = FairCap::builder()
+            .data(df.clone())
+            .dag(dag)
+            .outcome("no_such_outcome")
+            .protected(prot.clone())
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Table(TableError::UnknownColumn(ref c)) if c == "no_such_outcome"
+        ));
+        // A real column that the DAG does not model is a DAG problem.
+        let mut tiny_dag = Dag::new();
+        tiny_dag.ensure_node("segment");
+        let err = FairCap::builder()
+            .data(df)
+            .dag(tiny_dag)
+            .outcome("outcome")
+            .protected(prot)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::OutcomeNotInDag { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_conflicting_roles() {
+        let (df, dag, prot) = fixture();
+        let err = FairCap::builder()
+            .data(df.clone())
+            .dag(dag.clone())
+            .outcome("outcome")
+            .immutable(["segment", "big"])
+            .mutable(["big"])
+            .protected(prot.clone())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::ConflictingRoles { ref name, .. } if name == "big"));
+        let err = FairCap::builder()
+            .data(df)
+            .dag(dag)
+            .outcome("outcome")
+            .mutable(["outcome"])
+            .protected(prot)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::ConflictingRoles { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_bad_protected_pattern() {
+        let (df, dag, _) = fixture();
+        let err = FairCap::builder()
+            .data(df)
+            .dag(dag)
+            .outcome("outcome")
+            .protected(Pattern::of_eq(&[("ghost", Value::from("x"))]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Table(TableError::UnknownColumn(ref c)) if c == "ghost"
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_categorical_outcome() {
+        let (df, dag, prot) = fixture();
+        let err = FairCap::builder()
+            .data(df)
+            .dag(dag)
+            .outcome("segment")
+            .protected(prot)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Causal(CausalError::InvalidOutcome { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_out_of_range_config() {
+        let s = session();
+        let mut cfg = FairCapConfig::default();
+        cfg.apriori_threshold = f64::NAN;
+        assert!(matches!(
+            s.solve(&SolveRequest::from(cfg)),
+            Err(Error::InvalidRequest(_))
+        ));
+        let mut cfg = FairCapConfig::default();
+        cfg.coverage = CoverageConstraint::Group {
+            theta: 1.5,
+            theta_protected: 0.5,
+        };
+        assert!(matches!(
+            s.solve(&SolveRequest::from(cfg)),
+            Err(Error::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn grouping_cache_reused_across_constraint_changes() {
+        let s = session();
+        s.solve(&SolveRequest::default()).unwrap();
+        assert_eq!(s.groupings.lock().len(), 1);
+        s.solve(
+            &SolveRequest::default().fairness(FairnessConstraint::BoundedGroupLoss {
+                scope: FairnessScope::Group,
+                tau: 0.0,
+            }),
+        )
+        .unwrap();
+        assert_eq!(s.groupings.lock().len(), 1, "same key → no re-mine");
+        let mut cfg = FairCapConfig::default();
+        cfg.coverage = CoverageConstraint::Rule {
+            theta: 0.2,
+            theta_protected: 0.1,
+        };
+        s.solve(&SolveRequest::from(cfg)).unwrap();
+        assert_eq!(s.groupings.lock().len(), 2, "rule coverage → new key");
+    }
+}

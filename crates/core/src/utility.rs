@@ -94,7 +94,11 @@ pub fn ruleset_utility(rules: &[&Rule], n_rows: usize, protected: &Mask) -> Rule
     let n_cov_p = covered_protected.count();
     let n_cov_np = covered_non_protected.count();
     let expected = sum_all / n_rows as f64;
-    let expected_protected = if n_cov_p > 0 { sum_p / n_cov_p as f64 } else { 0.0 };
+    let expected_protected = if n_cov_p > 0 {
+        sum_p / n_cov_p as f64
+    } else {
+        0.0
+    };
     let expected_non_protected = if n_cov_np > 0 {
         sum_np / n_cov_np as f64
     } else {

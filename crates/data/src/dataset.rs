@@ -45,12 +45,7 @@ impl Dataset {
     /// attributes (plus the outcome), with the induced sub-DAG — the
     /// workload knob of the paper's Figure 5.
     pub fn restrict_attrs(&self, n_immutable: usize, n_mutable: usize) -> Dataset {
-        let immutable: Vec<String> = self
-            .immutable
-            .iter()
-            .take(n_immutable)
-            .cloned()
-            .collect();
+        let immutable: Vec<String> = self.immutable.iter().take(n_immutable).cloned().collect();
         let mutable: Vec<String> = self.mutable.iter().take(n_mutable).cloned().collect();
         let mut cols: Vec<String> = immutable.clone();
         cols.extend(mutable.iter().cloned());
@@ -58,10 +53,7 @@ impl Dataset {
         let keep: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
         Dataset {
             name: format!("{}[{}i,{}m]", self.name, n_immutable, n_mutable),
-            df: self
-                .df
-                .select(&keep)
-                .expect("attribute subset must exist"),
+            df: self.df.select(&keep).expect("attribute subset must exist"),
             dag: self.dag.induced_subgraph(&keep),
             outcome: self.outcome.clone(),
             immutable,
@@ -156,7 +148,8 @@ pub fn build_dag_variant(ds: &Dataset, variant: DagVariant) -> Dag {
             let mut g = Dag::new();
             g.ensure_node(&ds.outcome);
             for a in ds.attributes() {
-                g.add_edge_by_name(&a, &ds.outcome).expect("star is acyclic");
+                g.add_edge_by_name(&a, &ds.outcome)
+                    .expect("star is acyclic");
             }
             g
         }

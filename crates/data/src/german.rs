@@ -85,7 +85,12 @@ pub fn german_scm() -> Scm {
         // ---------- immutable layer ----------
         .categorical(
             "age_group",
-            &[("19-25", 0.20), ("26-35", 0.33), ("36-49", 0.30), ("50+", 0.17)],
+            &[
+                ("19-25", 0.20),
+                ("26-35", 0.33),
+                ("36-49", 0.30),
+                ("50+", 0.17),
+            ],
         )
         .unwrap()
         .categorical("sex", &[("male", 0.69), ("female", 0.31)])
@@ -136,9 +141,24 @@ pub fn german_scm() -> Scm {
             &["age_group"],
             Box::new(move |row, rng| {
                 let probs: &[(&str, f64)] = match row.str("age_group") {
-                    "19-25" => &[("unemployed", 0.14), ("<1y", 0.34), ("1-4y", 0.38), ("4y+", 0.14)],
-                    "26-35" => &[("unemployed", 0.07), ("<1y", 0.18), ("1-4y", 0.42), ("4y+", 0.33)],
-                    _ => &[("unemployed", 0.05), ("<1y", 0.08), ("1-4y", 0.30), ("4y+", 0.57)],
+                    "19-25" => &[
+                        ("unemployed", 0.14),
+                        ("<1y", 0.34),
+                        ("1-4y", 0.38),
+                        ("4y+", 0.14),
+                    ],
+                    "26-35" => &[
+                        ("unemployed", 0.07),
+                        ("<1y", 0.18),
+                        ("1-4y", 0.42),
+                        ("4y+", 0.33),
+                    ],
+                    _ => &[
+                        ("unemployed", 0.05),
+                        ("<1y", 0.08),
+                        ("1-4y", 0.30),
+                        ("4y+", 0.57),
+                    ],
                 };
                 Value::Str(pick(rng, probs))
             }),
@@ -149,9 +169,21 @@ pub fn german_scm() -> Scm {
             &["employment"],
             Box::new(move |row, rng| {
                 let probs: &[(&str, f64)] = match row.str("employment") {
-                    "4y+" => &[("unskilled", 0.12), ("skilled", 0.58), ("highly_skilled", 0.30)],
-                    "1-4y" => &[("unskilled", 0.22), ("skilled", 0.60), ("highly_skilled", 0.18)],
-                    _ => &[("unskilled", 0.40), ("skilled", 0.50), ("highly_skilled", 0.10)],
+                    "4y+" => &[
+                        ("unskilled", 0.12),
+                        ("skilled", 0.58),
+                        ("highly_skilled", 0.30),
+                    ],
+                    "1-4y" => &[
+                        ("unskilled", 0.22),
+                        ("skilled", 0.60),
+                        ("highly_skilled", 0.18),
+                    ],
+                    _ => &[
+                        ("unskilled", 0.40),
+                        ("skilled", 0.50),
+                        ("highly_skilled", 0.10),
+                    ],
                 };
                 Value::Str(pick(rng, probs))
             }),
@@ -267,9 +299,19 @@ pub fn german_scm() -> Scm {
             &["housing"],
             Box::new(move |row, rng| {
                 let probs: &[(&str, f64)] = if row.str("housing") == "own" {
-                    &[("real_estate", 0.45), ("savings_ins", 0.25), ("car", 0.22), ("none", 0.08)]
+                    &[
+                        ("real_estate", 0.45),
+                        ("savings_ins", 0.25),
+                        ("car", 0.22),
+                        ("none", 0.08),
+                    ]
                 } else {
-                    &[("real_estate", 0.10), ("savings_ins", 0.24), ("car", 0.36), ("none", 0.30)]
+                    &[
+                        ("real_estate", 0.10),
+                        ("savings_ins", 0.24),
+                        ("car", 0.36),
+                        ("none", 0.30),
+                    ]
                 };
                 Value::Str(pick(rng, probs))
             }),
@@ -279,7 +321,11 @@ pub fn german_scm() -> Scm {
             "telephone",
             &["job_skill"],
             Box::new(|row, rng| {
-                let p = if row.str("job_skill") == "highly_skilled" { 0.72 } else { 0.36 };
+                let p = if row.str("job_skill") == "highly_skilled" {
+                    0.72
+                } else {
+                    0.36
+                };
                 Value::Str(if bernoulli(rng, p) { "yes" } else { "none" }.into())
             }),
         )
@@ -390,7 +436,11 @@ pub fn german_scm() -> Scm {
                     "car" => 0.10,
                     _ => 0.0,
                 };
-                x += if row.str("existing_credits") == "2+" { -0.15 } else { 0.0 };
+                x += if row.str("existing_credits") == "2+" {
+                    -0.15
+                } else {
+                    0.0
+                };
                 x += match row.str("loan_plans") {
                     "bank" => -0.35,
                     "stores" => -0.25,
@@ -460,12 +510,21 @@ mod tests {
     #[test]
     fn checking_effect_disparate_savings_parity() {
         let ds = generate(30_000, 4);
-        let engine = CateEngine::new(&ds.df, &ds.dag, "good_credit", EstimatorKind::Linear);
+        let engine = CateEngine::new(
+            std::sync::Arc::new(ds.df.clone()),
+            std::sync::Arc::new(ds.dag.clone()),
+            "good_credit",
+        )
+        .unwrap();
         let prot = ds.protected_mask();
         let nonprot = !&prot;
         let checking = Pattern::of_eq(&[("checking_balance", Value::from("200+"))]);
-        let c_np = engine.cate(&nonprot, &checking).expect("estimable");
-        let c_p = engine.cate(&prot, &checking).expect("estimable");
+        let c_np = engine
+            .cate(&nonprot, &checking, &EstimatorKind::Linear)
+            .expect("estimable");
+        let c_p = engine
+            .cate(&prot, &checking, &EstimatorKind::Linear)
+            .expect("estimable");
         assert!(
             c_np.cate > c_p.cate + 0.05,
             "checking 200+ should be disparate: {} vs {}",
@@ -473,8 +532,12 @@ mod tests {
             c_p.cate
         );
         let savings = Pattern::of_eq(&[("savings", Value::from("500+"))]);
-        let s_np = engine.cate(&nonprot, &savings).expect("estimable");
-        let s_p = engine.cate(&prot, &savings).expect("estimable");
+        let s_np = engine
+            .cate(&nonprot, &savings, &EstimatorKind::Linear)
+            .expect("estimable");
+        let s_p = engine
+            .cate(&prot, &savings, &EstimatorKind::Linear)
+            .expect("estimable");
         assert!(
             (s_np.cate - s_p.cate).abs() < 0.08,
             "savings should be parity: {} vs {}",
@@ -486,10 +549,17 @@ mod tests {
     #[test]
     fn effects_are_probability_scale() {
         let ds = generate(30_000, 5);
-        let engine = CateEngine::new(&ds.df, &ds.dag, "good_credit", EstimatorKind::Linear);
+        let engine = CateEngine::new(
+            std::sync::Arc::new(ds.df.clone()),
+            std::sync::Arc::new(ds.dag.clone()),
+            "good_credit",
+        )
+        .unwrap();
         let all = Mask::ones(ds.df.n_rows());
         let checking = Pattern::of_eq(&[("checking_balance", Value::from("200+"))]);
-        let est = engine.cate(&all, &checking).expect("estimable");
+        let est = engine
+            .cate(&all, &checking, &EstimatorKind::Linear)
+            .expect("estimable");
         assert!(
             (0.05..0.6).contains(&est.cate),
             "probability-scale CATE, got {}",

@@ -249,7 +249,14 @@ pub fn so_scm() -> Scm {
             "gdp_group",
             &["country"],
             Box::new(|row, _| {
-                Value::Str(if is_low_gdp(row.str("country")) { "low" } else { "high" }.into())
+                Value::Str(
+                    if is_low_gdp(row.str("country")) {
+                        "low"
+                    } else {
+                        "high"
+                    }
+                    .into(),
+                )
             }),
         )
         .unwrap()
@@ -258,11 +265,41 @@ pub fn so_scm() -> Scm {
             &["age"],
             Box::new(move |row, rng| {
                 let probs: &[(&str, f64)] = match row.str("age") {
-                    "18-24" => &[("0-2", 0.45), ("3-5", 0.40), ("6-8", 0.13), ("9-11", 0.02), ("12+", 0.0)],
-                    "25-34" => &[("0-2", 0.10), ("3-5", 0.30), ("6-8", 0.35), ("9-11", 0.18), ("12+", 0.07)],
-                    "35-44" => &[("0-2", 0.04), ("3-5", 0.10), ("6-8", 0.22), ("9-11", 0.28), ("12+", 0.36)],
-                    "45-54" => &[("0-2", 0.02), ("3-5", 0.06), ("6-8", 0.12), ("9-11", 0.22), ("12+", 0.58)],
-                    _ => &[("0-2", 0.02), ("3-5", 0.04), ("6-8", 0.10), ("9-11", 0.18), ("12+", 0.66)],
+                    "18-24" => &[
+                        ("0-2", 0.45),
+                        ("3-5", 0.40),
+                        ("6-8", 0.13),
+                        ("9-11", 0.02),
+                        ("12+", 0.0),
+                    ],
+                    "25-34" => &[
+                        ("0-2", 0.10),
+                        ("3-5", 0.30),
+                        ("6-8", 0.35),
+                        ("9-11", 0.18),
+                        ("12+", 0.07),
+                    ],
+                    "35-44" => &[
+                        ("0-2", 0.04),
+                        ("3-5", 0.10),
+                        ("6-8", 0.22),
+                        ("9-11", 0.28),
+                        ("12+", 0.36),
+                    ],
+                    "45-54" => &[
+                        ("0-2", 0.02),
+                        ("3-5", 0.06),
+                        ("6-8", 0.12),
+                        ("9-11", 0.22),
+                        ("12+", 0.58),
+                    ],
+                    _ => &[
+                        ("0-2", 0.02),
+                        ("3-5", 0.04),
+                        ("6-8", 0.10),
+                        ("9-11", 0.18),
+                        ("12+", 0.66),
+                    ],
                 };
                 Value::Str(pick(rng, probs))
             }),
@@ -319,7 +356,11 @@ pub fn so_scm() -> Scm {
         .unwrap()
         .categorical(
             "sexual_orientation",
-            &[("straight", 0.90), ("gay_lesbian", 0.05), ("bisexual", 0.05)],
+            &[
+                ("straight", 0.90),
+                ("gay_lesbian", 0.05),
+                ("bisexual", 0.05),
+            ],
         )
         .unwrap()
         // ---------- mutable layer ----------
@@ -350,7 +391,12 @@ pub fn so_scm() -> Scm {
                     }
                     _ => {}
                 }
-                let probs = [("none", w_none), ("bachelor", w_b), ("master", w_m), ("phd", w_p)];
+                let probs = [
+                    ("none", w_none),
+                    ("bachelor", w_b),
+                    ("master", w_m),
+                    ("phd", w_p),
+                ];
                 Value::Str(pick(rng, &probs))
             }),
         )
@@ -447,7 +493,11 @@ pub fn so_scm() -> Scm {
             "remote_work",
             &["gdp_group", "age"],
             Box::new(|row, rng| {
-                let mut p: f64 = if row.str("gdp_group") == "high" { 0.45 } else { 0.30 };
+                let mut p: f64 = if row.str("gdp_group") == "high" {
+                    0.45
+                } else {
+                    0.30
+                };
                 if row.str("age") == "18-24" {
                     p -= 0.10;
                 }
@@ -534,7 +584,11 @@ pub fn so_scm() -> Scm {
             Box::new(move |row: &Row<'_>, rng| {
                 let protected = row.str("gdp_group") == "low";
                 let mut s = BASE_SALARY;
-                s += if protected { LOW_GDP_PREMIUM } else { HIGH_GDP_PREMIUM };
+                s += if protected {
+                    LOW_GDP_PREMIUM
+                } else {
+                    HIGH_GDP_PREMIUM
+                };
                 s += age_effect(row.str("age"));
                 s += experience_effect(row.str("years_coding"));
                 if row.str("gender") == "male" {
@@ -546,7 +600,11 @@ pub fn so_scm() -> Scm {
                 s += hours_effect(row.str("computer_hours"), protected);
                 s += org_effect(row.str("org_size"), protected);
                 if row.str("remote_work") == "yes" {
-                    s += if protected { REMOTE_EFFECT.1 } else { REMOTE_EFFECT.0 };
+                    s += if protected {
+                        REMOTE_EFFECT.1
+                    } else {
+                        REMOTE_EFFECT.0
+                    };
                 }
                 s += languages_effect(row.str("languages_count"), protected);
                 if row.str("certifications") == "yes" {
@@ -557,10 +615,18 @@ pub fn so_scm() -> Scm {
                     };
                 }
                 if row.str("open_source") == "yes" {
-                    s += if protected { OPEN_SOURCE_EFFECT.1 } else { OPEN_SOURCE_EFFECT.0 };
+                    s += if protected {
+                        OPEN_SOURCE_EFFECT.1
+                    } else {
+                        OPEN_SOURCE_EFFECT.0
+                    };
                 }
                 if row.str("training") == "yes" {
-                    s += if protected { TRAINING_EFFECT.1 } else { TRAINING_EFFECT.0 };
+                    s += if protected {
+                        TRAINING_EFFECT.1
+                    } else {
+                        TRAINING_EFFECT.0
+                    };
                 }
                 s += normal(rng, 0.0, NOISE_STD);
                 Value::Float(s.max(1_000.0))
@@ -624,10 +690,7 @@ mod tests {
         let ds = small();
         let all = Mask::ones(ds.df.n_rows());
         let mean = ds.df.mean("salary", &all).unwrap().unwrap();
-        assert!(
-            (40_000.0..140_000.0).contains(&mean),
-            "mean salary {mean}"
-        );
+        assert!((40_000.0..140_000.0).contains(&mean), "mean salary {mean}");
         // Low-GDP group earns substantially less on average.
         let prot = ds.protected_mask();
         let mean_p = ds.df.mean("salary", &prot).unwrap().unwrap();
@@ -640,10 +703,17 @@ mod tests {
         // Ground-truth check: the planted certification premium is ≈6k
         // (non-protected). Adjust with the DAG-derived set.
         let ds = generate(20_000, 7);
-        let engine = CateEngine::new(&ds.df, &ds.dag, "salary", EstimatorKind::Linear);
+        let engine = CateEngine::new(
+            std::sync::Arc::new(ds.df.clone()),
+            std::sync::Arc::new(ds.dag.clone()),
+            "salary",
+        )
+        .unwrap();
         let nonprot = !&ds.protected_mask();
         let p = Pattern::of_eq(&[("certifications", Value::from("yes"))]);
-        let est = engine.cate(&nonprot, &p).expect("estimable");
+        let est = engine
+            .cate(&nonprot, &p, &EstimatorKind::Linear)
+            .expect("estimable");
         assert!(
             (est.cate - CERTIFICATIONS_EFFECT.0).abs() < 1_500.0,
             "estimated {} vs planted {}",
@@ -655,12 +725,21 @@ mod tests {
     #[test]
     fn backend_effect_is_disparate() {
         let ds = generate(20_000, 3);
-        let engine = CateEngine::new(&ds.df, &ds.dag, "salary", EstimatorKind::Linear);
+        let engine = CateEngine::new(
+            std::sync::Arc::new(ds.df.clone()),
+            std::sync::Arc::new(ds.dag.clone()),
+            "salary",
+        )
+        .unwrap();
         let prot = ds.protected_mask();
         let nonprot = !&prot;
         let backend = Pattern::of_eq(&[("dev_role", Value::from("backend"))]);
-        let e_np = engine.cate(&nonprot, &backend).expect("estimable");
-        let e_p = engine.cate(&prot, &backend).expect("estimable");
+        let e_np = engine
+            .cate(&nonprot, &backend, &EstimatorKind::Linear)
+            .expect("estimable");
+        let e_p = engine
+            .cate(&prot, &backend, &EstimatorKind::Linear)
+            .expect("estimable");
         // CATE vs the control mix: the planted backend premium is 38k/11k
         // against a mixed-role control, so the measured effect is lower but
         // the disparity must remain large.
@@ -676,12 +755,21 @@ mod tests {
     #[test]
     fn training_effect_is_parity() {
         let ds = generate(20_000, 9);
-        let engine = CateEngine::new(&ds.df, &ds.dag, "salary", EstimatorKind::Linear);
+        let engine = CateEngine::new(
+            std::sync::Arc::new(ds.df.clone()),
+            std::sync::Arc::new(ds.dag.clone()),
+            "salary",
+        )
+        .unwrap();
         let prot = ds.protected_mask();
         let nonprot = !&prot;
         let p = Pattern::of_eq(&[("training", Value::from("yes"))]);
-        let e_np = engine.cate(&nonprot, &p).expect("estimable");
-        let e_p = engine.cate(&prot, &p).expect("estimable");
+        let e_np = engine
+            .cate(&nonprot, &p, &EstimatorKind::Linear)
+            .expect("estimable");
+        let e_p = engine
+            .cate(&prot, &p, &EstimatorKind::Linear)
+            .expect("estimable");
         assert!(
             (e_np.cate - e_p.cate).abs() < 2_500.0,
             "training should be parity: {} vs {}",

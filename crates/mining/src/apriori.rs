@@ -149,7 +149,9 @@ mod tests {
             .chain(["IN"; 4])
             .chain(["DE"; 2])
             .collect();
-        let students: Vec<&str> = (0..12).map(|i| if i % 3 == 0 { "yes" } else { "no" }).collect();
+        let students: Vec<&str> = (0..12)
+            .map(|i| if i % 3 == 0 { "yes" } else { "no" })
+            .collect();
         DataFrame::builder()
             .cat("country", &countries)
             .cat("student", &students)

@@ -56,14 +56,22 @@ mod tests {
     fn items_for_each_supported_type() {
         let items = single_attribute_items(
             &df(),
-            &["color".into(), "size".into(), "weight".into(), "heavy".into()],
+            &[
+                "color".into(),
+                "size".into(),
+                "weight".into(),
+                "heavy".into(),
+            ],
             &Mask::ones(6),
             16,
         )
         .unwrap();
         // color: 3, size: 2, weight skipped (float), heavy: 2.
         assert_eq!(items.len(), 7);
-        let (p, m) = items.iter().find(|(p, _)| p.to_string() == "color = r").unwrap();
+        let (p, m) = items
+            .iter()
+            .find(|(p, _)| p.to_string() == "color = r")
+            .unwrap();
         assert_eq!(p.attr, "color");
         assert_eq!(m.to_indices(), vec![0, 2, 4]);
     }
@@ -71,12 +79,17 @@ mod tests {
     #[test]
     fn cardinality_cap_keeps_most_frequent() {
         let values: Vec<String> = (0..30)
-            .map(|i| if i < 20 { format!("common{}", i % 2) } else { format!("rare{i}") })
+            .map(|i| {
+                if i < 20 {
+                    format!("common{}", i % 2)
+                } else {
+                    format!("rare{i}")
+                }
+            })
             .collect();
         let refs: Vec<&str> = values.iter().map(|s| s.as_str()).collect();
         let d = DataFrame::builder().cat("v", &refs).build().unwrap();
-        let items =
-            single_attribute_items(&d, &["v".into()], &Mask::ones(30), 3).unwrap();
+        let items = single_attribute_items(&d, &["v".into()], &Mask::ones(30), 3).unwrap();
         assert_eq!(items.len(), 3);
         // The two common values (10 rows each) must survive.
         let names: Vec<String> = items.iter().map(|(p, _)| p.value.to_string()).collect();
@@ -96,8 +109,6 @@ mod tests {
 
     #[test]
     fn unknown_attribute_errors() {
-        assert!(
-            single_attribute_items(&df(), &["ghost".into()], &Mask::ones(6), 16).is_err()
-        );
+        assert!(single_attribute_items(&df(), &["ghost".into()], &Mask::ones(6), 16).is_err());
     }
 }

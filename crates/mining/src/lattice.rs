@@ -169,7 +169,9 @@ mod tests {
         );
         let patterns: Vec<String> = nodes.iter().map(|n| n.pattern.to_string()).collect();
         assert!(patterns.contains(&"a = 1 ∧ c = 1".to_owned()));
-        assert!(!patterns.iter().any(|p| p.contains("b = 1 ∧") || p.contains("∧ b = 1")));
+        assert!(!patterns
+            .iter()
+            .any(|p| p.contains("b = 1 ∧") || p.contains("∧ b = 1")));
         // b itself was still evaluated at level 1.
         assert!(patterns.contains(&"b = 1".to_owned()));
         assert_eq!(nodes.len(), 4); // a, b, c, a∧c
@@ -193,7 +195,9 @@ mod tests {
         let patterns: Vec<String> = nodes.iter().map(|n| n.pattern.to_string()).collect();
         assert!(patterns.contains(&"a = 1 ∧ b = 1".to_owned()));
         assert!(!patterns.contains(&"c = 1".to_owned()));
-        assert!(!patterns.iter().any(|p| p.contains("c = 1") && p.contains('∧')));
+        assert!(!patterns
+            .iter()
+            .any(|p| p.contains("c = 1") && p.contains('∧')));
     }
 
     #[test]
@@ -208,7 +212,12 @@ mod tests {
                     .unwrap()
                     .1
                     .clone();
-                let m1 = &items().iter().find(|(p, _)| p == &preds[1]).unwrap().1.clone();
+                let m1 = &items()
+                    .iter()
+                    .find(|(p, _)| p == &preds[1])
+                    .unwrap()
+                    .1
+                    .clone();
                 assert_eq!(n.mask, &m0 & m1, "pattern {}", n.pattern);
             }
         }

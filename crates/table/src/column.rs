@@ -131,6 +131,18 @@ impl Column {
         self.len() == 0
     }
 
+    /// Categorical view of the column, or `None` for other types.
+    ///
+    /// Callers that know the column's name should prefer
+    /// [`DataFrame::cat_column`](crate::dataframe::DataFrame::cat_column),
+    /// whose error names the offending column.
+    pub fn as_cat(&self) -> Option<&CatColumn> {
+        match self {
+            Column::Cat(c) => Some(c),
+            _ => None,
+        }
+    }
+
     /// Value at row `i`.
     ///
     /// # Panics
@@ -265,13 +277,19 @@ mod tests {
         let m = Mask::from_indices(4, &[1, 3]);
         assert_eq!(c.take(&m), Column::Float(vec![2.0, 4.0]));
         let c = Column::Cat(CatColumn::from_values(&["a", "b", "c", "d"]));
-        if let Column::Cat(cc) = c.take(&m) {
-            assert_eq!(cc.len(), 2);
-            assert_eq!(cc.value_of(cc.codes()[0]), "b");
-            assert_eq!(cc.value_of(cc.codes()[1]), "d");
-        } else {
-            panic!("expected categorical");
-        }
+        let cc = c.take(&m);
+        let cc = cc.as_cat().expect("take preserves the categorical type");
+        assert_eq!(cc.len(), 2);
+        assert_eq!(cc.value_of(cc.codes()[0]), "b");
+        assert_eq!(cc.value_of(cc.codes()[1]), "d");
+    }
+
+    #[test]
+    fn as_cat_is_fallible_not_panicking() {
+        assert!(Column::Int(vec![1]).as_cat().is_none());
+        assert!(Column::Cat(CatColumn::from_values(&["x"]))
+            .as_cat()
+            .is_some());
     }
 
     #[test]

@@ -68,6 +68,18 @@ impl DataFrame {
         &self.columns[idx]
     }
 
+    /// Fetch a categorical column by name; a non-categorical column is a
+    /// typed [`TableError::TypeMismatch`] naming the offending column, not
+    /// a panic.
+    pub fn cat_column(&self, name: &str) -> Result<&CatColumn> {
+        let col = self.column(name)?;
+        col.as_cat().ok_or_else(|| TableError::TypeMismatch {
+            column: name.to_owned(),
+            expected: "categorical",
+            actual: col.data_type().name(),
+        })
+    }
+
     /// Data type of a column.
     pub fn dtype(&self, name: &str) -> Result<DataType> {
         Ok(self.column(name)?.data_type())
@@ -234,7 +246,12 @@ impl DataFrame {
 
 impl fmt::Display for DataFrame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DataFrame[{} rows x {} cols]", self.n_rows, self.n_cols())
+        write!(
+            f,
+            "DataFrame[{} rows x {} cols]",
+            self.n_rows,
+            self.n_cols()
+        )
     }
 }
 
@@ -453,5 +470,21 @@ mod tests {
             )
             .unwrap();
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn cat_column_type_errors_name_the_column() {
+        let df = sample();
+        assert!(df.cat_column("country").is_ok());
+        let err = df.cat_column("age").unwrap_err();
+        assert!(matches!(
+            err,
+            TableError::TypeMismatch { ref column, expected: "categorical", .. } if column == "age"
+        ));
+        assert!(err.to_string().contains("age"));
+        assert!(matches!(
+            df.cat_column("ghost").unwrap_err(),
+            TableError::UnknownColumn(_)
+        ));
     }
 }

@@ -197,8 +197,11 @@ mod tests {
 
     #[test]
     fn with_extends() {
-        let p = Pattern::of_eq(&[("country", Value::from("US"))])
-            .with(Predicate::new("age", CmpOp::Ge, Value::Int(30)));
+        let p = Pattern::of_eq(&[("country", Value::from("US"))]).with(Predicate::new(
+            "age",
+            CmpOp::Ge,
+            Value::Int(30),
+        ));
         assert_eq!(p.len(), 2);
         assert_eq!(p.coverage(&df()).unwrap().to_indices(), vec![2, 5]);
     }
@@ -214,10 +217,7 @@ mod tests {
 
     #[test]
     fn parents_drop_one_predicate() {
-        let p = Pattern::of_eq(&[
-            ("country", Value::from("US")),
-            ("role", Value::from("dev")),
-        ]);
+        let p = Pattern::of_eq(&[("country", Value::from("US")), ("role", Value::from("dev"))]);
         let parents = p.parents();
         assert_eq!(parents.len(), 2);
         for parent in &parents {
@@ -241,8 +241,11 @@ mod tests {
     #[test]
     fn matches_row_consistent_with_coverage() {
         let d = df();
-        let p = Pattern::of_eq(&[("country", Value::from("IN"))])
-            .with(Predicate::new("age", CmpOp::Lt, Value::Int(30)));
+        let p = Pattern::of_eq(&[("country", Value::from("IN"))]).with(Predicate::new(
+            "age",
+            CmpOp::Lt,
+            Value::Int(30),
+        ));
         let m = p.coverage(&d).unwrap();
         for r in 0..d.n_rows() {
             assert_eq!(m.get(r), p.matches_row(&d, r).unwrap());
@@ -251,10 +254,7 @@ mod tests {
 
     #[test]
     fn display_joins_with_wedge() {
-        let p = Pattern::of_eq(&[
-            ("country", Value::from("US")),
-            ("role", Value::from("dev")),
-        ]);
+        let p = Pattern::of_eq(&[("country", Value::from("US")), ("role", Value::from("dev"))]);
         assert_eq!(p.to_string(), "country = US ∧ role = dev");
     }
 

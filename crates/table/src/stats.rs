@@ -240,8 +240,7 @@ pub fn welch_t_test(
     }
     let t = (mean1 - mean2) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2 * se2
-        / ((var1 / n1f).powi(2) / (n1f - 1.0) + (var2 / n2f).powi(2) / (n2f - 1.0));
+    let df = se2 * se2 / ((var1 / n1f).powi(2) / (n1f - 1.0) + (var2 / n2f).powi(2) / (n2f - 1.0));
     Some(TestResult {
         statistic: t,
         df,

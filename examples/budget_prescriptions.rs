@@ -10,20 +10,23 @@
 //! attributes and compares three policies: ignore costs (the published
 //! algorithm), a hard per-rule budget, and cost-effectiveness ranking.
 
-use faircap::core::{run, CostModel, CostPolicy, FairCapConfig, ProblemInput, SolutionReport};
+use faircap::core::{CostModel, CostPolicy, FairCapConfig, SolutionReport};
 use faircap::data::so;
 use faircap::table::Value;
+use faircap::{FairCap, SolveRequest};
 
-fn main() {
+fn main() -> Result<(), faircap::Error> {
     let ds = so::generate(12_000, 42);
-    let input = ProblemInput {
-        df: &ds.df,
-        dag: &ds.dag,
-        outcome: &ds.outcome,
-        immutable: &ds.immutable,
-        mutable: &ds.mutable,
-        protected: &ds.protected,
-    };
+    // One session across the three cost policies: only the config changes,
+    // so the CATE estimates are shared.
+    let session = FairCap::builder()
+        .data(ds.df)
+        .dag(ds.dag)
+        .outcome(ds.outcome)
+        .immutable(ds.immutable)
+        .mutable(ds.mutable)
+        .protected(ds.protected)
+        .build()?;
 
     // Cost units ≈ "effort years". Degrees are expensive; habits are cheap.
     let costs = || {
@@ -59,10 +62,11 @@ fn main() {
             cost_policy,
             ..FairCapConfig::default()
         };
-        let report = run(&input, &cfg);
+        let report = session.solve(&SolveRequest::from(cfg))?;
         println!("=== {title} ===");
         summarize(&report, &model);
     }
+    Ok(())
 }
 
 fn summarize(report: &SolutionReport, model: &CostModel) {

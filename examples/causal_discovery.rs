@@ -10,23 +10,32 @@ use faircap::causal::discovery::{pc_dag, PcConfig};
 use faircap::causal::{d_separated_names, find_adjustment_set_names, CateEngine, EstimatorKind};
 use faircap::data::{build_dag_variant, so, DagVariant};
 use faircap::table::{Mask, Pattern, Value};
+use std::sync::Arc;
 
 fn main() {
     let ds = so::generate(10_000, 42);
 
     // --- 1. The ground-truth DAG and d-separation queries. ---
-    println!("Ground-truth SO DAG: {} nodes, {} edges", ds.dag.n_nodes(), ds.dag.n_edges());
+    println!(
+        "Ground-truth SO DAG: {} nodes, {} edges",
+        ds.dag.n_nodes(),
+        ds.dag.n_edges()
+    );
     for (x, y, z) in [
         ("education", "salary", vec![]),
-        ("age", "salary", vec!["years_coding", "education", "dependents", "student", "computer_hours"]),
+        (
+            "age",
+            "salary",
+            vec![
+                "years_coding",
+                "education",
+                "dependents",
+                "student",
+                "computer_hours",
+            ],
+        ),
     ] {
-        let sep = d_separated_names(
-            &ds.dag,
-            &[x],
-            &[y],
-            &z.to_vec(),
-        )
-        .unwrap();
+        let sep = d_separated_names(&ds.dag, &[x], &[y], &z.to_vec()).unwrap();
         println!("  {x} ⊥ {y} | {z:?} ?  {sep}");
     }
 
@@ -37,10 +46,14 @@ fn main() {
     }
 
     // --- 3. Estimators vs planted ground truth. ---
-    let engine = CateEngine::new(&ds.df, &ds.dag, "salary", EstimatorKind::Linear);
+    let df = Arc::new(ds.df.clone());
+    let engine = CateEngine::new(Arc::clone(&df), Arc::new(ds.dag.clone()), "salary")
+        .expect("salary is a numeric column");
     let nonprot = !&ds.protected_mask();
     let cert = Pattern::of_eq(&[("certifications", Value::from("yes"))]);
-    let est = engine.cate(&nonprot, &cert).expect("estimable");
+    let est = engine
+        .cate(&nonprot, &cert, &EstimatorKind::Linear)
+        .expect("estimable");
     println!(
         "\ncertifications=yes CATE (non-protected): estimated {:.0}, planted {:.0}",
         est.cate,
@@ -48,16 +61,10 @@ fn main() {
     );
 
     // --- 4. PC discovery on a column subset (full 21 columns is slow). ---
-    let sub: Vec<String> = [
-        "age",
-        "years_coding",
-        "education",
-        "dev_role",
-        "salary",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
+    let sub: Vec<String> = ["age", "years_coding", "education", "dev_role", "salary"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let discovered = pc_dag(&ds.df, &sub, PcConfig::default()).unwrap();
     println!("\nPC-discovered DAG over {sub:?}:");
     print!("{}", discovered.to_dot());
@@ -81,12 +88,13 @@ fn main() {
 
     // --- 6. Estimate robustness: same query under two DAG variants. ---
     let one_layer = build_dag_variant(&ds, DagVariant::OneLayerIndep);
-    let naive_engine = CateEngine::new(&ds.df, &one_layer, "salary", EstimatorKind::Linear);
+    let naive_engine = CateEngine::new(Arc::clone(&df), Arc::new(one_layer), "salary")
+        .expect("salary is a numeric column");
     let naive = naive_engine
-        .cate(&Mask::ones(ds.df.n_rows()), &cert)
+        .cate(&Mask::ones(ds.df.n_rows()), &cert, &EstimatorKind::Linear)
         .expect("estimable");
     let adjusted = engine
-        .cate(&Mask::ones(ds.df.n_rows()), &cert)
+        .cate(&Mask::ones(ds.df.n_rows()), &cert, &EstimatorKind::Linear)
         .expect("estimable");
     println!(
         "\ncertifications CATE, whole population: 1-layer DAG (no adjustment) {:.0} vs original DAG {:.0}",

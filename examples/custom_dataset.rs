@@ -10,10 +10,9 @@
 //! declare a causal DAG and the mutable/immutable split by hand, and solve.
 
 use faircap::causal::Dag;
-use faircap::core::{
-    run, FairCapConfig, FairnessConstraint, FairnessScope, ProblemInput,
-};
+use faircap::core::{FairCapConfig, FairnessConstraint, FairnessScope};
 use faircap::table::{csv, Pattern, Value};
+use faircap::{FairCap, SolveRequest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 0. Materialize "your" CSV (stand-in for a real export). ---
@@ -57,24 +56,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- 3. Declare the problem: outcome, I/M split, protected group. ---
-    let immutable: Vec<String> = ["age", "gdp_group", "years_coding"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-    let mutable: Vec<String> = ["education", "dev_role", "certifications"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
     let protected = Pattern::of_eq(&[("gdp_group", Value::from("low"))]);
 
-    let input = ProblemInput {
-        df: &df,
-        dag: &dag,
-        outcome: "salary",
-        immutable: &immutable,
-        mutable: &mutable,
-        protected: &protected,
-    };
+    // The builder validates everything up front: misspell a column or point
+    // the outcome at a categorical and you get a typed faircap::Error here.
+    let session = FairCap::builder()
+        .data(df)
+        .dag(dag)
+        .outcome("salary")
+        .immutable(["age", "gdp_group", "years_coding"])
+        .mutable(["education", "dev_role", "certifications"])
+        .protected(protected)
+        .build()?;
 
     // --- 4. Solve with group SP fairness. ---
     let cfg = FairCapConfig {
@@ -84,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         ..FairCapConfig::default()
     };
-    let report = run(&input, &cfg);
+    let report = session.solve(&SolveRequest::from(cfg))?;
     println!("\n{report}");
     println!("{}", report.rule_cards());
     Ok(())

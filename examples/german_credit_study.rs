@@ -5,12 +5,11 @@
 //! cargo run --release --example german_credit_study
 //! ```
 
-use faircap::core::{
-    run, CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope, ProblemInput,
-};
+use faircap::core::{CoverageConstraint, FairnessConstraint, FairnessScope};
 use faircap::data::german;
+use faircap::{FairCap, SolveRequest};
 
-fn main() {
+fn main() -> Result<(), faircap::Error> {
     let ds = german::generate(german::GERMAN_DEFAULT_ROWS, 42);
     println!(
         "German Credit stand-in: {} rows, protected = {} ({:.1}%)\n",
@@ -18,34 +17,32 @@ fn main() {
         ds.protected,
         ds.protected_fraction() * 100.0
     );
-    let input = ProblemInput {
-        df: &ds.df,
-        dag: &ds.dag,
-        outcome: &ds.outcome,
-        immutable: &ds.immutable,
-        mutable: &ds.mutable,
-        protected: &ds.protected,
-    };
+    let session = FairCap::builder()
+        .data(ds.df)
+        .dag(ds.dag)
+        .outcome(ds.outcome)
+        .immutable(ds.immutable)
+        .mutable(ds.mutable)
+        .protected(ds.protected)
+        .build()?;
 
     // No constraints.
-    let unconstrained = run(&input, &FairCapConfig::default());
+    let unconstrained = session.solve(&SolveRequest::default())?;
     println!("=== No constraints ===\n{unconstrained}");
     println!("{}", unconstrained.rule_cards());
 
     // Group BGL fairness (τ = 0.1) + group coverage (θ = 0.3), the paper's
-    // German defaults.
-    let cfg = FairCapConfig {
-        fairness: FairnessConstraint::BoundedGroupLoss {
+    // German defaults — same session, cached estimates.
+    let request = SolveRequest::default()
+        .fairness(FairnessConstraint::BoundedGroupLoss {
             scope: FairnessScope::Group,
             tau: 0.1,
-        },
-        coverage: CoverageConstraint::Group {
+        })
+        .coverage(CoverageConstraint::Group {
             theta: 0.3,
             theta_protected: 0.3,
-        },
-        ..FairCapConfig::default()
-    };
-    let fair = run(&input, &cfg);
+        });
+    let fair = session.solve(&request)?;
     println!("=== Group BGL (τ=0.1) + group coverage (θ=0.3) ===\n{fair}");
     println!("{}", fair.rule_cards());
 
@@ -56,4 +53,5 @@ fn main() {
         "Measured: protected expected utility {:.3} (τ = 0.1), unfairness {:.3}.",
         fair.summary.expected_protected, fair.summary.unfairness
     );
+    Ok(())
 }

@@ -1,21 +1,23 @@
-//! Quickstart: run FairCap on the bundled Stack Overflow stand-in.
+//! Quickstart: the FairCap session engine on the bundled Stack Overflow
+//! stand-in.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Generates the synthetic survey (38 K rows), then solves the Prescription
-//! Ruleset Selection problem twice — unconstrained and with group
-//! statistical-parity fairness (ε = $10 k) + group coverage (θ = θ_p = 0.5),
-//! the headline configuration of the paper — and prints both rulesets.
+//! Generates the synthetic survey (38 K rows), builds one
+//! [`PrescriptionSession`] via `FairCap::builder()`, then solves the same
+//! instance twice — unconstrained and with group statistical-parity
+//! fairness (ε = $10 k) + group coverage (θ = θ_p = 0.5), the headline
+//! configuration of the paper — and prints both rulesets. The second solve
+//! reuses every CATE estimate the first one computed; the cache counters at
+//! the end show it.
 
-use faircap::core::{
-    run, CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope, ProblemInput,
-    SolutionReport,
-};
+use faircap::core::{CoverageConstraint, FairnessConstraint, FairnessScope, SolutionReport};
 use faircap::data::so;
+use faircap::{FairCap, SolveRequest};
 
-fn main() {
+fn main() -> Result<(), faircap::Error> {
     println!("Generating the synthetic Stack Overflow survey (38k rows)...");
     let ds = so::generate(so::SO_DEFAULT_ROWS, 42);
     println!(
@@ -28,32 +30,35 @@ fn main() {
         ds.protected_fraction() * 100.0
     );
 
-    let input = ProblemInput {
-        df: &ds.df,
-        dag: &ds.dag,
-        outcome: &ds.outcome,
-        immutable: &ds.immutable,
-        mutable: &ds.mutable,
-        protected: &ds.protected,
-    };
+    // Build (and validate) the session once. Bad input — a missing column,
+    // a categorical outcome, an outcome absent from the DAG — comes back as
+    // a typed `faircap::Error` here, never as a panic mid-solve.
+    let session = FairCap::builder()
+        .data(ds.df)
+        .dag(ds.dag)
+        .outcome(ds.outcome)
+        .immutable(ds.immutable)
+        .mutable(ds.mutable)
+        .protected(ds.protected)
+        .build()?;
 
-    // --- Variant 1: no constraints (CauSumX-like behaviour). ---
-    let unconstrained = run(&input, &FairCapConfig::default());
+    // --- Solve 1: no constraints (CauSumX-like behaviour). ---
+    let unconstrained = session.solve(&SolveRequest::default())?;
     print_report("No constraints", &unconstrained);
 
-    // --- Variant 2: group SP fairness + group coverage (paper defaults). ---
-    let cfg = FairCapConfig {
-        fairness: FairnessConstraint::StatisticalParity {
+    // --- Solve 2: group SP fairness + group coverage (paper defaults). ---
+    // Same session: only the constraints change, so every CATE estimate is
+    // served from the engine cache.
+    let request = SolveRequest::default()
+        .fairness(FairnessConstraint::StatisticalParity {
             scope: FairnessScope::Group,
             epsilon: 10_000.0,
-        },
-        coverage: CoverageConstraint::Group {
+        })
+        .coverage(CoverageConstraint::Group {
             theta: 0.5,
             theta_protected: 0.5,
-        },
-        ..FairCapConfig::default()
-    };
-    let fair = run(&input, &cfg);
+        });
+    let fair = session.solve(&request)?;
     print_report("Group SP (ε=$10k) + group coverage (θ=0.5)", &fair);
 
     println!("==> Takeaway (the paper's Table 4 phenomenon):");
@@ -63,6 +68,12 @@ fn main() {
         fair.summary.unfairness,
         unconstrained.summary.expected - fair.summary.expected
     );
+    let stats = session.cache_stats();
+    println!(
+        "==> Session cache: {} CATE estimations total, {} queries answered from cache.",
+        stats.misses, stats.hits
+    );
+    Ok(())
 }
 
 fn print_report(title: &str, report: &SolutionReport) {

@@ -10,21 +10,22 @@
 //! fairness constraint — showing rules that favor the protected group, the
 //! non-protected group, and balanced ones.
 
-use faircap::core::{
-    run, FairCapConfig, FairnessConstraint, FairnessScope, ProblemInput, SolutionReport,
-};
+use faircap::core::{FairnessConstraint, FairnessScope, SolutionReport};
 use faircap::data::so;
+use faircap::{FairCap, SolveRequest};
 
-fn main() {
+fn main() -> Result<(), faircap::Error> {
     let ds = so::generate(so::SO_DEFAULT_ROWS, 42);
-    let input = ProblemInput {
-        df: &ds.df,
-        dag: &ds.dag,
-        outcome: &ds.outcome,
-        immutable: &ds.immutable,
-        mutable: &ds.mutable,
-        protected: &ds.protected,
-    };
+    // One session, three fairness regimes — the recourse-under-changing-
+    // constraints workload the session API is built for.
+    let session = FairCap::builder()
+        .data(ds.df)
+        .dag(ds.dag)
+        .outcome(ds.outcome)
+        .immutable(ds.immutable)
+        .mutable(ds.mutable)
+        .protected(ds.protected)
+        .build()?;
 
     let configs: Vec<(&str, FairnessConstraint)> = vec![
         (
@@ -45,11 +46,7 @@ fn main() {
     ];
 
     for (title, fairness) in configs {
-        let cfg = FairCapConfig {
-            fairness,
-            ..FairCapConfig::default()
-        };
-        let report = run(&input, &cfg);
+        let report = session.solve(&SolveRequest::default().fairness(fairness))?;
         println!("=== Selected rules for SO ({title}) ===");
         println!("{report}");
         print_selected(&report);
@@ -60,6 +57,12 @@ fn main() {
     println!("each side; under individual fairness every rule is near-parity but");
     println!("overall utility is lower; without fairness the rules favor the");
     println!("non-protected group heavily.");
+    let stats = session.cache_stats();
+    println!(
+        "(session cache over the three regimes: {} hits / {} estimations)",
+        stats.hits, stats.misses
+    );
+    Ok(())
 }
 
 /// Print up to three illustrative rules: most protected-favoring, most
@@ -92,9 +95,7 @@ fn print_selected(report: &SolutionReport) {
     ] {
         println!(
             "  [{tag}] {}\n      exp utility protected: {:.0}, non-protected: {:.0}",
-            rule,
-            rule.utility.protected,
-            rule.utility.non_protected
+            rule, rule.utility.protected, rule.utility.non_protected
         );
     }
 }

@@ -7,22 +7,22 @@
 //! ```
 
 use faircap::core::{
-    all_structural_variants, choose_variant, run, FairCapConfig, FairnessKind, ProblemInput,
-    SolutionReport, VariantAnswers,
+    all_structural_variants, choose_variant, FairnessKind, SolutionReport, VariantAnswers,
 };
 use faircap::data::so;
+use faircap::{FairCap, SolveRequest};
 
-fn main() {
+fn main() -> Result<(), faircap::Error> {
     // Use a smaller sample so the tour finishes quickly.
     let ds = so::generate(8_000, 42);
-    let input = ProblemInput {
-        df: &ds.df,
-        dag: &ds.dag,
-        outcome: &ds.outcome,
-        immutable: &ds.immutable,
-        mutable: &ds.mutable,
-        protected: &ds.protected,
-    };
+    let session = FairCap::builder()
+        .data(ds.df)
+        .dag(ds.dag)
+        .outcome(ds.outcome)
+        .immutable(ds.immutable)
+        .mutable(ds.mutable)
+        .protected(ds.protected)
+        .build()?;
 
     // First, the interactive view: one walk through the decision tree.
     println!("Figure 2 walk-through: \"I need group-level fairness and a");
@@ -47,13 +47,18 @@ fn main() {
     for (label, fairness, coverage) in
         all_structural_variants(FairnessKind::StatisticalParity, 10_000.0, 0.5, 0.5)
     {
-        let cfg = FairCapConfig {
-            fairness,
-            coverage,
-            ..FairCapConfig::default()
-        };
-        let mut report = run(&input, &cfg);
+        let mut report = session.solve(
+            &SolveRequest::default()
+                .fairness(fairness)
+                .coverage(coverage),
+        )?;
         report.label = label;
         println!("{}", report.table_row());
     }
+    let stats = session.cache_stats();
+    println!(
+        "\n(nine variants, one session: {} cache hits / {} estimations)",
+        stats.hits, stats.misses
+    );
+    Ok(())
 }

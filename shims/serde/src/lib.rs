@@ -1,0 +1,17 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` derive macros (as no-ops) and
+//! blanket marker traits so `T: Serialize` bounds still hold. Swapping the
+//! workspace dependency back to crates.io `serde` requires no source change.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::ser::Serialize`; satisfied by every type.
+pub trait SerializeMarker {}
+impl<T: ?Sized> SerializeMarker for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`; satisfied by every type.
+pub trait DeserializeMarker {}
+impl<T: ?Sized> DeserializeMarker for T {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The build environment has no crates.io access, so the workspace's serde
+//! derives expand to nothing: types stay annotated (and `#[serde(...)]`
+//! attributes stay accepted) so the real `serde` can be swapped back in by
+//! pointing the workspace dependency at crates.io — no source change needed.
+
+use proc_macro::TokenStream;
+
+/// Accept and discard a `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept and discard a `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -5,8 +5,8 @@
 
 use faircap_causal::{Dag, EstimatorKind};
 use faircap_core::{
-    run, CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope, ProblemInput,
-    SolutionReport,
+    CoverageConstraint, FairCap, FairCapConfig, FairnessConstraint, FairnessScope, SolutionReport,
+    SolveRequest,
 };
 use faircap_table::{csv, DataFrame, Pattern, Predicate, Value};
 
@@ -93,9 +93,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--coverage" => opts.coverage = value()?,
             "--estimator" => opts.estimator = value()?,
             "--max-rules" => {
-                opts.max_rules = value()?
-                    .parse()
-                    .map_err(|e| format!("--max-rules: {e}"))?
+                opts.max_rules = value()?.parse().map_err(|e| format!("--max-rules: {e}"))?
             }
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
@@ -184,10 +182,7 @@ pub fn parse_estimator(spec: &str) -> Result<EstimatorKind, String> {
 }
 
 /// Build the protected pattern, inferring value types from the frame.
-pub fn protected_pattern(
-    df: &DataFrame,
-    pairs: &[(String, String)],
-) -> Result<Pattern, String> {
+pub fn protected_pattern(df: &DataFrame, pairs: &[(String, String)]) -> Result<Pattern, String> {
     let mut preds = Vec::with_capacity(pairs.len());
     for (attr, raw) in pairs {
         let col = df
@@ -211,19 +206,15 @@ pub fn protected_pattern(
 }
 
 /// Load inputs and run FairCap according to the options.
+///
+/// Builds a [`FairCap`] session — all input validation (missing columns,
+/// ill-typed outcome, outcome absent from the DAG, role conflicts) surfaces
+/// as the session builder's typed errors, rendered as strings for the CLI.
 pub fn execute(opts: &CliOptions) -> Result<SolutionReport, String> {
     let df = csv::read_csv(&opts.data).map_err(|e| format!("reading {}: {e}", opts.data))?;
-    let dag_text = std::fs::read_to_string(&opts.dag)
-        .map_err(|e| format!("reading {}: {e}", opts.dag))?;
+    let dag_text =
+        std::fs::read_to_string(&opts.dag).map_err(|e| format!("reading {}: {e}", opts.dag))?;
     let dag = Dag::parse_edge_list(&dag_text).map_err(|e| format!("parsing DAG: {e}"))?;
-    if !df.has_column(&opts.outcome) {
-        return Err(format!("outcome column `{}` not in the data", opts.outcome));
-    }
-    for m in &opts.mutable {
-        if !df.has_column(m) {
-            return Err(format!("mutable attribute `{m}` not in the data"));
-        }
-    }
     let immutable: Vec<String> = df
         .names()
         .iter()
@@ -238,15 +229,18 @@ pub fn execute(opts: &CliOptions) -> Result<SolutionReport, String> {
         max_rules: opts.max_rules,
         ..FairCapConfig::default()
     };
-    let input = ProblemInput {
-        df: &df,
-        dag: &dag,
-        outcome: &opts.outcome,
-        immutable: &immutable,
-        mutable: &opts.mutable,
-        protected: &protected,
-    };
-    Ok(run(&input, &cfg))
+    let session = FairCap::builder()
+        .data(df)
+        .dag(dag)
+        .outcome(&opts.outcome)
+        .immutable(immutable)
+        .mutable(opts.mutable.iter().cloned())
+        .protected(protected)
+        .build()
+        .map_err(|e| e.to_string())?;
+    session
+        .solve(&SolveRequest::from(cfg))
+        .map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -289,10 +283,7 @@ mod tests {
     #[test]
     fn missing_required_flags_rejected() {
         assert!(parse_args(&args("--data d.csv")).is_err());
-        assert!(parse_args(&args(
-            "--data d.csv --dag g.txt --outcome o --mutable m"
-        ))
-        .is_err()); // no --protected
+        assert!(parse_args(&args("--data d.csv --dag g.txt --outcome o --mutable m")).is_err()); // no --protected
         assert!(parse_args(&args("--bogus x")).is_err());
         assert!(parse_args(&args("--data")).is_err()); // dangling value
     }

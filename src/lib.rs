@@ -2,15 +2,57 @@
 //!
 //! Facade crate for the FairCap workspace — a from-scratch Rust
 //! reproduction of *“Fair and Actionable Causal Prescription Ruleset”*
-//! (SIGMOD 2025). Re-exports every layer:
+//! (SIGMOD 2025).
+//!
+//! ## The session engine API
+//!
+//! The entry point is [`FairCap::builder`]: validate a Prescription Ruleset
+//! Selection instance once, get a long-lived [`PrescriptionSession`], and
+//! re-solve it under changing fairness/coverage constraints, estimators,
+//! and rule budgets. Every cross-solve cache (backdoor adjustment sets,
+//! treated-row masks, CATE estimates, grouping patterns) lives on the
+//! session, so constraint sweeps — the paper's Tables 4–6 workload — pay
+//! for estimation once:
+//!
+//! ```no_run
+//! use faircap::{FairCap, SolveRequest};
+//! use faircap::core::{FairnessConstraint, FairnessScope};
+//! use faircap::data::so;
+//!
+//! let ds = so::generate(10_000, 42);
+//! let session = FairCap::builder()
+//!     .data(ds.df)
+//!     .dag(ds.dag)
+//!     .outcome(ds.outcome)
+//!     .immutable(ds.immutable)
+//!     .mutable(ds.mutable)
+//!     .protected(ds.protected)
+//!     .build()?; // typed faircap::Error on any invalid input — never a panic
+//!
+//! let unconstrained = session.solve(&SolveRequest::default())?;
+//! let fair = session.solve(&SolveRequest::default().fairness(
+//!     FairnessConstraint::StatisticalParity { scope: FairnessScope::Group, epsilon: 10_000.0 },
+//! ))?; // no new CATE estimation: the first solve warmed the caches
+//! println!("{unconstrained}\n{fair}");
+//! println!("cache: {:?}", session.cache_stats());
+//! # Ok::<(), faircap::Error>(())
+//! ```
+//!
+//! Estimators are pluggable per request (`SolveRequest::estimator` takes
+//! any `Arc<dyn Estimator>`); the pre-0.2 one-shot `core::run()` remains as
+//! a deprecated shim for one release.
+//!
+//! ## Layers
 //!
 //! * [`table`] — columnar frames, bitset masks, conjunctive patterns, CSV,
 //!   statistics.
 //! * [`causal`] — causal DAGs, d-separation, backdoor adjustment, CATE
 //!   estimation, PC discovery, SCM sampling.
 //! * [`mining`] — Apriori and the positive-parent lattice.
-//! * [`core`] — the FairCap algorithm, constraints, and reports.
-//! * [`baselines`] — CauSumX / IDS / FRL and the IF-clause adaptations.
+//! * [`core`] — the FairCap algorithm, the session engine, constraints, and
+//!   reports.
+//! * [`baselines`] — CauSumX / IDS / FRL and the IF-clause adaptations
+//!   (session-based entry points).
 //! * [`data`] — synthetic Stack Overflow and German Credit stand-ins.
 //!
 //! See the [README](https://github.com/faircap/faircap-rs) and the
@@ -26,3 +68,6 @@ pub use faircap_core as core;
 pub use faircap_data as data;
 pub use faircap_mining as mining;
 pub use faircap_table as table;
+
+pub use faircap_causal::Estimator;
+pub use faircap_core::{Error, FairCap, PrescriptionSession, SessionBuilder, SolveRequest};

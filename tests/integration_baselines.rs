@@ -5,24 +5,26 @@ use faircap::baselines::{
     adapt_if_clauses, causumx, learn_decision_set, learn_falling_rule_list, FrlConfig, IdsConfig,
     IfClauseRole,
 };
-use faircap::core::{run, FairCapConfig, FairnessConstraint, FairnessScope, ProblemInput};
+use faircap::core::{FairCapConfig, FairnessConstraint, FairnessScope};
 use faircap::data::{so, Dataset};
+use faircap::{FairCap, PrescriptionSession, SolveRequest};
 
-fn input(ds: &Dataset) -> ProblemInput<'_> {
-    ProblemInput {
-        df: &ds.df,
-        dag: &ds.dag,
-        outcome: &ds.outcome,
-        immutable: &ds.immutable,
-        mutable: &ds.mutable,
-        protected: &ds.protected,
-    }
+fn session(ds: &Dataset) -> PrescriptionSession {
+    FairCap::builder()
+        .data(ds.df.clone())
+        .dag(ds.dag.clone())
+        .outcome(&ds.outcome)
+        .immutable(ds.immutable.iter().cloned())
+        .mutable(ds.mutable.iter().cloned())
+        .protected(ds.protected.clone())
+        .build()
+        .expect("generated dataset is a valid problem instance")
 }
 
 #[test]
 fn causumx_matches_unfair_faircap_shape() {
     let ds = so::generate(6_000, 42);
-    let report = causumx(&input(&ds), 0.5);
+    let report = causumx(&session(&ds), 0.5).expect("causumx config is valid");
     assert!(report.label.contains("CauSumX"));
     assert!(report.summary.coverage >= 0.5);
     // No fairness: large disparity expected on this data.
@@ -77,7 +79,7 @@ fn frl_list_is_falling_on_so() {
 #[test]
 fn adaptations_produce_comparable_reports() {
     let ds = so::generate(6_000, 42);
-    let inp = input(&ds);
+    let s = session(&ds);
     let clauses = {
         let attrs = ds.attributes();
         learn_falling_rule_list(&ds.df, &attrs, &ds.outcome, &FrlConfig::default())
@@ -88,19 +90,21 @@ fn adaptations_produce_comparable_reports() {
             .collect::<Vec<_>>()
     };
     let as_grouping = adapt_if_clauses(
-        &inp,
+        &s,
         &clauses,
         IfClauseRole::Grouping,
         "FRL grouping",
         &FairCapConfig::default(),
-    );
+    )
+    .expect("clauses evaluate");
     let as_intervention = adapt_if_clauses(
-        &inp,
+        &s,
         &clauses,
         IfClauseRole::Intervention,
         "FRL intervention",
         &FairCapConfig::default(),
-    );
+    )
+    .expect("clauses evaluate");
     // intervention adaptation covers everyone by construction
     if !as_intervention.rules.is_empty() {
         assert!((as_intervention.summary.coverage - 1.0).abs() < 1e-9);
@@ -114,7 +118,7 @@ fn faircap_beats_adaptations_on_utility_fairness_tradeoff() {
     // Table 4's headline comparison: with fairness constraints FairCap
     // should dominate the baselines on protected utility.
     let ds = so::generate(6_000, 42);
-    let inp = input(&ds);
+    let s = session(&ds);
     let cfg = FairCapConfig {
         fairness: FairnessConstraint::StatisticalParity {
             scope: FairnessScope::Group,
@@ -122,7 +126,7 @@ fn faircap_beats_adaptations_on_utility_fairness_tradeoff() {
         },
         ..FairCapConfig::default()
     };
-    let faircap = run(&inp, &cfg);
+    let faircap = s.solve(&SolveRequest::from(cfg)).expect("config is valid");
     let clauses = {
         let attrs = ds.attributes();
         learn_falling_rule_list(&ds.df, &attrs, &ds.outcome, &FrlConfig::default())
@@ -133,12 +137,13 @@ fn faircap_beats_adaptations_on_utility_fairness_tradeoff() {
             .collect::<Vec<_>>()
     };
     let baseline = adapt_if_clauses(
-        &inp,
+        &s,
         &clauses,
         IfClauseRole::Grouping,
         "FRL grouping",
         &FairCapConfig::default(),
-    );
+    )
+    .expect("clauses evaluate");
     assert!(
         faircap.summary.expected_protected >= baseline.summary.expected_protected,
         "FairCap protected utility {} should be ≥ baseline {}",

@@ -2,15 +2,18 @@
 //! planted ground truth, including the Table 6 DAG variants and PC
 //! discovery.
 
-use faircap::causal::{CateEngine, EstimatorKind};
+use faircap::causal::{CateEngine, CateQuery, EstimatorKind};
 use faircap::data::{build_dag_variant, german, so, DagVariant};
 use faircap::table::{Mask, Pattern, Value};
+use std::sync::Arc;
 
 #[test]
 fn linear_and_stratified_agree_on_so() {
     let ds = so::generate(12_000, 5);
-    let linear = CateEngine::new(&ds.df, &ds.dag, "salary", EstimatorKind::Linear);
-    let strat = CateEngine::new(&ds.df, &ds.dag, "salary", EstimatorKind::Stratified);
+    let engine =
+        CateEngine::new(Arc::new(ds.df.clone()), Arc::new(ds.dag.clone()), "salary").unwrap();
+    let linear: CateQuery<'_> = engine.with_estimator(&EstimatorKind::Linear);
+    let strat: CateQuery<'_> = engine.with_estimator(&EstimatorKind::Stratified);
     let all = Mask::ones(ds.df.n_rows());
     for (attr, value) in [
         ("certifications", "yes"),
@@ -31,24 +34,25 @@ fn linear_and_stratified_agree_on_so() {
 #[test]
 fn ipw_agrees_with_linear_on_so() {
     let ds = so::generate(12_000, 5);
-    let linear = CateEngine::new(&ds.df, &ds.dag, "salary", EstimatorKind::Linear);
-    let ipw = CateEngine::new(&ds.df, &ds.dag, "salary", EstimatorKind::Ipw);
+    let engine =
+        CateEngine::new(Arc::new(ds.df.clone()), Arc::new(ds.dag.clone()), "salary").unwrap();
+    let linear: CateQuery<'_> = engine.with_estimator(&EstimatorKind::Linear);
+    let ipw: CateQuery<'_> = engine.with_estimator(&EstimatorKind::Ipw);
     let all = Mask::ones(ds.df.n_rows());
     for (attr, value) in [("certifications", "yes"), ("training", "yes")] {
         let p = Pattern::of_eq(&[(attr, Value::from(value))]);
         let a = linear.cate(&all, &p).expect("linear estimable").cate;
         let b = ipw.cate(&all, &p).expect("ipw estimable").cate;
-        assert!(
-            (a - b).abs() < 2_000.0,
-            "{attr}: linear {a} vs ipw {b}"
-        );
+        assert!((a - b).abs() < 2_000.0, "{attr}: linear {a} vs ipw {b}");
     }
 }
 
 #[test]
 fn planted_effects_recovered_within_tolerance() {
     let ds = so::generate(25_000, 13);
-    let engine = CateEngine::new(&ds.df, &ds.dag, "salary", EstimatorKind::Linear);
+    let owner =
+        CateEngine::new(Arc::new(ds.df.clone()), Arc::new(ds.dag.clone()), "salary").unwrap();
+    let engine = owner.with_estimator(&EstimatorKind::Linear);
     let prot = ds.protected_mask();
     let nonprot = !&prot;
     // (pattern, group, planted effect)
@@ -79,8 +83,13 @@ fn adjustment_matters_education_is_confounded() {
     // 1-layer DAG (no adjustment) must disagree with the original DAG.
     let ds = so::generate(20_000, 21);
     let one_layer = build_dag_variant(&ds, DagVariant::OneLayerIndep);
-    let adjusted = CateEngine::new(&ds.df, &ds.dag, "salary", EstimatorKind::Linear);
-    let naive = CateEngine::new(&ds.df, &one_layer, "salary", EstimatorKind::Linear);
+    let df = Arc::new(ds.df.clone());
+    let adjusted_engine =
+        CateEngine::new(Arc::clone(&df), Arc::new(ds.dag.clone()), "salary").unwrap();
+    let naive_engine =
+        CateEngine::new(Arc::clone(&df), Arc::new(one_layer.clone()), "salary").unwrap();
+    let adjusted = adjusted_engine.with_estimator(&EstimatorKind::Linear);
+    let naive = naive_engine.with_estimator(&EstimatorKind::Linear);
     let nonprot = !&ds.protected_mask();
     let p = Pattern::of_eq(&[("education", Value::from("phd"))]);
     let est_adj = adjusted.cate(&nonprot, &p).expect("estimable").cate;
@@ -132,15 +141,10 @@ fn pc_recovers_signal_on_german_subset() {
     // Full 21-column PC is slow; a focused subset must find the strong
     // planted edges (checking_balance and savings drive good_credit).
     let ds = german::generate(8_000, 17);
-    let vars: Vec<String> = [
-        "employment",
-        "checking_balance",
-        "savings",
-        "good_credit",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
+    let vars: Vec<String> = ["employment", "checking_balance", "savings", "good_credit"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let dag = faircap::causal::discovery::pc_dag(
         &ds.df,
         &vars,
@@ -173,8 +177,14 @@ fn estimates_stable_across_reasonable_dags() {
         DagVariant::TwoLayer,
     ] {
         let dag = build_dag_variant(&ds, variant);
-        let engine = CateEngine::new(&ds.df, &dag, "salary", EstimatorKind::Linear);
-        estimates.push(engine.cate(&all, &p).expect("estimable").cate);
+        let engine =
+            CateEngine::new(Arc::new(ds.df.clone()), Arc::new(dag.clone()), "salary").unwrap();
+        estimates.push(
+            engine
+                .cate(&all, &p, &EstimatorKind::Linear)
+                .expect("estimable")
+                .cate,
+        );
     }
     let min = estimates.iter().copied().fold(f64::INFINITY, f64::min);
     let max = estimates.iter().copied().fold(f64::NEG_INFINITY, f64::max);

@@ -1,19 +1,25 @@
 //! Integration tests for the §8 cost extension: budget-constrained and
 //! cost-penalized intervention mining on the Stack Overflow stand-in.
 
-use faircap::core::{run, CostModel, CostPolicy, FairCapConfig, ProblemInput};
+use faircap::core::{CostModel, CostPolicy, FairCapConfig, SolutionReport};
 use faircap::data::{so, Dataset};
 use faircap::table::Value;
+use faircap::{FairCap, PrescriptionSession, SolveRequest};
 
-fn input(ds: &Dataset) -> ProblemInput<'_> {
-    ProblemInput {
-        df: &ds.df,
-        dag: &ds.dag,
-        outcome: &ds.outcome,
-        immutable: &ds.immutable,
-        mutable: &ds.mutable,
-        protected: &ds.protected,
-    }
+fn session(ds: &Dataset) -> PrescriptionSession {
+    FairCap::builder()
+        .data(ds.df.clone())
+        .dag(ds.dag.clone())
+        .outcome(&ds.outcome)
+        .immutable(ds.immutable.iter().cloned())
+        .mutable(ds.mutable.iter().cloned())
+        .protected(ds.protected.clone())
+        .build()
+        .expect("generated dataset is a valid problem instance")
+}
+
+fn solve(s: &PrescriptionSession, cfg: FairCapConfig) -> SolutionReport {
+    s.solve(&SolveRequest::from(cfg)).expect("config is valid")
 }
 
 /// Education is expensive, everything else cheap — the §8 motivating case
@@ -36,7 +42,7 @@ fn budget_excludes_expensive_interventions() {
         },
         ..FairCapConfig::default()
     };
-    let report = run(&input(&ds), &cfg);
+    let report = solve(&session(&ds), cfg);
     assert!(!report.rules.is_empty());
     let model = education_heavy_costs();
     for r in &report.rules {
@@ -54,13 +60,14 @@ fn budget_excludes_expensive_interventions() {
 #[test]
 fn tight_budget_costs_utility() {
     let ds = so::generate(6_000, 42);
-    let unconstrained = run(&input(&ds), &FairCapConfig::default());
+    let s = session(&ds);
+    let unconstrained = solve(&s, FairCapConfig::default());
     let cfg = FairCapConfig {
         cost_model: education_heavy_costs(),
         cost_policy: CostPolicy::Budget { max_rule_cost: 2.0 },
         ..FairCapConfig::default()
     };
-    let cheap = run(&input(&ds), &cfg);
+    let cheap = solve(&s, cfg);
     assert!(
         cheap.summary.expected <= unconstrained.summary.expected + 1e-9,
         "budget {} should not beat unconstrained {}",
@@ -73,13 +80,14 @@ fn tight_budget_costs_utility() {
 fn penalty_shifts_to_cost_effective_rules() {
     let ds = so::generate(6_000, 42);
     let model = education_heavy_costs();
-    let baseline = run(&input(&ds), &FairCapConfig::default());
+    let s = session(&ds);
+    let baseline = solve(&s, FairCapConfig::default());
     let cfg = FairCapConfig {
         cost_model: education_heavy_costs(),
         cost_policy: CostPolicy::Penalize { weight: 1.0 },
         ..FairCapConfig::default()
     };
-    let penalized = run(&input(&ds), &cfg);
+    let penalized = solve(&s, cfg);
     assert!(!penalized.rules.is_empty());
     let avg_cost = |rules: &[faircap::core::Rule]| -> f64 {
         rules
@@ -99,13 +107,14 @@ fn penalty_shifts_to_cost_effective_rules() {
 #[test]
 fn zero_cost_model_is_a_noop() {
     let ds = so::generate(4_000, 7);
-    let plain = run(&input(&ds), &FairCapConfig::default());
+    let s = session(&ds);
+    let plain = solve(&s, FairCapConfig::default());
     let cfg = FairCapConfig {
         cost_model: CostModel::default(), // all-zero costs
         cost_policy: CostPolicy::Penalize { weight: 10.0 },
         ..FairCapConfig::default()
     };
-    let costed = run(&input(&ds), &cfg);
+    let costed = solve(&s, cfg);
     let a: Vec<String> = plain.rules.iter().map(|r| r.to_string()).collect();
     let b: Vec<String> = costed.rules.iter().map(|r| r.to_string()).collect();
     assert_eq!(a, b, "zero costs must not change the solution");
@@ -119,6 +128,6 @@ fn infeasible_budget_yields_empty_solution() {
         cost_policy: CostPolicy::Budget { max_rule_cost: 1.0 },
         ..FairCapConfig::default()
     };
-    let report = run(&input(&ds), &cfg);
+    let report = solve(&session(&ds), cfg);
     assert!(report.rules.is_empty());
 }

@@ -1,15 +1,41 @@
 //! Failure-injection and edge-case tests: degenerate inputs must produce
 //! clean errors or empty solutions, never panics or nonsense.
 
-use faircap::causal::{estimate_cate, CateEngine, Dag, EstimatorKind};
-use faircap::core::{run, FairCapConfig, ProblemInput};
+use faircap::causal::{estimate_cate, CateEngine, CausalError, Dag, EstimatorKind};
+use faircap::core::FairCapConfig;
 use faircap::table::{DataFrame, Mask, Pattern, Value};
+use faircap::{FairCap, SolveRequest};
+use std::sync::Arc;
+
+fn solve_with(
+    df: &DataFrame,
+    dag: &Dag,
+    outcome: &str,
+    immutable: &[String],
+    mutable: &[String],
+    protected: &Pattern,
+    cfg: FairCapConfig,
+) -> faircap::core::SolutionReport {
+    FairCap::builder()
+        .data(df.clone())
+        .dag(dag.clone())
+        .outcome(outcome)
+        .immutable(immutable.iter().cloned())
+        .mutable(mutable.iter().cloned())
+        .protected(protected.clone())
+        .build()
+        .expect("structurally valid instance")
+        .solve(&SolveRequest::from(cfg))
+        .expect("config is valid")
+}
 
 /// A tiny fully-specified problem for degenerate-input probes.
 fn tiny_problem() -> (DataFrame, Dag, Vec<String>, Vec<String>) {
     let n = 60;
     let seg: Vec<&str> = (0..n).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect();
-    let t: Vec<&str> = (0..n).map(|i| if i % 3 == 0 { "yes" } else { "no" }).collect();
+    let t: Vec<&str> = (0..n)
+        .map(|i| if i % 3 == 0 { "yes" } else { "no" })
+        .collect();
     let o: Vec<f64> = (0..n)
         .map(|i| 10.0 + (i % 3 == 0) as u8 as f64 * 5.0 + (i % 7) as f64)
         .collect();
@@ -28,15 +54,15 @@ fn empty_protected_group_runs_cleanly() {
     let (df, dag, imm, mt) = tiny_problem();
     // A protected pattern matching nothing.
     let protected = Pattern::of_eq(&[("seg", Value::from("nobody"))]);
-    let input = ProblemInput {
-        df: &df,
-        dag: &dag,
-        outcome: "o",
-        immutable: &imm,
-        mutable: &mt,
-        protected: &protected,
-    };
-    let report = run(&input, &FairCapConfig::default());
+    let report = solve_with(
+        &df,
+        &dag,
+        "o",
+        &imm,
+        &mt,
+        &protected,
+        FairCapConfig::default(),
+    );
     // With no protected rows, protected metrics degrade to 0 but the run
     // completes and still finds utility for the rest.
     assert_eq!(report.summary.coverage_protected, 0.0);
@@ -47,15 +73,15 @@ fn empty_protected_group_runs_cleanly() {
 fn protected_group_is_everyone() {
     let (df, dag, imm, mt) = tiny_problem();
     let protected = Pattern::empty(); // covers all rows
-    let input = ProblemInput {
-        df: &df,
-        dag: &dag,
-        outcome: "o",
-        immutable: &imm,
-        mutable: &mt,
-        protected: &protected,
-    };
-    let report = run(&input, &FairCapConfig::default());
+    let report = solve_with(
+        &df,
+        &dag,
+        "o",
+        &imm,
+        &mt,
+        &protected,
+        FairCapConfig::default(),
+    );
     if !report.rules.is_empty() {
         // Everyone protected → non-protected side is empty → its expected
         // utility defaults to 0.
@@ -81,15 +107,15 @@ fn single_valued_mutable_yields_no_rules() {
     let imm = vec!["seg".to_string()];
     let mt = vec!["t".to_string()];
     let protected = Pattern::of_eq(&[("seg", Value::from("a"))]);
-    let input = ProblemInput {
-        df: &df,
-        dag: &dag,
-        outcome: "o",
-        immutable: &imm,
-        mutable: &mt,
-        protected: &protected,
-    };
-    let report = run(&input, &FairCapConfig::default());
+    let report = solve_with(
+        &df,
+        &dag,
+        "o",
+        &imm,
+        &mt,
+        &protected,
+        FairCapConfig::default(),
+    );
     assert!(report.rules.is_empty());
 }
 
@@ -100,15 +126,15 @@ fn constant_outcome_yields_no_significant_rules() {
         .with_column("o", faircap::table::Column::Float(vec![7.0; df.n_rows()]))
         .unwrap();
     let protected = Pattern::of_eq(&[("seg", Value::from("a"))]);
-    let input = ProblemInput {
-        df: &constant,
-        dag: &dag,
-        outcome: "o",
-        immutable: &imm,
-        mutable: &mt,
-        protected: &protected,
-    };
-    let report = run(&input, &FairCapConfig::default());
+    let report = solve_with(
+        &constant,
+        &dag,
+        "o",
+        &imm,
+        &mt,
+        &protected,
+        FairCapConfig::default(),
+    );
     // Zero effect everywhere: either no rules, or none with positive utility.
     assert!(report.rules.is_empty(), "{:?}", report.rules.len());
 }
@@ -143,11 +169,28 @@ fn collinear_covariates_survive_via_ridge() {
 }
 
 #[test]
-fn engine_rejects_missing_outcome_gracefully() {
+fn engine_rejects_missing_outcome_with_typed_error() {
+    // Pre-0.2 the engine silently answered `None` forever; now the bad
+    // outcome is rejected at construction with the column named.
     let (df, dag, _, _) = tiny_problem();
-    let engine = CateEngine::new(&df, &dag, "no_such_column", EstimatorKind::Linear);
-    let p = Pattern::of_eq(&[("t", Value::from("yes"))]);
-    assert!(engine.cate(&Mask::ones(df.n_rows()), &p).is_none());
+    let err = CateEngine::new(Arc::new(df), Arc::new(dag), "no_such_column").unwrap_err();
+    assert!(err.to_string().contains("no_such_column"));
+    assert!(matches!(err, CausalError::Table(_)));
+}
+
+#[test]
+fn builder_rejects_missing_outcome_with_typed_error() {
+    let (df, dag, imm, mt) = tiny_problem();
+    let err = FairCap::builder()
+        .data(df)
+        .dag(dag)
+        .outcome("no_such_column")
+        .immutable(imm)
+        .mutable(mt)
+        .protected(Pattern::of_eq(&[("seg", Value::from("a"))]))
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("no_such_column"), "{err}");
 }
 
 #[test]
@@ -162,15 +205,15 @@ fn zero_row_frame_degenerates_cleanly() {
     let imm = vec!["seg".to_string()];
     let mt = vec!["t".to_string()];
     let protected = Pattern::of_eq(&[("seg", Value::from("a"))]);
-    let input = ProblemInput {
-        df: &df,
-        dag: &dag,
-        outcome: "o",
-        immutable: &imm,
-        mutable: &mt,
-        protected: &protected,
-    };
-    let report = run(&input, &FairCapConfig::default());
+    let report = solve_with(
+        &df,
+        &dag,
+        "o",
+        &imm,
+        &mt,
+        &protected,
+        FairCapConfig::default(),
+    );
     assert!(report.rules.is_empty());
     assert_eq!(report.summary.coverage, 0.0);
 }
@@ -179,18 +222,10 @@ fn zero_row_frame_degenerates_cleanly() {
 fn max_rules_zero_yields_empty_solution() {
     let (df, dag, imm, mt) = tiny_problem();
     let protected = Pattern::of_eq(&[("seg", Value::from("a"))]);
-    let input = ProblemInput {
-        df: &df,
-        dag: &dag,
-        outcome: "o",
-        immutable: &imm,
-        mutable: &mt,
-        protected: &protected,
-    };
     let cfg = FairCapConfig {
         max_rules: 0,
         ..FairCapConfig::default()
     };
-    let report = run(&input, &cfg);
+    let report = solve_with(&df, &dag, "o", &imm, &mt, &protected, cfg);
     assert!(report.rules.is_empty());
 }

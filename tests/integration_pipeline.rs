@@ -3,19 +3,25 @@
 //! qualitative claims (Table 4's shape) on small samples.
 
 use faircap::core::{
-    run, CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope, ProblemInput,
+    CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope, SolutionReport,
 };
 use faircap::data::{german, so, Dataset};
+use faircap::{FairCap, PrescriptionSession, SolveRequest};
 
-fn input(ds: &Dataset) -> ProblemInput<'_> {
-    ProblemInput {
-        df: &ds.df,
-        dag: &ds.dag,
-        outcome: &ds.outcome,
-        immutable: &ds.immutable,
-        mutable: &ds.mutable,
-        protected: &ds.protected,
-    }
+fn session(ds: &Dataset) -> PrescriptionSession {
+    FairCap::builder()
+        .data(ds.df.clone())
+        .dag(ds.dag.clone())
+        .outcome(&ds.outcome)
+        .immutable(ds.immutable.iter().cloned())
+        .mutable(ds.mutable.iter().cloned())
+        .protected(ds.protected.clone())
+        .build()
+        .expect("generated dataset is a valid problem instance")
+}
+
+fn solve(s: &PrescriptionSession, cfg: FairCapConfig) -> SolutionReport {
+    s.solve(&SolveRequest::from(cfg)).expect("config is valid")
 }
 
 fn so_small() -> Dataset {
@@ -25,17 +31,25 @@ fn so_small() -> Dataset {
 #[test]
 fn unconstrained_run_finds_high_utility_rules() {
     let ds = so_small();
-    let report = run(&input(&ds), &FairCapConfig::default());
+    let report = solve(&session(&ds), FairCapConfig::default());
     assert!(!report.rules.is_empty());
     assert!(report.constraints_met);
     // Salary-scale utilities, and every rule is statistically significant.
     assert!(report.summary.expected > 5_000.0);
     for r in &report.rules {
         assert!(r.utility.overall > 0.0);
-        assert!(r.utility.p_value <= 0.05, "rule {} p={}", r, r.utility.p_value);
+        assert!(
+            r.utility.p_value <= 0.05,
+            "rule {} p={}",
+            r,
+            r.utility.p_value
+        );
         // grouping over immutables, intervention over mutables
         for attr in r.grouping.attributes() {
-            assert!(ds.immutable.iter().any(|a| a == attr), "{attr} not immutable");
+            assert!(
+                ds.immutable.iter().any(|a| a == attr),
+                "{attr} not immutable"
+            );
         }
         for attr in r.intervention.attributes() {
             assert!(ds.mutable.iter().any(|a| a == attr), "{attr} not mutable");
@@ -46,7 +60,8 @@ fn unconstrained_run_finds_high_utility_rules() {
 #[test]
 fn group_sp_satisfied_and_costs_utility() {
     let ds = so_small();
-    let unconstrained = run(&input(&ds), &FairCapConfig::default());
+    let s = session(&ds);
+    let unconstrained = solve(&s, FairCapConfig::default());
     let cfg = FairCapConfig {
         fairness: FairnessConstraint::StatisticalParity {
             scope: FairnessScope::Group,
@@ -54,7 +69,7 @@ fn group_sp_satisfied_and_costs_utility() {
         },
         ..FairCapConfig::default()
     };
-    let fair = run(&input(&ds), &cfg);
+    let fair = solve(&s, cfg);
     assert!(fair.constraints_met);
     assert!(fair.summary.unfairness.abs() <= 10_000.0);
     assert!(fair.summary.expected <= unconstrained.summary.expected + 1e-6);
@@ -71,7 +86,7 @@ fn individual_sp_bounds_every_rule() {
         },
         ..FairCapConfig::default()
     };
-    let report = run(&input(&ds), &cfg);
+    let report = solve(&session(&ds), cfg);
     assert!(report.constraints_met);
     for r in &report.rules {
         assert!(
@@ -93,7 +108,8 @@ fn rule_coverage_filters_small_groups() {
         },
         ..FairCapConfig::default()
     };
-    let report = run(&input(&ds), &cfg);
+    let s = session(&ds);
+    let report = solve(&s, cfg);
     assert!(report.constraints_met);
     let n = ds.df.n_rows() as f64;
     let np = ds.protected_mask().count() as f64;
@@ -102,7 +118,7 @@ fn rule_coverage_filters_small_groups() {
         assert!(r.coverage_protected_count() as f64 >= 0.5 * np);
     }
     // Rule coverage restricts the candidate pool (paper: fewer rules).
-    let unconstrained = run(&input(&ds), &FairCapConfig::default());
+    let unconstrained = solve(&s, FairCapConfig::default());
     assert!(report.size() <= unconstrained.size());
 }
 
@@ -116,7 +132,7 @@ fn group_coverage_reaches_thresholds() {
         },
         ..FairCapConfig::default()
     };
-    let report = run(&input(&ds), &cfg);
+    let report = solve(&session(&ds), cfg);
     assert!(report.constraints_met);
     assert!(report.summary.coverage >= 0.8);
     assert!(report.summary.coverage_protected >= 0.8);
@@ -136,7 +152,7 @@ fn german_bgl_group_holds_protected_floor() {
         },
         ..FairCapConfig::default()
     };
-    let report = run(&input(&ds), &cfg);
+    let report = solve(&session(&ds), cfg);
     assert!(report.constraints_met, "{report}");
     assert!(report.summary.expected_protected >= 0.1);
     assert!(report.summary.coverage >= 0.3);
@@ -152,7 +168,7 @@ fn german_bgl_individual_bounds_every_rule() {
         },
         ..FairCapConfig::default()
     };
-    let report = run(&input(&ds), &cfg);
+    let report = solve(&session(&ds), cfg);
     assert!(report.constraints_met);
     for r in &report.rules {
         assert!(
@@ -167,7 +183,7 @@ fn german_bgl_individual_bounds_every_rule() {
 #[test]
 fn german_outcome_scale_is_probability() {
     let ds = german::generate(1_000, 42);
-    let report = run(&input(&ds), &FairCapConfig::default());
+    let report = solve(&session(&ds), FairCapConfig::default());
     assert!(!report.rules.is_empty());
     assert!(
         report.summary.expected > 0.05 && report.summary.expected < 1.0,
@@ -180,8 +196,10 @@ fn german_outcome_scale_is_probability() {
 fn fairness_threshold_sweep_is_monotone_in_utility() {
     // Table 5's shape: looser ε admits higher-utility (less fair) solutions.
     let ds = so_small();
+    let s = session(&ds);
     let mut utilities = Vec::new();
     for epsilon in [2_500.0, 10_000.0, 40_000.0] {
+        let before = s.cache_stats().misses;
         let cfg = FairCapConfig {
             fairness: FairnessConstraint::StatisticalParity {
                 scope: FairnessScope::Group,
@@ -189,8 +207,12 @@ fn fairness_threshold_sweep_is_monotone_in_utility() {
             },
             ..FairCapConfig::default()
         };
-        let report = run(&input(&ds), &cfg);
+        let report = solve(&s, cfg);
         assert!(report.summary.unfairness.abs() <= epsilon, "ε={epsilon}");
+        if before > 0 {
+            // ε-sweeps on one session are pure cache reads.
+            assert_eq!(s.cache_stats().misses, before, "ε={epsilon} re-estimated");
+        }
         utilities.push(report.summary.expected);
     }
     assert!(
@@ -202,7 +224,7 @@ fn fairness_threshold_sweep_is_monotone_in_utility() {
 #[test]
 fn report_rows_render() {
     let ds = so::generate(3_000, 11);
-    let report = run(&input(&ds), &FairCapConfig::default());
+    let report = solve(&session(&ds), FairCapConfig::default());
     let row = report.table_row();
     assert!(row.contains('%'));
     assert!(!report.rule_cards().is_empty());

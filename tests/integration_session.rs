@@ -1,0 +1,170 @@
+//! Integration tests for the `PrescriptionSession` engine API on the
+//! German Credit stand-in: one session re-solved under three fairness
+//! constraints must (a) match the equivalent one-shot `run()` calls and
+//! (b) perform no redundant CATE estimation on the repeat solves
+//! (asserted via the engine's cache-hit counters).
+
+use faircap::core::{FairCapConfig, FairnessConstraint, FairnessScope, SolutionReport};
+use faircap::data::{german, Dataset};
+use faircap::{FairCap, PrescriptionSession, SolveRequest};
+
+fn dataset() -> Dataset {
+    german::generate(1_500, 42)
+}
+
+fn session(ds: &Dataset) -> PrescriptionSession {
+    FairCap::builder()
+        .data(ds.df.clone())
+        .dag(ds.dag.clone())
+        .outcome(&ds.outcome)
+        .immutable(ds.immutable.iter().cloned())
+        .mutable(ds.mutable.iter().cloned())
+        .protected(ds.protected.clone())
+        .build()
+        .expect("German Credit stand-in is a valid problem instance")
+}
+
+/// The three fairness regimes of the study: unconstrained, group
+/// statistical parity, group bounded group loss.
+fn fairness_variants() -> [FairnessConstraint; 3] {
+    [
+        FairnessConstraint::None,
+        FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Group,
+            epsilon: 0.05,
+        },
+        FairnessConstraint::BoundedGroupLoss {
+            scope: FairnessScope::Group,
+            tau: 0.05,
+        },
+    ]
+}
+
+fn fingerprint(report: &SolutionReport) -> (Vec<String>, String) {
+    (
+        report.rules.iter().map(|r| r.to_string()).collect(),
+        format!("{:?}", report.summary),
+    )
+}
+
+#[test]
+fn session_solves_match_one_shot_runs_across_constraints() {
+    let ds = dataset();
+    let s = session(&ds);
+    for fairness in fairness_variants() {
+        let via_session = s
+            .solve(&SolveRequest::default().fairness(fairness))
+            .expect("valid request");
+        // The deprecated one-shot entry point must stay behaviourally
+        // identical during its final compatibility release.
+        #[allow(deprecated)]
+        let via_run = faircap::core::run(
+            &faircap::core::ProblemInput {
+                df: &ds.df,
+                dag: &ds.dag,
+                outcome: &ds.outcome,
+                immutable: &ds.immutable,
+                mutable: &ds.mutable,
+                protected: &ds.protected,
+            },
+            &FairCapConfig {
+                fairness,
+                ..FairCapConfig::default()
+            },
+        );
+        assert_eq!(
+            fingerprint(&via_session),
+            fingerprint(&via_run),
+            "session and one-shot disagree under {fairness:?}"
+        );
+    }
+}
+
+#[test]
+fn second_and_third_solves_reuse_cached_estimates() {
+    let s = session(&dataset());
+    let [unconstrained, sp, bgl] = fairness_variants();
+
+    let first = s
+        .solve(&SolveRequest::default().fairness(unconstrained))
+        .expect("valid request");
+    assert!(!first.rules.is_empty(), "baseline solve finds rules");
+    let after_first = s.cache_stats();
+    assert!(after_first.misses > 0, "first solve estimates from scratch");
+
+    let second = s
+        .solve(&SolveRequest::default().fairness(sp))
+        .expect("valid request");
+    let after_second = s.cache_stats();
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "second solve (new fairness constraint) must perform no redundant CATE estimation"
+    );
+    assert!(
+        after_second.hits > after_first.hits,
+        "second solve must be served from the cache"
+    );
+
+    let third = s
+        .solve(&SolveRequest::default().fairness(bgl))
+        .expect("valid request");
+    let after_third = s.cache_stats();
+    assert_eq!(
+        after_third.misses, after_second.misses,
+        "third solve must also perform no redundant CATE estimation"
+    );
+    assert!(after_third.hits > after_second.hits);
+
+    // The constraints actually bind: the SP solve is at least as fair as
+    // the unconstrained one, and never beats it on utility.
+    assert!(second.summary.unfairness.abs() <= first.summary.unfairness.abs() + 1e-9);
+    assert!(second.summary.expected <= first.summary.expected + 1e-9);
+    assert!(third.summary.expected <= first.summary.expected + 1e-9);
+}
+
+#[test]
+fn estimator_change_estimates_fresh_but_constraint_change_does_not() {
+    use faircap::causal::EstimatorKind;
+    let s = session(&dataset());
+    s.solve(&SolveRequest::default()).expect("valid request");
+    let after_linear = s.cache_stats();
+
+    // Different estimator → new cache namespace → fresh estimations.
+    s.solve(&SolveRequest::default().estimator_kind(EstimatorKind::Stratified))
+        .expect("valid request");
+    let after_strat = s.cache_stats();
+    assert!(
+        after_strat.misses > after_linear.misses,
+        "a new estimator cannot reuse another estimator's estimates"
+    );
+
+    // Re-solving either estimator again is pure cache traffic.
+    s.solve(&SolveRequest::default()).expect("valid request");
+    s.solve(&SolveRequest::default().estimator_kind(EstimatorKind::Stratified))
+        .expect("valid request");
+    assert_eq!(s.cache_stats().misses, after_strat.misses);
+}
+
+#[test]
+fn session_is_usable_from_multiple_threads() {
+    let s = std::sync::Arc::new(session(&dataset()));
+    let [_, sp, bgl] = fairness_variants();
+    let mut handles = Vec::new();
+    for fairness in [sp, bgl] {
+        let s = std::sync::Arc::clone(&s);
+        handles.push(std::thread::spawn(move || {
+            s.solve(&SolveRequest::default().fairness(fairness))
+                .expect("valid request")
+                .summary
+        }));
+    }
+    let concurrent: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Same answers as sequential solves on a fresh session.
+    let fresh = session(&dataset());
+    for (fairness, summary) in [sp, bgl].into_iter().zip(concurrent) {
+        let sequential = fresh
+            .solve(&SolveRequest::default().fairness(fairness))
+            .expect("valid request");
+        assert_eq!(sequential.summary, summary);
+    }
+}

@@ -34,11 +34,7 @@ fn rule_strategy(idx: usize) -> impl Strategy<Value = Rule> {
 }
 
 fn rules_strategy() -> impl Strategy<Value = Vec<Rule>> {
-    (1usize..7).prop_flat_map(|k| {
-        (0..k)
-            .map(rule_strategy)
-            .collect::<Vec<_>>()
-    })
+    (1usize..7).prop_flat_map(|k| (0..k).map(rule_strategy).collect::<Vec<_>>())
 }
 
 proptest! {
