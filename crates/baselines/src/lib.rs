@@ -3,7 +3,8 @@
 //! The three baselines of the paper's evaluation (§7.1), plus the IF-clause
 //! adaptation machinery:
 //!
-//! * [`causumx`] — CauSumX-style utility-only greedy (no fairness), the
+//! * [`causumx`](mod@causumx) — CauSumX-style utility-only greedy (no
+//!   fairness), the
 //!   paper's positioning of its closest prior work.
 //! * [`ids`] — Interpretable Decision Sets (Lakkaraju et al. 2016):
 //!   unordered IF-THEN prediction rules via a seven-term submodular

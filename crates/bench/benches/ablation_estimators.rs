@@ -1,6 +1,7 @@
-//! Ablation: the linear (OLS) vs. stratified CATE estimators — cost of a
-//! single estimate and of a full FairCap run under each (DESIGN.md's
-//! estimator design choice).
+//! Ablation: every built-in CATE estimator (linear / stratified / IPW /
+//! AIPW / matching) — cost of a single estimate and of a full FairCap run
+//! under each. The quality side of the same comparison (German credit,
+//! per-estimator cache stats) lives in the `ablation_estimators` bin.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use faircap_bench::{session_of, BENCH_ROWS, BENCH_SEED};
@@ -18,11 +19,7 @@ fn bench_single_estimate(c: &mut Criterion) {
     let all = Mask::ones(ds.df.n_rows());
     let pattern = Pattern::of_eq(&[("certifications", Value::from("yes"))]);
     let mut group = c.benchmark_group("ablation_single_cate");
-    for kind in [
-        EstimatorKind::Linear,
-        EstimatorKind::Stratified,
-        EstimatorKind::Ipw,
-    ] {
+    for kind in EstimatorKind::ALL {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{kind:?}")),
             &kind,
@@ -44,11 +41,7 @@ fn bench_full_run(c: &mut Criterion) {
     let ds = so::generate(BENCH_ROWS, BENCH_SEED);
     let mut group = c.benchmark_group("ablation_full_run");
     group.sample_size(10);
-    for kind in [
-        EstimatorKind::Linear,
-        EstimatorKind::Stratified,
-        EstimatorKind::Ipw,
-    ] {
+    for kind in EstimatorKind::ALL {
         let cfg = FairCapConfig {
             estimator: kind,
             ..FairCapConfig::default()

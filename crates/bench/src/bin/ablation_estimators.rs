@@ -1,0 +1,74 @@
+//! Estimator ablation — linear / stratified / IPW / AIPW / matching on the
+//! German-credit dataset, sharing one session so the per-estimator cache
+//! stats are directly comparable.
+//!
+//! ```sh
+//! cargo run --release -p faircap-bench --bin ablation_estimators
+//! ```
+//!
+//! Each estimator re-solves the same Prescription Ruleset Selection
+//! instance; because the [`CateEngine`](faircap_causal::CateEngine) caches
+//! estimates per estimator name, the sweep reports exactly how much
+//! estimation work each estimator performed (`misses`) and how much was
+//! reused within its own solve (`hits`). `docs/estimators.md` discusses the
+//! trade-offs the numbers illustrate.
+
+use faircap_bench::session_of;
+use faircap_causal::{Estimator, EstimatorKind};
+use faircap_core::SolveRequest;
+use faircap_data::german;
+use std::time::Instant;
+
+fn main() {
+    let ds = german::generate(german::GERMAN_DEFAULT_ROWS, 42);
+    let session = session_of(&ds).expect("German generator produces a valid instance");
+    println!(
+        "Estimator ablation on German credit ({} rows, protected = {})\n",
+        ds.df.n_rows(),
+        ds.protected
+    );
+    println!(
+        "{:<12} {:>6} {:>10} {:>12} {:>10} {:>10} {:>8} {:>8} {:>9}",
+        "estimator",
+        "rules",
+        "expected",
+        "exp_protect",
+        "unfairness",
+        "coverage",
+        "hits",
+        "misses",
+        "solve_ms"
+    );
+    for kind in EstimatorKind::ALL {
+        let t0 = Instant::now();
+        let report = session
+            .solve(&SolveRequest::default().estimator_kind(kind))
+            .expect("solve succeeds on generated data");
+        let elapsed = t0.elapsed();
+        let stats = session.engine().cache_stats_for(kind.name());
+        println!(
+            "{:<12} {:>6} {:>10.4} {:>12.4} {:>10.4} {:>10.3} {:>8} {:>8} {:>9.1}",
+            kind.name(),
+            report.size(),
+            report.summary.expected,
+            report.summary.expected_protected,
+            report.summary.unfairness,
+            report.summary.coverage,
+            stats.hits,
+            stats.misses,
+            elapsed.as_secs_f64() * 1e3,
+        );
+    }
+    println!("\nPer-estimator cache stats (accumulated over the sweep):");
+    for (name, stats) in session.cache_stats_by_estimator() {
+        println!(
+            "  {:<12} hits {:>6}  misses {:>6}  entries {:>6}",
+            name, stats.hits, stats.misses, stats.entries
+        );
+    }
+    let agg = session.cache_stats();
+    println!(
+        "  {:<12} hits {:>6}  misses {:>6}  entries {:>6}",
+        "(total)", agg.hits, agg.misses, agg.entries
+    );
+}

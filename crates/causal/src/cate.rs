@@ -15,7 +15,10 @@
 //!   the greedy phase and repeated constraint re-solves hit hardest.
 //!
 //! Hit/miss counters ([`CateEngine::cache_stats`]) make the reuse
-//! observable; the session integration tests assert on them.
+//! observable — in aggregate and per estimator name
+//! ([`CateEngine::cache_stats_by_estimator`]), so estimator sweeps can
+//! attribute cache behaviour to each estimator; the session integration
+//! tests assert on them.
 
 use crate::backdoor::find_adjustment_set_names;
 use crate::error::{CausalError, Result};
@@ -24,12 +27,16 @@ use crate::graph::Dag;
 use faircap_table::{DataFrame, DataType, Mask, Pattern};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Estimate-cache hit/miss counters (see [`CateEngine::cache_stats`]).
+///
+/// Reported both in aggregate ([`CateEngine::cache_stats`]) and broken down
+/// per estimator name ([`CateEngine::cache_stats_by_estimator`]), so an
+/// estimator sweep can attribute its cache behaviour to each estimator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Queries answered from the estimate cache.
@@ -44,6 +51,24 @@ pub struct CacheStats {
 /// Cached estimates of one `(estimator, group)` scope, per intervention.
 type PatternEstimates = HashMap<Pattern, Option<Estimate>>;
 
+/// Estimates plus the per-estimator counters, under one lock so the cache
+/// hit path takes a single mutex acquisition.
+#[derive(Default)]
+struct EstimateCache {
+    estimates: HashMap<(u64, u64), PatternEstimates>,
+    per_estimator: HashMap<String, CacheStats>,
+}
+
+impl EstimateCache {
+    /// Update one estimator's counter slot, allocating its key on first use.
+    fn bump(&mut self, name: &str, f: impl FnOnce(&mut CacheStats)) {
+        match self.per_estimator.get_mut(name) {
+            Some(slot) => f(slot),
+            None => f(self.per_estimator.entry(name.to_owned()).or_default()),
+        }
+    }
+}
+
 /// Engine answering CATE queries against one dataset + DAG.
 pub struct CateEngine {
     df: Arc<DataFrame>,
@@ -55,7 +80,10 @@ pub struct CateEngine {
     // (estimator-name hash, group-mask fingerprint) is `Copy`, and the
     // inner lookup borrows the query's `Pattern`; only a miss clones the
     // pattern for insertion.
-    estimate_cache: Mutex<HashMap<(u64, u64), PatternEstimates>>,
+    // Holds both the estimates and their per-estimator-name counters;
+    // hits look the name up by `&str` (no allocation) inside the same
+    // critical section as the estimate lookup.
+    estimate_cache: Mutex<EstimateCache>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -91,7 +119,7 @@ impl CateEngine {
             outcome,
             adjustment_cache: Mutex::new(HashMap::new()),
             treated_cache: Mutex::new(HashMap::new()),
-            estimate_cache: Mutex::new(HashMap::new()),
+            estimate_cache: Mutex::new(EstimateCache::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         })
@@ -177,23 +205,35 @@ impl CateEngine {
         intervention: &Pattern,
         estimator: &dyn Estimator,
     ) -> Option<Estimate> {
-        let scope = (str_fingerprint(estimator.name()), mask_fingerprint(group));
-        if let Some(hit) = self
-            .estimate_cache
-            .lock()
-            .get(&scope)
-            .and_then(|per_pattern| per_pattern.get(intervention))
+        let name = estimator.name();
+        let scope = (str_fingerprint(name), mask_fingerprint(group));
         {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return *hit;
+            let mut cache = self.estimate_cache.lock();
+            let cache = &mut *cache;
+            if let Some(hit) = cache
+                .estimates
+                .get(&scope)
+                .and_then(|per_pattern| per_pattern.get(intervention))
+                .copied()
+            {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                cache.bump(name, |s| s.hits += 1);
+                return hit;
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let result = self.cate_uncached(group, intervention, estimator);
-        self.estimate_cache
-            .lock()
+        let mut cache = self.estimate_cache.lock();
+        cache.bump(name, |s| s.misses += 1);
+        let inserted = cache
+            .estimates
             .entry(scope)
             .or_default()
-            .insert(intervention.clone(), result);
+            .insert(intervention.clone(), result)
+            .is_none();
+        if inserted {
+            cache.bump(name, |s| s.entries += 1);
+        }
         result
     }
 
@@ -222,21 +262,78 @@ impl CateEngine {
     pub fn cache_len(&self) -> usize {
         self.estimate_cache
             .lock()
+            .estimates
             .values()
             .map(PatternEstimates::len)
             .sum()
     }
 
-    /// Estimate-cache hit/miss counters since the engine was built.
+    /// Estimate-cache hit/miss counters since the engine was built,
+    /// aggregated over all estimators.
     ///
     /// `misses` counts actual estimation work; a solve that adds no misses
-    /// performed no redundant CATE estimation.
+    /// performed no redundant CATE estimation. Use
+    /// [`cache_stats_by_estimator`](Self::cache_stats_by_estimator) for the
+    /// per-estimator breakdown.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use faircap_causal::{CateEngine, Dag, EstimatorKind};
+    /// use faircap_table::{DataFrame, Mask, Pattern, Value};
+    /// use std::sync::Arc;
+    ///
+    /// let df = DataFrame::builder()
+    ///     .cat("t", &["y", "y", "y", "y", "y", "y", "n", "n", "n", "n", "n", "n"])
+    ///     .float("o", vec![7.0, 8.0, 7.5, 8.5, 7.0, 8.0, 1.0, 2.0, 1.5, 2.5, 1.0, 2.0])
+    ///     .build()
+    ///     .unwrap();
+    /// let dag = Dag::parse_edge_list("t -> o").unwrap();
+    /// let engine = CateEngine::new(Arc::new(df), Arc::new(dag), "o").unwrap();
+    ///
+    /// let all = Mask::ones(engine.df().n_rows());
+    /// let p = Pattern::of_eq(&[("t", Value::from("y"))]);
+    /// engine.cate(&all, &p, &EstimatorKind::Linear); // miss: runs the estimation
+    /// engine.cate(&all, &p, &EstimatorKind::Linear); // hit: served from cache
+    ///
+    /// let stats = engine.cache_stats();
+    /// assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    /// let per = engine.cache_stats_by_estimator();
+    /// assert_eq!(per["linear"].misses, 1);
+    /// ```
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.cache_len(),
         }
+    }
+
+    /// Estimate-cache counters broken down by [`Estimator::name`], in
+    /// name order.
+    ///
+    /// Estimators that were never queried on this engine are absent. The
+    /// per-name `hits`/`misses`/`entries` sum to the aggregate
+    /// [`cache_stats`](Self::cache_stats) (entries may transiently differ
+    /// under concurrent insertion, since the aggregate recounts the cache).
+    pub fn cache_stats_by_estimator(&self) -> BTreeMap<String, CacheStats> {
+        self.estimate_cache
+            .lock()
+            .per_estimator
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Estimate-cache counters for one estimator name; zeros if the
+    /// estimator was never queried on this engine.
+    pub fn cache_stats_for(&self, name: &str) -> CacheStats {
+        self.estimate_cache
+            .lock()
+            .per_estimator
+            .get(name)
+            .copied()
+            .unwrap_or_default()
     }
 }
 
@@ -376,6 +473,57 @@ mod tests {
         // Re-querying either is a hit.
         engine.cate(&all, &p, &EstimatorKind::Stratified);
         assert_eq!(engine.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn per_estimator_stats_attribute_counters() {
+        let engine = engine();
+        let all = Mask::ones(engine.df().n_rows());
+        let p = Pattern::of_eq(&[("educated", Value::Bool(true))]);
+        engine.cate(&all, &p, &EstimatorKind::Linear);
+        engine.cate(&all, &p, &EstimatorKind::Linear);
+        engine.cate(&all, &p, &EstimatorKind::Stratified);
+        let per = engine.cache_stats_by_estimator();
+        assert_eq!(
+            per["linear"],
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+        assert_eq!(
+            per["stratified"],
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                entries: 1
+            }
+        );
+        // Never-queried estimators report zeros and are absent from the map.
+        assert!(!per.contains_key("aipw"));
+        assert_eq!(engine.cache_stats_for("aipw"), CacheStats::default());
+        // The breakdown sums to the aggregate counters.
+        let agg = engine.cache_stats();
+        assert_eq!(per.values().map(|s| s.hits).sum::<u64>(), agg.hits);
+        assert_eq!(per.values().map(|s| s.misses).sum::<u64>(), agg.misses);
+        assert_eq!(per.values().map(|s| s.entries).sum::<usize>(), agg.entries);
+    }
+
+    #[test]
+    fn aipw_and_matching_engines_recover_planted_effect() {
+        let engine = engine();
+        let all = Mask::ones(engine.df().n_rows());
+        let p = Pattern::of_eq(&[("educated", Value::Bool(true))]);
+        for kind in [EstimatorKind::Aipw, EstimatorKind::Matching] {
+            let est = engine.cate(&all, &p, &kind).unwrap();
+            assert!(
+                (est.cate - 20.0).abs() < 1.5,
+                "{kind:?} cate = {}",
+                est.cate
+            );
+            assert!(est.is_significant(0.01), "{kind:?} p = {}", est.p_value);
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Shared design-matrix construction for the regression-based estimators.
 
-use crate::error::Result;
+use crate::error::{CausalError, Result};
+use crate::linalg::Matrix;
 use faircap_table::{Column, DataFrame, Mask};
 
 /// One adjustment covariate, encoded for a design matrix.
@@ -82,6 +83,43 @@ pub(crate) fn build_blocks(
     }
     let width = blocks.iter().map(|b| b.width()).sum();
     Ok((blocks, width))
+}
+
+/// Build the `[1, Z...]` design matrix over `rows` (the group's indices in
+/// order): intercept in column 0, covariate blocks from column 1 — the
+/// layout shared by the propensity model, the per-arm outcome regressions,
+/// and the matching metric.
+pub(crate) fn build_intercept_design(
+    df: &DataFrame,
+    adjustment: &[String],
+    group: &Mask,
+    rows: &[usize],
+) -> Result<Matrix> {
+    let (blocks, z_width) = build_blocks(df, adjustment, group)?;
+    let mut x = Matrix::zeros(rows.len(), 1 + z_width);
+    for (i, &row) in rows.iter().enumerate() {
+        let xr = x.row_mut(i);
+        xr[0] = 1.0;
+        let mut offset = 1;
+        for b in &blocks {
+            b.fill(row, &mut xr[offset..offset + b.width()]);
+            offset += b.width();
+        }
+    }
+    Ok(x)
+}
+
+/// Outcome values over `rows`, or a typed error naming the column when any
+/// cell is non-numeric.
+pub(crate) fn outcome_values(df: &DataFrame, outcome: &str, rows: &[usize]) -> Result<Vec<f64>> {
+    let col = df.column(outcome)?;
+    rows.iter()
+        .map(|&r| {
+            col.get_f64(r).ok_or_else(|| {
+                CausalError::Estimation(format!("outcome `{outcome}` is not numeric"))
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -11,14 +11,14 @@
 //! the third estimator ablation — DoWhy exposes the same trio (linear /
 //! stratification / IPW) for backdoor adjustment.
 
-use super::{design, Estimate, MIN_ARM_SIZE};
+use super::{design, normal_inference, Estimate, MIN_ARM_SIZE};
 use crate::error::{CausalError, Result};
 use crate::linalg::{solve_spd, Matrix};
-use faircap_table::stats::normal_cdf;
 use faircap_table::{DataFrame, Mask};
 
-/// Propensity clip bounds (positivity enforcement).
-const CLIP: f64 = 0.01;
+/// Propensity clip bounds (positivity enforcement); shared with the AIPW
+/// estimator so both enforce the same overlap region.
+pub(crate) const CLIP: f64 = 0.01;
 /// IRLS iteration cap; logistic fits on clean designs converge in < 10.
 const MAX_IRLS_ITERS: usize = 25;
 
@@ -40,31 +40,12 @@ pub fn estimate(
         )));
     }
 
-    let outcome_col = df.column(outcome)?;
-    let y: Vec<f64> = rows
-        .iter()
-        .map(|&r| {
-            outcome_col.get_f64(r).ok_or_else(|| {
-                CausalError::Estimation(format!("outcome `{outcome}` is not numeric"))
-            })
-        })
-        .collect::<Result<_>>()?;
+    let y = design::outcome_values(df, outcome, &rows)?;
     let t: Vec<bool> = rows.iter().map(|&r| treated.get(r)).collect();
 
     // Propensity design: [1, Z...]; with an empty adjustment set the model
     // degenerates to the marginal treatment rate (as it should).
-    let (blocks, z_width) = design::build_blocks(df, adjustment, group)?;
-    let k = 1 + z_width;
-    let mut x = Matrix::zeros(n, k);
-    for (i, &row) in rows.iter().enumerate() {
-        let xr = x.row_mut(i);
-        xr[0] = 1.0;
-        let mut offset = 1;
-        for b in &blocks {
-            b.fill(row, &mut xr[offset..offset + b.width()]);
-            offset += b.width();
-        }
-    }
+    let x = design::build_intercept_design(df, adjustment, group, &rows)?;
     let propensities = logistic_fit(&x, &t)?;
 
     // Hájek-weighted means per arm, with clipped propensities.
@@ -103,17 +84,7 @@ pub fn estimate(
         }
     }
     let var = var_t / (sw_t * sw_t) + var_c / (sw_c * sw_c);
-    let (std_err, t_stat, p_value) = if var > 0.0 {
-        let se = var.sqrt();
-        let z = cate / se;
-        (se, z, 2.0 * (1.0 - normal_cdf(z.abs())))
-    } else {
-        (
-            0.0,
-            f64::INFINITY * cate.signum(),
-            if cate == 0.0 { 1.0 } else { 0.0 },
-        )
-    };
+    let (std_err, t_stat, p_value) = normal_inference(cate, var);
     Ok(Estimate {
         cate,
         std_err,
@@ -125,7 +96,9 @@ pub fn estimate(
 }
 
 /// Logistic regression by IRLS; returns fitted probabilities per row.
-fn logistic_fit(x: &Matrix, t: &[bool]) -> Result<Vec<f64>> {
+/// Shared with the AIPW estimator, which augments the same propensity
+/// model with per-arm outcome regressions.
+pub(crate) fn logistic_fit(x: &Matrix, t: &[bool]) -> Result<Vec<f64>> {
     let n = x.rows();
     let k = x.cols();
     let mut beta = vec![0.0; k];

@@ -1,6 +1,6 @@
 //! CATE estimation under backdoor adjustment.
 //!
-//! Both estimators compute `CATE(T, O | B)` (Section 3 of the paper): the
+//! All estimators compute `CATE(T, O | B)` (Section 3 of the paper): the
 //! expected difference in outcome between treated and control rows of a
 //! subgroup, adjusting for a confounder set `Z` identified from the causal
 //! DAG.
@@ -13,15 +13,46 @@
 //!   formula; used as an ablation and as ground-truth cross-check.
 //! * [`ipw`] — inverse propensity weighting with an IRLS logistic
 //!   propensity model; the third member of DoWhy's backdoor trio.
+//! * [`aipw`] — augmented IPW (doubly robust): per-arm outcome regressions
+//!   plus the IPW propensity model, consistent when *either* nuisance model
+//!   is correct.
+//! * [`matching`] — k-nearest-neighbor covariate matching with regression
+//!   bias adjustment on the encoded design matrix.
+//!
+//! `docs/estimators.md` in the repository root documents the assumptions
+//! and bias/variance trade-offs of each estimator and when the doubly
+//! robust one is worth its extra cost.
 
+pub mod aipw;
 pub(crate) mod design;
 pub mod ipw;
 pub mod linear;
+pub mod matching;
 pub mod stratified;
 
 use faircap_table::{DataFrame, Mask};
 
 use crate::error::Result;
+
+/// Normal-approximation inference shared by the weighting, stratification,
+/// and matching estimators: `(std_err, t_stat, p_value)` from a point
+/// estimate and its variance. Zero variance means a deterministic outcome,
+/// where a non-zero effect is treated as exact (p = 0) and a zero effect
+/// as uninformative (p = 1).
+pub(crate) fn normal_inference(cate: f64, var: f64) -> (f64, f64, f64) {
+    use faircap_table::stats::normal_cdf;
+    if var > 0.0 {
+        let se = var.sqrt();
+        let z = cate / se;
+        (se, z, 2.0 * (1.0 - normal_cdf(z.abs())))
+    } else {
+        (
+            0.0,
+            f64::INFINITY * cate.signum(),
+            if cate == 0.0 { 1.0 } else { 0.0 },
+        )
+    }
+}
 
 /// A treatment-effect estimate with inference statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,6 +88,36 @@ pub enum EstimatorKind {
     Stratified,
     /// Inverse propensity weighting (Hájek-normalized).
     Ipw,
+    /// Augmented IPW — doubly robust outcome-regression + propensity score.
+    Aipw,
+    /// k-NN covariate matching with regression bias adjustment.
+    Matching,
+}
+
+impl EstimatorKind {
+    /// Every built-in estimator, in ablation order — what the CLI accepts
+    /// and the bench drivers sweep.
+    pub const ALL: [EstimatorKind; 5] = [
+        EstimatorKind::Linear,
+        EstimatorKind::Stratified,
+        EstimatorKind::Ipw,
+        EstimatorKind::Aipw,
+        EstimatorKind::Matching,
+    ];
+
+    /// Parse a built-in estimator from its stable name (the same string
+    /// [`Estimator::name`] returns).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use faircap_causal::EstimatorKind;
+    /// assert_eq!(EstimatorKind::parse("aipw"), Some(EstimatorKind::Aipw));
+    /// assert_eq!(EstimatorKind::parse("nope"), None);
+    /// ```
+    pub fn parse(name: &str) -> Option<EstimatorKind> {
+        EstimatorKind::ALL.into_iter().find(|k| k.name() == name)
+    }
 }
 
 /// Minimum rows per arm below which an estimate is refused. The paper
@@ -66,12 +127,44 @@ pub const MIN_ARM_SIZE: usize = 5;
 
 /// A pluggable CATE estimator.
 ///
-/// [`EstimatorKind`] implements this for the three built-in estimators;
-/// downstream crates can implement it to bring their own (e.g. doubly-robust
-/// AIPW) and pass it per solve request without rebuilding a session. The
+/// [`EstimatorKind`] implements this for the built-in estimators;
+/// downstream crates can implement it to bring their own and pass it per
+/// solve request without rebuilding a session. The
 /// [`CateEngine`](crate::cate::CateEngine) caches estimates keyed by
 /// [`Estimator::name`], so implementations must return a name that uniquely
-/// identifies the estimator's behaviour.
+/// identifies the estimator's behaviour — cache hits and misses are also
+/// reported per name (see
+/// [`CateEngine::cache_stats_by_estimator`](crate::cate::CateEngine::cache_stats_by_estimator)).
+///
+/// # Examples
+///
+/// Wrapping a built-in estimator under a distinct cache identity:
+///
+/// ```
+/// use faircap_causal::{Estimate, Estimator, EstimatorKind};
+/// use faircap_table::{DataFrame, Mask};
+///
+/// struct PinnedLinear;
+///
+/// impl Estimator for PinnedLinear {
+///     fn name(&self) -> &str {
+///         "pinned-linear-v1" // distinct name → distinct cache scope
+///     }
+///
+///     fn estimate(
+///         &self,
+///         df: &DataFrame,
+///         group: &Mask,
+///         treated: &Mask,
+///         outcome: &str,
+///         adjustment: &[String],
+///     ) -> faircap_causal::Result<Estimate> {
+///         EstimatorKind::Linear.estimate(df, group, treated, outcome, adjustment)
+///     }
+/// }
+///
+/// assert_eq!(PinnedLinear.name(), "pinned-linear-v1");
+/// ```
 pub trait Estimator: Send + Sync {
     /// Stable identifier used in cache keys and labels.
     fn name(&self) -> &str;
@@ -94,6 +187,8 @@ impl Estimator for EstimatorKind {
             EstimatorKind::Linear => "linear",
             EstimatorKind::Stratified => "stratified",
             EstimatorKind::Ipw => "ipw",
+            EstimatorKind::Aipw => "aipw",
+            EstimatorKind::Matching => "matching",
         }
     }
 
@@ -127,5 +222,26 @@ pub fn estimate_cate(
         EstimatorKind::Linear => linear::estimate(df, group, treated, outcome, adjustment),
         EstimatorKind::Stratified => stratified::estimate(df, group, treated, outcome, adjustment),
         EstimatorKind::Ipw => ipw::estimate(df, group, treated, outcome, adjustment),
+        EstimatorKind::Aipw => aipw::estimate(df, group, treated, outcome, adjustment),
+        EstimatorKind::Matching => matching::estimate(df, group, treated, outcome, adjustment),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for kind in EstimatorKind::ALL {
+            assert_eq!(EstimatorKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(EstimatorKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn default_is_the_paper_estimator() {
+        assert_eq!(EstimatorKind::default(), EstimatorKind::Linear);
+        assert_eq!(EstimatorKind::default().name(), "linear");
     }
 }

@@ -10,9 +10,8 @@
 //! reweighted over the valid strata, and the fraction of rows in valid
 //! strata is exposed for diagnostics via the returned arm counts.
 
-use super::{Estimate, MIN_ARM_SIZE};
+use super::{normal_inference, Estimate, MIN_ARM_SIZE};
 use crate::error::{CausalError, Result};
-use faircap_table::stats::normal_cdf;
 use faircap_table::{Column, DataFrame, Mask};
 
 /// Number of quantile bins for numeric covariates.
@@ -98,18 +97,8 @@ pub fn estimate(
         ));
     }
     let cate = effect / weight_total;
-    let std_err = (variance / (weight_total * weight_total)).sqrt();
-    let (t_stat, p_value) = if std_err > 0.0 {
-        let t = cate / std_err;
-        (t, 2.0 * (1.0 - normal_cdf(t.abs())))
-    } else {
-        // Zero sampling variance (deterministic outcome); treat a non-zero
-        // effect as exact.
-        (
-            f64::INFINITY * cate.signum(),
-            if cate == 0.0 { 1.0 } else { 0.0 },
-        )
-    };
+    let (std_err, t_stat, p_value) =
+        normal_inference(cate, variance / (weight_total * weight_total));
     Ok(Estimate {
         cate,
         std_err,

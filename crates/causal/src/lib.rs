@@ -6,8 +6,10 @@
 //! * [`graph::Dag`] — Pearl-style causal DAGs with cycle-checked insertion.
 //! * [`dsep`] — d-separation via the moralized-ancestral-graph criterion.
 //! * [`backdoor`] — backdoor-criterion validation and adjustment-set search.
-//! * [`estimate`] — CATE estimators: OLS linear adjustment (the paper's
-//!   DoWhy default) and exact stratification.
+//! * [`estimate`] — pluggable CATE estimators ([`Estimator`]): OLS linear
+//!   adjustment (the paper's DoWhy default), exact stratification, IPW,
+//!   doubly-robust AIPW, and k-NN matching — assumptions and trade-offs
+//!   are documented in `docs/estimators.md` at the repository root.
 //! * [`cate::CateEngine`] — cached high-level CATE queries for rules.
 //! * [`discovery`] — PC-stable causal discovery (Table 6's "PC DAG").
 //! * [`scm`] — structural causal models for generating the synthetic

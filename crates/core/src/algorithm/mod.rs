@@ -45,9 +45,10 @@ pub struct ProblemInput<'a> {
 /// One-shot compatibility shim: builds a throwaway session (cloning the
 /// frame and DAG), solves once, and discards every cache — and panics on
 /// invalid input, because its signature predates typed errors. New code
-/// should build a [`FairCap::builder`] session and call
-/// [`solve`](crate::session::PrescriptionSession::solve), which returns
-/// `Result` and reuses caches across calls.
+/// should build a session via [`FairCap::builder()`](crate::session::FairCap::builder)
+/// and call [`PrescriptionSession::solve`](crate::session::PrescriptionSession::solve),
+/// which returns `Result`, reuses caches across calls, and accepts
+/// per-request estimators. `docs/building.md` covers the migration.
 #[deprecated(
     since = "0.2.0",
     note = "build a PrescriptionSession via FairCap::builder() and call solve(); \

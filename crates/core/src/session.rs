@@ -183,6 +183,26 @@ impl SessionBuilder {
 /// knob of [`FairCapConfig`]. `estimator` — when set — overrides
 /// `config.estimator` with an arbitrary [`Estimator`] implementation,
 /// allowing per-request estimator selection without rebuilding the session.
+///
+/// # Examples
+///
+/// Requests are built fluently; the same session can serve each of these
+/// without re-estimating anything it already estimated:
+///
+/// ```
+/// use faircap_causal::EstimatorKind;
+/// use faircap_core::{FairnessConstraint, FairnessScope, SolveRequest};
+///
+/// let fair_aipw = SolveRequest::default()
+///     .fairness(FairnessConstraint::StatisticalParity {
+///         scope: FairnessScope::Group,
+///         epsilon: 10_000.0,
+///     })
+///     .max_rules(5)
+///     .estimator_kind(EstimatorKind::Aipw);
+/// assert_eq!(fair_aipw.config.max_rules, 5);
+/// assert_eq!(fair_aipw.config.estimator, EstimatorKind::Aipw);
+/// ```
 #[derive(Clone, Default)]
 pub struct SolveRequest {
     /// Constraints and algorithm knobs.
@@ -288,6 +308,47 @@ impl GroupingKey {
 /// estimator, and rule budget while reusing every cache the previous calls
 /// warmed up. All methods take `&self`; the session is `Sync` and can serve
 /// concurrent solves.
+///
+/// # Examples
+///
+/// Build a session from an in-memory frame and DAG, then solve:
+///
+/// ```
+/// use faircap_causal::Dag;
+/// use faircap_core::{FairCap, SolveRequest};
+/// use faircap_table::{DataFrame, Pattern, Value};
+///
+/// // 40 rows: one immutable attribute (`grp`), one mutable treatment.
+/// let n = 40;
+/// let grp: Vec<&str> = (0..n).map(|i| if i % 4 == 0 { "p" } else { "np" }).collect();
+/// let treat: Vec<&str> = (0..n).map(|i| if i % 2 == 0 { "yes" } else { "no" }).collect();
+/// let outcome: Vec<f64> = (0..n)
+///     .map(|i| {
+///         let base = if i % 4 == 0 { 40.0 } else { 50.0 };
+///         let lift = if i % 2 == 0 { 10.0 } else { 0.0 };
+///         base + lift + (i % 5) as f64 * 0.1 // variation so variances are non-zero
+///     })
+///     .collect();
+/// let df = DataFrame::builder()
+///     .cat("grp", &grp)
+///     .cat("treat", &treat)
+///     .float("outcome", outcome)
+///     .build()
+///     .unwrap();
+/// let dag = Dag::parse_edge_list("grp -> outcome\ntreat -> outcome").unwrap();
+///
+/// let session = FairCap::builder()
+///     .data(df)
+///     .dag(dag)
+///     .outcome("outcome")
+///     .immutable(["grp"])
+///     .mutable(["treat"])
+///     .protected(Pattern::of_eq(&[("grp", Value::from("p"))]))
+///     .build()?;
+/// let report = session.solve(&SolveRequest::default())?;
+/// assert!(report.size() <= 20);
+/// # Ok::<(), faircap_core::Error>(())
+/// ```
 pub struct PrescriptionSession {
     df: Arc<DataFrame>,
     dag: Arc<Dag>,
@@ -354,9 +415,33 @@ impl PrescriptionSession {
         &self.engine
     }
 
-    /// Estimate-cache hit/miss counters accumulated over all solves.
+    /// Estimate-cache hit/miss counters accumulated over all solves,
+    /// aggregated over estimators.
+    ///
+    /// # Examples
+    ///
+    /// A constraint-only re-solve is served entirely from cache:
+    ///
+    /// ```no_run
+    /// # use faircap_core::{FairCap, SolveRequest};
+    /// # fn session() -> faircap_core::PrescriptionSession { unimplemented!() }
+    /// let session = session();
+    /// session.solve(&SolveRequest::default())?;
+    /// let warm = session.cache_stats();
+    /// session.solve(&SolveRequest::default().max_rules(3))?;
+    /// assert_eq!(session.cache_stats().misses, warm.misses);
+    /// # Ok::<(), faircap_core::Error>(())
+    /// ```
     pub fn cache_stats(&self) -> CacheStats {
         self.engine.cache_stats()
+    }
+
+    /// Estimate-cache counters broken down per estimator name — an
+    /// estimator sweep on one session can attribute hits and misses to
+    /// each estimator it used. See
+    /// [`CateEngine::cache_stats_by_estimator`].
+    pub fn cache_stats_by_estimator(&self) -> std::collections::BTreeMap<String, CacheStats> {
+        self.engine.cache_stats_by_estimator()
     }
 
     /// Solve the instance under one constraint/estimator combination.
@@ -635,6 +720,26 @@ mod tests {
         assert_eq!(
             lin.summary, via_custom.summary,
             "Arc<dyn Estimator> must match the built-in path"
+        );
+    }
+
+    #[test]
+    fn aipw_and_matching_estimators_solve() {
+        let s = session();
+        for kind in [EstimatorKind::Aipw, EstimatorKind::Matching] {
+            let report = s
+                .solve(&SolveRequest::default().estimator_kind(kind))
+                .unwrap();
+            assert!(!report.rules.is_empty(), "{kind:?} selected no rules");
+            assert!(report.summary.expected > 0.0, "{kind:?}");
+        }
+        // The sweep's cache traffic is attributable per estimator name.
+        let per = s.cache_stats_by_estimator();
+        assert!(per["aipw"].misses > 0);
+        assert!(per["matching"].misses > 0);
+        assert_eq!(
+            per.values().map(|s| s.misses).sum::<u64>(),
+            s.cache_stats().misses
         );
     }
 

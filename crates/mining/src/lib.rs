@@ -2,7 +2,7 @@
 //!
 //! Frequent-pattern substrate for FairCap:
 //!
-//! * [`apriori`] — the Apriori algorithm over attribute–value items, used by
+//! * [`apriori`](mod@apriori) — the Apriori algorithm over attribute–value items, used by
 //!   step 1 (§5.1) to mine grouping patterns with a support threshold.
 //! * [`lattice`] — the positive-parent lattice traversal of step 2 (§5.2),
 //!   generic over the scoring function so the core crate can plug in

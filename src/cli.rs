@@ -3,7 +3,7 @@
 //! Kept in the library so the parsing logic is unit-testable; the binary in
 //! `src/bin/faircap.rs` is a thin wrapper.
 
-use faircap_causal::{Dag, EstimatorKind};
+use faircap_causal::{Dag, Estimator, EstimatorKind};
 use faircap_core::{
     CoverageConstraint, FairCap, FairCapConfig, FairnessConstraint, FairnessScope, SolutionReport,
     SolveRequest,
@@ -29,7 +29,7 @@ pub struct CliOptions {
     pub fairness: String,
     /// Coverage spec: `none`, `group:THETA:THETA_P`, `rule:THETA:THETA_P`.
     pub coverage: String,
-    /// Estimator: `linear`, `stratified`, `ipw`.
+    /// Estimator: `linear`, `stratified`, `ipw`, `aipw`, `matching`.
     pub estimator: String,
     /// Maximum rules to select.
     pub max_rules: usize,
@@ -43,12 +43,13 @@ USAGE:
   faircap --data FILE.csv --dag DAG.txt --outcome COL \\
           --mutable a,b,c --protected attr=value[,attr=value] \\
           [--fairness sp-group:10000] [--coverage group:0.5:0.5] \\
-          [--estimator linear|stratified|ipw] [--max-rules 20]
+          [--estimator linear|stratified|ipw|aipw|matching] [--max-rules 20]
 
 The DAG file holds one `parent -> child` edge per line (DOT output of this
 tool's own Dag type is accepted). Fairness: none | sp-group:EPS |
 sp-individual:EPS | bgl-group:TAU | bgl-individual:TAU. Coverage:
-none | group:THETA:THETA_P | rule:THETA:THETA_P.";
+none | group:THETA:THETA_P | rule:THETA:THETA_P. Estimators are documented
+in docs/estimators.md.";
 
 /// Parse CLI arguments (without the program name).
 pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
@@ -171,14 +172,16 @@ pub fn parse_coverage(spec: &str) -> Result<CoverageConstraint, String> {
     }
 }
 
-/// Translate the estimator spec string.
+/// Translate the estimator spec string; accepts every built-in estimator
+/// by its stable name (`linear`, `stratified`, `ipw`, `aipw`, `matching`).
 pub fn parse_estimator(spec: &str) -> Result<EstimatorKind, String> {
-    match spec {
-        "linear" => Ok(EstimatorKind::Linear),
-        "stratified" => Ok(EstimatorKind::Stratified),
-        "ipw" => Ok(EstimatorKind::Ipw),
-        other => Err(format!("unknown estimator `{other}`")),
-    }
+    EstimatorKind::parse(spec).ok_or_else(|| {
+        let known: Vec<&str> = EstimatorKind::ALL.iter().map(|k| k.name()).collect();
+        format!(
+            "unknown estimator `{spec}` (expected one of: {})",
+            known.join(", ")
+        )
+    })
 }
 
 /// Build the protected pattern, inferring value types from the frame.
@@ -278,6 +281,20 @@ mod tests {
             parse_estimator(&opts.estimator).unwrap(),
             EstimatorKind::Ipw
         ));
+    }
+
+    #[test]
+    fn estimator_spec_variants() {
+        assert!(matches!(
+            parse_estimator("aipw").unwrap(),
+            EstimatorKind::Aipw
+        ));
+        assert!(matches!(
+            parse_estimator("matching").unwrap(),
+            EstimatorKind::Matching
+        ));
+        let err = parse_estimator("dowhy").unwrap_err();
+        assert!(err.contains("aipw") && err.contains("matching"), "{err}");
     }
 
     #[test]

@@ -38,9 +38,14 @@
 //! # Ok::<(), faircap::Error>(())
 //! ```
 //!
-//! Estimators are pluggable per request (`SolveRequest::estimator` takes
-//! any `Arc<dyn Estimator>`); the pre-0.2 one-shot `core::run()` remains as
-//! a deprecated shim for one release.
+//! Estimators are pluggable per request: `SolveRequest::estimator` takes
+//! any `Arc<dyn Estimator>`, and five built-ins ship in
+//! [`causal::EstimatorKind`] — `linear`, `stratified`, `ipw`, the doubly
+//! robust `aipw`, and k-NN `matching`; `docs/estimators.md` documents
+//! their assumptions and trade-offs, and cache statistics are reported per
+//! estimator name via [`PrescriptionSession::cache_stats_by_estimator`].
+//! The pre-0.2 one-shot [`core::run`] remains as a deprecated shim for one
+//! release; prefer [`FairCap::builder`] (see `docs/building.md`).
 //!
 //! ## Layers
 //!
@@ -55,8 +60,10 @@
 //!   (session-based entry points).
 //! * [`data`] — synthetic Stack Overflow and German Credit stand-ins.
 //!
-//! See the [README](https://github.com/faircap/faircap-rs) and the
-//! runnable examples (`cargo run --release --example quickstart`).
+//! See the [README](https://github.com/faircap/faircap-rs), the estimator
+//! guide in `docs/estimators.md`, the build notes in `docs/building.md`,
+//! and the runnable examples (`cargo run --release --example quickstart`,
+//! `--example estimator_tour`).
 
 #![warn(missing_docs)]
 
