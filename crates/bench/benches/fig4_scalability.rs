@@ -1,5 +1,6 @@
 //! Criterion counterpart of Figure 4: runtime vs dataset fraction (25–100%)
-//! for the unconstrained and group-fairness settings.
+//! for the unconstrained and group-fairness settings, plus a worker-count
+//! sweep of the Step-2 work-stealing executor on the full dataset.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use faircap_bench::{session_of, BENCH_ROWS, BENCH_SEED};
@@ -43,5 +44,23 @@ fn bench_fractions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fractions);
+/// Step-2 fan-out scaling: one cold session per measurement, solved with an
+/// explicit executor worker count (1 = serial executor path, still through
+/// the work-stealing scheduler).
+fn bench_workers(c: &mut Criterion) {
+    let ds = so::generate(BENCH_ROWS, BENCH_SEED);
+    let mut group = c.benchmark_group("fig4_step2_workers");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let session = session_of(&ds).unwrap();
+                black_box(session.solve(&SolveRequest::default().workers(w)).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fractions, bench_workers);
 criterion_main!(benches);

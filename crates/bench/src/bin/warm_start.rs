@@ -1,0 +1,113 @@
+//! Cold vs. warm solve: the session snapshot / warm-start story, measured.
+//!
+//! Builds a session, solves a constraint sweep cold (every CATE estimated
+//! from scratch), snapshots the warmed caches, then restores the snapshot
+//! into a fresh session and re-runs the sweep warm. Reports wall-clock per
+//! phase, the snapshot's size, and the warm solve's cache counters — which
+//! must show **zero** misses, the property the serving restart path relies
+//! on (also asserted by `tests/integration_snapshot.rs` and the CI
+//! round-trip job).
+//!
+//! ```sh
+//! cargo run --release -p faircap-bench --bin warm_start
+//! ```
+
+use faircap_bench::session_of;
+use faircap_core::{
+    FairnessConstraint, FairnessScope, SessionSnapshot, SolutionReport, SolveRequest,
+};
+use faircap_data::{german, so, Dataset};
+use std::time::Instant;
+
+fn sweep() -> Vec<SolveRequest> {
+    [
+        FairnessConstraint::None,
+        FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Group,
+            epsilon: 10_000.0,
+        },
+        FairnessConstraint::BoundedGroupLoss {
+            scope: FairnessScope::Group,
+            tau: 0.1,
+        },
+    ]
+    .into_iter()
+    .map(|f| SolveRequest::default().fairness(f))
+    .collect()
+}
+
+fn run(name: &str, ds: &Dataset) {
+    println!("== {name} ({} rows) ==", ds.df.n_rows());
+
+    let cold = session_of(ds).expect("dataset is well-formed");
+    let t0 = Instant::now();
+    let mut reports: Vec<SolutionReport> = Vec::new();
+    for request in sweep() {
+        reports.push(cold.solve(&request).expect("valid request"));
+    }
+    let cold_time = t0.elapsed();
+    let cold_stats = cold.cache_stats();
+
+    let t1 = Instant::now();
+    let snapshot = cold.snapshot();
+    let encoded = snapshot.encode();
+    let snapshot_time = t1.elapsed();
+
+    let t2 = Instant::now();
+    let decoded = SessionSnapshot::decode(&encoded).expect("own snapshot decodes");
+    let warm = session_of_warm(ds, decoded);
+    let restore_time = t2.elapsed();
+
+    let t3 = Instant::now();
+    let mut warm_reports: Vec<SolutionReport> = Vec::new();
+    for request in sweep() {
+        warm_reports.push(warm.solve(&request).expect("valid request"));
+    }
+    let warm_time = t3.elapsed();
+    let warm_stats = warm.cache_stats();
+
+    for (a, b) in reports.iter().zip(&warm_reports) {
+        assert_eq!(
+            format!("{:?}", a.summary),
+            format!("{:?}", b.summary),
+            "warm sweep must reproduce the cold sweep"
+        );
+    }
+    assert_eq!(warm_stats.misses, 0, "warm sweep must not re-estimate");
+
+    println!(
+        "  cold sweep : {cold_time:>10.2?}  ({} estimations)",
+        cold_stats.misses
+    );
+    println!(
+        "  snapshot   : {snapshot_time:>10.2?}  ({} estimates, {:.1} KiB)",
+        snapshot.state.estimates.len(),
+        encoded.len() as f64 / 1024.0
+    );
+    println!("  restore    : {restore_time:>10.2?}");
+    println!(
+        "  warm sweep : {warm_time:>10.2?}  ({} hits / {} misses)",
+        warm_stats.hits, warm_stats.misses
+    );
+    let speedup = cold_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9);
+    println!("  speedup    : {speedup:>9.1}x\n");
+}
+
+fn session_of_warm(ds: &Dataset, snapshot: SessionSnapshot) -> faircap_core::PrescriptionSession {
+    faircap_core::FairCap::builder()
+        .data(ds.df.clone())
+        .dag(ds.dag.clone())
+        .outcome(&ds.outcome)
+        .immutable(ds.immutable.iter().cloned())
+        .mutable(ds.mutable.iter().cloned())
+        .protected(ds.protected.clone())
+        .warm_start(snapshot)
+        .build()
+        .expect("snapshot matches the dataset")
+}
+
+fn main() {
+    println!("Cold vs. warm solve (3-constraint sweep per dataset)\n");
+    run("stackoverflow", &so::generate(10_000, 42));
+    run("german", &german::generate(german::GERMAN_DEFAULT_ROWS, 42));
+}

@@ -12,24 +12,32 @@
 //! * adjustment sets, derived from the DAG once per treatment-attribute set;
 //! * treated-row masks, one per intervention pattern;
 //! * full estimates, keyed by `(estimator, group, intervention)` — the cache
-//!   the greedy phase and repeated constraint re-solves hit hardest.
+//!   the greedy phase and repeated constraint re-solves hit hardest. This
+//!   one is a [`ShardedLruCache`]: lookups contend on one of its lock
+//!   shards instead of a single engine-wide mutex, and its entry count can
+//!   be bounded ([`CateEngine::set_estimate_cache_capacity`]) with
+//!   least-recently-used eviction for long-lived serving deployments.
 //!
-//! Hit/miss counters ([`CateEngine::cache_stats`]) make the reuse
+//! Hit/miss/eviction counters ([`CateEngine::cache_stats`]) make the reuse
 //! observable — in aggregate and per estimator name
 //! ([`CateEngine::cache_stats_by_estimator`]), so estimator sweeps can
 //! attribute cache behaviour to each estimator; the session integration
 //! tests assert on them.
+//!
+//! The full cache state (adjustment sets, treated masks, estimates) can be
+//! exported and re-imported ([`CateEngine::export_state`] /
+//! [`CateEngine::import_state`]) — the substrate of
+//! `PrescriptionSession::snapshot()` warm-starts.
 
 use crate::backdoor::find_adjustment_set_names;
 use crate::error::{CausalError, Result};
 use crate::estimate::{Estimate, Estimator};
 use crate::graph::Dag;
-use faircap_table::{DataFrame, DataType, Mask, Pattern};
+use faircap_table::{DataFrame, DataType, Mask, Pattern, ShardedLruCache};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Estimate-cache hit/miss counters (see [`CateEngine::cache_stats`]).
@@ -46,27 +54,46 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently held in the estimate cache.
     pub entries: usize,
+    /// Entries evicted to respect the cache's LRU bound (0 while the cache
+    /// is unbounded, the default).
+    pub evictions: u64,
 }
 
-/// Cached estimates of one `(estimator, group)` scope, per intervention.
-type PatternEstimates = HashMap<Pattern, Option<Estimate>>;
+/// Number of lock shards of the estimate cache. Step-2 mining fans out
+/// across worker threads that all funnel their CATE queries through one
+/// engine; 16 shards keep them off each other's locks.
+const ESTIMATE_CACHE_SHARDS: usize = 16;
 
-/// Estimates plus the per-estimator counters, under one lock so the cache
-/// hit path takes a single mutex acquisition.
-#[derive(Default)]
-struct EstimateCache {
-    estimates: HashMap<(u64, u64), PatternEstimates>,
-    per_estimator: HashMap<String, CacheStats>,
+/// Key of one cached estimate: estimator identity, subgroup fingerprint,
+/// intervention pattern. The estimator name is interned per query
+/// (`Arc<str>`), so evictions can attribute the departing entry back to its
+/// estimator's counters; the group is a 64-bit fingerprint of the mask
+/// (masks themselves live in the treated/grouping caches), which together
+/// with the full `Pattern` makes the key cheap to hash and —
+/// deliberately — serialization-friendly: `(name, fingerprint, pattern)`
+/// round-trips through the session snapshot format.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct EstimateKey {
+    estimator: Arc<str>,
+    group_fp: u64,
+    intervention: Pattern,
 }
 
-impl EstimateCache {
-    /// Update one estimator's counter slot, allocating its key on first use.
-    fn bump(&mut self, name: &str, f: impl FnOnce(&mut CacheStats)) {
-        match self.per_estimator.get_mut(name) {
-            Some(slot) => f(slot),
-            None => f(self.per_estimator.entry(name.to_owned()).or_default()),
-        }
-    }
+/// Exported cache state of a [`CateEngine`] — everything a warm restart
+/// needs (see [`CateEngine::export_state`]). Estimates are keyed by
+/// estimator *name*, group fingerprint, and intervention pattern; `None`
+/// estimates record "not estimable" answers so a warm solve does not
+/// re-discover them.
+#[derive(Debug, Clone, Default)]
+pub struct CateEngineState {
+    /// Backdoor adjustment sets per treatment-attribute set (`None` =
+    /// identification failed).
+    pub adjustments: Vec<(Vec<String>, Option<Vec<String>>)>,
+    /// Treated-row masks per intervention pattern.
+    pub treated: Vec<(Pattern, Mask)>,
+    /// Cached estimates: `(estimator name, group fingerprint, intervention,
+    /// estimate-or-not-estimable)`.
+    pub estimates: Vec<(String, u64, Pattern, Option<Estimate>)>,
 }
 
 /// Engine answering CATE queries against one dataset + DAG.
@@ -76,16 +103,11 @@ pub struct CateEngine {
     outcome: String,
     adjustment_cache: Mutex<HashMap<Vec<String>, Option<Vec<String>>>>,
     treated_cache: Mutex<HashMap<Pattern, Mask>>,
-    // Two-level keying keeps cache *hits* allocation-free: the outer key
-    // (estimator-name hash, group-mask fingerprint) is `Copy`, and the
-    // inner lookup borrows the query's `Pattern`; only a miss clones the
-    // pattern for insertion.
-    // Holds both the estimates and their per-estimator-name counters;
-    // hits look the name up by `&str` (no allocation) inside the same
-    // critical section as the estimate lookup.
-    estimate_cache: Mutex<EstimateCache>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Estimates and not-estimable verdicts, sharded and LRU-bounded.
+    /// Aggregate hit/miss/eviction counters live inside the cache (per
+    /// shard); the per-estimator-name breakdown lives in `per_estimator`.
+    estimate_cache: ShardedLruCache<EstimateKey, Option<Estimate>>,
+    per_estimator: Mutex<HashMap<String, CacheStats>>,
 }
 
 impl std::fmt::Debug for CateEngine {
@@ -119,9 +141,8 @@ impl CateEngine {
             outcome,
             adjustment_cache: Mutex::new(HashMap::new()),
             treated_cache: Mutex::new(HashMap::new()),
-            estimate_cache: Mutex::new(EstimateCache::default()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            estimate_cache: ShardedLruCache::unbounded(ESTIMATE_CACHE_SHARDS),
+            per_estimator: Mutex::new(HashMap::new()),
         })
     }
 
@@ -141,11 +162,14 @@ impl CateEngine {
     }
 
     /// Bind an estimator for a batch of queries; the returned view shares
-    /// this engine's caches.
+    /// this engine's caches. The estimator's name is interned once here, so
+    /// the per-query hot path builds its cache key without allocating for
+    /// the name.
     pub fn with_estimator<'a>(&'a self, estimator: &'a dyn Estimator) -> CateQuery<'a> {
         CateQuery {
             engine: self,
             estimator,
+            name: Arc::from(estimator.name()),
         }
     }
 
@@ -192,6 +216,29 @@ impl CateEngine {
         Ok(m)
     }
 
+    /// Bump one estimator's counter slot, allocating its key on first use.
+    fn bump(&self, name: &str, f: impl FnOnce(&mut CacheStats)) {
+        let mut per = self.per_estimator.lock();
+        match per.get_mut(name) {
+            Some(slot) => f(slot),
+            None => f(per.entry(name.to_owned()).or_default()),
+        }
+    }
+
+    /// Account evicted entries back to their estimators' counters.
+    fn absorb_evictions(&self, evicted: Vec<(EstimateKey, Option<Estimate>)>) {
+        if evicted.is_empty() {
+            return;
+        }
+        let mut per = self.per_estimator.lock();
+        for (key, _) in evicted {
+            if let Some(slot) = per.get_mut(key.estimator.as_ref()) {
+                slot.entries = slot.entries.saturating_sub(1);
+                slot.evictions += 1;
+            }
+        }
+    }
+
     /// CATE of `intervention` within `group` under `estimator`
     /// (Definition 4.4 utilities).
     ///
@@ -205,35 +252,40 @@ impl CateEngine {
         intervention: &Pattern,
         estimator: &dyn Estimator,
     ) -> Option<Estimate> {
-        let name = estimator.name();
-        let scope = (str_fingerprint(name), mask_fingerprint(group));
-        {
-            let mut cache = self.estimate_cache.lock();
-            let cache = &mut *cache;
-            if let Some(hit) = cache
-                .estimates
-                .get(&scope)
-                .and_then(|per_pattern| per_pattern.get(intervention))
-                .copied()
-            {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                cache.bump(name, |s| s.hits += 1);
-                return hit;
-            }
+        self.cate_with_name(group, intervention, &Arc::from(estimator.name()), estimator)
+    }
+
+    /// [`cate`](Self::cate) with a pre-interned estimator name —
+    /// [`CateQuery`] resolves the `Arc<str>` once per solve so the
+    /// per-query key build only clones a pointer.
+    fn cate_with_name(
+        &self,
+        group: &Mask,
+        intervention: &Pattern,
+        name: &Arc<str>,
+        estimator: &dyn Estimator,
+    ) -> Option<Estimate> {
+        let key = EstimateKey {
+            estimator: Arc::clone(name),
+            group_fp: mask_fingerprint(group),
+            intervention: intervention.clone(),
+        };
+        if let Some(hit) = self.estimate_cache.get(&key) {
+            self.bump(name, |s| s.hits += 1);
+            return hit;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let result = self.cate_uncached(group, intervention, estimator);
-        let mut cache = self.estimate_cache.lock();
-        cache.bump(name, |s| s.misses += 1);
-        let inserted = cache
-            .estimates
-            .entry(scope)
-            .or_default()
-            .insert(intervention.clone(), result)
-            .is_none();
-        if inserted {
-            cache.bump(name, |s| s.entries += 1);
-        }
+        // A racing duplicate query may have inserted the same key first;
+        // `replaced` distinguishes that (same value — estimation is
+        // deterministic), so per-estimator entry counts stay exact.
+        let inserted = self.estimate_cache.insert(key, result);
+        self.bump(name, |s| {
+            s.misses += 1;
+            if !inserted.replaced {
+                s.entries += 1;
+            }
+        });
+        self.absorb_evictions(inserted.evicted);
         result
     }
 
@@ -260,12 +312,20 @@ impl CateEngine {
 
     /// Number of cached estimates (diagnostics).
     pub fn cache_len(&self) -> usize {
-        self.estimate_cache
-            .lock()
-            .estimates
-            .values()
-            .map(PatternEstimates::len)
-            .sum()
+        self.estimate_cache.len()
+    }
+
+    /// Bound the estimate cache to at most `capacity` entries, evicting
+    /// least-recently-used estimates immediately if it is over the bound.
+    /// The engine starts unbounded (`usize::MAX`).
+    pub fn set_estimate_cache_capacity(&self, capacity: usize) {
+        let evicted = self.estimate_cache.set_capacity(capacity);
+        self.absorb_evictions(evicted);
+    }
+
+    /// The estimate cache's configured entry bound.
+    pub fn estimate_cache_capacity(&self) -> usize {
+        self.estimate_cache.capacity()
     }
 
     /// Estimate-cache hit/miss counters since the engine was built,
@@ -302,10 +362,12 @@ impl CateEngine {
     /// assert_eq!(per["linear"].misses, 1);
     /// ```
     pub fn cache_stats(&self) -> CacheStats {
+        let c = self.estimate_cache.counters();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.cache_len(),
+            hits: c.hits,
+            misses: c.misses,
+            entries: c.entries,
+            evictions: c.evictions,
         }
     }
 
@@ -317,9 +379,8 @@ impl CateEngine {
     /// [`cache_stats`](Self::cache_stats) (entries may transiently differ
     /// under concurrent insertion, since the aggregate recounts the cache).
     pub fn cache_stats_by_estimator(&self) -> BTreeMap<String, CacheStats> {
-        self.estimate_cache
+        self.per_estimator
             .lock()
-            .per_estimator
             .iter()
             .map(|(k, v)| (k.clone(), *v))
             .collect()
@@ -328,22 +389,76 @@ impl CateEngine {
     /// Estimate-cache counters for one estimator name; zeros if the
     /// estimator was never queried on this engine.
     pub fn cache_stats_for(&self, name: &str) -> CacheStats {
-        self.estimate_cache
+        self.per_estimator
             .lock()
-            .per_estimator
             .get(name)
             .copied()
             .unwrap_or_default()
     }
+
+    /// Export every cache the engine has warmed — adjustment sets, treated
+    /// masks, and estimates — for persistence. The inverse of
+    /// [`import_state`](Self::import_state).
+    pub fn export_state(&self) -> CateEngineState {
+        let adjustments = self
+            .adjustment_cache
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let treated = self
+            .treated_cache
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let mut estimates = Vec::with_capacity(self.estimate_cache.len());
+        self.estimate_cache.for_each(|key, est| {
+            estimates.push((
+                key.estimator.to_string(),
+                key.group_fp,
+                key.intervention.clone(),
+                *est,
+            ));
+        });
+        CateEngineState {
+            adjustments,
+            treated,
+            estimates,
+        }
+    }
+
+    /// Warm the engine's caches from a previously exported state. Imported
+    /// entries count toward per-estimator `entries` but not hits or misses;
+    /// if the estimate cache is bounded and the import overflows it, the
+    /// overflow is evicted LRU-first (imports are applied in order, so
+    /// later records survive).
+    pub fn import_state(&self, state: CateEngineState) {
+        self.adjustment_cache.lock().extend(state.adjustments);
+        self.treated_cache.lock().extend(state.treated);
+        for (name, group_fp, intervention, est) in state.estimates {
+            let key = EstimateKey {
+                estimator: Arc::from(name.as_str()),
+                group_fp,
+                intervention,
+            };
+            let inserted = self.estimate_cache.insert(key, est);
+            if !inserted.replaced {
+                self.bump(&name, |s| s.entries += 1);
+            }
+            self.absorb_evictions(inserted.evicted);
+        }
+    }
 }
 
 /// A [`CateEngine`] bound to one estimator — the view the mining and greedy
-/// phases consume. Cheap to construct per solve; all caches live on the
-/// engine and are shared across views.
-#[derive(Clone, Copy)]
+/// phases consume. Cheap to construct per solve (it interns the estimator
+/// name once); all caches live on the engine and are shared across views.
+#[derive(Clone)]
 pub struct CateQuery<'a> {
     engine: &'a CateEngine,
     estimator: &'a dyn Estimator,
+    name: Arc<str>,
 }
 
 impl<'a> CateQuery<'a> {
@@ -369,19 +484,17 @@ impl<'a> CateQuery<'a> {
 
     /// See [`CateEngine::cate`].
     pub fn cate(&self, group: &Mask, intervention: &Pattern) -> Option<Estimate> {
-        self.engine.cate(group, intervention, self.estimator)
+        self.engine
+            .cate_with_name(group, intervention, &self.name, self.estimator)
     }
 }
 
+/// Deterministic 64-bit fingerprint of a mask's bits. `DefaultHasher::new`
+/// uses fixed keys, so the fingerprint is stable across processes on the
+/// same toolchain — the property the snapshot format relies on.
 fn mask_fingerprint(mask: &Mask) -> u64 {
     let mut h = DefaultHasher::new();
     mask.hash(&mut h);
-    h.finish()
-}
-
-fn str_fingerprint(s: &str) -> u64 {
-    let mut h = DefaultHasher::new();
-    s.hash(&mut h);
     h.finish()
 }
 
@@ -489,7 +602,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                entries: 1
+                entries: 1,
+                evictions: 0,
             }
         );
         assert_eq!(
@@ -497,7 +611,8 @@ mod tests {
             CacheStats {
                 hits: 0,
                 misses: 1,
-                entries: 1
+                entries: 1,
+                evictions: 0,
             }
         );
         // Never-queried estimators report zeros and are absent from the map.
@@ -508,6 +623,61 @@ mod tests {
         assert_eq!(per.values().map(|s| s.hits).sum::<u64>(), agg.hits);
         assert_eq!(per.values().map(|s| s.misses).sum::<u64>(), agg.misses);
         assert_eq!(per.values().map(|s| s.entries).sum::<usize>(), agg.entries);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_counts() {
+        let engine = engine();
+        engine.set_estimate_cache_capacity(2);
+        let all = Mask::ones(engine.df().n_rows());
+        let north = Pattern::of_eq(&[("region", Value::from("north"))])
+            .coverage(engine.df())
+            .unwrap();
+        let south = Pattern::of_eq(&[("region", Value::from("south"))])
+            .coverage(engine.df())
+            .unwrap();
+        let p = Pattern::of_eq(&[("educated", Value::Bool(true))]);
+        for group in [&all, &north, &south, &all, &north] {
+            engine.cate(group, &p, &EstimatorKind::Linear);
+        }
+        let stats = engine.cache_stats();
+        assert!(
+            stats.entries <= 2,
+            "bounded cache held {} entries",
+            stats.entries
+        );
+        assert!(stats.evictions >= 3, "evictions {}", stats.evictions);
+        // The per-estimator breakdown tracks the evictions too.
+        let linear = engine.cache_stats_for("linear");
+        assert_eq!(linear.evictions, stats.evictions);
+        assert_eq!(linear.entries, stats.entries);
+    }
+
+    #[test]
+    fn export_import_round_trips_state() {
+        let engine = engine();
+        let all = Mask::ones(engine.df().n_rows());
+        let p = Pattern::of_eq(&[("educated", Value::Bool(true))]);
+        let original = engine.cate(&all, &p, &EstimatorKind::Linear);
+        // Also cache a not-estimable verdict.
+        let ghost = Pattern::of_eq(&[("ghost", Value::Int(1))]);
+        assert!(engine.cate(&all, &ghost, &EstimatorKind::Linear).is_none());
+        let state = engine.export_state();
+        assert_eq!(state.estimates.len(), 2);
+        assert!(!state.adjustments.is_empty());
+        assert!(!state.treated.is_empty());
+
+        let (df, dag) = fixture();
+        let fresh = CateEngine::new(df, dag, "income").unwrap();
+        fresh.import_state(state);
+        assert_eq!(fresh.cache_stats().misses, 0);
+        let warm = fresh.cate(&all, &p, &EstimatorKind::Linear);
+        assert_eq!(warm, original);
+        assert!(fresh.cate(&all, &ghost, &EstimatorKind::Linear).is_none());
+        let stats = fresh.cache_stats();
+        assert_eq!(stats.misses, 0, "warm queries must all hit");
+        assert_eq!(stats.hits, 2);
+        assert_eq!(fresh.cache_stats_for("linear").entries, 2);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod scm;
 pub mod discovery;
 
 pub use backdoor::{find_adjustment_set, find_adjustment_set_names, is_valid_backdoor};
-pub use cate::{CacheStats, CateEngine, CateQuery};
+pub use cate::{CacheStats, CateEngine, CateEngineState, CateQuery};
 pub use dsep::{d_separated, d_separated_names};
 pub use error::{CausalError, Result};
 pub use estimate::{estimate_cate, Estimate, Estimator, EstimatorKind};

@@ -1,9 +1,9 @@
 //! The FairCap three-step algorithm (Algorithm 1).
 //!
 //! The pipeline lives on [`PrescriptionSession::solve`]; this module holds
-//! the per-step implementations (`grouping`, `intervention`, `greedy`), the
-//! fan-out across grouping patterns, and the deprecated one-shot [`run`]
-//! compatibility shim.
+//! the per-step implementations (`grouping`, `intervention`, `greedy`) and
+//! the Step-2 fan-out across grouping patterns, which runs on the
+//! work-stealing executor in [`crate::exec`].
 //!
 //! [`PrescriptionSession::solve`]: crate::session::PrescriptionSession::solve
 
@@ -12,72 +12,29 @@ pub mod grouping;
 pub mod intervention;
 
 use crate::config::FairCapConfig;
-use crate::report::SolutionReport;
+use crate::exec::{self, ExecStats};
 use crate::rule::Rule;
-use crate::session::{FairCap, SolveRequest};
-use faircap_causal::{CateQuery, Dag};
-use faircap_table::{DataFrame, Mask, Pattern};
-
-/// Everything a Prescription Ruleset Selection instance needs
-/// (Definition 4.6): data, causal model, outcome, the immutable/mutable
-/// split, and the protected group.
-///
-/// Only consumed by the deprecated [`run`] shim; the session API takes the
-/// same fields through [`FairCap::builder`].
-#[derive(Clone, Copy)]
-pub struct ProblemInput<'a> {
-    /// The database `D`.
-    pub df: &'a DataFrame,
-    /// The causal DAG `G_D`.
-    pub dag: &'a Dag,
-    /// Outcome attribute `O`.
-    pub outcome: &'a str,
-    /// Immutable attributes `I`.
-    pub immutable: &'a [String],
-    /// Mutable attributes `M`.
-    pub mutable: &'a [String],
-    /// Protected-group pattern `P_p`.
-    pub protected: &'a Pattern,
-}
-
-/// Run FairCap end to end and return the solution with per-step timings.
-///
-/// One-shot compatibility shim: builds a throwaway session (cloning the
-/// frame and DAG), solves once, and discards every cache — and panics on
-/// invalid input, because its signature predates typed errors. New code
-/// should build a session via [`FairCap::builder()`](crate::session::FairCap::builder)
-/// and call [`PrescriptionSession::solve`](crate::session::PrescriptionSession::solve),
-/// which returns `Result`, reuses caches across calls, and accepts
-/// per-request estimators. `docs/building.md` covers the migration.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a PrescriptionSession via FairCap::builder() and call solve(); \
-            run() rebuilds the engine caches on every call and panics on bad input"
-)]
-pub fn run(input: &ProblemInput<'_>, config: &FairCapConfig) -> SolutionReport {
-    let session = FairCap::builder()
-        .data(input.df.clone())
-        .dag(input.dag.clone())
-        .outcome(input.outcome)
-        .immutable(input.immutable.iter().cloned())
-        .mutable(input.mutable.iter().cloned())
-        .protected(input.protected.clone())
-        .build()
-        .expect("invalid problem input (the deprecated run() shim panics; the builder reports this as a typed error)");
-    session.solve(&SolveRequest::from(config.clone())).expect(
-        "invalid config (the deprecated run() shim panics; solve() reports this as a typed error)",
-    )
-}
+use faircap_causal::CateQuery;
+use faircap_table::Mask;
 
 /// Step-2 fan-out: mine the top interventions of every grouping pattern,
 /// in parallel when configured (§5.2 optimization (ii)).
+///
+/// Parallel runs use the work-stealing executor: grouping patterns become
+/// task units claimed dynamically by `workers` threads (resolved via
+/// [`exec::resolve_workers`]), so one slow pattern no longer stalls a
+/// statically assigned chunk. Output order — and therefore the final
+/// ruleset — is identical to the serial path; the returned [`ExecStats`]
+/// (present only for parallel runs) reports how the schedule actually
+/// balanced.
 pub(crate) fn mine_all_interventions(
     query: &CateQuery<'_>,
     groups: &[faircap_mining::FrequentPattern],
     protected_mask: &Mask,
     mutable: &[String],
     config: &FairCapConfig,
-) -> Vec<Rule> {
+    workers: Option<usize>,
+) -> (Vec<Rule>, Option<ExecStats>) {
     let worker = |g: &faircap_mining::FrequentPattern| -> Vec<Rule> {
         intervention::mine_top_interventions(
             query,
@@ -90,33 +47,22 @@ pub(crate) fn mine_all_interventions(
         )
     };
     if !config.parallel || groups.len() < 2 {
-        return groups.iter().flat_map(&worker).collect();
+        return (groups.iter().flat_map(&worker).collect(), None);
     }
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(groups.len());
-    let chunk = groups.len().div_ceil(n_threads);
-    // One result slot per group keeps the output order deterministic
-    // regardless of thread scheduling.
-    let mut slots: Vec<Vec<Rule>> = vec![Vec::new(); groups.len()];
-    std::thread::scope(|scope| {
-        for (group_chunk, slot_chunk) in groups.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (g, slot) in group_chunk.iter().zip(slot_chunk.iter_mut()) {
-                    *slot = worker(g);
-                }
-            });
-        }
-    });
-    slots.into_iter().flatten().collect()
+    let n_workers = exec::resolve_workers(workers);
+    let (per_group, stats) =
+        exec::run_work_stealing(groups.len(), n_workers, |i| worker(&groups[i]));
+    (per_group.into_iter().flatten().collect(), Some(stats))
 }
 
 #[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // config tweaking reads better imperatively
 mod tests {
-    use super::*;
+    use crate::config::FairCapConfig;
+    use crate::session::{FairCap, SolveRequest};
     use faircap_causal::scm::{bernoulli, normal, Scm};
-    use faircap_table::Value;
+    use faircap_causal::Dag;
+    use faircap_table::{DataFrame, Pattern, Value};
 
     fn fixture() -> (DataFrame, Dag, Vec<String>, Vec<String>, Pattern) {
         let scm = Scm::new()
@@ -155,21 +101,13 @@ mod tests {
         )
     }
 
-    /// The deprecated shim must keep producing exactly what an equivalent
-    /// session solve produces (one release of behavioural compatibility).
+    /// The work-stealing parallel fan-out must produce exactly the ruleset
+    /// of a serial solve, at any worker count (the determinism contract
+    /// that replaced the retired one-shot `run()` shim's compatibility
+    /// test).
     #[test]
-    #[allow(deprecated)]
-    fn run_shim_matches_session_solve() {
+    fn serial_and_parallel_session_solves_agree() {
         let (df, dag, imm, mt, prot) = fixture();
-        let input = ProblemInput {
-            df: &df,
-            dag: &dag,
-            outcome: "outcome",
-            immutable: &imm,
-            mutable: &mt,
-            protected: &prot,
-        };
-        let via_shim = run(&input, &FairCapConfig::default());
         let session = FairCap::builder()
             .data(df)
             .dag(dag)
@@ -179,10 +117,26 @@ mod tests {
             .protected(prot)
             .build()
             .unwrap();
-        let via_session = session.solve(&SolveRequest::default()).unwrap();
-        assert_eq!(via_shim.summary, via_session.summary);
-        let a: Vec<String> = via_shim.rules.iter().map(|r| r.to_string()).collect();
-        let b: Vec<String> = via_session.rules.iter().map(|r| r.to_string()).collect();
-        assert_eq!(a, b);
+        let mut serial_cfg = FairCapConfig::default();
+        serial_cfg.parallel = false;
+        let serial = session.solve(&SolveRequest::from(serial_cfg)).unwrap();
+        assert!(serial.exec.is_none(), "serial solve reports no exec stats");
+        let serial_rules: Vec<String> = serial.rules.iter().map(|r| r.to_string()).collect();
+        for workers in [1, 2, 5] {
+            let parallel = session
+                .solve(&SolveRequest::default().workers(workers))
+                .unwrap();
+            let rules: Vec<String> = parallel.rules.iter().map(|r| r.to_string()).collect();
+            assert_eq!(rules, serial_rules, "workers = {workers}");
+            assert_eq!(parallel.summary, serial.summary);
+            if parallel.n_grouping_patterns >= 2 {
+                let stats = parallel.exec.as_ref().expect("parallel run has stats");
+                assert_eq!(stats.workers, workers.min(stats.tasks));
+                assert_eq!(
+                    stats.tasks_per_worker.iter().sum::<usize>(),
+                    parallel.n_grouping_patterns
+                );
+            }
+        }
     }
 }

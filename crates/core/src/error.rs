@@ -47,6 +47,10 @@ pub enum Error {
     /// A solve request was structurally invalid (e.g. nonsensical
     /// thresholds).
     InvalidRequest(String),
+    /// A session snapshot could not be decoded, or does not match the
+    /// session it is being restored into (wrong outcome, row count, or
+    /// format version).
+    Snapshot(String),
 }
 
 impl fmt::Display for Error {
@@ -70,6 +74,7 @@ impl fmt::Display for Error {
                 "outcome `{outcome}` is not a node of the causal DAG; no effect on it can be identified"
             ),
             Error::InvalidRequest(msg) => write!(f, "invalid solve request: {msg}"),
+            Error::Snapshot(msg) => write!(f, "session snapshot: {msg}"),
         }
     }
 }

@@ -31,8 +31,18 @@
 //! # Ok::<(), faircap_core::Error>(())
 //! ```
 //!
-//! The pre-0.2 one-shot [`run`] free function remains as a deprecated shim
-//! for one release.
+//! Step 2's fan-out runs on the [`exec`] work-stealing executor (worker
+//! count per request or via `FAIRCAP_WORKERS`), and a session's warmed
+//! caches can be persisted and restored across processes via
+//! [`snapshot`] — see [`PrescriptionSession::snapshot`] and
+//! [`SessionBuilder::warm_start`].
+//!
+//! (The pre-0.2 one-shot `run()` shim and its `ProblemInput` were removed
+//! after their one release of compatibility; `docs/building.md` covers the
+//! migration.)
+//!
+//! [`PrescriptionSession::snapshot`]: session::PrescriptionSession::snapshot
+//! [`SessionBuilder::warm_start`]: session::SessionBuilder::warm_start
 
 #![warn(missing_docs)]
 
@@ -43,20 +53,21 @@ pub mod constraints;
 pub mod cost;
 pub mod decision_tree;
 pub mod error;
+pub mod exec;
 pub mod report;
 pub mod rule;
 pub mod session;
+pub mod snapshot;
 pub mod utility;
 
-#[allow(deprecated)]
-pub use algorithm::run;
-pub use algorithm::ProblemInput;
 pub use benefit::benefit;
 pub use config::{CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope};
 pub use cost::{CostModel, CostPolicy};
 pub use decision_tree::{all_structural_variants, choose_variant, FairnessKind, VariantAnswers};
 pub use error::{Error, Result};
+pub use exec::ExecStats;
 pub use report::{SolutionReport, StepTimings};
 pub use rule::{Rule, RuleUtility};
 pub use session::{FairCap, PrescriptionSession, SessionBuilder, SolveRequest};
+pub use snapshot::{SessionSnapshot, SNAPSHOT_VERSION};
 pub use utility::{ruleset_utility, RulesetUtility};

@@ -1,5 +1,6 @@
 //! Solution reports: the rows of the paper's Tables 4–6.
 
+use crate::exec::ExecStats;
 use crate::rule::Rule;
 use crate::utility::RulesetUtility;
 use std::fmt;
@@ -40,6 +41,9 @@ pub struct SolutionReport {
     pub n_candidates: usize,
     /// Per-step wall-clock times.
     pub timings: StepTimings,
+    /// Step-2 executor statistics (tasks, steals, worker utilization).
+    /// `None` when the solve ran the fan-out serially.
+    pub exec: Option<ExecStats>,
 }
 
 impl SolutionReport {
@@ -141,6 +145,7 @@ mod tests {
                 intervention: Duration::from_millis(900),
                 greedy: Duration::from_millis(20),
             },
+            exec: None,
         }
     }
 

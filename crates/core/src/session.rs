@@ -25,13 +25,16 @@ use crate::algorithm::{grouping, mine_all_interventions};
 use crate::config::{CoverageConstraint, FairCapConfig, FairnessConstraint};
 use crate::error::{Error, Result};
 use crate::report::{SolutionReport, StepTimings};
+use crate::snapshot::SessionSnapshot;
 use faircap_causal::{CacheStats, CateEngine, Dag, Estimator, EstimatorKind};
 use faircap_mining::FrequentPattern;
-use faircap_table::{DataFrame, Mask, Pattern};
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use faircap_table::{CacheCounters, DataFrame, Mask, Pattern, ShardedLruCache};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Lock shards of the grouping-pattern cache. Distinct Apriori parameter
+/// sets are few, so a handful of shards suffices.
+const GROUPING_CACHE_SHARDS: usize = 4;
 
 /// Entry point to the engine API.
 ///
@@ -70,6 +73,7 @@ pub struct SessionBuilder {
     immutable: Vec<String>,
     mutable: Vec<String>,
     protected: Option<Pattern>,
+    warm_start: Option<SessionSnapshot>,
 }
 
 impl SessionBuilder {
@@ -117,6 +121,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Warm-start the session from a [`SessionSnapshot`] taken on an
+    /// earlier session over the same data and outcome (see
+    /// [`PrescriptionSession::snapshot`]). The snapshot's adjustment sets,
+    /// treated masks, and estimates are imported into the engine caches, so
+    /// the first solve behaves like a re-solve: a solve repeating the
+    /// snapshotted workload performs **zero** estimate-cache misses.
+    ///
+    /// `build` fails with [`Error::Snapshot`] when the snapshot's outcome
+    /// or row count disagrees with the session being built.
+    pub fn warm_start(mut self, snapshot: SessionSnapshot) -> Self {
+        self.warm_start = Some(snapshot);
+        self
+    }
+
     /// Validate the instance and assemble the session.
     pub fn build(self) -> Result<PrescriptionSession> {
         let df = self.df.ok_or(Error::MissingField("data"))?;
@@ -161,6 +179,37 @@ impl SessionBuilder {
         // (protected metrics then degrade to 0, as in the paper's Eq. 5).
         let protected_mask = protected.coverage(&df)?;
 
+        if let Some(snapshot) = self.warm_start {
+            if snapshot.outcome != outcome {
+                return Err(Error::Snapshot(format!(
+                    "snapshot was taken for outcome `{}`, session outcome is `{outcome}`",
+                    snapshot.outcome
+                )));
+            }
+            if snapshot.n_rows != df.n_rows() {
+                return Err(Error::Snapshot(format!(
+                    "snapshot was taken over {} rows, session data has {}",
+                    snapshot.n_rows,
+                    df.n_rows()
+                )));
+            }
+            // Adjustment sets are DAG-derived and treated masks / estimates
+            // are data-derived: importing either under a changed DAG or
+            // changed data would silently produce wrong causal answers, so
+            // a mismatched snapshot is refused outright.
+            if snapshot.dag_fp != crate::snapshot::dag_fingerprint(&dag) {
+                return Err(Error::Snapshot(
+                    "snapshot was taken under a different causal DAG".into(),
+                ));
+            }
+            if snapshot.data_fp != crate::snapshot::data_fingerprint(&df) {
+                return Err(Error::Snapshot(
+                    "snapshot was taken over different data contents".into(),
+                ));
+            }
+            engine.import_state(snapshot.state);
+        }
+
         Ok(PrescriptionSession {
             df,
             dag,
@@ -170,7 +219,7 @@ impl SessionBuilder {
             protected,
             protected_mask,
             engine,
-            groupings: Mutex::new(HashMap::new()),
+            groupings: ShardedLruCache::unbounded(GROUPING_CACHE_SHARDS),
         })
     }
 }
@@ -209,6 +258,17 @@ pub struct SolveRequest {
     pub config: FairCapConfig,
     /// Estimator override; `None` uses `config.estimator`.
     pub estimator: Option<Arc<dyn Estimator>>,
+    /// Step-2 executor worker count. `None` falls back to the
+    /// `FAIRCAP_WORKERS` environment variable, then to
+    /// `available_parallelism` (see [`crate::exec::resolve_workers`]).
+    pub workers: Option<usize>,
+    /// LRU bound on the session's CATE estimate cache, applied before the
+    /// solve runs. `None` leaves the current bound (unbounded by default).
+    pub estimate_cache_bound: Option<usize>,
+    /// LRU bound on the session's grouping-pattern cache, applied before
+    /// the solve runs. `None` leaves the current bound (unbounded by
+    /// default).
+    pub grouping_cache_bound: Option<usize>,
 }
 
 impl SolveRequest {
@@ -247,13 +307,32 @@ impl SolveRequest {
         self.estimator = Some(estimator);
         self
     }
+
+    /// Pin the Step-2 executor to `n` worker threads for this request.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Bound the estimate cache to at most `n` entries (LRU eviction).
+    pub fn estimate_cache_bound(mut self, n: usize) -> Self {
+        self.estimate_cache_bound = Some(n);
+        self
+    }
+
+    /// Bound the grouping-pattern cache to at most `n` entries (LRU
+    /// eviction).
+    pub fn grouping_cache_bound(mut self, n: usize) -> Self {
+        self.grouping_cache_bound = Some(n);
+        self
+    }
 }
 
 impl From<FairCapConfig> for SolveRequest {
     fn from(config: FairCapConfig) -> Self {
         SolveRequest {
             config,
-            estimator: None,
+            ..SolveRequest::default()
         }
     }
 }
@@ -266,6 +345,9 @@ impl std::fmt::Debug for SolveRequest {
                 "estimator",
                 &self.estimator.as_ref().map(|e| e.name().to_owned()),
             )
+            .field("workers", &self.workers)
+            .field("estimate_cache_bound", &self.estimate_cache_bound)
+            .field("grouping_cache_bound", &self.grouping_cache_bound)
             .finish()
     }
 }
@@ -358,7 +440,7 @@ pub struct PrescriptionSession {
     protected: Pattern,
     protected_mask: Mask,
     engine: CateEngine,
-    groupings: Mutex<HashMap<GroupingKey, Arc<Vec<FrequentPattern>>>>,
+    groupings: ShardedLruCache<GroupingKey, Arc<Vec<FrequentPattern>>>,
 }
 
 impl std::fmt::Debug for PrescriptionSession {
@@ -444,6 +526,28 @@ impl PrescriptionSession {
         self.engine.cache_stats_by_estimator()
     }
 
+    /// Hit/miss/eviction counters of the grouping-pattern cache (Step-1
+    /// output per effective Apriori parameter set).
+    pub fn grouping_cache_stats(&self) -> CacheCounters {
+        self.groupings.counters()
+    }
+
+    /// Capture the session's warmed caches — adjustment sets, treated
+    /// masks, and all CATE estimates — as a [`SessionSnapshot`] that can be
+    /// serialized ([`SessionSnapshot::encode`]) and restored into a new
+    /// session over the same data via
+    /// [`SessionBuilder::warm_start`]. A restored session re-solving the
+    /// same workload performs zero estimate-cache misses.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            outcome: self.outcome.clone(),
+            n_rows: self.df.n_rows(),
+            dag_fp: crate::snapshot::dag_fingerprint(&self.dag),
+            data_fp: crate::snapshot::data_fingerprint(&self.df),
+            state: self.engine.export_state(),
+        }
+    }
+
     /// Solve the instance under one constraint/estimator combination.
     ///
     /// Reuses every cache warmed by previous solves on this session; a
@@ -452,6 +556,12 @@ impl PrescriptionSession {
     pub fn solve(&self, request: &SolveRequest) -> Result<SolutionReport> {
         let config = &request.config;
         validate_config(config)?;
+        if let Some(bound) = request.estimate_cache_bound {
+            self.engine.set_estimate_cache_capacity(bound);
+        }
+        if let Some(bound) = request.grouping_cache_bound {
+            self.groupings.set_capacity(bound);
+        }
         let estimator: &dyn Estimator = request.estimator.as_deref().unwrap_or(&config.estimator);
         let query = self.engine.with_estimator(estimator);
 
@@ -460,10 +570,17 @@ impl PrescriptionSession {
         let groups = self.grouping_patterns(config)?;
         let grouping_time = t0.elapsed();
 
-        // ---- Step 2: intervention mining (§5.2), parallel across groups. ----
+        // ---- Step 2: intervention mining (§5.2), work-stealing fan-out
+        // across groups. ----
         let t1 = Instant::now();
-        let candidates =
-            mine_all_interventions(&query, &groups, &self.protected_mask, &self.mutable, config);
+        let (candidates, exec) = mine_all_interventions(
+            &query,
+            &groups,
+            &self.protected_mask,
+            &self.mutable,
+            config,
+            request.workers,
+        );
         let n_candidates = candidates.len();
         let intervention_time = t1.elapsed();
 
@@ -485,6 +602,7 @@ impl PrescriptionSession {
                 intervention: intervention_time,
                 greedy: greedy_time,
             },
+            exec,
         })
     }
 
@@ -492,8 +610,8 @@ impl PrescriptionSession {
     /// mining at most once per distinct parameter set.
     fn grouping_patterns(&self, config: &FairCapConfig) -> Result<Arc<Vec<FrequentPattern>>> {
         let key = GroupingKey::of(config, &self.protected_mask);
-        if let Some(hit) = self.groupings.lock().get(&key) {
-            return Ok(Arc::clone(hit));
+        if let Some(hit) = self.groupings.get(&key) {
+            return Ok(hit);
         }
         let mined = Arc::new(grouping::mine_grouping_patterns(
             &self.df,
@@ -501,7 +619,7 @@ impl PrescriptionSession {
             &self.protected_mask,
             config,
         )?);
-        self.groupings.lock().insert(key, Arc::clone(&mined));
+        self.groupings.insert(key, Arc::clone(&mined));
         Ok(mined)
     }
 }
@@ -571,6 +689,10 @@ mod tests {
     /// One immutable (segment), protected subgroup, two binary treatments
     /// with planted unfair/fair effects.
     fn fixture() -> (DataFrame, Dag, Pattern) {
+        fixture_with_seed(23)
+    }
+
+    fn fixture_with_seed(seed: u64) -> (DataFrame, Dag, Pattern) {
         let scm = Scm::new()
             .categorical("segment", &[("a", 0.5), ("b", 0.5)])
             .unwrap()
@@ -611,7 +733,7 @@ mod tests {
                 }),
             )
             .unwrap();
-        let df = scm.sample(5000, 23).unwrap();
+        let df = scm.sample(5000, seed).unwrap();
         let dag = scm.dag();
         (df, dag, Pattern::of_eq(&[("grp", Value::from("p"))]))
     }
@@ -889,7 +1011,7 @@ mod tests {
     fn grouping_cache_reused_across_constraint_changes() {
         let s = session();
         s.solve(&SolveRequest::default()).unwrap();
-        assert_eq!(s.groupings.lock().len(), 1);
+        assert_eq!(s.groupings.len(), 1);
         s.solve(
             &SolveRequest::default().fairness(FairnessConstraint::BoundedGroupLoss {
                 scope: FairnessScope::Group,
@@ -897,13 +1019,165 @@ mod tests {
             }),
         )
         .unwrap();
-        assert_eq!(s.groupings.lock().len(), 1, "same key → no re-mine");
+        assert_eq!(s.groupings.len(), 1, "same key → no re-mine");
+        assert!(s.grouping_cache_stats().hits >= 1);
         let mut cfg = FairCapConfig::default();
         cfg.coverage = CoverageConstraint::Rule {
             theta: 0.2,
             theta_protected: 0.1,
         };
         s.solve(&SolveRequest::from(cfg)).unwrap();
-        assert_eq!(s.groupings.lock().len(), 2, "rule coverage → new key");
+        assert_eq!(s.groupings.len(), 2, "rule coverage → new key");
+    }
+
+    #[test]
+    fn grouping_cache_bound_evicts_lru() {
+        let s = session();
+        // Three distinct grouping keys under a bound of 1.
+        for theta in [0.15, 0.2, 0.25] {
+            let mut cfg = FairCapConfig::default();
+            cfg.coverage = CoverageConstraint::Rule {
+                theta,
+                theta_protected: 0.0,
+            };
+            s.solve(&SolveRequest::from(cfg).grouping_cache_bound(1))
+                .unwrap();
+            assert!(s.groupings.len() <= 1, "bound violated");
+        }
+        assert_eq!(s.grouping_cache_stats().evictions, 2);
+    }
+
+    #[test]
+    fn estimate_cache_bound_is_enforced_during_solve() {
+        let s = session();
+        let bound = 8;
+        s.solve(&SolveRequest::default().estimate_cache_bound(bound))
+            .unwrap();
+        let stats = s.cache_stats();
+        assert!(
+            stats.entries <= bound,
+            "estimate cache held {} entries over bound {bound}",
+            stats.entries
+        );
+        assert!(stats.evictions > 0, "a full solve must overflow 8 entries");
+        // Unbounded sessions keep everything.
+        let fresh = session();
+        fresh.solve(&SolveRequest::default()).unwrap();
+        assert!(fresh.cache_stats().entries > bound);
+        assert_eq!(fresh.cache_stats().evictions, 0);
+    }
+
+    #[test]
+    fn parallel_solve_reports_exec_stats() {
+        let s = session();
+        let report = s.solve(&SolveRequest::default().workers(3)).unwrap();
+        let stats = report.exec.expect("parallel solve has exec stats");
+        assert_eq!(stats.tasks, report.n_grouping_patterns);
+        assert!(stats.workers <= 3);
+        assert!(stats.utilization() > 0.0);
+        let mut serial = FairCapConfig::default();
+        serial.parallel = false;
+        let report = s.solve(&SolveRequest::from(serial)).unwrap();
+        assert!(report.exec.is_none());
+    }
+
+    #[test]
+    fn snapshot_warm_start_solves_without_misses() {
+        let (df, dag, prot) = fixture();
+        let build = |df: &DataFrame, dag: &Dag| {
+            FairCap::builder()
+                .data(df.clone())
+                .dag(dag.clone())
+                .outcome("outcome")
+                .immutable(["segment", "grp"])
+                .mutable(["big", "fair"])
+                .protected(prot.clone())
+        };
+        let cold = build(&df, &dag).build().unwrap();
+        let report_cold = cold.solve(&SolveRequest::default()).unwrap();
+        let snapshot = cold.snapshot();
+        assert_eq!(snapshot.n_rows, df.n_rows());
+        assert!(!snapshot.state.estimates.is_empty());
+
+        // Serialization round trip, then restore into a fresh session.
+        let decoded = SessionSnapshot::decode(&snapshot.encode()).unwrap();
+        let warm = build(&df, &dag).warm_start(decoded).build().unwrap();
+        let report_warm = warm.solve(&SolveRequest::default()).unwrap();
+        let stats = warm.cache_stats();
+        assert_eq!(stats.misses, 0, "warm solve must be all cache hits");
+        assert!(stats.hits > 0);
+        let a: Vec<String> = report_cold.rules.iter().map(|r| r.to_string()).collect();
+        let b: Vec<String> = report_warm.rules.iter().map(|r| r.to_string()).collect();
+        assert_eq!(a, b, "warm solve must reproduce the cold ruleset");
+        assert_eq!(report_cold.summary, report_warm.summary);
+    }
+
+    #[test]
+    fn warm_start_rejects_mismatched_snapshot() {
+        let s = session();
+        s.solve(&SolveRequest::default()).unwrap();
+        let mut snapshot = s.snapshot();
+        snapshot.n_rows += 1;
+        let (df, dag, prot) = fixture();
+        let err = FairCap::builder()
+            .data(df.clone())
+            .dag(dag.clone())
+            .outcome("outcome")
+            .immutable(["segment", "grp"])
+            .mutable(["big", "fair"])
+            .protected(prot.clone())
+            .warm_start(snapshot)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Snapshot(_)), "{err}");
+        let mut snapshot = s.snapshot();
+        snapshot.outcome = "other".into();
+        let err = FairCap::builder()
+            .data(df.clone())
+            .dag(dag.clone())
+            .outcome("outcome")
+            .immutable(["segment", "grp"])
+            .mutable(["big", "fair"])
+            .protected(prot.clone())
+            .warm_start(snapshot)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Snapshot(_)), "{err}");
+        // A changed DAG invalidates the snapshot (adjustment sets are
+        // DAG-derived) …
+        let mut other_dag = dag.clone();
+        other_dag.ensure_node("extra");
+        other_dag.add_edge_by_name("extra", "outcome").unwrap();
+        let err = FairCap::builder()
+            .data(df.clone())
+            .dag(other_dag)
+            .outcome("outcome")
+            .immutable(["segment", "grp"])
+            .mutable(["big", "fair"])
+            .protected(prot.clone())
+            .warm_start(s.snapshot())
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Snapshot(ref msg) if msg.contains("DAG")),
+            "{err}"
+        );
+        // … and so does changed data with the same shape (treated masks and
+        // estimates are data-derived): same SCM, different sampling seed.
+        let (df2, dag2, prot2) = fixture_with_seed(29);
+        let err = FairCap::builder()
+            .data(df2)
+            .dag(dag2)
+            .outcome("outcome")
+            .immutable(["segment", "grp"])
+            .mutable(["big", "fair"])
+            .protected(prot2)
+            .warm_start(s.snapshot())
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Snapshot(ref msg) if msg.contains("data")),
+            "{err}"
+        );
     }
 }

@@ -13,6 +13,9 @@
 //!   benchmark harness to persist generated datasets.
 //! * [`stats`] — special functions and hypothesis tests (Welch t, χ², G²)
 //!   shared by the CATE estimators and the PC discovery algorithm.
+//! * [`cache`] — the sharded, bounded LRU cache backing the CATE estimate
+//!   cache (`faircap-causal`) and the grouping-pattern cache
+//!   (`faircap-core`).
 //!
 //! ```
 //! use faircap_table::{DataFrame, Pattern, Value};
@@ -28,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod column;
 pub mod csv;
 pub mod dataframe;
@@ -38,6 +42,7 @@ pub mod predicate;
 pub mod stats;
 pub mod value;
 
+pub use cache::{CacheCounters, ShardedLruCache};
 pub use column::{CatColumn, Column};
 pub use dataframe::{DataFrame, DataFrameBuilder};
 pub use error::{Result, TableError};

@@ -118,11 +118,15 @@ pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
         return 1.0;
     }
     let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
-    // Use the symmetry relation for faster convergence.
+    // Use the symmetry relation for faster convergence. Both branches
+    // evaluate the continued fraction directly (`ln_front` is symmetric
+    // under `(a, b, x) → (b, a, 1−x)`): a recursive `1 − beta_inc(b, a,
+    // 1−x)` here recurses forever when `x` lands exactly on the threshold,
+    // since the flipped argument then fails its threshold test too.
     if x < (a + 1.0) / (a + b + 2.0) {
         ln_front.exp() * beta_cf(a, b, x) / a
     } else {
-        1.0 - beta_inc(b, a, 1.0 - x)
+        1.0 - ln_front.exp() * beta_cf(b, a, 1.0 - x) / b
     }
 }
 
@@ -396,6 +400,28 @@ mod tests {
         ));
         assert_eq!(beta_inc(2.0, 3.0, 0.0), 0.0);
         assert_eq!(beta_inc(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn beta_inc_at_the_symmetry_threshold_terminates() {
+        // x exactly at (a+1)/(a+b+2) used to recurse forever through the
+        // reflection identity (caught live: a German-credit solve produced
+        // a t-statistic landing exactly on the threshold). I_0.5(1,1) = 0.5
+        // is the simplest instance: the threshold is (1+1)/(1+1+2) = 0.5.
+        assert!(close(beta_inc(1.0, 1.0, 0.5), 0.5, 1e-12));
+        // Symmetric-parameter midpoints are always exactly the threshold.
+        for ab in [0.5, 1.0, 2.5, 7.0] {
+            assert!(close(beta_inc(ab, ab, 0.5), 0.5, 1e-10), "a = b = {ab}");
+        }
+        // And the t-distribution shape (a = df/2, b = 1/2) at its threshold.
+        let (a, b) = (4.5, 0.5);
+        let x = (a + 1.0) / (a + b + 2.0);
+        let v = beta_inc(a, b, x);
+        assert!(v.is_finite() && (0.0..=1.0).contains(&v));
+        // Continuity across the threshold.
+        let eps = 1e-9;
+        assert!(close(beta_inc(a, b, x - eps), v, 1e-6));
+        assert!(close(beta_inc(a, b, x + eps), v, 1e-6));
     }
 
     #[test]

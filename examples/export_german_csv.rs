@@ -1,0 +1,49 @@
+//! Materialize the German Credit stand-in as CSV + DAG files for the
+//! `faircap` CLI — what the CI snapshot round-trip job feeds to
+//! `--save-cache` / `--load-cache`.
+//!
+//! ```sh
+//! cargo run --release --example export_german_csv -- target/german-export
+//! ```
+//!
+//! Writes `german.csv` and `german.dag` into the given directory (default
+//! `target/german-export`) and prints a ready-to-run CLI command line.
+
+use faircap::data::german;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/german-export".into());
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir)?;
+
+    let ds = german::generate(german::GERMAN_DEFAULT_ROWS, 42);
+    let csv_path = dir.join("german.csv");
+    let dag_path = dir.join("german.dag");
+    faircap::table::csv::write_csv(&ds.df, &csv_path)?;
+    // The CLI's edge-list parser accepts this tool's own DOT output.
+    std::fs::write(&dag_path, ds.dag.to_dot())?;
+
+    let protected: Vec<String> = ds
+        .protected
+        .predicates()
+        .iter()
+        .map(|p| format!("{}={}", p.attr, p.value))
+        .collect();
+    println!(
+        "wrote {} ({} rows) and {}",
+        csv_path.display(),
+        ds.df.n_rows(),
+        dag_path.display()
+    );
+    println!(
+        "faircap --data {} --dag {} --outcome {} --mutable {} --protected {}",
+        csv_path.display(),
+        dag_path.display(),
+        ds.outcome,
+        ds.mutable.join(","),
+        protected.join(",")
+    );
+    Ok(())
+}

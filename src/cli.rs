@@ -5,8 +5,8 @@
 
 use faircap_causal::{Dag, Estimator, EstimatorKind};
 use faircap_core::{
-    CoverageConstraint, FairCap, FairCapConfig, FairnessConstraint, FairnessScope, SolutionReport,
-    SolveRequest,
+    CoverageConstraint, FairCap, FairCapConfig, FairnessConstraint, FairnessScope, SessionSnapshot,
+    SolutionReport, SolveRequest,
 };
 use faircap_table::{csv, DataFrame, Pattern, Predicate, Value};
 
@@ -33,6 +33,13 @@ pub struct CliOptions {
     pub estimator: String,
     /// Maximum rules to select.
     pub max_rules: usize,
+    /// Step-2 executor worker count (`None` = `FAIRCAP_WORKERS` env, then
+    /// `available_parallelism`).
+    pub workers: Option<usize>,
+    /// Write the session's cache snapshot here after solving.
+    pub save_cache: Option<String>,
+    /// Warm-start the session from a snapshot file before solving.
+    pub load_cache: Option<String>,
 }
 
 /// Usage text printed on `--help` or parse errors.
@@ -43,13 +50,21 @@ USAGE:
   faircap --data FILE.csv --dag DAG.txt --outcome COL \\
           --mutable a,b,c --protected attr=value[,attr=value] \\
           [--fairness sp-group:10000] [--coverage group:0.5:0.5] \\
-          [--estimator linear|stratified|ipw|aipw|matching] [--max-rules 20]
+          [--estimator linear|stratified|ipw|aipw|matching] [--max-rules 20] \\
+          [--workers N] [--save-cache FILE] [--load-cache FILE]
 
 The DAG file holds one `parent -> child` edge per line (DOT output of this
 tool's own Dag type is accepted). Fairness: none | sp-group:EPS |
 sp-individual:EPS | bgl-group:TAU | bgl-individual:TAU. Coverage:
 none | group:THETA:THETA_P | rule:THETA:THETA_P. Estimators are documented
-in docs/estimators.md.";
+in docs/estimators.md.
+
+--workers pins the Step-2 fan-out worker count (default: FAIRCAP_WORKERS,
+then all cores). --save-cache writes the warmed CATE caches (adjustment
+sets, treated masks, estimates) to a versioned snapshot after solving;
+--load-cache warm-starts from one, so an identical re-solve performs zero
+new estimations. Either flag makes the tool print an `estimate-cache:` line
+with the solve's hit/miss counters.";
 
 /// Parse CLI arguments (without the program name).
 pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
@@ -96,6 +111,11 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--max-rules" => {
                 opts.max_rules = value()?.parse().map_err(|e| format!("--max-rules: {e}"))?
             }
+            "--workers" => {
+                opts.workers = Some(value()?.parse().map_err(|e| format!("--workers: {e}"))?)
+            }
+            "--save-cache" => opts.save_cache = Some(value()?),
+            "--load-cache" => opts.load_cache = Some(value()?),
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
     }
@@ -213,6 +233,11 @@ pub fn protected_pattern(df: &DataFrame, pairs: &[(String, String)]) -> Result<P
 /// Builds a [`FairCap`] session — all input validation (missing columns,
 /// ill-typed outcome, outcome absent from the DAG, role conflicts) surfaces
 /// as the session builder's typed errors, rendered as strings for the CLI.
+///
+/// `--load-cache` warm-starts the session from a snapshot file before
+/// solving; `--save-cache` persists the warmed caches afterwards. When
+/// either is given, the solve's estimate-cache counters are printed (the
+/// CI snapshot round-trip job asserts `misses=0` on a warm re-solve).
 pub fn execute(opts: &CliOptions) -> Result<SolutionReport, String> {
     let df = csv::read_csv(&opts.data).map_err(|e| format!("reading {}: {e}", opts.data))?;
     let dag_text =
@@ -232,18 +257,35 @@ pub fn execute(opts: &CliOptions) -> Result<SolutionReport, String> {
         max_rules: opts.max_rules,
         ..FairCapConfig::default()
     };
-    let session = FairCap::builder()
+    let mut builder = FairCap::builder()
         .data(df)
         .dag(dag)
         .outcome(&opts.outcome)
         .immutable(immutable)
         .mutable(opts.mutable.iter().cloned())
-        .protected(protected)
-        .build()
-        .map_err(|e| e.to_string())?;
-    session
-        .solve(&SolveRequest::from(cfg))
-        .map_err(|e| e.to_string())
+        .protected(protected);
+    if let Some(path) = &opts.load_cache {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading cache {path}: {e}"))?;
+        let snapshot = SessionSnapshot::decode(&text).map_err(|e| e.to_string())?;
+        builder = builder.warm_start(snapshot);
+    }
+    let session = builder.build().map_err(|e| e.to_string())?;
+    let mut request = SolveRequest::from(cfg);
+    request.workers = opts.workers;
+    let report = session.solve(&request).map_err(|e| e.to_string())?;
+    if let Some(path) = &opts.save_cache {
+        std::fs::write(path, session.snapshot().encode())
+            .map_err(|e| format!("writing cache {path}: {e}"))?;
+    }
+    if opts.save_cache.is_some() || opts.load_cache.is_some() {
+        let stats = session.cache_stats();
+        println!(
+            "estimate-cache: hits={} misses={} entries={} evictions={}",
+            stats.hits, stats.misses, stats.entries, stats.evictions
+        );
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -354,6 +396,64 @@ mod tests {
         assert_eq!(p.len(), 3);
         assert!(protected_pattern(&df, &[("ghost".into(), "1".into())]).is_err());
         assert!(protected_pattern(&df, &[("tier".into(), "NaNope".into())]).is_err());
+    }
+
+    #[test]
+    fn executor_and_cache_flags_parse() {
+        let opts = parse_args(&args(
+            "--data d.csv --dag g.txt --outcome o --mutable m --protected a=b \
+             --workers 6 --save-cache snap.fc --load-cache old.fc",
+        ))
+        .unwrap();
+        assert_eq!(opts.workers, Some(6));
+        assert_eq!(opts.save_cache.as_deref(), Some("snap.fc"));
+        assert_eq!(opts.load_cache.as_deref(), Some("old.fc"));
+        assert!(parse_args(&args(
+            "--data d --dag g --outcome o --mutable m --protected a=b --workers many"
+        ))
+        .is_err());
+        // Flags default to off.
+        let opts = parse_args(&args(
+            "--data d --dag g --outcome o --mutable m --protected a=b",
+        ))
+        .unwrap();
+        assert_eq!(opts.workers, None);
+        assert!(opts.save_cache.is_none() && opts.load_cache.is_none());
+    }
+
+    #[test]
+    fn save_then_load_cache_round_trips_through_files() {
+        let dir = std::env::temp_dir().join("faircap_cli_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.csv");
+        let dagf = dir.join("g.txt");
+        let snap = dir.join("cache.fc");
+        let ds = faircap_data::so::generate(2_000, 3);
+        let keep = ["gdp_group", "age", "certifications", "training", "salary"];
+        faircap_table::csv::write_csv(&ds.df.select(&keep).unwrap(), &data).unwrap();
+        std::fs::write(
+            &dagf,
+            "gdp_group -> salary\nage -> salary\ncertifications -> salary\ntraining -> salary\n",
+        )
+        .unwrap();
+        let base = format!(
+            "--data {} --dag {} --outcome salary --mutable certifications,training \
+             --protected gdp_group=low --max-rules 5",
+            data.display(),
+            dagf.display()
+        );
+        let cold = parse_args(&args(&format!("{base} --save-cache {}", snap.display()))).unwrap();
+        let cold_report = execute(&cold).unwrap();
+        assert!(snap.exists(), "--save-cache must write the snapshot");
+        let warm = parse_args(&args(&format!("{base} --load-cache {}", snap.display()))).unwrap();
+        let warm_report = execute(&warm).unwrap();
+        let a: Vec<String> = cold_report.rules.iter().map(|r| r.to_string()).collect();
+        let b: Vec<String> = warm_report.rules.iter().map(|r| r.to_string()).collect();
+        assert_eq!(a, b, "warm CLI solve must reproduce the cold ruleset");
+        // A corrupt snapshot is a typed, readable error.
+        std::fs::write(&snap, "faircap-snapshot v99\n").unwrap();
+        let err = execute(&warm).unwrap_err();
+        assert!(err.contains("snapshot"), "{err}");
     }
 
     #[test]

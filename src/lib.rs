@@ -44,8 +44,23 @@
 //! robust `aipw`, and k-NN `matching`; `docs/estimators.md` documents
 //! their assumptions and trade-offs, and cache statistics are reported per
 //! estimator name via [`PrescriptionSession::cache_stats_by_estimator`].
-//! The pre-0.2 one-shot [`core::run`] remains as a deprecated shim for one
-//! release; prefer [`FairCap::builder`] (see `docs/building.md`).
+//!
+//! ## Execution and caching layer
+//!
+//! Step 2's fan-out runs on a work-stealing executor
+//! ([`core::exec`]) — worker count set per request
+//! (`SolveRequest::workers`) or via `FAIRCAP_WORKERS` — with per-solve
+//! scheduling statistics on `SolutionReport::exec`. The estimate and
+//! grouping caches are sharded, LRU-bounded maps
+//! ([`table::cache::ShardedLruCache`]; bounds via
+//! `SolveRequest::estimate_cache_bound` / `grouping_cache_bound`), and a
+//! session's warmed caches persist across processes:
+//! [`PrescriptionSession::snapshot`] serializes them to a versioned format
+//! and `FairCap::builder().warm_start(snapshot)` restores them, so a
+//! restarted server re-solves with zero new estimations (CLI:
+//! `--save-cache` / `--load-cache`). `docs/architecture.md` describes the
+//! layer in full. (The pre-0.2 one-shot `run()` shim has been removed;
+//! see `docs/building.md` for the migration.)
 //!
 //! ## Layers
 //!

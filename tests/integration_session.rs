@@ -1,8 +1,9 @@
 //! Integration tests for the `PrescriptionSession` engine API on the
 //! German Credit stand-in: one session re-solved under three fairness
-//! constraints must (a) match the equivalent one-shot `run()` calls and
-//! (b) perform no redundant CATE estimation on the repeat solves
-//! (asserted via the engine's cache-hit counters).
+//! constraints must (a) produce identical rulesets whether Step 2 runs
+//! serially or on the work-stealing executor and (b) perform no redundant
+//! CATE estimation on the repeat solves (asserted via the engine's
+//! cache-hit counters).
 
 use faircap::core::{FairCapConfig, FairnessConstraint, FairnessScope, SolutionReport};
 use faircap::data::{german, Dataset};
@@ -47,36 +48,42 @@ fn fingerprint(report: &SolutionReport) -> (Vec<String>, String) {
     )
 }
 
+/// Work-stealing parallel Step 2 must be invisible in the output: for every
+/// fairness regime, the parallel solve (at several worker counts) produces
+/// exactly the serial solve's ruleset. (This replaced the retired one-shot
+/// `run()` shim's compatibility test.)
 #[test]
-fn session_solves_match_one_shot_runs_across_constraints() {
+fn serial_and_parallel_solves_agree_across_constraints() {
     let ds = dataset();
     let s = session(&ds);
     for fairness in fairness_variants() {
-        let via_session = s
-            .solve(&SolveRequest::default().fairness(fairness))
-            .expect("valid request");
-        // The deprecated one-shot entry point must stay behaviourally
-        // identical during its final compatibility release.
-        #[allow(deprecated)]
-        let via_run = faircap::core::run(
-            &faircap::core::ProblemInput {
-                df: &ds.df,
-                dag: &ds.dag,
-                outcome: &ds.outcome,
-                immutable: &ds.immutable,
-                mutable: &ds.mutable,
-                protected: &ds.protected,
-            },
-            &FairCapConfig {
+        let serial = s
+            .solve(&SolveRequest::from(FairCapConfig {
                 fairness,
+                parallel: false,
                 ..FairCapConfig::default()
-            },
-        );
-        assert_eq!(
-            fingerprint(&via_session),
-            fingerprint(&via_run),
-            "session and one-shot disagree under {fairness:?}"
-        );
+            }))
+            .expect("valid request");
+        assert!(serial.exec.is_none(), "serial solve reports no exec stats");
+        for workers in [1, 3, 7] {
+            let parallel = s
+                .solve(&SolveRequest::default().fairness(fairness).workers(workers))
+                .expect("valid request");
+            assert_eq!(
+                fingerprint(&parallel),
+                fingerprint(&serial),
+                "serial and {workers}-worker solves disagree under {fairness:?}"
+            );
+            if parallel.n_grouping_patterns >= 2 {
+                let stats = parallel.exec.as_ref().expect("parallel run has stats");
+                assert_eq!(stats.tasks, parallel.n_grouping_patterns);
+                assert_eq!(
+                    stats.tasks_per_worker.iter().sum::<usize>(),
+                    stats.tasks,
+                    "every task unit is executed exactly once"
+                );
+            }
+        }
     }
 }
 

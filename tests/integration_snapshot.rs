@@ -1,0 +1,114 @@
+//! Session snapshot / warm-start integration tests on the German Credit
+//! stand-in — the serving-restart story: solve, snapshot to disk, restart
+//! into a fresh session, and re-solve with **zero** estimate-cache misses
+//! and a bit-identical ruleset.
+
+use faircap::core::{SessionSnapshot, SolutionReport};
+use faircap::data::{german, Dataset};
+use faircap::{FairCap, PrescriptionSession, SolveRequest};
+
+fn dataset() -> Dataset {
+    german::generate(1_200, 7)
+}
+
+fn session(ds: &Dataset) -> faircap::core::SessionBuilder {
+    FairCap::builder()
+        .data(ds.df.clone())
+        .dag(ds.dag.clone())
+        .outcome(&ds.outcome)
+        .immutable(ds.immutable.iter().cloned())
+        .mutable(ds.mutable.iter().cloned())
+        .protected(ds.protected.clone())
+}
+
+fn fingerprint(report: &SolutionReport) -> (Vec<String>, String) {
+    (
+        report.rules.iter().map(|r| r.to_string()).collect(),
+        format!("{:?}", report.summary),
+    )
+}
+
+#[test]
+fn warm_started_session_solves_with_zero_misses() {
+    let ds = dataset();
+    let cold: PrescriptionSession = session(&ds).build().unwrap();
+    let cold_report = cold.solve(&SolveRequest::default()).unwrap();
+    assert!(cold.cache_stats().misses > 0, "cold solve estimates");
+
+    // Serialize to disk and restore — the restart path, not just an
+    // in-process handoff.
+    let path = std::env::temp_dir().join("faircap_snapshot_integration.fc");
+    std::fs::write(&path, cold.snapshot().encode()).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let snapshot = SessionSnapshot::decode(&text).unwrap();
+    assert_eq!(snapshot.n_rows, ds.df.n_rows());
+
+    let warm: PrescriptionSession = session(&ds).warm_start(snapshot).build().unwrap();
+    let warm_report = warm.solve(&SolveRequest::default()).unwrap();
+
+    let stats = warm.cache_stats();
+    assert_eq!(
+        stats.misses, 0,
+        "a warm-started re-solve of the identical workload must not estimate anything"
+    );
+    assert!(stats.hits > 0, "…and must actually hit the restored cache");
+    assert_eq!(
+        fingerprint(&warm_report),
+        fingerprint(&cold_report),
+        "warm and cold solves must produce identical rulesets"
+    );
+}
+
+#[test]
+fn warm_start_covers_constraint_sweeps_seen_before_the_snapshot() {
+    use faircap::core::{FairnessConstraint, FairnessScope};
+    let ds = dataset();
+    let cold = session(&ds).build().unwrap();
+    let sweep = [
+        FairnessConstraint::None,
+        FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Group,
+            epsilon: 0.05,
+        },
+    ];
+    for fairness in sweep {
+        cold.solve(&SolveRequest::default().fairness(fairness))
+            .unwrap();
+    }
+    let snapshot = SessionSnapshot::decode(&cold.snapshot().encode()).unwrap();
+    let warm = session(&ds).warm_start(snapshot).build().unwrap();
+    for fairness in sweep {
+        warm.solve(&SolveRequest::default().fairness(fairness))
+            .unwrap();
+    }
+    assert_eq!(
+        warm.cache_stats().misses,
+        0,
+        "the snapshot covers the whole sweep, not just the last solve"
+    );
+}
+
+#[test]
+fn estimate_cache_bound_holds_under_warm_start_and_solve() {
+    let ds = dataset();
+    let cold = session(&ds).build().unwrap();
+    cold.solve(&SolveRequest::default()).unwrap();
+    let snapshot = cold.snapshot();
+    let full = snapshot.state.estimates.len();
+    assert!(
+        full > 16,
+        "fixture must be big enough to overflow the bound"
+    );
+
+    // Restoring a big snapshot into a bounded session keeps the bound.
+    let warm = session(&ds).warm_start(snapshot).build().unwrap();
+    warm.solve(&SolveRequest::default().estimate_cache_bound(16))
+        .unwrap();
+    let stats = warm.cache_stats();
+    assert!(
+        stats.entries <= 16,
+        "entry count {} exceeds the configured LRU bound",
+        stats.entries
+    );
+    assert!(stats.evictions > 0);
+}

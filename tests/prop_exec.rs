@@ -1,0 +1,158 @@
+//! Property tests for the staged solve executor and the sharded LRU cache:
+//!
+//! * work-stealing parallel Step 2 is **deterministic** — for random data
+//!   seeds and worker counts, the parallel ruleset is identical to
+//!   `parallel: false`;
+//! * `ShardedLruCache` never exceeds its bound, evicts LRU-first (checked
+//!   against a reference model on a single shard), and keeps its counters
+//!   consistent across shards.
+
+use faircap::causal::scm::{bernoulli, normal, Scm};
+use faircap::core::FairCapConfig;
+use faircap::table::{ShardedLruCache, Value};
+use faircap::{FairCap, PrescriptionSession, SolveRequest};
+use proptest::prelude::*;
+
+/// A small planted-effect instance parameterized by RNG seed.
+fn session_for_seed(seed: u64) -> PrescriptionSession {
+    let scm = Scm::new()
+        .categorical("segment", &[("a", 0.5), ("b", 0.5)])
+        .unwrap()
+        .categorical("grp", &[("p", 0.3), ("np", 0.7)])
+        .unwrap()
+        .node(
+            "treat",
+            &[],
+            Box::new(|_, rng| Value::Str(if bernoulli(rng, 0.4) { "yes" } else { "no" }.into())),
+        )
+        .unwrap()
+        .node(
+            "boost",
+            &[],
+            Box::new(|_, rng| Value::Bool(bernoulli(rng, 0.5))),
+        )
+        .unwrap()
+        .node(
+            "outcome",
+            &["segment", "grp", "treat", "boost"],
+            Box::new(|row, rng| {
+                let mut v = 50.0;
+                if row.str("treat") == "yes" {
+                    v += if row.str("grp") == "p" { 6.0 } else { 18.0 };
+                }
+                if row.flag("boost") {
+                    v += 9.0;
+                }
+                Value::Float(v + normal(rng, 0.0, 4.0))
+            }),
+        )
+        .unwrap();
+    let df = scm.sample(600, seed).unwrap();
+    let dag = scm.dag();
+    FairCap::builder()
+        .data(df)
+        .dag(dag)
+        .outcome("outcome")
+        .immutable(["segment", "grp"])
+        .mutable(["treat", "boost"])
+        .protected(faircap::table::Pattern::of_eq(&[("grp", Value::from("p"))]))
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #[test]
+    fn parallel_solve_is_identical_to_serial(seed in 0u64..10_000, workers in 1usize..6) {
+        let session = session_for_seed(seed);
+        let serial = session
+            .solve(&SolveRequest::from(FairCapConfig {
+                parallel: false,
+                ..FairCapConfig::default()
+            }))
+            .unwrap();
+        let parallel = session
+            .solve(&SolveRequest::default().workers(workers))
+            .unwrap();
+        let a: Vec<String> = serial.rules.iter().map(|r| r.to_string()).collect();
+        let b: Vec<String> = parallel.rules.iter().map(|r| r.to_string()).collect();
+        prop_assert_eq!(a, b, "seed {} workers {}", seed, workers);
+        prop_assert_eq!(
+            format!("{:?}", serial.summary),
+            format!("{:?}", parallel.summary)
+        );
+    }
+
+    #[test]
+    fn cache_never_exceeds_bound_and_counters_balance(
+        capacity in 1usize..16,
+        n_shards in 1usize..9,
+        ops in prop::collection::vec((0u32..24, any::<bool>()), 1..120),
+    ) {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(capacity, n_shards);
+        let mut gets = 0u64;
+        let mut inserts = 0u64;
+        let mut replacements = 0u64;
+        for (key, is_insert) in ops {
+            if is_insert {
+                if cache.insert(key, key * 2).replaced {
+                    replacements += 1;
+                }
+                inserts += 1;
+            } else {
+                if let Some(v) = cache.get(&key) {
+                    prop_assert_eq!(v, key * 2, "cache must return what was inserted");
+                }
+                gets += 1;
+            }
+            prop_assert!(
+                cache.len() <= capacity,
+                "len {} exceeds bound {}",
+                cache.len(),
+                capacity
+            );
+        }
+        let c = cache.counters();
+        prop_assert_eq!(c.hits + c.misses, gets, "every get is a hit or a miss");
+        prop_assert_eq!(
+            c.entries as u64 + c.evictions + replacements,
+            inserts,
+            "inserts either remain, were evicted, or replaced an entry"
+        );
+    }
+
+    #[test]
+    fn single_shard_cache_matches_reference_lru(
+        ops in prop::collection::vec((0u32..12, any::<bool>()), 1..100),
+        capacity in 1usize..8,
+    ) {
+        let cache: ShardedLruCache<u32, u32> = ShardedLruCache::new(capacity, 1);
+        // Reference model: Vec of keys ordered least→most recently used.
+        let mut model: Vec<u32> = Vec::new();
+        for (key, is_insert) in ops {
+            if is_insert {
+                cache.insert(key, key);
+                if let Some(pos) = model.iter().position(|&k| k == key) {
+                    model.remove(pos);
+                }
+                model.push(key);
+                if model.len() > capacity {
+                    model.remove(0); // reference evicts LRU-first
+                }
+            } else {
+                let hit = cache.get(&key);
+                let model_hit = model.iter().position(|&k| k == key);
+                prop_assert_eq!(
+                    hit.is_some(),
+                    model_hit.is_some(),
+                    "presence diverged from reference LRU on key {}",
+                    key
+                );
+                if let Some(pos) = model_hit {
+                    let k = model.remove(pos);
+                    model.push(k); // get refreshes recency
+                }
+            }
+            prop_assert_eq!(cache.len(), model.len());
+        }
+    }
+}
