@@ -1,0 +1,141 @@
+//! Serving latency/throughput benchmark: the perf trajectory of the
+//! `faircap-serve` front end, recorded machine-readably.
+//!
+//! Boots an in-process server over the German-credit session, warms the
+//! caches with one solve, then drives a closed-loop load phase — N client
+//! threads issuing `POST /v1/solve` back-to-back through
+//! `faircap_serve::ServeClient` — and reports p50/p90/p99 latency and
+//! throughput. Results go to stdout
+//! *and* to `BENCH_serve.json` (CWD, or the directory given as the first
+//! argument) so CI can archive the trend.
+//!
+//! ```sh
+//! cargo run --release -p faircap-bench --bin serve_bench [-- OUT_DIR]
+//! ```
+
+use faircap_bench::session_of;
+use faircap_core::{Json, SessionRegistry};
+use faircap_serve::{ServeConfig, Server};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Client threads in the measured phase.
+const CONCURRENCY: usize = 8;
+/// Requests per client thread.
+const REQUESTS_PER_CLIENT: usize = 25;
+
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+    let ds = faircap_data::german::generate(faircap_data::german::GERMAN_DEFAULT_ROWS, 42);
+    let rows = ds.df.n_rows();
+    let session = session_of(&ds).expect("german dataset is well-formed");
+    let registry = Arc::new(SessionRegistry::new());
+    registry.register("german", session);
+
+    let server = Server::start(
+        ServeConfig {
+            max_concurrent_solves: CONCURRENCY,
+            solve_queue_depth: CONCURRENCY * 4,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .expect("binding an ephemeral port");
+    let client = server.client();
+    client
+        .wait_ready(Duration::from_secs(30))
+        .expect("server boots");
+
+    // Warm-up: the first solve pays full estimation; the measured phase is
+    // the serving steady state (cache-hit solves), which is what a
+    // production front end actually serves per request.
+    let warm = client
+        .post_json("/v1/solve", r#"{"max_rules": 5}"#)
+        .expect("warm-up request");
+    assert_eq!(warm.status, 200, "warm-up failed: {}", warm.body);
+    println!(
+        "serve_bench: german ({rows} rows) warmed, measuring {} requests × {} clients",
+        REQUESTS_PER_CLIENT, CONCURRENCY
+    );
+
+    let started = Instant::now();
+    let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONCURRENCY)
+            .map(|_| {
+                let client = client.clone();
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                    let mut rejected = 0u64;
+                    for _ in 0..REQUESTS_PER_CLIENT {
+                        let t0 = Instant::now();
+                        let response = client
+                            .post_json("/v1/solve", r#"{"max_rules": 5}"#)
+                            .expect("bench request");
+                        match response.status {
+                            200 => local.push(t0.elapsed().as_secs_f64() * 1e3),
+                            429 => rejected += 1,
+                            other => panic!("unexpected status {other}: {}", response.body),
+                        }
+                    }
+                    (local, rejected)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| {
+                let (local, rejected) = h.join().expect("bench client thread");
+                assert_eq!(rejected, 0, "sized queue must admit the bench load");
+                local
+            })
+            .collect()
+    });
+    let wall = started.elapsed();
+    latencies_ms.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    let completed = latencies_ms.len();
+    let throughput = completed as f64 / wall.as_secs_f64();
+    let mean = latencies_ms.iter().sum::<f64>() / completed as f64;
+    let (p50, p90, p99) = (
+        percentile_ms(&latencies_ms, 0.50),
+        percentile_ms(&latencies_ms, 0.90),
+        percentile_ms(&latencies_ms, 0.99),
+    );
+    let max = *latencies_ms.last().expect("non-empty");
+
+    println!(
+        "serve_bench: {completed} solves in {wall:.2?} → {throughput:.1} req/s \
+         (p50 {p50:.2} ms, p90 {p90:.2} ms, p99 {p99:.2} ms, max {max:.2} ms)"
+    );
+
+    let num = |v: f64| Json::Num(v);
+    let doc = Json::Obj(
+        [
+            ("benchmark", Json::Str("serve".into())),
+            ("dataset", Json::Str("german".into())),
+            ("rows", num(rows as f64)),
+            ("warm", Json::Bool(true)),
+            ("concurrency", num(CONCURRENCY as f64)),
+            ("requests", num(completed as f64)),
+            ("wall_s", num(wall.as_secs_f64())),
+            ("throughput_rps", num(throughput)),
+            ("mean_ms", num(mean)),
+            ("p50_ms", num(p50)),
+            ("p90_ms", num(p90)),
+            ("p99_ms", num(p99)),
+            ("max_ms", num(max)),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect(),
+    );
+    let path = std::path::Path::new(&out_dir).join("BENCH_serve.json");
+    std::fs::write(&path, doc.render()).expect("writing BENCH_serve.json");
+    println!("serve_bench: wrote {}", path.display());
+    server.shutdown();
+}

@@ -33,11 +33,9 @@ use crate::backdoor::find_adjustment_set_names;
 use crate::error::{CausalError, Result};
 use crate::estimate::{Estimate, Estimator};
 use crate::graph::Dag;
-use faircap_table::{DataFrame, DataType, Mask, Pattern, ShardedLruCache};
+use faircap_table::{DataFrame, DataType, FnvHasher, Mask, Pattern, ShardedLruCache};
 use parking_lot::Mutex;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Estimate-cache hit/miss counters (see [`CateEngine::cache_stats`]).
@@ -489,13 +487,19 @@ impl<'a> CateQuery<'a> {
     }
 }
 
-/// Deterministic 64-bit fingerprint of a mask's bits. `DefaultHasher::new`
-/// uses fixed keys, so the fingerprint is stable across processes on the
-/// same toolchain — the property the snapshot format relies on.
+/// Deterministic 64-bit fingerprint of a mask's bits: FNV-1a over the
+/// mask's length and little-endian bit words. The snapshot format persists
+/// these fingerprints, so the function must be stable across processes,
+/// platforms, *and Rust toolchain versions* — which rules out
+/// `DefaultHasher` (deterministic only within one compiler release) in
+/// favour of the in-repo [`FnvHasher`].
 fn mask_fingerprint(mask: &Mask) -> u64 {
-    let mut h = DefaultHasher::new();
-    mask.hash(&mut h);
-    h.finish()
+    let mut h = FnvHasher::new();
+    h.write_u64_stable(mask.len() as u64);
+    for &word in mask.as_words() {
+        h.write_u64_stable(word);
+    }
+    h.finish64()
 }
 
 #[cfg(test)]

@@ -54,11 +54,13 @@ pub mod cost;
 pub mod decision_tree;
 pub mod error;
 pub mod exec;
+pub mod registry;
 pub mod report;
 pub mod rule;
 pub mod session;
 pub mod snapshot;
 pub mod utility;
+pub mod wire;
 
 pub use benefit::benefit;
 pub use config::{CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope};
@@ -66,8 +68,10 @@ pub use cost::{CostModel, CostPolicy};
 pub use decision_tree::{all_structural_variants, choose_variant, FairnessKind, VariantAnswers};
 pub use error::{Error, Result};
 pub use exec::ExecStats;
+pub use registry::{RegisteredSession, SessionRegistry};
 pub use report::{SolutionReport, StepTimings};
 pub use rule::{Rule, RuleUtility};
 pub use session::{FairCap, PrescriptionSession, SessionBuilder, SolveRequest};
 pub use snapshot::{SessionSnapshot, SNAPSHOT_VERSION};
 pub use utility::{ruleset_utility, RulesetUtility};
+pub use wire::{solution_report_to_json, solve_request_from_json, Json};

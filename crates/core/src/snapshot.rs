@@ -13,7 +13,7 @@
 //! # Format and versioning
 //!
 //! The wire format is a line-oriented, token-escaped text format with an
-//! explicit version header (`faircap-snapshot v1`). The compatibility
+//! explicit version header (`faircap-snapshot v2`). The compatibility
 //! policy is:
 //!
 //! * decoding rejects any snapshot whose major version is unknown with a
@@ -38,10 +38,8 @@
 
 use crate::error::{Error, Result};
 use faircap_causal::{CateEngineState, Dag, Estimate};
-use faircap_table::{CmpOp, DataFrame, Mask, Pattern, Predicate, Value};
-use std::collections::hash_map::DefaultHasher;
+use faircap_table::{CmpOp, DataFrame, FnvHasher, Mask, Pattern, Predicate, Value};
 use std::fmt::Write as _;
-use std::hash::{Hash, Hasher};
 
 /// Serialized-cache bundle of one session. Produced by
 /// [`PrescriptionSession::snapshot`](crate::session::PrescriptionSession::snapshot),
@@ -68,29 +66,65 @@ pub struct SessionSnapshot {
 /// Order-sensitive fingerprint of a frame's column names and full contents.
 /// One pass over every cell — microseconds to low milliseconds at this
 /// workload's scale, paid once per snapshot/restore.
+///
+/// Computed with the in-repo stable [`FnvHasher`], never `DefaultHasher`:
+/// these fingerprints are persisted inside snapshots, so they must be
+/// identical across processes, platforms, and Rust toolchain versions.
 pub fn data_fingerprint(df: &DataFrame) -> u64 {
-    let mut h = DefaultHasher::new();
-    df.n_rows().hash(&mut h);
+    let mut h = FnvHasher::new();
+    h.write_u64_stable(df.n_rows() as u64);
     for name in df.names() {
-        name.hash(&mut h);
+        h.write_str_stable(name);
         let col = df.column(name).expect("iterating the frame's own names");
         for row in 0..df.n_rows() {
-            col.get(row).hash(&mut h);
+            write_value_stable(&mut h, &col.get(row));
         }
     }
-    h.finish()
+    h.finish64()
+}
+
+/// Feed one cell value into a stable digest: a one-byte type tag followed
+/// by a fixed-width (or length-prefixed) encoding, so values of different
+/// types can never collide byte-wise.
+fn write_value_stable(h: &mut FnvHasher, value: &Value) {
+    match value {
+        Value::Null => h.write_u8_stable(0),
+        Value::Int(v) => {
+            h.write_u8_stable(1);
+            h.write_i64_stable(*v);
+        }
+        Value::Float(v) => {
+            h.write_u8_stable(2);
+            h.write_u64_stable(v.to_bits());
+        }
+        Value::Bool(b) => {
+            h.write_u8_stable(3);
+            h.write_u8_stable(u8::from(*b));
+        }
+        Value::Str(s) => {
+            h.write_u8_stable(4);
+            h.write_str_stable(s);
+        }
+    }
 }
 
 /// Fingerprint of a DAG's node and edge structure (via its DOT rendering,
-/// which lists nodes and edges deterministically).
+/// which lists nodes and edges deterministically), using the same stable
+/// [`FnvHasher`] as [`data_fingerprint`].
 pub fn dag_fingerprint(dag: &Dag) -> u64 {
-    let mut h = DefaultHasher::new();
-    dag.to_dot().hash(&mut h);
-    h.finish()
+    let mut h = FnvHasher::new();
+    h.write_str_stable(&dag.to_dot());
+    h.finish64()
 }
 
-/// Current snapshot format version (the `v1` of the header line).
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version (the `v2` of the header line).
+///
+/// v1 → v2: every persisted fingerprint (group, DAG, data) moved from
+/// `DefaultHasher` — whose output is only stable within one Rust compiler
+/// release — to the in-repo FNV-1a, so snapshots survive toolchain
+/// upgrades. v1 snapshots are refused with a typed error rather than
+/// silently degrading to partial warm starts.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const HEADER: &str = "faircap-snapshot";
 
@@ -167,8 +201,13 @@ impl SessionSnapshot {
             .and_then(|v| v.parse::<u32>().ok())
             .ok_or_else(|| snap_err(format!("not a faircap snapshot (header `{header}`)")))?;
         if version != SNAPSHOT_VERSION {
+            let hint = if version < SNAPSHOT_VERSION {
+                "; pre-v2 snapshots used toolchain-dependent fingerprints — re-solve and re-save to regenerate"
+            } else {
+                ""
+            };
             return Err(snap_err(format!(
-                "snapshot format v{version} is not supported (this build reads v{SNAPSHOT_VERSION})"
+                "snapshot format v{version} is not supported (this build reads v{SNAPSHOT_VERSION}{hint})"
             )));
         }
 
@@ -577,10 +616,36 @@ mod tests {
     #[test]
     fn unknown_version_is_rejected() {
         let snap = sample();
-        let text = snap.encode().replacen("v1", "v99", 1);
+        let text = snap.encode().replacen("v2", "v99", 1);
         let err = SessionSnapshot::decode(&text).unwrap_err();
         assert!(matches!(err, Error::Snapshot(_)));
         assert!(err.to_string().contains("v99"), "{err}");
+    }
+
+    #[test]
+    fn outdated_v1_is_refused_with_regeneration_hint() {
+        // A v1 snapshot (pre-FNV fingerprints) must be refused outright —
+        // its persisted group/data/DAG fingerprints were DefaultHasher
+        // output, valid only for the toolchain that wrote them.
+        let text = sample().encode().replacen("v2", "v1", 1);
+        let err = SessionSnapshot::decode(&text).unwrap_err();
+        assert!(matches!(err, Error::Snapshot(_)));
+        assert!(err.to_string().contains("v1"), "{err}");
+        assert!(err.to_string().contains("re-save"), "{err}");
+    }
+
+    #[test]
+    fn fingerprints_are_toolchain_stable_constants() {
+        // Pinned digests: if either ever changes, the snapshot format has
+        // silently forked and SNAPSHOT_VERSION must be bumped.
+        let df = DataFrame::builder()
+            .cat("grp", &["a", "b"])
+            .float("o", vec![1.5, -2.0])
+            .build()
+            .unwrap();
+        assert_eq!(data_fingerprint(&df), 0x93c9_bd47_487b_79df);
+        let dag = Dag::parse_edge_list("grp -> o").unwrap();
+        assert_eq!(dag_fingerprint(&dag), 0xfafb_3992_c436_be05);
     }
 
     #[test]
@@ -588,9 +653,9 @@ mod tests {
         for bad in [
             "",
             "not a snapshot",
-            "faircap-snapshot v1\noutcome o\nrows x",
-            "faircap-snapshot v1\noutcome o\nrows 10\nadjustments 1\n",
-            "faircap-snapshot v1\noutcome o\nrows 10\nadjustments 0\ntreated 0\nestimates 1\ne linear zz 0 -",
+            "faircap-snapshot v2\noutcome o\nrows x",
+            "faircap-snapshot v2\noutcome o\nrows 10\nadjustments 1\n",
+            "faircap-snapshot v2\noutcome o\nrows 10\nadjustments 0\ntreated 0\nestimates 1\ne linear zz 0 -",
         ] {
             assert!(
                 matches!(SessionSnapshot::decode(bad), Err(Error::Snapshot(_))),

@@ -1,0 +1,849 @@
+//! JSON wire format for the serving front end: parse a [`SolveRequest`]
+//! from a JSON body and render a [`SolutionReport`] as a JSON document.
+//!
+//! The build environment is offline, so instead of `serde_json` this module
+//! carries a deliberately small JSON kernel: a [`Json`] value tree, a
+//! recursive-descent [`Json::parse`], and a [`Json::render`] writer. Two
+//! properties matter for the serving layer and are tested here:
+//!
+//! * **Floats round-trip exactly.** Finite `f64`s are rendered with Rust's
+//!   shortest-round-trip formatting and parsed back with `str::parse`,
+//!   which recovers the identical bit pattern — so a ruleset served over
+//!   HTTP is *bit-identical* to one returned by a direct
+//!   [`PrescriptionSession::solve`] call (asserted in
+//!   `tests/integration_serve.rs`). Non-finite floats render as `null`
+//!   (JSON has no `Infinity`/`NaN`).
+//! * **Requests are strict.** [`solve_request_from_json`] rejects unknown
+//!   keys, wrong types, and malformed constraint objects with
+//!   [`Error::InvalidRequest`], so a typo'd knob is a 400, not a silently
+//!   ignored field.
+//!
+//! [`PrescriptionSession::solve`]: crate::session::PrescriptionSession::solve
+
+use crate::config::{CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope};
+use crate::error::{Error, Result};
+use crate::exec::ExecStats;
+use crate::report::SolutionReport;
+use crate::session::SolveRequest;
+use faircap_causal::{Estimator as _, EstimatorKind};
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Objects preserve key order (a `Vec`, not a map) so
+/// rendered documents are deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup; `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document. Rejects trailing content, unterminated
+    /// structures, and nesting deeper than 64 levels (stack safety on
+    /// untrusted network input).
+    pub fn parse(text: &str) -> std::result::Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Render as compact JSON. Finite numbers use Rust's shortest
+    /// round-trip `f64` formatting (integral values print without `.0`, as
+    /// `{}` already does for e.g. `3.0` → `3`); NaN and infinities render
+    /// as `null`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> std::result::Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> std::result::Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> std::result::Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                self.depth += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            self.depth -= 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                self.depth += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.value()?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            self.depth -= 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(_) => Err(format!("unexpected byte at {}", self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn number(&mut self) -> std::result::Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number `{text}` at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> std::result::Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pair handling: a high surrogate must
+                            // be followed by a \u escape that actually is a
+                            // low surrogate, else the document is rejected.
+                            let c = if (0xd800..0xdc00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if (0xdc00..0xe000).contains(&low) {
+                                        let combined =
+                                            0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+                                        char::from_u32(combined)
+                                    } else {
+                                        None
+                                    }
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| format!("bad \\u escape near {}", self.pos))?);
+                        }
+                        other => return Err(format!("bad escape `\\{}`", char::from(other))),
+                    }
+                }
+                _ => {
+                    // Consume the full UTF-8 sequence starting at `b`.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let slice = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    let s = std::str::from_utf8(slice).map_err(|e| e.to_string())?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> std::result::Result<u32, String> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape")?;
+        let text = std::str::from_utf8(slice).map_err(|e| e.to_string())?;
+        let cp = u32::from_str_radix(text, 16).map_err(|e| e.to_string())?;
+        self.pos += 4;
+        Ok(cp)
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn bad(msg: impl Into<String>) -> Error {
+    Error::InvalidRequest(msg.into())
+}
+
+/// Build a [`SolveRequest`] from a parsed JSON object.
+///
+/// Every field is optional and defaults to [`FairCapConfig::default`];
+/// unknown keys are rejected (except `session`, which the serving layer
+/// consumes for routing before handing the body here). Schema:
+///
+/// ```json
+/// {
+///   "fairness":  {"kind": "sp"|"bgl"|"none", "scope": "group"|"individual",
+///                 "epsilon": 10000.0, "tau": 0.1},
+///   "coverage":  {"kind": "group"|"rule"|"none",
+///                 "theta": 0.5, "theta_protected": 0.5},
+///   "estimator": "linear"|"stratified"|"ipw"|"aipw"|"matching",
+///   "max_rules": 20,
+///   "apriori_threshold": 0.1,
+///   "parallel": true,
+///   "workers": 4,
+///   "estimate_cache_bound": 10000,
+///   "grouping_cache_bound": 64
+/// }
+/// ```
+pub fn solve_request_from_json(json: &Json) -> Result<SolveRequest> {
+    let Json::Obj(fields) = json else {
+        return Err(bad("request body must be a JSON object"));
+    };
+    let mut config = FairCapConfig::default();
+    let mut request = SolveRequest::default();
+    for (key, value) in fields {
+        match key.as_str() {
+            // Consumed by the serving layer for session routing.
+            "session" => {}
+            "fairness" => config.fairness = fairness_from_json(value)?,
+            "coverage" => config.coverage = coverage_from_json(value)?,
+            "estimator" => {
+                let name = value
+                    .as_str()
+                    .ok_or_else(|| bad("`estimator` must be a string"))?;
+                config.estimator = EstimatorKind::parse(name).ok_or_else(|| {
+                    let known: Vec<&str> = EstimatorKind::ALL.iter().map(|k| k.name()).collect();
+                    bad(format!(
+                        "unknown estimator `{name}` (expected one of: {})",
+                        known.join(", ")
+                    ))
+                })?;
+            }
+            "max_rules" => config.max_rules = usize_field(value, "max_rules")?,
+            "apriori_threshold" => {
+                config.apriori_threshold = f64_field(value, "apriori_threshold")?
+            }
+            "parallel" => {
+                config.parallel = value
+                    .as_bool()
+                    .ok_or_else(|| bad("`parallel` must be a boolean"))?
+            }
+            "workers" => request.workers = Some(usize_field(value, "workers")?),
+            "estimate_cache_bound" => {
+                request.estimate_cache_bound = Some(usize_field(value, "estimate_cache_bound")?)
+            }
+            "grouping_cache_bound" => {
+                request.grouping_cache_bound = Some(usize_field(value, "grouping_cache_bound")?)
+            }
+            other => return Err(bad(format!("unknown request field `{other}`"))),
+        }
+    }
+    request.config = config;
+    Ok(request)
+}
+
+fn f64_field(value: &Json, name: &str) -> Result<f64> {
+    value
+        .as_f64()
+        .ok_or_else(|| bad(format!("`{name}` must be a number")))
+}
+
+fn usize_field(value: &Json, name: &str) -> Result<usize> {
+    let n = f64_field(value, name)?;
+    if n < 0.0 || n.fract() != 0.0 || n > usize::MAX as f64 {
+        return Err(bad(format!(
+            "`{name}` must be a non-negative integer, got {n}"
+        )));
+    }
+    Ok(n as usize)
+}
+
+fn scope_from_json(obj: &Json) -> Result<FairnessScope> {
+    match obj.get("scope").and_then(Json::as_str) {
+        Some("group") | None => Ok(FairnessScope::Group),
+        Some("individual") => Ok(FairnessScope::Individual),
+        Some(other) => Err(bad(format!(
+            "fairness scope must be `group` or `individual`, got `{other}`"
+        ))),
+    }
+}
+
+fn fairness_from_json(value: &Json) -> Result<FairnessConstraint> {
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("`fairness` must be an object with a `kind` field"))?;
+    match kind {
+        "none" => Ok(FairnessConstraint::None),
+        "sp" => Ok(FairnessConstraint::StatisticalParity {
+            scope: scope_from_json(value)?,
+            epsilon: value
+                .get("epsilon")
+                .map(|v| f64_field(v, "epsilon"))
+                .transpose()?
+                .ok_or_else(|| bad("`sp` fairness requires `epsilon`"))?,
+        }),
+        "bgl" => Ok(FairnessConstraint::BoundedGroupLoss {
+            scope: scope_from_json(value)?,
+            tau: value
+                .get("tau")
+                .map(|v| f64_field(v, "tau"))
+                .transpose()?
+                .ok_or_else(|| bad("`bgl` fairness requires `tau`"))?,
+        }),
+        other => Err(bad(format!(
+            "fairness kind must be `none`, `sp`, or `bgl`, got `{other}`"
+        ))),
+    }
+}
+
+fn coverage_from_json(value: &Json) -> Result<CoverageConstraint> {
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("`coverage` must be an object with a `kind` field"))?;
+    if kind == "none" {
+        return Ok(CoverageConstraint::None);
+    }
+    let theta = value
+        .get("theta")
+        .map(|v| f64_field(v, "theta"))
+        .transpose()?
+        .ok_or_else(|| bad(format!("`{kind}` coverage requires `theta`")))?;
+    let theta_protected = value
+        .get("theta_protected")
+        .map(|v| f64_field(v, "theta_protected"))
+        .transpose()?
+        .ok_or_else(|| bad(format!("`{kind}` coverage requires `theta_protected`")))?;
+    match kind {
+        "group" => Ok(CoverageConstraint::Group {
+            theta,
+            theta_protected,
+        }),
+        "rule" => Ok(CoverageConstraint::Rule {
+            theta,
+            theta_protected,
+        }),
+        other => Err(bad(format!(
+            "coverage kind must be `none`, `group`, or `rule`, got `{other}`"
+        ))),
+    }
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// Render [`ExecStats`] as JSON (the `exec` field of a report document).
+pub fn exec_stats_to_json(stats: &ExecStats) -> Json {
+    obj(vec![
+        ("workers", Json::Num(stats.workers as f64)),
+        ("tasks", Json::Num(stats.tasks as f64)),
+        ("steals", Json::Num(stats.steals as f64)),
+        (
+            "tasks_per_worker",
+            Json::Arr(
+                stats
+                    .tasks_per_worker
+                    .iter()
+                    .map(|&n| Json::Num(n as f64))
+                    .collect(),
+            ),
+        ),
+        ("busy_ms", Json::Num(stats.busy.as_secs_f64() * 1e3)),
+        ("wall_ms", Json::Num(stats.wall.as_secs_f64() * 1e3)),
+        ("utilization", Json::Num(stats.utilization())),
+    ])
+}
+
+/// Render a [`SolutionReport`] as a JSON document — the response body of
+/// `POST /v1/solve`.
+pub fn solution_report_to_json(report: &SolutionReport) -> Json {
+    let rules: Vec<Json> = report
+        .rules
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("grouping", Json::Str(r.grouping.to_string())),
+                ("intervention", Json::Str(r.intervention.to_string())),
+                ("rule", Json::Str(r.to_string())),
+                ("coverage_count", Json::Num(r.coverage_count() as f64)),
+                (
+                    "coverage_protected_count",
+                    Json::Num(r.coverage_protected_count() as f64),
+                ),
+                (
+                    "utility",
+                    obj(vec![
+                        ("overall", Json::Num(r.utility.overall)),
+                        ("protected", Json::Num(r.utility.protected)),
+                        ("non_protected", Json::Num(r.utility.non_protected)),
+                        ("p_value", Json::Num(r.utility.p_value)),
+                    ]),
+                ),
+                ("benefit", Json::Num(r.benefit)),
+            ])
+        })
+        .collect();
+    let summary = obj(vec![
+        ("expected", Json::Num(report.summary.expected)),
+        (
+            "expected_protected",
+            Json::Num(report.summary.expected_protected),
+        ),
+        (
+            "expected_non_protected",
+            Json::Num(report.summary.expected_non_protected),
+        ),
+        ("coverage", Json::Num(report.summary.coverage)),
+        (
+            "coverage_protected",
+            Json::Num(report.summary.coverage_protected),
+        ),
+        ("unfairness", Json::Num(report.summary.unfairness)),
+    ]);
+    let timings = obj(vec![
+        (
+            "grouping_ms",
+            Json::Num(report.timings.grouping.as_secs_f64() * 1e3),
+        ),
+        (
+            "intervention_ms",
+            Json::Num(report.timings.intervention.as_secs_f64() * 1e3),
+        ),
+        (
+            "greedy_ms",
+            Json::Num(report.timings.greedy.as_secs_f64() * 1e3),
+        ),
+        (
+            "total_ms",
+            Json::Num(report.timings.total().as_secs_f64() * 1e3),
+        ),
+    ]);
+    obj(vec![
+        ("label", Json::Str(report.label.clone())),
+        ("constraints_met", Json::Bool(report.constraints_met)),
+        ("n_rules", Json::Num(report.size() as f64)),
+        ("rules", Json::Arr(rules)),
+        ("summary", summary),
+        (
+            "n_grouping_patterns",
+            Json::Num(report.n_grouping_patterns as f64),
+        ),
+        ("n_candidates", Json::Num(report.n_candidates as f64)),
+        ("timings", timings),
+        (
+            "exec",
+            report
+                .exec
+                .as_ref()
+                .map(exec_stats_to_json)
+                .unwrap_or(Json::Null),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_round_trips() {
+        let text = r#"{"a":[1,2.5,-3e2],"b":{"c":null,"d":true,"e":"x\"\\\né"},"f":false}"#;
+        let v = Json::parse(text).unwrap();
+        let rendered = v.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), v);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("b").unwrap().get("e").unwrap().as_str().unwrap(),
+            "x\"\\\né"
+        );
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for bits in [
+            0x3ff0_0000_0000_0001u64, // 1.0 + ulp
+            0x4197_d784_3c80_0000,    // some large value
+            (-1.2345678901234567e-89f64).to_bits(),
+            0u64,
+        ] {
+            let v = Json::Num(f64::from_bits(bits));
+            let back = Json::parse(&v.render()).unwrap();
+            assert_eq!(back.as_f64().unwrap().to_bits(), bits);
+        }
+        // Non-finite floats degrade to null, not invalid JSON.
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1} extra",
+            "nul",
+            "\"unterminated",
+            "01a",
+            // Lone high surrogate, and a high surrogate followed by a
+            // non-low-surrogate escape.
+            "\"\\ud800\"",
+            "\"\\ud800\\u0041\"",
+            "\"\\ud800x\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // A valid pair decodes to the astral character.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("😀".into())
+        );
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn solve_request_parses_every_knob() {
+        let body = r#"{
+            "session": "german",
+            "fairness": {"kind": "sp", "scope": "group", "epsilon": 10000.0},
+            "coverage": {"kind": "rule", "theta": 0.3, "theta_protected": 0.2},
+            "estimator": "aipw",
+            "max_rules": 7,
+            "apriori_threshold": 0.15,
+            "parallel": false,
+            "workers": 3,
+            "estimate_cache_bound": 100,
+            "grouping_cache_bound": 8
+        }"#;
+        let request = solve_request_from_json(&Json::parse(body).unwrap()).unwrap();
+        assert!(matches!(
+            request.config.fairness,
+            FairnessConstraint::StatisticalParity {
+                scope: FairnessScope::Group,
+                epsilon
+            } if epsilon == 10_000.0
+        ));
+        assert!(matches!(
+            request.config.coverage,
+            CoverageConstraint::Rule { theta, .. } if theta == 0.3
+        ));
+        assert_eq!(request.config.estimator, EstimatorKind::Aipw);
+        assert_eq!(request.config.max_rules, 7);
+        assert_eq!(request.config.apriori_threshold, 0.15);
+        assert!(!request.config.parallel);
+        assert_eq!(request.workers, Some(3));
+        assert_eq!(request.estimate_cache_bound, Some(100));
+        assert_eq!(request.grouping_cache_bound, Some(8));
+    }
+
+    #[test]
+    fn empty_request_is_all_defaults() {
+        let request = solve_request_from_json(&Json::parse("{}").unwrap()).unwrap();
+        assert_eq!(request.config.max_rules, FairCapConfig::default().max_rules);
+        assert!(request.workers.is_none());
+    }
+
+    #[test]
+    fn bad_requests_are_typed_errors() {
+        for (body, needle) in [
+            (r#"{"bogus": 1}"#, "unknown request field"),
+            (r#"{"estimator": "dowhy"}"#, "unknown estimator"),
+            (r#"{"fairness": {"kind": "sp"}}"#, "epsilon"),
+            (r#"{"fairness": {"kind": "zz"}}"#, "fairness kind"),
+            (
+                r#"{"coverage": {"kind": "group", "theta": 0.5}}"#,
+                "theta_protected",
+            ),
+            (r#"{"max_rules": 1.5}"#, "non-negative integer"),
+            (r#"{"max_rules": -1}"#, "non-negative integer"),
+            (r#"{"parallel": "yes"}"#, "boolean"),
+            (r#"[1]"#, "object"),
+        ] {
+            let err = solve_request_from_json(&Json::parse(body).unwrap()).unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidRequest(ref m) if m.contains(needle)),
+                "{body} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_renders_and_reparses() {
+        use crate::report::StepTimings;
+        use crate::utility::RulesetUtility;
+        use std::time::Duration;
+        let report = SolutionReport {
+            label: "no fairness + no coverage".into(),
+            rules: Vec::new(),
+            summary: RulesetUtility {
+                expected: 27_934.76,
+                expected_protected: 18_145.23,
+                expected_non_protected: 28_144.58,
+                coverage: 0.9795,
+                coverage_protected: 0.9885,
+                unfairness: 9_999.35,
+            },
+            constraints_met: true,
+            n_grouping_patterns: 12,
+            n_candidates: 10,
+            timings: StepTimings {
+                grouping: Duration::from_millis(5),
+                intervention: Duration::from_millis(900),
+                greedy: Duration::from_millis(20),
+            },
+            exec: Some(ExecStats {
+                workers: 2,
+                tasks: 12,
+                steals: 3,
+                tasks_per_worker: vec![7, 5],
+                busy: Duration::from_millis(800),
+                wall: Duration::from_millis(450),
+            }),
+        };
+        let json = solution_report_to_json(&report);
+        let back = Json::parse(&json.render()).unwrap();
+        assert_eq!(
+            back.get("summary")
+                .unwrap()
+                .get("expected")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .to_bits(),
+            report.summary.expected.to_bits(),
+            "summary floats must survive the wire bit-exactly"
+        );
+        assert_eq!(back.get("n_rules").unwrap().as_f64(), Some(0.0));
+        assert_eq!(
+            back.get("exec").unwrap().get("steals").unwrap().as_f64(),
+            Some(3.0)
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! CI smoke driver for a running `faircap serve` instance.
+//!
+//! ```sh
+//! faircap serve --data … --addr 127.0.0.1:7341 &
+//! serve_smoke 127.0.0.1:7341
+//! ```
+//!
+//! Exercises the serving acceptance criteria end to end and exits non-zero
+//! on any violation:
+//!
+//! 1. waits for `/healthz` (boot synchronization, up to 120 s);
+//! 2. fires 8 concurrent `POST /v1/solve` requests — every response must be
+//!    `200` with a **non-empty** ruleset, and all rulesets must be
+//!    identical (one shared warm session serves all of them);
+//! 3. `GET /v1/metrics` must be `200` and report **nonzero estimate-cache
+//!    hits** plus 8 completed solves;
+//! 4. `POST /v1/shutdown` asks the server to drain so the CI job's
+//!    background process exits cleanly.
+
+use faircap_core::Json;
+use faircap_serve::ServeClient;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const CONCURRENCY: usize = 8;
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("serve_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn rules_of(body: &str) -> Vec<String> {
+    let doc = Json::parse(body).unwrap_or_else(|e| fail(format_args!("bad solve JSON: {e}")));
+    let Some(rules) = doc.get("rules").and_then(Json::as_arr) else {
+        fail("solve response has no `rules` array");
+    };
+    rules
+        .iter()
+        .map(|r| {
+            r.get("rule")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| fail("rule without `rule` string"))
+                .to_owned()
+        })
+        .collect()
+}
+
+fn main() {
+    let addr: SocketAddr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7341".into())
+        .parse()
+        .unwrap_or_else(|e| fail(format_args!("bad address: {e}")));
+    let client = ServeClient::new(addr).with_timeout(Duration::from_secs(300));
+
+    client
+        .wait_ready(Duration::from_secs(120))
+        .unwrap_or_else(|e| fail(e));
+    println!("serve_smoke: server at {addr} is ready");
+
+    let request = r#"{"max_rules": 5}"#;
+    let rulesets: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONCURRENCY)
+            .map(|_| {
+                let client = client.clone();
+                scope.spawn(move || {
+                    let response = client
+                        .post_json("/v1/solve", request)
+                        .unwrap_or_else(|e| fail(format_args!("solve request failed: {e}")));
+                    if response.status != 200 {
+                        fail(format_args!(
+                            "solve returned {}: {}",
+                            response.status, response.body
+                        ));
+                    }
+                    rules_of(&response.body)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("smoke solver thread"))
+            .collect()
+    });
+    for (i, rules) in rulesets.iter().enumerate() {
+        if rules.is_empty() {
+            fail(format_args!("solve {i} returned an empty ruleset"));
+        }
+        if rules != &rulesets[0] {
+            fail(format_args!(
+                "solve {i} ruleset diverged from solve 0:\n{rules:?}\nvs\n{:?}",
+                rulesets[0]
+            ));
+        }
+    }
+    println!(
+        "serve_smoke: {CONCURRENCY} concurrent solves OK, {} identical rules each",
+        rulesets[0].len()
+    );
+
+    let metrics = client
+        .get("/v1/metrics")
+        .unwrap_or_else(|e| fail(format_args!("metrics request failed: {e}")));
+    if metrics.status != 200 {
+        fail(format_args!("metrics returned {}", metrics.status));
+    }
+    let doc =
+        Json::parse(&metrics.body).unwrap_or_else(|e| fail(format_args!("bad metrics JSON: {e}")));
+    let solves_ok = doc
+        .get("requests")
+        .and_then(|r| r.get("solves_ok"))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| fail("metrics without requests.solves_ok"));
+    if (solves_ok as usize) < CONCURRENCY {
+        fail(format_args!(
+            "expected ≥{CONCURRENCY} solves_ok, got {solves_ok}"
+        ));
+    }
+    let Some(Json::Obj(sessions)) = doc.get("sessions") else {
+        fail("metrics without sessions object");
+    };
+    let hits: f64 = sessions
+        .iter()
+        .filter_map(|(_, s)| {
+            s.get("estimate_cache")
+                .and_then(|c| c.get("hits"))
+                .and_then(Json::as_f64)
+        })
+        .sum();
+    if hits <= 0.0 {
+        fail("metrics report zero estimate-cache hits after 8 solves");
+    }
+    println!("serve_smoke: metrics OK ({solves_ok} solves, {hits} cache hits)");
+
+    let shutdown = client
+        .post_json("/v1/shutdown", "{}")
+        .unwrap_or_else(|e| fail(format_args!("shutdown request failed: {e}")));
+    if shutdown.status != 200 {
+        fail(format_args!("shutdown returned {}", shutdown.status));
+    }
+    println!("serve_smoke: PASS");
+}

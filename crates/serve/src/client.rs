@@ -1,0 +1,124 @@
+//! [`ServeClient`] — the in-process test/bench harness for a running
+//! server.
+//!
+//! A thin blocking HTTP/1.1 client over `std::net::TcpStream`, matching the
+//! server's one-request-per-connection model: every call opens a fresh
+//! connection, writes one request, reads one response, and closes. Used by
+//! the admission-control integration tests, the CI smoke driver
+//! (`serve_smoke`), and the `serve_bench` latency bench.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A parsed client-side response: status code and body text.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (JSON in this API).
+    pub body: String,
+}
+
+/// Blocking HTTP client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl ServeClient {
+    /// A client for `addr` with a 120 s per-request timeout.
+    pub fn new(addr: SocketAddr) -> Self {
+        ServeClient {
+            addr,
+            timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Override the per-request socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `GET` a path.
+    pub fn get(&self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST` a JSON body to a path.
+    pub fn post_json(&self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Issue one request on a fresh connection.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line `{}`", status_line.trim_end()),
+                )
+            })?;
+        // Skip headers; the server always closes, so the body is
+        // read-to-end (content-length is honoured implicitly).
+        loop {
+            let mut line = String::new();
+            let n = reader.read_line(&mut line)?;
+            if n == 0 || line == "\r\n" || line == "\n" {
+                break;
+            }
+        }
+        let mut body = String::new();
+        reader.read_to_string(&mut body)?;
+        Ok(ClientResponse { status, body })
+    }
+
+    /// Poll `GET /healthz` until the server answers 200 or the deadline
+    /// passes — boot synchronization for tests and the CI smoke driver.
+    pub fn wait_ready(&self, deadline: Duration) -> std::io::Result<()> {
+        let started = Instant::now();
+        loop {
+            match self.get("/healthz") {
+                Ok(r) if r.status == 200 => return Ok(()),
+                _ if started.elapsed() > deadline => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!("server at {} not ready within {deadline:?}", self.addr),
+                    ));
+                }
+                _ => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! A deliberately small HTTP/1.1 implementation over `std::net`.
+//!
+//! The build environment is offline (no tokio, no hyper), and the serving
+//! workload is simple: short JSON requests, one request per connection
+//! (`Connection: close` on every response). This module implements exactly
+//! that subset — request-line + headers + `Content-Length` body parsing
+//! with hard size limits, and response writing with correct status lines —
+//! and nothing else (no chunked encoding, no keep-alive, no TLS).
+//!
+//! Limits on untrusted input: 8 KiB per header line, 64 headers, 4 MiB
+//! body. Anything over is a parse error, which the connection handler turns
+//! into a `400`/`413` and a closed socket.
+
+use faircap_core::Json;
+use std::io::{BufRead, Write};
+
+/// Maximum accepted header-line length.
+const MAX_LINE: usize = 8 * 1024;
+/// Maximum accepted header count.
+const MAX_HEADERS: usize = 64;
+/// Maximum accepted request-body size.
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercase as sent.
+    pub method: String,
+    /// Request path, query string included (the API uses none).
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The peer closed the connection before sending a request line.
+    Eof,
+    /// Malformed request (bad request line, header, or length).
+    Malformed(String),
+    /// The declared body exceeds [`MAX_BODY`].
+    BodyTooLarge(usize),
+    /// Transport error while reading.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Eof => write!(f, "connection closed before a request arrived"),
+            ParseError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            ParseError::BodyTooLarge(n) => {
+                write!(
+                    f,
+                    "request body of {n} bytes exceeds the {MAX_BODY}-byte limit"
+                )
+            }
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or a `Malformed` error.
+    pub fn body_utf8(&self) -> Result<&str, ParseError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|e| ParseError::Malformed(format!("body is not UTF-8: {e}")))
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> Result<String, ParseError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(ParseError::Eof);
+                }
+                break;
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(ParseError::Malformed("header line too long".into()));
+                }
+            }
+            Err(e) => return Err(ParseError::Io(e)),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|e| ParseError::Malformed(format!("non-UTF-8 header: {e}")))
+}
+
+/// Read one HTTP/1.1 request from a buffered stream.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
+    let request_line = read_line(reader)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Malformed(format!(
+            "bad request line `{request_line}`"
+        )));
+    };
+    if !version.starts_with("HTTP/1") {
+        return Err(ParseError::Malformed(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::Malformed("too many headers".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Malformed(format!("bad header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|e| ParseError::Malformed(format!("bad content-length `{v}`: {e}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(ParseError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(ParseError::Io)?;
+
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body,
+    })
+}
+
+/// An HTTP response ready to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body bytes (always JSON in this API).
+    pub body: String,
+    /// Extra headers beyond the standard set, e.g. `Retry-After`.
+    pub extra_headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: &Json) -> Response {
+        Response {
+            status,
+            body: body.render(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A JSON error document: `{"error": <message>, "status": <code>}`.
+    pub fn error(status: u16, message: impl Into<String>) -> Response {
+        let doc = Json::Obj(vec![
+            ("error".to_owned(), Json::Str(message.into())),
+            ("status".to_owned(), Json::Num(f64::from(status))),
+        ]);
+        Response::json(status, &doc)
+    }
+
+    /// Add an extra header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// Serialize onto a stream (`Connection: close` is always sent; the
+    /// caller closes the socket after).
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Reason phrase for the status codes this API emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /v1/solve HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/solve");
+        assert_eq!(req.header("content-length"), Some("7"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body_utf8().unwrap(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /v1/metrics HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for raw in [
+            &b"what is this\r\n\r\n"[..],
+            &b"GET /x SPDY/99\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nbad header line\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+        ] {
+            assert!(read_request(&mut BufReader::new(raw)).is_err());
+        }
+        assert!(matches!(
+            read_request(&mut BufReader::new(&b""[..])),
+            Err(ParseError::Eof)
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            read_request(&mut BufReader::new(raw.as_bytes())),
+            Err(ParseError::BodyTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::error(429, "try later")
+            .with_header("retry-after", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"try later\",\"status\":429}"));
+    }
+}

@@ -1,0 +1,655 @@
+//! # faircap-serve
+//!
+//! A concurrent prescription-serving front end over
+//! [`PrescriptionSession`]s: the ROADMAP's "async serving" open item,
+//! built dependency-free on `std::net` (the environment is offline — no
+//! tokio/hyper; blocking worker pools stand in for an async runtime).
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                    ┌────────────────────────────────────────────┐
+//!  TCP accept loop → │ connection pool (N workers, bounded queue) │
+//!                    └──────────────┬─────────────────────────────┘
+//!                                   │ parse HTTP, route
+//!                       POST /v1/solve │ admission control
+//!                    ┌──────────────▼─────────────────────────────┐
+//!                    │ solve pool (max_concurrent_solves workers, │
+//!                    │ solve_queue_depth bounded queue)           │
+//!                    └──────────────┬─────────────────────────────┘
+//!                                   │ RegisteredSession::solve
+//!                    ┌──────────────▼──────────────┐
+//!                    │ SessionRegistry (one warm   │
+//!                    │ PrescriptionSession/dataset)│
+//!                    └─────────────────────────────┘
+//! ```
+//!
+//! Two bounded [`pool::WorkerPool`]s (the long-lived form of
+//! `core::exec`'s self-scheduling workers) give the server real admission
+//! control:
+//!
+//! * a full solve queue sheds load with **429** (+`Retry-After`) instead of
+//!   buffering unboundedly;
+//! * a draining server answers **503**;
+//! * a solve exceeding the per-request timeout answers **504** (the solve
+//!   finishes on its worker and still warms the shared caches);
+//! * [`Server::shutdown`] stops accepting, then drains every admitted
+//!   request before returning.
+//!
+//! ## Endpoints
+//!
+//! | Method | Path           | Purpose                                      |
+//! |--------|----------------|----------------------------------------------|
+//! | POST   | `/v1/solve`    | JSON [`SolveRequest`] → JSON solution report |
+//! | GET    | `/v1/sessions` | Registered sessions and their counters       |
+//! | GET    | `/v1/metrics`  | Admission gauges, latencies, cache stats     |
+//! | POST   | `/v1/snapshot` | Persist warm caches to the snapshot dir      |
+//! | POST   | `/v1/shutdown` | Request a graceful drain                     |
+//! | GET    | `/healthz`     | Liveness probe                               |
+//!
+//! JSON schemas are documented in `docs/serving.md`; the request/report
+//! wire format lives in `faircap_core::wire` so rulesets served over HTTP
+//! are bit-identical to direct [`PrescriptionSession::solve`] calls.
+//!
+//! [`PrescriptionSession`]: faircap_core::PrescriptionSession
+//! [`PrescriptionSession::solve`]: faircap_core::PrescriptionSession::solve
+//! [`SolveRequest`]: faircap_core::SolveRequest
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+
+pub use client::{ClientResponse, ServeClient};
+
+use faircap_core::wire::{solution_report_to_json, solve_request_from_json};
+use faircap_core::{Error, Json, RegisteredSession, SessionRegistry};
+use http::{ParseError, Request, Response};
+use metrics::ServerMetrics;
+use pool::{SubmitError, WorkerPool};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration: bind address, pool sizes, admission-control
+/// knobs, and the snapshot directory for warm boots.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address. Use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Connection-handling worker threads. Treated as a floor: the server
+    /// raises the effective count to
+    /// `max_concurrent_solves + solve_queue_depth + 4`, so waiting solve
+    /// requests can fill the solve queue (keeping the 429 admission path
+    /// reachable) while quick endpoints always find a free worker.
+    pub connection_workers: usize,
+    /// Bound on connections waiting for a handler (overflow answers 503
+    /// inline from the accept loop).
+    pub connection_queue: usize,
+    /// Solve worker threads — the max-concurrent-solves budget.
+    pub max_concurrent_solves: usize,
+    /// Bound on admitted-but-not-started solves (overflow answers 429).
+    pub solve_queue_depth: usize,
+    /// Per-request solve timeout (exceeding answers 504).
+    pub solve_timeout: Duration,
+    /// Where `POST /v1/snapshot` persists warm caches (`<dir>/<name>.fc`).
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            connection_workers: 8,
+            connection_queue: 64,
+            max_concurrent_solves: 2,
+            solve_queue_depth: 16,
+            solve_timeout: Duration::from_secs(120),
+            snapshot_dir: None,
+        }
+    }
+}
+
+struct Inner {
+    registry: Arc<SessionRegistry>,
+    config: ServeConfig,
+    metrics: ServerMetrics,
+    solve_pool: WorkerPool,
+    started: Instant,
+    stopping: AtomicBool,
+    shutdown_flag: Mutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+/// A running server. Dropping it performs a graceful [`shutdown`].
+///
+/// [`shutdown`]: Server::shutdown
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    conn_pool: Arc<WorkerPool>,
+    accept_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Bind and start serving `registry` under `config`. Returns once the
+    /// listener is accepting; solves are served by background pools.
+    pub fn start(config: ServeConfig, registry: Arc<SessionRegistry>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            solve_pool: WorkerPool::new(
+                "faircap-solve",
+                config.max_concurrent_solves,
+                config.solve_queue_depth,
+            ),
+            metrics: ServerMetrics::default(),
+            started: Instant::now(),
+            stopping: AtomicBool::new(false),
+            shutdown_flag: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            registry,
+            config,
+        });
+        // A connection worker parks on its solve for the solve's whole
+        // duration, so the effective pool must be big enough that (a) the
+        // parked waiters alone can fill the solve queue — otherwise the
+        // 429 admission path is unreachable — and (b) quick endpoints
+        // (/healthz, /v1/metrics, /v1/shutdown) always find a free worker
+        // while every solve slot and queue slot is occupied.
+        let conn_workers = inner
+            .config
+            .connection_workers
+            .max(inner.config.max_concurrent_solves + inner.config.solve_queue_depth + 4);
+        let conn_pool = Arc::new(WorkerPool::new(
+            "faircap-conn",
+            conn_workers,
+            inner.config.connection_queue,
+        ));
+
+        let accept_inner = Arc::clone(&inner);
+        let accept_pool = Arc::clone(&conn_pool);
+        let accept_handle = std::thread::Builder::new()
+            .name("faircap-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_inner.stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = stream else { continue };
+                    // Shed inline when the handler queue is saturated, so
+                    // the peer sees backpressure rather than a hang. (The
+                    // check races with the workers, but only toward being
+                    // conservative one connection early/late.)
+                    if accept_pool.queue_depth() >= accept_pool.queue_cap() {
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                        let _ =
+                            Response::error(503, "connection queue is full").write_to(&mut stream);
+                        continue;
+                    }
+                    let job_inner = Arc::clone(&accept_inner);
+                    if accept_pool
+                        .try_submit(move || handle_connection(&job_inner, stream))
+                        .is_err()
+                    {
+                        // Raced to full / shutting down; the stream was
+                        // consumed by the closure and is simply dropped —
+                        // the peer observes a closed connection.
+                    }
+                }
+            })
+            .expect("spawning accept thread");
+
+        Ok(Server {
+            inner,
+            addr,
+            conn_pool,
+            accept_handle: Mutex::new(Some(accept_handle)),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when `addr` used 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry this server fronts.
+    pub fn registry(&self) -> &Arc<SessionRegistry> {
+        &self.inner.registry
+    }
+
+    /// A [`ServeClient`] bound to this server.
+    pub fn client(&self) -> ServeClient {
+        ServeClient::new(self.addr)
+    }
+
+    /// Whether a graceful shutdown has been requested (via
+    /// [`request_shutdown`](Self::request_shutdown) or `POST /v1/shutdown`).
+    pub fn shutdown_requested(&self) -> bool {
+        *self.inner.shutdown_flag.lock().expect("shutdown flag lock")
+    }
+
+    /// Ask the server to shut down; unblocks
+    /// [`wait_for_shutdown_request`](Self::wait_for_shutdown_request).
+    pub fn request_shutdown(&self) {
+        request_shutdown(&self.inner);
+    }
+
+    /// Block until someone requests a shutdown, then return (the caller —
+    /// typically the CLI — performs the actual [`shutdown`](Self::shutdown)).
+    pub fn wait_for_shutdown_request(&self) {
+        let mut flag = self.inner.shutdown_flag.lock().expect("shutdown flag lock");
+        while !*flag {
+            flag = self.inner.shutdown_cv.wait(flag).expect("shutdown cv wait");
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, serve every connection already
+    /// accepted, drain every admitted solve, and join all workers.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(handle) = self
+            .accept_handle
+            .lock()
+            .expect("accept handle lock")
+            .take()
+        {
+            let _ = handle.join();
+        }
+        // Connection workers first (they submit to and wait on the solve
+        // pool, which must still be alive), then the solve pool.
+        self.conn_pool.shutdown();
+        self.inner.solve_pool.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn request_shutdown(inner: &Inner) {
+    let mut flag = inner.shutdown_flag.lock().expect("shutdown flag lock");
+    *flag = true;
+    inner.shutdown_cv.notify_all();
+}
+
+fn handle_connection(inner: &Inner, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(stream);
+    let response = match http::read_request(&mut reader) {
+        Ok(request) => {
+            ServerMetrics::bump(&inner.metrics.http_requests);
+            route(inner, &request)
+        }
+        Err(ParseError::Eof) => return, // health-probe connect-and-close
+        Err(e @ ParseError::BodyTooLarge(_)) => {
+            ServerMetrics::bump(&inner.metrics.http_errors);
+            Response::error(413, e.to_string())
+        }
+        Err(e) => {
+            ServerMetrics::bump(&inner.metrics.http_errors);
+            Response::error(400, e.to_string())
+        }
+    };
+    let mut stream = reader.into_inner();
+    let _ = response.write_to(&mut stream);
+}
+
+fn route(inner: &Inner, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            &Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                (
+                    "uptime_ms".into(),
+                    Json::Num(inner.started.elapsed().as_secs_f64() * 1e3),
+                ),
+            ]),
+        ),
+        ("GET", "/v1/sessions") => sessions_response(inner),
+        ("GET", "/v1/metrics") => metrics_response(inner),
+        ("POST", "/v1/solve") => solve_response(inner, request),
+        ("POST", "/v1/snapshot") => snapshot_response(inner, request),
+        ("POST", "/v1/shutdown") => {
+            request_shutdown(inner);
+            Response::json(200, &Json::Obj(vec![("draining".into(), Json::Bool(true))]))
+        }
+        (_, "/v1/solve" | "/v1/snapshot" | "/v1/shutdown" | "/v1/sessions" | "/v1/metrics") => {
+            Response::error(405, format!("method {} not allowed here", request.method))
+        }
+        (_, path) => Response::error(404, format!("no such endpoint `{path}`")),
+    }
+}
+
+/// Resolve the target session: the body's `session` field, or the sole
+/// registered session when the field is absent.
+fn resolve_session(inner: &Inner, body: &Json) -> Result<Arc<RegisteredSession>, Response> {
+    match body.get("session") {
+        Some(Json::Str(name)) => inner.registry.get(name).ok_or_else(|| {
+            Response::error(
+                404,
+                format!(
+                    "no session `{name}` (registered: {})",
+                    inner.registry.names().join(", ")
+                ),
+            )
+        }),
+        Some(_) => Err(Response::error(400, "`session` must be a string")),
+        None => inner.registry.single().ok_or_else(|| {
+            Response::error(
+                400,
+                format!(
+                    "{} sessions registered; specify `session` (one of: {})",
+                    inner.registry.len(),
+                    inner.registry.names().join(", ")
+                ),
+            )
+        }),
+    }
+}
+
+fn solve_response(inner: &Inner, request: &Request) -> Response {
+    let body_text = match request.body_utf8() {
+        Ok(text) if !text.trim().is_empty() => text,
+        Ok(_) => "{}",
+        Err(e) => return Response::error(400, e.to_string()),
+    };
+    let body = match Json::parse(body_text) {
+        Ok(body) => body,
+        Err(e) => return Response::error(400, format!("invalid JSON body: {e}")),
+    };
+    let entry = match resolve_session(inner, &body) {
+        Ok(entry) => entry,
+        Err(response) => return response,
+    };
+    let solve_request = match solve_request_from_json(&body) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, e.to_string()),
+    };
+
+    // Admission control: hand the solve to the bounded solve pool and wait
+    // (with the per-request timeout) for its verdict.
+    let started = Instant::now();
+    let (tx, rx) = mpsc::sync_channel(1);
+    let job_entry = Arc::clone(&entry);
+    let submitted = inner.solve_pool.try_submit(move || {
+        let result = job_entry.solve(&solve_request);
+        let _ = tx.send(result); // receiver may have timed out; fine
+    });
+    match submitted {
+        Err(SubmitError::QueueFull) => {
+            ServerMetrics::bump(&inner.metrics.rejected_queue_full);
+            return Response::error(
+                429,
+                format!(
+                    "solve queue is full ({} queued, {} in flight); retry shortly",
+                    inner.solve_pool.queue_depth(),
+                    inner.solve_pool.in_flight()
+                ),
+            )
+            .with_header("retry-after", "1");
+        }
+        Err(SubmitError::ShuttingDown) => {
+            ServerMetrics::bump(&inner.metrics.rejected_shutdown);
+            return Response::error(503, "server is draining for shutdown");
+        }
+        Ok(()) => {}
+    }
+
+    match rx.recv_timeout(inner.config.solve_timeout) {
+        Ok(Ok(report)) => {
+            ServerMetrics::bump(&inner.metrics.solves_ok);
+            inner.metrics.solve_latency.record(started.elapsed());
+            let mut doc = vec![("session".to_owned(), Json::Str(entry.name().to_owned()))];
+            match solution_report_to_json(&report) {
+                Json::Obj(fields) => doc.extend(fields),
+                other => doc.push(("report".to_owned(), other)),
+            }
+            Response::json(200, &Json::Obj(doc))
+        }
+        Ok(Err(e)) => {
+            ServerMetrics::bump(&inner.metrics.solves_err);
+            let status = match e {
+                Error::InvalidRequest(_) => 422,
+                _ => 500,
+            };
+            Response::error(status, e.to_string())
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            ServerMetrics::bump(&inner.metrics.timeouts);
+            Response::error(
+                504,
+                format!(
+                    "solve exceeded the {:?} request timeout; it keeps running and will warm the caches",
+                    inner.config.solve_timeout
+                ),
+            )
+        }
+        // The sender dropped without sending: the solve job panicked (the
+        // pool contains the panic and survives). This is a crash, not a
+        // timeout — report it as one.
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            ServerMetrics::bump(&inner.metrics.solves_err);
+            Response::error(500, "solve crashed on its worker; see server logs")
+        }
+    }
+}
+
+fn snapshot_response(inner: &Inner, request: &Request) -> Response {
+    let Some(dir) = &inner.config.snapshot_dir else {
+        return Response::error(
+            400,
+            "no snapshot directory configured (start the server with --snapshot-dir)",
+        );
+    };
+    let body_text = match request.body_utf8() {
+        Ok(text) if !text.trim().is_empty() => text,
+        Ok(_) => "{}",
+        Err(e) => return Response::error(400, e.to_string()),
+    };
+    let body = match Json::parse(body_text) {
+        Ok(body) => body,
+        Err(e) => return Response::error(400, format!("invalid JSON body: {e}")),
+    };
+    let entries = match body.get("session") {
+        Some(Json::Str(name)) => match inner.registry.get(name) {
+            Some(entry) => vec![entry],
+            None => return Response::error(404, format!("no session `{name}`")),
+        },
+        Some(_) => return Response::error(400, "`session` must be a string"),
+        None => inner.registry.entries(),
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        return Response::error(500, format!("creating {}: {e}", dir.display()));
+    }
+    let mut written = Vec::new();
+    for entry in entries {
+        let path = dir.join(format!("{}.fc", entry.name()));
+        let encoded = entry.session().snapshot().encode();
+        if let Err(e) = std::fs::write(&path, &encoded) {
+            return Response::error(500, format!("writing {}: {e}", path.display()));
+        }
+        written.push(Json::Obj(vec![
+            ("session".into(), Json::Str(entry.name().to_owned())),
+            ("path".into(), Json::Str(path.display().to_string())),
+            ("bytes".into(), Json::Num(encoded.len() as f64)),
+        ]));
+    }
+    Response::json(
+        200,
+        &Json::Obj(vec![("snapshots".into(), Json::Arr(written))]),
+    )
+}
+
+fn cache_stats_json(hits: u64, misses: u64, entries: usize, evictions: u64) -> Json {
+    Json::Obj(vec![
+        ("hits".into(), Json::Num(hits as f64)),
+        ("misses".into(), Json::Num(misses as f64)),
+        ("entries".into(), Json::Num(entries as f64)),
+        ("evictions".into(), Json::Num(evictions as f64)),
+    ])
+}
+
+fn session_json(entry: &RegisteredSession) -> Json {
+    let session = entry.session();
+    let stats = session.cache_stats();
+    let grouping = session.grouping_cache_stats();
+    let by_estimator: Vec<(String, Json)> = session
+        .cache_stats_by_estimator()
+        .into_iter()
+        .map(|(name, s)| {
+            (
+                name,
+                cache_stats_json(s.hits, s.misses, s.entries, s.evictions),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("name".into(), Json::Str(entry.name().to_owned())),
+        ("rows".into(), Json::Num(session.df().n_rows() as f64)),
+        ("outcome".into(), Json::Str(session.outcome().to_owned())),
+        ("solves_ok".into(), Json::Num(entry.solves_ok() as f64)),
+        ("solves_err".into(), Json::Num(entry.solves_err() as f64)),
+        (
+            "estimate_cache".into(),
+            cache_stats_json(stats.hits, stats.misses, stats.entries, stats.evictions),
+        ),
+        (
+            "estimate_cache_by_estimator".into(),
+            Json::Obj(by_estimator),
+        ),
+        (
+            "grouping_cache".into(),
+            cache_stats_json(
+                grouping.hits,
+                grouping.misses,
+                grouping.entries,
+                grouping.evictions,
+            ),
+        ),
+        (
+            "exec".into(),
+            entry
+                .last_exec()
+                .map(|e| faircap_core::wire::exec_stats_to_json(&e))
+                .unwrap_or(Json::Null),
+        ),
+    ])
+}
+
+fn sessions_response(inner: &Inner) -> Response {
+    let sessions: Vec<Json> = inner
+        .registry
+        .entries()
+        .iter()
+        .map(|e| session_json(e))
+        .collect();
+    Response::json(
+        200,
+        &Json::Obj(vec![("sessions".into(), Json::Arr(sessions))]),
+    )
+}
+
+fn metrics_response(inner: &Inner) -> Response {
+    let m = &inner.metrics;
+    let latency = match m.solve_latency.summary_ms() {
+        Some((p50, p90, p99, max)) => Json::Obj(vec![
+            ("count".into(), Json::Num(m.solve_latency.count() as f64)),
+            ("p50_ms".into(), Json::Num(p50)),
+            ("p90_ms".into(), Json::Num(p90)),
+            ("p99_ms".into(), Json::Num(p99)),
+            ("max_ms".into(), Json::Num(max)),
+        ]),
+        None => Json::Null,
+    };
+    let admission = Json::Obj(vec![
+        (
+            "max_concurrent_solves".into(),
+            Json::Num(inner.solve_pool.workers() as f64),
+        ),
+        (
+            "solve_queue_limit".into(),
+            Json::Num(inner.solve_pool.queue_cap() as f64),
+        ),
+        (
+            "queue_depth".into(),
+            Json::Num(inner.solve_pool.queue_depth() as f64),
+        ),
+        (
+            "max_queue_depth".into(),
+            Json::Num(inner.solve_pool.max_queue_depth() as f64),
+        ),
+        (
+            "in_flight".into(),
+            Json::Num(inner.solve_pool.in_flight() as f64),
+        ),
+        (
+            "solve_timeout_ms".into(),
+            Json::Num(inner.config.solve_timeout.as_secs_f64() * 1e3),
+        ),
+    ]);
+    let requests = Json::Obj(vec![
+        (
+            "http_requests".into(),
+            Json::Num(ServerMetrics::read(&m.http_requests) as f64),
+        ),
+        (
+            "http_errors".into(),
+            Json::Num(ServerMetrics::read(&m.http_errors) as f64),
+        ),
+        (
+            "solves_ok".into(),
+            Json::Num(ServerMetrics::read(&m.solves_ok) as f64),
+        ),
+        (
+            "solves_err".into(),
+            Json::Num(ServerMetrics::read(&m.solves_err) as f64),
+        ),
+        (
+            "rejected_429".into(),
+            Json::Num(ServerMetrics::read(&m.rejected_queue_full) as f64),
+        ),
+        (
+            "rejected_503".into(),
+            Json::Num(ServerMetrics::read(&m.rejected_shutdown) as f64),
+        ),
+        (
+            "timeouts_504".into(),
+            Json::Num(ServerMetrics::read(&m.timeouts) as f64),
+        ),
+    ]);
+    let sessions: Vec<(String, Json)> = inner
+        .registry
+        .entries()
+        .iter()
+        .map(|e| (e.name().to_owned(), session_json(e)))
+        .collect();
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            (
+                "uptime_ms".into(),
+                Json::Num(inner.started.elapsed().as_secs_f64() * 1e3),
+            ),
+            ("requests".into(), requests),
+            ("admission".into(), admission),
+            ("solve_latency".into(), latency),
+            ("sessions".into(), Json::Obj(sessions)),
+        ]),
+    )
+}

@@ -1,0 +1,135 @@
+//! Live serving metrics: request/outcome counters and a latency reservoir.
+//!
+//! Everything here is updated on the request path, so the accounting is
+//! lock-light: plain atomics for counters, one short mutex for the latency
+//! reservoir. The `/v1/metrics` endpoint snapshots these together with the
+//! solve pool's queue gauges and each session's cache counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many latency samples the reservoir keeps. Once full, new samples
+/// overwrite the oldest (a ring), so percentiles reflect recent traffic.
+const LATENCY_CAP: usize = 4096;
+
+/// A fixed-size ring of request latencies with percentile readout.
+#[derive(Default)]
+pub struct LatencyRecorder {
+    samples: Mutex<Ring>,
+}
+
+#[derive(Default)]
+struct Ring {
+    micros: Vec<u64>,
+    next: usize,
+    total: u64,
+}
+
+impl LatencyRecorder {
+    /// Record one request latency.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut ring = self.samples.lock().expect("latency lock");
+        ring.total += 1;
+        if ring.micros.len() < LATENCY_CAP {
+            ring.micros.push(micros);
+        } else {
+            let at = ring.next;
+            ring.micros[at] = micros;
+        }
+        ring.next = (ring.next + 1) % LATENCY_CAP;
+    }
+
+    /// Total latencies ever recorded (not capped by the ring).
+    pub fn count(&self) -> u64 {
+        self.samples.lock().expect("latency lock").total
+    }
+
+    /// Percentile summary over the retained window, in milliseconds:
+    /// `(p50, p90, p99, max)`. `None` when nothing was recorded yet.
+    pub fn summary_ms(&self) -> Option<(f64, f64, f64, f64)> {
+        let ring = self.samples.lock().expect("latency lock");
+        if ring.micros.is_empty() {
+            return None;
+        }
+        let mut sorted = ring.micros.clone();
+        drop(ring);
+        sorted.sort_unstable();
+        let pct = |p: f64| -> f64 {
+            let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+            sorted[idx] as f64 / 1e3
+        };
+        Some((
+            pct(0.50),
+            pct(0.90),
+            pct(0.99),
+            *sorted.last().expect("non-empty") as f64 / 1e3,
+        ))
+    }
+}
+
+/// Counter block of one server instance.
+#[derive(Default)]
+pub struct ServerMetrics {
+    /// HTTP requests accepted and parsed (any endpoint).
+    pub http_requests: AtomicU64,
+    /// Requests that failed to parse as HTTP (answered 400 where possible).
+    pub http_errors: AtomicU64,
+    /// Solves that completed and returned a ruleset.
+    pub solves_ok: AtomicU64,
+    /// Solves that failed with a typed error.
+    pub solves_err: AtomicU64,
+    /// Solve requests shed because the bounded queue was full (429).
+    pub rejected_queue_full: AtomicU64,
+    /// Solve requests refused because the server was draining (503).
+    pub rejected_shutdown: AtomicU64,
+    /// Solves that exceeded the per-request timeout (504; the solve itself
+    /// keeps running on its pool worker and still warms the caches).
+    pub timeouts: AtomicU64,
+    /// End-to-end latency of completed solves.
+    pub solve_latency: LatencyRecorder,
+}
+
+impl ServerMetrics {
+    /// Relaxed increment helper.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read helper.
+    pub fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_known_samples() {
+        let rec = LatencyRecorder::default();
+        assert!(rec.summary_ms().is_none());
+        for ms in 1..=100u64 {
+            rec.record(Duration::from_millis(ms));
+        }
+        let (p50, p90, p99, max) = rec.summary_ms().unwrap();
+        assert_eq!(p50, 50.0);
+        assert_eq!(p90, 90.0);
+        assert_eq!(p99, 99.0);
+        assert_eq!(max, 100.0);
+        assert_eq!(rec.count(), 100);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let rec = LatencyRecorder::default();
+        for _ in 0..(LATENCY_CAP + 10) {
+            rec.record(Duration::from_millis(5));
+        }
+        assert_eq!(rec.count() as usize, LATENCY_CAP + 10);
+        let (p50, _, _, _) = rec.summary_ms().unwrap();
+        assert_eq!(p50, 5.0);
+    }
+}

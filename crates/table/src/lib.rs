@@ -36,6 +36,7 @@ pub mod column;
 pub mod csv;
 pub mod dataframe;
 pub mod error;
+pub mod fnv;
 pub mod mask;
 pub mod pattern;
 pub mod predicate;
@@ -46,6 +47,7 @@ pub use cache::{CacheCounters, ShardedLruCache};
 pub use column::{CatColumn, Column};
 pub use dataframe::{DataFrame, DataFrameBuilder};
 pub use error::{Result, TableError};
+pub use fnv::FnvHasher;
 pub use mask::Mask;
 pub use pattern::Pattern;
 pub use predicate::{CmpOp, Predicate};

@@ -1,27 +1,53 @@
 //! The `faircap` command-line tool: run Prescription Ruleset Selection on a
-//! CSV file with a user-supplied causal DAG.
+//! CSV file with a user-supplied causal DAG, or serve it over HTTP.
 //!
 //! ```sh
-//! cargo run --release --bin faircap -- --help
+//! cargo run --release --bin faircap -- --help          # one-shot solve
+//! cargo run --release --bin faircap -- serve --help    # HTTP front end
 //! ```
+//!
+//! Exit codes: 0 success, 2 configuration error (bad flags or inputs),
+//! 1 runtime error (a solve or the server failing after a valid start).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match faircap::cli::parse_args(&args) {
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        _ => solve(&args),
+    }
+}
+
+/// Exit for an argument-parsing result: `--help` prints usage and exits 0,
+/// anything else is a configuration error (exit 2).
+fn usage_exit(msg: String, usage: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(if msg == usage { 0 } else { 2 });
+}
+
+fn solve(args: &[String]) {
+    let opts = match faircap::cli::parse_args(args) {
         Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(if msg == faircap::cli::USAGE { 0 } else { 2 });
-        }
+        Err(msg) => usage_exit(msg, faircap::cli::USAGE),
     };
     match faircap::cli::execute(&opts) {
         Ok(report) => {
             println!("{report}");
             print!("{}", report.rule_cards());
         }
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(1);
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
         }
+    }
+}
+
+fn serve(args: &[String]) {
+    let opts = match faircap::cli::parse_serve_args(args) {
+        Ok(o) => o,
+        Err(msg) => usage_exit(msg, faircap::cli::SERVE_USAGE),
+    };
+    if let Err(e) = faircap::cli::run_serve(&opts) {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code());
     }
 }

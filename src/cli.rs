@@ -2,13 +2,80 @@
 //!
 //! Kept in the library so the parsing logic is unit-testable; the binary in
 //! `src/bin/faircap.rs` is a thin wrapper.
+//!
+//! Two subcommands share the same dataset flags:
+//!
+//! * the default (no subcommand) runs one solve and prints the report;
+//! * `faircap serve …` boots the HTTP serving front end
+//!   ([`run_serve`], backed by `faircap-serve`) around a long-lived warm
+//!   session.
+//!
+//! Failures are typed ([`CliError`]) so the binary can exit with distinct
+//! codes: **2** for configuration problems (bad flags, unreadable inputs,
+//! an instance that fails validation), **1** for runtime failures (a solve
+//! or the server falling over after a valid start). Engine errors are
+//! carried as [`faircap_core::Error`] and rendered through its `Display` —
+//! the single formatting path for every engine failure mode.
 
 use faircap_causal::{Dag, Estimator, EstimatorKind};
 use faircap_core::{
-    CoverageConstraint, FairCap, FairCapConfig, FairnessConstraint, FairnessScope, SessionSnapshot,
-    SolutionReport, SolveRequest,
+    CoverageConstraint, FairCap, FairCapConfig, FairnessConstraint, FairnessScope,
+    PrescriptionSession, SessionRegistry, SessionSnapshot, SolutionReport, SolveRequest,
 };
+use faircap_serve::{ServeConfig, Server};
 use faircap_table::{csv, DataFrame, Pattern, Predicate, Value};
+use std::time::Duration;
+
+/// A CLI failure with its process exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// Invalid invocation or problem setup: unknown flags, unreadable
+    /// input files, malformed specs, an instance the session builder
+    /// refuses. Exit code **2**.
+    Config(String),
+    /// The engine failed after a valid setup (solve error, serving
+    /// failure), carried as the typed [`faircap_core::Error`]. Exit code
+    /// **1**.
+    Runtime(faircap_core::Error),
+    /// A transport/filesystem failure at runtime (writing a snapshot,
+    /// serving I/O). Exit code **1**.
+    Io(String),
+    /// A warm-start snapshot could not be read, decoded, or matched to the
+    /// instance. Configuration-class (exit code **2**), but kept distinct
+    /// from [`Config`](Self::Config) so the serve warm-boot path can fall
+    /// back to a cold boot on snapshot problems *only* — never on broken
+    /// data/DAG inputs.
+    Snapshot(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Config(_) | CliError::Snapshot(_) => 2,
+            CliError::Runtime(_) | CliError::Io(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Config(msg) | CliError::Io(msg) | CliError::Snapshot(msg) => f.write_str(msg),
+            // The typed engine error renders itself; no re-wording here.
+            CliError::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, Default)]
@@ -228,55 +295,85 @@ pub fn protected_pattern(df: &DataFrame, pairs: &[(String, String)]) -> Result<P
     Ok(Pattern::new(preds))
 }
 
+/// Load the data/DAG/protected-pattern inputs and build the session,
+/// optionally warm-starting from a snapshot file. Every failure here is a
+/// [`CliError::Config`]: the user handed us something unusable.
+fn build_session(
+    data: &str,
+    dag: &str,
+    outcome: &str,
+    mutable: &[String],
+    protected: &[(String, String)],
+    load_cache: Option<&str>,
+) -> Result<PrescriptionSession, CliError> {
+    let df = csv::read_csv(data).map_err(|e| CliError::Config(format!("reading {data}: {e}")))?;
+    let dag_text = std::fs::read_to_string(dag)
+        .map_err(|e| CliError::Config(format!("reading {dag}: {e}")))?;
+    let dag = Dag::parse_edge_list(&dag_text)
+        .map_err(|e| CliError::Config(format!("parsing DAG: {e}")))?;
+    let immutable: Vec<String> = df
+        .names()
+        .iter()
+        .filter(|c| **c != outcome && !mutable.contains(c))
+        .cloned()
+        .collect();
+    let protected = protected_pattern(&df, protected).map_err(CliError::Config)?;
+    let mut builder = FairCap::builder()
+        .data(df)
+        .dag(dag)
+        .outcome(outcome)
+        .immutable(immutable)
+        .mutable(mutable.iter().cloned())
+        .protected(protected);
+    if let Some(path) = load_cache {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Snapshot(format!("reading cache {path}: {e}")))?;
+        let snapshot =
+            SessionSnapshot::decode(&text).map_err(|e| CliError::Snapshot(e.to_string()))?;
+        builder = builder.warm_start(snapshot);
+    }
+    builder.build().map_err(|e| match e {
+        // A refused snapshot (wrong DAG/data/outcome/rows) is a snapshot
+        // problem, not a data problem — serve falls back to a cold boot.
+        faircap_core::Error::Snapshot(_) => CliError::Snapshot(e.to_string()),
+        other => CliError::Config(other.to_string()),
+    })
+}
+
 /// Load inputs and run FairCap according to the options.
 ///
 /// Builds a [`FairCap`] session — all input validation (missing columns,
 /// ill-typed outcome, outcome absent from the DAG, role conflicts) surfaces
-/// as the session builder's typed errors, rendered as strings for the CLI.
+/// as [`CliError::Config`] (exit code 2); a failing solve surfaces as
+/// [`CliError::Runtime`] (exit code 1) rendered through the typed engine
+/// error's `Display`.
 ///
 /// `--load-cache` warm-starts the session from a snapshot file before
 /// solving; `--save-cache` persists the warmed caches afterwards. When
 /// either is given, the solve's estimate-cache counters are printed (the
 /// CI snapshot round-trip job asserts `misses=0` on a warm re-solve).
-pub fn execute(opts: &CliOptions) -> Result<SolutionReport, String> {
-    let df = csv::read_csv(&opts.data).map_err(|e| format!("reading {}: {e}", opts.data))?;
-    let dag_text =
-        std::fs::read_to_string(&opts.dag).map_err(|e| format!("reading {}: {e}", opts.dag))?;
-    let dag = Dag::parse_edge_list(&dag_text).map_err(|e| format!("parsing DAG: {e}"))?;
-    let immutable: Vec<String> = df
-        .names()
-        .iter()
-        .filter(|c| **c != opts.outcome && !opts.mutable.contains(c))
-        .cloned()
-        .collect();
-    let protected = protected_pattern(&df, &opts.protected)?;
+pub fn execute(opts: &CliOptions) -> Result<SolutionReport, CliError> {
     let cfg = FairCapConfig {
-        fairness: parse_fairness(&opts.fairness)?,
-        coverage: parse_coverage(&opts.coverage)?,
-        estimator: parse_estimator(&opts.estimator)?,
+        fairness: parse_fairness(&opts.fairness).map_err(CliError::Config)?,
+        coverage: parse_coverage(&opts.coverage).map_err(CliError::Config)?,
+        estimator: parse_estimator(&opts.estimator).map_err(CliError::Config)?,
         max_rules: opts.max_rules,
         ..FairCapConfig::default()
     };
-    let mut builder = FairCap::builder()
-        .data(df)
-        .dag(dag)
-        .outcome(&opts.outcome)
-        .immutable(immutable)
-        .mutable(opts.mutable.iter().cloned())
-        .protected(protected);
-    if let Some(path) = &opts.load_cache {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("reading cache {path}: {e}"))?;
-        let snapshot = SessionSnapshot::decode(&text).map_err(|e| e.to_string())?;
-        builder = builder.warm_start(snapshot);
-    }
-    let session = builder.build().map_err(|e| e.to_string())?;
+    let session = build_session(
+        &opts.data,
+        &opts.dag,
+        &opts.outcome,
+        &opts.mutable,
+        &opts.protected,
+        opts.load_cache.as_deref(),
+    )?;
     let mut request = SolveRequest::from(cfg);
     request.workers = opts.workers;
-    let report = session.solve(&request).map_err(|e| e.to_string())?;
+    let report = session.solve(&request).map_err(CliError::Runtime)?;
     if let Some(path) = &opts.save_cache {
         std::fs::write(path, session.snapshot().encode())
-            .map_err(|e| format!("writing cache {path}: {e}"))?;
+            .map_err(|e| CliError::Io(format!("writing cache {path}: {e}")))?;
     }
     if opts.save_cache.is_some() || opts.load_cache.is_some() {
         let stats = session.cache_stats();
@@ -286,6 +383,220 @@ pub fn execute(opts: &CliOptions) -> Result<SolutionReport, String> {
         );
     }
     Ok(report)
+}
+
+/// Parsed options of the `faircap serve` subcommand.
+#[derive(Debug, Clone)]
+pub struct ServeCliOptions {
+    /// CSV file with the data.
+    pub data: String,
+    /// Edge-list / DOT file with the causal DAG.
+    pub dag: String,
+    /// Outcome attribute.
+    pub outcome: String,
+    /// Comma-separated mutable attributes.
+    pub mutable: Vec<String>,
+    /// Protected-group predicates `attr=value`.
+    pub protected: Vec<(String, String)>,
+    /// Session name the dataset registers under (default: `default`).
+    pub name: String,
+    /// Bind address.
+    pub addr: String,
+    /// Max concurrent solves (solve-pool workers).
+    pub solve_workers: usize,
+    /// Bounded solve-queue depth (admission control; overflow → 429).
+    pub queue_depth: usize,
+    /// Per-request solve timeout in milliseconds (overrun → 504).
+    pub timeout_ms: u64,
+    /// Snapshot directory: warm-boot source and `POST /v1/snapshot` sink.
+    pub snapshot_dir: Option<String>,
+}
+
+/// Usage text of the `serve` subcommand.
+pub const SERVE_USAGE: &str = "\
+faircap serve — HTTP serving front end over a warm prescription session
+
+USAGE:
+  faircap serve --data FILE.csv --dag DAG.txt --outcome COL \\
+                --mutable a,b,c --protected attr=value[,attr=value] \\
+                [--addr 127.0.0.1:7341] [--name default] \\
+                [--solve-workers 2] [--queue-depth 16] [--timeout-ms 120000] \\
+                [--snapshot-dir DIR]
+
+Boots one warm PrescriptionSession over the dataset and serves
+POST /v1/solve, GET /v1/sessions, GET /v1/metrics, POST /v1/snapshot, and
+POST /v1/shutdown (graceful drain). --solve-workers bounds concurrent
+solves; --queue-depth bounds the admission queue (overflow answers 429);
+--timeout-ms bounds one solve (overrun answers 504). With --snapshot-dir,
+the server warm-boots from DIR/<name>.fc when present and POST /v1/snapshot
+persists the live caches there. Endpoint schemas: docs/serving.md.";
+
+/// Parse `faircap serve` arguments (after the subcommand word).
+pub fn parse_serve_args(args: &[String]) -> Result<ServeCliOptions, String> {
+    let mut opts = ServeCliOptions {
+        data: String::new(),
+        dag: String::new(),
+        outcome: String::new(),
+        mutable: Vec::new(),
+        protected: Vec::new(),
+        name: "default".into(),
+        addr: "127.0.0.1:7341".into(),
+        solve_workers: 2,
+        queue_depth: 16,
+        timeout_ms: 120_000,
+        snapshot_dir: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(SERVE_USAGE.to_owned());
+        }
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--data" => opts.data = value()?,
+            "--dag" => opts.dag = value()?,
+            "--outcome" => opts.outcome = value()?,
+            "--mutable" => {
+                opts.mutable = value()?
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--protected" => {
+                for pair in value()?.split(',') {
+                    let (attr, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("--protected needs attr=value, got `{pair}`"))?;
+                    opts.protected
+                        .push((attr.trim().to_owned(), v.trim().to_owned()));
+                }
+            }
+            "--name" => opts.name = value()?,
+            "--addr" => opts.addr = value()?,
+            "--solve-workers" => {
+                opts.solve_workers = value()?
+                    .parse()
+                    .map_err(|e| format!("--solve-workers: {e}"))?
+            }
+            "--queue-depth" => {
+                opts.queue_depth = value()?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?
+            }
+            "--timeout-ms" => {
+                opts.timeout_ms = value()?.parse().map_err(|e| format!("--timeout-ms: {e}"))?
+            }
+            "--snapshot-dir" => opts.snapshot_dir = Some(value()?),
+            other => return Err(format!("unknown flag `{other}`\n\n{SERVE_USAGE}")),
+        }
+    }
+    for (name, val) in [
+        ("--data", &opts.data),
+        ("--dag", &opts.dag),
+        ("--outcome", &opts.outcome),
+    ] {
+        if val.is_empty() {
+            return Err(format!("{name} is required\n\n{SERVE_USAGE}"));
+        }
+    }
+    if opts.mutable.is_empty() {
+        return Err(format!("--mutable is required\n\n{SERVE_USAGE}"));
+    }
+    if opts.protected.is_empty() {
+        return Err(format!("--protected is required\n\n{SERVE_USAGE}"));
+    }
+    if opts.solve_workers == 0 || opts.queue_depth == 0 {
+        return Err("--solve-workers and --queue-depth must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+/// Boot the serving front end and block until a graceful shutdown is
+/// requested (`POST /v1/shutdown`), then drain and return.
+///
+/// With `--snapshot-dir`, the session warm-boots from `DIR/<name>.fc` when
+/// the file exists; an unreadable or incompatible snapshot (e.g. the
+/// refused pre-v2 format) is reported on stderr and the server boots cold —
+/// availability beats a stale cache.
+pub fn run_serve(opts: &ServeCliOptions) -> Result<(), CliError> {
+    let snapshot_path = opts
+        .snapshot_dir
+        .as_ref()
+        .map(|dir| std::path::Path::new(dir).join(format!("{}.fc", opts.name)));
+    let warm_boot = snapshot_path.as_ref().filter(|p| p.exists()).cloned();
+    let session = match &warm_boot {
+        Some(path) => {
+            match build_session(
+                &opts.data,
+                &opts.dag,
+                &opts.outcome,
+                &opts.mutable,
+                &opts.protected,
+                Some(&path.display().to_string()),
+            ) {
+                Ok(session) => {
+                    eprintln!("faircap-serve: warm boot from {}", path.display());
+                    session
+                }
+                // Only a *snapshot* problem (unreadable, refused version,
+                // instance mismatch) falls back to a cold boot; broken
+                // data/DAG inputs propagate as the config errors they are.
+                Err(e @ CliError::Snapshot(_)) => {
+                    eprintln!(
+                        "faircap-serve: warning: ignoring snapshot {}: {e}; booting cold",
+                        path.display()
+                    );
+                    build_session(
+                        &opts.data,
+                        &opts.dag,
+                        &opts.outcome,
+                        &opts.mutable,
+                        &opts.protected,
+                        None,
+                    )?
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        None => build_session(
+            &opts.data,
+            &opts.dag,
+            &opts.outcome,
+            &opts.mutable,
+            &opts.protected,
+            None,
+        )?,
+    };
+
+    let registry = std::sync::Arc::new(SessionRegistry::new());
+    registry
+        .register(&opts.name, session)
+        .expect("fresh registry has no duplicate names");
+    let config = ServeConfig {
+        addr: opts.addr.clone(),
+        max_concurrent_solves: opts.solve_workers,
+        solve_queue_depth: opts.queue_depth,
+        solve_timeout: Duration::from_millis(opts.timeout_ms),
+        snapshot_dir: opts.snapshot_dir.as_ref().map(Into::into),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config, registry)
+        .map_err(|e| CliError::Config(format!("binding {}: {e}", opts.addr)))?;
+    println!(
+        "faircap-serve listening on http://{} (session `{}`)",
+        server.addr(),
+        opts.name
+    );
+    server.wait_for_shutdown_request();
+    println!("faircap-serve: draining in-flight solves …");
+    server.shutdown();
+    println!("faircap-serve: stopped");
+    Ok(())
 }
 
 #[cfg(test)]
@@ -450,10 +761,74 @@ mod tests {
         let a: Vec<String> = cold_report.rules.iter().map(|r| r.to_string()).collect();
         let b: Vec<String> = warm_report.rules.iter().map(|r| r.to_string()).collect();
         assert_eq!(a, b, "warm CLI solve must reproduce the cold ruleset");
-        // A corrupt snapshot is a typed, readable error.
+        // A corrupt snapshot is a typed, readable config-class error
+        // (exit 2), carried as the Snapshot variant so the serve warm-boot
+        // fallback can distinguish it from broken data/DAG inputs.
         std::fs::write(&snap, "faircap-snapshot v99\n").unwrap();
         let err = execute(&warm).unwrap_err();
-        assert!(err.contains("snapshot"), "{err}");
+        assert!(matches!(err, CliError::Snapshot(_)), "{err:?}");
+        assert!(err.to_string().contains("snapshot"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        // Broken data inputs stay Config even when a snapshot was given —
+        // the serve fallback must never blame the snapshot for those.
+        let mut broken = warm.clone();
+        broken.data = "/no/such/file.csv".into();
+        assert!(matches!(execute(&broken).unwrap_err(), CliError::Config(_)));
+        // … and so is a refused pre-v2 snapshot, with the regeneration hint.
+        std::fs::write(&snap, "faircap-snapshot v1\n").unwrap();
+        let err = execute(&warm).unwrap_err();
+        assert!(err.to_string().contains("re-save"), "{err}");
+    }
+
+    #[test]
+    fn exit_codes_distinguish_config_from_runtime() {
+        // Unreadable input: config error, exit 2.
+        let opts = parse_args(&args(
+            "--data /no/such/file.csv --dag /no/such/dag --outcome o \
+             --mutable m --protected a=b",
+        ))
+        .unwrap();
+        let err = execute(&opts).unwrap_err();
+        assert!(matches!(err, CliError::Config(_)), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        // A runtime engine failure carries the typed error and exits 1,
+        // rendered through faircap::Error's Display.
+        let engine_err = faircap_core::Error::InvalidRequest("nope".into());
+        let err = CliError::Runtime(engine_err.clone());
+        assert_eq!(err.exit_code(), 1);
+        assert_eq!(err.to_string(), engine_err.to_string());
+    }
+
+    #[test]
+    fn serve_args_parse_and_validate() {
+        let opts = parse_serve_args(&args(
+            "--data d.csv --dag g.txt --outcome o --mutable m,n --protected a=b \
+             --addr 127.0.0.1:9000 --name german --solve-workers 3 \
+             --queue-depth 5 --timeout-ms 2500 --snapshot-dir /tmp/snaps",
+        ))
+        .unwrap();
+        assert_eq!(opts.addr, "127.0.0.1:9000");
+        assert_eq!(opts.name, "german");
+        assert_eq!(opts.solve_workers, 3);
+        assert_eq!(opts.queue_depth, 5);
+        assert_eq!(opts.timeout_ms, 2500);
+        assert_eq!(opts.snapshot_dir.as_deref(), Some("/tmp/snaps"));
+        // Defaults.
+        let opts = parse_serve_args(&args(
+            "--data d.csv --dag g.txt --outcome o --mutable m --protected a=b",
+        ))
+        .unwrap();
+        assert_eq!(opts.name, "default");
+        assert_eq!(opts.solve_workers, 2);
+        // Required flags and bounds.
+        assert!(parse_serve_args(&args("--data d.csv")).is_err());
+        assert!(parse_serve_args(&args(
+            "--data d --dag g --outcome o --mutable m --protected a=b --queue-depth 0"
+        ))
+        .is_err());
+        assert!(parse_serve_args(&args("--help"))
+            .unwrap_err()
+            .contains("serve"));
     }
 
     #[test]

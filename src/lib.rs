@@ -62,6 +62,20 @@
 //! layer in full. (The pre-0.2 one-shot `run()` shim has been removed;
 //! see `docs/building.md` for the migration.)
 //!
+//! ## Serving front end
+//!
+//! [`serve`] (`faircap serve` on the CLI) wraps a [`core::SessionRegistry`]
+//! of warm sessions in a dependency-free HTTP/1.1 server with real
+//! admission control: a bounded solve queue (overflow answers 429), a
+//! max-concurrent-solves budget, per-request timeouts (504), live
+//! `/v1/metrics` (cache counters per estimator, executor stats, latency
+//! percentiles, queue depth), snapshot persistence over `POST
+//! /v1/snapshot`, warm boot from a snapshot directory, and graceful
+//! drain on shutdown. Endpoint schemas are documented in
+//! `docs/serving.md`; the JSON wire format lives in [`core::wire`], and
+//! rulesets served over HTTP are bit-identical to direct
+//! [`PrescriptionSession::solve`] calls.
+//!
 //! ## Layers
 //!
 //! * [`table`] — columnar frames, bitset masks, conjunctive patterns, CSV,
@@ -89,6 +103,7 @@ pub use faircap_causal as causal;
 pub use faircap_core as core;
 pub use faircap_data as data;
 pub use faircap_mining as mining;
+pub use faircap_serve as serve;
 pub use faircap_table as table;
 
 pub use faircap_causal::Estimator;

@@ -1,0 +1,382 @@
+//! Integration tests for the `faircap-serve` front end: admission control,
+//! concurrency correctness, metrics, snapshot warm boot, and graceful
+//! drain.
+//!
+//! The headline acceptance criteria live here:
+//!
+//! * a booted server answers ≥ 8 concurrent `POST /v1/solve` requests
+//!   against one shared session with rulesets **bit-identical** to direct
+//!   `session.solve()` calls;
+//! * `GET /v1/metrics` shows nonzero estimate-cache hits;
+//! * the overload test observes at least one **429** while the bounded
+//!   queue's high-water mark never exceeds its configured depth.
+
+use faircap::causal::Dag;
+use faircap::core::{FairCap, PrescriptionSession, SessionRegistry, SolveRequest};
+use faircap::core::{Json, SessionSnapshot};
+use faircap::serve::{ServeClient, ServeConfig, Server};
+use faircap::table::{DataFrame, Pattern, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One shared synthetic workload: the Stack Overflow stand-in trimmed to
+/// five columns (as in the CLI round-trip test) so debug-mode solves stay
+/// fast while still exercising real mining and estimation.
+fn dataset() -> (DataFrame, Dag, Pattern) {
+    let ds = faircap::data::so::generate(2_000, 3);
+    let keep = ["gdp_group", "age", "certifications", "training", "salary"];
+    let df = ds.df.select(&keep).unwrap();
+    let dag = Dag::parse_edge_list(
+        "gdp_group -> salary\nage -> salary\ncertifications -> salary\ntraining -> salary",
+    )
+    .unwrap();
+    let protected = Pattern::of_eq(&[("gdp_group", Value::from("low"))]);
+    (df, dag, protected)
+}
+
+fn session() -> PrescriptionSession {
+    let (df, dag, protected) = dataset();
+    FairCap::builder()
+        .data(df)
+        .dag(dag)
+        .outcome("salary")
+        .immutable(["gdp_group", "age"])
+        .mutable(["certifications", "training"])
+        .protected(protected)
+        .build()
+        .unwrap()
+}
+
+fn boot(config: ServeConfig) -> (Server, ServeClient) {
+    let registry = Arc::new(SessionRegistry::new());
+    registry.register("so", session());
+    let server = Server::start(config, registry).unwrap();
+    let client = server.client();
+    client.wait_ready(Duration::from_secs(30)).unwrap();
+    (server, client)
+}
+
+fn rule_strings(doc: &Json) -> Vec<String> {
+    doc.get("rules")
+        .and_then(Json::as_arr)
+        .expect("rules array")
+        .iter()
+        .map(|r| r.get("rule").and_then(Json::as_str).unwrap().to_owned())
+        .collect()
+}
+
+#[test]
+fn concurrent_solves_match_direct_session_bit_exactly() {
+    let (server, client) = boot(ServeConfig {
+        max_concurrent_solves: 4,
+        solve_queue_depth: 32,
+        ..ServeConfig::default()
+    });
+
+    // Direct ground truth on an identical (separately built) session.
+    let direct = session()
+        .solve(&SolveRequest::default().max_rules(5))
+        .unwrap();
+    let direct_rules: Vec<String> = direct.rules.iter().map(|r| r.to_string()).collect();
+    assert!(!direct_rules.is_empty());
+
+    let n = 8;
+    let responses: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let client = client.clone();
+                scope.spawn(move || {
+                    client
+                        .post_json("/v1/solve", r#"{"max_rules": 5}"#)
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for response in &responses {
+        assert_eq!(response.status, 200, "{}", response.body);
+        let doc = Json::parse(&response.body).unwrap();
+        assert_eq!(
+            rule_strings(&doc),
+            direct_rules,
+            "served ruleset must match a direct solve"
+        );
+        // Bit-exactness: the served summary floats reparse to the same
+        // bits as the in-process report.
+        let summary = doc.get("summary").unwrap();
+        for (field, expected) in [
+            ("expected", direct.summary.expected),
+            ("unfairness", direct.summary.unfairness),
+            ("coverage", direct.summary.coverage),
+        ] {
+            assert_eq!(
+                summary.get(field).unwrap().as_f64().unwrap().to_bits(),
+                expected.to_bits(),
+                "summary.{field} must survive the wire bit-exactly"
+            );
+        }
+        assert_eq!(doc.get("session").unwrap().as_str(), Some("so"));
+    }
+
+    // The shared session served all 8; later solves hit the warm caches.
+    let metrics = client.get("/v1/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let doc = Json::parse(&metrics.body).unwrap();
+    let so = doc.get("sessions").unwrap().get("so").unwrap();
+    let hits = so
+        .get("estimate_cache")
+        .unwrap()
+        .get("hits")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(hits > 0.0, "metrics must show nonzero cache hits");
+    assert_eq!(
+        doc.get("requests")
+            .unwrap()
+            .get("solves_ok")
+            .unwrap()
+            .as_f64(),
+        Some(f64::from(n)),
+    );
+    assert!(doc.get("solve_latency").unwrap().get("p50_ms").is_some());
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_429_and_bounded_queue() {
+    let queue_depth = 1;
+    let (server, client) = boot(ServeConfig {
+        max_concurrent_solves: 1,
+        solve_queue_depth: queue_depth,
+        ..ServeConfig::default()
+    });
+
+    let n = 10;
+    let statuses: Vec<u16> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let client = client.clone();
+                scope.spawn(move || {
+                    // Distinct max_rules per request defeats whole-queue
+                    // collapse into instant cache hits on the same key
+                    // while still sharing the estimate cache.
+                    let body = format!(r#"{{"max_rules": {}}}"#, 1 + (i % 3));
+                    client.post_json("/v1/solve", &body).unwrap()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                let response = h.join().unwrap();
+                if response.status == 200 {
+                    // Every admitted request completes with a valid,
+                    // non-empty ruleset.
+                    let doc = Json::parse(&response.body).unwrap();
+                    assert!(
+                        !rule_strings(&doc).is_empty(),
+                        "admitted solve returned an empty ruleset"
+                    );
+                }
+                response.status
+            })
+            .collect()
+    });
+
+    let ok = statuses.iter().filter(|&&s| s == 200).count();
+    let shed = statuses.iter().filter(|&&s| s == 429).count();
+    assert!(
+        ok >= 1,
+        "at least one request must be admitted: {statuses:?}"
+    );
+    assert!(
+        shed >= 1,
+        "a 1-worker/1-slot server under 10 concurrent requests must shed: {statuses:?}"
+    );
+    assert_eq!(ok + shed, n, "only 200 and 429 are expected: {statuses:?}");
+
+    let metrics = Json::parse(&client.get("/v1/metrics").unwrap().body).unwrap();
+    let admission = metrics.get("admission").unwrap();
+    let max_depth = admission.get("max_queue_depth").unwrap().as_f64().unwrap();
+    assert!(
+        max_depth <= queue_depth as f64,
+        "queue high-water mark {max_depth} exceeded the bound {queue_depth}"
+    );
+    assert_eq!(
+        metrics
+            .get("requests")
+            .unwrap()
+            .get("rejected_429")
+            .unwrap()
+            .as_f64(),
+        Some(shed as f64)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn solve_timeout_answers_504_and_counts() {
+    let (server, client) = boot(ServeConfig {
+        max_concurrent_solves: 1,
+        solve_queue_depth: 4,
+        // Far below any real solve on this dataset, so the timeout path
+        // fires deterministically.
+        solve_timeout: Duration::from_nanos(1),
+        ..ServeConfig::default()
+    });
+    let response = client.post_json("/v1/solve", "{}").unwrap();
+    assert_eq!(response.status, 504, "{}", response.body);
+    let metrics = Json::parse(&client.get("/v1/metrics").unwrap().body).unwrap();
+    assert_eq!(
+        metrics
+            .get("requests")
+            .unwrap()
+            .get("timeouts_504")
+            .unwrap()
+            .as_f64(),
+        Some(1.0)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn request_validation_and_routing_errors() {
+    let (server, client) = boot(ServeConfig::default());
+    // Unknown endpoint / wrong method.
+    assert_eq!(client.get("/v1/nope").unwrap().status, 404);
+    assert_eq!(client.get("/v1/solve").unwrap().status, 405);
+    // Malformed JSON and bad request fields are 400s.
+    assert_eq!(
+        client.post_json("/v1/solve", "{not json").unwrap().status,
+        400
+    );
+    assert_eq!(
+        client
+            .post_json("/v1/solve", r#"{"bogus_knob": 1}"#)
+            .unwrap()
+            .status,
+        400
+    );
+    // Unknown session is a 404 naming the registered ones.
+    let response = client
+        .post_json("/v1/solve", r#"{"session": "ghost"}"#)
+        .unwrap();
+    assert_eq!(response.status, 404);
+    assert!(response.body.contains("so"), "{}", response.body);
+    // Invalid constraint values pass parsing but fail engine validation: 422.
+    assert_eq!(
+        client
+            .post_json("/v1/solve", r#"{"apriori_threshold": 7.5}"#)
+            .unwrap()
+            .status,
+        422
+    );
+    // Sessions listing.
+    let sessions = client.get("/v1/sessions").unwrap();
+    assert_eq!(sessions.status, 200);
+    let doc = Json::parse(&sessions.body).unwrap();
+    let list = doc.get("sessions").unwrap().as_arr().unwrap();
+    assert_eq!(list.len(), 1);
+    assert_eq!(list[0].get("name").unwrap().as_str(), Some("so"));
+    assert_eq!(list[0].get("outcome").unwrap().as_str(), Some("salary"));
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_endpoint_writes_and_warm_boot_reuses() {
+    let dir = std::env::temp_dir().join("faircap_serve_snapshot_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (server, client) = boot(ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    // Warm the caches, persist them over the API.
+    assert_eq!(client.post_json("/v1/solve", "{}").unwrap().status, 200);
+    let response = client.post_json("/v1/snapshot", "{}").unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let path = dir.join("so.fc");
+    assert!(path.exists(), "snapshot endpoint must write {path:?}");
+    server.shutdown();
+
+    // Boot a second server warm-started from the persisted snapshot: the
+    // same workload re-solves without a single estimate-cache miss.
+    let snapshot = SessionSnapshot::decode(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let (df, dag, protected) = dataset();
+    let warm = FairCap::builder()
+        .data(df)
+        .dag(dag)
+        .outcome("salary")
+        .immutable(["gdp_group", "age"])
+        .mutable(["certifications", "training"])
+        .protected(protected)
+        .warm_start(snapshot)
+        .build()
+        .unwrap();
+    let registry = Arc::new(SessionRegistry::new());
+    registry.register("so", warm);
+    let server = Server::start(ServeConfig::default(), Arc::clone(&registry)).unwrap();
+    let client = server.client();
+    client.wait_ready(Duration::from_secs(30)).unwrap();
+    assert_eq!(client.post_json("/v1/solve", "{}").unwrap().status, 200);
+    let metrics = Json::parse(&client.get("/v1/metrics").unwrap().body).unwrap();
+    let cache = metrics
+        .get("sessions")
+        .unwrap()
+        .get("so")
+        .unwrap()
+        .get("estimate_cache")
+        .unwrap();
+    assert_eq!(
+        cache.get("misses").unwrap().as_f64(),
+        Some(0.0),
+        "warm-booted server must re-solve with zero estimate-cache misses"
+    );
+    assert!(cache.get("hits").unwrap().as_f64().unwrap() > 0.0);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_solves() {
+    let (server, client) = boot(ServeConfig {
+        max_concurrent_solves: 1,
+        solve_queue_depth: 4,
+        ..ServeConfig::default()
+    });
+    // Launch a solve and wait until the solve pool reports it in flight.
+    let solver = {
+        let client = client.clone();
+        std::thread::spawn(move || client.post_json("/v1/solve", "{}").unwrap())
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let metrics = Json::parse(&client.get("/v1/metrics").unwrap().body).unwrap();
+        let in_flight = metrics
+            .get("admission")
+            .unwrap()
+            .get("in_flight")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        if in_flight >= 1.0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "solve never became in-flight"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // POST /v1/shutdown flips the request flag; the owner then drains.
+    assert_eq!(client.post_json("/v1/shutdown", "{}").unwrap().status, 200);
+    assert!(server.shutdown_requested());
+    server.shutdown();
+    // The in-flight solve was drained, not dropped.
+    let response = solver.join().unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    // After shutdown the listener is gone.
+    assert!(client.get("/healthz").is_err());
+}
