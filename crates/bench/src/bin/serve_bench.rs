@@ -23,6 +23,8 @@ use std::time::{Duration, Instant};
 const CONCURRENCY: usize = 8;
 /// Requests per client thread.
 const REQUESTS_PER_CLIENT: usize = 25;
+/// Data seed for the benchmark dataset, recorded in every result entry.
+const SEED: u64 = 42;
 
 fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
     let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
@@ -31,7 +33,7 @@ fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
 
 fn main() {
     let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
-    let ds = faircap_data::german::generate(faircap_data::german::GERMAN_DEFAULT_ROWS, 42);
+    let ds = faircap_data::german::generate(faircap_data::german::GERMAN_DEFAULT_ROWS, SEED);
     let rows = ds.df.n_rows();
     let session = session_of(&ds).expect("german dataset is well-formed");
     let registry = Arc::new(SessionRegistry::new());
@@ -119,6 +121,7 @@ fn main() {
             ("benchmark", Json::Str("serve".into())),
             ("dataset", Json::Str("german".into())),
             ("rows", num(rows as f64)),
+            ("seed", num(SEED as f64)),
             ("warm", Json::Bool(true)),
             ("concurrency", num(CONCURRENCY as f64)),
             ("requests", num(completed as f64)),

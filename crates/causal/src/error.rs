@@ -18,6 +18,19 @@ pub enum CausalError {
     DuplicateVariable(String),
     /// Estimation failed (degenerate design, no overlap, singular system…).
     Estimation(String),
+    /// An estimator refused a subgroup because its work would exceed a
+    /// complexity budget (e.g. brute-force matching on a huge group). The
+    /// message names a cheaper estimator so callers can retry instead of
+    /// silently burning hours.
+    EstimatorBudget {
+        /// The refusing estimator's stable name.
+        estimator: &'static str,
+        /// The work the estimate would have performed, in the estimator's
+        /// own unit (for matching: `n_treated · n_control` pair distances).
+        work: u64,
+        /// The configured budget the work exceeded.
+        budget: u64,
+    },
     /// The underlying table layer reported an error.
     Table(faircap_table::TableError),
     /// Structural-equation specification problem.
@@ -40,6 +53,16 @@ impl fmt::Display for CausalError {
             }
             CausalError::DuplicateVariable(v) => write!(f, "duplicate variable `{v}`"),
             CausalError::Estimation(msg) => write!(f, "estimation failed: {msg}"),
+            CausalError::EstimatorBudget {
+                estimator,
+                work,
+                budget,
+            } => write!(
+                f,
+                "`{estimator}` refused the subgroup: it would perform {work} units of work, \
+                 over the budget of {budget}; choose a scalable estimator for groups this \
+                 large (linear, ipw, or aipw) or raise FAIRCAP_MATCHING_BUDGET"
+            ),
             CausalError::Table(e) => write!(f, "table error: {e}"),
             CausalError::Scm(msg) => write!(f, "scm error: {msg}"),
             CausalError::InvalidOutcome { column, reason } => {

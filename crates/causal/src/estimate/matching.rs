@@ -29,7 +29,11 @@
 //! ignored reuse entirely and passed implausibly large effects as
 //! significant. Complexity is `O(n_t · n_c · d)` per estimate; the
 //! [`CateEngine`](crate::cate::CateEngine) cache keyed by `"matching"`
-//! amortizes this across repeated queries.
+//! amortizes this across repeated queries, and a complexity budget
+//! ([`DEFAULT_MATCHING_BUDGET`], overridable via `FAIRCAP_MATCHING_BUDGET`)
+//! refuses subgroups whose pair count would make a brute-force estimate run
+//! for hours — the typed [`CausalError::EstimatorBudget`] names scalable
+//! alternatives instead of silently grinding.
 
 use super::{aipw, design, normal_inference, Estimate, MIN_ARM_SIZE};
 use crate::error::{CausalError, Result};
@@ -39,6 +43,30 @@ use faircap_table::{DataFrame, Mask};
 /// expansion). Four is the usual bias/variance sweet spot for k-NN
 /// matching; ties at the k-th distance are all included.
 pub const K_NEIGHBORS: usize = 4;
+
+/// Default complexity budget: the maximum `n_treated · n_control` pair
+/// count an estimate may evaluate. Brute-force matching is
+/// `O(n_t · n_c · d)`; past this budget a single estimate takes minutes and
+/// a constraint sweep takes hours, so the estimator refuses with a typed
+/// [`CausalError::EstimatorBudget`] naming scalable alternatives instead of
+/// silently burning the time. Override per process with the
+/// `FAIRCAP_MATCHING_BUDGET` environment variable (a pair count; `0`
+/// disables the guard).
+pub const DEFAULT_MATCHING_BUDGET: u64 = 50_000_000;
+
+/// The effective pair budget: `FAIRCAP_MATCHING_BUDGET` when set to a valid
+/// pair count (`0` disables the guard), otherwise
+/// [`DEFAULT_MATCHING_BUDGET`].
+pub fn matching_budget() -> u64 {
+    match std::env::var("FAIRCAP_MATCHING_BUDGET") {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(0) => u64::MAX,
+            Ok(n) => n,
+            Err(_) => DEFAULT_MATCHING_BUDGET,
+        },
+        Err(_) => DEFAULT_MATCHING_BUDGET,
+    }
+}
 
 /// Estimate the CATE by k-NN covariate matching with bias adjustment. See
 /// module docs.
@@ -57,6 +85,15 @@ pub fn estimate(
         return Err(CausalError::Estimation(format!(
             "insufficient overlap: {n_treated} treated / {n_control} control"
         )));
+    }
+    let work = n_treated as u64 * n_control as u64;
+    let budget = matching_budget();
+    if work > budget {
+        return Err(CausalError::EstimatorBudget {
+            estimator: "matching",
+            work,
+            budget,
+        });
     }
 
     let y = design::outcome_values(df, outcome, &rows)?;
@@ -341,6 +378,51 @@ mod tests {
         let all = Mask::ones(df.n_rows());
         let est = estimate(&df, &all, &treated, "o", &["z".into()]).unwrap();
         assert_eq!(est.p_value, 0.0, "deterministic outcome stays exact");
+    }
+
+    #[test]
+    fn oversized_group_refused_with_budget_hint() {
+        // 10 000 × 10 000 pairs = 10⁸ > the 5·10⁷ default budget. The guard
+        // fires before any distance work, so building the frame is the only
+        // cost here.
+        let n = 20_000usize;
+        let o: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let t: Vec<bool> = (0..n).map(|i| i < n / 2).collect();
+        let df = DataFrame::builder().float("o", o).build().unwrap();
+        let all = Mask::ones(n);
+        let treated = Mask::from_bools(&t);
+        let err = estimate(&df, &all, &treated, "o", &[]).unwrap_err();
+        match &err {
+            crate::error::CausalError::EstimatorBudget {
+                estimator,
+                work,
+                budget,
+            } => {
+                assert_eq!(*estimator, "matching");
+                assert_eq!(*work, 100_000_000);
+                assert_eq!(*budget, DEFAULT_MATCHING_BUDGET);
+            }
+            other => panic!("expected EstimatorBudget, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(
+            msg.contains("linear") && msg.contains("FAIRCAP_MATCHING_BUDGET"),
+            "hint must name alternatives and the knob: {msg}"
+        );
+    }
+
+    #[test]
+    fn budget_env_override_parses() {
+        // Only values safely above every other fixture's pair count are set
+        // here (tests share the process environment).
+        assert_eq!(matching_budget(), DEFAULT_MATCHING_BUDGET);
+        std::env::set_var("FAIRCAP_MATCHING_BUDGET", "2000000");
+        assert_eq!(matching_budget(), 2_000_000);
+        std::env::set_var("FAIRCAP_MATCHING_BUDGET", "0");
+        assert_eq!(matching_budget(), u64::MAX, "0 disables the guard");
+        std::env::set_var("FAIRCAP_MATCHING_BUDGET", "lots");
+        assert_eq!(matching_budget(), DEFAULT_MATCHING_BUDGET);
+        std::env::remove_var("FAIRCAP_MATCHING_BUDGET");
     }
 
     #[test]

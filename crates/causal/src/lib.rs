@@ -14,6 +14,8 @@
 //! * [`discovery`] — PC-stable causal discovery (Table 6's "PC DAG").
 //! * [`scm`] — structural causal models for generating the synthetic
 //!   Stack Overflow / German Credit stand-ins with known ground truth.
+//! * [`truth`] — ground-truth recovery checks ([`truth::Recovery`]) used by
+//!   the `faircap-scenario` generator's planted-effect validation.
 
 #![warn(missing_docs)]
 
@@ -25,6 +27,7 @@ pub mod estimate;
 pub mod graph;
 pub mod linalg;
 pub mod scm;
+pub mod truth;
 
 pub mod discovery;
 
@@ -35,3 +38,4 @@ pub use error::{CausalError, Result};
 pub use estimate::{estimate_cate, Estimate, Estimator, EstimatorKind};
 pub use graph::{Dag, NodeId};
 pub use scm::Scm;
+pub use truth::Recovery;

@@ -1,0 +1,134 @@
+//! Ground-truth comparison helpers for estimator validation.
+//!
+//! Synthetic scenarios (the `faircap-scenario` crate) plant *known* causal
+//! effects; this module provides the arithmetic for judging whether an
+//! [`Estimate`] recovered the planted value — and for proving that a
+//! deliberately unadjusted estimate did **not**. The acceptance rule is
+//! CI-stable: a recovery passes when the absolute error is inside
+//! `abs_tol + z_tol · std_err`, so the criterion tightens with sample size
+//! instead of relying on a hand-tuned constant that flakes across seeds.
+
+use crate::estimate::Estimate;
+
+/// The comparison of one estimate against a planted ground-truth effect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recovery {
+    /// The estimator's point estimate.
+    pub estimate: f64,
+    /// The planted ground-truth CATE.
+    pub truth: f64,
+    /// `|estimate − truth|`.
+    pub abs_error: f64,
+    /// The estimate's reported standard error.
+    pub std_err: f64,
+    /// Error in standard-error units (`abs_error / std_err`; infinite when
+    /// the estimator reported zero variance but missed the truth).
+    pub z: f64,
+}
+
+impl Recovery {
+    /// Compare an estimate to a planted effect.
+    pub fn of(est: &Estimate, truth: f64) -> Recovery {
+        let abs_error = (est.cate - truth).abs();
+        let z = if est.std_err > 0.0 {
+            abs_error / est.std_err
+        } else if abs_error == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        Recovery {
+            estimate: est.cate,
+            truth,
+            abs_error,
+            std_err: est.std_err,
+            z,
+        }
+    }
+
+    /// Whether the estimate recovered the truth: the absolute error is
+    /// within `abs_tol + z_tol · std_err`. `abs_tol` absorbs small-sample
+    /// and discretization slack; the `z_tol` term scales with the
+    /// estimator's own uncertainty, keeping the check stable across seeds.
+    pub fn within(&self, abs_tol: f64, z_tol: f64) -> bool {
+        self.abs_error <= abs_tol + z_tol * self.std_err
+    }
+
+    /// Whether the estimate is *provably biased* away from the truth: the
+    /// error exceeds `min_bias` **and** sits more than `z_min` standard
+    /// errors from the planted value, so sampling noise cannot explain it.
+    /// Used to assert that skipping backdoor adjustment on a confounded
+    /// scenario actually hurts.
+    pub fn biased(&self, min_bias: f64, z_min: f64) -> bool {
+        self.abs_error >= min_bias && self.z >= z_min
+    }
+}
+
+impl std::fmt::Display for Recovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "estimate {:.4} vs truth {:.4} (|err| {:.4}, se {:.4}, z {:.2})",
+            self.estimate, self.truth, self.abs_error, self.std_err, self.z
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(cate: f64, std_err: f64) -> Estimate {
+        Estimate {
+            cate,
+            std_err,
+            t_stat: 0.0,
+            p_value: 0.5,
+            n_treated: 100,
+            n_control: 100,
+        }
+    }
+
+    #[test]
+    fn exact_recovery_passes() {
+        let r = Recovery::of(&est(10.0, 0.1), 10.0);
+        assert_eq!(r.abs_error, 0.0);
+        assert!(r.within(0.0, 0.0));
+        assert!(!r.biased(0.0, 1.0));
+    }
+
+    #[test]
+    fn tolerance_combines_absolute_and_se_slack() {
+        let r = Recovery::of(&est(10.5, 0.2), 10.0);
+        assert!(!r.within(0.1, 1.0), "0.1 + 0.2 < 0.5");
+        assert!(r.within(0.1, 2.0), "0.1 + 0.4 ≥ 0.5");
+        assert!(r.within(0.5, 0.0));
+    }
+
+    #[test]
+    fn bias_requires_both_magnitude_and_significance() {
+        // Large error, many SEs away: provably biased.
+        assert!(Recovery::of(&est(15.0, 0.5), 10.0).biased(2.0, 4.0));
+        // Large error explainable by a huge SE: not provable.
+        assert!(!Recovery::of(&est(15.0, 10.0), 10.0).biased(2.0, 4.0));
+        // Significant but tiny error: not the bias we look for.
+        assert!(!Recovery::of(&est(10.1, 0.01), 10.0).biased(2.0, 4.0));
+    }
+
+    #[test]
+    fn zero_variance_estimates_handled() {
+        let hit = Recovery::of(&est(10.0, 0.0), 10.0);
+        assert_eq!(hit.z, 0.0);
+        assert!(hit.within(0.0, 0.0));
+        let miss = Recovery::of(&est(11.0, 0.0), 10.0);
+        assert!(miss.z.is_infinite());
+        assert!(!miss.within(0.5, 100.0));
+        assert!(miss.biased(0.5, 4.0));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Recovery::of(&est(10.5, 0.2), 10.0).to_string();
+        assert!(s.contains("10.5") && s.contains("truth"), "{s}");
+    }
+}

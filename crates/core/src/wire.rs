@@ -55,6 +55,18 @@ impl Json {
         }
     }
 
+    /// Walk a `.`-separated path of object keys
+    /// (`"sessions.german.estimate_cache.hits"`); `None` as soon as a
+    /// segment is missing or the walk hits a non-object. Convenient for
+    /// picking counters out of deep documents like `/v1/metrics`.
+    pub fn get_path(&self, path: &str) -> Option<&Json> {
+        let mut current = self;
+        for segment in path.split('.') {
+            current = current.get(segment)?;
+        }
+        Some(current)
+    }
+
     /// The value as a string, if it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -677,6 +689,16 @@ mod tests {
             v.get("b").unwrap().get("e").unwrap().as_str().unwrap(),
             "x\"\\\né"
         );
+    }
+
+    #[test]
+    fn get_path_walks_nested_objects() {
+        let v = Json::parse(r#"{"a":{"b":{"c":7}},"x":[1]}"#).unwrap();
+        assert_eq!(v.get_path("a.b.c").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get_path("a"), v.get("a"));
+        assert!(v.get_path("a.b.z").is_none());
+        assert!(v.get_path("x.0").is_none(), "arrays are not traversed");
+        assert!(v.get_path("a.b.c.d").is_none(), "leaf is not an object");
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! The scenario crate's error type.
+
+use std::fmt;
+
+/// Everything that can go wrong while generating, persisting, verifying,
+/// or replaying a scenario.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// An invalid [`ScenarioSpec`](crate::ScenarioSpec) knob.
+    Spec(String),
+    /// A causal-layer failure (SCM sampling, estimation).
+    Causal(faircap_causal::CausalError),
+    /// A table-layer failure (frame construction, CSV I/O).
+    Table(faircap_table::TableError),
+    /// An engine failure (session build, solve).
+    Core(faircap_core::Error),
+    /// A filesystem failure.
+    Io(std::io::Error),
+    /// A malformed persisted scenario (`scenario.json` / `scenario.dag`).
+    Format(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Spec(msg) => write!(f, "invalid scenario spec: {msg}"),
+            ScenarioError::Causal(e) => write!(f, "causal layer: {e}"),
+            ScenarioError::Table(e) => write!(f, "table layer: {e}"),
+            ScenarioError::Core(e) => write!(f, "engine: {e}"),
+            ScenarioError::Io(e) => write!(f, "i/o: {e}"),
+            ScenarioError::Format(msg) => write!(f, "malformed scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Causal(e) => Some(e),
+            ScenarioError::Table(e) => Some(e),
+            ScenarioError::Core(e) => Some(e),
+            ScenarioError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<faircap_causal::CausalError> for ScenarioError {
+    fn from(e: faircap_causal::CausalError) -> Self {
+        ScenarioError::Causal(e)
+    }
+}
+
+impl From<faircap_table::TableError> for ScenarioError {
+    fn from(e: faircap_table::TableError) -> Self {
+        ScenarioError::Table(e)
+    }
+}
+
+impl From<faircap_core::Error> for ScenarioError {
+    fn from(e: faircap_core::Error) -> Self {
+        ScenarioError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for ScenarioError {
+    fn from(e: std::io::Error) -> Self {
+        ScenarioError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ScenarioError>;

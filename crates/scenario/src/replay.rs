@@ -1,0 +1,665 @@
+//! Closed/open-loop workload replayer.
+//!
+//! Replays a mix of solve requests against either an in-process
+//! [`PrescriptionSession`] or a running `faircap serve` instance (via
+//! [`ServeClient`]), and aggregates a [`ReplayReport`]: throughput, latency
+//! percentiles, per-status admission counts (429/503/504), and estimate-
+//! cache counters — the row appended to `BENCH_scale.json`.
+//!
+//! # Request mixes
+//!
+//! A [`WorkloadMix`] is a list of solve-request bodies (JSON field sets,
+//! exactly the `POST /v1/solve` wire schema) assigned to requests
+//! round-robin. [`WorkloadMix::preset`] builds the standard mixes:
+//! `steady` (one default request), `sweep` (fairness/coverage constraint
+//! sweep), `estimators` (rotating estimator kinds), and `mixed` (both).
+//!
+//! # Warm/cold ratio
+//!
+//! A `cold_fraction` of requests (evenly interleaved) get a unique
+//! `apriori_threshold` perturbation (relative size ≤ 10⁻⁶ per request, far
+//! below any support boundary at benchmark scales). A fresh threshold is a
+//! fresh grouping-cache key, so the engine re-mines grouping patterns and
+//! re-runs selection — the cold path — while warm requests replay a
+//! previously seen body and ride the caches. Individual CATE estimates may
+//! still be cache-served on cold requests; rotate estimators in the mix to
+//! force cold estimation too.
+//!
+//! # Arrival processes
+//!
+//! [`Arrival::Closed`] keeps `clients` requests in flight back-to-back
+//! (throughput-bound); [`Arrival::Open`] paces request *starts* at a fixed
+//! rate from a shared schedule regardless of completions (latency under
+//! offered load — the serving layer's admission control is what sheds
+//! excess when the schedule outruns it).
+
+use crate::error::Result;
+use crate::spec::ScenarioSpec;
+use faircap_core::{solve_request_from_json, Json, PrescriptionSession};
+use faircap_serve::ServeClient;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// One request shape in a mix: a label and the `POST /v1/solve` body
+/// fields (everything except `session`, which the replayer adds when
+/// targeting a server).
+#[derive(Debug, Clone)]
+pub struct RequestVariant {
+    /// Display label (`sp-group`, `aipw`, …).
+    pub label: String,
+    /// JSON body fields in wire-schema form.
+    pub fields: Vec<(String, Json)>,
+}
+
+/// A named list of request variants, assigned to requests round-robin.
+#[derive(Debug, Clone)]
+pub struct WorkloadMix {
+    /// Mix name (recorded in the report).
+    pub name: String,
+    /// The variants; must be non-empty.
+    pub variants: Vec<RequestVariant>,
+}
+
+fn variant(label: &str, fields: Vec<(&str, Json)>) -> RequestVariant {
+    RequestVariant {
+        label: label.to_owned(),
+        fields: fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+    }
+}
+
+fn fairness(kind: &str, scope: &str, threshold: (&str, f64)) -> Json {
+    Json::Obj(vec![
+        ("kind".to_owned(), Json::Str(kind.to_owned())),
+        ("scope".to_owned(), Json::Str(scope.to_owned())),
+        (threshold.0.to_owned(), Json::Num(threshold.1)),
+    ])
+}
+
+impl WorkloadMix {
+    /// Names [`WorkloadMix::preset`] accepts.
+    pub const PRESETS: [&'static str; 4] = ["steady", "sweep", "estimators", "mixed"];
+
+    /// Build a standard mix. `epsilon` is the statistical-parity threshold
+    /// used by the constraint-sweep variants (utility units — scale it to
+    /// the dataset; [`default_epsilon`] gives a scenario-scaled value).
+    pub fn preset(name: &str, epsilon: f64) -> Option<WorkloadMix> {
+        let sweep = || {
+            vec![
+                variant("unconstrained", vec![]),
+                variant(
+                    "sp-group",
+                    vec![("fairness", fairness("sp", "group", ("epsilon", epsilon)))],
+                ),
+                variant(
+                    "sp-group-tight",
+                    vec![(
+                        "fairness",
+                        fairness("sp", "group", ("epsilon", epsilon / 10.0)),
+                    )],
+                ),
+                variant(
+                    "sp-individual",
+                    vec![(
+                        "fairness",
+                        fairness("sp", "individual", ("epsilon", epsilon)),
+                    )],
+                ),
+                variant(
+                    "coverage-group",
+                    vec![(
+                        "coverage",
+                        Json::Obj(vec![
+                            ("kind".to_owned(), Json::Str("group".to_owned())),
+                            ("theta".to_owned(), Json::Num(0.3)),
+                            ("theta_protected".to_owned(), Json::Num(0.3)),
+                        ]),
+                    )],
+                ),
+            ]
+        };
+        let estimators = || {
+            ["linear", "stratified", "ipw", "aipw"]
+                .iter()
+                .map(|e| variant(e, vec![("estimator", Json::Str((*e).to_owned()))]))
+                .collect::<Vec<_>>()
+        };
+        let variants = match name {
+            "steady" => vec![variant("default", vec![])],
+            "sweep" => sweep(),
+            "estimators" => estimators(),
+            "mixed" => {
+                let mut v = sweep();
+                v.extend(estimators());
+                v
+            }
+            _ => return None,
+        };
+        Some(WorkloadMix {
+            name: name.to_owned(),
+            variants,
+        })
+    }
+}
+
+/// A statistical-parity epsilon scaled to a scenario: roughly the planted
+/// protected/non-protected utility gap of one fully-covering rule, so the
+/// `sp-group` variant is realistically loose and `sp-group-tight` bites.
+pub fn default_epsilon(spec: &ScenarioSpec) -> f64 {
+    let gap = (spec.true_cate(0, crate::TruthGroup::NonProtected)
+        - spec.true_cate(0, crate::TruthGroup::Protected))
+    .abs()
+    .max(1.0);
+    gap * spec.rows as f64
+}
+
+/// How requests are issued.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// `clients` workers issue requests back-to-back until the total runs
+    /// out.
+    Closed {
+        /// Concurrent workers.
+        clients: usize,
+    },
+    /// Request starts follow a shared fixed-rate schedule; `clients`
+    /// workers drain it (a start is late if all workers are busy — the
+    /// classic open-loop backlog).
+    Open {
+        /// Concurrent workers draining the schedule.
+        clients: usize,
+        /// Scheduled request starts per second.
+        rate_hz: f64,
+    },
+}
+
+impl Arrival {
+    fn clients(&self) -> usize {
+        match *self {
+            Arrival::Closed { clients } | Arrival::Open { clients, .. } => clients.max(1),
+        }
+    }
+}
+
+/// Replay configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// The request mix.
+    pub mix: WorkloadMix,
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Total requests to issue.
+    pub total: usize,
+    /// Fraction of requests (evenly interleaved) forced down the cold
+    /// (re-mining) path; in `[0, 1]`.
+    pub cold_fraction: f64,
+}
+
+/// What the replayer fires at.
+pub enum ReplayTarget<'a> {
+    /// Direct in-process solves (no HTTP, no admission control).
+    Session(&'a PrescriptionSession),
+    /// A running `faircap serve` instance.
+    Http {
+        /// Client bound to the server address.
+        client: ServeClient,
+        /// Session name to route to (the body's `session` field).
+        session: String,
+    },
+}
+
+/// The aggregated result of one replay run — one `BENCH_scale.json` row.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario row count (satellite of every benchmark entry).
+    pub rows: usize,
+    /// Scenario data seed.
+    pub seed: u64,
+    /// Mix name.
+    pub mix: String,
+    /// `closed` or `open`.
+    pub mode: String,
+    /// Worker count.
+    pub clients: usize,
+    /// Offered rate for open-loop runs.
+    pub rate_hz: Option<f64>,
+    /// Requests issued.
+    pub total: usize,
+    /// Requests forced down the cold path.
+    pub cold_requests: usize,
+    /// Wall-clock seconds of the whole replay.
+    pub wall_s: f64,
+    /// Completed requests per wall-clock second (any status).
+    pub throughput_rps: f64,
+    /// Mean latency of successful solves, milliseconds.
+    pub mean_ms: f64,
+    /// p50 latency of successful solves.
+    pub p50_ms: f64,
+    /// p90 latency of successful solves.
+    pub p90_ms: f64,
+    /// p99 latency of successful solves.
+    pub p99_ms: f64,
+    /// Max latency of successful solves.
+    pub max_ms: f64,
+    /// 2xx responses.
+    pub ok: usize,
+    /// Admission-control queue-full rejections.
+    pub rejected_429: usize,
+    /// Shutdown/unavailable rejections.
+    pub rejected_503: usize,
+    /// Solve timeouts.
+    pub timeout_504: usize,
+    /// Invalid-request rejections (400/422).
+    pub invalid: usize,
+    /// Everything else (5xx, transport errors).
+    pub failed_other: usize,
+    /// Estimate-cache hits over the run (session delta, or the server's
+    /// per-session counter delta).
+    pub cache_hits: u64,
+    /// Estimate-cache misses over the run.
+    pub cache_misses: u64,
+    /// Estimate-cache entries at the end of the run.
+    pub cache_entries: u64,
+    /// Estimate-cache evictions over the run.
+    pub cache_evictions: u64,
+}
+
+impl ReplayReport {
+    /// Render as one `BENCH_scale.json` entry.
+    pub fn to_json(&self) -> Json {
+        let num = |x: f64| Json::Num(x);
+        Json::Obj(vec![
+            ("benchmark".to_owned(), Json::Str("scale_replay".to_owned())),
+            ("scenario".to_owned(), Json::Str(self.scenario.clone())),
+            ("rows".to_owned(), num(self.rows as f64)),
+            ("seed".to_owned(), num(self.seed as f64)),
+            ("mix".to_owned(), Json::Str(self.mix.clone())),
+            ("mode".to_owned(), Json::Str(self.mode.clone())),
+            ("clients".to_owned(), num(self.clients as f64)),
+            (
+                "rate_hz".to_owned(),
+                self.rate_hz.map(Json::Num).unwrap_or(Json::Null),
+            ),
+            ("total".to_owned(), num(self.total as f64)),
+            ("cold_requests".to_owned(), num(self.cold_requests as f64)),
+            ("wall_s".to_owned(), num(self.wall_s)),
+            ("throughput_rps".to_owned(), num(self.throughput_rps)),
+            ("mean_ms".to_owned(), num(self.mean_ms)),
+            ("p50_ms".to_owned(), num(self.p50_ms)),
+            ("p90_ms".to_owned(), num(self.p90_ms)),
+            ("p99_ms".to_owned(), num(self.p99_ms)),
+            ("max_ms".to_owned(), num(self.max_ms)),
+            ("ok".to_owned(), num(self.ok as f64)),
+            ("rejected_429".to_owned(), num(self.rejected_429 as f64)),
+            ("rejected_503".to_owned(), num(self.rejected_503 as f64)),
+            ("timeout_504".to_owned(), num(self.timeout_504 as f64)),
+            ("invalid".to_owned(), num(self.invalid as f64)),
+            ("failed_other".to_owned(), num(self.failed_other as f64)),
+            ("cache_hits".to_owned(), num(self.cache_hits as f64)),
+            ("cache_misses".to_owned(), num(self.cache_misses as f64)),
+            ("cache_entries".to_owned(), num(self.cache_entries as f64)),
+            (
+                "cache_evictions".to_owned(),
+                num(self.cache_evictions as f64),
+            ),
+        ])
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} [{}/{}] {} req in {:.2}s = {:.1} req/s; p50 {:.1}ms p99 {:.1}ms; \
+             ok {} / 429 {} / 503 {} / 504 {} / invalid {} / other {}; \
+             cache {}h/{}m",
+            self.scenario,
+            self.mix,
+            self.mode,
+            self.total,
+            self.wall_s,
+            self.throughput_rps,
+            self.p50_ms,
+            self.p99_ms,
+            self.ok,
+            self.rejected_429,
+            self.rejected_503,
+            self.timeout_504,
+            self.invalid,
+            self.failed_other,
+            self.cache_hits,
+            self.cache_misses,
+        )
+    }
+}
+
+/// Whether request `idx` is a cold request under an evenly-interleaved
+/// `fraction` (the classic Bresenham spread: cold iff the running target
+/// count increments at `idx`).
+fn is_cold(idx: usize, fraction: f64) -> bool {
+    let fraction = fraction.clamp(0.0, 1.0);
+    (((idx + 1) as f64) * fraction).floor() > ((idx as f64) * fraction).floor()
+}
+
+/// Build request body `idx`: round-robin variant, cold-path perturbation,
+/// and (for HTTP targets) the `session` routing field.
+fn build_body(mix: &WorkloadMix, idx: usize, cold_fraction: f64, session: Option<&str>) -> String {
+    let variant = &mix.variants[idx % mix.variants.len()];
+    let mut fields = variant.fields.clone();
+    if is_cold(idx, cold_fraction) {
+        // A unique threshold is a unique grouping-cache key: the engine
+        // re-mines. The perturbation is ≤ 1e-6 relative, far below any
+        // support-count boundary at benchmark row counts.
+        let base = fields
+            .iter()
+            .find(|(k, _)| k == "apriori_threshold")
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap_or(0.1);
+        let jittered = base * (1.0 + (idx + 1) as f64 * 1e-12);
+        fields.retain(|(k, _)| k != "apriori_threshold");
+        fields.push(("apriori_threshold".to_owned(), Json::Num(jittered)));
+    }
+    if let Some(name) = session {
+        fields.insert(0, ("session".to_owned(), Json::Str(name.to_owned())));
+    }
+    Json::Obj(fields).render()
+}
+
+/// Issue one request and classify the outcome as an HTTP-style status
+/// (0 = transport failure).
+fn fire(target: &ReplayTarget<'_>, body: &str) -> u16 {
+    match target {
+        ReplayTarget::Session(session) => {
+            let request = Json::parse(body)
+                .map_err(faircap_core::Error::InvalidRequest)
+                .and_then(|json| solve_request_from_json(&json));
+            match request {
+                Ok(req) => match session.solve(&req) {
+                    Ok(_) => 200,
+                    Err(faircap_core::Error::InvalidRequest(_)) => 422,
+                    Err(_) => 500,
+                },
+                Err(_) => 422,
+            }
+        }
+        ReplayTarget::Http { client, .. } => match client.post_json("/v1/solve", body) {
+            Ok(response) => response.status,
+            Err(_) => 0,
+        },
+    }
+}
+
+/// Nearest-rank percentile of an ascending sample.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (sorted_ms.len() as f64 * p).ceil().max(1.0) as usize;
+    sorted_ms[rank.min(sorted_ms.len()) - 1]
+}
+
+/// Estimate-cache counters read before/after a run.
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheSnapshot {
+    hits: u64,
+    misses: u64,
+    entries: u64,
+    evictions: u64,
+}
+
+fn cache_snapshot(target: &ReplayTarget<'_>) -> CacheSnapshot {
+    match target {
+        ReplayTarget::Session(session) => {
+            let s = session.cache_stats();
+            CacheSnapshot {
+                hits: s.hits,
+                misses: s.misses,
+                entries: s.entries as u64,
+                evictions: s.evictions,
+            }
+        }
+        ReplayTarget::Http { client, session } => {
+            let counter = |doc: &Json, field: &str| {
+                doc.get_path(&format!("sessions.{session}.estimate_cache.{field}"))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0) as u64
+            };
+            match client.get("/v1/metrics") {
+                Ok(r) if r.status == 200 => match Json::parse(&r.body) {
+                    Ok(doc) => CacheSnapshot {
+                        hits: counter(&doc, "hits"),
+                        misses: counter(&doc, "misses"),
+                        entries: counter(&doc, "entries"),
+                        evictions: counter(&doc, "evictions"),
+                    },
+                    Err(_) => CacheSnapshot::default(),
+                },
+                _ => CacheSnapshot::default(),
+            }
+        }
+    }
+}
+
+/// Run a replay and aggregate the report. `scenario` stamps the report
+/// with the data's provenance (name, rows, seed) so every benchmark entry
+/// records what was measured.
+pub fn replay(
+    target: &ReplayTarget<'_>,
+    options: &ReplayOptions,
+    scenario: &ScenarioSpec,
+) -> Result<ReplayReport> {
+    assert!(
+        !options.mix.variants.is_empty(),
+        "a workload mix needs at least one variant"
+    );
+    let session_name = match target {
+        ReplayTarget::Session(_) => None,
+        ReplayTarget::Http { session, .. } => Some(session.as_str()),
+    };
+    let clients = options.arrival.clients();
+    let before = cache_snapshot(target);
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    let samples: Vec<(u16, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(u16, f64)> = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= options.total {
+                            break;
+                        }
+                        if let Arrival::Open { rate_hz, .. } = options.arrival {
+                            let due = Duration::from_secs_f64(idx as f64 / rate_hz.max(1e-9));
+                            let elapsed = started.elapsed();
+                            if due > elapsed {
+                                std::thread::sleep(due - elapsed);
+                            }
+                        }
+                        let body =
+                            build_body(&options.mix, idx, options.cold_fraction, session_name);
+                        let t0 = Instant::now();
+                        let status = fire(target, &body);
+                        local.push((status, t0.elapsed().as_secs_f64() * 1e3));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("replay worker panicked"))
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    let after = cache_snapshot(target);
+
+    let mut ok_latencies: Vec<f64> = samples
+        .iter()
+        .filter(|(status, _)| (200..300).contains(status))
+        .map(|&(_, ms)| ms)
+        .collect();
+    ok_latencies.sort_by(|a, b| a.total_cmp(b));
+    let count_status = |p: fn(u16) -> bool| samples.iter().filter(|(s, _)| p(*s)).count();
+    let (mode, rate_hz) = match options.arrival {
+        Arrival::Closed { .. } => ("closed".to_owned(), None),
+        Arrival::Open { rate_hz, .. } => ("open".to_owned(), Some(rate_hz)),
+    };
+    Ok(ReplayReport {
+        scenario: scenario.name.clone(),
+        rows: scenario.rows,
+        seed: scenario.seed,
+        mix: options.mix.name.clone(),
+        mode,
+        clients,
+        rate_hz,
+        total: options.total,
+        cold_requests: (0..options.total)
+            .filter(|&i| is_cold(i, options.cold_fraction))
+            .count(),
+        wall_s,
+        throughput_rps: if wall_s > 0.0 {
+            samples.len() as f64 / wall_s
+        } else {
+            0.0
+        },
+        mean_ms: if ok_latencies.is_empty() {
+            0.0
+        } else {
+            ok_latencies.iter().sum::<f64>() / ok_latencies.len() as f64
+        },
+        p50_ms: percentile(&ok_latencies, 0.50),
+        p90_ms: percentile(&ok_latencies, 0.90),
+        p99_ms: percentile(&ok_latencies, 0.99),
+        max_ms: ok_latencies.last().copied().unwrap_or(0.0),
+        ok: ok_latencies.len(),
+        rejected_429: count_status(|s| s == 429),
+        rejected_503: count_status(|s| s == 503),
+        timeout_504: count_status(|s| s == 504),
+        invalid: count_status(|s| s == 400 || s == 422),
+        failed_other: count_status(|s| s == 0 || (500..600).contains(&s) && s != 503 && s != 504),
+        cache_hits: after.hits.saturating_sub(before.hits),
+        cache_misses: after.misses.saturating_sub(before.misses),
+        cache_entries: after.entries,
+        cache_evictions: after.evictions.saturating_sub(before.evictions),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+
+    #[test]
+    fn presets_are_well_formed() {
+        for name in WorkloadMix::PRESETS {
+            let mix = WorkloadMix::preset(name, 1000.0).unwrap();
+            assert!(!mix.variants.is_empty(), "{name}");
+            for v in &mix.variants {
+                // Every variant must be a valid wire-schema body.
+                let body = Json::Obj(v.fields.clone()).render();
+                solve_request_from_json(&Json::parse(&body).unwrap())
+                    .unwrap_or_else(|e| panic!("{name}/{}: {e}", v.label));
+            }
+        }
+        assert!(WorkloadMix::preset("bogus", 1.0).is_none());
+        assert!(
+            WorkloadMix::preset("mixed", 1.0).unwrap().variants.len()
+                > WorkloadMix::preset("sweep", 1.0).unwrap().variants.len()
+        );
+    }
+
+    #[test]
+    fn cold_interleave_hits_the_exact_count() {
+        for (total, fraction) in [(10, 0.3), (100, 0.25), (7, 1.0), (9, 0.0)] {
+            let cold = (0..total).filter(|&i| is_cold(i, fraction)).count();
+            assert_eq!(cold, (total as f64 * fraction).round() as usize);
+        }
+        // Evenly spread, not front-loaded: no two adjacent colds at 0.5.
+        let colds: Vec<bool> = (0..10).map(|i| is_cold(i, 0.5)).collect();
+        assert!(!colds.windows(2).any(|w| w[0] && w[1]), "{colds:?}");
+    }
+
+    #[test]
+    fn cold_bodies_are_unique_and_warm_bodies_repeat() {
+        let mix = WorkloadMix::preset("steady", 1.0).unwrap();
+        let warm_a = build_body(&mix, 0, 0.0, None);
+        let warm_b = build_body(&mix, 1, 0.0, None);
+        assert_eq!(warm_a, warm_b);
+        let cold_a = build_body(&mix, 0, 1.0, None);
+        let cold_b = build_body(&mix, 1, 1.0, None);
+        assert_ne!(cold_a, cold_b);
+        assert!(cold_a.contains("apriori_threshold"), "{cold_a}");
+        // HTTP targets get the routing field first.
+        let routed = build_body(&mix, 0, 0.0, Some("syn"));
+        assert!(routed.starts_with(r#"{"session":"syn""#), "{routed}");
+    }
+
+    #[test]
+    fn percentiles_of_known_samples() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.5), 50.0);
+        assert_eq!(percentile(&xs, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn in_process_replay_produces_a_full_report() {
+        let spec = ScenarioSpec {
+            rows: 1_500,
+            ..Default::default()
+        };
+        let sc = generate(&spec).unwrap();
+        let session = sc.session().unwrap();
+        let options = ReplayOptions {
+            mix: WorkloadMix::preset("estimators", default_epsilon(&spec)).unwrap(),
+            arrival: Arrival::Closed { clients: 2 },
+            total: 8,
+            cold_fraction: 0.25,
+        };
+        let report = replay(&ReplayTarget::Session(&session), &options, &spec).unwrap();
+        assert_eq!(report.ok, 8, "{}", report.summary());
+        assert_eq!(report.total, 8);
+        assert_eq!(report.cold_requests, 2);
+        assert_eq!(report.rows, 1_500);
+        assert_eq!(report.seed, 7);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.p50_ms > 0.0 && report.p99_ms >= report.p50_ms);
+        assert!(
+            report.cache_misses > 0,
+            "estimator rotation must estimate: {}",
+            report.summary()
+        );
+        // The report row is valid JSON with the provenance fields.
+        let doc = Json::parse(&report.to_json().render()).unwrap();
+        assert_eq!(doc.get("rows").unwrap().as_f64(), Some(1_500.0));
+        assert_eq!(doc.get("seed").unwrap().as_f64(), Some(7.0));
+        assert_eq!(doc.get("benchmark").unwrap().as_str(), Some("scale_replay"));
+    }
+
+    #[test]
+    fn open_loop_paces_request_starts() {
+        let spec = ScenarioSpec {
+            rows: 800,
+            ..Default::default()
+        };
+        let sc = generate(&spec).unwrap();
+        let session = sc.session().unwrap();
+        let options = ReplayOptions {
+            mix: WorkloadMix::preset("steady", 1.0).unwrap(),
+            arrival: Arrival::Open {
+                clients: 2,
+                rate_hz: 50.0,
+            },
+            total: 6,
+            cold_fraction: 0.0,
+        };
+        let started = Instant::now();
+        let report = replay(&ReplayTarget::Session(&session), &options, &spec).unwrap();
+        // 6 requests at 50 Hz: the last start is scheduled at t = 100 ms.
+        assert!(started.elapsed() >= Duration::from_millis(100));
+        assert_eq!(report.mode, "open");
+        assert_eq!(report.rate_hz, Some(50.0));
+        assert_eq!(report.ok, 6);
+    }
+}

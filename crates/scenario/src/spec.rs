@@ -1,0 +1,460 @@
+//! Scenario specifications: the generator's knobs and the closed-form
+//! ground truth they imply.
+//!
+//! A [`ScenarioSpec`] fully determines a synthetic population. Every
+//! structural coefficient is derived from the spec *alone* (via the
+//! platform-stable FNV-1a hasher — never from the sampling RNG), so the
+//! planted ground-truth CATEs are closed-form functions of the spec and do
+//! not depend on the seed: two datasets drawn with different seeds estimate
+//! the *same* planted effects.
+//!
+//! # The structural model
+//!
+//! * **Stable attributes** `s0..s{stable-1}` — exogenous categoricals with
+//!   `cardinality` levels `v0..v{K-1}` and deterministic non-uniform level
+//!   weights. These play the paper's *immutable* role; the protected group
+//!   is `s0 = v0`.
+//! * **Flexible attributes** `f0..f{flexible-1}` — binary `no`/`yes`
+//!   treatments whose propensity is logistic in the stable parents. The
+//!   per-level propensity shift **shares a coefficient** with that level's
+//!   direct outcome effect, scaled by `confounding`: rows predisposed to
+//!   treatment are also predisposed to high outcomes, so an unadjusted
+//!   estimate is *guaranteed* biased while backdoor adjustment on the
+//!   stables recovers the truth.
+//! * **Outcome** — linear: a base, the stable levels' direct effects, one
+//!   planted additive effect per applied treatment, and Gaussian noise.
+//!   The planted effect is attenuated for protected rows by
+//!   `heterogeneity`, giving the protected/non-protected CATE gap the
+//!   fairness machinery exists to detect.
+
+use crate::error::{Result, ScenarioError};
+use faircap_table::{FnvHasher, Pattern, Value};
+
+/// Outcome intercept.
+pub const BASE_OUTCOME: f64 = 100.0;
+
+/// Scale of the stable levels' direct outcome effects (units of outcome).
+pub const DIRECT_SCALE: f64 = 20.0;
+
+/// Scale of the planted treatment effects (units of outcome).
+pub const EFFECT_BASE: f64 = 10.0;
+
+/// Relative weight of the idiosyncratic (non-outcome-correlated) part of
+/// the propensity shift.
+const CONF_IDIO: f64 = 0.35;
+
+/// Span of the per-treatment base propensity logit, keeping marginal
+/// treatment rates near 1/2 so both arms stay large.
+const PROPENSITY_SPAN: f64 = 0.25;
+
+/// A deterministic hash-derived coefficient in `[-1, 1)`, stable across
+/// platforms and toolchains (FNV-1a over little-endian feeds).
+fn unit(tag: &str, a: u64, b: u64) -> f64 {
+    let mut h = FnvHasher::new();
+    h.write_str_stable(tag);
+    h.write_u64_stable(a);
+    h.write_u64_stable(b);
+    ((h.finish64() >> 11) as f64) * (2.0 / (1u64 << 53) as f64) - 1.0
+}
+
+/// Like [`unit`] but in `[0, 1)`.
+fn unit01(tag: &str, a: u64, b: u64) -> f64 {
+    (unit(tag, a, b) + 1.0) / 2.0
+}
+
+/// The full configuration of a synthetic scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario (and dataset/session) name.
+    pub name: String,
+    /// Number of rows to sample (the paper-scale knob: 10⁵–10⁷).
+    pub rows: usize,
+    /// RNG seed; the sampled frame is bit-reproducible per `(spec, seed)`.
+    pub seed: u64,
+    /// Number of stable (immutable) attributes, ≥ 1.
+    pub stable: usize,
+    /// Number of flexible (mutable, binary) treatment attributes, ≥ 1.
+    pub flexible: usize,
+    /// Levels per stable attribute, ≥ 2.
+    pub cardinality: usize,
+    /// Confounding strength in `[0, 1]`: 0 randomizes treatment, 1 ties
+    /// propensity maximally to the stables' direct outcome effects.
+    pub confounding: f64,
+    /// Treatment-effect heterogeneity in `[0, 1]`: how strongly the
+    /// planted effect is attenuated for the protected group (0 = equal
+    /// effects, 1 = up to the full attenuation factor).
+    pub heterogeneity: f64,
+    /// Outcome noise standard deviation, ≥ 0.
+    pub noise: f64,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            name: "synthetic".to_owned(),
+            rows: 100_000,
+            seed: 7,
+            stable: 3,
+            flexible: 3,
+            cardinality: 3,
+            confounding: 0.6,
+            heterogeneity: 0.5,
+            noise: 10.0,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// The outcome attribute name.
+    pub const OUTCOME: &'static str = "outcome";
+
+    /// Reject out-of-range knobs with a message naming the offender.
+    pub fn validate(&self) -> Result<()> {
+        let bad = |msg: String| Err(ScenarioError::Spec(msg));
+        if self.name.is_empty() {
+            return bad("`name` must be non-empty".into());
+        }
+        if self.rows == 0 {
+            return bad("`rows` must be ≥ 1".into());
+        }
+        if self.stable == 0 {
+            return bad("`stable` must be ≥ 1 (the protected attribute lives there)".into());
+        }
+        if self.flexible == 0 {
+            return bad("`flexible` must be ≥ 1 (no treatments, nothing to prescribe)".into());
+        }
+        if self.cardinality < 2 {
+            return bad(format!(
+                "`cardinality` must be ≥ 2, got {}",
+                self.cardinality
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.confounding) {
+            return bad(format!(
+                "`confounding` must be in [0, 1], got {}",
+                self.confounding
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.heterogeneity) {
+            return bad(format!(
+                "`heterogeneity` must be in [0, 1], got {}",
+                self.heterogeneity
+            ));
+        }
+        if !(self.noise >= 0.0 && self.noise.is_finite()) {
+            return bad(format!("`noise` must be a finite ≥ 0, got {}", self.noise));
+        }
+        Ok(())
+    }
+
+    /// Name of stable attribute `j` (`s0`, `s1`, …).
+    pub fn stable_attr(&self, j: usize) -> String {
+        format!("s{j}")
+    }
+
+    /// Name of flexible attribute `i` (`f0`, `f1`, …).
+    pub fn flexible_attr(&self, i: usize) -> String {
+        format!("f{i}")
+    }
+
+    /// Name of categorical level `l` (`v0`, `v1`, …).
+    pub fn level(&self, l: usize) -> String {
+        format!("v{l}")
+    }
+
+    /// All stable attribute names in order.
+    pub fn stable_attrs(&self) -> Vec<String> {
+        (0..self.stable).map(|j| self.stable_attr(j)).collect()
+    }
+
+    /// All flexible attribute names in order.
+    pub fn flexible_attrs(&self) -> Vec<String> {
+        (0..self.flexible).map(|i| self.flexible_attr(i)).collect()
+    }
+
+    /// The protected-group pattern: `s0 = v0`.
+    pub fn protected_pattern(&self) -> Pattern {
+        Pattern::of_eq(&[("s0", Value::from("v0"))])
+    }
+
+    /// Sampling weight of level `l` of stable attribute `j` — deliberately
+    /// non-uniform (`1 + 0.5·((j+l) mod K)`) so subgroup sizes differ.
+    pub fn level_weight(&self, j: usize, l: usize) -> f64 {
+        1.0 + 0.5 * ((j + l) % self.cardinality) as f64
+    }
+
+    /// Exact population fraction of the protected group (`s0 = v0`).
+    pub fn protected_fraction(&self) -> f64 {
+        let total: f64 = (0..self.cardinality).map(|l| self.level_weight(0, l)).sum();
+        self.level_weight(0, 0) / total
+    }
+
+    /// The shared coefficient in `[-1, 1)` coupling level `(j, l)`'s direct
+    /// outcome effect to its treatment-propensity shift.
+    fn shared_coefficient(&self, j: usize, l: usize) -> f64 {
+        unit("stable", j as u64, l as u64)
+    }
+
+    /// Direct outcome effect of stable attribute `j` taking level `l`.
+    pub fn stable_outcome_shift(&self, j: usize, l: usize) -> f64 {
+        DIRECT_SCALE * self.shared_coefficient(j, l)
+    }
+
+    /// Propensity-logit shift of treatment `i` when stable attribute `j`
+    /// takes level `l`. Shares [`Self::stable_outcome_shift`]'s coefficient
+    /// (scaled by `confounding`) plus a small idiosyncratic term, so
+    /// treatment assignment is confounded with the outcome *by
+    /// construction* whenever `confounding > 0`.
+    pub fn confounding_shift(&self, i: usize, j: usize, l: usize) -> f64 {
+        self.confounding
+            * (self.shared_coefficient(j, l)
+                + CONF_IDIO * unit("conf", ((i as u64) << 32) | j as u64, l as u64))
+    }
+
+    /// Base propensity logit of treatment `i`.
+    pub fn treatment_base_logit(&self, i: usize) -> f64 {
+        PROPENSITY_SPAN * unit("treat-base", i as u64, 0)
+    }
+
+    /// The planted CATE of treatment `i` for a row: attenuated for the
+    /// protected group by `heterogeneity` times a per-treatment factor.
+    pub fn effect(&self, i: usize, protected: bool) -> f64 {
+        let base = EFFECT_BASE * (1.0 + 0.5 * (i % 5) as f64);
+        if protected {
+            let attenuation = 0.4 + 0.6 * unit01("het", i as u64, 0);
+            base * (1.0 - self.heterogeneity * attenuation)
+        } else {
+            base
+        }
+    }
+
+    /// The planted CATE of treatment `i` for a [`TruthGroup`]. For
+    /// [`TruthGroup::All`] this is the population-weighted mixture (the
+    /// ATE), since protected status is exogenous.
+    pub fn true_cate(&self, i: usize, group: TruthGroup) -> f64 {
+        match group {
+            TruthGroup::Protected => self.effect(i, true),
+            TruthGroup::NonProtected => self.effect(i, false),
+            TruthGroup::All => {
+                let p = self.protected_fraction();
+                p * self.effect(i, true) + (1.0 - p) * self.effect(i, false)
+            }
+        }
+    }
+
+    /// The full ground-truth table: one entry per flexible attribute per
+    /// group, emitted alongside every generated dataset.
+    pub fn ground_truth(&self) -> Vec<TruthEntry> {
+        let mut out = Vec::with_capacity(self.flexible * TruthGroup::ALL.len());
+        for i in 0..self.flexible {
+            for group in TruthGroup::ALL {
+                out.push(TruthEntry {
+                    treatment: self.flexible_attr(i),
+                    group,
+                    cate: self.true_cate(i, group),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// The subpopulation a ground-truth CATE refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruthGroup {
+    /// Protected rows (`s0 = v0`).
+    Protected,
+    /// The complement.
+    NonProtected,
+    /// The whole population.
+    All,
+}
+
+impl TruthGroup {
+    /// All three groups.
+    pub const ALL: [TruthGroup; 3] = [
+        TruthGroup::Protected,
+        TruthGroup::NonProtected,
+        TruthGroup::All,
+    ];
+
+    /// Stable wire name (`protected` / `non_protected` / `all`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TruthGroup::Protected => "protected",
+            TruthGroup::NonProtected => "non_protected",
+            TruthGroup::All => "all",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<TruthGroup> {
+        TruthGroup::ALL.into_iter().find(|g| g.name() == s)
+    }
+}
+
+/// One planted ground-truth effect: treatment attribute, subpopulation,
+/// and the exact CATE of flipping that treatment from `no` to `yes`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthEntry {
+    /// The flexible attribute.
+    pub treatment: String,
+    /// The subpopulation.
+    pub group: TruthGroup,
+    /// The exact planted conditional average treatment effect.
+    pub cate: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_validates() {
+        ScenarioSpec::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_knobs_name_the_offender() {
+        let cases: Vec<(ScenarioSpec, &str)> = vec![
+            (
+                ScenarioSpec {
+                    rows: 0,
+                    ..Default::default()
+                },
+                "rows",
+            ),
+            (
+                ScenarioSpec {
+                    stable: 0,
+                    ..Default::default()
+                },
+                "stable",
+            ),
+            (
+                ScenarioSpec {
+                    flexible: 0,
+                    ..Default::default()
+                },
+                "flexible",
+            ),
+            (
+                ScenarioSpec {
+                    cardinality: 1,
+                    ..Default::default()
+                },
+                "cardinality",
+            ),
+            (
+                ScenarioSpec {
+                    confounding: 1.5,
+                    ..Default::default()
+                },
+                "confounding",
+            ),
+            (
+                ScenarioSpec {
+                    heterogeneity: -0.1,
+                    ..Default::default()
+                },
+                "heterogeneity",
+            ),
+            (
+                ScenarioSpec {
+                    noise: f64::NAN,
+                    ..Default::default()
+                },
+                "noise",
+            ),
+        ];
+        for (spec, needle) in cases {
+            let err = spec.validate().unwrap_err().to_string();
+            assert!(err.contains(needle), "{needle}: {err}");
+        }
+    }
+
+    #[test]
+    fn coefficients_are_seed_independent_and_bounded() {
+        let a = ScenarioSpec::default();
+        let b = ScenarioSpec {
+            seed: 99,
+            rows: 17,
+            ..Default::default()
+        };
+        for j in 0..a.stable {
+            for l in 0..a.cardinality {
+                assert_eq!(a.stable_outcome_shift(j, l), b.stable_outcome_shift(j, l));
+                assert!(a.stable_outcome_shift(j, l).abs() <= DIRECT_SCALE);
+                for i in 0..a.flexible {
+                    assert_eq!(a.confounding_shift(i, j, l), b.confounding_shift(i, j, l));
+                }
+            }
+        }
+        assert_eq!(a.ground_truth(), b.ground_truth());
+    }
+
+    #[test]
+    fn confounding_zero_randomizes_treatment() {
+        let spec = ScenarioSpec {
+            confounding: 0.0,
+            ..Default::default()
+        };
+        for i in 0..spec.flexible {
+            for j in 0..spec.stable {
+                for l in 0..spec.cardinality {
+                    assert_eq!(spec.confounding_shift(i, j, l), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneity_attenuates_protected_effect() {
+        let spec = ScenarioSpec::default();
+        for i in 0..spec.flexible {
+            assert!(
+                spec.true_cate(i, TruthGroup::Protected)
+                    < spec.true_cate(i, TruthGroup::NonProtected),
+                "treatment {i}"
+            );
+            let all = spec.true_cate(i, TruthGroup::All);
+            assert!(
+                all > spec.true_cate(i, TruthGroup::Protected)
+                    && all < spec.true_cate(i, TruthGroup::NonProtected)
+            );
+        }
+        let flat = ScenarioSpec {
+            heterogeneity: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            flat.true_cate(0, TruthGroup::Protected),
+            flat.true_cate(0, TruthGroup::NonProtected)
+        );
+    }
+
+    #[test]
+    fn protected_fraction_matches_weights() {
+        let spec = ScenarioSpec::default();
+        // K = 3: weights 1.0, 1.5, 2.0 → v0 fraction = 1/4.5.
+        assert!((spec.protected_fraction() - 1.0 / 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truth_group_names_round_trip() {
+        for g in TruthGroup::ALL {
+            assert_eq!(TruthGroup::parse(g.name()), Some(g));
+        }
+        assert_eq!(TruthGroup::parse("bogus"), None);
+    }
+
+    #[test]
+    fn ground_truth_covers_every_treatment_and_group() {
+        let spec = ScenarioSpec::default();
+        let truth = spec.ground_truth();
+        assert_eq!(truth.len(), spec.flexible * 3);
+        assert!(truth
+            .iter()
+            .any(|t| t.treatment == "f2" && t.group == TruthGroup::All));
+    }
+}

@@ -1,18 +1,24 @@
 //! The `faircap` command-line tool: run Prescription Ruleset Selection on a
-//! CSV file with a user-supplied causal DAG, or serve it over HTTP.
+//! CSV file with a user-supplied causal DAG, serve it over HTTP, or run the
+//! synthetic-scale harness.
 //!
 //! ```sh
 //! cargo run --release --bin faircap -- --help          # one-shot solve
 //! cargo run --release --bin faircap -- serve --help    # HTTP front end
+//! cargo run --release --bin faircap -- gen --help      # scenario generator
+//! cargo run --release --bin faircap -- replay --help   # workload replayer
 //! ```
 //!
 //! Exit codes: 0 success, 2 configuration error (bad flags or inputs),
-//! 1 runtime error (a solve or the server failing after a valid start).
+//! 1 runtime error (a solve, the server, a recovery gate, or a replay
+//! failing after a valid start).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
+        Some("gen") => gen(&args[1..]),
+        Some("replay") => replay(&args[1..]),
         _ => solve(&args),
     }
 }
@@ -47,6 +53,28 @@ fn serve(args: &[String]) {
         Err(msg) => usage_exit(msg, faircap::cli::SERVE_USAGE),
     };
     if let Err(e) = faircap::cli::run_serve(&opts) {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn gen(args: &[String]) {
+    let opts = match faircap::cli::parse_gen_args(args) {
+        Ok(o) => o,
+        Err(msg) => usage_exit(msg, faircap::cli::GEN_USAGE),
+    };
+    if let Err(e) = faircap::cli::run_gen(&opts) {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn replay(args: &[String]) {
+    let opts = match faircap::cli::parse_replay_args(args) {
+        Ok(o) => o,
+        Err(msg) => usage_exit(msg, faircap::cli::REPLAY_USAGE),
+    };
+    if let Err(e) = faircap::cli::run_replay(&opts) {
         eprintln!("error: {e}");
         std::process::exit(e.exit_code());
     }

@@ -3,12 +3,18 @@
 //! Kept in the library so the parsing logic is unit-testable; the binary in
 //! `src/bin/faircap.rs` is a thin wrapper.
 //!
-//! Two subcommands share the same dataset flags:
+//! Four subcommands:
 //!
 //! * the default (no subcommand) runs one solve and prints the report;
 //! * `faircap serve …` boots the HTTP serving front end
 //!   ([`run_serve`], backed by `faircap-serve`) around a long-lived warm
-//!   session.
+//!   session;
+//! * `faircap gen …` samples a synthetic scenario with planted ground-truth
+//!   CATEs into a directory ([`run_gen`], backed by `faircap-scenario`),
+//!   optionally gating on estimator recovery (`--check`);
+//! * `faircap replay …` replays a workload mix against an in-process
+//!   session or a running `faircap serve`, appending the report to
+//!   `BENCH_scale.json` ([`run_replay`]).
 //!
 //! Failures are typed ([`CliError`]) so the binary can exit with distinct
 //! codes: **2** for configuration problems (bad flags, unreadable inputs,
@@ -21,6 +27,9 @@ use faircap_causal::{Dag, Estimator, EstimatorKind};
 use faircap_core::{
     CoverageConstraint, FairCap, FairCapConfig, FairnessConstraint, FairnessScope,
     PrescriptionSession, SessionRegistry, SessionSnapshot, SolutionReport, SolveRequest,
+};
+use faircap_scenario::{
+    Arrival, RecoveryOptions, ReplayOptions, ReplayTarget, ScenarioSpec, WorkloadMix,
 };
 use faircap_serve::{ServeConfig, Server};
 use faircap_table::{csv, DataFrame, Pattern, Predicate, Value};
@@ -46,6 +55,11 @@ pub enum CliError {
     /// back to a cold boot on snapshot problems *only* — never on broken
     /// data/DAG inputs.
     Snapshot(String),
+    /// The `faircap gen --check` recovery gate failed: an adjusted
+    /// estimator missed the planted truth, or the unadjusted estimate was
+    /// not provably biased. The generated data is still on disk; the gate
+    /// judged it. Exit code **1**.
+    Check(String),
 }
 
 impl CliError {
@@ -53,7 +67,7 @@ impl CliError {
     pub fn exit_code(&self) -> i32 {
         match self {
             CliError::Config(_) | CliError::Snapshot(_) => 2,
-            CliError::Runtime(_) | CliError::Io(_) => 1,
+            CliError::Runtime(_) | CliError::Io(_) | CliError::Check(_) => 1,
         }
     }
 }
@@ -61,7 +75,10 @@ impl CliError {
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CliError::Config(msg) | CliError::Io(msg) | CliError::Snapshot(msg) => f.write_str(msg),
+            CliError::Config(msg)
+            | CliError::Io(msg)
+            | CliError::Snapshot(msg)
+            | CliError::Check(msg) => f.write_str(msg),
             // The typed engine error renders itself; no re-wording here.
             CliError::Runtime(e) => write!(f, "{e}"),
         }
@@ -599,6 +616,406 @@ pub fn run_serve(opts: &ServeCliOptions) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parsed options of the `faircap gen` subcommand. The spec knobs default
+/// to [`ScenarioSpec::default`] so `faircap gen --out DIR` alone produces
+/// the standard benchmark scenario.
+#[derive(Debug, Clone)]
+pub struct GenCliOptions {
+    /// Output directory (`scenario.csv` / `scenario.dag` / `scenario.json`).
+    pub out: String,
+    /// The scenario spec assembled from the knob flags.
+    pub spec: ScenarioSpec,
+    /// Run the ground-truth recovery gate after generating.
+    pub check: bool,
+    /// Recovery gate: absolute error slack (outcome units).
+    pub check_tol: f64,
+    /// Recovery gate: additional slack in standard-error units.
+    pub check_z: f64,
+}
+
+/// Usage text of the `gen` subcommand.
+pub const GEN_USAGE: &str = "\
+faircap gen — sample a synthetic scenario with planted ground-truth CATEs
+
+USAGE:
+  faircap gen --out DIR [--rows 100000] [--seed 7] [--name synthetic] \\
+              [--stable 3] [--flexible 3] [--cardinality 3] \\
+              [--confounding 0.6] [--heterogeneity 0.5] [--noise 10] \\
+              [--check] [--check-tol 1.0] [--check-z 4.0]
+
+Samples `--rows` rows from a structural causal model with `--stable`
+immutable confounders (each `--cardinality` levels), `--flexible` binary
+treatments, and a continuous outcome; every coefficient is hash-derived
+from the spec, so the planted per-group CATEs are closed-form and the
+sampled frame is bit-reproducible per (spec, seed). Writes scenario.csv,
+scenario.dag (both directly usable as --data/--dag for `faircap solve` and
+`faircap serve`), and scenario.json (roles + truth table) into DIR.
+
+--check grades stratified/IPW/AIPW against the planted truth in every
+(treatment × group) cell (pass: |err| ≤ check-tol + check-z·se) and
+requires the unadjusted difference-in-means to be provably biased; any
+violation exits 1. Formats and semantics: docs/scenarios.md.";
+
+/// Parse `faircap gen` arguments (after the subcommand word).
+pub fn parse_gen_args(args: &[String]) -> Result<GenCliOptions, String> {
+    let mut opts = GenCliOptions {
+        out: String::new(),
+        spec: ScenarioSpec::default(),
+        check: false,
+        check_tol: 1.0,
+        check_z: 4.0,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(GEN_USAGE.to_owned());
+        }
+        if flag == "--check" {
+            opts.check = true;
+            continue;
+        }
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        let spec = &mut opts.spec;
+        match flag.as_str() {
+            "--out" => opts.out = value()?,
+            "--name" => spec.name = value()?,
+            "--rows" => spec.rows = value()?.parse().map_err(|e| format!("--rows: {e}"))?,
+            "--seed" => spec.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--stable" => spec.stable = value()?.parse().map_err(|e| format!("--stable: {e}"))?,
+            "--flexible" => {
+                spec.flexible = value()?.parse().map_err(|e| format!("--flexible: {e}"))?
+            }
+            "--cardinality" => {
+                spec.cardinality = value()?
+                    .parse()
+                    .map_err(|e| format!("--cardinality: {e}"))?
+            }
+            "--confounding" => {
+                spec.confounding = value()?
+                    .parse()
+                    .map_err(|e| format!("--confounding: {e}"))?
+            }
+            "--heterogeneity" => {
+                spec.heterogeneity = value()?
+                    .parse()
+                    .map_err(|e| format!("--heterogeneity: {e}"))?
+            }
+            "--noise" => spec.noise = value()?.parse().map_err(|e| format!("--noise: {e}"))?,
+            "--check-tol" => {
+                opts.check_tol = value()?.parse().map_err(|e| format!("--check-tol: {e}"))?
+            }
+            "--check-z" => {
+                opts.check_z = value()?.parse().map_err(|e| format!("--check-z: {e}"))?
+            }
+            other => return Err(format!("unknown flag `{other}`\n\n{GEN_USAGE}")),
+        }
+    }
+    if opts.out.is_empty() {
+        return Err(format!("--out is required\n\n{GEN_USAGE}"));
+    }
+    opts.spec
+        .validate()
+        .map_err(|e| format!("{e}\n\n{GEN_USAGE}"))?;
+    Ok(opts)
+}
+
+/// Generate a scenario directory, print its provenance (rows, seed,
+/// fingerprint) and truth table, and — with `--check` — gate on
+/// ground-truth recovery: every adjusted (estimator × treatment × group)
+/// cell must land within tolerance *and* the unadjusted estimate must be
+/// provably biased, or the run fails with [`CliError::Check`] (exit 1).
+pub fn run_gen(opts: &GenCliOptions) -> Result<(), CliError> {
+    let sc = faircap_scenario::generate(&opts.spec).map_err(|e| CliError::Config(e.to_string()))?;
+    let dir = std::path::Path::new(&opts.out);
+    faircap_scenario::save(&sc, dir)
+        .map_err(|e| CliError::Io(format!("writing {}: {e}", dir.display())))?;
+    println!(
+        "faircap-gen: {} ({} rows, seed {}) -> {} (fingerprint {:#018x})",
+        sc.spec.name,
+        sc.spec.rows,
+        sc.spec.seed,
+        dir.display(),
+        sc.fingerprint()
+    );
+    for t in &sc.truth {
+        println!(
+            "  truth {} [{}] = {:+.4}",
+            t.treatment,
+            t.group.name(),
+            t.cate
+        );
+    }
+    if !opts.check {
+        return Ok(());
+    }
+    let recovery_options = RecoveryOptions {
+        abs_tol: opts.check_tol,
+        z_tol: opts.check_z,
+        ..RecoveryOptions::default()
+    };
+    let checks = faircap_scenario::check_recovery(&sc, &recovery_options)
+        .map_err(|e| CliError::Check(e.to_string()))?;
+    let failed = checks.iter().filter(|c| !c.pass).count();
+    for c in &checks {
+        println!("  {c}");
+    }
+    let treatment = &sc.dataset.mutable[0];
+    let naive =
+        faircap_scenario::naive_bias(&sc, treatment).map_err(|e| CliError::Check(e.to_string()))?;
+    let biased = naive.biased(opts.check_tol, opts.check_z);
+    println!(
+        "  {} naive difference-in-means on {}: {naive}",
+        if biased {
+            "BIASED (expected)"
+        } else {
+            "UNBIASED"
+        },
+        treatment
+    );
+    if failed > 0 {
+        return Err(CliError::Check(format!(
+            "recovery gate: {failed} of {} cells out of tolerance",
+            checks.len()
+        )));
+    }
+    if !biased {
+        return Err(CliError::Check(
+            "recovery gate: the unadjusted estimate is not provably biased — \
+             the scenario's confounding has no teeth at this size"
+                .into(),
+        ));
+    }
+    println!(
+        "  recovery gate: all {} cells within tolerance",
+        checks.len()
+    );
+    Ok(())
+}
+
+/// Parsed options of the `faircap replay` subcommand.
+#[derive(Debug, Clone)]
+pub struct ReplayCliOptions {
+    /// Scenario directory written by `faircap gen`.
+    pub scenario: String,
+    /// Target server address; `None` replays against an in-process session.
+    pub addr: Option<String>,
+    /// Session name requests route to (HTTP targets).
+    pub session: String,
+    /// Workload mix preset name.
+    pub mix: String,
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Concurrent client workers.
+    pub clients: usize,
+    /// Open-loop arrival rate in requests/second; `None` = closed loop.
+    pub rate_hz: Option<f64>,
+    /// Fraction of requests forced down the cold (re-mining) path.
+    pub cold_fraction: f64,
+    /// Statistical-parity epsilon for the sweep variants; `None` scales it
+    /// from the scenario's planted utility gap.
+    pub epsilon: Option<f64>,
+    /// Append the report row to this JSON file.
+    pub out: Option<String>,
+    /// Ask the target server to shut down gracefully after the replay.
+    pub shutdown: bool,
+}
+
+/// Usage text of the `replay` subcommand.
+pub const REPLAY_USAGE: &str = "\
+faircap replay — drive a solve workload against a scenario
+
+USAGE:
+  faircap replay --scenario DIR [--addr HOST:PORT] [--session default] \\
+                 [--mix mixed] [--requests 64] [--clients 4] [--rate HZ] \\
+                 [--cold-fraction 0.25] [--epsilon E] \\
+                 [--out BENCH_scale.json] [--shutdown]
+
+Loads the scenario directory written by `faircap gen` and replays a solve
+mix against it: in-process by default, or over HTTP against a running
+`faircap serve` when --addr is given (requests carry `session: --session`).
+Mixes: steady | sweep | estimators | mixed (constraint sweep + estimator
+rotation). --rate switches from a closed loop (--clients workers
+back-to-back) to an open loop pacing request starts at HZ/second.
+--cold-fraction interleaves requests that force grouping re-mining.
+
+The report — throughput, latency percentiles, 429/503/504 counts,
+estimate-cache counters, and the scenario's rows+seed — is printed and,
+with --out, appended to the JSON array in that file. --shutdown posts
+/v1/shutdown after the run so CI can tear the server down. Details:
+docs/scenarios.md.";
+
+/// Parse `faircap replay` arguments (after the subcommand word).
+pub fn parse_replay_args(args: &[String]) -> Result<ReplayCliOptions, String> {
+    let mut opts = ReplayCliOptions {
+        scenario: String::new(),
+        addr: None,
+        session: "default".into(),
+        mix: "mixed".into(),
+        requests: 64,
+        clients: 4,
+        rate_hz: None,
+        cold_fraction: 0.25,
+        epsilon: None,
+        out: None,
+        shutdown: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(REPLAY_USAGE.to_owned());
+        }
+        if flag == "--shutdown" {
+            opts.shutdown = true;
+            continue;
+        }
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--scenario" => opts.scenario = value()?,
+            "--addr" => opts.addr = Some(value()?),
+            "--session" => opts.session = value()?,
+            "--mix" => opts.mix = value()?,
+            "--requests" => {
+                opts.requests = value()?.parse().map_err(|e| format!("--requests: {e}"))?
+            }
+            "--clients" => {
+                opts.clients = value()?.parse().map_err(|e| format!("--clients: {e}"))?
+            }
+            "--rate" => opts.rate_hz = Some(value()?.parse().map_err(|e| format!("--rate: {e}"))?),
+            "--cold-fraction" => {
+                opts.cold_fraction = value()?
+                    .parse()
+                    .map_err(|e| format!("--cold-fraction: {e}"))?
+            }
+            "--epsilon" => {
+                opts.epsilon = Some(value()?.parse().map_err(|e| format!("--epsilon: {e}"))?)
+            }
+            "--out" => opts.out = Some(value()?),
+            other => return Err(format!("unknown flag `{other}`\n\n{REPLAY_USAGE}")),
+        }
+    }
+    if opts.scenario.is_empty() {
+        return Err(format!("--scenario is required\n\n{REPLAY_USAGE}"));
+    }
+    if !WorkloadMix::PRESETS.contains(&opts.mix.as_str()) {
+        return Err(format!(
+            "unknown mix `{}` (expected one of: {})\n\n{REPLAY_USAGE}",
+            opts.mix,
+            WorkloadMix::PRESETS.join(", ")
+        ));
+    }
+    if opts.requests == 0 || opts.clients == 0 {
+        return Err("--requests and --clients must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&opts.cold_fraction) {
+        return Err("--cold-fraction must be in [0, 1]".into());
+    }
+    if opts.shutdown && opts.addr.is_none() {
+        return Err("--shutdown needs --addr (there is no server to stop in-process)".into());
+    }
+    Ok(opts)
+}
+
+/// Append one report row to the JSON array in `path` (created as a
+/// one-element array when the file is missing or empty).
+fn append_bench_entry(path: &str, entry: faircap_core::Json) -> Result<(), CliError> {
+    use faircap_core::Json;
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) if !text.trim().is_empty() => match Json::parse(&text) {
+            Ok(Json::Arr(items)) => items,
+            // A single-object file (older writers) becomes the first entry.
+            Ok(other) => vec![other],
+            Err(e) => return Err(CliError::Io(format!("parsing {path}: {e}"))),
+        },
+        _ => Vec::new(),
+    };
+    entries.push(entry);
+    std::fs::write(path, Json::Arr(entries).render() + "\n")
+        .map_err(|e| CliError::Io(format!("writing {path}: {e}")))
+}
+
+/// Load the scenario, run the replay, print the summary, and append the
+/// report row to `--out`. A run in which **no** request succeeded fails
+/// with [`CliError::Io`] — a misrouted session name or a dead server must
+/// not pass CI as a "successful" benchmark.
+pub fn run_replay(opts: &ReplayCliOptions) -> Result<(), CliError> {
+    let dir = std::path::Path::new(&opts.scenario);
+    let sc = faircap_scenario::load(dir)
+        .map_err(|e| CliError::Config(format!("loading scenario {}: {e}", dir.display())))?;
+    let epsilon = opts
+        .epsilon
+        .unwrap_or_else(|| faircap_scenario::default_epsilon(&sc.spec));
+    let mix = WorkloadMix::preset(&opts.mix, epsilon)
+        .expect("parse_replay_args validated the preset name");
+    let arrival = match opts.rate_hz {
+        Some(rate_hz) => Arrival::Open {
+            clients: opts.clients,
+            rate_hz,
+        },
+        None => Arrival::Closed {
+            clients: opts.clients,
+        },
+    };
+    let replay_options = ReplayOptions {
+        mix,
+        arrival,
+        total: opts.requests,
+        cold_fraction: opts.cold_fraction,
+    };
+    let client = match &opts.addr {
+        Some(addr) => {
+            let addr: std::net::SocketAddr = addr
+                .parse()
+                .map_err(|e| CliError::Config(format!("--addr {addr}: {e}")))?;
+            let client = faircap_serve::ServeClient::new(addr);
+            client
+                .wait_ready(Duration::from_secs(30))
+                .map_err(|e| CliError::Io(format!("server {addr} not ready: {e}")))?;
+            Some(client)
+        }
+        None => None,
+    };
+    let report = match &client {
+        Some(client) => {
+            let target = ReplayTarget::Http {
+                client: client.clone(),
+                session: opts.session.clone(),
+            };
+            faircap_scenario::replay(&target, &replay_options, &sc.spec)
+        }
+        None => {
+            let session = sc.session().map_err(|e| CliError::Config(e.to_string()))?;
+            faircap_scenario::replay(&ReplayTarget::Session(&session), &replay_options, &sc.spec)
+        }
+    }
+    .map_err(|e| CliError::Io(e.to_string()))?;
+    println!("faircap-replay: {}", report.summary());
+    if let Some(path) = &opts.out {
+        append_bench_entry(path, report.to_json())?;
+        println!("faircap-replay: appended to {path}");
+    }
+    if let (true, Some(client)) = (opts.shutdown, &client) {
+        client
+            .post_json("/v1/shutdown", "{}")
+            .map_err(|e| CliError::Io(format!("shutdown request: {e}")))?;
+        println!("faircap-replay: requested server shutdown");
+    }
+    if report.ok == 0 {
+        return Err(CliError::Io(format!(
+            "no request succeeded ({})",
+            report.summary()
+        )));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -829,6 +1246,102 @@ mod tests {
         assert!(parse_serve_args(&args("--help"))
             .unwrap_err()
             .contains("serve"));
+    }
+
+    #[test]
+    fn gen_args_parse_and_validate() {
+        let opts = parse_gen_args(&args(
+            "--out /tmp/sc --rows 5000 --seed 11 --name big --stable 4 \
+             --flexible 2 --cardinality 5 --confounding 0.8 \
+             --heterogeneity 0.2 --noise 4.5 --check --check-tol 0.5 --check-z 3",
+        ))
+        .unwrap();
+        assert_eq!(opts.out, "/tmp/sc");
+        assert_eq!(opts.spec.rows, 5000);
+        assert_eq!(opts.spec.seed, 11);
+        assert_eq!(opts.spec.stable, 4);
+        assert_eq!(opts.spec.confounding, 0.8);
+        assert!(opts.check);
+        assert_eq!(opts.check_tol, 0.5);
+        // Defaults are the standard spec, check off.
+        let opts = parse_gen_args(&args("--out d")).unwrap();
+        assert_eq!(opts.spec, ScenarioSpec::default());
+        assert!(!opts.check);
+        // Required flag, bad knobs, unknown flags.
+        assert!(parse_gen_args(&args("--rows 10")).is_err());
+        assert!(parse_gen_args(&args("--out d --cardinality 1")).is_err());
+        assert!(parse_gen_args(&args("--out d --bogus x")).is_err());
+        assert!(parse_gen_args(&args("--help")).unwrap_err().contains("gen"));
+    }
+
+    #[test]
+    fn replay_args_parse_and_validate() {
+        let opts = parse_replay_args(&args(
+            "--scenario d --addr 127.0.0.1:7341 --session syn --mix sweep \
+             --requests 32 --clients 2 --rate 10 --cold-fraction 0.5 \
+             --epsilon 99 --out BENCH_scale.json --shutdown",
+        ))
+        .unwrap();
+        assert_eq!(opts.addr.as_deref(), Some("127.0.0.1:7341"));
+        assert_eq!(opts.session, "syn");
+        assert_eq!(opts.mix, "sweep");
+        assert_eq!(opts.rate_hz, Some(10.0));
+        assert_eq!(opts.epsilon, Some(99.0));
+        assert!(opts.shutdown);
+        // Defaults: in-process, closed loop, mixed mix.
+        let opts = parse_replay_args(&args("--scenario d")).unwrap();
+        assert!(opts.addr.is_none() && opts.rate_hz.is_none());
+        assert_eq!(opts.mix, "mixed");
+        assert_eq!(opts.cold_fraction, 0.25);
+        // Rejections.
+        assert!(parse_replay_args(&args("--mix steady")).is_err()); // no --scenario
+        assert!(parse_replay_args(&args("--scenario d --mix bogus")).is_err());
+        assert!(parse_replay_args(&args("--scenario d --requests 0")).is_err());
+        assert!(parse_replay_args(&args("--scenario d --cold-fraction 1.5")).is_err());
+        // --shutdown without a server makes no sense.
+        assert!(parse_replay_args(&args("--scenario d --shutdown")).is_err());
+    }
+
+    #[test]
+    fn gen_then_replay_in_process_end_to_end() {
+        let dir = std::env::temp_dir().join("faircap_cli_gen_replay_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let gen = parse_gen_args(&args(&format!(
+            "--out {} --rows 1500 --seed 7 --name cli-e2e",
+            dir.display()
+        )))
+        .unwrap();
+        run_gen(&gen).unwrap();
+        assert!(dir.join("scenario.csv").exists());
+        assert!(dir.join("scenario.dag").exists());
+        assert!(dir.join("scenario.json").exists());
+        // The generated CSV+DAG feed the plain solve path directly.
+        let solve = parse_args(&args(&format!(
+            "--data {0}/scenario.csv --dag {0}/scenario.dag --outcome outcome \
+             --mutable f0,f1,f2 --protected s0=v0 --max-rules 3",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(execute(&solve).unwrap().size() > 0);
+        // Replay in-process and append two report rows to the bench file.
+        let bench = dir.join("BENCH_scale.json");
+        let replay = parse_replay_args(&args(&format!(
+            "--scenario {} --mix steady --requests 4 --clients 2 --out {}",
+            dir.display(),
+            bench.display()
+        )))
+        .unwrap();
+        run_replay(&replay).unwrap();
+        run_replay(&replay).unwrap();
+        let doc = faircap_core::Json::parse(&std::fs::read_to_string(&bench).unwrap()).unwrap();
+        let entries = doc.as_arr().expect("bench file is a JSON array");
+        assert_eq!(entries.len(), 2, "each run appends one row");
+        assert_eq!(entries[0].get("rows").unwrap().as_f64(), Some(1500.0));
+        assert_eq!(entries[0].get("seed").unwrap().as_f64(), Some(7.0));
+        // A missing scenario directory is a config error (exit 2).
+        let broken = parse_replay_args(&args("--scenario /no/such/dir")).unwrap();
+        let err = run_replay(&broken).unwrap_err();
+        assert!(matches!(err, CliError::Config(_)), "{err}");
     }
 
     #[test]

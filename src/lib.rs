@@ -88,6 +88,9 @@
 //! * [`baselines`] — CauSumX / IDS / FRL and the IF-clause adaptations
 //!   (session-based entry points).
 //! * [`data`] — synthetic Stack Overflow and German Credit stand-ins.
+//! * [`scenario`] — SCM-driven scenario generation with planted
+//!   ground-truth CATEs and the closed/open-loop workload replayer
+//!   (`faircap gen` / `faircap replay`; see `docs/scenarios.md`).
 //!
 //! See the [README](https://github.com/faircap/faircap-rs), the estimator
 //! guide in `docs/estimators.md`, the build notes in `docs/building.md`,
@@ -103,6 +106,7 @@ pub use faircap_causal as causal;
 pub use faircap_core as core;
 pub use faircap_data as data;
 pub use faircap_mining as mining;
+pub use faircap_scenario as scenario;
 pub use faircap_serve as serve;
 pub use faircap_table as table;
 
