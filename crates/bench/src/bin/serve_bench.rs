@@ -2,82 +2,126 @@
 //! `faircap-serve` front end, recorded machine-readably.
 //!
 //! Boots an in-process server over the German-credit session, warms the
-//! caches with one solve, then drives a closed-loop load phase — N client
-//! threads issuing `POST /v1/solve` back-to-back through
-//! `faircap_serve::ServeClient` — and reports p50/p90/p99 latency and
-//! throughput. Results go to stdout
-//! *and* to `BENCH_serve.json` (CWD, or the directory given as the first
-//! argument) so CI can archive the trend.
+//! caches with one solve, then drives three closed-loop phases:
+//!
+//! 1. **per_conn** — one fresh connection per request (the v1
+//!    thread-per-connection client model), the historical baseline;
+//! 2. **keepalive** — the same workload over persistent keep-alive
+//!    connections, one per client thread (the acceptance number: ≥5× the
+//!    v1 ~18 req/s);
+//! 3. **coalesce** — a duplicate-heavy mix (16 clients sharing 4 distinct
+//!    request bodies) where in-flight coalescing folds identical solves;
+//!    the phase entry records the observed coalesce hits.
+//!
+//! Results go to stdout *and* to `BENCH_serve.json` (CWD, or the
+//! directory given as the first argument) so CI can archive the trend.
+//! With `--gate BASELINE.json`, the run compares its keep-alive
+//! throughput against the committed baseline's and exits 1 on a >20%
+//! regression.
 //!
 //! ```sh
-//! cargo run --release -p faircap-bench --bin serve_bench [-- OUT_DIR]
+//! cargo run --release -p faircap-bench --bin serve_bench [-- OUT_DIR] [--gate BASELINE.json]
 //! ```
 
 use faircap_bench::session_of;
 use faircap_core::{Json, SessionRegistry};
-use faircap_serve::{ServeConfig, Server};
+use faircap_serve::{ServeClient, ServeConfig, Server};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Client threads in the measured phase.
+/// Client threads in the per_conn and keepalive phases.
 const CONCURRENCY: usize = 8;
-/// Requests per client thread.
+/// Requests per client thread in the per_conn and keepalive phases.
 const REQUESTS_PER_CLIENT: usize = 25;
+/// Client threads in the duplicate-heavy coalescing phase.
+const COALESCE_CLIENTS: usize = 16;
+/// Requests per client thread in the coalescing phase.
+const COALESCE_REQUESTS: usize = 25;
+/// Distinct request bodies shared across the coalescing phase's clients.
+const COALESCE_DISTINCT: usize = 4;
 /// Data seed for the benchmark dataset, recorded in every result entry.
 const SEED: u64 = 42;
+/// Relative keep-alive throughput drop vs. the baseline that fails the gate.
+const GATE_MAX_REGRESSION: f64 = 0.20;
 
 fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
     let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
     sorted[idx]
 }
 
-fn main() {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
-    let ds = faircap_data::german::generate(faircap_data::german::GERMAN_DEFAULT_ROWS, SEED);
-    let rows = ds.df.n_rows();
-    let session = session_of(&ds).expect("german dataset is well-formed");
-    let registry = Arc::new(SessionRegistry::new());
-    registry.register("german", session);
+struct PhaseResult {
+    phase: &'static str,
+    clients: usize,
+    completed: usize,
+    wall: Duration,
+    throughput: f64,
+    mean: f64,
+    p50: f64,
+    p90: f64,
+    p99: f64,
+    max: f64,
+    coalesce_hits: Option<u64>,
+}
 
-    let server = Server::start(
-        ServeConfig {
-            max_concurrent_solves: CONCURRENCY,
-            solve_queue_depth: CONCURRENCY * 4,
-            ..ServeConfig::default()
-        },
-        registry,
-    )
-    .expect("binding an ephemeral port");
-    let client = server.client();
-    client
-        .wait_ready(Duration::from_secs(30))
-        .expect("server boots");
+impl PhaseResult {
+    fn to_json(&self) -> Json {
+        let num = Json::Num;
+        let mut fields: Vec<(String, Json)> = [
+            ("phase", Json::Str(self.phase.into())),
+            ("concurrency", num(self.clients as f64)),
+            ("requests", num(self.completed as f64)),
+            ("wall_s", num(self.wall.as_secs_f64())),
+            ("throughput_rps", num(self.throughput)),
+            ("mean_ms", num(self.mean)),
+            ("p50_ms", num(self.p50)),
+            ("p90_ms", num(self.p90)),
+            ("p99_ms", num(self.p99)),
+            ("max_ms", num(self.max)),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect();
+        if let Some(hits) = self.coalesce_hits {
+            fields.push(("coalesce_hits".to_owned(), num(hits as f64)));
+        }
+        Json::Obj(fields)
+    }
+}
 
-    // Warm-up: the first solve pays full estimation; the measured phase is
-    // the serving steady state (cache-hit solves), which is what a
-    // production front end actually serves per request.
-    let warm = client
-        .post_json("/v1/solve", r#"{"max_rules": 5}"#)
-        .expect("warm-up request");
-    assert_eq!(warm.status, 200, "warm-up failed: {}", warm.body);
-    println!(
-        "serve_bench: german ({rows} rows) warmed, measuring {} requests × {} clients",
-        REQUESTS_PER_CLIENT, CONCURRENCY
-    );
-
+/// Drive one closed-loop phase: `clients` threads × `requests` solves
+/// each, body chosen per (client, request). `keepalive` reuses one
+/// connection per client; otherwise every request opens a fresh one.
+fn run_phase(
+    phase: &'static str,
+    client: &ServeClient,
+    clients: usize,
+    requests: usize,
+    keepalive: bool,
+    body_of: impl Fn(usize, usize) -> String + Sync,
+) -> PhaseResult {
     let started = Instant::now();
     let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..CONCURRENCY)
-            .map(|_| {
+        let body_of = &body_of;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
                 let client = client.clone();
                 scope.spawn(move || {
-                    let mut local = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                    let mut conn = if keepalive {
+                        Some(client.connect().expect("keep-alive connect"))
+                    } else {
+                        None
+                    };
+                    let mut local = Vec::with_capacity(requests);
                     let mut rejected = 0u64;
-                    for _ in 0..REQUESTS_PER_CLIENT {
+                    for r in 0..requests {
+                        let body = body_of(c, r);
                         let t0 = Instant::now();
-                        let response = client
-                            .post_json("/v1/solve", r#"{"max_rules": 5}"#)
-                            .expect("bench request");
+                        let response = match &mut conn {
+                            Some(conn) => conn
+                                .request("POST", "/v1/solve", Some(&body))
+                                .expect("bench request"),
+                            None => client.post_json("/v1/solve", &body).expect("bench request"),
+                        };
                         match response.status {
                             200 => local.push(t0.elapsed().as_secs_f64() * 1e3),
                             429 => rejected += 1,
@@ -99,23 +143,130 @@ fn main() {
     });
     let wall = started.elapsed();
     latencies_ms.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-
     let completed = latencies_ms.len();
-    let throughput = completed as f64 / wall.as_secs_f64();
-    let mean = latencies_ms.iter().sum::<f64>() / completed as f64;
-    let (p50, p90, p99) = (
-        percentile_ms(&latencies_ms, 0.50),
-        percentile_ms(&latencies_ms, 0.90),
-        percentile_ms(&latencies_ms, 0.99),
-    );
-    let max = *latencies_ms.last().expect("non-empty");
-
+    let result = PhaseResult {
+        phase,
+        clients,
+        completed,
+        wall,
+        throughput: completed as f64 / wall.as_secs_f64(),
+        mean: latencies_ms.iter().sum::<f64>() / completed as f64,
+        p50: percentile_ms(&latencies_ms, 0.50),
+        p90: percentile_ms(&latencies_ms, 0.90),
+        p99: percentile_ms(&latencies_ms, 0.99),
+        max: *latencies_ms.last().expect("non-empty"),
+        coalesce_hits: None,
+    };
     println!(
-        "serve_bench: {completed} solves in {wall:.2?} → {throughput:.1} req/s \
-         (p50 {p50:.2} ms, p90 {p90:.2} ms, p99 {p99:.2} ms, max {max:.2} ms)"
+        "serve_bench[{phase}]: {completed} solves in {:.2?} → {:.1} req/s \
+         (p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms, max {:.2} ms)",
+        result.wall, result.throughput, result.p50, result.p90, result.p99, result.max
+    );
+    result
+}
+
+/// Read `requests.coalesce_hits` off `/v1/metrics`.
+fn coalesce_hits(client: &ServeClient) -> u64 {
+    let metrics = client.get("/v1/metrics").expect("metrics request");
+    let doc = Json::parse(&metrics.body).expect("metrics JSON");
+    match doc.get("requests").and_then(|r| r.get("coalesce_hits")) {
+        Some(Json::Num(n)) => *n as u64,
+        _ => 0,
+    }
+}
+
+/// The committed baseline's keep-alive throughput, if the file parses.
+fn baseline_keepalive_rps(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = Json::parse(&text).ok()?;
+    let Json::Arr(phases) = doc.get("phases")? else {
+        return None;
+    };
+    phases
+        .iter()
+        .find_map(|p| match (p.get("phase"), p.get("throughput_rps")) {
+            (Some(Json::Str(name)), Some(Json::Num(rps))) if name == "keepalive" => Some(*rps),
+            _ => None,
+        })
+}
+
+fn main() {
+    let mut out_dir = ".".to_owned();
+    let mut gate: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--gate" {
+            gate = Some(args.next().expect("--gate needs a baseline path"));
+        } else {
+            out_dir = arg;
+        }
+    }
+
+    let ds = faircap_data::german::generate(faircap_data::german::GERMAN_DEFAULT_ROWS, SEED);
+    let rows = ds.df.n_rows();
+    let session = session_of(&ds).expect("german dataset is well-formed");
+    let registry = Arc::new(SessionRegistry::new());
+    registry.register("german", session);
+
+    let server = Server::start(
+        ServeConfig {
+            max_concurrent_solves: CONCURRENCY,
+            solve_queue_depth: COALESCE_CLIENTS * 4,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .expect("binding an ephemeral port");
+    let client = server.client();
+    client
+        .wait_ready(Duration::from_secs(30))
+        .expect("server boots");
+
+    // Warm-up: the first solve pays full estimation; the measured phases
+    // are the serving steady state (cache-hit solves), which is what a
+    // production front end actually serves per request.
+    let warm = client
+        .post_json("/v1/solve", r#"{"max_rules": 5}"#)
+        .expect("warm-up request");
+    assert_eq!(warm.status, 200, "warm-up failed: {}", warm.body);
+    println!("serve_bench: german ({rows} rows) warmed");
+
+    let warm_body = |_c: usize, _r: usize| r#"{"max_rules": 5}"#.to_owned();
+    let per_conn = run_phase(
+        "per_conn",
+        &client,
+        CONCURRENCY,
+        REQUESTS_PER_CLIENT,
+        false,
+        warm_body,
+    );
+    let keepalive = run_phase(
+        "keepalive",
+        &client,
+        CONCURRENCY,
+        REQUESTS_PER_CLIENT,
+        true,
+        warm_body,
     );
 
-    let num = |v: f64| Json::Num(v);
+    // Duplicate-heavy mix: 16 clients share 4 distinct bodies, so at any
+    // instant ~4 clients race on each body and coalescing folds them.
+    let hits_before = coalesce_hits(&client);
+    let mut coalesce = run_phase(
+        "coalesce",
+        &client,
+        COALESCE_CLIENTS,
+        COALESCE_REQUESTS,
+        true,
+        |c: usize, _r: usize| format!(r#"{{"max_rules": {}}}"#, 3 + (c % COALESCE_DISTINCT)),
+    );
+    coalesce.coalesce_hits = Some(coalesce_hits(&client).saturating_sub(hits_before));
+    println!(
+        "serve_bench[coalesce]: {} requests folded into running solves",
+        coalesce.coalesce_hits.unwrap_or(0)
+    );
+
+    let num = Json::Num;
     let doc = Json::Obj(
         [
             ("benchmark", Json::Str("serve".into())),
@@ -123,15 +274,14 @@ fn main() {
             ("rows", num(rows as f64)),
             ("seed", num(SEED as f64)),
             ("warm", Json::Bool(true)),
-            ("concurrency", num(CONCURRENCY as f64)),
-            ("requests", num(completed as f64)),
-            ("wall_s", num(wall.as_secs_f64())),
-            ("throughput_rps", num(throughput)),
-            ("mean_ms", num(mean)),
-            ("p50_ms", num(p50)),
-            ("p90_ms", num(p90)),
-            ("p99_ms", num(p99)),
-            ("max_ms", num(max)),
+            (
+                "phases",
+                Json::Arr(vec![
+                    per_conn.to_json(),
+                    keepalive.to_json(),
+                    coalesce.to_json(),
+                ]),
+            ),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_owned(), v))
@@ -141,4 +291,31 @@ fn main() {
     std::fs::write(&path, doc.render()).expect("writing BENCH_serve.json");
     println!("serve_bench: wrote {}", path.display());
     server.shutdown();
+
+    if let Some(gate_path) = gate {
+        match baseline_keepalive_rps(&gate_path) {
+            Some(baseline) => {
+                let floor = baseline * (1.0 - GATE_MAX_REGRESSION);
+                println!(
+                    "serve_bench: gate — keepalive {:.1} req/s vs baseline {:.1} req/s (floor {:.1})",
+                    keepalive.throughput, baseline, floor
+                );
+                if keepalive.throughput < floor {
+                    eprintln!(
+                        "serve_bench: FAIL — keep-alive throughput regressed more than {:.0}%",
+                        GATE_MAX_REGRESSION * 100.0
+                    );
+                    std::process::exit(1);
+                }
+            }
+            None => {
+                // A missing or pre-phase-format baseline cannot gate; flag
+                // it loudly but let the run (which writes the new format)
+                // succeed so the baseline can be established.
+                eprintln!(
+                    "serve_bench: warning — no keepalive baseline in {gate_path}; gate skipped"
+                );
+            }
+        }
+    }
 }

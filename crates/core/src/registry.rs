@@ -25,6 +25,7 @@ pub struct RegisteredSession {
     session: Arc<PrescriptionSession>,
     solves_ok: AtomicU64,
     solves_err: AtomicU64,
+    solves_coalesced: AtomicU64,
     last_exec: Mutex<Option<ExecStats>>,
 }
 
@@ -47,6 +48,19 @@ impl RegisteredSession {
     /// Failed solves on this entry (via [`Self::solve`]).
     pub fn solves_err(&self) -> u64 {
         self.solves_err.load(Ordering::Relaxed)
+    }
+
+    /// Requests served by attaching to an already-running identical solve
+    /// instead of starting a new one (recorded by the serving layer's
+    /// in-flight coalescer via [`Self::record_coalesced`]). Not counted in
+    /// [`Self::solves_ok`], which tracks *underlying* solves.
+    pub fn solves_coalesced(&self) -> u64 {
+        self.solves_coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Record one coalesced (fanned-out) request against this entry.
+    pub fn record_coalesced(&self) {
+        self.solves_coalesced.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Executor statistics of the most recent parallel solve, if any.
@@ -105,6 +119,7 @@ impl SessionRegistry {
             session: session.into(),
             solves_ok: AtomicU64::new(0),
             solves_err: AtomicU64::new(0),
+            solves_coalesced: AtomicU64::new(0),
             last_exec: Mutex::new(None),
         });
         entries.insert(name, Arc::clone(&entry));

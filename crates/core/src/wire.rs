@@ -565,6 +565,102 @@ fn obj(fields: Vec<(&str, Json)>) -> Json {
     Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
 }
 
+fn opt_usize(value: Option<usize>) -> Json {
+    value.map(|n| Json::Num(n as f64)).unwrap_or(Json::Null)
+}
+
+/// Render a [`SolveRequest`] as its **canonical** JSON document: a fixed
+/// field order with every field explicit (defaults included, absent
+/// options as `null`), so two wire bodies that parse to the same request —
+/// reordered keys, omitted-vs-explicit defaults, equivalent number
+/// spellings — render to the *same byte string*.
+///
+/// This is the serving layer's coalescing key: the FNV-64 digest of this
+/// rendering identifies in-flight duplicate solves (`serve::coalesce`).
+/// Floats use the same shortest-round-trip formatting as the rest of the
+/// wire module, so canonical equality is bit-level `f64` equality — which
+/// is exactly the equivalence under which two solves are bit-identical.
+///
+/// The per-request `estimator` *override* (`SolveRequest::estimator`, an
+/// in-process trait object that cannot arrive over the wire) is not
+/// represented; callers coalescing in-process requests must refuse to
+/// fingerprint a request carrying one.
+pub fn solve_request_to_canonical_json(request: &SolveRequest) -> Json {
+    let config = &request.config;
+    let fairness = match config.fairness {
+        FairnessConstraint::None => obj(vec![("kind", Json::Str("none".into()))]),
+        FairnessConstraint::StatisticalParity { scope, epsilon } => obj(vec![
+            ("kind", Json::Str("sp".into())),
+            ("scope", scope_to_json(scope)),
+            ("epsilon", Json::Num(epsilon)),
+        ]),
+        FairnessConstraint::BoundedGroupLoss { scope, tau } => obj(vec![
+            ("kind", Json::Str("bgl".into())),
+            ("scope", scope_to_json(scope)),
+            ("tau", Json::Num(tau)),
+        ]),
+    };
+    let coverage = match config.coverage {
+        CoverageConstraint::None => obj(vec![("kind", Json::Str("none".into()))]),
+        CoverageConstraint::Group {
+            theta,
+            theta_protected,
+        } => obj(vec![
+            ("kind", Json::Str("group".into())),
+            ("theta", Json::Num(theta)),
+            ("theta_protected", Json::Num(theta_protected)),
+        ]),
+        CoverageConstraint::Rule {
+            theta,
+            theta_protected,
+        } => obj(vec![
+            ("kind", Json::Str("rule".into())),
+            ("theta", Json::Num(theta)),
+            ("theta_protected", Json::Num(theta_protected)),
+        ]),
+    };
+    obj(vec![
+        ("fairness", fairness),
+        ("coverage", coverage),
+        ("estimator", Json::Str(config.estimator.name().to_owned())),
+        ("max_rules", Json::Num(config.max_rules as f64)),
+        ("apriori_threshold", Json::Num(config.apriori_threshold)),
+        ("max_group_len", Json::Num(config.max_group_len as f64)),
+        (
+            "max_intervention_len",
+            Json::Num(config.max_intervention_len as f64),
+        ),
+        ("lambda_size", Json::Num(config.lambda_size)),
+        ("lambda_utility", Json::Num(config.lambda_utility)),
+        ("min_marginal_gain", Json::Num(config.min_marginal_gain)),
+        ("alpha", Json::Num(config.alpha)),
+        (
+            "interventions_per_group",
+            Json::Num(config.interventions_per_group as f64),
+        ),
+        ("parallel", Json::Bool(config.parallel)),
+        ("workers", opt_usize(request.workers)),
+        (
+            "estimate_cache_bound",
+            opt_usize(request.estimate_cache_bound),
+        ),
+        (
+            "grouping_cache_bound",
+            opt_usize(request.grouping_cache_bound),
+        ),
+    ])
+}
+
+fn scope_to_json(scope: FairnessScope) -> Json {
+    Json::Str(
+        match scope {
+            FairnessScope::Group => "group",
+            FairnessScope::Individual => "individual",
+        }
+        .into(),
+    )
+}
+
 /// Render [`ExecStats`] as JSON (the `exec` field of a report document).
 pub fn exec_stats_to_json(stats: &ExecStats) -> Json {
     obj(vec![
@@ -813,6 +909,51 @@ mod tests {
                 matches!(err, Error::InvalidRequest(ref m) if m.contains(needle)),
                 "{body} -> {err}"
             );
+        }
+    }
+
+    #[test]
+    fn canonical_request_json_normalizes_equivalent_bodies() {
+        // The same request spelled three ways: reordered keys, defaults
+        // omitted vs. explicit, different number spellings. All must
+        // render to one canonical byte string.
+        let spellings = [
+            r#"{"max_rules": 7, "estimator": "ipw", "fairness": {"kind": "sp", "epsilon": 1e4}}"#,
+            r#"{"fairness": {"epsilon": 10000.0, "kind": "sp", "scope": "group"},
+                "estimator": "ipw", "max_rules": 7, "parallel": true}"#,
+            r#"{"session": "ignored-for-the-key", "estimator": "ipw",
+                "coverage": {"kind": "none"}, "max_rules": 7,
+                "fairness": {"kind": "sp", "epsilon": 10000}}"#,
+        ];
+        let canonical: Vec<String> = spellings
+            .iter()
+            .map(|body| {
+                let request = solve_request_from_json(&Json::parse(body).unwrap()).unwrap();
+                solve_request_to_canonical_json(&request).render()
+            })
+            .collect();
+        assert_eq!(canonical[0], canonical[1]);
+        assert_eq!(canonical[0], canonical[2]);
+        // A genuinely different request diverges.
+        let other = solve_request_from_json(&Json::parse(r#"{"max_rules": 8}"#).unwrap()).unwrap();
+        assert_ne!(
+            canonical[0],
+            solve_request_to_canonical_json(&other).render()
+        );
+        // Every wire-settable knob appears explicitly in the canonical form.
+        let doc = Json::parse(&canonical[0]).unwrap();
+        for field in [
+            "fairness",
+            "coverage",
+            "estimator",
+            "max_rules",
+            "apriori_threshold",
+            "parallel",
+            "workers",
+            "estimate_cache_bound",
+            "grouping_cache_bound",
+        ] {
+            assert!(doc.get(field).is_some(), "canonical form omits `{field}`");
         }
     }
 

@@ -1,10 +1,17 @@
-//! [`ServeClient`] — the in-process test/bench harness for a running
-//! server.
+//! [`ServeClient`] / [`ClientConnection`] — the in-process test/bench
+//! harness for a running server.
 //!
-//! A thin blocking HTTP/1.1 client over `std::net::TcpStream`, matching the
-//! server's one-request-per-connection model: every call opens a fresh
-//! connection, writes one request, reads one response, and closes. Used by
-//! the admission-control integration tests, the CI smoke driver
+//! Thin blocking HTTP/1.1 clients over `std::net::TcpStream`:
+//!
+//! * [`ServeClient`] issues one request per fresh connection (sends
+//!   `connection: close`) — the simplest correct thing for tests that
+//!   exercise admission control;
+//! * [`ClientConnection`] holds one **keep-alive** connection, framing
+//!   responses by `content-length`, and can write several pipelined
+//!   requests before reading any response — used by the keep-alive
+//!   conformance tests and the `serve_bench` keep-alive/coalescing loops.
+//!
+//! Used by the admission-control integration tests, the CI smoke driver
 //! (`serve_smoke`), and the `serve_bench` latency bench.
 
 use std::io::{BufRead, BufReader, Read, Write};
@@ -104,6 +111,11 @@ impl ServeClient {
         Ok(ClientResponse { status, body })
     }
 
+    /// Open a persistent keep-alive connection to the server.
+    pub fn connect(&self) -> std::io::Result<ClientConnection> {
+        ClientConnection::connect(self.addr, self.timeout)
+    }
+
     /// Poll `GET /healthz` until the server answers 200 or the deadline
     /// passes — boot synchronization for tests and the CI smoke driver.
     pub fn wait_ready(&self, deadline: Duration) -> std::io::Result<()> {
@@ -120,5 +132,122 @@ impl ServeClient {
                 _ => std::thread::sleep(Duration::from_millis(50)),
             }
         }
+    }
+}
+
+/// One persistent HTTP/1.1 keep-alive connection. Requests sent through
+/// it omit `connection: close`; responses are framed by `content-length`,
+/// so the connection stays usable for the next exchange. Supports
+/// pipelining: write N requests with [`send`](Self::send), then collect N
+/// responses in order with [`read_response`](Self::read_response).
+pub struct ClientConnection {
+    reader: BufReader<TcpStream>,
+}
+
+impl ClientConnection {
+    /// Connect with the given per-operation socket timeout.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<ClientConnection> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(ClientConnection {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Write one request without reading its response (pipelining).
+    /// `close` asks the server to close after answering this request.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        close: bool,
+    ) -> std::io::Result<()> {
+        let body = body.unwrap_or("");
+        let connection = if close { "connection: close\r\n" } else { "" };
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: faircap\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{connection}\r\n",
+            body.len()
+        );
+        let stream = self.reader.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()
+    }
+
+    /// Read the next response off the connection, framed by its
+    /// `content-length` header (the connection stays open unless the
+    /// server said `connection: close`).
+    pub fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before a status line",
+            ));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line `{}`", status_line.trim_end()),
+                )
+            })?;
+        let mut content_length: Option<usize> = None;
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 || line == "\r\n" || line == "\n" {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().ok();
+                }
+            }
+        }
+        let len = content_length.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "response without content-length cannot be framed on a keep-alive connection",
+            )
+        })?;
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("non-UTF-8 body: {e}"),
+            )
+        })?;
+        Ok(ClientResponse { status, body })
+    }
+
+    /// One full request/response exchange, keeping the connection alive.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        self.send(method, path, body, false)?;
+        self.read_response()
+    }
+
+    /// Pipeline: write every `(method, path, body)` request back to back,
+    /// then read the responses in order.
+    pub fn pipeline(
+        &mut self,
+        requests: &[(&str, &str, Option<&str>)],
+    ) -> std::io::Result<Vec<ClientResponse>> {
+        for (method, path, body) in requests {
+            self.send(method, path, *body, false)?;
+        }
+        requests.iter().map(|_| self.read_response()).collect()
     }
 }

@@ -1,18 +1,25 @@
-//! A deliberately small HTTP/1.1 implementation over `std::net`.
+//! A deliberately small HTTP/1.1 implementation over raw byte buffers.
 //!
 //! The build environment is offline (no tokio, no hyper), and the serving
-//! workload is simple: short JSON requests, one request per connection
-//! (`Connection: close` on every response). This module implements exactly
-//! that subset — request-line + headers + `Content-Length` body parsing
-//! with hard size limits, and response writing with correct status lines —
-//! and nothing else (no chunked encoding, no keep-alive, no TLS).
+//! workload is simple: short JSON requests and responses. Since the reactor
+//! rebuild the module is **incremental**: [`parse_request`] is a pure
+//! function of a byte buffer that either yields a complete request and how
+//! many bytes it consumed, or reports that the buffer is still a prefix of
+//! one ([`Parsed::Partial`]). The nonblocking connection state machine in
+//! `reactor` appends whatever the socket produced and re-parses — which
+//! makes **keep-alive** (consume, then parse the rest) and **pipelining**
+//! (parse repeatedly until `Partial`) fall out of the representation, and
+//! makes the parser property-testable: for every split of a valid request
+//! stream across read boundaries, the parsed requests are identical
+//! (`tests/prop_http.rs`).
 //!
 //! Limits on untrusted input: 8 KiB per header line, 64 headers, 4 MiB
-//! body. Anything over is a parse error, which the connection handler turns
-//! into a `400`/`413` and a closed socket.
+//! body. `Transfer-Encoding: chunked` is refused outright (`501`-class
+//! `Malformed`) rather than half-implemented — a request the parser cannot
+//! frame exactly is a closed connection, never a misframed one.
 
 use faircap_core::Json;
-use std::io::{BufRead, Write};
+use std::fmt::Write as _;
 
 /// Maximum accepted header-line length.
 const MAX_LINE: usize = 8 * 1024;
@@ -32,25 +39,27 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the connection may serve further requests after this one:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
-/// Why a request could not be parsed.
+/// Why a request could not be parsed. Both variants are fatal for the
+/// connection: after a framing error there is no reliable way to find the
+/// next request boundary, so the server answers and closes.
 #[derive(Debug)]
 pub enum ParseError {
-    /// The peer closed the connection before sending a request line.
-    Eof,
-    /// Malformed request (bad request line, header, or length).
+    /// Malformed request (bad request line, header, length, or an
+    /// unsupported transfer encoding).
     Malformed(String),
     /// The declared body exceeds [`MAX_BODY`].
     BodyTooLarge(usize),
-    /// Transport error while reading.
-    Io(std::io::Error),
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ParseError::Eof => write!(f, "connection closed before a request arrived"),
             ParseError::Malformed(msg) => write!(f, "malformed request: {msg}"),
             ParseError::BodyTooLarge(n) => {
                 write!(
@@ -58,9 +67,23 @@ impl std::fmt::Display for ParseError {
                     "request body of {n} bytes exceeds the {MAX_BODY}-byte limit"
                 )
             }
-            ParseError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
+}
+
+/// Result of [`parse_request`] on a buffer that is not (yet) in error.
+#[derive(Debug)]
+pub enum Parsed {
+    /// One complete request, and the number of buffer bytes it occupied
+    /// (the caller drains them and re-parses for pipelined successors).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request consumed.
+        consumed: usize,
+    },
+    /// The buffer holds a prefix of a request; read more and retry.
+    Partial,
 }
 
 impl Request {
@@ -80,38 +103,55 @@ impl Request {
     }
 }
 
-fn read_line(reader: &mut impl BufRead) -> Result<String, ParseError> {
-    let mut line = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
-            Ok(0) => {
-                if line.is_empty() {
-                    return Err(ParseError::Eof);
-                }
-                break;
-            }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    break;
-                }
-                line.push(byte[0]);
-                if line.len() > MAX_LINE {
-                    return Err(ParseError::Malformed("header line too long".into()));
-                }
-            }
-            Err(e) => return Err(ParseError::Io(e)),
-        }
-    }
-    if line.last() == Some(&b'\r') {
-        line.pop();
-    }
-    String::from_utf8(line).map_err(|e| ParseError::Malformed(format!("non-UTF-8 header: {e}")))
+/// Whether a `Connection:` header value contains `token` (comma-separated
+/// list, case-insensitive).
+fn connection_has(value: &str, token: &str) -> bool {
+    value
+        .split(',')
+        .any(|t| t.trim().eq_ignore_ascii_case(token))
 }
 
-/// Read one HTTP/1.1 request from a buffered stream.
-pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
-    let request_line = read_line(reader)?;
+/// Find the end of the line starting at `from` (the index of its `\n`),
+/// or `None` if the line is still incomplete. Errors if the line exceeds
+/// [`MAX_LINE`] whether or not its terminator has arrived yet, so a
+/// header-flood is rejected without buffering it.
+fn line_end(buf: &[u8], from: usize) -> Result<Option<usize>, ParseError> {
+    match buf[from..].iter().position(|&b| b == b'\n') {
+        Some(offset) if offset > MAX_LINE => {
+            Err(ParseError::Malformed("header line too long".into()))
+        }
+        Some(offset) => Ok(Some(from + offset)),
+        None if buf.len() - from > MAX_LINE => {
+            Err(ParseError::Malformed("header line too long".into()))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Decode one header/request line: bytes in `[from, end)` minus a
+/// trailing `\r`, as UTF-8.
+fn line_str(buf: &[u8], from: usize, end: usize) -> Result<&str, ParseError> {
+    let mut slice = &buf[from..end];
+    if slice.last() == Some(&b'\r') {
+        slice = &slice[..slice.len() - 1];
+    }
+    std::str::from_utf8(slice).map_err(|e| ParseError::Malformed(format!("non-UTF-8 header: {e}")))
+}
+
+/// Incrementally parse one HTTP/1.x request from the front of `buf`.
+///
+/// Pure function of the buffer: callers append newly read bytes and call
+/// again. Returns [`Parsed::Partial`] while the buffer holds only a prefix,
+/// [`Parsed::Complete`] with the consumed byte count once the request (and
+/// its `Content-Length` body) is fully present, and a fatal [`ParseError`]
+/// as soon as the prefix is provably not a parseable request — the verdict
+/// for a given stream is identical no matter how it was split across reads.
+pub fn parse_request(buf: &[u8]) -> Result<Parsed, ParseError> {
+    // Request line.
+    let Some(line_term) = line_end(buf, 0)? else {
+        return Ok(Parsed::Partial);
+    };
+    let request_line = line_str(buf, 0, line_term)?;
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
@@ -124,10 +164,18 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
             "unsupported protocol `{version}`"
         )));
     }
+    let http_11 = version != "HTTP/1.0";
+    let (method, path) = (method.to_owned(), path.to_owned());
 
-    let mut headers = Vec::new();
+    // Header block.
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut at = line_term + 1;
     loop {
-        let line = read_line(reader)?;
+        let Some(term) = line_end(buf, at)? else {
+            return Ok(Parsed::Partial);
+        };
+        let line = line_str(buf, at, term)?;
+        at = term + 1;
         if line.is_empty() {
             break;
         }
@@ -140,26 +188,52 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| {
-            v.parse::<usize>()
-                .map_err(|e| ParseError::Malformed(format!("bad content-length `{v}`: {e}")))
-        })
-        .transpose()?
-        .unwrap_or(0);
+    // Framing. Chunked (or any non-identity transfer coding) is refused:
+    // a body the parser cannot delimit exactly must never be guessed at.
+    if let Some((_, te)) = headers.iter().find(|(k, _)| k == "transfer-encoding") {
+        if !te.trim().eq_ignore_ascii_case("identity") {
+            return Err(ParseError::Malformed(format!(
+                "transfer-encoding `{te}` is not supported (send Content-Length)"
+            )));
+        }
+    }
+    let mut content_length = 0usize;
+    let mut seen_length = false;
+    for (_, v) in headers.iter().filter(|(k, _)| k == "content-length") {
+        let n: usize = v
+            .trim()
+            .parse()
+            .map_err(|e| ParseError::Malformed(format!("bad content-length `{v}`: {e}")))?;
+        if seen_length && n != content_length {
+            return Err(ParseError::Malformed(
+                "conflicting content-length headers".into(),
+            ));
+        }
+        content_length = n;
+        seen_length = true;
+    }
     if content_length > MAX_BODY {
         return Err(ParseError::BodyTooLarge(content_length));
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(ParseError::Io)?;
+    let body_end = at + content_length;
+    if buf.len() < body_end {
+        return Ok(Parsed::Partial);
+    }
 
-    Ok(Request {
-        method: method.to_owned(),
-        path: path.to_owned(),
-        headers,
-        body,
+    let keep_alive = match headers.iter().find(|(k, _)| k == "connection") {
+        Some((_, v)) if connection_has(v, "close") => false,
+        Some((_, v)) if connection_has(v, "keep-alive") => true,
+        _ => http_11,
+    };
+    Ok(Parsed::Complete {
+        request: Request {
+            method,
+            path,
+            headers,
+            body: buf[at..body_end].to_vec(),
+            keep_alive,
+        },
+        consumed: body_end,
     })
 }
 
@@ -199,24 +273,30 @@ impl Response {
         self
     }
 
-    /// Serialize onto a stream (`Connection: close` is always sent; the
-    /// caller closes the socket after).
-    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+    /// Serialize to wire bytes. `close` selects the `Connection:` header:
+    /// the reactor keeps connections alive by default and sets `close` on
+    /// fatal parse errors, `Connection: close` requests, and drain.
+    pub fn encode(&self, close: bool) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             status_text(self.status),
-            self.body.len()
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
         );
         for (name, value) in &self.extra_headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
+            let _ = write!(head, "{name}: {value}\r\n");
         }
         head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(self.body.as_bytes())?;
+        let mut out = head.into_bytes();
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+
+    /// Serialize onto a blocking stream with `Connection: close` (used by
+    /// out-of-band error paths that answer and hang up).
+    pub fn write_to(&self, stream: &mut impl std::io::Write) -> std::io::Result<()> {
+        stream.write_all(&self.encode(true))?;
         stream.flush()
     }
 }
@@ -241,25 +321,66 @@ pub fn status_text(status: u16) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufReader;
+
+    fn complete(raw: &[u8]) -> (Request, usize) {
+        match parse_request(raw).unwrap() {
+            Parsed::Complete { request, consumed } => (request, consumed),
+            Parsed::Partial => panic!("unexpectedly partial"),
+        }
+    }
 
     #[test]
     fn parses_post_with_body() {
         let raw = b"POST /v1/solve HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
-        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        let (req, consumed) = complete(raw);
+        assert_eq!(consumed, raw.len());
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/solve");
         assert_eq!(req.header("content-length"), Some("7"));
         assert_eq!(req.header("HOST"), Some("x"));
         assert_eq!(req.body_utf8().unwrap(), "{\"a\":1}");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
-    fn parses_get_without_body() {
-        let raw = b"GET /v1/metrics HTTP/1.1\r\n\r\n";
-        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
-        assert_eq!(req.method, "GET");
-        assert!(req.body.is_empty());
+    fn connection_semantics() {
+        let (req, _) = complete(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!req.keep_alive);
+        let (req, _) = complete(b"GET /x HTTP/1.0\r\n\r\n");
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let (req, _) = complete(b"GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n");
+        assert!(req.keep_alive);
+        let (req, _) = complete(b"GET /x HTTP/1.1\r\nConnection: foo, Close\r\n\r\n");
+        assert!(!req.keep_alive, "token list containing close wins");
+    }
+
+    #[test]
+    fn partial_prefixes_then_complete() {
+        let raw = b"POST /v1/solve HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        for cut in 0..raw.len() {
+            assert!(
+                matches!(parse_request(&raw[..cut]).unwrap(), Parsed::Partial),
+                "prefix of {cut} bytes should be partial"
+            );
+        }
+        let (req, consumed) = complete(raw);
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let raw =
+            b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\n\r\n";
+        let mut at = 0;
+        let mut paths = Vec::new();
+        while at < raw.len() {
+            let (req, consumed) = complete(&raw[at..]);
+            paths.push(req.path.clone());
+            at += consumed;
+        }
+        assert_eq!(paths, ["/a", "/b", "/c"]);
+        assert_eq!(at, raw.len());
     }
 
     #[test]
@@ -269,38 +390,52 @@ mod tests {
             &b"GET /x SPDY/99\r\n\r\n"[..],
             &b"GET /x HTTP/1.1\r\nbad header line\r\n\r\n"[..],
             &b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"[..],
         ] {
-            assert!(read_request(&mut BufReader::new(raw)).is_err());
+            assert!(parse_request(raw).is_err(), "accepted {raw:?}");
         }
-        assert!(matches!(
-            read_request(&mut BufReader::new(&b""[..])),
-            Err(ParseError::Eof)
-        ));
+        // An empty buffer is simply partial, not an error.
+        assert!(matches!(parse_request(b"").unwrap(), Parsed::Partial));
     }
 
     #[test]
-    fn rejects_oversized_bodies() {
+    fn rejects_oversized_bodies_and_lines() {
         let raw = format!(
             "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
             MAX_BODY + 1
         );
         assert!(matches!(
-            read_request(&mut BufReader::new(raw.as_bytes())),
+            parse_request(raw.as_bytes()),
             Err(ParseError::BodyTooLarge(_))
+        ));
+        // A header line exceeding MAX_LINE is rejected even before its
+        // terminator arrives — no unbounded buffering for a header flood.
+        let flood = format!("GET /x HTTP/1.1\r\nx: {}", "y".repeat(MAX_LINE + 2));
+        assert!(matches!(
+            parse_request(flood.as_bytes()),
+            Err(ParseError::Malformed(_))
         ));
     }
 
     #[test]
     fn response_wire_format() {
-        let mut out = Vec::new();
-        Response::error(429, "try later")
+        let bytes = Response::error(429, "try later")
             .with_header("retry-after", "1")
-            .write_to(&mut out)
-            .unwrap();
-        let text = String::from_utf8(out).unwrap();
+            .encode(true);
+        let text = String::from_utf8(bytes).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
         assert!(text.contains("retry-after: 1\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("{\"error\":\"try later\",\"status\":429}"));
+        // Keep-alive encoding differs only in the connection header.
+        let keep = String::from_utf8(Response::error(429, "try later").encode(false)).unwrap();
+        assert!(keep.contains("connection: keep-alive\r\n"));
+        // write_to is the blocking close-mode convenience.
+        let mut out = Vec::new();
+        Response::error(400, "x").write_to(&mut out).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("connection: close"));
     }
 }

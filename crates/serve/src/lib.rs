@@ -1,40 +1,44 @@
 //! # faircap-serve
 //!
 //! A concurrent prescription-serving front end over
-//! [`PrescriptionSession`]s: the ROADMAP's "async serving" open item,
-//! built dependency-free on `std::net` (the environment is offline — no
-//! tokio/hyper; blocking worker pools stand in for an async runtime).
+//! [`PrescriptionSession`]s: the ROADMAP's "serving v2" item, built
+//! dependency-free on `std::net` plus raw readiness syscalls (the
+//! environment is offline — no tokio/hyper/mio).
 //!
 //! ## Architecture
 //!
 //! ```text
-//!                    ┌────────────────────────────────────────────┐
-//!  TCP accept loop → │ connection pool (N workers, bounded queue) │
-//!                    └──────────────┬─────────────────────────────┘
-//!                                   │ parse HTTP, route
-//!                       POST /v1/solve │ admission control
-//!                    ┌──────────────▼─────────────────────────────┐
-//!                    │ solve pool (max_concurrent_solves workers, │
-//!                    │ solve_queue_depth bounded queue)           │
-//!                    └──────────────┬─────────────────────────────┘
-//!                                   │ RegisteredSession::solve
-//!                    ┌──────────────▼──────────────┐
-//!                    │ SessionRegistry (one warm   │
-//!                    │ PrescriptionSession/dataset)│
-//!                    └─────────────────────────────┘
+//!                 ┌──────────────────────────────────────────────┐
+//!  TCP listener → │ reactor thread (epoll / poll(2)):            │
+//!                 │ accept, read, parse HTTP/1.1 keep-alive +    │
+//!                 │ pipelining, write; per-conn response slots   │
+//!                 └───────┬──────────────────────────▲───────────┘
+//!     POST /v1/solve      │ admission + coalescing   │ completions
+//!                 ┌───────▼──────────────────────────┴───────────┐
+//!                 │ solve pool (max_concurrent_solves workers,   │
+//!                 │ solve_queue_depth bounded queue)             │
+//!                 └───────┬──────────────────────────────────────┘
+//!                         │ RegisteredSession::solve
+//!                 ┌───────▼─────────────────────────┐
+//!                 │ SessionRegistry (one warm       │
+//!                 │ PrescriptionSession per dataset)│
+//!                 └─────────────────────────────────┘
 //! ```
 //!
-//! Two bounded [`pool::WorkerPool`]s (the long-lived form of
-//! `core::exec`'s self-scheduling workers) give the server real admission
-//! control:
+//! One [`reactor`] thread multiplexes every connection, so a connection
+//! costs a map entry — not a thread — and keep-alive clients pay the TCP
+//! handshake once. Quick endpoints are answered inline on the reactor;
+//! solves are admitted to the bounded [`pool::WorkerPool`] and their
+//! responses flow back through the reactor's completion queue:
 //!
-//! * a full solve queue sheds load with **429** (+`Retry-After`) instead of
-//!   buffering unboundedly;
-//! * a draining server answers **503**;
+//! * identical in-flight solve requests **coalesce** ([`coalesce`]): one
+//!   underlying solve, its report fanned out to every waiter;
+//! * a full solve queue sheds load with **429** (+`Retry-After`);
+//! * a draining server answers **503** to new solves;
 //! * a solve exceeding the per-request timeout answers **504** (the solve
 //!   finishes on its worker and still warms the shared caches);
-//! * [`Server::shutdown`] stops accepting, then drains every admitted
-//!   request before returning.
+//! * [`Server::shutdown`] stops accepting, finishes every admitted
+//!   request — pipelined and pending ones included — then returns.
 //!
 //! ## Endpoints
 //!
@@ -58,40 +62,33 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod coalesce;
 pub mod http;
 pub mod metrics;
 pub mod pool;
+pub mod reactor;
 
-pub use client::{ClientResponse, ServeClient};
+pub use client::{ClientConnection, ClientResponse, ServeClient};
+pub use reactor::PollerKind;
 
+use coalesce::{Attach, Coalescer};
 use faircap_core::wire::{solution_report_to_json, solve_request_from_json};
 use faircap_core::{Error, Json, RegisteredSession, SessionRegistry};
 use http::{ParseError, Request, Response};
-use metrics::ServerMetrics;
+use metrics::{ConnGauges, ServerMetrics};
 use pool::{SubmitError, WorkerPool};
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use reactor::{App, Completion, Completions, Dispatch, ReactorHandle, ReactorOptions};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Server configuration: bind address, pool sizes, admission-control
-/// knobs, and the snapshot directory for warm boots.
+/// Server configuration: bind address, solve-pool sizes, connection
+/// limits, and the snapshot directory for warm boots.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address. Use port 0 to let the OS pick (tests do).
     pub addr: String,
-    /// Connection-handling worker threads. Treated as a floor: the server
-    /// raises the effective count to
-    /// `max_concurrent_solves + solve_queue_depth + 4`, so waiting solve
-    /// requests can fill the solve queue (keeping the 429 admission path
-    /// reachable) while quick endpoints always find a free worker.
-    pub connection_workers: usize,
-    /// Bound on connections waiting for a handler (overflow answers 503
-    /// inline from the accept loop).
-    pub connection_queue: usize,
     /// Solve worker threads — the max-concurrent-solves budget.
     pub max_concurrent_solves: usize,
     /// Bound on admitted-but-not-started solves (overflow answers 429).
@@ -100,18 +97,27 @@ pub struct ServeConfig {
     pub solve_timeout: Duration,
     /// Where `POST /v1/snapshot` persists warm caches (`<dir>/<name>.fc`).
     pub snapshot_dir: Option<PathBuf>,
+    /// Open-connection cap; excess connections get an immediate 503.
+    pub max_connections: usize,
+    /// Keep-alive connections with no outstanding requests are closed
+    /// after this long.
+    pub idle_timeout: Duration,
+    /// Readiness backend. [`PollerKind::Auto`] honors the `FAIRCAP_POLLER`
+    /// environment variable, then picks the platform default.
+    pub poller: PollerKind,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:0".into(),
-            connection_workers: 8,
-            connection_queue: 64,
             max_concurrent_solves: 2,
             solve_queue_depth: 16,
             solve_timeout: Duration::from_secs(120),
             snapshot_dir: None,
+            max_connections: 1024,
+            idle_timeout: Duration::from_secs(30),
+            poller: PollerKind::Auto,
         }
     }
 }
@@ -120,9 +126,12 @@ struct Inner {
     registry: Arc<SessionRegistry>,
     config: ServeConfig,
     metrics: ServerMetrics,
+    gauges: Arc<ConnGauges>,
     solve_pool: WorkerPool,
+    coalescer: Coalescer,
+    completions: Arc<Completions>,
     started: Instant,
-    stopping: AtomicBool,
+    poller_name: &'static str,
     shutdown_flag: Mutex<bool>,
     shutdown_cv: Condvar,
 }
@@ -133,16 +142,39 @@ struct Inner {
 pub struct Server {
     inner: Arc<Inner>,
     addr: SocketAddr,
-    conn_pool: Arc<WorkerPool>,
-    accept_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+    reactor: ReactorHandle,
 }
 
 impl Server {
     /// Bind and start serving `registry` under `config`. Returns once the
-    /// listener is accepting; solves are served by background pools.
+    /// listener is accepting; everything else happens on the reactor
+    /// thread and the solve pool.
     pub fn start(config: ServeConfig, registry: Arc<SessionRegistry>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let kind = match config.poller {
+            PollerKind::Auto => PollerKind::from_env(),
+            explicit => explicit,
+        };
+        let poller_name = match kind {
+            PollerKind::Poll => "poll",
+            PollerKind::Epoll => "epoll",
+            PollerKind::Auto => {
+                if cfg!(target_os = "linux") {
+                    "epoll"
+                } else {
+                    "poll"
+                }
+            }
+        };
+        let completions = Completions::new()?;
+        let gauges = Arc::new(ConnGauges::default());
+        let options = ReactorOptions {
+            poller: kind,
+            max_connections: config.max_connections,
+            idle_timeout: config.idle_timeout,
+            pending_timeout: config.solve_timeout,
+        };
         let inner = Arc::new(Inner {
             solve_pool: WorkerPool::new(
                 "faircap-solve",
@@ -150,67 +182,21 @@ impl Server {
                 config.solve_queue_depth,
             ),
             metrics: ServerMetrics::default(),
+            gauges: Arc::clone(&gauges),
+            coalescer: Coalescer::new(),
+            completions: Arc::clone(&completions),
             started: Instant::now(),
-            stopping: AtomicBool::new(false),
+            poller_name,
             shutdown_flag: Mutex::new(false),
             shutdown_cv: Condvar::new(),
             registry,
             config,
         });
-        // A connection worker parks on its solve for the solve's whole
-        // duration, so the effective pool must be big enough that (a) the
-        // parked waiters alone can fill the solve queue — otherwise the
-        // 429 admission path is unreachable — and (b) quick endpoints
-        // (/healthz, /v1/metrics, /v1/shutdown) always find a free worker
-        // while every solve slot and queue slot is occupied.
-        let conn_workers = inner
-            .config
-            .connection_workers
-            .max(inner.config.max_concurrent_solves + inner.config.solve_queue_depth + 4);
-        let conn_pool = Arc::new(WorkerPool::new(
-            "faircap-conn",
-            conn_workers,
-            inner.config.connection_queue,
-        ));
-
-        let accept_inner = Arc::clone(&inner);
-        let accept_pool = Arc::clone(&conn_pool);
-        let accept_handle = std::thread::Builder::new()
-            .name("faircap-accept".into())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if accept_inner.stopping.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(mut stream) = stream else { continue };
-                    // Shed inline when the handler queue is saturated, so
-                    // the peer sees backpressure rather than a hang. (The
-                    // check races with the workers, but only toward being
-                    // conservative one connection early/late.)
-                    if accept_pool.queue_depth() >= accept_pool.queue_cap() {
-                        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                        let _ =
-                            Response::error(503, "connection queue is full").write_to(&mut stream);
-                        continue;
-                    }
-                    let job_inner = Arc::clone(&accept_inner);
-                    if accept_pool
-                        .try_submit(move || handle_connection(&job_inner, stream))
-                        .is_err()
-                    {
-                        // Raced to full / shutting down; the stream was
-                        // consumed by the closure and is simply dropped —
-                        // the peer observes a closed connection.
-                    }
-                }
-            })
-            .expect("spawning accept thread");
-
+        let reactor = reactor::spawn(listener, Arc::clone(&inner), completions, options, gauges)?;
         Ok(Server {
             inner,
             addr,
-            conn_pool,
-            accept_handle: Mutex::new(Some(accept_handle)),
+            reactor,
         })
     }
 
@@ -237,6 +223,8 @@ impl Server {
 
     /// Ask the server to shut down; unblocks
     /// [`wait_for_shutdown_request`](Self::wait_for_shutdown_request).
+    /// New solve requests are refused with 503 from this point on; quick
+    /// endpoints keep answering until [`shutdown`](Self::shutdown).
     pub fn request_shutdown(&self) {
         request_shutdown(&self.inner);
     }
@@ -250,26 +238,13 @@ impl Server {
         }
     }
 
-    /// Graceful shutdown: stop accepting, serve every connection already
-    /// accepted, drain every admitted solve, and join all workers.
-    /// Idempotent.
+    /// Graceful shutdown: close the listener, finish every admitted
+    /// request (pipelined and in-solve ones included), flush, then join
+    /// the reactor and the solve pool. Idempotent.
     pub fn shutdown(&self) {
-        if self.inner.stopping.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Unblock the accept loop with a no-op connection.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
-        if let Some(handle) = self
-            .accept_handle
-            .lock()
-            .expect("accept handle lock")
-            .take()
-        {
-            let _ = handle.join();
-        }
-        // Connection workers first (they submit to and wait on the solve
-        // pool, which must still be alive), then the solve pool.
-        self.conn_pool.shutdown();
+        // The reactor drains first — its pending slots need live solve
+        // workers to complete — then the pool.
+        self.reactor.shutdown();
         self.inner.solve_pool.shutdown();
     }
 }
@@ -286,53 +261,179 @@ fn request_shutdown(inner: &Inner) {
     inner.shutdown_cv.notify_all();
 }
 
-fn handle_connection(inner: &Inner, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    let mut reader = BufReader::new(stream);
-    let response = match http::read_request(&mut reader) {
-        Ok(request) => {
-            ServerMetrics::bump(&inner.metrics.http_requests);
-            route(inner, &request)
+impl Inner {
+    fn draining(&self) -> bool {
+        *self.shutdown_flag.lock().expect("shutdown flag lock")
+    }
+
+    /// Admission for `POST /v1/solve`: validate, coalesce, submit.
+    fn dispatch_solve(self: &Arc<Self>, request: &Request, waiter: u64) -> Dispatch {
+        let body_text = match request.body_utf8() {
+            Ok(text) if !text.trim().is_empty() => text,
+            Ok(_) => "{}",
+            Err(e) => return Dispatch::Immediate(Response::error(400, e.to_string())),
+        };
+        let body = match Json::parse(body_text) {
+            Ok(body) => body,
+            Err(e) => {
+                return Dispatch::Immediate(Response::error(400, format!("invalid JSON body: {e}")))
+            }
+        };
+        let entry = match resolve_session(self, &body) {
+            Ok(entry) => entry,
+            Err(response) => return Dispatch::Immediate(response),
+        };
+        let solve_request = match solve_request_from_json(&body) {
+            Ok(r) => r,
+            Err(e) => return Dispatch::Immediate(Response::error(400, e.to_string())),
+        };
+        if self.draining() {
+            ServerMetrics::bump(&self.metrics.rejected_shutdown);
+            return Dispatch::Immediate(Response::error(503, "server is draining for shutdown"));
         }
-        Err(ParseError::Eof) => return, // health-probe connect-and-close
-        Err(e @ ParseError::BodyTooLarge(_)) => {
-            ServerMetrics::bump(&inner.metrics.http_errors);
-            Response::error(413, e.to_string())
+
+        // Coalesce: identical in-flight (session, request) pairs share one
+        // underlying solve. `attach`/`abort` both run here on the reactor
+        // thread, so a leader's failed submission can never strand a
+        // follower.
+        let key = coalesce::fingerprint(entry.name(), &solve_request);
+        if let Some(key) = &key {
+            match self.coalescer.attach(key.clone(), waiter) {
+                Attach::Attached => {
+                    ServerMetrics::bump(&self.metrics.coalesce_hits);
+                    entry.record_coalesced();
+                    return Dispatch::Pending;
+                }
+                Attach::Leader => {}
+            }
         }
-        Err(e) => {
-            ServerMetrics::bump(&inner.metrics.http_errors);
-            Response::error(400, e.to_string())
+
+        let job_inner = Arc::clone(self);
+        let job_key = key.clone();
+        let job_entry = Arc::clone(&entry);
+        let submitted = self.solve_pool.try_submit(move || {
+            let response = match job_entry.solve(&solve_request) {
+                Ok(report) => {
+                    let mut doc =
+                        vec![("session".to_owned(), Json::Str(job_entry.name().to_owned()))];
+                    match solution_report_to_json(&report) {
+                        Json::Obj(fields) => doc.extend(fields),
+                        other => doc.push(("report".to_owned(), other)),
+                    }
+                    Response::json(200, &Json::Obj(doc))
+                }
+                Err(e) => {
+                    let status = match e {
+                        Error::InvalidRequest(_) => 422,
+                        _ => 500,
+                    };
+                    Response::error(status, e.to_string())
+                }
+            };
+            let waiters = match &job_key {
+                Some(k) => job_inner.coalescer.take(k),
+                None => vec![waiter],
+            };
+            job_inner
+                .completions
+                .complete(Completion { waiters, response });
+        });
+        match submitted {
+            Ok(()) => Dispatch::Pending,
+            Err(SubmitError::QueueFull) => {
+                if let Some(key) = &key {
+                    self.coalescer.abort(key);
+                }
+                ServerMetrics::bump(&self.metrics.rejected_queue_full);
+                Dispatch::Immediate(
+                    Response::error(
+                        429,
+                        format!(
+                            "solve queue is full ({} queued, {} in flight); retry shortly",
+                            self.solve_pool.queue_depth(),
+                            self.solve_pool.in_flight()
+                        ),
+                    )
+                    .with_header("retry-after", "1"),
+                )
+            }
+            Err(SubmitError::ShuttingDown) => {
+                if let Some(key) = &key {
+                    self.coalescer.abort(key);
+                }
+                ServerMetrics::bump(&self.metrics.rejected_shutdown);
+                Dispatch::Immediate(Response::error(503, "server is draining for shutdown"))
+            }
         }
-    };
-    let mut stream = reader.into_inner();
-    let _ = response.write_to(&mut stream);
+    }
 }
 
-fn route(inner: &Inner, request: &Request) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Response::json(
-            200,
-            &Json::Obj(vec![
-                ("ok".into(), Json::Bool(true)),
-                (
-                    "uptime_ms".into(),
-                    Json::Num(inner.started.elapsed().as_secs_f64() * 1e3),
-                ),
-            ]),
-        ),
-        ("GET", "/v1/sessions") => sessions_response(inner),
-        ("GET", "/v1/metrics") => metrics_response(inner),
-        ("POST", "/v1/solve") => solve_response(inner, request),
-        ("POST", "/v1/snapshot") => snapshot_response(inner, request),
-        ("POST", "/v1/shutdown") => {
-            request_shutdown(inner);
-            Response::json(200, &Json::Obj(vec![("draining".into(), Json::Bool(true))]))
+impl App for Inner {
+    fn handle(self: &Arc<Self>, request: &Request, waiter: u64) -> Dispatch {
+        ServerMetrics::bump(&self.metrics.http_requests);
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/v1/solve") => self.dispatch_solve(request, waiter),
+            ("GET", "/healthz") => Dispatch::Immediate(Response::json(
+                200,
+                &Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    (
+                        "uptime_ms".into(),
+                        Json::Num(self.started.elapsed().as_secs_f64() * 1e3),
+                    ),
+                ]),
+            )),
+            ("GET", "/v1/sessions") => Dispatch::Immediate(sessions_response(self)),
+            ("GET", "/v1/metrics") => Dispatch::Immediate(metrics_response(self)),
+            ("POST", "/v1/snapshot") => Dispatch::Immediate(snapshot_response(self, request)),
+            ("POST", "/v1/shutdown") => {
+                request_shutdown(self);
+                Dispatch::Immediate(Response::json(
+                    200,
+                    &Json::Obj(vec![("draining".into(), Json::Bool(true))]),
+                ))
+            }
+            (_, "/v1/solve" | "/v1/snapshot" | "/v1/shutdown" | "/v1/sessions" | "/v1/metrics") => {
+                Dispatch::Immediate(Response::error(
+                    405,
+                    format!("method {} not allowed here", request.method),
+                ))
+            }
+            (_, path) => {
+                Dispatch::Immediate(Response::error(404, format!("no such endpoint `{path}`")))
+            }
         }
-        (_, "/v1/solve" | "/v1/snapshot" | "/v1/shutdown" | "/v1/sessions" | "/v1/metrics") => {
-            Response::error(405, format!("method {} not allowed here", request.method))
+    }
+
+    fn on_timeout(&self, _waiter: u64) -> Response {
+        ServerMetrics::bump(&self.metrics.timeouts);
+        Response::error(
+            504,
+            format!(
+                "solve exceeded the {:?} request timeout; it keeps running and will warm the caches",
+                self.config.solve_timeout
+            ),
+        )
+    }
+
+    fn on_parse_error(&self, error: &ParseError) -> Response {
+        ServerMetrics::bump(&self.metrics.http_errors);
+        match error {
+            ParseError::BodyTooLarge(_) => Response::error(413, error.to_string()),
+            ParseError::Malformed(_) => Response::error(400, error.to_string()),
         }
-        (_, path) => Response::error(404, format!("no such endpoint `{path}`")),
+    }
+
+    fn on_delivered(&self, status: u16, waited: Duration) {
+        // Delivered-response accounting: a coalesced fan-out of one
+        // underlying solve counts once per served request (per-session
+        // counters track underlying solves).
+        if status == 200 {
+            ServerMetrics::bump(&self.metrics.solves_ok);
+            self.metrics.solve_latency.record(waited);
+        } else {
+            ServerMetrics::bump(&self.metrics.solves_err);
+        }
     }
 }
 
@@ -360,93 +461,6 @@ fn resolve_session(inner: &Inner, body: &Json) -> Result<Arc<RegisteredSession>,
                 ),
             )
         }),
-    }
-}
-
-fn solve_response(inner: &Inner, request: &Request) -> Response {
-    let body_text = match request.body_utf8() {
-        Ok(text) if !text.trim().is_empty() => text,
-        Ok(_) => "{}",
-        Err(e) => return Response::error(400, e.to_string()),
-    };
-    let body = match Json::parse(body_text) {
-        Ok(body) => body,
-        Err(e) => return Response::error(400, format!("invalid JSON body: {e}")),
-    };
-    let entry = match resolve_session(inner, &body) {
-        Ok(entry) => entry,
-        Err(response) => return response,
-    };
-    let solve_request = match solve_request_from_json(&body) {
-        Ok(r) => r,
-        Err(e) => return Response::error(400, e.to_string()),
-    };
-
-    // Admission control: hand the solve to the bounded solve pool and wait
-    // (with the per-request timeout) for its verdict.
-    let started = Instant::now();
-    let (tx, rx) = mpsc::sync_channel(1);
-    let job_entry = Arc::clone(&entry);
-    let submitted = inner.solve_pool.try_submit(move || {
-        let result = job_entry.solve(&solve_request);
-        let _ = tx.send(result); // receiver may have timed out; fine
-    });
-    match submitted {
-        Err(SubmitError::QueueFull) => {
-            ServerMetrics::bump(&inner.metrics.rejected_queue_full);
-            return Response::error(
-                429,
-                format!(
-                    "solve queue is full ({} queued, {} in flight); retry shortly",
-                    inner.solve_pool.queue_depth(),
-                    inner.solve_pool.in_flight()
-                ),
-            )
-            .with_header("retry-after", "1");
-        }
-        Err(SubmitError::ShuttingDown) => {
-            ServerMetrics::bump(&inner.metrics.rejected_shutdown);
-            return Response::error(503, "server is draining for shutdown");
-        }
-        Ok(()) => {}
-    }
-
-    match rx.recv_timeout(inner.config.solve_timeout) {
-        Ok(Ok(report)) => {
-            ServerMetrics::bump(&inner.metrics.solves_ok);
-            inner.metrics.solve_latency.record(started.elapsed());
-            let mut doc = vec![("session".to_owned(), Json::Str(entry.name().to_owned()))];
-            match solution_report_to_json(&report) {
-                Json::Obj(fields) => doc.extend(fields),
-                other => doc.push(("report".to_owned(), other)),
-            }
-            Response::json(200, &Json::Obj(doc))
-        }
-        Ok(Err(e)) => {
-            ServerMetrics::bump(&inner.metrics.solves_err);
-            let status = match e {
-                Error::InvalidRequest(_) => 422,
-                _ => 500,
-            };
-            Response::error(status, e.to_string())
-        }
-        Err(mpsc::RecvTimeoutError::Timeout) => {
-            ServerMetrics::bump(&inner.metrics.timeouts);
-            Response::error(
-                504,
-                format!(
-                    "solve exceeded the {:?} request timeout; it keeps running and will warm the caches",
-                    inner.config.solve_timeout
-                ),
-            )
-        }
-        // The sender dropped without sending: the solve job panicked (the
-        // pool contains the panic and survives). This is a crash, not a
-        // timeout — report it as one.
-        Err(mpsc::RecvTimeoutError::Disconnected) => {
-            ServerMetrics::bump(&inner.metrics.solves_err);
-            Response::error(500, "solve crashed on its worker; see server logs")
-        }
     }
 }
 
@@ -526,6 +540,10 @@ fn session_json(entry: &RegisteredSession) -> Json {
         ("solves_ok".into(), Json::Num(entry.solves_ok() as f64)),
         ("solves_err".into(), Json::Num(entry.solves_err() as f64)),
         (
+            "solves_coalesced".into(),
+            Json::Num(entry.solves_coalesced() as f64),
+        ),
+        (
             "estimate_cache".into(),
             cache_stats_json(stats.hits, stats.misses, stats.entries, stats.evictions),
         ),
@@ -602,6 +620,10 @@ fn metrics_response(inner: &Inner) -> Response {
             "solve_timeout_ms".into(),
             Json::Num(inner.config.solve_timeout.as_secs_f64() * 1e3),
         ),
+        (
+            "coalesce_in_flight".into(),
+            Json::Num(inner.coalescer.in_flight() as f64),
+        ),
     ]);
     let requests = Json::Obj(vec![
         (
@@ -621,6 +643,10 @@ fn metrics_response(inner: &Inner) -> Response {
             Json::Num(ServerMetrics::read(&m.solves_err) as f64),
         ),
         (
+            "coalesce_hits".into(),
+            Json::Num(ServerMetrics::read(&m.coalesce_hits) as f64),
+        ),
+        (
             "rejected_429".into(),
             Json::Num(ServerMetrics::read(&m.rejected_queue_full) as f64),
         ),
@@ -631,6 +657,30 @@ fn metrics_response(inner: &Inner) -> Response {
         (
             "timeouts_504".into(),
             Json::Num(ServerMetrics::read(&m.timeouts) as f64),
+        ),
+    ]);
+    let connections = Json::Obj(vec![
+        ("open".into(), Json::Num(inner.gauges.open() as f64)),
+        (
+            "accepted".into(),
+            Json::Num(ServerMetrics::read(&inner.gauges.accepted) as f64),
+        ),
+        (
+            "closed".into(),
+            Json::Num(ServerMetrics::read(&inner.gauges.closed) as f64),
+        ),
+        (
+            "rejected_over_capacity".into(),
+            Json::Num(ServerMetrics::read(&inner.gauges.rejected_over_capacity) as f64),
+        ),
+        ("poller".into(), Json::Str(inner.poller_name.into())),
+        (
+            "max_connections".into(),
+            Json::Num(inner.config.max_connections as f64),
+        ),
+        (
+            "idle_timeout_ms".into(),
+            Json::Num(inner.config.idle_timeout.as_secs_f64() * 1e3),
         ),
     ]);
     let sessions: Vec<(String, Json)> = inner
@@ -648,6 +698,7 @@ fn metrics_response(inner: &Inner) -> Response {
             ),
             ("requests".into(), requests),
             ("admission".into(), admission),
+            ("connections".into(), connections),
             ("solve_latency".into(), latency),
             ("sessions".into(), Json::Obj(sessions)),
         ]),

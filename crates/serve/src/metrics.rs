@@ -87,6 +87,9 @@ pub struct ServerMetrics {
     /// Solves that exceeded the per-request timeout (504; the solve itself
     /// keeps running on its pool worker and still warms the caches).
     pub timeouts: AtomicU64,
+    /// Requests answered by attaching to an already-in-flight identical
+    /// solve instead of submitting a new one.
+    pub coalesce_hits: AtomicU64,
     /// End-to-end latency of completed solves.
     pub solve_latency: LatencyRecorder,
 }
@@ -100,6 +103,44 @@ impl ServerMetrics {
     /// Relaxed read helper.
     pub fn read(counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
+    }
+}
+
+/// Connection-level gauges maintained by the reactor and reported under
+/// `connections` in `/v1/metrics`. Monotonic counters; currently-open
+/// connections are `accepted - closed`.
+#[derive(Default)]
+pub struct ConnGauges {
+    /// Connections accepted from the listener (including ones immediately
+    /// rejected over capacity).
+    pub accepted: AtomicU64,
+    /// Connections fully closed by the reactor.
+    pub closed: AtomicU64,
+    /// Connections answered with an immediate 503 because the
+    /// `max_connections` cap was reached.
+    pub rejected_over_capacity: AtomicU64,
+}
+
+impl ConnGauges {
+    /// Record an accepted connection.
+    pub fn bump_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a closed connection.
+    pub fn bump_closed(&self) {
+        self.closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an over-capacity rejection.
+    pub fn bump_rejected_over_capacity(&self) {
+        self.rejected_over_capacity.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently open (accepted minus closed).
+    pub fn open(&self) -> u64 {
+        let accepted = self.accepted.load(Ordering::Relaxed);
+        accepted.saturating_sub(self.closed.load(Ordering::Relaxed))
     }
 }
 

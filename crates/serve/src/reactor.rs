@@ -1,0 +1,1150 @@
+//! A dependency-free nonblocking reactor: one thread multiplexing every
+//! connection over `epoll(7)` (raw syscalls, Linux) or `poll(2)` (portable
+//! Unix fallback) behind the same [`Poller`] trait.
+//!
+//! ## Why not thread-per-connection
+//!
+//! The previous front end parked a connection worker for the whole duration
+//! of a solve, so concurrency was bounded by thread count and every idle
+//! keep-alive connection cost a stack. Here a connection is ~1 KiB of state
+//! in a map: the reactor reads bytes, parses requests incrementally
+//! ([`crate::http::parse_request`]), and asks the application
+//! ([`App::handle`]) for either an immediate response or a *pending* slot.
+//! Pending work (solves) runs on the bounded solve pool; when it finishes,
+//! the worker pushes the response onto the [`Completions`] queue and writes
+//! one byte into the reactor's self-wake pipe — the reactor then fans the
+//! bytes out to every waiting slot. No thread ever blocks on a solve while
+//! holding a connection.
+//!
+//! ## Keep-alive + pipelining
+//!
+//! Each connection keeps a FIFO of response **slots**, one per parsed
+//! request, so pipelined requests are answered strictly in request order:
+//! a pending head blocks later (already computed) responses from being
+//! written early. Writable interest is registered only while the head slot
+//! has unwritten bytes — the level-triggered pollers never busy-spin on a
+//! writable-but-idle socket.
+//!
+//! ## Lifecycle
+//!
+//! * per-slot deadline → the app's [`App::on_timeout`] response (504); a
+//!   late completion for a timed-out slot is dropped (the solve itself
+//!   still finishes on its worker and warms the caches);
+//! * idle timeout reaps connections with **no** outstanding slots only;
+//! * peer EOF closes the connection immediately — outstanding shared
+//!   solves keep running, their delivery to this connection becomes a
+//!   no-op;
+//! * shutdown (via [`ReactorHandle::shutdown`]) closes the listener, stops
+//!   reading, finishes every already-parsed (admitted) request — pending
+//!   solves included — flushes, and only then lets the thread exit.
+
+use crate::http::{self, ParseError, Parsed, Request, Response};
+use crate::metrics::ConnGauges;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which readiness backend to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollerKind {
+    /// `epoll` where available (Linux), `poll(2)` elsewhere.
+    #[default]
+    Auto,
+    /// Raw-syscall `epoll` (Linux only; construction fails elsewhere).
+    Epoll,
+    /// Portable `poll(2)`.
+    Poll,
+}
+
+impl PollerKind {
+    /// Parse a backend name (`auto` | `epoll` | `poll`).
+    pub fn parse(name: &str) -> Option<PollerKind> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(PollerKind::Auto),
+            "epoll" => Some(PollerKind::Epoll),
+            "poll" => Some(PollerKind::Poll),
+            _ => None,
+        }
+    }
+
+    /// Resolve the `FAIRCAP_POLLER` environment override, defaulting to
+    /// [`PollerKind::Auto`] when unset or unrecognized.
+    pub fn from_env() -> PollerKind {
+        std::env::var("FAIRCAP_POLLER")
+            .ok()
+            .and_then(|v| PollerKind::parse(&v))
+            .unwrap_or_default()
+    }
+}
+
+/// Readiness interest for one registered descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Wake when the descriptor is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the descriptor is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+}
+
+/// One readiness event out of [`Poller::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The ready descriptor.
+    pub fd: RawFd,
+    /// Readable (or peer closed — reading returns 0/error, which is how
+    /// EOF is observed).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error/hangup condition; the owner should read/write to collect the
+    /// concrete error and close.
+    pub error: bool,
+}
+
+/// The readiness backend: level-triggered, one registration per fd.
+pub trait Poller: Send {
+    /// Start watching `fd` with `interest`.
+    fn register(&mut self, fd: RawFd, interest: Interest) -> std::io::Result<()>;
+    /// Change the interest of a registered `fd`.
+    fn reregister(&mut self, fd: RawFd, interest: Interest) -> std::io::Result<()>;
+    /// Stop watching `fd`.
+    fn deregister(&mut self, fd: RawFd) -> std::io::Result<()>;
+    /// Block up to `timeout` (forever when `None`) for events; `events` is
+    /// cleared first. A signal interruption returns successfully with no
+    /// events.
+    fn poll(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> std::io::Result<()>;
+    /// Backend name for logs/metrics (`"epoll"` / `"poll"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Clamp a timeout to the millisecond precision the syscalls take,
+/// rounding **up** so a deadline is never polled before it can fire.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => d.as_nanos().div_ceil(1_000_000).min(i32::MAX as u128) as i32,
+    }
+}
+
+/// Construct the backend for `kind`.
+pub fn make_poller(kind: PollerKind) -> std::io::Result<Box<dyn Poller>> {
+    match kind {
+        PollerKind::Poll => Ok(Box::new(poll_backend::PollPoller::new())),
+        #[cfg(target_os = "linux")]
+        PollerKind::Epoll | PollerKind::Auto => Ok(Box::new(epoll_backend::EpollPoller::new()?)),
+        #[cfg(not(target_os = "linux"))]
+        PollerKind::Epoll => Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "epoll is Linux-only; use FAIRCAP_POLLER=poll",
+        )),
+        #[cfg(not(target_os = "linux"))]
+        PollerKind::Auto => Ok(Box::new(poll_backend::PollPoller::new())),
+    }
+}
+
+/// Raw-syscall `epoll` backend. No `libc` crate: the four entry points are
+/// declared directly against the C library std already links.
+#[cfg(target_os = "linux")]
+mod epoll_backend {
+    use super::{timeout_ms, Event, Interest, Poller};
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    // The kernel ABI packs epoll_event on x86-64 (12 bytes); every other
+    // architecture uses natural alignment (16 bytes). Getting this wrong
+    // corrupts the `data` field of every second event.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// `epoll`-backed [`Poller`], level-triggered.
+    pub struct EpollPoller {
+        epfd: RawFd,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl EpollPoller {
+        /// Create the epoll instance (`EPOLL_CLOEXEC`).
+        pub fn new() -> std::io::Result<EpollPoller> {
+            // SAFETY: plain syscall, no pointers involved.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(EpollPoller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 256],
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, interest: Interest) -> std::io::Result<()> {
+            let mut ev = EpollEvent {
+                events: (if interest.readable { EPOLLIN } else { 0 })
+                    | (if interest.writable { EPOLLOUT } else { 0 }),
+                data: fd as u64,
+            };
+            // SAFETY: `ev` outlives the call; the kernel copies it out.
+            if unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) } < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(())
+        }
+    }
+
+    impl Poller for EpollPoller {
+        fn register(&mut self, fd: RawFd, interest: Interest) -> std::io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest)
+        }
+
+        fn reregister(&mut self, fd: RawFd, interest: Interest) -> std::io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest)
+        }
+
+        fn deregister(&mut self, fd: RawFd) -> std::io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, Interest::default())
+        }
+
+        fn poll(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> std::io::Result<()> {
+            events.clear();
+            // SAFETY: `buf` is a live, properly sized array of EpollEvent.
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as i32,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let e = std::io::Error::last_os_error();
+                if e.kind() == std::io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for i in 0..n as usize {
+                // Copy out by value: the packed layout on x86-64 forbids
+                // taking references into the buffer.
+                let raw = self.buf[i];
+                let bits = raw.events;
+                events.push(Event {
+                    fd: raw.data as RawFd,
+                    readable: bits & (EPOLLIN | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        fn name(&self) -> &'static str {
+            "epoll"
+        }
+    }
+
+    impl Drop for EpollPoller {
+        fn drop(&mut self) {
+            // SAFETY: closing the fd we own; errors at drop are ignorable.
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+/// Portable `poll(2)` backend: the whole registration set is re-submitted
+/// on every wait. O(n) per call, which is fine at serving fan-ins and
+/// keeps the trait honest on non-Linux hosts.
+mod poll_backend {
+    use super::{timeout_ms, Event, Interest, Poller};
+    use std::collections::HashMap;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        // `nfds_t` is the platform's unsigned long; usize matches it on
+        // every 64-bit Unix this fallback targets.
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: i32) -> i32;
+    }
+
+    /// `poll(2)`-backed [`Poller`].
+    #[derive(Default)]
+    pub struct PollPoller {
+        interests: HashMap<RawFd, Interest>,
+        buf: Vec<PollFd>,
+    }
+
+    impl PollPoller {
+        /// An empty registration set.
+        pub fn new() -> PollPoller {
+            PollPoller::default()
+        }
+    }
+
+    impl Poller for PollPoller {
+        fn register(&mut self, fd: RawFd, interest: Interest) -> std::io::Result<()> {
+            if self.interests.insert(fd, interest).is_some() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AlreadyExists,
+                    format!("fd {fd} is already registered"),
+                ));
+            }
+            Ok(())
+        }
+
+        fn reregister(&mut self, fd: RawFd, interest: Interest) -> std::io::Result<()> {
+            match self.interests.get_mut(&fd) {
+                Some(slot) => {
+                    *slot = interest;
+                    Ok(())
+                }
+                None => Err(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("fd {fd} is not registered"),
+                )),
+            }
+        }
+
+        fn deregister(&mut self, fd: RawFd) -> std::io::Result<()> {
+            self.interests.remove(&fd).map(|_| ()).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("fd {fd} is not registered"),
+                )
+            })
+        }
+
+        fn poll(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> std::io::Result<()> {
+            events.clear();
+            self.buf.clear();
+            for (&fd, interest) in &self.interests {
+                self.buf.push(PollFd {
+                    fd,
+                    events: (if interest.readable { POLLIN } else { 0 })
+                        | (if interest.writable { POLLOUT } else { 0 }),
+                    revents: 0,
+                });
+            }
+            // SAFETY: `buf` is a live array of `nfds` PollFd records.
+            let n = unsafe { poll(self.buf.as_mut_ptr(), self.buf.len(), timeout_ms(timeout)) };
+            if n < 0 {
+                let e = std::io::Error::last_os_error();
+                if e.kind() == std::io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for pfd in &self.buf {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                events.push(Event {
+                    fd: pfd.fd,
+                    readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    error: pfd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        fn name(&self) -> &'static str {
+            "poll"
+        }
+    }
+}
+
+/// What the application decided about one parsed request.
+pub enum Dispatch {
+    /// Answer now (quick endpoints, rejections, validation errors).
+    Immediate(Response),
+    /// The app admitted the request for asynchronous completion; it will
+    /// later call [`Completions::complete`] naming this request's waiter
+    /// id. The reactor parks a response slot that keeps pipelined order.
+    Pending,
+}
+
+/// The serving application driven by the reactor. One instance serves
+/// every connection; all hooks run on the reactor thread except
+/// [`Completions::complete`], which solve workers call.
+pub trait App: Send + Sync + 'static {
+    /// Route one parsed request. `waiter` identifies the request for a
+    /// later [`Completions::complete`] if the answer is [`Dispatch::Pending`].
+    fn handle(self: &Arc<Self>, request: &Request, waiter: u64) -> Dispatch;
+    /// A pending request exceeded its deadline; produce the timeout
+    /// response (the underlying work keeps running).
+    fn on_timeout(&self, waiter: u64) -> Response;
+    /// A connection produced unparseable bytes; produce the error response
+    /// (the connection closes after it is written).
+    fn on_parse_error(&self, error: &ParseError) -> Response;
+    /// A pending response was delivered to a live connection: `status` of
+    /// the response, `waited` from admission to delivery.
+    fn on_delivered(&self, status: u16, waited: Duration);
+}
+
+/// One finished piece of pending work, fanned out to every waiter.
+pub struct Completion {
+    /// Waiter ids from [`App::handle`] calls that this completion answers.
+    pub waiters: Vec<u64>,
+    /// The shared response; encoded per connection (keep-alive vs close).
+    pub response: Response,
+}
+
+/// The channel from blocking workers back into the reactor: a queue of
+/// [`Completion`]s plus a self-pipe whose read end the reactor polls.
+pub struct Completions {
+    queue: Mutex<Vec<Completion>>,
+    wake_tx: UnixStream,
+    wake_rx: Mutex<Option<UnixStream>>,
+}
+
+impl Completions {
+    /// Create the queue and its wake pipe.
+    pub fn new() -> std::io::Result<Arc<Completions>> {
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        Ok(Arc::new(Completions {
+            queue: Mutex::new(Vec::new()),
+            wake_tx,
+            wake_rx: Mutex::new(Some(wake_rx)),
+        }))
+    }
+
+    /// Publish one completion and wake the reactor. Callable from any
+    /// thread; never blocks (a full pipe already guarantees a wakeup).
+    pub fn complete(&self, completion: Completion) {
+        self.queue
+            .lock()
+            .expect("completion queue lock")
+            .push(completion);
+        self.wake();
+    }
+
+    /// Wake the reactor without queueing anything (shutdown nudge).
+    pub fn wake(&self) {
+        let _ = (&self.wake_tx).write(&[1u8]);
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.queue.lock().expect("completion queue lock"))
+    }
+
+    fn take_reader(&self) -> Option<UnixStream> {
+        self.wake_rx.lock().expect("wake reader lock").take()
+    }
+}
+
+/// Reactor tuning knobs (the server maps its `ServeConfig` onto these).
+#[derive(Debug, Clone)]
+pub struct ReactorOptions {
+    /// Readiness backend.
+    pub poller: PollerKind,
+    /// Accepted-connection cap; excess connections get an immediate 503
+    /// and close.
+    pub max_connections: usize,
+    /// Reap connections with no outstanding requests after this long.
+    pub idle_timeout: Duration,
+    /// Deadline for pending (solve) slots; overrun triggers
+    /// [`App::on_timeout`].
+    pub pending_timeout: Duration,
+}
+
+/// Handle to a spawned reactor thread.
+pub struct ReactorHandle {
+    stopping: Arc<AtomicBool>,
+    completions: Arc<Completions>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    poller_name: &'static str,
+}
+
+impl ReactorHandle {
+    /// The backend the reactor resolved (`"epoll"` / `"poll"`).
+    pub fn poller_name(&self) -> &'static str {
+        self.poller_name
+    }
+
+    /// Graceful stop: close the listener, finish admitted requests, flush,
+    /// join. Idempotent. The caller must keep whatever executes pending
+    /// work alive until this returns.
+    pub fn shutdown(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        self.completions.wake();
+        if let Some(handle) = self.thread.lock().expect("reactor thread lock").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Spawn the reactor thread over a **nonblocking** listener.
+pub fn spawn<A: App>(
+    listener: TcpListener,
+    app: Arc<A>,
+    completions: Arc<Completions>,
+    options: ReactorOptions,
+    gauges: Arc<ConnGauges>,
+) -> std::io::Result<ReactorHandle> {
+    listener.set_nonblocking(true)?;
+    let wake_rx = completions.take_reader().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::AlreadyExists,
+            "this Completions already drives a reactor",
+        )
+    })?;
+    let poller = make_poller(options.poller)?;
+    let poller_name = poller.name();
+    let stopping = Arc::new(AtomicBool::new(false));
+    let reactor = Reactor {
+        app,
+        listener: Some(listener),
+        wake_rx,
+        poller,
+        conns: HashMap::new(),
+        pending: HashMap::new(),
+        next_waiter: 0,
+        completions: Arc::clone(&completions),
+        stopping: Arc::clone(&stopping),
+        options,
+        gauges,
+    };
+    let thread = std::thread::Builder::new()
+        .name("faircap-reactor".into())
+        .spawn(move || reactor.run())?;
+    Ok(ReactorHandle {
+        stopping,
+        completions,
+        thread: Mutex::new(Some(thread)),
+        poller_name,
+    })
+}
+
+/// One queued response position on a connection. Slot order == request
+/// order, which is what makes pipelining correct.
+enum Slot {
+    /// Encoded bytes being (or waiting to be) written.
+    Ready { bytes: Vec<u8> },
+    /// Waiting for a completion (or its deadline).
+    Pending {
+        id: u64,
+        deadline: Instant,
+        started: Instant,
+        close: bool,
+    },
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: std::net::TcpStream,
+    /// Unparsed received bytes.
+    buf: Vec<u8>,
+    /// FIFO response slots (request order).
+    slots: VecDeque<Slot>,
+    /// Write progress into the head `Ready` slot.
+    written: usize,
+    /// No further requests will be parsed; close once slots drain.
+    close_after: bool,
+    /// Connection is finished; sweep deregisters and drops it.
+    dead: bool,
+    /// Head slot has bytes the socket would not take yet.
+    want_write: bool,
+    last_activity: Instant,
+    interest: Interest,
+}
+
+impl Conn {
+    fn new(stream: std::net::TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            slots: VecDeque::new(),
+            written: 0,
+            close_after: false,
+            dead: false,
+            want_write: false,
+            last_activity: now,
+            interest: Interest::READ,
+        }
+    }
+}
+
+struct Reactor<A: App> {
+    app: Arc<A>,
+    listener: Option<TcpListener>,
+    wake_rx: UnixStream,
+    poller: Box<dyn Poller>,
+    conns: HashMap<RawFd, Conn>,
+    pending: HashMap<u64, RawFd>,
+    next_waiter: u64,
+    completions: Arc<Completions>,
+    stopping: Arc<AtomicBool>,
+    options: ReactorOptions,
+    gauges: Arc<ConnGauges>,
+}
+
+impl<A: App> Reactor<A> {
+    fn run(mut self) {
+        let listener_fd = self
+            .listener
+            .as_ref()
+            .expect("listener present at start")
+            .as_raw_fd();
+        let wake_fd = self.wake_rx.as_raw_fd();
+        if self.poller.register(listener_fd, Interest::READ).is_err()
+            || self.poller.register(wake_fd, Interest::READ).is_err()
+        {
+            return; // cannot serve without a working poller
+        }
+        let mut events = Vec::new();
+        loop {
+            let stopping = self.stopping.load(Ordering::SeqCst);
+            if stopping {
+                self.begin_drain(listener_fd);
+                if self.conns.is_empty() {
+                    break;
+                }
+            }
+            let timeout = self
+                .next_deadline()
+                .map(|deadline| deadline.saturating_duration_since(Instant::now()));
+            if self.poller.poll(&mut events, timeout).is_err() {
+                break; // a broken poller cannot make progress
+            }
+            let now = Instant::now();
+            for event in events.drain(..) {
+                if event.fd == wake_fd {
+                    let mut sink = [0u8; 64];
+                    while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+                } else if event.fd == listener_fd {
+                    self.accept_ready(now);
+                } else if let Some(mut conn) = self.conns.remove(&event.fd) {
+                    if event.error && !event.readable && !event.writable {
+                        self.drop_conn_state(&mut conn);
+                    } else {
+                        if event.readable {
+                            self.read_and_serve(&mut conn, event.fd, now);
+                        }
+                        if event.writable && !conn.dead {
+                            flush(&mut conn, now);
+                        }
+                    }
+                    self.conns.insert(event.fd, conn);
+                }
+            }
+            self.deliver_completions();
+            self.expire(Instant::now());
+            self.sweep();
+        }
+        // Exit: everything still registered is torn down with the poller.
+        for (_, mut conn) in std::mem::take(&mut self.conns) {
+            self.drop_conn_state(&mut conn);
+            self.gauges.bump_closed();
+        }
+    }
+
+    /// First iteration after a shutdown request: close the listener and
+    /// mark every connection for drain (serve admitted slots, read no
+    /// more).
+    fn begin_drain(&mut self, listener_fd: RawFd) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener_fd);
+            drop(listener);
+            for conn in self.conns.values_mut() {
+                conn.close_after = true;
+                conn.buf.clear(); // anything unparsed is, by definition, not admitted
+            }
+        }
+    }
+
+    fn accept_ready(&mut self, now: Instant) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self.gauges.bump_accepted();
+                    if stream.set_nonblocking(true).is_err() {
+                        self.gauges.bump_closed();
+                        continue;
+                    }
+                    // Keep-alive request/response exchanges are small;
+                    // Nagle+delayed-ACK would add ~40 ms per turn.
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    let mut conn = Conn::new(stream, now);
+                    if self.conns.len() >= self.options.max_connections {
+                        self.gauges.bump_rejected_over_capacity();
+                        conn.slots.push_back(Slot::Ready {
+                            bytes: Response::error(503, "connection limit reached").encode(true),
+                        });
+                        conn.close_after = true;
+                    }
+                    if self.poller.register(fd, conn.interest).is_ok() {
+                        flush(&mut conn, now);
+                        if conn.dead || (conn.close_after && conn.slots.is_empty()) {
+                            let _ = self.poller.deregister(fd);
+                            self.gauges.bump_closed();
+                        } else {
+                            self.conns.insert(fd, conn);
+                        }
+                    } else {
+                        self.gauges.bump_closed();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return, // transient accept failure; retry on next event
+            }
+        }
+    }
+
+    /// Drain the socket, parse every complete pipelined request, dispatch
+    /// each, and opportunistically flush.
+    fn read_and_serve(&mut self, conn: &mut Conn, fd: RawFd, now: Instant) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match (&conn.stream).read(&mut chunk) {
+                Ok(0) => {
+                    // Peer EOF: close immediately. Outstanding shared work
+                    // keeps running; delivery to this connection becomes a
+                    // no-op (waiter-disconnect must not cancel a solve).
+                    self.drop_conn_state(conn);
+                    return;
+                }
+                Ok(n) => {
+                    conn.buf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = now;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.drop_conn_state(conn);
+                    return;
+                }
+            }
+        }
+        while !conn.close_after && !conn.buf.is_empty() {
+            match http::parse_request(&conn.buf) {
+                Ok(Parsed::Partial) => break,
+                Ok(Parsed::Complete { request, consumed }) => {
+                    conn.buf.drain(..consumed);
+                    let close = !request.keep_alive;
+                    let id = self.next_waiter;
+                    self.next_waiter += 1;
+                    match self.app.handle(&request, id) {
+                        Dispatch::Immediate(response) => {
+                            conn.slots.push_back(Slot::Ready {
+                                bytes: response.encode(close),
+                            });
+                        }
+                        Dispatch::Pending => {
+                            self.pending.insert(id, fd);
+                            conn.slots.push_back(Slot::Pending {
+                                id,
+                                deadline: now + self.options.pending_timeout,
+                                started: now,
+                                close,
+                            });
+                        }
+                    }
+                    if close {
+                        conn.close_after = true; // later pipelined bytes are ignored
+                    }
+                }
+                Err(e) => {
+                    // Framing is lost; answer once and close.
+                    conn.slots.push_back(Slot::Ready {
+                        bytes: self.app.on_parse_error(&e).encode(true),
+                    });
+                    conn.close_after = true;
+                    conn.buf.clear();
+                }
+            }
+        }
+        flush(conn, now);
+    }
+
+    /// Release a connection's reactor state: deregister, forget its
+    /// pending waiters (their completions will be dropped on arrival).
+    fn drop_conn_state(&mut self, conn: &mut Conn) {
+        if !conn.dead {
+            conn.dead = true;
+            for slot in &conn.slots {
+                if let Slot::Pending { id, .. } = slot {
+                    self.pending.remove(id);
+                }
+            }
+            conn.slots.clear();
+        }
+    }
+
+    fn deliver_completions(&mut self) {
+        let now = Instant::now();
+        for completion in self.completions.drain() {
+            let Completion { waiters, response } = completion;
+            for id in waiters {
+                let Some(fd) = self.pending.remove(&id) else {
+                    continue; // timed out or disconnected; drop silently
+                };
+                let Some(conn) = self.conns.get_mut(&fd) else {
+                    continue;
+                };
+                for slot in conn.slots.iter_mut() {
+                    if let Slot::Pending {
+                        id: slot_id,
+                        started,
+                        close,
+                        ..
+                    } = slot
+                    {
+                        if *slot_id == id {
+                            self.app.on_delivered(response.status, started.elapsed());
+                            *slot = Slot::Ready {
+                                bytes: response.encode(*close),
+                            };
+                            break;
+                        }
+                    }
+                }
+                flush(conn, now);
+            }
+        }
+    }
+
+    /// Convert overdue pending slots into the app's timeout response and
+    /// reap idle connections (never ones with outstanding slots).
+    fn expire(&mut self, now: Instant) {
+        let stopping = self.stopping.load(Ordering::SeqCst);
+        let mut timed_out: Vec<u64> = Vec::new();
+        for conn in self.conns.values_mut() {
+            for slot in conn.slots.iter_mut() {
+                if let Slot::Pending {
+                    id,
+                    deadline,
+                    close,
+                    ..
+                } = slot
+                {
+                    if *deadline <= now {
+                        timed_out.push(*id);
+                        let response = self.app.on_timeout(*id);
+                        *slot = Slot::Ready {
+                            bytes: response.encode(*close),
+                        };
+                    }
+                }
+            }
+            if !timed_out.is_empty() {
+                flush(conn, now);
+            }
+            if !stopping
+                && conn.slots.is_empty()
+                && now.duration_since(conn.last_activity) >= self.options.idle_timeout
+            {
+                conn.dead = true;
+            }
+        }
+        for id in timed_out {
+            self.pending.remove(&id);
+        }
+    }
+
+    /// Close finished connections and reconcile poller interest with each
+    /// survivor's actual needs.
+    fn sweep(&mut self) {
+        let stopping = self.stopping.load(Ordering::SeqCst);
+        let mut dead: Vec<RawFd> = Vec::new();
+        for (&fd, conn) in self.conns.iter_mut() {
+            if conn.dead || (conn.close_after && conn.slots.is_empty() && !conn.want_write) {
+                dead.push(fd);
+                continue;
+            }
+            if stopping && conn.slots.is_empty() && !conn.want_write {
+                dead.push(fd);
+                continue;
+            }
+            let desired = Interest {
+                readable: !conn.close_after && !stopping,
+                writable: conn.want_write,
+            };
+            if desired != conn.interest && self.poller.reregister(fd, desired).is_ok() {
+                conn.interest = desired;
+            }
+        }
+        for fd in dead {
+            if let Some(mut conn) = self.conns.remove(&fd) {
+                self.drop_conn_state(&mut conn);
+                let _ = self.poller.deregister(fd);
+                self.gauges.bump_closed();
+            }
+        }
+    }
+
+    /// The earliest instant anything scheduled needs attention: pending
+    /// deadlines always; idle deadlines only while not stopping.
+    fn next_deadline(&self) -> Option<Instant> {
+        let stopping = self.stopping.load(Ordering::SeqCst);
+        let mut next: Option<Instant> = None;
+        let mut consider = |t: Instant| {
+            next = Some(match next {
+                Some(cur) if cur <= t => cur,
+                _ => t,
+            });
+        };
+        for conn in self.conns.values() {
+            for slot in &conn.slots {
+                if let Slot::Pending { deadline, .. } = slot {
+                    consider(*deadline);
+                }
+            }
+            if !stopping && conn.slots.is_empty() {
+                consider(conn.last_activity + self.options.idle_timeout);
+            }
+        }
+        next
+    }
+}
+
+/// Write as much of the ready head slots as the socket accepts. A pending
+/// head stops the pump (pipelined order); an empty queue on a
+/// `close_after` connection marks it finished.
+fn flush(conn: &mut Conn, now: Instant) {
+    if conn.dead {
+        return;
+    }
+    loop {
+        let done = match conn.slots.front() {
+            Some(Slot::Ready { bytes }) => {
+                while conn.written < bytes.len() {
+                    match (&conn.stream).write(&bytes[conn.written..]) {
+                        Ok(0) => {
+                            conn.dead = true;
+                            return;
+                        }
+                        Ok(n) => {
+                            conn.written += n;
+                            conn.last_activity = now;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            conn.want_write = true;
+                            return;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            conn.dead = true;
+                            return;
+                        }
+                    }
+                }
+                true // the loop only exits early via `return`
+            }
+            Some(Slot::Pending { .. }) | None => {
+                conn.want_write = false;
+                if conn.slots.is_empty() && conn.close_after {
+                    let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+                    conn.dead = true;
+                }
+                return;
+            }
+        };
+        if done {
+            conn.slots.pop_front();
+            conn.written = 0;
+            conn.want_write = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn backend_kinds() -> Vec<PollerKind> {
+        if cfg!(target_os = "linux") {
+            vec![PollerKind::Epoll, PollerKind::Poll]
+        } else {
+            vec![PollerKind::Poll]
+        }
+    }
+
+    #[test]
+    fn poller_kind_parsing() {
+        assert_eq!(PollerKind::parse("epoll"), Some(PollerKind::Epoll));
+        assert_eq!(PollerKind::parse(" POLL "), Some(PollerKind::Poll));
+        assert_eq!(PollerKind::parse("auto"), Some(PollerKind::Auto));
+        assert_eq!(PollerKind::parse("uring"), None);
+    }
+
+    #[test]
+    fn pollers_report_readability_and_writability() {
+        for kind in backend_kinds() {
+            let mut poller = make_poller(kind).unwrap();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            server.set_nonblocking(true).unwrap();
+            let fd = server.as_raw_fd();
+            poller
+                .register(
+                    fd,
+                    Interest {
+                        readable: true,
+                        writable: true,
+                    },
+                )
+                .unwrap();
+
+            // Nothing to read yet, but the socket is writable.
+            let mut events = Vec::new();
+            poller
+                .poll(&mut events, Some(Duration::from_millis(500)))
+                .unwrap();
+            let ev = events
+                .iter()
+                .find(|e| e.fd == fd)
+                .unwrap_or_else(|| panic!("{}: no event for the connected socket", poller.name()));
+            assert!(
+                ev.writable,
+                "{}: fresh socket must be writable",
+                poller.name()
+            );
+            assert!(!ev.readable, "{}: nothing was sent yet", poller.name());
+
+            // After the peer writes, readable must fire.
+            use std::io::Write as _;
+            client.write_all(b"ping").unwrap();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                poller
+                    .poll(&mut events, Some(Duration::from_millis(100)))
+                    .unwrap();
+                if events.iter().any(|e| e.fd == fd && e.readable) {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "{}: readable never fired",
+                    poller.name()
+                );
+            }
+
+            // Read-only interest must stop reporting writable.
+            poller.reregister(fd, Interest::READ).unwrap();
+            poller
+                .poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            assert!(
+                events.iter().all(|e| e.fd != fd || !e.writable),
+                "{}: writable reported without write interest",
+                poller.name()
+            );
+            poller.deregister(fd).unwrap();
+            poller
+                .poll(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            assert!(
+                events.iter().all(|e| e.fd != fd),
+                "{}: deregistered fd still reported",
+                poller.name()
+            );
+        }
+    }
+
+    #[test]
+    fn wake_pipe_unblocks_polling() {
+        for kind in backend_kinds() {
+            let mut poller = make_poller(kind).unwrap();
+            let completions = Completions::new().unwrap();
+            let reader = completions.take_reader().unwrap();
+            poller.register(reader.as_raw_fd(), Interest::READ).unwrap();
+
+            let remote = Arc::clone(&completions);
+            let waker = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                remote.complete(Completion {
+                    waiters: vec![7],
+                    response: Response::error(504, "x"),
+                });
+            });
+            let mut events = Vec::new();
+            let started = Instant::now();
+            poller
+                .poll(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "{}: wake did not unblock the poll",
+                poller.name()
+            );
+            assert!(events
+                .iter()
+                .any(|e| e.fd == reader.as_raw_fd() && e.readable));
+            waker.join().unwrap();
+            let drained = completions.drain();
+            assert_eq!(drained.len(), 1);
+            assert_eq!(drained[0].waiters, vec![7]);
+            assert!(completions.drain().is_empty());
+        }
+    }
+
+    #[test]
+    fn completions_reader_is_single_take() {
+        let completions = Completions::new().unwrap();
+        assert!(completions.take_reader().is_some());
+        assert!(completions.take_reader().is_none());
+    }
+}

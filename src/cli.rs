@@ -402,9 +402,10 @@ pub fn execute(opts: &CliOptions) -> Result<SolutionReport, CliError> {
     Ok(report)
 }
 
-/// Parsed options of the `faircap serve` subcommand.
+/// One dataset group of the `faircap serve` subcommand: the session it
+/// registers and the inputs that build it.
 #[derive(Debug, Clone)]
-pub struct ServeCliOptions {
+pub struct ServeDatasetSpec {
     /// CSV file with the data.
     pub data: String,
     /// Edge-list / DOT file with the causal DAG.
@@ -417,6 +418,16 @@ pub struct ServeCliOptions {
     pub protected: Vec<(String, String)>,
     /// Session name the dataset registers under (default: `default`).
     pub name: String,
+}
+
+/// Parsed options of the `faircap serve` subcommand.
+#[derive(Debug, Clone)]
+pub struct ServeCliOptions {
+    /// Datasets to register, one warm session each. The dataset flags
+    /// (`--name/--data/--dag/--outcome/--mutable/--protected`) are
+    /// repeatable: re-specifying one that is already set starts the next
+    /// dataset group.
+    pub datasets: Vec<ServeDatasetSpec>,
     /// Bind address.
     pub addr: String,
     /// Max concurrent solves (solve-pool workers).
@@ -431,38 +442,81 @@ pub struct ServeCliOptions {
 
 /// Usage text of the `serve` subcommand.
 pub const SERVE_USAGE: &str = "\
-faircap serve — HTTP serving front end over a warm prescription session
+faircap serve — HTTP serving front end over warm prescription sessions
 
 USAGE:
   faircap serve --data FILE.csv --dag DAG.txt --outcome COL \\
                 --mutable a,b,c --protected attr=value[,attr=value] \\
-                [--addr 127.0.0.1:7341] [--name default] \\
+                [--name default] \\
+                [--data FILE2.csv --dag DAG2.txt --outcome COL2 \\
+                 --mutable d,e --protected attr=value --name second] ... \\
+                [--addr 127.0.0.1:7341] \\
                 [--solve-workers 2] [--queue-depth 16] [--timeout-ms 120000] \\
                 [--snapshot-dir DIR]
 
-Boots one warm PrescriptionSession over the dataset and serves
+Boots one warm PrescriptionSession per dataset group and serves
 POST /v1/solve, GET /v1/sessions, GET /v1/metrics, POST /v1/snapshot, and
-POST /v1/shutdown (graceful drain). --solve-workers bounds concurrent
-solves; --queue-depth bounds the admission queue (overflow answers 429);
---timeout-ms bounds one solve (overrun answers 504). With --snapshot-dir,
-the server warm-boots from DIR/<name>.fc when present and POST /v1/snapshot
+POST /v1/shutdown (graceful drain). The dataset flags are repeatable:
+re-specifying one that is already set starts the next dataset group, and
+each group registers under its --name (solve requests route with the
+`session` body field; it may be omitted when exactly one session is
+registered). --solve-workers bounds concurrent solves; --queue-depth
+bounds the admission queue (overflow answers 429); --timeout-ms bounds one
+solve (overrun answers 504). With --snapshot-dir, the server warm-boots
+each session from DIR/<name>.fc when present and POST /v1/snapshot
 persists the live caches there. Endpoint schemas: docs/serving.md.";
+
+/// Dataset fields accumulated while parsing one group.
+#[derive(Default, Clone)]
+struct PartialDataset {
+    data: Option<String>,
+    dag: Option<String>,
+    outcome: Option<String>,
+    mutable: Option<Vec<String>>,
+    protected: Option<Vec<(String, String)>>,
+    name: Option<String>,
+}
+
+impl PartialDataset {
+    fn is_empty(&self) -> bool {
+        self.data.is_none()
+            && self.dag.is_none()
+            && self.outcome.is_none()
+            && self.mutable.is_none()
+            && self.protected.is_none()
+            && self.name.is_none()
+    }
+
+    fn finish(self) -> Result<ServeDatasetSpec, String> {
+        let required = |field: Option<String>, flag: &str| {
+            field.ok_or_else(|| format!("{flag} is required\n\n{SERVE_USAGE}"))
+        };
+        Ok(ServeDatasetSpec {
+            data: required(self.data, "--data")?,
+            dag: required(self.dag, "--dag")?,
+            outcome: required(self.outcome, "--outcome")?,
+            mutable: self
+                .mutable
+                .ok_or_else(|| format!("--mutable is required\n\n{SERVE_USAGE}"))?,
+            protected: self
+                .protected
+                .ok_or_else(|| format!("--protected is required\n\n{SERVE_USAGE}"))?,
+            name: self.name.unwrap_or_else(|| "default".into()),
+        })
+    }
+}
 
 /// Parse `faircap serve` arguments (after the subcommand word).
 pub fn parse_serve_args(args: &[String]) -> Result<ServeCliOptions, String> {
     let mut opts = ServeCliOptions {
-        data: String::new(),
-        dag: String::new(),
-        outcome: String::new(),
-        mutable: Vec::new(),
-        protected: Vec::new(),
-        name: "default".into(),
+        datasets: Vec::new(),
         addr: "127.0.0.1:7341".into(),
         solve_workers: 2,
         queue_depth: 16,
         timeout_ms: 120_000,
         snapshot_dir: None,
     };
+    let mut current = PartialDataset::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if flag == "--help" || flag == "-h" {
@@ -473,27 +527,40 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeCliOptions, String> {
                 .cloned()
                 .ok_or_else(|| format!("missing value for {flag}"))
         };
+        // Re-specifying a dataset flag that the current group already set
+        // closes that group and opens the next one.
+        macro_rules! set_dataset_field {
+            ($field:ident, $value:expr) => {{
+                let v = $value;
+                if current.$field.is_some() {
+                    opts.datasets.push(std::mem::take(&mut current).finish()?);
+                }
+                current.$field = Some(v);
+            }};
+        }
         match flag.as_str() {
-            "--data" => opts.data = value()?,
-            "--dag" => opts.dag = value()?,
-            "--outcome" => opts.outcome = value()?,
-            "--mutable" => {
-                opts.mutable = value()?
+            "--data" => set_dataset_field!(data, value()?),
+            "--dag" => set_dataset_field!(dag, value()?),
+            "--outcome" => set_dataset_field!(outcome, value()?),
+            "--mutable" => set_dataset_field!(
+                mutable,
+                value()?
                     .split(',')
                     .map(|s| s.trim().to_owned())
                     .filter(|s| !s.is_empty())
-                    .collect()
-            }
+                    .collect::<Vec<_>>()
+            ),
             "--protected" => {
+                let mut pairs = Vec::new();
                 for pair in value()?.split(',') {
                     let (attr, v) = pair
                         .split_once('=')
                         .ok_or_else(|| format!("--protected needs attr=value, got `{pair}`"))?;
-                    opts.protected
-                        .push((attr.trim().to_owned(), v.trim().to_owned()));
+                    pairs.push((attr.trim().to_owned(), v.trim().to_owned()));
                 }
+                set_dataset_field!(protected, pairs);
             }
-            "--name" => opts.name = value()?,
+            "--name" => set_dataset_field!(name, value()?),
             "--addr" => opts.addr = value()?,
             "--solve-workers" => {
                 opts.solve_workers = value()?
@@ -512,20 +579,17 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeCliOptions, String> {
             other => return Err(format!("unknown flag `{other}`\n\n{SERVE_USAGE}")),
         }
     }
-    for (name, val) in [
-        ("--data", &opts.data),
-        ("--dag", &opts.dag),
-        ("--outcome", &opts.outcome),
-    ] {
-        if val.is_empty() {
-            return Err(format!("{name} is required\n\n{SERVE_USAGE}"));
+    if !current.is_empty() || opts.datasets.is_empty() {
+        opts.datasets.push(current.finish()?);
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for spec in &opts.datasets {
+        if !seen.insert(spec.name.as_str()) {
+            return Err(format!(
+                "duplicate session name `{}`; give each dataset group a distinct --name",
+                spec.name
+            ));
         }
-    }
-    if opts.mutable.is_empty() {
-        return Err(format!("--mutable is required\n\n{SERVE_USAGE}"));
-    }
-    if opts.protected.is_empty() {
-        return Err(format!("--protected is required\n\n{SERVE_USAGE}"));
     }
     if opts.solve_workers == 0 || opts.queue_depth == 0 {
         return Err("--solve-workers and --queue-depth must be at least 1".into());
@@ -533,32 +597,31 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeCliOptions, String> {
     Ok(opts)
 }
 
-/// Boot the serving front end and block until a graceful shutdown is
-/// requested (`POST /v1/shutdown`), then drain and return.
-///
-/// With `--snapshot-dir`, the session warm-boots from `DIR/<name>.fc` when
-/// the file exists; an unreadable or incompatible snapshot (e.g. the
-/// refused pre-v2 format) is reported on stderr and the server boots cold —
+/// Build one dataset group's session, warm-booting from
+/// `DIR/<name>.fc` when a snapshot directory is configured and the file
+/// exists. An unreadable or incompatible snapshot (e.g. the refused
+/// pre-v2 format) is reported on stderr and the session boots cold —
 /// availability beats a stale cache.
-pub fn run_serve(opts: &ServeCliOptions) -> Result<(), CliError> {
-    let snapshot_path = opts
-        .snapshot_dir
-        .as_ref()
-        .map(|dir| std::path::Path::new(dir).join(format!("{}.fc", opts.name)));
-    let warm_boot = snapshot_path.as_ref().filter(|p| p.exists()).cloned();
-    let session = match &warm_boot {
+fn build_serve_session(
+    spec: &ServeDatasetSpec,
+    snapshot_dir: Option<&str>,
+) -> Result<PrescriptionSession, CliError> {
+    let snapshot_path = snapshot_dir
+        .map(|dir| std::path::Path::new(dir).join(format!("{}.fc", spec.name)))
+        .filter(|p| p.exists());
+    match &snapshot_path {
         Some(path) => {
             match build_session(
-                &opts.data,
-                &opts.dag,
-                &opts.outcome,
-                &opts.mutable,
-                &opts.protected,
+                &spec.data,
+                &spec.dag,
+                &spec.outcome,
+                &spec.mutable,
+                &spec.protected,
                 Some(&path.display().to_string()),
             ) {
                 Ok(session) => {
                     eprintln!("faircap-serve: warm boot from {}", path.display());
-                    session
+                    Ok(session)
                 }
                 // Only a *snapshot* problem (unreadable, refused version,
                 // instance mismatch) falls back to a cold boot; broken
@@ -569,31 +632,39 @@ pub fn run_serve(opts: &ServeCliOptions) -> Result<(), CliError> {
                         path.display()
                     );
                     build_session(
-                        &opts.data,
-                        &opts.dag,
-                        &opts.outcome,
-                        &opts.mutable,
-                        &opts.protected,
+                        &spec.data,
+                        &spec.dag,
+                        &spec.outcome,
+                        &spec.mutable,
+                        &spec.protected,
                         None,
-                    )?
+                    )
                 }
-                Err(other) => return Err(other),
+                Err(other) => Err(other),
             }
         }
         None => build_session(
-            &opts.data,
-            &opts.dag,
-            &opts.outcome,
-            &opts.mutable,
-            &opts.protected,
+            &spec.data,
+            &spec.dag,
+            &spec.outcome,
+            &spec.mutable,
+            &spec.protected,
             None,
-        )?,
-    };
+        ),
+    }
+}
 
+/// Boot the serving front end — one warm session per dataset group — and
+/// block until a graceful shutdown is requested (`POST /v1/shutdown`),
+/// then drain and return.
+pub fn run_serve(opts: &ServeCliOptions) -> Result<(), CliError> {
     let registry = std::sync::Arc::new(SessionRegistry::new());
-    registry
-        .register(&opts.name, session)
-        .expect("fresh registry has no duplicate names");
+    for spec in &opts.datasets {
+        let session = build_serve_session(spec, opts.snapshot_dir.as_deref())?;
+        registry
+            .register(&spec.name, session)
+            .expect("parse_serve_args refuses duplicate names");
+    }
     let config = ServeConfig {
         addr: opts.addr.clone(),
         max_concurrent_solves: opts.solve_workers,
@@ -604,10 +675,11 @@ pub fn run_serve(opts: &ServeCliOptions) -> Result<(), CliError> {
     };
     let server = Server::start(config, registry)
         .map_err(|e| CliError::Config(format!("binding {}: {e}", opts.addr)))?;
+    let names: Vec<&str> = opts.datasets.iter().map(|s| s.name.as_str()).collect();
     println!(
-        "faircap-serve listening on http://{} (session `{}`)",
+        "faircap-serve listening on http://{} (sessions: {})",
         server.addr(),
-        opts.name
+        names.join(", ")
     );
     server.wait_for_shutdown_request();
     println!("faircap-serve: draining in-flight solves …");
@@ -1225,7 +1297,9 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(opts.addr, "127.0.0.1:9000");
-        assert_eq!(opts.name, "german");
+        assert_eq!(opts.datasets.len(), 1);
+        assert_eq!(opts.datasets[0].name, "german");
+        assert_eq!(opts.datasets[0].mutable, vec!["m", "n"]);
         assert_eq!(opts.solve_workers, 3);
         assert_eq!(opts.queue_depth, 5);
         assert_eq!(opts.timeout_ms, 2500);
@@ -1235,7 +1309,7 @@ mod tests {
             "--data d.csv --dag g.txt --outcome o --mutable m --protected a=b",
         ))
         .unwrap();
-        assert_eq!(opts.name, "default");
+        assert_eq!(opts.datasets[0].name, "default");
         assert_eq!(opts.solve_workers, 2);
         // Required flags and bounds.
         assert!(parse_serve_args(&args("--data d.csv")).is_err());
@@ -1246,6 +1320,43 @@ mod tests {
         assert!(parse_serve_args(&args("--help"))
             .unwrap_err()
             .contains("serve"));
+    }
+
+    #[test]
+    fn serve_args_multi_dataset_groups() {
+        // Repeating a dataset flag that is already set starts the next
+        // group; global server flags may appear anywhere.
+        let opts = parse_serve_args(&args(
+            "--name german --data g.csv --dag g.dag --outcome credit \
+             --mutable job --protected sex=female \
+             --addr 127.0.0.1:9000 \
+             --name so --data so.csv --dag so.dag --outcome salary \
+             --mutable edu,hours --protected gender=woman",
+        ))
+        .unwrap();
+        assert_eq!(opts.addr, "127.0.0.1:9000");
+        assert_eq!(opts.datasets.len(), 2);
+        assert_eq!(opts.datasets[0].name, "german");
+        assert_eq!(opts.datasets[0].outcome, "credit");
+        assert_eq!(opts.datasets[1].name, "so");
+        assert_eq!(opts.datasets[1].mutable, vec!["edu", "hours"]);
+        assert_eq!(
+            opts.datasets[1].protected,
+            vec![("gender".to_owned(), "woman".to_owned())]
+        );
+        // A second group missing required fields is rejected.
+        assert!(parse_serve_args(&args(
+            "--data a.csv --dag a.dag --outcome o --mutable m --protected a=b \
+             --name x --data b.csv"
+        ))
+        .is_err());
+        // Duplicate session names are rejected.
+        let err = parse_serve_args(&args(
+            "--data a.csv --dag a.dag --outcome o --mutable m --protected a=b \
+             --data b.csv --dag b.dag --outcome o --mutable m --protected a=b",
+        ))
+        .unwrap_err();
+        assert!(err.contains("duplicate session name"), "{err}");
     }
 
     #[test]

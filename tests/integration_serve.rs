@@ -1,6 +1,6 @@
 //! Integration tests for the `faircap-serve` front end: admission control,
-//! concurrency correctness, metrics, snapshot warm boot, and graceful
-//! drain.
+//! concurrency correctness, metrics, snapshot warm boot, keep-alive
+//! conformance, request coalescing, and graceful drain.
 //!
 //! The headline acceptance criteria live here:
 //!
@@ -9,7 +9,14 @@
 //!   `session.solve()` calls;
 //! * `GET /v1/metrics` shows nonzero estimate-cache hits;
 //! * the overload test observes at least one **429** while the bounded
-//!   queue's high-water mark never exceeds its configured depth.
+//!   queue's high-water mark never exceeds its configured depth;
+//! * N identical in-flight solves coalesce into **one** underlying solve
+//!   with byte-identical fan-out bodies, and a waiter disconnecting
+//!   mid-solve never cancels the shared computation;
+//! * pipelined responses come back strictly in request order,
+//!   `connection: close` is honoured, the idle reaper only closes idle
+//!   connections, and graceful drain finishes every admitted pipelined
+//!   request.
 
 use faircap::causal::Dag;
 use faircap::core::{FairCap, PrescriptionSession, SessionRegistry, SolveRequest};
@@ -379,4 +386,350 @@ fn graceful_shutdown_drains_in_flight_solves() {
     assert_eq!(response.status, 200, "{}", response.body);
     // After shutdown the listener is gone.
     assert!(client.get("/healthz").is_err());
+}
+
+/// Read a numeric field off `/v1/metrics` by dotted path.
+fn metric(client: &ServeClient, path: &str) -> f64 {
+    let doc = Json::parse(&client.get("/v1/metrics").unwrap().body).unwrap();
+    doc.get_path(path)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("metrics missing {path}"))
+}
+
+#[test]
+fn pipelined_identical_solves_coalesce_into_one_underlying_solve() {
+    // One worker and a deep queue: the cold solve is slow, so every
+    // pipelined duplicate arrives (and is parsed, on the reactor thread,
+    // in one pass) long before the leader's solve completes.
+    let (server, client) = boot(ServeConfig {
+        max_concurrent_solves: 1,
+        solve_queue_depth: 16,
+        ..ServeConfig::default()
+    });
+    let n = 6;
+    let body = r#"{"max_rules": 4}"#;
+    let mut conn = client.connect().unwrap();
+    let requests: Vec<(&str, &str, Option<&str>)> =
+        (0..n).map(|_| ("POST", "/v1/solve", Some(body))).collect();
+    let responses = conn.pipeline(&requests).unwrap();
+
+    assert_eq!(responses.len(), n);
+    for response in &responses {
+        assert_eq!(response.status, 200, "{}", response.body);
+        // Bit-identity: the fan-out duplicates the leader's encoded report
+        // byte for byte.
+        assert_eq!(
+            response.body.as_bytes(),
+            responses[0].body.as_bytes(),
+            "coalesced responses must be byte-identical"
+        );
+    }
+    assert!(!rule_strings(&Json::parse(&responses[0].body).unwrap()).is_empty());
+
+    // Exactly one underlying solve served all N requests.
+    assert_eq!(metric(&client, "sessions.so.solves_ok"), 1.0);
+    assert_eq!(
+        metric(&client, "sessions.so.solves_coalesced"),
+        (n - 1) as f64
+    );
+    assert_eq!(metric(&client, "requests.coalesce_hits"), (n - 1) as f64);
+    // Delivered-response accounting still counts every waiter.
+    assert_eq!(metric(&client, "requests.solves_ok"), n as f64);
+    assert_eq!(metric(&client, "admission.coalesce_in_flight"), 0.0);
+    server.shutdown();
+}
+
+#[test]
+fn waiter_disconnect_does_not_cancel_the_shared_solve() {
+    // This test needs the cold solve to outlast two 50 ms sleeps, so it
+    // serves a 15× larger dataset than the other tests (a 2 k-row cold
+    // solve can finish in tens of milliseconds in a debug build).
+    let ds = faircap::data::so::generate(30_000, 3);
+    let keep = ["gdp_group", "age", "certifications", "training", "salary"];
+    let df = ds.df.select(&keep).unwrap();
+    let dag = Dag::parse_edge_list(
+        "gdp_group -> salary\nage -> salary\ncertifications -> salary\ntraining -> salary",
+    )
+    .unwrap();
+    let slow = FairCap::builder()
+        .data(df)
+        .dag(dag)
+        .outcome("salary")
+        .immutable(["gdp_group", "age"])
+        .mutable(["certifications", "training"])
+        .protected(Pattern::of_eq(&[("gdp_group", Value::from("low"))]))
+        .build()
+        .unwrap();
+    let registry = Arc::new(SessionRegistry::new());
+    registry.register("so", slow);
+    let server = Server::start(
+        ServeConfig {
+            max_concurrent_solves: 1,
+            solve_queue_depth: 16,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .unwrap();
+    let client = server.client();
+    client.wait_ready(Duration::from_secs(30)).unwrap();
+    let body = r#"{"max_rules": 4}"#;
+
+    // Conn A leads with a cold (slow) solve.
+    let survivor = {
+        let client = client.clone();
+        std::thread::spawn(move || {
+            let mut conn = client.connect().unwrap();
+            conn.request("POST", "/v1/solve", Some(body)).unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    // Conn B attaches the identical request, then disconnects mid-solve.
+    let mut deserter = client.connect().unwrap();
+    deserter
+        .send("POST", "/v1/solve", Some(body), false)
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    drop(deserter);
+
+    // The surviving waiter still gets its 200 — the shared solve is owned
+    // by the pool, not by any one connection.
+    let response = survivor.join().unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert!(!rule_strings(&Json::parse(&response.body).unwrap()).is_empty());
+    // The duplicate folded: one underlying solve, whichever conn led.
+    assert_eq!(metric(&client, "sessions.so.solves_ok"), 1.0);
+    assert_eq!(metric(&client, "requests.coalesce_hits"), 1.0);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_responses_come_back_in_request_order() {
+    let (server, client) = boot(ServeConfig::default());
+    let mut conn = client.connect().unwrap();
+    // A slow solve first, then two instantly-answerable requests: the
+    // reactor must hold the quick responses behind the pending solve slot.
+    let responses = conn
+        .pipeline(&[
+            ("POST", "/v1/solve", Some(r#"{"max_rules": 3}"#)),
+            ("GET", "/healthz", None),
+            ("GET", "/v1/sessions", None),
+        ])
+        .unwrap();
+    assert_eq!(responses.len(), 3);
+    assert_eq!(responses[0].status, 200, "{}", responses[0].body);
+    assert!(
+        responses[0].body.contains("\"rules\""),
+        "first response must be the solve report: {}",
+        responses[0].body
+    );
+    assert_eq!(responses[1].status, 200);
+    assert!(
+        responses[1].body.contains("\"ok\""),
+        "second response must be the health check: {}",
+        responses[1].body
+    );
+    assert_eq!(responses[2].status, 200);
+    assert!(
+        responses[2].body.contains("\"sessions\""),
+        "third response must be the session listing: {}",
+        responses[2].body
+    );
+    // The connection is still usable for further exchanges.
+    for _ in 0..3 {
+        assert_eq!(conn.request("GET", "/healthz", None).unwrap().status, 200);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn connection_close_is_honoured_after_the_response() {
+    let (server, client) = boot(ServeConfig::default());
+    let mut conn = client.connect().unwrap();
+    assert_eq!(conn.request("GET", "/healthz", None).unwrap().status, 200);
+    // `connection: close` still gets its answer, then EOF.
+    conn.send("GET", "/healthz", None, true).unwrap();
+    let last = conn.read_response().unwrap();
+    assert_eq!(last.status, 200);
+    let eof = conn.read_response();
+    assert!(
+        eof.is_err(),
+        "server must close after `connection: close`, got {eof:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn idle_timeout_reaps_idle_connections_but_not_in_flight_solves() {
+    let idle = Duration::from_millis(250);
+    let (server, client) = boot(ServeConfig {
+        max_concurrent_solves: 1,
+        solve_queue_depth: 16,
+        idle_timeout: idle,
+        ..ServeConfig::default()
+    });
+
+    // A connection with an in-flight cold solve (slow in a debug build,
+    // typically well past the idle timeout) must NOT be reaped: the idle
+    // clock only applies to connections with no outstanding requests.
+    let busy = {
+        let client = client.clone();
+        std::thread::spawn(move || {
+            let mut conn = client.connect().unwrap();
+            conn.request("POST", "/v1/solve", Some(r#"{"max_rules": 5}"#))
+                .unwrap()
+        })
+    };
+
+    // Meanwhile an idle keep-alive connection gets reaped.
+    let mut lazy = client.connect().unwrap();
+    assert_eq!(lazy.request("GET", "/healthz", None).unwrap().status, 200);
+    std::thread::sleep(idle + Duration::from_millis(400));
+    let outcome = lazy
+        .send("GET", "/healthz", None, false)
+        .and_then(|()| lazy.read_response());
+    assert!(
+        outcome.is_err(),
+        "idle connection must be closed by the reaper, got {outcome:?}"
+    );
+
+    let response = busy.join().unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_drain_finishes_admitted_pipelined_requests() {
+    let (server, client) = boot(ServeConfig {
+        max_concurrent_solves: 1,
+        solve_queue_depth: 16,
+        ..ServeConfig::default()
+    });
+    let body = r#"{"max_rules": 4}"#;
+    let mut conn = client.connect().unwrap();
+    // Three pipelined requests — a slow cold solve, a quick endpoint, and
+    // an identical (coalescing) solve — all written before any response is
+    // read, so all are admitted while the leader's solve runs.
+    for request in [
+        ("POST", "/v1/solve", Some(body)),
+        ("GET", "/healthz", None),
+        ("POST", "/v1/solve", Some(body)),
+    ] {
+        conn.send(request.0, request.1, request.2, false).unwrap();
+    }
+    // Give the reactor a beat to parse and dispatch all three.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let reader = std::thread::spawn(move || {
+        let responses: Vec<_> = (0..3).map(|_| conn.read_response()).collect();
+        let eof = conn.read_response();
+        (responses, eof)
+    });
+    // Drain while the solve is in flight and the pipeline is unanswered.
+    server.shutdown();
+
+    let (responses, eof) = reader.join().unwrap();
+    let statuses: Vec<_> = responses
+        .iter()
+        .map(|r| r.as_ref().map(|r| r.status))
+        .collect();
+    for (i, response) in responses.iter().enumerate() {
+        let response = response
+            .as_ref()
+            .unwrap_or_else(|e| panic!("admitted request {i} dropped during drain: {e}"));
+        assert_eq!(response.status, 200, "request {i}: {statuses:?}");
+    }
+    assert!(responses[0].as_ref().unwrap().body.contains("\"rules\""));
+    assert_eq!(
+        responses[0].as_ref().unwrap().body,
+        responses[2].as_ref().unwrap().body,
+        "the coalesced duplicate drains with the leader's bytes"
+    );
+    // After the last admitted response the drained connection closes.
+    assert!(
+        eof.is_err(),
+        "connection must close after drain, got {eof:?}"
+    );
+    assert!(client.get("/healthz").is_err(), "listener must be gone");
+}
+
+/// Open-loop overload soak at roughly 10× serving capacity, driven by the
+/// scenario workload replayer. Long and load-bearing on wall-clock, so it
+/// is `#[ignore]`d in the default CI tier; run with `--ignored`.
+#[test]
+#[ignore = "soak test: run explicitly with cargo test -- --ignored"]
+fn overload_soak_sheds_cleanly_and_never_drops_admitted_requests() {
+    use faircap::scenario::{
+        default_epsilon, generate, replay, Arrival, ReplayOptions, ReplayTarget, ScenarioSpec,
+        WorkloadMix,
+    };
+    let spec = ScenarioSpec {
+        name: "soak".into(),
+        rows: 4_000,
+        ..ScenarioSpec::default()
+    };
+    let sc = generate(&spec).unwrap();
+    let registry = Arc::new(SessionRegistry::new());
+    registry.register("soak", sc.session().unwrap()).unwrap();
+    let queue_depth = 2;
+    let server = Server::start(
+        ServeConfig {
+            max_concurrent_solves: 1,
+            solve_queue_depth: queue_depth,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .unwrap();
+    let client = server.client();
+    client.wait_ready(Duration::from_secs(30)).unwrap();
+
+    // Open loop far past capacity: a 1-worker server solves well under
+    // 50 req/s on this scenario in a debug build; the schedule offers
+    // 500/s. The sweep mix with a high cold fraction keeps fingerprints
+    // distinct so coalescing cannot flatten the overload.
+    let options = ReplayOptions {
+        mix: WorkloadMix::preset("sweep", default_epsilon(&spec)).unwrap(),
+        arrival: Arrival::Open {
+            clients: 32,
+            rate_hz: 500.0,
+        },
+        total: 200,
+        cold_fraction: 0.8,
+    };
+    let target = ReplayTarget::Http {
+        client: server.client(),
+        session: "soak".into(),
+    };
+    let report = replay(&target, &options, &spec).unwrap();
+
+    // Every request is answered with a deliberate status: successes and
+    // admission-control sheds only — never a transport error, reset, or
+    // invalid-request surprise.
+    assert_eq!(report.failed_other, 0, "{}", report.summary());
+    assert_eq!(report.invalid, 0, "{}", report.summary());
+    assert_eq!(
+        report.ok + report.rejected_429 + report.rejected_503 + report.timeout_504,
+        report.total,
+        "{}",
+        report.summary()
+    );
+    assert!(report.ok >= 1, "{}", report.summary());
+    assert!(
+        report.rejected_429 >= report.total / 4,
+        "10× overload must shed hard: {}",
+        report.summary()
+    );
+    // The bounded queue held its bound through the whole soak.
+    let high_water = metric(&client, "admission.max_queue_depth");
+    assert!(
+        high_water <= queue_depth as f64,
+        "queue high-water {high_water} exceeded bound {queue_depth}"
+    );
+    // Connection accounting stayed consistent under churn.
+    let accepted = metric(&client, "connections.accepted");
+    let closed = metric(&client, "connections.closed");
+    assert!(accepted >= report.total as f64);
+    assert!(closed <= accepted);
+    server.shutdown();
 }
