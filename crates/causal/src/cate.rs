@@ -7,10 +7,14 @@
 //! supplied per query (see [`Estimator`]), so one long-lived engine serves
 //! repeated solves under different estimators while sharing its caches.
 //!
-//! Three caches persist across queries:
+//! Four caches persist across queries:
 //!
 //! * adjustment sets, derived from the DAG once per treatment-attribute set;
 //! * treated-row masks, one per intervention pattern;
+//! * KD-tree match indices ([`MatchIndexCache`]), one per
+//!   `(subgroup, adjustment set)` — the matching estimator's standardized
+//!   design and tree are built once and reused across the whole
+//!   intervention sweep over that subgroup;
 //! * full estimates, keyed by `(estimator, group, intervention)` — the cache
 //!   the greedy phase and repeated constraint re-solves hit hardest. This
 //!   one is a [`ShardedLruCache`]: lookups contend on one of its lock
@@ -31,12 +35,14 @@
 
 use crate::backdoor::find_adjustment_set_names;
 use crate::error::{CausalError, Result};
-use crate::estimate::{Estimate, Estimator};
+use crate::estimate::matching::MatchIndex;
+use crate::estimate::{kernel, Estimate, EstimateCtx, Estimator, HotStats};
 use crate::graph::Dag;
 use faircap_table::{DataFrame, DataType, FnvHasher, Mask, Pattern, ShardedLruCache};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Estimate-cache hit/miss counters (see [`CateEngine::cache_stats`]).
 ///
@@ -61,6 +67,95 @@ pub struct CacheStats {
 /// across worker threads that all funnel their CATE queries through one
 /// engine; 16 shards keep them off each other's locks.
 const ESTIMATE_CACHE_SHARDS: usize = 16;
+
+/// Default entry bound of the match-index cache. Indices are heavy
+/// (standardized design + KD-tree, O(rows·dim) floats each) and a solve
+/// only sweeps a handful of subgroups at a time, so a small LRU bound
+/// keeps reuse high without letting index memory grow with the sweep.
+const MATCH_INDEX_CACHE_CAPACITY: usize = 32;
+
+/// Lock shards of the match-index cache; fewer distinct keys than the
+/// estimate cache, so fewer shards suffice.
+const MATCH_INDEX_CACHE_SHARDS: usize = 4;
+
+/// Session-lived cache of matching indices ([`MatchIndex`]: standardized
+/// columnar design + KD-tree), keyed by `(subgroup fingerprint, adjustment
+/// set)`. The matching estimator's index depends only on the subgroup rows
+/// and the adjustment covariates — *not* on the intervention — so one index
+/// serves the entire pattern sweep against a subgroup. LRU-bounded because
+/// each index holds O(rows · dim) floats.
+pub struct MatchIndexCache {
+    cache: ShardedLruCache<(u64, Vec<String>), Arc<MatchIndex>>,
+}
+
+impl Default for MatchIndexCache {
+    fn default() -> Self {
+        Self::with_capacity(MATCH_INDEX_CACHE_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for MatchIndexCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatchIndexCache")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MatchIndexCache {
+    /// A cache bounded to `capacity` indices (LRU eviction).
+    pub fn with_capacity(capacity: usize) -> Self {
+        MatchIndexCache {
+            cache: ShardedLruCache::new(capacity, MATCH_INDEX_CACHE_SHARDS),
+        }
+    }
+
+    /// Return the cached index for `(group_fp, adjustment)`, building (and
+    /// caching) it on miss. Build costs are charged to `stats`
+    /// (`build_ns`/`index_ns`); a hit charges nothing.
+    #[allow(clippy::too_many_arguments)] // mirrors the estimator signature plus the cache key
+    pub fn get_or_build(
+        &self,
+        group_fp: u64,
+        df: &DataFrame,
+        group: &Mask,
+        outcome: &str,
+        adjustment: &[String],
+        workers: usize,
+        stats: &mut HotStats,
+    ) -> Result<Arc<MatchIndex>> {
+        let key = (group_fp, adjustment.to_vec());
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(hit);
+        }
+        let built = Arc::new(MatchIndex::build(
+            df, group, outcome, adjustment, workers, stats,
+        )?);
+        self.cache.insert(key, Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// Hit/miss/entry/eviction counters of the index cache.
+    pub fn stats(&self) -> CacheStats {
+        let c = self.cache.counters();
+        CacheStats {
+            hits: c.hits,
+            misses: c.misses,
+            entries: c.entries,
+            evictions: c.evictions,
+        }
+    }
+}
+
+/// Aggregated hot-path cost accounting across every (uncached) estimate an
+/// engine ran — see [`CateEngine::hot_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineHotStats {
+    /// Per-stage totals summed over estimates.
+    pub stats: HotStats,
+    /// Number of estimation runs that contributed (cache hits excluded).
+    pub estimates: u64,
+}
 
 /// Key of one cached estimate: estimator identity, subgroup fingerprint,
 /// intervention pattern. The estimator name is interned per query
@@ -106,6 +201,10 @@ pub struct CateEngine {
     /// shard); the per-estimator-name breakdown lives in `per_estimator`.
     estimate_cache: ShardedLruCache<EstimateKey, Option<Estimate>>,
     per_estimator: Mutex<HashMap<String, CacheStats>>,
+    /// KD-tree match indices, shared across the matching sweep.
+    match_index_cache: MatchIndexCache,
+    /// Hot-path cost totals across every estimation run.
+    hot: Mutex<EngineHotStats>,
 }
 
 impl std::fmt::Debug for CateEngine {
@@ -141,6 +240,8 @@ impl CateEngine {
             treated_cache: Mutex::new(HashMap::new()),
             estimate_cache: ShardedLruCache::unbounded(ESTIMATE_CACHE_SHARDS),
             per_estimator: Mutex::new(HashMap::new()),
+            match_index_cache: MatchIndexCache::default(),
+            hot: Mutex::new(EngineHotStats::default()),
         })
     }
 
@@ -272,7 +373,7 @@ impl CateEngine {
             self.bump(name, |s| s.hits += 1);
             return hit;
         }
-        let result = self.cate_uncached(group, intervention, estimator);
+        let result = self.cate_uncached(group, key.group_fp, intervention, estimator);
         // A racing duplicate query may have inserted the same key first;
         // `replaced` distinguishes that (same value — estimation is
         // deterministic), so per-estimator entry counts stay exact.
@@ -290,6 +391,7 @@ impl CateEngine {
     fn cate_uncached(
         &self,
         group: &Mask,
+        group_fp: u64,
         intervention: &Pattern,
         estimator: &dyn Estimator,
     ) -> Option<Estimate> {
@@ -303,14 +405,51 @@ impl CateEngine {
             .collect();
         let adjustment = self.adjustment_for(&attrs)?;
         let treated = self.treated_mask(intervention).ok()?;
-        estimator
-            .estimate(&self.df, group, &treated, &self.outcome, &adjustment)
-            .ok()
+        let mut ctx = EstimateCtx {
+            workers: kernel::auto_workers(group.count()),
+            stats: HotStats::default(),
+            index_cache: Some((&self.match_index_cache, group_fp)),
+        };
+        let t0 = Instant::now();
+        let result = estimator
+            .estimate_with_ctx(
+                &mut ctx,
+                &self.df,
+                group,
+                &treated,
+                &self.outcome,
+                &adjustment,
+            )
+            .ok();
+        let total = t0.elapsed().as_nanos() as u64;
+        let mut stats = ctx.stats;
+        stats.solve_ns = total.saturating_sub(stats.build_ns.saturating_add(stats.index_ns));
+        let mut hot = self.hot.lock();
+        hot.stats.absorb(&stats);
+        hot.estimates += 1;
+        result
     }
 
     /// Number of cached estimates (diagnostics).
     pub fn cache_len(&self) -> usize {
         self.estimate_cache.len()
+    }
+
+    /// Aggregated hot-path cost accounting — per-stage nanoseconds, executor
+    /// task counts, and KD-tree visit totals — across every estimation run
+    /// this engine performed (cache hits excluded).
+    pub fn hot_stats(&self) -> EngineHotStats {
+        *self.hot.lock()
+    }
+
+    /// The KD-tree match-index cache (for direct reuse or inspection).
+    pub fn match_index_cache(&self) -> &MatchIndexCache {
+        &self.match_index_cache
+    }
+
+    /// Hit/miss counters of the match-index cache.
+    pub fn match_index_cache_stats(&self) -> CacheStats {
+        self.match_index_cache.stats()
     }
 
     /// Bound the estimate cache to at most `capacity` entries, evicting

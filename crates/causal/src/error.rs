@@ -26,10 +26,17 @@ pub enum CausalError {
         /// The refusing estimator's stable name.
         estimator: &'static str,
         /// The work the estimate would have performed, in the estimator's
-        /// own unit (for matching: `n_treated · n_control` pair distances).
+        /// own unit. Matching reports its *post-index* cost model —
+        /// estimated KD-tree node visits when the tree path would run,
+        /// raw `n_treated · n_control` pair distances only when the arms
+        /// are too small (or the design covariate-free) for the index to
+        /// help.
         work: u64,
         /// The configured budget the work exceeded.
         budget: u64,
+        /// Human-readable name of the work unit, so the refusal message
+        /// states what was actually modeled.
+        unit: &'static str,
     },
     /// The underlying table layer reported an error.
     Table(faircap_table::TableError),
@@ -57,11 +64,13 @@ impl fmt::Display for CausalError {
                 estimator,
                 work,
                 budget,
+                unit,
             } => write!(
                 f,
-                "`{estimator}` refused the subgroup: it would perform {work} units of work, \
-                 over the budget of {budget}; choose a scalable estimator for groups this \
-                 large (linear, ipw, or aipw) or raise FAIRCAP_MATCHING_BUDGET"
+                "`{estimator}` refused the subgroup: the post-index cost model estimates \
+                 {work} {unit}, over the budget of {budget}; choose a scalable estimator \
+                 for groups this large (linear, ipw, or aipw), or raise \
+                 FAIRCAP_MATCHING_BUDGET if the KD-tree-indexed estimate is worth the wait"
             ),
             CausalError::Table(e) => write!(f, "table error: {e}"),
             CausalError::Scm(msg) => write!(f, "scm error: {msg}"),

@@ -28,13 +28,14 @@
 //! then pure-extrapolate while the influence-function variance understates
 //! the error. Cache key: `"aipw"`.
 
-use super::{design, ipw, normal_inference, Estimate, MIN_ARM_SIZE};
+use super::{ipw, kernel, normal_inference, Estimate, HotStats, MIN_ARM_SIZE};
 use crate::error::{CausalError, Result};
-use crate::linalg::{solve_spd, Matrix};
+use crate::linalg::solve_spd;
 use faircap_table::{DataFrame, Mask};
+use std::time::Instant;
 
-/// Estimate the CATE by augmented inverse propensity weighting. See module
-/// docs.
+/// Estimate the CATE by augmented inverse propensity weighting with
+/// automatic worker selection. See module docs.
 pub fn estimate(
     df: &DataFrame,
     group: &Mask,
@@ -42,8 +43,30 @@ pub fn estimate(
     outcome: &str,
     adjustment: &[String],
 ) -> Result<Estimate> {
-    let rows: Vec<usize> = group.to_indices();
-    let n = rows.len();
+    let workers = kernel::auto_workers(group.count());
+    estimate_with(
+        df,
+        group,
+        treated,
+        outcome,
+        adjustment,
+        workers,
+        &mut HotStats::default(),
+    )
+}
+
+/// AIPW estimate over the columnar kernels, with an explicit worker count
+/// and hot-path cost accounting.
+pub fn estimate_with(
+    df: &DataFrame,
+    group: &Mask,
+    treated: &Mask,
+    outcome: &str,
+    adjustment: &[String],
+    workers: usize,
+    stats: &mut HotStats,
+) -> Result<Estimate> {
+    let n = group.count();
     let n_treated = group.intersect_count(treated);
     let n_control = n - n_treated;
     if n_treated < MIN_ARM_SIZE || n_control < MIN_ARM_SIZE {
@@ -52,14 +75,15 @@ pub fn estimate(
         )));
     }
 
-    let y = design::outcome_values(df, outcome, &rows)?;
-    let t: Vec<bool> = rows.iter().map(|&r| treated.get(r)).collect();
-
     // Shared design [1, Z...] over the group rows: the propensity model and
-    // both per-arm outcome regressions all read the same encoding.
-    let x = design::build_intercept_design(df, adjustment, group, &rows)?;
+    // both per-arm outcome regressions all read the same columnar encoding.
+    let t0 = Instant::now();
+    let x = kernel::build_columns(df, adjustment, group, None, workers, &mut stats.tasks)?;
+    let y = kernel::gather_outcome(df, outcome, group)?;
+    let t = kernel::gather_indicator(group, treated);
+    stats.build_ns += t0.elapsed().as_nanos() as u64;
 
-    let propensities = ipw::logistic_fit(&x, &t)?;
+    let propensities = ipw::logistic_fit(x.cols(), &t, workers, &mut stats.tasks)?;
     // Positivity guard: when the propensity model (near-)separates the
     // arms, the per-arm outcome regressions extrapolate into covariate
     // regions their arm never observed and the influence-function variance
@@ -75,15 +99,16 @@ pub fn estimate(
              ({clipped}/{n} rows with extreme propensity)"
         )));
     }
-    let beta_t = fit_arm(&x, &y, &t, true)?;
-    let beta_c = fit_arm(&x, &y, &t, false)?;
+    let beta_t = fit_arm(x.cols(), &y, &t, true, workers, &mut stats.tasks)?;
+    let beta_c = fit_arm(x.cols(), &y, &t, false, workers, &mut stats.tasks)?;
 
-    // Doubly-robust scores.
+    // Doubly-robust scores; counterfactual means stream column-major.
+    let m1s = kernel::mat_vec_columns(x.cols(), &beta_t);
+    let m0s = kernel::mat_vec_columns(x.cols(), &beta_c);
     let mut psi = vec![0.0; n];
     for i in 0..n {
-        let xi = x.row(i);
-        let m1: f64 = xi.iter().zip(&beta_t).map(|(a, b)| a * b).sum();
-        let m0: f64 = xi.iter().zip(&beta_c).map(|(a, b)| a * b).sum();
+        let m1 = m1s[i];
+        let m0 = m0s[i];
         let p = propensities[i].clamp(ipw::CLIP, 1.0 - ipw::CLIP);
         psi[i] = m1 - m0
             + if t[i] {
@@ -110,33 +135,19 @@ pub fn estimate(
 
 /// OLS fit of the outcome on `[1, Z]` restricted to one arm; returns the
 /// coefficient vector used to predict counterfactual means for *all* rows.
+/// The arm restriction is a dense 0/1 multiplier so the masked gram and
+/// right-hand side run through the blocked arm kernel without branching.
 /// Shared with the matching estimator's bias-adjustment step.
-#[allow(clippy::needless_range_loop)] // index loops are clearer in the gram accumulation
-pub(crate) fn fit_arm(x: &Matrix, y: &[f64], t: &[bool], arm: bool) -> Result<Vec<f64>> {
-    let k = x.cols();
-    let mut gram = Matrix::zeros(k, k);
-    let mut xty = vec![0.0; k];
-    for (r, (&yr, &tr)) in y.iter().zip(t).enumerate() {
-        if tr != arm {
-            continue;
-        }
-        let row = x.row(r);
-        for i in 0..k {
-            let xi = row[i];
-            if xi == 0.0 {
-                continue;
-            }
-            xty[i] += xi * yr;
-            for j in i..k {
-                gram.set(i, j, gram.get(i, j) + xi * row[j]);
-            }
-        }
-    }
-    for i in 0..k {
-        for j in 0..i {
-            gram.set(i, j, gram.get(j, i));
-        }
-    }
+pub(crate) fn fit_arm(
+    cols: &[Vec<f64>],
+    y: &[f64],
+    t: &[bool],
+    arm: bool,
+    workers: usize,
+    tasks: &mut u64,
+) -> Result<Vec<f64>> {
+    let mask: Vec<f64> = t.iter().map(|&tr| (tr == arm) as u8 as f64).collect();
+    let (gram, xty) = kernel::arm_gram_xty(cols, y, &mask, workers, tasks);
     solve_spd(&gram, &xty)
 }
 

@@ -11,10 +11,11 @@
 //! the third estimator ablation — DoWhy exposes the same trio (linear /
 //! stratification / IPW) for backdoor adjustment.
 
-use super::{design, normal_inference, Estimate, MIN_ARM_SIZE};
+use super::{kernel, normal_inference, Estimate, HotStats, MIN_ARM_SIZE};
 use crate::error::{CausalError, Result};
-use crate::linalg::{solve_spd, Matrix};
+use crate::linalg::solve_spd;
 use faircap_table::{DataFrame, Mask};
+use std::time::Instant;
 
 /// Propensity clip bounds (positivity enforcement); shared with the AIPW
 /// estimator so both enforce the same overlap region.
@@ -22,7 +23,8 @@ pub(crate) const CLIP: f64 = 0.01;
 /// IRLS iteration cap; logistic fits on clean designs converge in < 10.
 const MAX_IRLS_ITERS: usize = 25;
 
-/// Estimate the CATE by inverse propensity weighting. See module docs.
+/// Estimate the CATE by inverse propensity weighting with automatic
+/// worker selection. See module docs.
 pub fn estimate(
     df: &DataFrame,
     group: &Mask,
@@ -30,8 +32,30 @@ pub fn estimate(
     outcome: &str,
     adjustment: &[String],
 ) -> Result<Estimate> {
-    let rows: Vec<usize> = group.to_indices();
-    let n = rows.len();
+    let workers = kernel::auto_workers(group.count());
+    estimate_with(
+        df,
+        group,
+        treated,
+        outcome,
+        adjustment,
+        workers,
+        &mut HotStats::default(),
+    )
+}
+
+/// IPW estimate over the columnar kernels, with an explicit worker count
+/// and hot-path cost accounting.
+pub fn estimate_with(
+    df: &DataFrame,
+    group: &Mask,
+    treated: &Mask,
+    outcome: &str,
+    adjustment: &[String],
+    workers: usize,
+    stats: &mut HotStats,
+) -> Result<Estimate> {
+    let n = group.count();
     let n_treated = group.intersect_count(treated);
     let n_control = n - n_treated;
     if n_treated < MIN_ARM_SIZE || n_control < MIN_ARM_SIZE {
@@ -40,13 +64,14 @@ pub fn estimate(
         )));
     }
 
-    let y = design::outcome_values(df, outcome, &rows)?;
-    let t: Vec<bool> = rows.iter().map(|&r| treated.get(r)).collect();
-
     // Propensity design: [1, Z...]; with an empty adjustment set the model
     // degenerates to the marginal treatment rate (as it should).
-    let x = design::build_intercept_design(df, adjustment, group, &rows)?;
-    let propensities = logistic_fit(&x, &t)?;
+    let t0 = Instant::now();
+    let x = kernel::build_columns(df, adjustment, group, None, workers, &mut stats.tasks)?;
+    let y = kernel::gather_outcome(df, outcome, group)?;
+    let t = kernel::gather_indicator(group, treated);
+    stats.build_ns += t0.elapsed().as_nanos() as u64;
+    let propensities = logistic_fit(x.cols(), &t, workers, &mut stats.tasks)?;
 
     // Hájek-weighted means per arm, with clipped propensities.
     let mut sw_t = 0.0;
@@ -95,44 +120,40 @@ pub fn estimate(
     })
 }
 
-/// Logistic regression by IRLS; returns fitted probabilities per row.
+/// Logistic regression by IRLS over column-major design columns; returns
+/// fitted probabilities per row. Each iteration's `XᵀWX` and `Xᵀ(t − p)`
+/// reductions run through the fused blocked kernel
+/// ([`kernel::weighted_gram_score`]), fanning out across `workers`.
 /// Shared with the AIPW estimator, which augments the same propensity
 /// model with per-arm outcome regressions.
-pub(crate) fn logistic_fit(x: &Matrix, t: &[bool]) -> Result<Vec<f64>> {
-    let n = x.rows();
-    let k = x.cols();
+pub(crate) fn logistic_fit(
+    cols: &[Vec<f64>],
+    t: &[bool],
+    workers: usize,
+    tasks: &mut u64,
+) -> Result<Vec<f64>> {
+    let n = cols.first().map_or(0, Vec::len);
+    let k = cols.len();
     let mut beta = vec![0.0; k];
     let mut probs: Vec<f64> = vec![0.5; n];
+    let mut w = vec![0.0; n];
+    let mut resid = vec![0.0; n];
     for _ in 0..MAX_IRLS_ITERS {
-        // Weighted gram XᵀWX and score Xᵀ(t − p).
-        let mut gram = Matrix::zeros(k, k);
-        let mut score = vec![0.0; k];
         for r in 0..n {
-            let row = x.row(r);
             let p = probs[r];
-            let w = (p * (1.0 - p)).max(1e-6_f64);
-            for i in 0..k {
-                score[i] += row[i] * ((t[r] as u8 as f64) - p);
-                for j in i..k {
-                    let v = w * row[i] * row[j];
-                    gram.set(i, j, gram.get(i, j) + v);
-                }
-            }
+            w[r] = (p * (1.0 - p)).max(1e-6_f64);
+            resid[r] = (t[r] as u8 as f64) - p;
         }
-        for i in 0..k {
-            for j in 0..i {
-                gram.set(i, j, gram.get(j, i));
-            }
-        }
+        let (gram, score) = kernel::weighted_gram_score(cols, &w, &resid, workers, tasks);
         let delta = solve_spd(&gram, &score)?;
         let step: f64 = delta.iter().map(|d| d * d).sum::<f64>().sqrt();
         for (b, d) in beta.iter_mut().zip(&delta) {
             *b += d;
         }
         // Refresh probabilities.
-        for (r, p) in probs.iter_mut().enumerate() {
-            let eta: f64 = x.row(r).iter().zip(&beta).map(|(a, b)| a * b).sum();
-            *p = 1.0 / (1.0 + (-eta).exp());
+        let eta = kernel::mat_vec_columns(cols, &beta);
+        for (p, e) in probs.iter_mut().zip(&eta) {
+            *p = 1.0 / (1.0 + (-e).exp());
         }
         if step < 1e-8 {
             break;
@@ -198,12 +219,11 @@ mod tests {
     fn logistic_fit_recovers_rates() {
         // Propensity differs by group: 25% vs 75%.
         let n = 400;
-        let mut x = Matrix::zeros(n, 2);
+        let mut indicator = vec![0.0f64; n];
         let mut t = Vec::with_capacity(n);
         for i in 0..n {
             let g = i % 2 == 0;
-            x.set(i, 0, 1.0);
-            x.set(i, 1, g as u8 as f64);
+            indicator[i] = g as u8 as f64;
             // deterministic pattern with exact rates: within each parity
             // class, (i/2) cycles 0,1,2,3 → 75% treated in-group, 25% out.
             t.push(if g {
@@ -212,7 +232,8 @@ mod tests {
                 (i / 2) % 4 == 0
             });
         }
-        let probs = logistic_fit(&x, &t).unwrap();
+        let cols = vec![vec![1.0; n], indicator];
+        let probs = logistic_fit(&cols, &t, 1, &mut 0).unwrap();
         let mean_g: f64 =
             (0..n).filter(|i| i % 2 == 0).map(|i| probs[i]).sum::<f64>() / (n / 2) as f64;
         let mean_ng: f64 =

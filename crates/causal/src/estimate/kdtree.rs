@@ -1,0 +1,405 @@
+//! Median-split, leaf-bucketed KD-tree for tie-inclusive k-NN matching.
+//!
+//! The tree indexes the *standardized* covariate design of one (subgroup,
+//! adjustment-set) pair — see [`super::matching`] — and answers the only
+//! query matching needs: "every opposite-arm unit at least as close as the
+//! k-th nearest, ties included". Because matching's CATE must be
+//! **bit-identical** whether it was computed by brute force or through the
+//! tree, the query runs in two phases:
+//!
+//! 1. **k-th bound** — a classic best-first descent maintaining the `k`
+//!    smallest accepted distances, pruning subtrees whose bounding-box
+//!    distance cannot beat the current k-th. This yields the exact k-th
+//!    smallest squared distance (a pure value, independent of traversal
+//!    order).
+//! 2. **tie collect** — a range query at [`tie_cutoff`]`(kth)` gathers
+//!    *every* accepted point within the inflated cutoff. A single pruned
+//!    pass could not do this: points tied with the k-th (or within the
+//!    tolerance band above it) may hide in subtrees a plain k-NN descent
+//!    already discarded.
+//!
+//! Collected ids are sorted ascending, so downstream accumulation visits
+//! matches in pool order — exactly the order the brute-force path uses.
+//! Both phases count visited nodes; the matching budget is expressed in
+//! (modeled) units of this count.
+//!
+//! Arm filtering happens at query time through an `accept` predicate:
+//! the tree itself is treatment-independent, which is what lets one index
+//! serve every intervention of a pattern sweep.
+//!
+//! Coordinates are assumed finite (the standardizer maps non-finite and
+//! zero-variance columns to 0.0); comparisons use `total_cmp` so the tree
+//! and brute-force paths rank equal keys identically.
+
+/// Maximum points per leaf bucket. Leaves are scanned linearly, so this
+/// trades tree depth (pointer chasing) against per-leaf work; 32 keeps a
+/// leaf's coordinates within a few cache lines.
+pub const LEAF_SIZE: usize = 32;
+
+/// Sentinel child index marking a leaf node.
+const NONE: u32 = u32::MAX;
+
+/// One tree node: a range of the id permutation plus child links.
+struct Node {
+    start: u32,
+    end: u32,
+    left: u32,
+    right: u32,
+}
+
+/// A median-split KD-tree over `n` points of fixed dimension, holding a
+/// permutation of point ids; point coordinates stay in the caller's flat
+/// row-major buffer and are passed to each query.
+pub struct KdTree {
+    dim: usize,
+    nodes: Vec<Node>,
+    ids: Vec<u32>,
+    /// Per node: `dim` minima then `dim` maxima of its bounding box.
+    bounds: Vec<f64>,
+}
+
+impl std::fmt::Debug for KdTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KdTree")
+            .field("dim", &self.dim)
+            .field("points", &self.ids.len())
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+/// Squared Euclidean distance with terms accumulated in ascending
+/// coordinate order — shared by the brute-force and tree paths so every
+/// distance is computed by the exact same float sequence.
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Inflate the k-th smallest squared distance into the tie-inclusive
+/// cutoff: a hair of relative and absolute slack so floating-point
+/// near-ties land inside the matched set rather than outside it.
+pub fn tie_cutoff(kth: f64) -> f64 {
+    kth * (1.0 + 1e-9) + 1e-12
+}
+
+impl KdTree {
+    /// Build over `points` (row-major, `dim` coordinates per point).
+    /// Splits the widest bounding-box dimension at the median (ties in the
+    /// split key broken by point id, so the tree is a pure function of the
+    /// points); ranges of `LEAF_SIZE` or fewer points — or with zero
+    /// spread in every dimension — become leaf buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim == 0` or `points.len()` is not a multiple of
+    /// `dim`.
+    pub fn build(points: &[f64], dim: usize) -> KdTree {
+        assert!(dim > 0, "KdTree requires at least one dimension");
+        assert_eq!(points.len() % dim, 0, "points must be n × dim");
+        let n = points.len() / dim;
+        let mut tree = KdTree {
+            dim,
+            nodes: Vec::with_capacity((2 * n / LEAF_SIZE).max(1)),
+            ids: (0..n as u32).collect(),
+            bounds: Vec::new(),
+        };
+        if n > 0 {
+            tree.build_node(points, 0, n);
+        }
+        tree
+    }
+
+    /// Number of tree nodes (internal + leaves) — the unit the matching
+    /// budget models.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn build_node(&mut self, points: &[f64], start: usize, end: usize) -> u32 {
+        let dim = self.dim;
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for &id in &self.ids[start..end] {
+            let p = &points[id as usize * dim..][..dim];
+            for d in 0..dim {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        let node_idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            start: start as u32,
+            end: end as u32,
+            left: NONE,
+            right: NONE,
+        });
+        self.bounds.extend_from_slice(&lo);
+        self.bounds.extend_from_slice(&hi);
+
+        let mut split_dim = 0;
+        let mut spread = 0.0f64;
+        for d in 0..dim {
+            let s = hi[d] - lo[d];
+            if s > spread {
+                spread = s;
+                split_dim = d;
+            }
+        }
+        if end - start > LEAF_SIZE && spread > 0.0 {
+            let mid = (start + end) / 2;
+            self.ids[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
+                let ca = points[a as usize * dim + split_dim];
+                let cb = points[b as usize * dim + split_dim];
+                ca.total_cmp(&cb).then(a.cmp(&b))
+            });
+            let left = self.build_node(points, start, mid);
+            let right = self.build_node(points, mid, end);
+            let node = &mut self.nodes[node_idx as usize];
+            node.left = left;
+            node.right = right;
+        }
+        node_idx
+    }
+
+    /// Minimum squared distance from `q` to the node's bounding box.
+    fn min_dist2(&self, q: &[f64], node: u32) -> f64 {
+        let b = &self.bounds[node as usize * 2 * self.dim..][..2 * self.dim];
+        let (lo, hi) = b.split_at(self.dim);
+        let mut acc = 0.0;
+        for d in 0..self.dim {
+            let v = q[d];
+            let diff = if v < lo[d] {
+                lo[d] - v
+            } else if v > hi[d] {
+                v - hi[d]
+            } else {
+                0.0
+            };
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    /// Tie-inclusive k-NN: find the k-th smallest squared distance from
+    /// `q` among points the `accept` predicate admits, then collect
+    /// **every** accepted point within [`tie_cutoff`] of it into `out`,
+    /// sorted ascending by id. Returns the number of tree nodes visited
+    /// across both phases. With fewer than `k` accepted points, the
+    /// farthest accepted distance plays the k-th's role (everything
+    /// matches); with none, `out` stays empty.
+    pub fn query_ties(
+        &self,
+        points: &[f64],
+        q: &[f64],
+        k: usize,
+        accept: impl Fn(u32) -> bool + Copy,
+        out: &mut Vec<u32>,
+    ) -> u64 {
+        out.clear();
+        if self.nodes.is_empty() || k == 0 {
+            return 0;
+        }
+        let mut visited = 0u64;
+        let mut best: Vec<f64> = Vec::with_capacity(k);
+        self.nearest(points, q, k, accept, 0, &mut best, &mut visited);
+        let Some(&kth) = best.last() else {
+            return visited;
+        };
+        let cutoff = tie_cutoff(kth);
+        self.collect(points, q, cutoff, accept, 0, out, &mut visited);
+        out.sort_unstable();
+        visited
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn nearest(
+        &self,
+        points: &[f64],
+        q: &[f64],
+        k: usize,
+        accept: impl Fn(u32) -> bool + Copy,
+        node: u32,
+        best: &mut Vec<f64>,
+        visited: &mut u64,
+    ) {
+        *visited += 1;
+        let nd = &self.nodes[node as usize];
+        if nd.left == NONE {
+            for &id in &self.ids[nd.start as usize..nd.end as usize] {
+                if !accept(id) {
+                    continue;
+                }
+                let d2 = dist2(q, &points[id as usize * self.dim..][..self.dim]);
+                push_best(best, k, d2);
+            }
+            return;
+        }
+        let dl = self.min_dist2(q, nd.left);
+        let dr = self.min_dist2(q, nd.right);
+        let (near, d_near, far, d_far) = if dl <= dr {
+            (nd.left, dl, nd.right, dr)
+        } else {
+            (nd.right, dr, nd.left, dl)
+        };
+        if best.len() < k || d_near.total_cmp(best.last().expect("non-empty")).is_lt() {
+            self.nearest(points, q, k, accept, near, best, visited);
+        }
+        if best.len() < k || d_far.total_cmp(best.last().expect("non-empty")).is_lt() {
+            self.nearest(points, q, k, accept, far, best, visited);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn collect(
+        &self,
+        points: &[f64],
+        q: &[f64],
+        cutoff: f64,
+        accept: impl Fn(u32) -> bool + Copy,
+        node: u32,
+        out: &mut Vec<u32>,
+        visited: &mut u64,
+    ) {
+        *visited += 1;
+        let nd = &self.nodes[node as usize];
+        if nd.left == NONE {
+            for &id in &self.ids[nd.start as usize..nd.end as usize] {
+                if !accept(id) {
+                    continue;
+                }
+                let d2 = dist2(q, &points[id as usize * self.dim..][..self.dim]);
+                if d2.total_cmp(&cutoff).is_le() {
+                    out.push(id);
+                }
+            }
+            return;
+        }
+        // A box's min distance lower-bounds every contained point's
+        // distance, so pruning min > cutoff can never drop a match.
+        if self.min_dist2(q, nd.left) <= cutoff {
+            self.collect(points, q, cutoff, accept, nd.left, out, visited);
+        }
+        if self.min_dist2(q, nd.right) <= cutoff {
+            self.collect(points, q, cutoff, accept, nd.right, out, visited);
+        }
+    }
+}
+
+/// Insert `d2` into the sorted best-k list: grow while under `k`,
+/// otherwise replace the current maximum only on a strict improvement
+/// (equal values never displace, matching selection semantics).
+fn push_best(best: &mut Vec<f64>, k: usize, d2: f64) {
+    if best.len() == k && d2.total_cmp(best.last().expect("k > 0")).is_ge() {
+        return;
+    }
+    if best.len() == k {
+        best.pop();
+    }
+    let pos = best.partition_point(|x| x.total_cmp(&d2).is_le());
+    best.insert(pos, d2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random coordinates (xorshift, no external RNG).
+    fn cloud(n: usize, dim: usize, dup_every: usize) -> Vec<f64> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 8.0 - 4.0
+        };
+        let mut pts = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            if dup_every > 0 && i % dup_every == 0 && i >= dup_every {
+                // Duplicate an earlier point to force exact distance ties.
+                let src = (i - dup_every) * dim;
+                for d in 0..dim {
+                    let v = pts[src + d];
+                    pts.push(v);
+                }
+            } else {
+                for _ in 0..dim {
+                    pts.push(next());
+                }
+            }
+        }
+        pts
+    }
+
+    fn brute_ties(
+        points: &[f64],
+        dim: usize,
+        q: &[f64],
+        k: usize,
+        accept: impl Fn(u32) -> bool,
+    ) -> Vec<u32> {
+        let n = points.len() / dim;
+        let mut d2s: Vec<(f64, u32)> = (0..n as u32)
+            .filter(|&id| accept(id))
+            .map(|id| (dist2(q, &points[id as usize * dim..][..dim]), id))
+            .collect();
+        if d2s.is_empty() {
+            return Vec::new();
+        }
+        let kth_pos = k.min(d2s.len()) - 1;
+        d2s.select_nth_unstable_by(kth_pos, |a, b| a.0.total_cmp(&b.0));
+        let cutoff = tie_cutoff(d2s[kth_pos].0);
+        let mut ids: Vec<u32> = d2s
+            .iter()
+            .filter(|(d, _)| d.total_cmp(&cutoff).is_le())
+            .map(|&(_, id)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn queries_match_brute_force_with_duplicates() {
+        let dim = 3;
+        let points = cloud(300, dim, 5);
+        let tree = KdTree::build(&points, dim);
+        let mut out = Vec::new();
+        for qi in 0..300usize {
+            let q = &points[qi * dim..][..dim];
+            // Odd/even split stands in for treatment arms.
+            let accept = |id: u32| id.is_multiple_of(2) != qi.is_multiple_of(2);
+            let visited = tree.query_ties(&points, q, 4, accept, &mut out);
+            assert!(visited > 0);
+            assert_eq!(out, brute_ties(&points, dim, q, 4, accept), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn fewer_accepted_than_k_matches_everything_accepted() {
+        let dim = 2;
+        let points = cloud(100, dim, 0);
+        let tree = KdTree::build(&points, dim);
+        let mut out = Vec::new();
+        tree.query_ties(&points, &points[0..dim], 4, |id| id < 3, &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+        tree.query_ties(&points, &points[0..dim], 4, |_| false, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn coincident_cloud_stays_shallow_and_complete() {
+        // All points identical: zero spread everywhere → a single leaf
+        // (no infinite recursion), and every point ties for nearest.
+        let dim = 2;
+        let points: Vec<f64> = std::iter::repeat_n([1.5, -0.5], 200).flatten().collect();
+        let tree = KdTree::build(&points, dim);
+        assert_eq!(tree.n_nodes(), 1);
+        let mut out = Vec::new();
+        tree.query_ties(&points, &[1.5, -0.5], 4, |id| id >= 100, &mut out);
+        assert_eq!(out, (100u32..200).collect::<Vec<_>>());
+    }
+}

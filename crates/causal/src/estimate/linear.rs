@@ -5,13 +5,15 @@
 //! dropped per covariate; numeric covariates enter directly). The coefficient
 //! on `T` is the CATE; its standard error comes from `σ̂²(XᵀX)⁻¹`.
 
-use super::{design, Estimate, MIN_ARM_SIZE};
+use super::{kernel, Estimate, HotStats, MIN_ARM_SIZE};
 use crate::error::{CausalError, Result};
-use crate::linalg::{inverse_spd, solve_spd, Matrix};
+use crate::linalg::{inverse_spd, solve_spd};
 use faircap_table::stats::t_sf_two_sided;
 use faircap_table::{DataFrame, Mask};
+use std::time::Instant;
 
-/// Estimate the CATE by linear regression. See module docs.
+/// Estimate the CATE by linear regression with automatic worker
+/// selection. See module docs.
 pub fn estimate(
     df: &DataFrame,
     group: &Mask,
@@ -19,8 +21,30 @@ pub fn estimate(
     outcome: &str,
     adjustment: &[String],
 ) -> Result<Estimate> {
-    let in_group: Vec<usize> = group.to_indices();
-    let n = in_group.len();
+    let workers = kernel::auto_workers(group.count());
+    estimate_with(
+        df,
+        group,
+        treated,
+        outcome,
+        adjustment,
+        workers,
+        &mut HotStats::default(),
+    )
+}
+
+/// Linear-regression estimate over the columnar kernels, with an explicit
+/// worker count and hot-path cost accounting.
+pub fn estimate_with(
+    df: &DataFrame,
+    group: &Mask,
+    treated: &Mask,
+    outcome: &str,
+    adjustment: &[String],
+    workers: usize,
+    stats: &mut HotStats,
+) -> Result<Estimate> {
+    let n = group.count();
     let n_treated = group.intersect_count(treated);
     let n_control = n - n_treated;
     if n_treated < MIN_ARM_SIZE || n_control < MIN_ARM_SIZE {
@@ -29,38 +53,32 @@ pub fn estimate(
         )));
     }
 
-    // Column layout: [intercept, T, covariate blocks...].
-    let (blocks, z_width) = design::build_blocks(df, adjustment, group)?;
-    let k: usize = 2 + z_width;
+    // Column layout: [intercept, T, covariate blocks...], assembled
+    // column-major with the fused word-at-a-time gather.
+    let t0 = Instant::now();
+    let x = kernel::build_columns(
+        df,
+        adjustment,
+        group,
+        Some(treated),
+        workers,
+        &mut stats.tasks,
+    )?;
+    let y = kernel::gather_outcome(df, outcome, group)?;
+    stats.build_ns += t0.elapsed().as_nanos() as u64;
+    let k = x.k();
     if n <= k + 1 {
         return Err(CausalError::Estimation(format!(
             "too few rows ({n}) for {k} regressors"
         )));
     }
 
-    let outcome_col = df.column(outcome)?;
-    let mut x = Matrix::zeros(n, k);
-    let mut y = vec![0.0; n];
-    for (r, &row) in in_group.iter().enumerate() {
-        y[r] = outcome_col.get_f64(row).ok_or_else(|| {
-            CausalError::Estimation(format!("outcome `{outcome}` is not numeric"))
-        })?;
-        let xr = x.row_mut(r);
-        xr[0] = 1.0;
-        xr[1] = if treated.get(row) { 1.0 } else { 0.0 };
-        let mut offset = 2;
-        for b in &blocks {
-            b.fill(row, &mut xr[offset..offset + b.width()]);
-            offset += b.width();
-        }
-    }
-
-    let gram = x.gram();
-    let xty = x.t_mul_vec(&y);
+    let gram = kernel::gram_columns(x.cols(), workers, &mut stats.tasks);
+    let xty = kernel::xty_columns(x.cols(), &y, workers, &mut stats.tasks);
     let beta = solve_spd(&gram, &xty)?;
 
     // Residual variance and the (1,1) entry of (XᵀX)⁻¹ for the SE of T.
-    let fitted = x.mul_vec(&beta);
+    let fitted = kernel::mat_vec_columns(x.cols(), &beta);
     let rss: f64 = y
         .iter()
         .zip(&fitted)

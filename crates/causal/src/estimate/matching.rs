@@ -1,8 +1,8 @@
 //! k-nearest-neighbor covariate-matching CATE estimator.
 //!
 //! Abadie–Imbens-style matching with regression bias adjustment, run on the
-//! same encoded design matrix the regression estimators use (the crate's
-//! shared `design` module): categorical covariates one-hot encoded,
+//! same encoded design the regression estimators use (the crate's shared
+//! `design`/`kernel` modules): categorical covariates one-hot encoded,
 //! numeric covariates standardized to unit variance within the subgroup so
 //! no single covariate dominates the Euclidean metric.
 //!
@@ -22,40 +22,69 @@
 //! `(K_i² + K_i)·σ̂²_{arm(i)}` term, where `K_i` is the (tie-weighted)
 //! number of times `i` served as a match for opposite-arm units and
 //! `σ̂²_arm` is the within-arm residual variance of the bias-adjustment
-//! regression. When a handful of controls are matched by many treated
-//! units (the regime of the German credit sweep, where treated arms
-//! outnumber controls heavily), `K_i` is large and the correction inflates
-//! the standard error accordingly — the previous simplified variance
-//! ignored reuse entirely and passed implausibly large effects as
-//! significant. Complexity is `O(n_t · n_c · d)` per estimate; the
-//! [`CateEngine`](crate::cate::CateEngine) cache keyed by `"matching"`
-//! amortizes this across repeated queries, and a complexity budget
-//! ([`DEFAULT_MATCHING_BUDGET`], overridable via `FAIRCAP_MATCHING_BUDGET`)
-//! refuses subgroups whose pair count would make a brute-force estimate run
-//! for hours — the typed [`CausalError::EstimatorBudget`] names scalable
-//! alternatives instead of silently grinding.
+//! regression.
+//!
+//! # The hot path
+//!
+//! Neighbor search runs through a [`MatchIndex`]: the standardized design
+//! plus a median-split [`KdTree`] over it. The index depends only on the
+//! (subgroup, adjustment-set) pair — arm membership is applied as a query
+//! filter — so the [`CateEngine`](crate::cate::CateEngine) caches and
+//! reuses one index across every intervention of a pattern sweep. Queries
+//! are tie-inclusive two-phase lookups ([`KdTree::query_ties`]) that
+//! reproduce the brute-force matched sets *exactly*; the brute path (kept
+//! for tiny arms and covariate-free designs, see [`MatchStrategy`]) and
+//! the tree path produce **bit-identical** CATEs, property-tested in
+//! `tests/prop_kernels.rs`. Tree queries are additionally memoized per
+//! distinct (point bit-pattern, arm): on categorical designs whole
+//! covariate cells share one search result, collapsing thousands of
+//! queries into a handful. Query batches fan out as [`crate::exec`] task
+//! units over a worker-count-independent partition, so parallel estimates
+//! are bit-identical to serial ones too.
+//!
+//! The complexity budget ([`DEFAULT_MATCHING_BUDGET`], overridable via
+//! `FAIRCAP_MATCHING_BUDGET`) is expressed in the index's work units —
+//! estimated tree-node visits under the post-index cost model
+//! ([`estimated_work`]), or raw pair distances when the brute path would
+//! run — and refuses subgroups that would still grind, naming scalable
+//! alternatives in the typed
+//! [`CausalError::EstimatorBudget`].
 
-use super::{aipw, design, normal_inference, Estimate, MIN_ARM_SIZE};
+use super::kdtree::{self, KdTree, LEAF_SIZE};
+use super::{aipw, design, kernel, normal_inference, Estimate, HotStats, MIN_ARM_SIZE};
 use crate::error::{CausalError, Result};
 use faircap_table::{DataFrame, Mask};
+use std::time::Instant;
 
 /// Number of opposite-arm neighbors matched per unit (before tie
 /// expansion). Four is the usual bias/variance sweet spot for k-NN
 /// matching; ties at the k-th distance are all included.
 pub const K_NEIGHBORS: usize = 4;
 
-/// Default complexity budget: the maximum `n_treated · n_control` pair
-/// count an estimate may evaluate. Brute-force matching is
-/// `O(n_t · n_c · d)`; past this budget a single estimate takes minutes and
-/// a constraint sweep takes hours, so the estimator refuses with a typed
-/// [`CausalError::EstimatorBudget`] naming scalable alternatives instead of
-/// silently burning the time. Override per process with the
-/// `FAIRCAP_MATCHING_BUDGET` environment variable (a pair count; `0`
-/// disables the guard).
-pub const DEFAULT_MATCHING_BUDGET: u64 = 50_000_000;
+/// Default complexity budget in work units: estimated KD-tree node visits
+/// for indexed estimates ([`estimated_work`]), raw `n_t · n_c` pair
+/// distances when the brute-force path would run (tiny arms or a
+/// covariate-free design). Under the post-index cost model a 10⁶-row
+/// subgroup estimates in ~10⁸ units, so the default admits paper-scale
+/// subgroups while still refusing degenerate covariate-free sweeps that
+/// would grind quadratically. Override per process with the
+/// `FAIRCAP_MATCHING_BUDGET` environment variable (`0` disables the
+/// guard).
+pub const DEFAULT_MATCHING_BUDGET: u64 = 200_000_000;
 
-/// The effective pair budget: `FAIRCAP_MATCHING_BUDGET` when set to a valid
-/// pair count (`0` disables the guard), otherwise
+/// Smallest arm size that justifies tree-indexed queries under
+/// [`MatchStrategy::Auto`]; at or below it the brute-force scan is faster
+/// than tree traversal overhead.
+pub const BRUTE_ARM_MAX: usize = 128;
+
+/// Fixed number of query partitions per estimate. The partition is a
+/// constant (never derived from the worker count), so the fold order of
+/// the per-partition match-weight accumulators — and therefore the CATE's
+/// variance — is bit-identical no matter how many workers ran.
+const MATCH_PARTS: usize = 8;
+
+/// The effective work budget: `FAIRCAP_MATCHING_BUDGET` when set to a
+/// valid unit count (`0` disables the guard), otherwise
 /// [`DEFAULT_MATCHING_BUDGET`].
 pub fn matching_budget() -> u64 {
     match std::env::var("FAIRCAP_MATCHING_BUDGET") {
@@ -68,8 +97,143 @@ pub fn matching_budget() -> u64 {
     }
 }
 
-/// Estimate the CATE by k-NN covariate matching with bias adjustment. See
-/// module docs.
+/// A-priori cost model for one estimate, in budget work units.
+///
+/// Without a tree the brute path evaluates every `n_t · n_c` pair
+/// distance. With one, each of the `n` queries descends the median-split
+/// tree twice (k-th bound phase and tie-collect phase, ~`log₂ pool`
+/// internal nodes each), touches `K_NEIGHBORS` candidates for the bound,
+/// and scans on the order of two [`LEAF_SIZE`] buckets — the model the
+/// budget refusal reports, deliberately a-priori (a function of arm sizes
+/// only) so refusal never depends on data values. Actual visited nodes
+/// are recorded on [`HotStats::tree_visits`].
+pub fn estimated_work(n_treated: u64, n_control: u64, tree: bool) -> u64 {
+    if !tree {
+        return n_treated.saturating_mul(n_control);
+    }
+    let per_query = |pool: u64| -> u64 {
+        let log2 = (u64::BITS - pool.max(2).leading_zeros()) as u64;
+        2 * log2 + K_NEIGHBORS as u64 + 2 * LEAF_SIZE as u64
+    };
+    n_treated
+        .saturating_mul(per_query(n_control))
+        .saturating_add(n_control.saturating_mul(per_query(n_treated)))
+}
+
+/// Which neighbor-search path an estimate uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchStrategy {
+    /// Tree-indexed when the design has covariates and both arms exceed
+    /// [`BRUTE_ARM_MAX`]; brute-force otherwise.
+    #[default]
+    Auto,
+    /// Always scan every opposite-arm pair.
+    Brute,
+    /// Always query the KD-tree (falls back to brute only for
+    /// covariate-free designs, which have no tree). The property tests
+    /// force both paths and compare CATEs by bits.
+    Tree,
+}
+
+/// The reusable matching index of one (subgroup, adjustment-set) pair:
+/// outcome values, the standardized `[1, Z…]` design (column-major), the
+/// same covariates as row-major points, and the KD-tree over them.
+///
+/// Deliberately treatment-*independent* — arm membership is a query-time
+/// filter — so one index serves every intervention of a pattern sweep;
+/// the engine caches these per (subgroup fingerprint, adjustment set).
+#[derive(Debug)]
+pub struct MatchIndex {
+    y: Vec<f64>,
+    design: kernel::ColumnDesign,
+    points: Vec<f64>,
+    dim: usize,
+    tree: Option<KdTree>,
+}
+
+impl MatchIndex {
+    /// Build the index: fused columnar design assembly, in-place
+    /// standardization (constant columns carry no matching information
+    /// and are zeroed), transpose to row-major points, KD-tree
+    /// construction. Assembly time lands in [`HotStats::build_ns`], tree
+    /// construction in [`HotStats::index_ns`].
+    pub fn build(
+        df: &DataFrame,
+        group: &Mask,
+        outcome: &str,
+        adjustment: &[String],
+        workers: usize,
+        stats: &mut HotStats,
+    ) -> Result<MatchIndex> {
+        let t0 = Instant::now();
+        let mut design =
+            kernel::build_columns(df, adjustment, group, None, workers, &mut stats.tasks)?;
+        let y = kernel::gather_outcome(df, outcome, group)?;
+        let n = design.n();
+        for col in &mut design.cols_mut()[1..] {
+            let mean = col.iter().sum::<f64>() / n as f64;
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+            let scale = if var > 1e-24 { 1.0 / var.sqrt() } else { 0.0 };
+            for v in col.iter_mut() {
+                *v = (*v - mean) * scale;
+            }
+        }
+        stats.build_ns += t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let dim = design.k() - 1;
+        let mut points = vec![0.0f64; n * dim];
+        for (c, col) in design.cols()[1..].iter().enumerate() {
+            for (r, &v) in col.iter().enumerate() {
+                points[r * dim + c] = v;
+            }
+        }
+        let tree = if dim > 0 && n > 0 {
+            Some(KdTree::build(&points, dim))
+        } else {
+            None
+        };
+        stats.index_ns += t1.elapsed().as_nanos() as u64;
+        Ok(MatchIndex {
+            y,
+            design,
+            points,
+            dim,
+            tree,
+        })
+    }
+
+    /// Number of (group-dense) units indexed.
+    pub fn n(&self) -> usize {
+        self.design.n()
+    }
+
+    /// Covariate dimensionality of the matching metric (design width
+    /// minus the intercept).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether a KD-tree was built (covariate-free designs have none).
+    pub fn has_tree(&self) -> bool {
+        self.tree.is_some()
+    }
+}
+
+/// Per-call knobs of [`estimate_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatchParams<'a> {
+    /// A prebuilt index for this (subgroup, adjustment-set); `None`
+    /// builds one for the call.
+    pub index: Option<&'a MatchIndex>,
+    /// Neighbor-search path selection.
+    pub strategy: MatchStrategy,
+    /// Worker threads for within-estimate fan-out (`0`/`1` = serial).
+    pub workers: usize,
+}
+
+/// Estimate the CATE by k-NN covariate matching with bias adjustment,
+/// with automatic path selection and a throwaway index. See module docs.
 pub fn estimate(
     df: &DataFrame,
     group: &Mask,
@@ -77,8 +241,37 @@ pub fn estimate(
     outcome: &str,
     adjustment: &[String],
 ) -> Result<Estimate> {
-    let rows: Vec<usize> = group.to_indices();
-    let n = rows.len();
+    let params = MatchParams {
+        workers: kernel::auto_workers(group.count()),
+        ..MatchParams::default()
+    };
+    estimate_with(
+        df,
+        group,
+        treated,
+        outcome,
+        adjustment,
+        &params,
+        &mut HotStats::default(),
+    )
+}
+
+/// Full-control matching estimate: explicit index reuse, search strategy,
+/// and worker count, with hot-path cost accounting on `stats`.
+///
+/// The result is a pure function of the data — bit-identical across
+/// strategies (brute vs. tree), worker counts, and index reuse vs.
+/// rebuild.
+pub fn estimate_with(
+    df: &DataFrame,
+    group: &Mask,
+    treated: &Mask,
+    outcome: &str,
+    adjustment: &[String],
+    params: &MatchParams<'_>,
+    stats: &mut HotStats,
+) -> Result<Estimate> {
+    let n = group.count();
     let n_treated = group.intersect_count(treated);
     let n_control = n - n_treated;
     if n_treated < MIN_ARM_SIZE || n_control < MIN_ARM_SIZE {
@@ -86,90 +279,175 @@ pub fn estimate(
             "insufficient overlap: {n_treated} treated / {n_control} control"
         )));
     }
-    let work = n_treated as u64 * n_control as u64;
+
+    // Path decision and budget refusal happen before any heavy work: with
+    // a prebuilt index the width is known; otherwise a cheap block scan
+    // determines it without assembling the design.
+    let dim = match params.index {
+        Some(idx) => idx.dim(),
+        None => design::build_blocks(df, adjustment, group)?.1,
+    };
+    let use_tree = match params.strategy {
+        MatchStrategy::Brute => false,
+        MatchStrategy::Tree => dim > 0,
+        MatchStrategy::Auto => dim > 0 && n_treated.min(n_control) > BRUTE_ARM_MAX,
+    };
+    let work = estimated_work(n_treated as u64, n_control as u64, use_tree);
     let budget = matching_budget();
     if work > budget {
         return Err(CausalError::EstimatorBudget {
             estimator: "matching",
             work,
             budget,
+            unit: if use_tree {
+                "estimated KD-tree node visits"
+            } else {
+                "brute-force pair distances (arms too small or covariate-free, so the tree index cannot help)"
+            },
         });
     }
 
-    let y = design::outcome_values(df, outcome, &rows)?;
-    let t: Vec<bool> = rows.iter().map(|&r| treated.get(r)).collect();
-
-    // Design [1, Z...] (intercept used by the bias-adjustment regressions;
-    // distances read columns 1..).
-    let mut x = design::build_intercept_design(df, adjustment, group, &rows)?;
-
-    // Standardize the covariate columns in place (unit in-group variance);
-    // constant columns carry no matching information and are zeroed.
-    for c in 1..x.cols() {
-        let mean = (0..n).map(|r| x.get(r, c)).sum::<f64>() / n as f64;
-        let var = (0..n)
-            .map(|r| (x.get(r, c) - mean) * (x.get(r, c) - mean))
-            .sum::<f64>()
-            / n as f64;
-        let scale = if var > 1e-24 { 1.0 / var.sqrt() } else { 0.0 };
-        for r in 0..n {
-            x.set(r, c, (x.get(r, c) - mean) * scale);
+    let owned;
+    let idx = match params.index {
+        Some(idx) => idx,
+        None => {
+            owned = MatchIndex::build(df, group, outcome, adjustment, params.workers, stats)?;
+            &owned
         }
-    }
+    };
+    debug_assert_eq!(idx.n(), n, "index must cover the subgroup");
 
-    // Bias-adjustment regressions, one per arm, on the standardized design.
-    let beta_t = aipw::fit_arm(&x, &y, &t, true)?;
-    let beta_c = aipw::fit_arm(&x, &y, &t, false)?;
-    let predict =
-        |beta: &[f64], r: usize| -> f64 { x.row(r).iter().zip(beta).map(|(a, b)| a * b).sum() };
+    let t = kernel::gather_indicator(group, treated);
 
-    let treated_idx: Vec<usize> = (0..n).filter(|&i| t[i]).collect();
-    let control_idx: Vec<usize> = (0..n).filter(|&i| !t[i]).collect();
+    // Bias-adjustment regressions, one per arm, on the standardized
+    // design; predictions materialized once (ascending-column dot order).
+    let beta_t = aipw::fit_arm(
+        idx.design.cols(),
+        &idx.y,
+        &t,
+        true,
+        params.workers,
+        &mut stats.tasks,
+    )?;
+    let beta_c = aipw::fit_arm(
+        idx.design.cols(),
+        &idx.y,
+        &t,
+        false,
+        params.workers,
+        &mut stats.tasks,
+    )?;
+    let pred_t = kernel::mat_vec_columns(idx.design.cols(), &beta_t);
+    let pred_c = kernel::mat_vec_columns(idx.design.cols(), &beta_c);
+
+    let treated_ids: Vec<u32> = (0..n as u32).filter(|&i| t[i as usize]).collect();
+    let control_ids: Vec<u32> = (0..n as u32).filter(|&i| !t[i as usize]).collect();
+
+    // Distinct-point ids for tree-query memoization. On tie-heavy
+    // (categorical) designs thousands of units occupy one covariate cell,
+    // and the matched set is a pure function of (query point, own arm) —
+    // so each part runs the tree search once per distinct (cell, arm)
+    // it encounters and replays the cached set. Cells are keyed on exact
+    // f64 bit patterns, so the reuse is bit-identical by construction;
+    // on continuous designs every cell is a singleton and the memo is one
+    // wasted hash probe per query.
+    let cell_of: Vec<u32> = if use_tree {
+        let mut ids: std::collections::HashMap<Vec<u64>, u32> = std::collections::HashMap::new();
+        (0..n)
+            .map(|i| {
+                let bits: Vec<u64> = idx.points[i * idx.dim..][..idx.dim]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let next = ids.len() as u32;
+                *ids.entry(bits).or_insert(next)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     // Per-unit matched contrast τ_i = ŷ_i(1) − ŷ_i(0), one potential
     // outcome observed and the other imputed from matched neighbors.
-    // `match_weight[j]` accumulates K_j: how often unit j served as a
-    // match, each use weighted 1/m by the match count m of the unit it
-    // imputed (so Σ_j K_j = n and the reuse correction below sees exactly
-    // the estimator's implicit weights).
-    let mut tau = vec![0.0; n];
-    let mut match_weight = vec![0.0; n];
-    for i in 0..n {
-        let (pool, beta) = if t[i] {
-            (&control_idx, &beta_c)
-        } else {
-            (&treated_idx, &beta_t)
-        };
-        let mut dists: Vec<(f64, usize)> = pool
-            .iter()
-            .map(|&j| {
-                let (ri, rj) = (x.row(i), x.row(j));
-                let d2: f64 = ri[1..]
-                    .iter()
-                    .zip(&rj[1..])
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
-                (d2, j)
-            })
-            .collect();
-        dists.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-        let k = K_NEIGHBORS.min(dists.len());
-        let cutoff = dists[k - 1].0 * (1.0 + 1e-9) + 1e-12;
-        let mut acc = 0.0;
-        let mut m = 0usize;
-        for &(d2, _) in &dists {
-            if d2 > cutoff {
-                break;
+    // `weight[j]` accumulates K_j: how often unit j served as a match,
+    // each use weighted 1/m by the match count m of the unit it imputed
+    // (so Σ_j K_j = n and the reuse correction below sees exactly the
+    // estimator's implicit weights). Queries run over the fixed
+    // MATCH_PARTS partition; each part accumulates its units in ascending
+    // order and parts fold in partition order, independent of workers.
+    let part_len = n.div_ceil(MATCH_PARTS).max(1);
+    let n_parts = n.div_ceil(part_len);
+    let parts = kernel::fan_out(n_parts, params.workers, &mut stats.tasks, |p| {
+        let start = p * part_len;
+        let end = ((p + 1) * part_len).min(n);
+        let mut tau_part = Vec::with_capacity(end - start);
+        let mut weight = vec![0.0f64; n];
+        let mut visited = 0u64;
+        let mut matched: Vec<u32> = Vec::new();
+        let mut d2s: Vec<f64> = Vec::new();
+        let mut sel: Vec<f64> = Vec::new();
+        let mut memo: std::collections::HashMap<(u32, bool), Vec<u32>> =
+            std::collections::HashMap::new();
+        for i in start..end {
+            let (pool, pred) = if t[i] {
+                (&control_ids, &pred_c)
+            } else {
+                (&treated_ids, &pred_t)
+            };
+            let q = &idx.points[i * idx.dim..][..idx.dim];
+            if use_tree {
+                let own_arm = t[i];
+                if let Some(cached) = memo.get(&(cell_of[i], own_arm)) {
+                    matched.clear();
+                    matched.extend_from_slice(cached);
+                } else {
+                    let tree = idx.tree.as_ref().expect("use_tree implies a tree");
+                    visited += tree.query_ties(
+                        &idx.points,
+                        q,
+                        K_NEIGHBORS,
+                        |j| t[j as usize] != own_arm,
+                        &mut matched,
+                    );
+                    memo.insert((cell_of[i], own_arm), matched.clone());
+                }
+            } else {
+                brute_ties(
+                    &idx.points,
+                    idx.dim,
+                    pool,
+                    q,
+                    &mut d2s,
+                    &mut sel,
+                    &mut matched,
+                );
             }
-            m += 1;
+            let m = matched.len();
+            let mut acc = 0.0;
+            let pred_i = pred[i];
+            for &j in &matched {
+                let j = j as usize;
+                acc += idx.y[j] + pred_i - pred[j];
+                weight[j] += 1.0 / m as f64;
+            }
+            let imputed = acc / m as f64;
+            tau_part.push(if t[i] {
+                idx.y[i] - imputed
+            } else {
+                imputed - idx.y[i]
+            });
         }
-        for &(d2, j) in dists.iter().take(m) {
-            debug_assert!(d2 <= cutoff);
-            acc += y[j] + predict(beta, i) - predict(beta, j);
-            match_weight[j] += 1.0 / m as f64;
+        (tau_part, weight, visited)
+    });
+
+    let mut tau = Vec::with_capacity(n);
+    let mut match_weight = vec![0.0f64; n];
+    for (tau_part, weight, visited) in &parts {
+        tau.extend_from_slice(tau_part);
+        for (acc, w) in match_weight.iter_mut().zip(weight) {
+            *acc += w;
         }
-        let imputed = acc / m as f64;
-        tau[i] = if t[i] { y[i] - imputed } else { imputed - y[i] };
+        stats.tree_visits += visited;
     }
 
     let cate = tau.iter().sum::<f64>() / n as f64;
@@ -180,19 +458,19 @@ pub fn estimate(
     // bias-adjustment regressions proxy the conditional outcome variance
     // σ̂²(z, arm), and each unit adds (K_i² + K_i)·σ̂²_arm(i) — the reuse
     // variance a unit matched K_i times injects into the estimator.
-    let resid_var = |beta: &[f64], arm: bool| -> f64 {
-        let p = x.cols() as f64;
+    let resid_var = |pred: &[f64], arm: bool| -> f64 {
+        let p = idx.design.k() as f64;
         let (mut ss, mut m) = (0.0, 0usize);
         for i in 0..n {
             if t[i] == arm {
-                let r = y[i] - predict(beta, i);
+                let r = idx.y[i] - pred[i];
                 ss += r * r;
                 m += 1;
             }
         }
         ss / (m as f64 - p).max(1.0)
     };
-    let (s2_t, s2_c) = (resid_var(&beta_t, true), resid_var(&beta_c, false));
+    let (s2_t, s2_c) = (resid_var(&pred_t, true), resid_var(&pred_c, false));
     let reuse: f64 = (0..n)
         .map(|i| {
             let k = match_weight[i];
@@ -209,6 +487,36 @@ pub fn estimate(
         n_treated,
         n_control,
     })
+}
+
+/// Brute-force tie-inclusive matched set: the canonical algorithm the
+/// tree reproduces. Distances to every pool unit (ascending pool order,
+/// shared [`kdtree::dist2`]), exact k-th smallest by selection, the
+/// [`kdtree::tie_cutoff`] band, members collected in ascending id order.
+fn brute_ties(
+    points: &[f64],
+    dim: usize,
+    pool: &[u32],
+    q: &[f64],
+    d2s: &mut Vec<f64>,
+    sel: &mut Vec<f64>,
+    out: &mut Vec<u32>,
+) {
+    d2s.clear();
+    for &j in pool {
+        d2s.push(kdtree::dist2(q, &points[j as usize * dim..][..dim]));
+    }
+    let kth_pos = K_NEIGHBORS.min(d2s.len()) - 1;
+    sel.clear();
+    sel.extend_from_slice(d2s);
+    sel.select_nth_unstable_by(kth_pos, f64::total_cmp);
+    let cutoff = kdtree::tie_cutoff(sel[kth_pos]);
+    out.clear();
+    for (&j, d2) in pool.iter().zip(d2s.iter()) {
+        if d2.total_cmp(&cutoff).is_le() {
+            out.push(j);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +614,68 @@ mod tests {
     }
 
     #[test]
+    fn tree_and_brute_agree_bit_for_bit() {
+        let (df, treated) = confounded_frame();
+        let all = Mask::ones(df.n_rows());
+        let adj = ["z".to_owned()];
+        let mut stats = HotStats::default();
+        let brute = estimate_with(
+            &df,
+            &all,
+            &treated,
+            "o",
+            &adj,
+            &MatchParams {
+                strategy: MatchStrategy::Brute,
+                ..MatchParams::default()
+            },
+            &mut stats,
+        )
+        .unwrap();
+        let tree = estimate_with(
+            &df,
+            &all,
+            &treated,
+            "o",
+            &adj,
+            &MatchParams {
+                strategy: MatchStrategy::Tree,
+                ..MatchParams::default()
+            },
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(brute.cate.to_bits(), tree.cate.to_bits());
+        assert_eq!(brute.std_err.to_bits(), tree.std_err.to_bits());
+        assert!(stats.tree_visits > 0, "tree path must count visits");
+    }
+
+    #[test]
+    fn prebuilt_index_reused_across_interventions() {
+        let (df, treated) = confounded_frame();
+        let all = Mask::ones(df.n_rows());
+        let adj = ["z".to_owned()];
+        let mut stats = HotStats::default();
+        let idx = MatchIndex::build(&df, &all, "o", &adj, 1, &mut stats).unwrap();
+        assert!(idx.has_tree());
+        let params = MatchParams {
+            index: Some(&idx),
+            ..MatchParams::default()
+        };
+        // Same index serves the original intervention and its complement —
+        // the index is treatment-independent.
+        let a = estimate_with(&df, &all, &treated, "o", &adj, &params, &mut stats).unwrap();
+        let fresh = estimate(&df, &all, &treated, "o", &adj).unwrap();
+        assert_eq!(a.cate.to_bits(), fresh.cate.to_bits());
+        let flipped = !&treated;
+        let b = estimate_with(&df, &all, &flipped, "o", &adj, &params, &mut stats).unwrap();
+        assert!(
+            (b.cate + a.cate).abs() < 1e-9,
+            "flipped arms negate the CATE"
+        );
+    }
+
+    #[test]
     fn heavy_control_reuse_inflates_standard_error() {
         // 50 treated, 5 controls, no covariates: every treated unit matches
         // all 5 controls (distance ties), so each control serves as a match
@@ -382,10 +752,11 @@ mod tests {
 
     #[test]
     fn oversized_group_refused_with_budget_hint() {
-        // 10 000 × 10 000 pairs = 10⁸ > the 5·10⁷ default budget. The guard
-        // fires before any distance work, so building the frame is the only
-        // cost here.
-        let n = 20_000usize;
+        // Covariate-free design → no tree can help, so the brute pair
+        // model applies: 15 000 × 15 000 pairs = 2.25·10⁸ > the 2·10⁸
+        // default budget. The guard fires before any distance work, so
+        // building the frame is the only cost here.
+        let n = 30_000usize;
         let o: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let t: Vec<bool> = (0..n).map(|i| i < n / 2).collect();
         let df = DataFrame::builder().float("o", o).build().unwrap();
@@ -397,10 +768,12 @@ mod tests {
                 estimator,
                 work,
                 budget,
+                unit,
             } => {
                 assert_eq!(*estimator, "matching");
-                assert_eq!(*work, 100_000_000);
+                assert_eq!(*work, 225_000_000);
                 assert_eq!(*budget, DEFAULT_MATCHING_BUDGET);
+                assert!(unit.contains("pair distances"), "brute unit: {unit}");
             }
             other => panic!("expected EstimatorBudget, got {other:?}"),
         }
@@ -409,12 +782,29 @@ mod tests {
             msg.contains("linear") && msg.contains("FAIRCAP_MATCHING_BUDGET"),
             "hint must name alternatives and the knob: {msg}"
         );
+        assert!(
+            msg.contains("pair distances"),
+            "refusal must state its work unit: {msg}"
+        );
+    }
+
+    #[test]
+    fn indexed_work_model_admits_paper_scale() {
+        // Post-index cost model: 10⁶ rows ≈ 1.1·10⁸ visits — inside the
+        // default budget — while the same subgroup would be 2.5·10¹¹ pair
+        // distances, hopelessly over it.
+        let indexed = estimated_work(500_000, 500_000, true);
+        assert!(indexed <= DEFAULT_MATCHING_BUDGET, "indexed = {indexed}");
+        let brute = estimated_work(500_000, 500_000, false);
+        assert!(brute > DEFAULT_MATCHING_BUDGET, "brute = {brute}");
+        // And the model grows with both the query count and the pool size.
+        assert!(estimated_work(1000, 1000, true) < estimated_work(2000, 2000, true));
     }
 
     #[test]
     fn budget_env_override_parses() {
-        // Only values safely above every other fixture's pair count are set
-        // here (tests share the process environment).
+        // Only values safely above every other fixture's work estimate are
+        // set here (tests share the process environment).
         assert_eq!(matching_budget(), DEFAULT_MATCHING_BUDGET);
         std::env::set_var("FAIRCAP_MATCHING_BUDGET", "2000000");
         assert_eq!(matching_budget(), 2_000_000);

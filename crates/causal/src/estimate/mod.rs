@@ -17,7 +17,14 @@
 //!   plus the IPW propensity model, consistent when *either* nuisance model
 //!   is correct.
 //! * [`matching`] — k-nearest-neighbor covariate matching with regression
-//!   bias adjustment on the encoded design matrix.
+//!   bias adjustment on the encoded design matrix, served by a reusable
+//!   KD-tree index ([`kdtree`]) over the standardized design.
+//!
+//! The estimators share a hot-path layer: [`kernel`] holds the blocked
+//! column-major design-assembly and reduction kernels (with within-estimate
+//! parallel fan-out through the work-stealing executor), and [`mod@reference`]
+//! preserves the naive row-major implementations the kernels are
+//! property-tested against bit for bit.
 //!
 //! `docs/estimators.md` in the repository root documents the assumptions
 //! and bias/variance trade-offs of each estimator and when the doubly
@@ -26,8 +33,11 @@
 pub mod aipw;
 pub(crate) mod design;
 pub mod ipw;
+pub mod kdtree;
+pub mod kernel;
 pub mod linear;
 pub mod matching;
+pub mod reference;
 pub mod stratified;
 
 use faircap_table::{DataFrame, Mask};
@@ -52,6 +62,58 @@ pub(crate) fn normal_inference(cate: f64, var: f64) -> (f64, f64, f64) {
             if cate == 0.0 { 1.0 } else { 0.0 },
         )
     }
+}
+
+/// Hot-path cost accounting for one estimate (or an aggregate over many):
+/// wall-clock nanoseconds split by pipeline stage, plus executor and tree
+/// counters. Estimators accumulate into a `&mut HotStats` threaded through
+/// [`EstimateCtx`]; the [`CateEngine`](crate::cate::CateEngine) aggregates
+/// them across queries and the serving layer surfaces the totals in
+/// `/v1/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HotStats {
+    /// Nanoseconds spent assembling the columnar design (and gathering the
+    /// outcome / treatment indicator).
+    pub build_ns: u64,
+    /// Nanoseconds spent constructing reusable indices (the KD-tree over
+    /// the standardized design; zero for estimators without one or when a
+    /// cached index was reused).
+    pub index_ns: u64,
+    /// Nanoseconds in everything downstream — reductions, solves, queries.
+    /// Filled in by the engine as `total − build − index`.
+    pub solve_ns: u64,
+    /// Task units handed to the work-stealing executor by kernel fan-out
+    /// (zero when every kernel ran serially).
+    pub tasks: u64,
+    /// KD-tree nodes visited across matching queries (zero for the brute
+    /// path and the non-matching estimators).
+    pub tree_visits: u64,
+}
+
+impl HotStats {
+    /// Fold another accounting record into this one (saturating).
+    pub fn absorb(&mut self, other: &HotStats) {
+        self.build_ns = self.build_ns.saturating_add(other.build_ns);
+        self.index_ns = self.index_ns.saturating_add(other.index_ns);
+        self.solve_ns = self.solve_ns.saturating_add(other.solve_ns);
+        self.tasks = self.tasks.saturating_add(other.tasks);
+        self.tree_visits = self.tree_visits.saturating_add(other.tree_visits);
+    }
+}
+
+/// Per-query context threaded through [`Estimator::estimate_with_ctx`]:
+/// the kernel worker count, the cost-accounting sink, and (for the matching
+/// estimator) the engine's match-index cache together with the querying
+/// subgroup's fingerprint, so one KD-tree index is built per
+/// `(subgroup, adjustment set)` and reused across the intervention sweep.
+pub struct EstimateCtx<'a> {
+    /// Worker count for kernel fan-out (1 = serial; results are
+    /// bit-identical either way).
+    pub workers: usize,
+    /// Accumulated hot-path costs for this query.
+    pub stats: HotStats,
+    /// Match-index cache and the subgroup fingerprint keying it.
+    pub index_cache: Option<(&'a crate::cate::MatchIndexCache, u64)>,
 }
 
 /// A treatment-effect estimate with inference statistics.
@@ -179,6 +241,26 @@ pub trait Estimator: Send + Sync {
         outcome: &str,
         adjustment: &[String],
     ) -> Result<Estimate>;
+
+    /// [`estimate`](Self::estimate) with an [`EstimateCtx`]: an explicit
+    /// worker count, hot-path cost accounting, and (for index-aware
+    /// estimators) access to the engine's match-index cache. The default
+    /// implementation ignores the context and delegates to
+    /// [`estimate`](Self::estimate), so custom estimators keep working
+    /// unchanged; the built-in [`EstimatorKind`] overrides it to thread the
+    /// context into the columnar kernels.
+    fn estimate_with_ctx(
+        &self,
+        ctx: &mut EstimateCtx<'_>,
+        df: &DataFrame,
+        group: &Mask,
+        treated: &Mask,
+        outcome: &str,
+        adjustment: &[String],
+    ) -> Result<Estimate> {
+        let _ = ctx;
+        self.estimate(df, group, treated, outcome, adjustment)
+    }
 }
 
 impl Estimator for EstimatorKind {
@@ -201,6 +283,57 @@ impl Estimator for EstimatorKind {
         adjustment: &[String],
     ) -> Result<Estimate> {
         estimate_cate(*self, df, group, treated, outcome, adjustment)
+    }
+
+    fn estimate_with_ctx(
+        &self,
+        ctx: &mut EstimateCtx<'_>,
+        df: &DataFrame,
+        group: &Mask,
+        treated: &Mask,
+        outcome: &str,
+        adjustment: &[String],
+    ) -> Result<Estimate> {
+        let EstimateCtx {
+            workers,
+            stats,
+            index_cache,
+        } = ctx;
+        let workers = *workers;
+        match self {
+            EstimatorKind::Linear => {
+                linear::estimate_with(df, group, treated, outcome, adjustment, workers, stats)
+            }
+            EstimatorKind::Stratified => {
+                stratified::estimate(df, group, treated, outcome, adjustment)
+            }
+            EstimatorKind::Ipw => {
+                ipw::estimate_with(df, group, treated, outcome, adjustment, workers, stats)
+            }
+            EstimatorKind::Aipw => {
+                aipw::estimate_with(df, group, treated, outcome, adjustment, workers, stats)
+            }
+            EstimatorKind::Matching => {
+                // One KD-tree index per (subgroup, adjustment set), shared
+                // across every intervention swept against this subgroup.
+                let shared;
+                let index = match index_cache {
+                    Some((cache, group_fp)) => {
+                        shared = cache.get_or_build(
+                            *group_fp, df, group, outcome, adjustment, workers, stats,
+                        )?;
+                        Some(&*shared)
+                    }
+                    None => None,
+                };
+                let params = matching::MatchParams {
+                    index,
+                    strategy: matching::MatchStrategy::Auto,
+                    workers,
+                };
+                matching::estimate_with(df, group, treated, outcome, adjustment, &params, stats)
+            }
+        }
     }
 }
 

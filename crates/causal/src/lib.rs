@@ -11,6 +11,9 @@
 //!   doubly-robust AIPW, and k-NN matching — assumptions and trade-offs
 //!   are documented in `docs/estimators.md` at the repository root.
 //! * [`cate::CateEngine`] — cached high-level CATE queries for rules.
+//! * [`exec`] — deterministic work-stealing executor (re-exported as
+//!   `faircap_core::exec`) driving both solve-level fan-out and the
+//!   within-estimate parallelism of the columnar kernels.
 //! * [`discovery`] — PC-stable causal discovery (Table 6's "PC DAG").
 //! * [`scm`] — structural causal models for generating the synthetic
 //!   Stack Overflow / German Credit stand-ins with known ground truth.
@@ -24,6 +27,7 @@ pub mod cate;
 pub mod dsep;
 pub mod error;
 pub mod estimate;
+pub mod exec;
 pub mod graph;
 pub mod linalg;
 pub mod scm;
@@ -32,10 +36,14 @@ pub mod truth;
 pub mod discovery;
 
 pub use backdoor::{find_adjustment_set, find_adjustment_set_names, is_valid_backdoor};
-pub use cate::{CacheStats, CateEngine, CateEngineState, CateQuery};
+pub use cate::{
+    CacheStats, CateEngine, CateEngineState, CateQuery, EngineHotStats, MatchIndexCache,
+};
 pub use dsep::{d_separated, d_separated_names};
 pub use error::{CausalError, Result};
-pub use estimate::{estimate_cate, Estimate, Estimator, EstimatorKind};
+pub use estimate::matching::{MatchIndex, MatchParams, MatchStrategy};
+pub use estimate::{estimate_cate, Estimate, EstimateCtx, Estimator, EstimatorKind, HotStats};
+pub use exec::ExecStats;
 pub use graph::{Dag, NodeId};
 pub use scm::Scm;
 pub use truth::Recovery;

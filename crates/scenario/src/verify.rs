@@ -2,9 +2,9 @@
 //!
 //! Two graders, mirroring the two claims the recovery tests make:
 //!
-//! * [`check_recovery`] — adjusted estimators (stratified / IPW / AIPW by
-//!   default) must land within a CI-stable tolerance of the planted CATE in
-//!   every (treatment × group) cell;
+//! * [`check_recovery`] — adjusted estimators (stratified / IPW / AIPW /
+//!   matching by default) must land within a CI-stable tolerance of the
+//!   planted CATE in every (treatment × group) cell;
 //! * [`naive_bias`] — the *unadjusted* difference-in-means on the same data
 //!   must be provably biased (large error, many standard errors from the
 //!   truth), demonstrating that the scenario's confounding has teeth.
@@ -29,14 +29,15 @@ pub struct RecoveryOptions {
 impl Default for RecoveryOptions {
     fn default() -> Self {
         RecoveryOptions {
-            // The three estimators whose estimand is the group ATE even
-            // under heterogeneous effects. (OLS `linear` variance-weights
-            // strata, and `matching` may hit its pair budget at scenario
-            // sizes — both can be opted in explicitly.)
+            // The estimators whose estimand is the group ATE even under
+            // heterogeneous effects. `matching` rides its KD-tree index at
+            // scenario sizes, so it now fits the default pair budget; OLS
+            // `linear` variance-weights strata and stays opt-in.
             estimators: vec![
                 EstimatorKind::Stratified,
                 EstimatorKind::Ipw,
                 EstimatorKind::Aipw,
+                EstimatorKind::Matching,
             ],
             abs_tol: 1.0,
             z_tol: 4.0,
@@ -178,8 +179,8 @@ mod tests {
         })
         .unwrap();
         let checks = check_recovery(&sc, &RecoveryOptions::default()).unwrap();
-        // flexible × 3 groups × 3 estimators.
-        assert_eq!(checks.len(), sc.spec.flexible * 3 * 3);
+        // flexible × 3 groups × 4 estimators.
+        assert_eq!(checks.len(), sc.spec.flexible * 3 * 4);
         for c in &checks {
             assert!(c.recovery.std_err > 0.0, "{c}");
         }

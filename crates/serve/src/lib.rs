@@ -523,6 +523,8 @@ fn session_json(entry: &RegisteredSession) -> Json {
     let session = entry.session();
     let stats = session.cache_stats();
     let grouping = session.grouping_cache_stats();
+    let hot = session.engine().hot_stats();
+    let match_index = session.engine().match_index_cache_stats();
     let by_estimator: Vec<(String, Json)> = session
         .cache_stats_by_estimator()
         .into_iter()
@@ -559,6 +561,41 @@ fn session_json(entry: &RegisteredSession) -> Json {
                 grouping.entries,
                 grouping.evictions,
             ),
+        ),
+        (
+            "match_index_cache".into(),
+            cache_stats_json(
+                match_index.hits,
+                match_index.misses,
+                match_index.entries,
+                match_index.evictions,
+            ),
+        ),
+        // Hot-path cost accounting aggregated over every estimation run:
+        // per-stage milliseconds (design build / index construction /
+        // solve), executor task units, and KD-tree node visits.
+        (
+            "estimate_timing".into(),
+            Json::Obj(vec![
+                ("estimates".into(), Json::Num(hot.estimates as f64)),
+                (
+                    "build_ms".into(),
+                    Json::Num(hot.stats.build_ns as f64 / 1e6),
+                ),
+                (
+                    "index_ms".into(),
+                    Json::Num(hot.stats.index_ns as f64 / 1e6),
+                ),
+                (
+                    "solve_ms".into(),
+                    Json::Num(hot.stats.solve_ns as f64 / 1e6),
+                ),
+                ("tasks".into(), Json::Num(hot.stats.tasks as f64)),
+                (
+                    "tree_visits".into(),
+                    Json::Num(hot.stats.tree_visits as f64),
+                ),
+            ]),
         ),
         (
             "exec".into(),

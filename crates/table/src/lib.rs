@@ -48,7 +48,7 @@ pub use column::{CatColumn, Column};
 pub use dataframe::{DataFrame, DataFrameBuilder};
 pub use error::{Result, TableError};
 pub use fnv::FnvHasher;
-pub use mask::Mask;
+pub use mask::{Mask, MaskView};
 pub use pattern::Pattern;
 pub use predicate::{CmpOp, Predicate};
 pub use value::{DataType, Value};

@@ -207,6 +207,16 @@ impl Mask {
         &self.words
     }
 
+    /// A borrowed word-level [`MaskView`] — the entry point of the fused
+    /// mask-and-accumulate kernels, which iterate set *words* instead of
+    /// set rows.
+    pub fn view(&self) -> MaskView<'_> {
+        MaskView {
+            words: &self.words,
+            len: self.len,
+        }
+    }
+
     /// Rebuild a mask from its length and backing words (the inverse of
     /// [`Self::as_words`]). Returns `None` when `words` has the wrong
     /// length for `len`; bits beyond `len` in the last word are cleared.
@@ -234,6 +244,54 @@ impl Mask {
             "mask length mismatch: {} vs {}",
             self.len, other.len
         );
+    }
+}
+
+/// A borrowed, word-granular view of a [`Mask`].
+///
+/// Hot loops that touch every selected row (design-matrix assembly, fused
+/// gathers) pay per-*row* overhead if they walk [`Mask::iter_ones`]; the
+/// view exposes the backing words directly so kernels can skip unselected
+/// 64-row spans in one comparison and decode set bits with
+/// `trailing_zeros` inside a register. Bits at or beyond `len` are
+/// guaranteed zero (masks clear their tail word on every mutation).
+#[derive(Debug, Clone, Copy)]
+pub struct MaskView<'a> {
+    words: &'a [u64],
+    len: usize,
+}
+
+impl<'a> MaskView<'a> {
+    /// Number of rows covered (set *and* unset).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing words, least-significant bit = lowest row.
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Popcount of set rows — one `count_ones` per word, no per-bit work.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Invoke `f(word_index, word)` for every *non-zero* word, in
+    /// ascending word order. Row `i` is set iff
+    /// `word_index * 64 + bit == i` for some set `bit` of `word`; zero
+    /// words (64 unselected rows) are skipped without calling `f`.
+    pub fn for_each_set_word(&self, mut f: impl FnMut(usize, u64)) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            if word != 0 {
+                f(wi, word);
+            }
+        }
     }
 }
 
@@ -424,5 +482,32 @@ mod tests {
         assert_eq!(inv.count(), 70);
         let inv2 = !&inv;
         assert_eq!(inv2.count(), 0);
+    }
+
+    #[test]
+    fn view_visits_exactly_the_set_rows() {
+        let m = Mask::from_indices(200, &[1, 63, 64, 65, 130, 199]);
+        let view = m.view();
+        assert_eq!(view.len(), 200);
+        assert_eq!(view.count(), m.count());
+        let mut rows = Vec::new();
+        view.for_each_set_word(|wi, word| {
+            assert_ne!(word, 0, "zero words must be skipped");
+            let mut w = word;
+            while w != 0 {
+                rows.push(wi * 64 + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        });
+        assert_eq!(rows, m.to_indices());
+    }
+
+    #[test]
+    fn view_of_empty_and_full_masks() {
+        assert!(Mask::zeros(0).view().is_empty());
+        let mut calls = 0;
+        Mask::zeros(128).view().for_each_set_word(|_, _| calls += 1);
+        assert_eq!(calls, 0);
+        assert_eq!(Mask::ones(70).view().count(), 70);
     }
 }

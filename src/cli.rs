@@ -723,7 +723,7 @@ sampled frame is bit-reproducible per (spec, seed). Writes scenario.csv,
 scenario.dag (both directly usable as --data/--dag for `faircap solve` and
 `faircap serve`), and scenario.json (roles + truth table) into DIR.
 
---check grades stratified/IPW/AIPW against the planted truth in every
+--check grades stratified/IPW/AIPW/matching against the planted truth in every
 (treatment × group) cell (pass: |err| ≤ check-tol + check-z·se) and
 requires the unadjusted difference-in-means to be provably biased; any
 violation exits 1. Formats and semantics: docs/scenarios.md.";

@@ -1,8 +1,10 @@
 //! Scale-harness integration tests for `faircap-scenario`: the planted
 //! ground truth is actually recovered by the adjusted estimators at
 //! benchmark sizes, the unadjusted estimate is provably biased (the
-//! confounding has teeth), matching refuses scenario-scale groups through
-//! its pair budget, generation is bit-reproducible at 10⁵ rows, and the
+//! confounding has teeth), covariate-free matching refuses
+//! scenario-scale groups through its brute-force pair budget (the
+//! KD-tree index keeps the adjusted runs inside it), generation is
+//! bit-reproducible at 10⁵ rows, and the
 //! replayer drives a real served instance end to end.
 
 use faircap::causal::{estimate_cate, CausalError, EstimatorKind};
@@ -30,8 +32,9 @@ fn scale_spec() -> ScenarioSpec {
 fn adjusted_estimators_recover_planted_truth_at_scale() {
     let sc = generate(&scale_spec()).unwrap();
     let checks = check_recovery(&sc, &RecoveryOptions::default()).unwrap();
-    // flexible × {protected, non-protected, all} × {stratified, ipw, aipw}.
-    assert_eq!(checks.len(), sc.spec.flexible * 3 * 3);
+    // flexible × {protected, non-protected, all}
+    //          × {stratified, ipw, aipw, matching}.
+    assert_eq!(checks.len(), sc.spec.flexible * 3 * 4);
     let failures: Vec<String> = checks
         .iter()
         .filter(|c| !c.pass)
@@ -53,12 +56,21 @@ fn unadjusted_estimate_is_provably_biased() {
 }
 
 #[test]
-fn matching_budget_refuses_scenario_scale_groups() {
-    // 20 000 rows with treated fractions in the generator's [0.2, 0.8]
-    // band mean at least 4 000 × 16 000 = 6.4·10⁷ candidate pairs — over
-    // the 5·10⁷ default budget, so brute-force matching must refuse with
-    // the typed error instead of grinding.
-    let sc = generate(&scale_spec()).unwrap();
+fn matching_budget_refuses_covariate_free_scenario_groups() {
+    // With covariates the KD-tree index now carries scenario-scale groups
+    // within budget (asserted by the recovery test above), so the refusal
+    // path is exercised where the tree genuinely cannot help: an empty
+    // adjustment set has no matching dimensions, the brute-force pair
+    // scan is the only path, and 40 000 rows with treated fractions in
+    // the generator's [0.2, 0.8] band mean at least
+    // 8 000 × 32 000 = 2.56·10⁸ pair distances — over the 2·10⁸ default
+    // budget, so matching must refuse with the typed error instead of
+    // grinding quadratically.
+    let sc = generate(&ScenarioSpec {
+        rows: 40_000,
+        ..scale_spec()
+    })
+    .unwrap();
     let treated = Pattern::of_eq(&[("f0", Value::from("yes"))])
         .coverage(&sc.dataset.df)
         .unwrap();
@@ -68,7 +80,7 @@ fn matching_budget_refuses_scenario_scale_groups() {
         &sc.group_mask(TruthGroup::All),
         &treated,
         &sc.dataset.outcome,
-        &sc.dataset.immutable,
+        &[],
     )
     .unwrap_err();
     match err {

@@ -63,6 +63,30 @@ fn boot(config: ServeConfig) -> (Server, ServeClient) {
     (server, client)
 }
 
+/// A session whose cold solve takes long enough (~150 ms debug, ~20 ms
+/// release) for a metrics poll loop to observe it in flight — the 2k-row
+/// fixture above now solves in single-digit milliseconds since the kernel
+/// layer landed, faster than any reasonable polling interval.
+fn slow_session() -> PrescriptionSession {
+    let ds = faircap::data::so::generate(60_000, 3);
+    let keep = ["gdp_group", "age", "certifications", "training", "salary"];
+    let df = ds.df.select(&keep).unwrap();
+    let dag = Dag::parse_edge_list(
+        "gdp_group -> salary\nage -> salary\ncertifications -> salary\ntraining -> salary",
+    )
+    .unwrap();
+    let protected = Pattern::of_eq(&[("gdp_group", Value::from("low"))]);
+    FairCap::builder()
+        .data(df)
+        .dag(dag)
+        .outcome("salary")
+        .immutable(["gdp_group", "age"])
+        .mutable(["certifications", "training"])
+        .protected(protected)
+        .build()
+        .unwrap()
+}
+
 fn rule_strings(doc: &Json) -> Vec<String> {
     doc.get("rules")
         .and_then(Json::as_arr)
@@ -348,11 +372,21 @@ fn snapshot_endpoint_writes_and_warm_boot_reuses() {
 
 #[test]
 fn graceful_shutdown_drains_in_flight_solves() {
-    let (server, client) = boot(ServeConfig {
-        max_concurrent_solves: 1,
-        solve_queue_depth: 4,
-        ..ServeConfig::default()
-    });
+    // Boot over the slow fixture: the drain assertion needs a solve that is
+    // reliably still running when the shutdown request lands.
+    let registry = Arc::new(SessionRegistry::new());
+    registry.register("so", slow_session());
+    let server = Server::start(
+        ServeConfig {
+            max_concurrent_solves: 1,
+            solve_queue_depth: 4,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .unwrap();
+    let client = server.client();
+    client.wait_ready(Duration::from_secs(30)).unwrap();
     // Launch a solve and wait until the solve pool reports it in flight.
     let solver = {
         let client = client.clone();
@@ -375,7 +409,7 @@ fn graceful_shutdown_drains_in_flight_solves() {
             std::time::Instant::now() < deadline,
             "solve never became in-flight"
         );
-        std::thread::sleep(Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(1));
     }
     // POST /v1/shutdown flips the request flag; the owner then drains.
     assert_eq!(client.post_json("/v1/shutdown", "{}").unwrap().status, 200);

@@ -1,0 +1,217 @@
+//! Property tests pinning the hot-path kernel contract: every blocked,
+//! fused, or parallel code path in `faircap::causal::estimate::kernel` and
+//! the KD-tree matching engine must be **bit-identical** (`f64::to_bits`,
+//! not tolerance) to the naive reference implementations preserved in
+//! `faircap::causal::estimate::reference`. Bit-identity is what lets the
+//! engine pick block sizes, worker counts, and search strategies purely on
+//! cost grounds — the answer never depends on the path taken.
+
+use faircap::causal::estimate::{kernel, matching, reference};
+use faircap::causal::{Estimate, HotStats};
+use faircap::table::{DataFrame, Mask};
+use proptest::prelude::*;
+
+/// Worker counts exercised against the serial (`workers = 1`) reference.
+const WORKER_GRID: [usize; 3] = [2, 3, 8];
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn matrix_bits(m: &faircap::causal::linalg::Matrix) -> Vec<u64> {
+    let k = m.rows();
+    (0..k)
+        .flat_map(|r| (0..k).map(move |c| (r, c)))
+        .map(|(r, c)| m.get(r, c).to_bits())
+        .collect()
+}
+
+fn estimate_bits(e: &Estimate) -> [u64; 4] {
+    [
+        e.cate.to_bits(),
+        e.std_err.to_bits(),
+        e.t_stat.to_bits(),
+        e.p_value.to_bits(),
+    ]
+}
+
+/// `k` random finite columns of `n` rows each.
+fn columns_strategy(n: usize, k: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-10.0f64..10.0, n), k)
+}
+
+/// A random mixed-type frame plus group/treated masks sized so the
+/// matching estimator always has both arms: the first ten rows alternate
+/// treated/control five-and-five and sweep all three category levels.
+fn matching_frame(
+    z_codes: &[u8],
+    noise: &[f64],
+    y: &[f64],
+    treated_bits: &[bool],
+) -> (DataFrame, Mask, Mask) {
+    let n = z_codes.len();
+    let levels = ["a", "b", "c"];
+    let z: Vec<&str> = (0..n)
+        .map(|i| {
+            if i < 10 {
+                levels[i % 3]
+            } else {
+                levels[z_codes[i] as usize % 3]
+            }
+        })
+        .collect();
+    let t: Vec<bool> = (0..n)
+        .map(|i| if i < 10 { i % 2 == 0 } else { treated_bits[i] })
+        .collect();
+    let df = DataFrame::builder()
+        .cat("z", &z)
+        .float("noise", noise.to_vec())
+        .float("y", y.to_vec())
+        .build()
+        .unwrap();
+    let group = Mask::from_bools(&vec![true; n]);
+    let treated = Mask::from_bools(&t);
+    (df, group, treated)
+}
+
+proptest! {
+    /// Fused columnar design assembly == naive row-major assembly, for
+    /// both the OLS layout (treatment column) and the covariate-only
+    /// layout, serial and parallel.
+    #[test]
+    fn design_assembly_matches_naive(
+        z_codes in prop::collection::vec(0u8..3, 40..160),
+        noise in prop::collection::vec(-5.0f64..5.0, 160),
+        y in prop::collection::vec(-5.0f64..5.0, 160),
+        treated_bits in prop::collection::vec(any::<bool>(), 160),
+        group_bits in prop::collection::vec(any::<bool>(), 160),
+    ) {
+        let n = z_codes.len();
+        let (df, _, treated) = matching_frame(&z_codes, &noise[..n], &y[..n], &treated_bits[..n]);
+        // A random, non-empty subgroup (row 0 always in).
+        let mut gb = group_bits[..n].to_vec();
+        gb[0] = true;
+        let group = Mask::from_bools(&gb);
+        let adjustment = vec!["z".to_owned(), "noise".to_owned()];
+
+        for treated_opt in [Some(&treated), None] {
+            let naive = reference::design_columns_naive(&df, &adjustment, &group, treated_opt)
+                .unwrap();
+            for workers in [1, 2, 8] {
+                let fused = kernel::build_columns(
+                    &df, &adjustment, &group, treated_opt, workers, &mut 0,
+                )
+                .unwrap();
+                prop_assert_eq!(fused.k(), naive.len());
+                for (fc, nc) in fused.cols().iter().zip(&naive) {
+                    prop_assert_eq!(bits(fc), bits(nc));
+                }
+            }
+        }
+    }
+
+    /// Blocked X'X and X'y == naive entry-at-a-time loops, bitwise, at
+    /// every worker count.
+    #[test]
+    fn reductions_match_naive(
+        cols in (20usize..200, 1usize..6).prop_flat_map(|(n, k)| columns_strategy(n, k)),
+        y_seed in prop::collection::vec(-10.0f64..10.0, 200),
+    ) {
+        let n = cols[0].len();
+        let y = &y_seed[..n];
+        let naive_gram = reference::gram_naive(&cols);
+        let naive_xty = reference::xty_naive(&cols, y);
+        for workers in std::iter::once(1).chain(WORKER_GRID) {
+            let gram = kernel::gram_columns(&cols, workers, &mut 0);
+            let xty = kernel::xty_columns(&cols, y, workers, &mut 0);
+            prop_assert_eq!(matrix_bits(&gram), matrix_bits(&naive_gram));
+            prop_assert_eq!(bits(&xty), bits(&naive_xty));
+        }
+    }
+
+    /// The fused IRLS reduction (weighted gram + score) and the per-arm
+    /// masked gram == their naive counterparts, bitwise, at every worker
+    /// count.
+    #[test]
+    fn irls_and_arm_kernels_match_naive(
+        cols in (20usize..200, 1usize..5).prop_flat_map(|(n, k)| columns_strategy(n, k)),
+        w_seed in prop::collection::vec(0.0f64..4.0, 200),
+        r_seed in prop::collection::vec(-2.0f64..2.0, 200),
+        arm_bits in prop::collection::vec(any::<bool>(), 200),
+    ) {
+        let n = cols[0].len();
+        let (w, r) = (&w_seed[..n], &r_seed[..n]);
+        let arm: Vec<f64> = arm_bits[..n].iter().map(|&b| b as u8 as f64).collect();
+        let (naive_wg, naive_score) = reference::weighted_gram_score_naive(&cols, w, r);
+        let (naive_ag, naive_rhs) = reference::arm_gram_xty_naive(&cols, r, &arm);
+        for workers in std::iter::once(1).chain(WORKER_GRID) {
+            let (wg, score) = kernel::weighted_gram_score(&cols, w, r, workers, &mut 0);
+            let (ag, rhs) = kernel::arm_gram_xty(&cols, r, &arm, workers, &mut 0);
+            prop_assert_eq!(matrix_bits(&wg), matrix_bits(&naive_wg));
+            prop_assert_eq!(bits(&score), bits(&naive_score));
+            prop_assert_eq!(matrix_bits(&ag), matrix_bits(&naive_ag));
+            prop_assert_eq!(bits(&rhs), bits(&naive_rhs));
+        }
+    }
+
+    /// Column-streaming X·β == naive per-row dot products, bitwise.
+    #[test]
+    fn mat_vec_matches_naive(
+        cols in (10usize..150, 1usize..6).prop_flat_map(|(n, k)| columns_strategy(n, k)),
+        beta_seed in prop::collection::vec(-3.0f64..3.0, 6),
+    ) {
+        let beta = &beta_seed[..cols.len()];
+        prop_assert_eq!(
+            bits(&kernel::mat_vec_columns(&cols, beta)),
+            bits(&reference::mat_vec_naive(&cols, beta))
+        );
+    }
+
+    /// KD-tree matching == brute-force matching, bitwise, on tie-heavy
+    /// categorical designs (where tie-inclusive cutoffs do real work),
+    /// across worker counts and with a prebuilt, reused index.
+    #[test]
+    fn tree_matching_matches_brute(
+        z_codes in prop::collection::vec(0u8..3, 40..160),
+        noise in prop::collection::vec(-1.0f64..1.0, 160),
+        y in prop::collection::vec(-5.0f64..5.0, 160),
+        treated_bits in prop::collection::vec(any::<bool>(), 160),
+    ) {
+        let n = z_codes.len();
+        let (df, group, treated) = matching_frame(&z_codes, &noise[..n], &y[..n], &treated_bits[..n]);
+        let adjustment = vec!["z".to_owned(), "noise".to_owned()];
+
+        let brute = matching::estimate_with(
+            &df, &group, &treated, "y", &adjustment,
+            &matching::MatchParams {
+                index: None,
+                strategy: matching::MatchStrategy::Brute,
+                workers: 1,
+            },
+            &mut HotStats::default(),
+        )
+        .unwrap();
+
+        let index = matching::MatchIndex::build(
+            &df, &group, "y", &adjustment, 1, &mut HotStats::default(),
+        )
+        .unwrap();
+        for workers in [1, 2, 8] {
+            for index_opt in [None, Some(&index)] {
+                let tree = matching::estimate_with(
+                    &df, &group, &treated, "y", &adjustment,
+                    &matching::MatchParams {
+                        index: index_opt,
+                        strategy: matching::MatchStrategy::Tree,
+                        workers,
+                    },
+                    &mut HotStats::default(),
+                )
+                .unwrap();
+                prop_assert_eq!(estimate_bits(&tree), estimate_bits(&brute));
+                prop_assert_eq!(tree.n_treated, brute.n_treated);
+                prop_assert_eq!(tree.n_control, brute.n_control);
+            }
+        }
+    }
+}

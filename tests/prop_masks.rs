@@ -86,4 +86,36 @@ proptest! {
         let f = a.fraction();
         prop_assert!((0.0..=1.0).contains(&f));
     }
+
+    /// `MaskView::for_each_set_word` decodes to exactly the rows a naive
+    /// per-bit `get(i)` loop reports — in ascending order, skipping zero
+    /// words without a callback. Length 321 exercises a partial tail word.
+    #[test]
+    fn view_words_decode_to_the_per_bit_rows(a in mask_strategy(321)) {
+        let mut decoded = Vec::new();
+        let mut zero_words = 0u32;
+        a.view().for_each_set_word(|wi, word| {
+            if word == 0 {
+                zero_words += 1;
+            }
+            let mut w = word;
+            while w != 0 {
+                decoded.push(wi * 64 + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        });
+        prop_assert_eq!(zero_words, 0u32);
+        let naive: Vec<usize> = (0..321).filter(|&i| a.get(i)).collect();
+        prop_assert_eq!(decoded, naive);
+    }
+
+    /// The view's word-popcount agrees with the mask's own count and a
+    /// naive per-bit tally, across tail-word lengths.
+    #[test]
+    fn view_count_is_popcount(bits in prop::collection::vec(any::<bool>(), 1..300)) {
+        let a = Mask::from_bools(&bits);
+        let naive = bits.iter().filter(|&&b| b).count();
+        prop_assert_eq!(a.view().count(), naive);
+        prop_assert_eq!(a.count(), naive);
+    }
 }
