@@ -114,6 +114,7 @@ pub fn adapt_if_clauses(
             intervention: elapsed,
             greedy: std::time::Duration::ZERO,
         },
+        stats: faircap_core::SolveStats::default(),
         exec: None,
     })
 }

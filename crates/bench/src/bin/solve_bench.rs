@@ -1,0 +1,321 @@
+//! Solve hot-path benchmark: cold vs. warm constraint-sweep latency,
+//! recorded machine-readably and gated against a committed baseline.
+//!
+//! For each dataset the driver times the same three-constraint sweep
+//! (none / statistical parity / bounded group loss — the `warm_start`
+//! sweep) in three regimes:
+//!
+//! * `cold_sweep` — a fresh session per repetition: every CATE estimated,
+//!   every lattice mined, the full Steps 1–3 pipeline;
+//! * `warm_sweep_nocache` — a warmed session re-solved with
+//!   `use_solve_cache(false)`: the estimate cache stays hot but grouping
+//!   and intervention mining re-run per solve. This is the pre-cache warm
+//!   path and the denominator of the headline speedup;
+//! * `warm_sweep` — the same warmed session with the solve caches on:
+//!   constraint-only re-solves skip Steps 1–2 via the intervention cache
+//!   and only re-run the per-solve filter + greedy selection.
+//!
+//! The run **asserts** that the cached warm sweep returns rulesets
+//! bit-identical to the uncached one (same rules, same benefit floats,
+//! same summary) and that the cached sweep is at least
+//! [`MIN_WARM_SPEEDUP`]× faster — the regression the cache exists to
+//! prevent.
+//!
+//! Results go to stdout *and* `BENCH_solve.json` (CWD, or the directory
+//! given as the first argument). With `--gate BASELINE.json`, each
+//! (case, dataset) entry's best-of-reps time is compared against the
+//! committed baseline's and the run exits 1 on a >20% regression (plus a
+//! 1 ms absolute slack for timer noise); entries missing from the
+//! baseline warn and skip so new datasets can land before their baseline.
+//!
+//! ```sh
+//! cargo run --release -p faircap-bench --bin solve_bench \
+//!     [-- OUT_DIR] [--gate BASELINE.json]
+//! ```
+
+use faircap_bench::session_of;
+use faircap_core::{
+    FairnessConstraint, FairnessScope, Json, PrescriptionSession, SolutionReport, SolveRequest,
+};
+use faircap_data::{german, so, Dataset};
+use std::time::Instant;
+
+/// Timed repetitions per case (best-of is what the gate compares). Five
+/// reps because the warm sweep is fast enough that a single descheduling
+/// can double a rep's wall-clock; best-of-5 keeps the gate about
+/// regressions rather than scheduler luck.
+const REPS: usize = 5;
+/// Relative min-time increase vs. the baseline that fails the gate.
+const GATE_MAX_REGRESSION: f64 = 0.20;
+/// Absolute slack added to every gate ceiling: the warm sweep runs in
+/// well under a millisecond, where scheduler jitter swamps any 20%
+/// relative band. Irrelevant for the multi-ms cold cases.
+const GATE_ABS_SLACK_MS: f64 = 1.0;
+/// The cached warm sweep must beat the uncached warm sweep by at least
+/// this factor or the run fails — the property this PR's solve caches
+/// were built to deliver.
+const MIN_WARM_SPEEDUP: f64 = 2.0;
+
+struct Entry {
+    case: String,
+    dataset: String,
+    rows: usize,
+    reps: usize,
+    min_ms: f64,
+    mean_ms: f64,
+}
+
+impl Entry {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            [
+                ("case", Json::Str(self.case.clone())),
+                ("dataset", Json::Str(self.dataset.clone())),
+                ("rows", Json::Num(self.rows as f64)),
+                ("reps", Json::Num(self.reps as f64)),
+                ("min_ms", Json::Num(self.min_ms)),
+                ("mean_ms", Json::Num(self.mean_ms)),
+            ]
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+        )
+    }
+}
+
+/// The `warm_start` constraint sweep: three solves differing only in the
+/// fairness constraint, i.e. the workload the intervention cache targets.
+fn sweep(use_solve_cache: bool) -> Vec<SolveRequest> {
+    [
+        FairnessConstraint::None,
+        FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Group,
+            epsilon: 10_000.0,
+        },
+        FairnessConstraint::BoundedGroupLoss {
+            scope: FairnessScope::Group,
+            tau: 0.1,
+        },
+    ]
+    .into_iter()
+    .map(|f| {
+        SolveRequest::default()
+            .fairness(f)
+            .use_solve_cache(use_solve_cache)
+    })
+    .collect()
+}
+
+fn run_sweep(session: &PrescriptionSession, use_solve_cache: bool) -> Vec<SolutionReport> {
+    sweep(use_solve_cache)
+        .iter()
+        .map(|request| session.solve(request).expect("valid request"))
+        .collect()
+}
+
+/// Time one case: `reps` timed runs, best-of and mean recorded.
+fn bench_case(
+    case: &str,
+    dataset: &str,
+    rows: usize,
+    mut f: impl FnMut() -> Vec<SolutionReport>,
+) -> (Entry, Vec<SolutionReport>) {
+    let mut times_ms = Vec::with_capacity(REPS);
+    let mut reports = Vec::new();
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        reports = f();
+        times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let min_ms = times_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean_ms = times_ms.iter().sum::<f64>() / times_ms.len() as f64;
+    println!(
+        "solve_bench: {dataset} ({rows} rows) {case:<20} min {min_ms:9.3} ms  mean {mean_ms:9.3} ms"
+    );
+    let entry = Entry {
+        case: case.to_owned(),
+        dataset: dataset.to_owned(),
+        rows,
+        reps: REPS,
+        min_ms,
+        mean_ms,
+    };
+    (entry, reports)
+}
+
+/// Assert two sweeps produced bit-identical rulesets: same rules in the
+/// same order with the same benefit floats, and the same summaries.
+fn assert_sweeps_identical(a: &[SolutionReport], b: &[SolutionReport], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: sweep lengths differ");
+    for (x, y) in a.iter().zip(b) {
+        let rx: Vec<String> = x.rules.iter().map(|r| r.to_string()).collect();
+        let ry: Vec<String> = y.rules.iter().map(|r| r.to_string()).collect();
+        assert_eq!(rx, ry, "{what}: rulesets differ");
+        for (rx, ry) in x.rules.iter().zip(&y.rules) {
+            assert_eq!(
+                rx.benefit.to_bits(),
+                ry.benefit.to_bits(),
+                "{what}: rule benefits differ"
+            );
+        }
+        assert_eq!(
+            format!("{:?}", x.summary),
+            format!("{:?}", y.summary),
+            "{what}: summaries differ"
+        );
+        assert_eq!(x.constraints_met, y.constraints_met, "{what}");
+    }
+}
+
+fn run_dataset(name: &str, ds: &Dataset, entries: &mut Vec<Entry>, speedups: &mut Vec<Json>) {
+    let rows = ds.df.n_rows();
+
+    // Cold: a fresh session per repetition, so nothing carries over.
+    let (cold, _) = bench_case("cold_sweep", name, rows, || {
+        let session = session_of(ds).expect("dataset is well-formed");
+        run_sweep(&session, true)
+    });
+
+    // One warmed session for both warm regimes; the cold reps above used
+    // their own sessions, so warm it explicitly once.
+    let session = session_of(ds).expect("dataset is well-formed");
+    run_sweep(&session, true);
+
+    let (nocache, nocache_reports) = bench_case("warm_sweep_nocache", name, rows, || {
+        run_sweep(&session, false)
+    });
+    let (warm, warm_reports) = bench_case("warm_sweep", name, rows, || run_sweep(&session, true));
+
+    assert_sweeps_identical(
+        &warm_reports,
+        &nocache_reports,
+        &format!("{name}: cached vs uncached warm sweep"),
+    );
+    let hot = session.solve_hot_stats();
+    let cache = session.intervention_cache_stats();
+    println!(
+        "solve_bench: {name} session counters — solves {} / intervention-cache {} hits {} misses",
+        hot.solves, cache.hits, cache.misses
+    );
+    assert!(cache.hits > 0, "{name}: warm sweep must hit the cache");
+
+    let speedup = nocache.min_ms / warm.min_ms.max(1e-9);
+    println!("solve_bench: {name} warm speedup (cached vs uncached): {speedup:.1}x");
+    assert!(
+        speedup >= MIN_WARM_SPEEDUP,
+        "{name}: cached warm sweep only {speedup:.2}x faster than uncached \
+         (need ≥{MIN_WARM_SPEEDUP}x)"
+    );
+    speedups.push(Json::Obj(vec![
+        ("dataset".into(), Json::Str(name.to_owned())),
+        ("warm_vs_nocache".into(), Json::Num(speedup)),
+    ]));
+
+    entries.push(cold);
+    entries.push(nocache);
+    entries.push(warm);
+}
+
+/// The committed baseline's `(case, dataset) → min_ms` map, if the file
+/// parses as a solve-benchmark document.
+fn baseline_times(path: &str) -> Option<Vec<(String, String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = Json::parse(&text).ok()?;
+    let Json::Arr(items) = doc.get("entries")? else {
+        return None;
+    };
+    let mut out = Vec::new();
+    for item in items {
+        if let (Some(Json::Str(case)), Some(Json::Str(dataset)), Some(Json::Num(min))) =
+            (item.get("case"), item.get("dataset"), item.get("min_ms"))
+        {
+            out.push((case.clone(), dataset.clone(), *min));
+        }
+    }
+    Some(out)
+}
+
+fn main() {
+    let mut out_dir = ".".to_owned();
+    let mut gate: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--gate" => gate = Some(args.next().expect("--gate needs a baseline path")),
+            _ => out_dir = arg,
+        }
+    }
+
+    let mut entries = Vec::new();
+    let mut speedups = Vec::new();
+    run_dataset(
+        "german",
+        &german::generate(german::GERMAN_DEFAULT_ROWS, 42),
+        &mut entries,
+        &mut speedups,
+    );
+    run_dataset(
+        "stackoverflow",
+        &so::generate(10_000, 42),
+        &mut entries,
+        &mut speedups,
+    );
+
+    let doc = Json::Obj(vec![
+        ("benchmark".into(), Json::Str("solve".into())),
+        (
+            "entries".into(),
+            Json::Arr(entries.iter().map(Entry::to_json).collect()),
+        ),
+        ("speedups".into(), Json::Arr(speedups)),
+    ]);
+    let out_dir = out_dir.trim_end_matches('/');
+    std::fs::create_dir_all(out_dir).expect("creating the output directory");
+    let path = format!("{out_dir}/BENCH_solve.json");
+    std::fs::write(&path, doc.render()).expect("writing BENCH_solve.json");
+    println!("solve_bench: wrote {path}");
+
+    if let Some(gate_path) = gate {
+        match baseline_times(&gate_path) {
+            Some(baseline) if !baseline.is_empty() => {
+                let mut regressed = false;
+                for entry in &entries {
+                    let Some((_, _, base_min)) = baseline
+                        .iter()
+                        .find(|(c, d, _)| *c == entry.case && *d == entry.dataset)
+                    else {
+                        eprintln!(
+                            "solve_bench: warning — no baseline for {} @ {}; skipped",
+                            entry.case, entry.dataset
+                        );
+                        continue;
+                    };
+                    let ceiling = base_min * (1.0 + GATE_MAX_REGRESSION) + GATE_ABS_SLACK_MS;
+                    let verdict = if entry.min_ms > ceiling {
+                        regressed = true;
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "solve_bench: gate {} @ {} — {:.3} ms vs baseline {:.3} ms (ceiling {:.3}): {}",
+                        entry.case, entry.dataset, entry.min_ms, base_min, ceiling, verdict
+                    );
+                }
+                if regressed {
+                    eprintln!(
+                        "solve_bench: FAIL — at least one case regressed more than {:.0}% \
+                         vs {gate_path}",
+                        GATE_MAX_REGRESSION * 100.0
+                    );
+                    std::process::exit(1);
+                }
+            }
+            _ => {
+                eprintln!(
+                    "solve_bench: warning — no baseline entries in {gate_path}; gate skipped"
+                );
+            }
+        }
+    }
+}

@@ -8,6 +8,29 @@
 //! skipped. The loop stops when the best marginal score drops below the
 //! configured threshold (once coverage is satisfied), when `max_rules` is
 //! hit, or when no candidate remains.
+//!
+//! # Lazy evaluation (CELF)
+//!
+//! [`greedy_select`] runs the loop lazily, CELF-style (Leskovec et al.
+//! 2007): every candidate's score from a previous iteration is an **upper
+//! bound** on its current score, so candidates sit in a max-heap under
+//! their stale scores and only the top is re-evaluated until a candidate's
+//! fresh score still tops the heap. The bound holds term by term:
+//!
+//! * the coverage term only shrinks — rows never become uncovered, so a
+//!   candidate's newly-covered count is non-increasing, and the whole term
+//!   drops (it is non-negative) once coverage is met, which is permanent;
+//! * the `ΔExpUtility` term only shrinks — each covered row contributes
+//!   `max(0, u − best[row])` and `best[row]` is non-decreasing;
+//! * the `benefit` tie-break term is constant.
+//!
+//! Group-scope *validity* is not monotone, so candidates failing the
+//! fairness preview are merely set aside for the round (with their fresh
+//! score, still an upper bound) and retried in later rounds. Ties resolve
+//! to the lowest candidate index, exactly like the eager scan's strict
+//! `>` comparison — selections are **bit-identical** to
+//! [`reference::greedy_select`], the retained eager oracle (property-tested
+//! in `tests/prop_greedy_celf.rs`).
 
 use crate::config::FairCapConfig;
 use crate::constraints::{
@@ -17,6 +40,7 @@ use crate::constraints::{
 use crate::rule::Rule;
 use crate::utility::RulesetUtility;
 use faircap_table::Mask;
+use std::collections::BinaryHeap;
 
 /// Result of the greedy phase.
 #[derive(Debug, Clone)]
@@ -27,6 +51,20 @@ pub struct GreedyOutcome {
     pub summary: RulesetUtility,
     /// Whether all constraints hold for the final set.
     pub constraints_met: bool,
+}
+
+/// Work accounting of one lazy-greedy run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GreedyStats {
+    /// Candidate score evaluations performed (the eager loop performs
+    /// `rounds × remaining-candidates` of these).
+    pub evaluations: u64,
+    /// Evaluations beyond each candidate's first — stale heap entries that
+    /// had to be refreshed before a selection could be certified.
+    pub reevaluations: u64,
+    /// Selection rounds run (including the final round that only proved
+    /// the stopping condition).
+    pub rounds: u64,
 }
 
 /// Incrementally maintained Eq. 5–7 state for the selected ruleset, with
@@ -191,14 +229,15 @@ impl<'a> RulesetState<'a> {
     }
 }
 
-/// Run the greedy selection over candidate rules.
-pub fn greedy_select(
+/// Pre-filter and order the candidate pool, and compute the utility
+/// normalizer — shared verbatim by the lazy and reference selectors so both
+/// see the same indices and floating-point inputs.
+fn prepare(
     mut candidates: Vec<Rule>,
     config: &FairCapConfig,
     n_rows: usize,
-    protected: &Mask,
-) -> GreedyOutcome {
-    let n_protected = protected.count();
+    n_protected: usize,
+) -> (Vec<Rule>, f64) {
     // Matroid-style pre-filters: individual fairness + rule coverage +
     // positive utility (Definition 4.4's "discard rules with negative
     // utility").
@@ -215,52 +254,38 @@ pub fn greedy_select(
         .map(|r| r.utility.overall)
         .fold(0.0f64, f64::max)
         .max(f64::MIN_POSITIVE);
+    (candidates, u_norm)
+}
 
-    let mut state = RulesetState::new(n_rows, protected);
-    let mut selected: Vec<Rule> = Vec::new();
-    let mut used = vec![false; candidates.len()];
-
-    while selected.len() < config.max_rules {
-        let current = state.summary();
-        let coverage_unmet = !summary_satisfies_coverage(&current, &config.coverage);
-        let mut best_idx: Option<usize> = None;
-        let mut best_score = f64::NEG_INFINITY;
-        for (idx, rule) in candidates.iter().enumerate() {
-            if used[idx] {
-                continue;
-            }
-            let preview = state.preview(rule);
-            // Group-scope fairness is enforced invariantly: every
-            // intermediate set (hence the final one) must satisfy it, using
-            // exactly the same predicate as the final validity check.
-            if !summary_satisfies_fairness(&preview, &config.fairness) {
-                continue;
-            }
-            let mut score = 0.0;
-            if coverage_unmet {
-                score += (preview.coverage - current.coverage)
-                    + (preview.coverage_protected - current.coverage_protected);
-            }
-            score += config.lambda_utility * (preview.expected - current.expected) / u_norm;
-            score += rule.benefit / u_norm * 0.1; // quality tie-break term
-            if score > best_score {
-                best_score = score;
-                best_idx = Some(idx);
-            }
-        }
-        let Some(idx) = best_idx else {
-            break; // no valid candidate remains
-        };
-        // Stop when the marginal gain is negligible — unless coverage
-        // constraints still need rules.
-        if !coverage_unmet && best_score < config.min_marginal_gain {
-            break;
-        }
-        state.commit(&candidates[idx]);
-        used[idx] = true;
-        selected.push(candidates[idx].clone());
+/// Marginal score of adding `rule` to `state`, plus the previewed summary —
+/// one shared implementation so lazy and eager selection are bit-identical.
+fn score_candidate(
+    state: &RulesetState<'_>,
+    current: &RulesetUtility,
+    coverage_unmet: bool,
+    rule: &Rule,
+    config: &FairCapConfig,
+    u_norm: f64,
+) -> (f64, RulesetUtility) {
+    let preview = state.preview(rule);
+    let mut score = 0.0;
+    if coverage_unmet {
+        score += (preview.coverage - current.coverage)
+            + (preview.coverage_protected - current.coverage_protected);
     }
+    score += config.lambda_utility * (preview.expected - current.expected) / u_norm;
+    score += rule.benefit / u_norm * 0.1; // quality tie-break term
+    (score, preview)
+}
 
+/// Final validity check and outcome assembly shared by both selectors.
+fn finish(
+    state: &RulesetState<'_>,
+    selected: Vec<Rule>,
+    config: &FairCapConfig,
+    n_rows: usize,
+    n_protected: usize,
+) -> GreedyOutcome {
     let summary = state.summary();
     let refs: Vec<&Rule> = selected.iter().collect();
     let constraints_met = crate::constraints::solution_is_valid(
@@ -275,6 +300,181 @@ pub fn greedy_select(
         selected,
         summary,
         constraints_met,
+    }
+}
+
+/// A heap entry: a candidate under its most recent score. Ordered by
+/// `(score, lowest index first)` so the heap top reproduces the eager
+/// scan's strict-`>` winner (first index among score ties).
+struct HeapEntry {
+    score: f64,
+    idx: usize,
+    /// Round the score was computed in; `u64::MAX` = never evaluated.
+    round: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.idx == other.idx
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+/// Run the greedy selection over candidate rules (lazy / CELF evaluation;
+/// selections bit-identical to [`reference::greedy_select`]).
+pub fn greedy_select(
+    candidates: Vec<Rule>,
+    config: &FairCapConfig,
+    n_rows: usize,
+    protected: &Mask,
+) -> GreedyOutcome {
+    greedy_select_with_stats(candidates, config, n_rows, protected).0
+}
+
+/// [`greedy_select`] plus the [`GreedyStats`] work counters.
+pub fn greedy_select_with_stats(
+    candidates: Vec<Rule>,
+    config: &FairCapConfig,
+    n_rows: usize,
+    protected: &Mask,
+) -> (GreedyOutcome, GreedyStats) {
+    let n_protected = protected.count();
+    let (candidates, u_norm) = prepare(candidates, config, n_rows, n_protected);
+
+    let mut state = RulesetState::new(n_rows, protected);
+    let mut selected: Vec<Rule> = Vec::new();
+    let mut stats = GreedyStats::default();
+
+    // Everything starts stale at +∞ so the first round evaluates on demand.
+    let mut heap: BinaryHeap<HeapEntry> = (0..candidates.len())
+        .map(|idx| HeapEntry {
+            score: f64::INFINITY,
+            idx,
+            round: u64::MAX,
+        })
+        .collect();
+
+    let mut round: u64 = 0;
+    while selected.len() < config.max_rules && !heap.is_empty() {
+        stats.rounds += 1;
+        let current = state.summary();
+        let coverage_unmet = !summary_satisfies_coverage(&current, &config.coverage);
+        // Fairness-invalid candidates are parked here for the round —
+        // validity is not monotone, so they get retried in later rounds
+        // (their fresh score is still a valid upper bound).
+        let mut parked: Vec<HeapEntry> = Vec::new();
+        let mut chosen: Option<HeapEntry> = None;
+        while let Some(mut top) = heap.pop() {
+            if top.round == round {
+                // Fresh and fairness-valid: every other entry's cached score
+                // is an upper bound ≤ this key, so this is the exact argmax.
+                chosen = Some(top);
+                break;
+            }
+            let (score, preview) = score_candidate(
+                &state,
+                &current,
+                coverage_unmet,
+                &candidates[top.idx],
+                config,
+                u_norm,
+            );
+            stats.evaluations += 1;
+            if top.round != u64::MAX {
+                stats.reevaluations += 1;
+            }
+            top.score = score;
+            top.round = round;
+            // Group-scope fairness is enforced invariantly: every
+            // intermediate set (hence the final one) must satisfy it, using
+            // exactly the same predicate as the final validity check.
+            if summary_satisfies_fairness(&preview, &config.fairness) {
+                heap.push(top);
+            } else {
+                parked.push(top);
+            }
+        }
+        heap.extend(parked);
+        let Some(top) = chosen else {
+            break; // no valid candidate remains
+        };
+        // Stop when the marginal gain is negligible — unless coverage
+        // constraints still need rules.
+        if !coverage_unmet && top.score < config.min_marginal_gain {
+            break;
+        }
+        state.commit(&candidates[top.idx]);
+        selected.push(candidates[top.idx].clone());
+        round += 1;
+    }
+
+    (finish(&state, selected, config, n_rows, n_protected), stats)
+}
+
+/// The eager selection loop, kept verbatim as the correctness oracle for
+/// the lazy selector: it rescans every unused candidate each round.
+/// `tests/prop_greedy_celf.rs` asserts [`greedy_select`] reproduces its
+/// selections (order included) on arbitrary pools and constraint mixes.
+pub mod reference {
+    use super::*;
+
+    /// Run the eager greedy selection over candidate rules.
+    pub fn greedy_select(
+        candidates: Vec<Rule>,
+        config: &FairCapConfig,
+        n_rows: usize,
+        protected: &Mask,
+    ) -> GreedyOutcome {
+        let n_protected = protected.count();
+        let (candidates, u_norm) = prepare(candidates, config, n_rows, n_protected);
+
+        let mut state = RulesetState::new(n_rows, protected);
+        let mut selected: Vec<Rule> = Vec::new();
+        let mut used = vec![false; candidates.len()];
+
+        while selected.len() < config.max_rules {
+            let current = state.summary();
+            let coverage_unmet = !summary_satisfies_coverage(&current, &config.coverage);
+            let mut best_idx: Option<usize> = None;
+            let mut best_score = f64::NEG_INFINITY;
+            for (idx, rule) in candidates.iter().enumerate() {
+                if used[idx] {
+                    continue;
+                }
+                let (score, preview) =
+                    score_candidate(&state, &current, coverage_unmet, rule, config, u_norm);
+                if !summary_satisfies_fairness(&preview, &config.fairness) {
+                    continue;
+                }
+                if score > best_score {
+                    best_score = score;
+                    best_idx = Some(idx);
+                }
+            }
+            let Some(idx) = best_idx else {
+                break; // no valid candidate remains
+            };
+            if !coverage_unmet && best_score < config.min_marginal_gain {
+                break;
+            }
+            state.commit(&candidates[idx]);
+            used[idx] = true;
+            selected.push(candidates[idx].clone());
+        }
+
+        finish(&state, selected, config, n_rows, n_protected)
     }
 }
 

@@ -2,7 +2,7 @@
 //! the Apriori algorithm.
 
 use crate::config::{CoverageConstraint, FairCapConfig};
-use faircap_mining::{apriori, AprioriConfig, FrequentPattern};
+use faircap_mining::{apriori_with_stats, AprioriConfig, FrequentPattern, MiningStats};
 use faircap_table::{DataFrame, Mask, Result};
 
 /// Mine candidate grouping patterns.
@@ -19,11 +19,22 @@ pub fn mine_grouping_patterns(
     protected: &Mask,
     config: &FairCapConfig,
 ) -> Result<Vec<FrequentPattern>> {
+    mine_grouping_patterns_with_stats(df, immutable, protected, config).map(|(out, _)| out)
+}
+
+/// [`mine_grouping_patterns`] plus the Apriori [`MiningStats`] (candidate
+/// pipeline accounting for the solve report).
+pub fn mine_grouping_patterns_with_stats(
+    df: &DataFrame,
+    immutable: &[String],
+    protected: &Mask,
+    config: &FairCapConfig,
+) -> Result<(Vec<FrequentPattern>, MiningStats)> {
     let mut min_support = config.apriori_threshold;
     if let CoverageConstraint::Rule { theta, .. } = config.coverage {
         min_support = min_support.max(theta);
     }
-    let patterns = apriori(
+    let (patterns, stats) = apriori_with_stats(
         df,
         immutable,
         &Mask::ones(df.n_rows()),
@@ -45,7 +56,7 @@ pub fn mine_grouping_patterns(
         }
         _ => patterns,
     };
-    Ok(filtered)
+    Ok((filtered, stats))
 }
 
 #[cfg(test)]

@@ -1,13 +1,175 @@
 //! Step 2 (§5.2): mine the best (fairness-aware) intervention pattern for a
 //! grouping pattern via positive-parent lattice traversal.
+//!
+//! The step is split in two phases so sessions can cache the expensive
+//! half across constraint-only re-solves:
+//!
+//! 1. [`evaluate_group_interventions`] — items, lattice traversal, CATE
+//!    estimation, and the protected / non-protected sub-utilities. The
+//!    output ([`GroupEvaluation`]) depends only on the group's coverage,
+//!    the estimator, the lattice depth, and the significance level α —
+//!    **not** on the fairness/coverage constraints or the cost model.
+//! 2. [`rules_from_evaluation`] — cost feasibility, fairness-penalized
+//!    benefit, the individual-fairness filter, and the top-`k` truncation:
+//!    pure arithmetic over phase 1's numbers, re-run cheaply per solve.
 
 use crate::benefit::benefit;
 use crate::config::FairCapConfig;
 use crate::constraints::rule_satisfies_fairness;
 use crate::rule::{Rule, RuleUtility};
 use faircap_causal::CateQuery;
-use faircap_mining::{positive_lattice, single_attribute_items};
+use faircap_mining::{positive_lattice_with_stats, single_attribute_items, MiningStats};
 use faircap_table::{Mask, Pattern};
+
+/// One evaluated intervention pattern of a group's positive lattice that
+/// passed the significance gate: its overall CATE and the sub-coverage
+/// utilities, everything later phases need that involves estimation.
+#[derive(Debug, Clone)]
+pub struct EvaluatedIntervention {
+    /// The intervention pattern.
+    pub pattern: Pattern,
+    /// Overall CATE on the group (positive by construction).
+    pub cate: f64,
+    /// Significance of the overall CATE (≤ the α it was mined under).
+    pub p_value: f64,
+    /// Utility on the protected sub-coverage (Definition 4.4 conventions).
+    pub u_protected: f64,
+    /// Utility on the non-protected sub-coverage.
+    pub u_non_protected: f64,
+}
+
+/// Phase-1 output for one grouping pattern: every positive, significant,
+/// fully estimated intervention candidate. Fairness- and cost-independent,
+/// hence cacheable on the session across constraint sweeps (keyed by group,
+/// estimator, lattice depth, and α — see `core::session`).
+#[derive(Debug, Clone, Default)]
+pub struct GroupEvaluation {
+    /// Evaluated candidates, in lattice traversal order.
+    pub nodes: Vec<EvaluatedIntervention>,
+}
+
+/// Phase 1: evaluate one group's intervention lattice.
+///
+/// Runs the item enumeration, the positive-parent traversal scored by the
+/// overall CATE, and — for every node passing `cate > 0 ∧ p ≤ alpha` — the
+/// protected / non-protected sub-coverage utilities. Returns the evaluation
+/// plus the lattice's [`MiningStats`].
+pub fn evaluate_group_interventions(
+    query: &CateQuery<'_>,
+    coverage: &Mask,
+    protected: &Mask,
+    mutable: &[String],
+    max_intervention_len: usize,
+    alpha: f64,
+) -> (GroupEvaluation, MiningStats) {
+    let df = query.df();
+    // Optimization (i): only attributes causally connected to the outcome.
+    let causal_mutable: Vec<String> = mutable
+        .iter()
+        .filter(|a| query.affects_outcome(a))
+        .cloned()
+        .collect();
+    if causal_mutable.is_empty() {
+        return (GroupEvaluation::default(), MiningStats::default());
+    }
+    let Ok(items) = single_attribute_items(df, &causal_mutable, coverage, 24) else {
+        return (GroupEvaluation::default(), MiningStats::default());
+    };
+    // Drop items without a usable contrast inside the group (everything /
+    // nothing treated) before paying for a regression.
+    let n_cov = coverage.count();
+    let items: Vec<_> = items
+        .into_iter()
+        .filter(|(_, m)| {
+            let treated = m.intersect_count(coverage);
+            treated >= faircap_causal::estimate::MIN_ARM_SIZE
+                && n_cov - treated >= faircap_causal::estimate::MIN_ARM_SIZE
+        })
+        .collect();
+
+    // Lattice traversal scored by overall CATE.
+    let (nodes, stats) = positive_lattice_with_stats(
+        &items,
+        max_intervention_len,
+        |pattern, _mask| query.cate(coverage, pattern),
+        |est| est.cate > 0.0,
+    );
+
+    let coverage_p = coverage & protected;
+    let coverage_np = coverage.andnot(protected);
+    let mut evaluated = Vec::new();
+    for node in nodes {
+        let est = node.score;
+        if est.cate <= 0.0 || est.p_value > alpha {
+            continue;
+        }
+        // Utilities for the protected / non-protected sub-coverages
+        // (Definition 4.4: 0 when the sub-coverage is empty; when it is
+        // non-empty but too small to estimate, the overall CATE is the best
+        // available prediction for those rows — see DESIGN.md).
+        let u_p = subgroup_utility(query, &coverage_p, &node.pattern, est.cate);
+        let u_np = subgroup_utility(query, &coverage_np, &node.pattern, est.cate);
+        evaluated.push(EvaluatedIntervention {
+            pattern: node.pattern,
+            cate: est.cate,
+            p_value: est.p_value,
+            u_protected: u_p,
+            u_non_protected: u_np,
+        });
+    }
+    (GroupEvaluation { nodes: evaluated }, stats)
+}
+
+/// Phase 2: turn a [`GroupEvaluation`] into the group's top-`k` rules under
+/// the request's constraints and cost model. No estimation happens here.
+pub fn rules_from_evaluation(
+    evaluation: &GroupEvaluation,
+    grouping: &Pattern,
+    coverage: &Mask,
+    protected: &Mask,
+    config: &FairCapConfig,
+    k: usize,
+) -> Vec<Rule> {
+    if k == 0 || evaluation.nodes.is_empty() {
+        return Vec::new();
+    }
+    let coverage_p = coverage & protected;
+    let mut candidates: Vec<Rule> = Vec::new();
+    for node in &evaluation.nodes {
+        // §8 extension: infeasible (over-budget) interventions are skipped.
+        let cost = config.cost_model.pattern_cost(&node.pattern);
+        if !config.cost_policy.is_feasible(cost) {
+            continue;
+        }
+        let utility = RuleUtility {
+            overall: node.cate,
+            protected: node.u_protected,
+            non_protected: node.u_non_protected,
+            p_value: node.p_value,
+        };
+        let rule = Rule {
+            grouping: grouping.clone(),
+            intervention: node.pattern.clone(),
+            coverage: coverage.clone(),
+            coverage_protected: coverage_p.clone(),
+            utility,
+            benefit: config
+                .cost_policy
+                .adjust_benefit(benefit(&utility, &config.fairness), cost),
+        };
+        if !rule_satisfies_fairness(&rule, &config.fairness) {
+            continue;
+        }
+        candidates.push(rule);
+    }
+    candidates.sort_by(|a, b| {
+        b.benefit
+            .total_cmp(&a.benefit)
+            .then_with(|| a.intervention.cmp(&b.intervention))
+    });
+    candidates.truncate(k);
+    candidates
+}
 
 /// Mine the best intervention for one grouping pattern.
 ///
@@ -51,87 +213,18 @@ pub fn mine_top_interventions(
     config: &FairCapConfig,
     k: usize,
 ) -> Vec<Rule> {
-    let df = query.df();
-    // Optimization (i): only attributes causally connected to the outcome.
-    let causal_mutable: Vec<String> = mutable
-        .iter()
-        .filter(|a| query.affects_outcome(a))
-        .cloned()
-        .collect();
-    if causal_mutable.is_empty() || k == 0 {
+    if k == 0 {
         return Vec::new();
     }
-    let Ok(items) = single_attribute_items(df, &causal_mutable, coverage, 24) else {
-        return Vec::new();
-    };
-    // Drop items without a usable contrast inside the group (everything /
-    // nothing treated) before paying for a regression.
-    let n_cov = coverage.count();
-    let items: Vec<_> = items
-        .into_iter()
-        .filter(|(_, m)| {
-            let treated = m.intersect_count(coverage);
-            treated >= faircap_causal::estimate::MIN_ARM_SIZE
-                && n_cov - treated >= faircap_causal::estimate::MIN_ARM_SIZE
-        })
-        .collect();
-
-    // Lattice traversal scored by overall CATE.
-    let nodes = positive_lattice(
-        &items,
+    let (evaluation, _) = evaluate_group_interventions(
+        query,
+        coverage,
+        protected,
+        mutable,
         config.max_intervention_len,
-        |pattern, _mask| query.cate(coverage, pattern),
-        |est| est.cate > 0.0,
+        config.alpha,
     );
-
-    // Candidate set: positive and significant.
-    let coverage_p = coverage & protected;
-    let coverage_np = coverage.andnot(protected);
-    let mut candidates: Vec<Rule> = Vec::new();
-    for node in nodes {
-        let est = node.score;
-        if est.cate <= 0.0 || est.p_value > config.alpha {
-            continue;
-        }
-        // §8 extension: infeasible (over-budget) interventions are skipped.
-        let cost = config.cost_model.pattern_cost(&node.pattern);
-        if !config.cost_policy.is_feasible(cost) {
-            continue;
-        }
-        // Utilities for the protected / non-protected sub-coverages
-        // (Definition 4.4: 0 when the sub-coverage is empty; when it is
-        // non-empty but too small to estimate, the overall CATE is the best
-        // available prediction for those rows — see DESIGN.md).
-        let u_p = subgroup_utility(query, &coverage_p, &node.pattern, est.cate);
-        let u_np = subgroup_utility(query, &coverage_np, &node.pattern, est.cate);
-        let utility = RuleUtility {
-            overall: est.cate,
-            protected: u_p,
-            non_protected: u_np,
-            p_value: est.p_value,
-        };
-        let rule = Rule {
-            grouping: grouping.clone(),
-            intervention: node.pattern.clone(),
-            coverage: coverage.clone(),
-            coverage_protected: coverage_p.clone(),
-            utility,
-            benefit: config
-                .cost_policy
-                .adjust_benefit(benefit(&utility, &config.fairness), cost),
-        };
-        if !rule_satisfies_fairness(&rule, &config.fairness) {
-            continue;
-        }
-        candidates.push(rule);
-    }
-    candidates.sort_by(|a, b| {
-        b.benefit
-            .total_cmp(&a.benefit)
-            .then_with(|| a.intervention.cmp(&b.intervention))
-    });
-    candidates.truncate(k);
-    candidates
+    rules_from_evaluation(&evaluation, grouping, coverage, protected, config, k)
 }
 
 /// Utility of an intervention on a sub-coverage: the estimated CATE when

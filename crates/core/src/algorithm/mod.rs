@@ -15,7 +15,58 @@ use crate::config::FairCapConfig;
 use crate::exec::{self, ExecStats};
 use crate::rule::Rule;
 use faircap_causal::CateQuery;
-use faircap_table::Mask;
+use faircap_mining::MiningStats;
+use faircap_table::{Mask, Pattern, ShardedLruCache};
+use intervention::GroupEvaluation;
+use std::sync::Arc;
+
+/// Cache key for one group's phase-1 intervention evaluation (see
+/// [`intervention::evaluate_group_interventions`]): everything that phase
+/// depends on besides the session itself. Fairness, coverage, and cost
+/// knobs are deliberately absent — that is what makes constraint-only
+/// re-solves cache hits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct InterventionKey {
+    /// The grouping pattern (its coverage determines the lattice universe).
+    group: Pattern,
+    /// Estimator name (estimates differ per estimator).
+    estimator: String,
+    /// Lattice depth cap.
+    max_len: usize,
+    /// Significance level α (bit pattern, for `Eq`/`Hash`).
+    alpha_bits: u64,
+}
+
+impl InterventionKey {
+    /// Key for `group` under the request's phase-1 parameters.
+    pub fn of(group: &Pattern, estimator: &str, config: &FairCapConfig) -> InterventionKey {
+        InterventionKey {
+            group: group.clone(),
+            estimator: estimator.to_owned(),
+            max_len: config.max_intervention_len,
+            alpha_bits: config.alpha.to_bits(),
+        }
+    }
+}
+
+/// Session-held cache of phase-1 intervention evaluations.
+pub type InterventionCache = ShardedLruCache<InterventionKey, Arc<GroupEvaluation>>;
+
+/// Everything Step 2 produced: the candidate rules plus the work accounting
+/// the solve report surfaces.
+pub(crate) struct Step2Output {
+    /// Candidate rules in group order (the greedy phase's input).
+    pub rules: Vec<Rule>,
+    /// Executor statistics; `None` for serial runs.
+    pub exec: Option<ExecStats>,
+    /// Lattice candidate pipeline, merged over groups actually evaluated
+    /// this solve (cache hits contribute nothing — they did no work).
+    pub lattice: MiningStats,
+    /// Groups whose evaluation was served from the intervention cache.
+    pub cache_hits: u64,
+    /// Groups evaluated from scratch this solve.
+    pub cache_misses: u64,
+}
 
 /// Step-2 fan-out: mine the top interventions of every grouping pattern,
 /// in parallel when configured (§5.2 optimization (ii)).
@@ -27,6 +78,11 @@ use faircap_table::Mask;
 /// ruleset — is identical to the serial path; the returned [`ExecStats`]
 /// (present only for parallel runs) reports how the schedule actually
 /// balanced.
+///
+/// When `cache` is given, each group's phase-1 evaluation (lattice + CATE
+/// estimation + sub-utilities) is looked up / stored under its
+/// [`InterventionKey`], so constraint-only re-solves skip estimation
+/// entirely and only re-run the cheap phase-2 arithmetic.
 pub(crate) fn mine_all_interventions(
     query: &CateQuery<'_>,
     groups: &[faircap_mining::FrequentPattern],
@@ -34,25 +90,86 @@ pub(crate) fn mine_all_interventions(
     mutable: &[String],
     config: &FairCapConfig,
     workers: Option<usize>,
-) -> (Vec<Rule>, Option<ExecStats>) {
-    let worker = |g: &faircap_mining::FrequentPattern| -> Vec<Rule> {
-        intervention::mine_top_interventions(
-            query,
-            &g.pattern,
-            &g.support,
-            protected_mask,
-            mutable,
-            config,
-            config.interventions_per_group.max(1),
-        )
+    cache: Option<(&InterventionCache, &str)>,
+) -> Step2Output {
+    type GroupResult = (Vec<Rule>, MiningStats, u64, u64);
+    let k = config.interventions_per_group.max(1);
+    let worker = |g: &faircap_mining::FrequentPattern| -> GroupResult {
+        if let Some((cache, estimator)) = cache {
+            let key = InterventionKey::of(&g.pattern, estimator, config);
+            if let Some(hit) = cache.get(&key) {
+                let rules = intervention::rules_from_evaluation(
+                    &hit,
+                    &g.pattern,
+                    &g.support,
+                    protected_mask,
+                    config,
+                    k,
+                );
+                return (rules, MiningStats::default(), 1, 0);
+            }
+            let (evaluation, stats) = intervention::evaluate_group_interventions(
+                query,
+                &g.support,
+                protected_mask,
+                mutable,
+                config.max_intervention_len,
+                config.alpha,
+            );
+            let evaluation = Arc::new(evaluation);
+            cache.insert(key, Arc::clone(&evaluation));
+            let rules = intervention::rules_from_evaluation(
+                &evaluation,
+                &g.pattern,
+                &g.support,
+                protected_mask,
+                config,
+                k,
+            );
+            (rules, stats, 0, 1)
+        } else {
+            let (evaluation, stats) = intervention::evaluate_group_interventions(
+                query,
+                &g.support,
+                protected_mask,
+                mutable,
+                config.max_intervention_len,
+                config.alpha,
+            );
+            let rules = intervention::rules_from_evaluation(
+                &evaluation,
+                &g.pattern,
+                &g.support,
+                protected_mask,
+                config,
+                k,
+            );
+            (rules, stats, 0, 0)
+        }
     };
-    if !config.parallel || groups.len() < 2 {
-        return (groups.iter().flat_map(&worker).collect(), None);
+    let (per_group, exec): (Vec<GroupResult>, Option<ExecStats>) =
+        if !config.parallel || groups.len() < 2 {
+            (groups.iter().map(&worker).collect(), None)
+        } else {
+            let n_workers = exec::resolve_workers(workers);
+            let (per_group, stats) =
+                exec::run_work_stealing(groups.len(), n_workers, |i| worker(&groups[i]));
+            (per_group, Some(stats))
+        };
+    let mut out = Step2Output {
+        rules: Vec::new(),
+        exec,
+        lattice: MiningStats::default(),
+        cache_hits: 0,
+        cache_misses: 0,
+    };
+    for (rules, stats, hits, misses) in per_group {
+        out.rules.extend(rules);
+        out.lattice.merge(&stats);
+        out.cache_hits += hits;
+        out.cache_misses += misses;
     }
-    let n_workers = exec::resolve_workers(workers);
-    let (per_group, stats) =
-        exec::run_work_stealing(groups.len(), n_workers, |i| worker(&groups[i]));
-    (per_group.into_iter().flatten().collect(), Some(stats))
+    out
 }
 
 #[cfg(test)]

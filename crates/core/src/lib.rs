@@ -62,16 +62,20 @@ pub mod snapshot;
 pub mod utility;
 pub mod wire;
 
+pub use algorithm::greedy::GreedyStats;
+pub use algorithm::intervention::{EvaluatedIntervention, GroupEvaluation};
+pub use algorithm::{InterventionCache, InterventionKey};
 pub use benefit::benefit;
 pub use config::{CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope};
 pub use cost::{CostModel, CostPolicy};
 pub use decision_tree::{all_structural_variants, choose_variant, FairnessKind, VariantAnswers};
 pub use error::{Error, Result};
 pub use exec::ExecStats;
+pub use faircap_mining::MiningStats;
 pub use registry::{RegisteredSession, SessionRegistry};
-pub use report::{SolutionReport, StepTimings};
+pub use report::{SolutionReport, SolveStats, StepTimings};
 pub use rule::{Rule, RuleUtility};
-pub use session::{FairCap, PrescriptionSession, SessionBuilder, SolveRequest};
+pub use session::{FairCap, PrescriptionSession, SessionBuilder, SolveHotStats, SolveRequest};
 pub use snapshot::{SessionSnapshot, SNAPSHOT_VERSION};
 pub use utility::{ruleset_utility, RulesetUtility};
 pub use wire::{solution_report_to_json, solve_request_from_json, Json};

@@ -1,8 +1,10 @@
 //! Solution reports: the rows of the paper's Tables 4–6.
 
+use crate::algorithm::greedy::GreedyStats;
 use crate::exec::ExecStats;
 use crate::rule::Rule;
 use crate::utility::RulesetUtility;
+use faircap_mining::MiningStats;
 use std::fmt;
 use std::time::Duration;
 
@@ -24,6 +26,27 @@ impl StepTimings {
     }
 }
 
+/// Work accounting of one solve, in the spirit of the causal engine's
+/// `HotStats`: how many candidates each step generated, pruned, and
+/// actually paid for, and how much of Step 2 was served from the session's
+/// intervention cache. All counters describe work performed **by this
+/// solve** — a fully cached warm re-solve reports zero mining work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Step-1 Apriori candidate pipeline (zero when the grouping cache
+    /// served the request).
+    pub grouping: MiningStats,
+    /// Step-2 lattice pipeline, merged over the groups evaluated from
+    /// scratch this solve.
+    pub lattice: MiningStats,
+    /// Step-3 lazy-greedy work counters.
+    pub greedy: GreedyStats,
+    /// Groups whose phase-1 evaluation came from the intervention cache.
+    pub intervention_cache_hits: u64,
+    /// Groups evaluated from scratch (and inserted into the cache).
+    pub intervention_cache_misses: u64,
+}
+
 /// The result of one FairCap run.
 #[derive(Debug, Clone)]
 pub struct SolutionReport {
@@ -41,6 +64,9 @@ pub struct SolutionReport {
     pub n_candidates: usize,
     /// Per-step wall-clock times.
     pub timings: StepTimings,
+    /// Per-step work counters (candidates generated / pruned / evaluated,
+    /// greedy heap activity, intervention-cache traffic).
+    pub stats: SolveStats,
     /// Step-2 executor statistics (tasks, steals, worker utilization).
     /// `None` when the solve ran the fan-out serially.
     pub exec: Option<ExecStats>,
@@ -145,6 +171,7 @@ mod tests {
                 intervention: Duration::from_millis(900),
                 greedy: Duration::from_millis(20),
             },
+            stats: SolveStats::default(),
             exec: None,
         }
     }

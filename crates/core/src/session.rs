@@ -21,20 +21,27 @@
 //!   solve path panics on user data.
 
 use crate::algorithm::greedy;
-use crate::algorithm::{grouping, mine_all_interventions};
+use crate::algorithm::{grouping, mine_all_interventions, InterventionCache};
 use crate::config::{CoverageConstraint, FairCapConfig, FairnessConstraint};
 use crate::error::{Error, Result};
-use crate::report::{SolutionReport, StepTimings};
+use crate::report::{SolutionReport, SolveStats, StepTimings};
 use crate::snapshot::SessionSnapshot;
 use faircap_causal::{CacheStats, CateEngine, Dag, Estimator, EstimatorKind};
-use faircap_mining::FrequentPattern;
+use faircap_mining::{FrequentPattern, MiningStats};
 use faircap_table::{CacheCounters, DataFrame, Mask, Pattern, ShardedLruCache};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Lock shards of the grouping-pattern cache. Distinct Apriori parameter
 /// sets are few, so a handful of shards suffices.
 const GROUPING_CACHE_SHARDS: usize = 4;
+
+/// Lock shards of the intervention-evaluation cache. One entry per
+/// (grouping pattern, estimator, lattice parameters), looked up
+/// concurrently by the Step-2 workers — shard more aggressively than the
+/// grouping cache.
+const INTERVENTION_CACHE_SHARDS: usize = 8;
 
 /// Entry point to the engine API.
 ///
@@ -220,6 +227,8 @@ impl SessionBuilder {
             protected_mask,
             engine,
             groupings: ShardedLruCache::unbounded(GROUPING_CACHE_SHARDS),
+            interventions: ShardedLruCache::unbounded(INTERVENTION_CACHE_SHARDS),
+            hot: SolveHotAccum::default(),
         })
     }
 }
@@ -252,7 +261,7 @@ impl SessionBuilder {
 /// assert_eq!(fair_aipw.config.max_rules, 5);
 /// assert_eq!(fair_aipw.config.estimator, EstimatorKind::Aipw);
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct SolveRequest {
     /// Constraints and algorithm knobs.
     pub config: FairCapConfig,
@@ -269,6 +278,28 @@ pub struct SolveRequest {
     /// the solve runs. `None` leaves the current bound (unbounded by
     /// default).
     pub grouping_cache_bound: Option<usize>,
+    /// LRU bound on the session's intervention-evaluation cache, applied
+    /// before the solve runs. `None` leaves the current bound (unbounded
+    /// by default).
+    pub intervention_cache_bound: Option<usize>,
+    /// Whether this solve may read and populate the session's mining
+    /// caches (grouping patterns and intervention evaluations). On by
+    /// default; benchmarks turn it off to measure the uncached path.
+    pub use_solve_cache: bool,
+}
+
+impl Default for SolveRequest {
+    fn default() -> Self {
+        SolveRequest {
+            config: FairCapConfig::default(),
+            estimator: None,
+            workers: None,
+            estimate_cache_bound: None,
+            grouping_cache_bound: None,
+            intervention_cache_bound: None,
+            use_solve_cache: true,
+        }
+    }
 }
 
 impl SolveRequest {
@@ -326,6 +357,19 @@ impl SolveRequest {
         self.grouping_cache_bound = Some(n);
         self
     }
+
+    /// Bound the intervention-evaluation cache to at most `n` entries (LRU
+    /// eviction).
+    pub fn intervention_cache_bound(mut self, n: usize) -> Self {
+        self.intervention_cache_bound = Some(n);
+        self
+    }
+
+    /// Enable or disable the session's mining caches for this solve.
+    pub fn use_solve_cache(mut self, on: bool) -> Self {
+        self.use_solve_cache = on;
+        self
+    }
 }
 
 impl From<FairCapConfig> for SolveRequest {
@@ -348,6 +392,8 @@ impl std::fmt::Debug for SolveRequest {
             .field("workers", &self.workers)
             .field("estimate_cache_bound", &self.estimate_cache_bound)
             .field("grouping_cache_bound", &self.grouping_cache_bound)
+            .field("intervention_cache_bound", &self.intervention_cache_bound)
+            .field("use_solve_cache", &self.use_solve_cache)
             .finish()
     }
 }
@@ -377,6 +423,85 @@ impl GroupingKey {
             support_bits: min_support.to_bits(),
             max_len: config.max_group_len,
             protected_need,
+        }
+    }
+}
+
+/// Cumulative solve-path counters over a session's lifetime, in the style
+/// of the causal engine's `HotStats`: where solve wall-clock went and how
+/// much candidate work the mining/selection steps performed. Snapshot via
+/// [`PrescriptionSession::solve_hot_stats`]; surfaced by the serving
+/// layer's `/v1/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveHotStats {
+    /// Completed solves.
+    pub solves: u64,
+    /// Nanoseconds in Step 1 (grouping-pattern mining, cache included).
+    pub mine_ns: u64,
+    /// Nanoseconds in Step 2 (intervention mining, cache included).
+    pub intervene_ns: u64,
+    /// Nanoseconds in Step 3 (greedy selection).
+    pub select_ns: u64,
+    /// Mining candidates generated (Apriori + lattice, all solves).
+    pub candidates: u64,
+    /// Mining candidates pruned before evaluation.
+    pub pruned: u64,
+    /// Mining candidates materialized / evaluated.
+    pub evaluated: u64,
+    /// Greedy candidate-score evaluations.
+    pub greedy_evaluations: u64,
+    /// Greedy stale-heap-entry re-evaluations.
+    pub greedy_reevaluations: u64,
+}
+
+/// Atomic accumulator behind [`SolveHotStats`] (solves run on `&self`,
+/// possibly concurrently).
+#[derive(Default)]
+struct SolveHotAccum {
+    solves: AtomicU64,
+    mine_ns: AtomicU64,
+    intervene_ns: AtomicU64,
+    select_ns: AtomicU64,
+    candidates: AtomicU64,
+    pruned: AtomicU64,
+    evaluated: AtomicU64,
+    greedy_evaluations: AtomicU64,
+    greedy_reevaluations: AtomicU64,
+}
+
+impl SolveHotAccum {
+    fn record(&self, timings: &StepTimings, stats: &SolveStats) {
+        let mut mining = stats.grouping;
+        mining.merge(&stats.lattice);
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        self.mine_ns
+            .fetch_add(timings.grouping.as_nanos() as u64, Ordering::Relaxed);
+        self.intervene_ns
+            .fetch_add(timings.intervention.as_nanos() as u64, Ordering::Relaxed);
+        self.select_ns
+            .fetch_add(timings.greedy.as_nanos() as u64, Ordering::Relaxed);
+        self.candidates
+            .fetch_add(mining.candidates, Ordering::Relaxed);
+        self.pruned.fetch_add(mining.pruned(), Ordering::Relaxed);
+        self.evaluated
+            .fetch_add(mining.evaluated, Ordering::Relaxed);
+        self.greedy_evaluations
+            .fetch_add(stats.greedy.evaluations, Ordering::Relaxed);
+        self.greedy_reevaluations
+            .fetch_add(stats.greedy.reevaluations, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> SolveHotStats {
+        SolveHotStats {
+            solves: self.solves.load(Ordering::Relaxed),
+            mine_ns: self.mine_ns.load(Ordering::Relaxed),
+            intervene_ns: self.intervene_ns.load(Ordering::Relaxed),
+            select_ns: self.select_ns.load(Ordering::Relaxed),
+            candidates: self.candidates.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+            evaluated: self.evaluated.load(Ordering::Relaxed),
+            greedy_evaluations: self.greedy_evaluations.load(Ordering::Relaxed),
+            greedy_reevaluations: self.greedy_reevaluations.load(Ordering::Relaxed),
         }
     }
 }
@@ -441,6 +566,8 @@ pub struct PrescriptionSession {
     protected_mask: Mask,
     engine: CateEngine,
     groupings: ShardedLruCache<GroupingKey, Arc<Vec<FrequentPattern>>>,
+    interventions: InterventionCache,
+    hot: SolveHotAccum,
 }
 
 impl std::fmt::Debug for PrescriptionSession {
@@ -532,6 +659,19 @@ impl PrescriptionSession {
         self.groupings.counters()
     }
 
+    /// Hit/miss/eviction counters of the intervention-evaluation cache
+    /// (Step-2 phase-1 output per grouping pattern and estimator).
+    pub fn intervention_cache_stats(&self) -> CacheCounters {
+        self.interventions.counters()
+    }
+
+    /// Cumulative solve-path counters (per-step wall-clock, mining
+    /// candidate pipeline, greedy heap activity) over all solves on this
+    /// session.
+    pub fn solve_hot_stats(&self) -> SolveHotStats {
+        self.hot.snapshot()
+    }
+
     /// Capture the session's warmed caches — adjustment sets, treated
     /// masks, and all CATE estimates — as a [`SessionSnapshot`] that can be
     /// serialized ([`SessionSnapshot::encode`]) and restored into a new
@@ -562,33 +702,57 @@ impl PrescriptionSession {
         if let Some(bound) = request.grouping_cache_bound {
             self.groupings.set_capacity(bound);
         }
+        if let Some(bound) = request.intervention_cache_bound {
+            self.interventions.set_capacity(bound);
+        }
         let estimator: &dyn Estimator = request.estimator.as_deref().unwrap_or(&config.estimator);
         let query = self.engine.with_estimator(estimator);
 
         // ---- Step 1: grouping patterns (§5.1), cached per parameters. ----
         let t0 = Instant::now();
-        let groups = self.grouping_patterns(config)?;
+        let (groups, grouping_stats) = self.grouping_patterns(config, request.use_solve_cache)?;
         let grouping_time = t0.elapsed();
 
         // ---- Step 2: intervention mining (§5.2), work-stealing fan-out
-        // across groups. ----
+        // across groups, phase-1 evaluations cached per group. ----
         let t1 = Instant::now();
-        let (candidates, exec) = mine_all_interventions(
+        let step2 = mine_all_interventions(
             &query,
             &groups,
             &self.protected_mask,
             &self.mutable,
             config,
             request.workers,
+            request
+                .use_solve_cache
+                .then_some((&self.interventions, estimator.name())),
         );
-        let n_candidates = candidates.len();
+        let n_candidates = step2.rules.len();
         let intervention_time = t1.elapsed();
 
         // ---- Step 3: greedy selection (§5.3). ----
         let t2 = Instant::now();
-        let outcome =
-            greedy::greedy_select(candidates, config, self.df.n_rows(), &self.protected_mask);
+        let (outcome, greedy_stats) = greedy::greedy_select_with_stats(
+            step2.rules,
+            config,
+            self.df.n_rows(),
+            &self.protected_mask,
+        );
         let greedy_time = t2.elapsed();
+
+        let timings = StepTimings {
+            grouping: grouping_time,
+            intervention: intervention_time,
+            greedy: greedy_time,
+        };
+        let stats = SolveStats {
+            grouping: grouping_stats,
+            lattice: step2.lattice,
+            greedy: greedy_stats,
+            intervention_cache_hits: step2.cache_hits,
+            intervention_cache_misses: step2.cache_misses,
+        };
+        self.hot.record(&timings, &stats);
 
         Ok(SolutionReport {
             label: config.label(),
@@ -597,30 +761,37 @@ impl PrescriptionSession {
             constraints_met: outcome.constraints_met,
             n_grouping_patterns: groups.len(),
             n_candidates,
-            timings: StepTimings {
-                grouping: grouping_time,
-                intervention: intervention_time,
-                greedy: greedy_time,
-            },
-            exec,
+            timings,
+            stats,
+            exec: step2.exec,
         })
     }
 
     /// Step-1 output for the request's effective Apriori parameters,
-    /// mining at most once per distinct parameter set.
-    fn grouping_patterns(&self, config: &FairCapConfig) -> Result<Arc<Vec<FrequentPattern>>> {
+    /// mining at most once per distinct parameter set. The returned stats
+    /// describe work performed by **this** call — zero on a cache hit.
+    fn grouping_patterns(
+        &self,
+        config: &FairCapConfig,
+        use_cache: bool,
+    ) -> Result<(Arc<Vec<FrequentPattern>>, MiningStats)> {
         let key = GroupingKey::of(config, &self.protected_mask);
-        if let Some(hit) = self.groupings.get(&key) {
-            return Ok(hit);
+        if use_cache {
+            if let Some(hit) = self.groupings.get(&key) {
+                return Ok((hit, MiningStats::default()));
+            }
         }
-        let mined = Arc::new(grouping::mine_grouping_patterns(
+        let (mined, stats) = grouping::mine_grouping_patterns_with_stats(
             &self.df,
             &self.immutable,
             &self.protected_mask,
             config,
-        )?);
-        self.groupings.insert(key, Arc::clone(&mined));
-        Ok(mined)
+        )?;
+        let mined = Arc::new(mined);
+        if use_cache {
+            self.groupings.insert(key, Arc::clone(&mined));
+        }
+        Ok((mined, stats))
     }
 }
 
@@ -786,7 +957,15 @@ mod tests {
             after_second.misses, after_first.misses,
             "constraint-only re-solve must not estimate anything new"
         );
-        assert!(after_second.hits > after_first.hits);
+        // Stronger than estimate-cache hits: the intervention cache replays
+        // whole phase-1 evaluations, so the re-solve never reaches the
+        // estimate cache at all.
+        assert_eq!(
+            after_second.hits, after_first.hits,
+            "fully cached re-solve performs no estimate lookups"
+        );
+        let icache = s.intervention_cache_stats();
+        assert!(icache.hits > 0, "re-solve must hit the intervention cache");
 
         assert!(fair.constraints_met, "group SP must be satisfiable here");
         assert!(fair.summary.unfairness.abs() <= 5.0);
@@ -1045,6 +1224,77 @@ mod tests {
             assert!(s.groupings.len() <= 1, "bound violated");
         }
         assert_eq!(s.grouping_cache_stats().evictions, 2);
+    }
+
+    #[test]
+    fn intervention_cache_equivalence_and_bypass() {
+        let s = session();
+        let cold = s.solve(&SolveRequest::default()).unwrap();
+        assert_eq!(cold.stats.intervention_cache_hits, 0);
+        assert!(cold.stats.intervention_cache_misses > 0);
+        assert!(cold.stats.lattice.evaluated > 0);
+
+        // Constraint-only re-solve: all groups replay from the cache, no
+        // lattice work — and the ruleset matches an uncached re-solve
+        // bit-for-bit.
+        let fair = SolveRequest::default().fairness(FairnessConstraint::StatisticalParity {
+            scope: FairnessScope::Group,
+            epsilon: 5.0,
+        });
+        let warm = s.solve(&fair).unwrap();
+        assert_eq!(warm.stats.intervention_cache_misses, 0);
+        assert_eq!(
+            warm.stats.intervention_cache_hits,
+            warm.n_grouping_patterns as u64
+        );
+        assert_eq!(warm.stats.lattice, faircap_mining::MiningStats::default());
+
+        let uncached = s.solve(&fair.clone().use_solve_cache(false)).unwrap();
+        assert_eq!(uncached.stats.intervention_cache_hits, 0);
+        assert_eq!(uncached.stats.intervention_cache_misses, 0);
+        assert!(uncached.stats.lattice.evaluated > 0);
+        let a: Vec<String> = warm.rules.iter().map(|r| r.to_string()).collect();
+        let b: Vec<String> = uncached.rules.iter().map(|r| r.to_string()).collect();
+        assert_eq!(a, b, "cached and uncached solves must agree exactly");
+        assert_eq!(warm.summary, uncached.summary);
+
+        // A different estimator is a different key: misses again.
+        let strat = s
+            .solve(&SolveRequest::default().estimator_kind(EstimatorKind::Stratified))
+            .unwrap();
+        assert!(strat.stats.intervention_cache_misses > 0);
+    }
+
+    #[test]
+    fn intervention_cache_bound_evicts() {
+        let s = session();
+        let report = s
+            .solve(&SolveRequest::default().intervention_cache_bound(1))
+            .unwrap();
+        assert!(report.n_grouping_patterns > 1);
+        let counters = s.intervention_cache_stats();
+        assert!(counters.entries <= 1, "bound violated");
+        assert!(counters.evictions > 0);
+    }
+
+    #[test]
+    fn solve_hot_stats_accumulate() {
+        let s = session();
+        assert_eq!(s.solve_hot_stats(), SolveHotStats::default());
+        let r1 = s.solve(&SolveRequest::default()).unwrap();
+        let after_one = s.solve_hot_stats();
+        assert_eq!(after_one.solves, 1);
+        assert!(after_one.intervene_ns > 0);
+        assert!(after_one.candidates > 0);
+        assert_eq!(
+            after_one.evaluated,
+            r1.stats.grouping.evaluated + r1.stats.lattice.evaluated
+        );
+        assert_eq!(after_one.greedy_evaluations, r1.stats.greedy.evaluations);
+        s.solve(&SolveRequest::default().max_rules(3)).unwrap();
+        let after_two = s.solve_hot_stats();
+        assert_eq!(after_two.solves, 2);
+        assert!(after_two.select_ns >= after_one.select_ns);
     }
 
     #[test]

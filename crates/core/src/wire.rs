@@ -423,7 +423,9 @@ fn bad(msg: impl Into<String>) -> Error {
 ///   "parallel": true,
 ///   "workers": 4,
 ///   "estimate_cache_bound": 10000,
-///   "grouping_cache_bound": 64
+///   "grouping_cache_bound": 64,
+///   "intervention_cache_bound": 256,
+///   "use_solve_cache": true
 /// }
 /// ```
 pub fn solve_request_from_json(json: &Json) -> Result<SolveRequest> {
@@ -465,6 +467,15 @@ pub fn solve_request_from_json(json: &Json) -> Result<SolveRequest> {
             }
             "grouping_cache_bound" => {
                 request.grouping_cache_bound = Some(usize_field(value, "grouping_cache_bound")?)
+            }
+            "intervention_cache_bound" => {
+                request.intervention_cache_bound =
+                    Some(usize_field(value, "intervention_cache_bound")?)
+            }
+            "use_solve_cache" => {
+                request.use_solve_cache = value
+                    .as_bool()
+                    .ok_or_else(|| bad("`use_solve_cache` must be a boolean"))?
             }
             other => return Err(bad(format!("unknown request field `{other}`"))),
         }
@@ -648,6 +659,11 @@ pub fn solve_request_to_canonical_json(request: &SolveRequest) -> Json {
             "grouping_cache_bound",
             opt_usize(request.grouping_cache_bound),
         ),
+        (
+            "intervention_cache_bound",
+            opt_usize(request.intervention_cache_bound),
+        ),
+        ("use_solve_cache", Json::Bool(request.use_solve_cache)),
     ])
 }
 
@@ -747,6 +763,45 @@ pub fn solution_report_to_json(report: &SolutionReport) -> Json {
             Json::Num(report.timings.total().as_secs_f64() * 1e3),
         ),
     ]);
+    let mining = |m: &faircap_mining::MiningStats| {
+        obj(vec![
+            ("candidates", Json::Num(m.candidates as f64)),
+            ("pruned_parent", Json::Num(m.pruned_parent as f64)),
+            ("pruned_support", Json::Num(m.pruned_support as f64)),
+            ("evaluated", Json::Num(m.evaluated as f64)),
+        ])
+    };
+    let stats = obj(vec![
+        ("grouping", mining(&report.stats.grouping)),
+        ("lattice", mining(&report.stats.lattice)),
+        (
+            "greedy",
+            obj(vec![
+                (
+                    "evaluations",
+                    Json::Num(report.stats.greedy.evaluations as f64),
+                ),
+                (
+                    "reevaluations",
+                    Json::Num(report.stats.greedy.reevaluations as f64),
+                ),
+                ("rounds", Json::Num(report.stats.greedy.rounds as f64)),
+            ]),
+        ),
+        (
+            "intervention_cache",
+            obj(vec![
+                (
+                    "hits",
+                    Json::Num(report.stats.intervention_cache_hits as f64),
+                ),
+                (
+                    "misses",
+                    Json::Num(report.stats.intervention_cache_misses as f64),
+                ),
+            ]),
+        ),
+    ]);
     obj(vec![
         ("label", Json::Str(report.label.clone())),
         ("constraints_met", Json::Bool(report.constraints_met)),
@@ -759,6 +814,7 @@ pub fn solution_report_to_json(report: &SolutionReport) -> Json {
         ),
         ("n_candidates", Json::Num(report.n_candidates as f64)),
         ("timings", timings),
+        ("stats", stats),
         (
             "exec",
             report
@@ -952,6 +1008,8 @@ mod tests {
             "workers",
             "estimate_cache_bound",
             "grouping_cache_bound",
+            "intervention_cache_bound",
+            "use_solve_cache",
         ] {
             assert!(doc.get(field).is_some(), "canonical form omits `{field}`");
         }
@@ -959,7 +1017,7 @@ mod tests {
 
     #[test]
     fn report_renders_and_reparses() {
-        use crate::report::StepTimings;
+        use crate::report::{SolveStats, StepTimings};
         use crate::utility::RulesetUtility;
         use std::time::Duration;
         let report = SolutionReport {
@@ -980,6 +1038,11 @@ mod tests {
                 grouping: Duration::from_millis(5),
                 intervention: Duration::from_millis(900),
                 greedy: Duration::from_millis(20),
+            },
+            stats: SolveStats {
+                intervention_cache_hits: 7,
+                intervention_cache_misses: 5,
+                ..SolveStats::default()
             },
             exec: Some(ExecStats {
                 workers: 2,
@@ -1008,5 +1071,12 @@ mod tests {
             back.get("exec").unwrap().get("steals").unwrap().as_f64(),
             Some(3.0)
         );
+        let cache = back
+            .get("stats")
+            .unwrap()
+            .get("intervention_cache")
+            .unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_f64(), Some(7.0));
+        assert_eq!(cache.get("misses").unwrap().as_f64(), Some(5.0));
     }
 }

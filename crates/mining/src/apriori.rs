@@ -2,12 +2,18 @@
 //! as used by FairCap's step 1 (§5.1) to mine grouping patterns.
 //!
 //! Items are equality predicates `attr = value`; itemsets are conjunctive
-//! [`Pattern`]s with at most one item per attribute. Support is counted with
-//! bitset masks, and the candidate join reuses parent masks (`mask(A ∪ B) =
-//! mask(A) ∧ mask(B)` for conjunctive patterns), so each level is a few
-//! bitwise ANDs per candidate.
+//! [`Pattern`]s with at most one item per attribute. The representation is
+//! vertical: every itemset carries its cover as a [`Mask`], so candidate
+//! support is one word-fused AND+popcount over the parents' bitsets
+//! ([`Mask::intersect_count`]) — the support mask is only materialized for
+//! candidates that actually meet the threshold. Candidate generation is the
+//! classic sorted prefix join: the frontier is kept in pattern order, so
+//! k-patterns sharing a (k−1)-prefix form contiguous blocks and each
+//! (k+1)-candidate is generated exactly once from the unique pair of its
+//! two lexicographically largest k-subsets.
 
 use crate::item::single_attribute_items;
+use crate::MiningStats;
 use faircap_table::{DataFrame, Mask, Pattern, Result};
 use std::collections::HashSet;
 
@@ -61,60 +67,118 @@ pub fn apriori(
     within: &Mask,
     config: &AprioriConfig,
 ) -> Result<Vec<FrequentPattern>> {
+    apriori_with_stats(df, attrs, within, config).map(|(out, _)| out)
+}
+
+/// [`apriori`] plus [`MiningStats`] accounting of the candidate pipeline
+/// (generated / parent-pruned / support-pruned / materialized).
+pub fn apriori_with_stats(
+    df: &DataFrame,
+    attrs: &[String],
+    within: &Mask,
+    config: &AprioriConfig,
+) -> Result<(Vec<FrequentPattern>, MiningStats)> {
     let base = within.count();
     let min_count = ((config.min_support * base as f64).ceil() as usize).max(1);
+    let mut stats = MiningStats::default();
 
     // Level 1: single-attribute items.
     let items = single_attribute_items(df, attrs, within, config.max_values_per_attr)?;
+    stats.candidates += items.len() as u64;
     let mut frontier: Vec<FrequentPattern> = items
         .into_iter()
-        .filter(|(_, mask)| mask.count() >= min_count)
+        .filter(|(_, mask)| {
+            let frequent = mask.count() >= min_count;
+            if !frequent {
+                stats.pruned_support += 1;
+            }
+            frequent
+        })
         .map(|(pred, mask)| FrequentPattern {
             pattern: Pattern::new(vec![pred]),
             support: mask,
         })
         .collect();
     frontier.sort_by(|a, b| a.pattern.cmp(&b.pattern));
+    stats.evaluated += frontier.len() as u64;
 
     let mut out: Vec<FrequentPattern> = frontier.clone();
     let mut level = 1;
     while level < config.max_len && frontier.len() > 1 {
         let frequent_keys: HashSet<&Pattern> = frontier.iter().map(|f| &f.pattern).collect();
         let mut next: Vec<FrequentPattern> = Vec::new();
-        let mut seen: HashSet<Pattern> = HashSet::new();
-        for i in 0..frontier.len() {
-            for j in i + 1..frontier.len() {
-                let a = &frontier[i];
-                let b = &frontier[j];
+        // The frontier is sorted, so k-patterns sharing their (k−1)-prefix
+        // are contiguous; only same-prefix pairs can join, and each
+        // candidate is produced by exactly one such pair.
+        for_each_prefix_pair(
+            &frontier,
+            |f| &f.pattern,
+            |a, b| {
                 let Some(candidate) = join(&a.pattern, &b.pattern) else {
-                    continue;
+                    return;
                 };
-                if !seen.insert(candidate.clone()) {
-                    continue;
-                }
+                stats.candidates += 1;
                 // Apriori pruning: every (k−1)-subset must be frequent.
                 if !candidate
                     .parents()
                     .iter()
                     .all(|p| frequent_keys.contains(p))
                 {
-                    continue;
+                    stats.pruned_parent += 1;
+                    return;
                 }
-                let support = &a.support & &b.support;
-                if support.count() >= min_count {
-                    next.push(FrequentPattern {
-                        pattern: candidate,
-                        support,
-                    });
+                // Fused AND+popcount over the parents' words; the candidate's
+                // support mask is materialized only past the threshold.
+                if a.support.intersect_count(&b.support) < min_count {
+                    stats.pruned_support += 1;
+                    return;
                 }
-            }
-        }
+                stats.evaluated += 1;
+                next.push(FrequentPattern {
+                    pattern: candidate,
+                    support: &a.support & &b.support,
+                });
+            },
+        );
         next.sort_by(|a, b| a.pattern.cmp(&b.pattern));
         out.extend(next.iter().cloned());
         frontier = next;
         level += 1;
     }
-    Ok(out)
+    Ok((out, stats))
+}
+
+/// Invoke `f` on every pair of frontier entries whose patterns share their
+/// length-(k−1) prefix. Entries must be sorted by pattern, which makes the
+/// prefix blocks contiguous — candidate generation over all blocks is
+/// linear in the frontier plus quadratic only *within* each block, instead
+/// of quadratic over the whole frontier.
+pub(crate) fn for_each_prefix_pair<T>(
+    sorted: &[T],
+    pattern_of: impl Fn(&T) -> &Pattern,
+    mut f: impl FnMut(&T, &T),
+) {
+    let mut block_start = 0;
+    while block_start < sorted.len() {
+        let prefix = {
+            let p = pattern_of(&sorted[block_start]).predicates();
+            &p[..p.len() - 1]
+        };
+        let mut block_end = block_start + 1;
+        while block_end < sorted.len() {
+            let p = pattern_of(&sorted[block_end]).predicates();
+            if &p[..p.len() - 1] != prefix {
+                break;
+            }
+            block_end += 1;
+        }
+        for i in block_start..block_end {
+            for j in i + 1..block_end {
+                f(&sorted[i], &sorted[j]);
+            }
+        }
+        block_start = block_end;
+    }
 }
 
 /// Join two k-patterns sharing all but their last predicate into a (k+1)

@@ -523,6 +523,8 @@ fn session_json(entry: &RegisteredSession) -> Json {
     let session = entry.session();
     let stats = session.cache_stats();
     let grouping = session.grouping_cache_stats();
+    let interventions = session.intervention_cache_stats();
+    let solve_hot = session.solve_hot_stats();
     let hot = session.engine().hot_stats();
     let match_index = session.engine().match_index_cache_stats();
     let by_estimator: Vec<(String, Json)> = session
@@ -563,6 +565,15 @@ fn session_json(entry: &RegisteredSession) -> Json {
             ),
         ),
         (
+            "intervention_cache".into(),
+            cache_stats_json(
+                interventions.hits,
+                interventions.misses,
+                interventions.entries,
+                interventions.evictions,
+            ),
+        ),
+        (
             "match_index_cache".into(),
             cache_stats_json(
                 match_index.hits,
@@ -570,6 +581,35 @@ fn session_json(entry: &RegisteredSession) -> Json {
                 match_index.entries,
                 match_index.evictions,
             ),
+        ),
+        // Solve-path cost accounting aggregated over every solve on the
+        // session: per-step milliseconds, mining candidate pipeline, and
+        // greedy heap activity.
+        (
+            "solve_stats".into(),
+            Json::Obj(vec![
+                ("solves".into(), Json::Num(solve_hot.solves as f64)),
+                ("mine_ms".into(), Json::Num(solve_hot.mine_ns as f64 / 1e6)),
+                (
+                    "intervene_ms".into(),
+                    Json::Num(solve_hot.intervene_ns as f64 / 1e6),
+                ),
+                (
+                    "select_ms".into(),
+                    Json::Num(solve_hot.select_ns as f64 / 1e6),
+                ),
+                ("candidates".into(), Json::Num(solve_hot.candidates as f64)),
+                ("pruned".into(), Json::Num(solve_hot.pruned as f64)),
+                ("evaluated".into(), Json::Num(solve_hot.evaluated as f64)),
+                (
+                    "greedy_evaluations".into(),
+                    Json::Num(solve_hot.greedy_evaluations as f64),
+                ),
+                (
+                    "greedy_reevaluations".into(),
+                    Json::Num(solve_hot.greedy_reevaluations as f64),
+                ),
+            ]),
         ),
         // Hot-path cost accounting aggregated over every estimation run:
         // per-stage milliseconds (design build / index construction /

@@ -398,6 +398,15 @@ pub fn execute(opts: &CliOptions) -> Result<SolutionReport, CliError> {
             "estimate-cache: hits={} misses={} entries={} evictions={}",
             stats.hits, stats.misses, stats.entries, stats.evictions
         );
+        for (label, c) in [
+            ("grouping-cache", session.grouping_cache_stats()),
+            ("intervention-cache", session.intervention_cache_stats()),
+        ] {
+            println!(
+                "{label}: hits={} misses={} entries={} evictions={}",
+                c.hits, c.misses, c.entries, c.evictions
+            );
+        }
     }
     Ok(report)
 }

@@ -164,6 +164,20 @@ fn concurrent_solves_match_direct_session_bit_exactly() {
         .as_f64()
         .unwrap();
     assert!(hits > 0.0, "metrics must show nonzero cache hits");
+    // The new solve-path blocks: intervention-cache counters and the
+    // per-step hot accounting.
+    let icache = so.get("intervention_cache").unwrap();
+    assert!(
+        icache.get("misses").unwrap().as_f64().unwrap() > 0.0,
+        "first solves must populate the intervention cache"
+    );
+    let solve_stats = so.get("solve_stats").unwrap();
+    let solves = solve_stats.get("solves").unwrap().as_f64().unwrap();
+    // Coalescing may collapse identical in-flight requests, so the session
+    // executed between 1 and n solves.
+    assert!((1.0..=f64::from(n)).contains(&solves), "solves = {solves}");
+    assert!(solve_stats.get("intervene_ms").unwrap().as_f64().unwrap() > 0.0);
+    assert!(solve_stats.get("candidates").unwrap().as_f64().unwrap() > 0.0);
     assert_eq!(
         doc.get("requests")
             .unwrap()

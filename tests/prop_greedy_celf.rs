@@ -1,0 +1,208 @@
+//! Property test: the lazy (CELF) greedy selection must be **bit-identical**
+//! to the eager reference oracle (`greedy::reference`) — same rules, same
+//! selection order, same summary floats — across random candidate pools,
+//! constraint mixes, and input permutations. The CELF heap only reorders
+//! *when* scores are computed, never *what* is selected.
+
+use faircap::core::algorithm::greedy::{greedy_select_with_stats, reference};
+use faircap::core::{
+    CoverageConstraint, FairCapConfig, FairnessConstraint, FairnessScope, Rule, RuleUtility,
+};
+use faircap::table::{Mask, Pattern, Value};
+use proptest::prelude::*;
+
+const N: usize = 64;
+const N_PROTECTED: usize = 24;
+
+fn protected() -> Mask {
+    Mask::from_indices(N, &(0..N_PROTECTED).collect::<Vec<_>>())
+}
+
+/// Rules with arbitrary coverages and utilities, including non-positive
+/// overall utilities (exercising the pre-filter) and colliding patterns
+/// (exercising deterministic tie-breaks). `idx` is drawn independently of
+/// the vector position so duplicates occur.
+fn rule_strategy() -> impl Strategy<Value = Rule> {
+    (
+        prop::collection::vec(any::<bool>(), N),
+        -5.0f64..50.0,
+        -20.0f64..50.0,
+        -20.0f64..50.0,
+        0u8..6,
+        0u8..4,
+    )
+        .prop_map(|(cov, overall, prot, non_prot, g, t)| {
+            let coverage = Mask::from_bools(&cov);
+            Rule {
+                grouping: Pattern::of_eq(&[("g", Value::Int(i64::from(g)))]),
+                intervention: Pattern::of_eq(&[("t", Value::Int(i64::from(t)))]),
+                coverage_protected: &coverage & &protected(),
+                coverage,
+                utility: RuleUtility {
+                    overall,
+                    protected: prot,
+                    non_protected: non_prot,
+                    p_value: 0.01,
+                },
+                benefit: overall.max(0.0),
+            }
+        })
+}
+
+fn scope_strategy() -> impl Strategy<Value = FairnessScope> {
+    any::<bool>().prop_map(|g| {
+        if g {
+            FairnessScope::Group
+        } else {
+            FairnessScope::Individual
+        }
+    })
+}
+
+fn fairness_strategy() -> impl Strategy<Value = FairnessConstraint> {
+    prop_oneof![
+        Just(FairnessConstraint::None),
+        (scope_strategy(), 0.0f64..60.0).prop_map(|(scope, epsilon)| {
+            FairnessConstraint::StatisticalParity { scope, epsilon }
+        }),
+        (scope_strategy(), -10.0f64..40.0)
+            .prop_map(|(scope, tau)| FairnessConstraint::BoundedGroupLoss { scope, tau }),
+    ]
+}
+
+fn coverage_strategy() -> impl Strategy<Value = CoverageConstraint> {
+    prop_oneof![
+        Just(CoverageConstraint::None),
+        (0.0f64..0.9, 0.0f64..0.9).prop_map(|(theta, theta_protected)| {
+            CoverageConstraint::Group {
+                theta,
+                theta_protected,
+            }
+        }),
+    ]
+}
+
+fn config_strategy() -> impl Strategy<Value = FairCapConfig> {
+    (
+        fairness_strategy(),
+        coverage_strategy(),
+        1usize..6,
+        0.0f64..0.05,
+    )
+        .prop_map(
+            |(fairness, coverage, max_rules, min_marginal_gain)| FairCapConfig {
+                fairness,
+                coverage,
+                max_rules,
+                min_marginal_gain,
+                ..FairCapConfig::default()
+            },
+        )
+}
+
+fn assert_bit_identical(
+    celf: &faircap::core::algorithm::greedy::GreedyOutcome,
+    oracle: &faircap::core::algorithm::greedy::GreedyOutcome,
+) -> std::result::Result<(), TestCaseError> {
+    let a: Vec<String> = celf.selected.iter().map(|r| r.to_string()).collect();
+    let b: Vec<String> = oracle.selected.iter().map(|r| r.to_string()).collect();
+    prop_assert_eq!(a, b, "selection (order included) must match the oracle");
+    for (x, y) in celf.selected.iter().zip(&oracle.selected) {
+        prop_assert_eq!(
+            x.benefit.to_bits(),
+            y.benefit.to_bits(),
+            "selected rule benefits must be the same floats"
+        );
+    }
+    for (name, x, y) in [
+        ("expected", celf.summary.expected, oracle.summary.expected),
+        (
+            "expected_protected",
+            celf.summary.expected_protected,
+            oracle.summary.expected_protected,
+        ),
+        (
+            "expected_non_protected",
+            celf.summary.expected_non_protected,
+            oracle.summary.expected_non_protected,
+        ),
+        ("coverage", celf.summary.coverage, oracle.summary.coverage),
+        (
+            "coverage_protected",
+            celf.summary.coverage_protected,
+            oracle.summary.coverage_protected,
+        ),
+        (
+            "unfairness",
+            celf.summary.unfairness,
+            oracle.summary.unfairness,
+        ),
+    ] {
+        prop_assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "summary.{} must match bit-for-bit",
+            name
+        );
+    }
+    prop_assert_eq!(celf.constraints_met, oracle.constraints_met);
+    Ok(())
+}
+
+proptest! {
+    /// CELF equals the eager oracle on arbitrary pools and constraints.
+    #[test]
+    fn celf_matches_reference_oracle(
+        rules in prop::collection::vec(rule_strategy(), 0..14),
+        config in config_strategy(),
+    ) {
+        let protected = protected();
+        let (celf, stats) =
+            greedy_select_with_stats(rules.clone(), &config, N, &protected);
+        let oracle = reference::greedy_select(rules, &config, N, &protected);
+        assert_bit_identical(&celf, &oracle)?;
+        // Laziness must never *add* selection rounds.
+        prop_assert!(stats.rounds as usize >= celf.selected.len());
+    }
+
+    /// Input order is irrelevant: both paths canonicalize the pool, so a
+    /// permuted pool yields the identical outcome.
+    #[test]
+    fn celf_is_permutation_invariant(
+        rules in prop::collection::vec(rule_strategy(), 0..12),
+        rot in 0usize..12,
+        reverse in any::<bool>(),
+        config in config_strategy(),
+    ) {
+        let protected = protected();
+        let mut permuted = rules.clone();
+        if !permuted.is_empty() {
+            let shift = rot % permuted.len();
+            permuted.rotate_left(shift);
+        }
+        if reverse {
+            permuted.reverse();
+        }
+        let (a, _) = greedy_select_with_stats(permuted, &config, N, &protected);
+        let oracle = reference::greedy_select(rules, &config, N, &protected);
+        assert_bit_identical(&a, &oracle)?;
+    }
+
+    /// CELF performs no more score evaluations than the eager loop, which
+    /// recomputes every remaining candidate each round.
+    #[test]
+    fn celf_never_evaluates_more_than_eager(
+        rules in prop::collection::vec(rule_strategy(), 1..14),
+        config in config_strategy(),
+    ) {
+        let protected = protected();
+        let n_pool = rules.len() as u64;
+        let (_, stats) = greedy_select_with_stats(rules, &config, N, &protected);
+        // Eager bound: every round scores at most the whole pool.
+        prop_assert!(
+            stats.evaluations <= stats.rounds.max(1) * n_pool,
+            "evaluations {} exceed eager bound {} × {}",
+            stats.evaluations, stats.rounds.max(1), n_pool
+        );
+    }
+}

@@ -91,6 +91,78 @@ proptest! {
     }
 
     #[test]
+    fn apriori_support_matches_row_oracle(
+        df in frame_strategy(),
+        min_support in 0.05f64..0.5,
+    ) {
+        // The vertical-bitset support (word-fused AND+popcount over parent
+        // masks) must agree with a naive per-row predicate scan.
+        let within = Mask::ones(df.n_rows());
+        let cfg = AprioriConfig { min_support, max_len: 3, max_values_per_attr: 8 };
+        let found = apriori(&df, &attrs(), &within, &cfg).unwrap();
+        for f in &found {
+            for row in 0..df.n_rows() {
+                let holds = f.pattern.predicates().iter().all(|p| {
+                    df.get(row, &p.attr).unwrap() == p.value
+                });
+                prop_assert_eq!(
+                    f.support.get(row), holds,
+                    "pattern {} row {}: mask bit disagrees with the row scan",
+                    f.pattern, row
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apriori_is_complete_vs_bruteforce(
+        df in frame_strategy(),
+        min_support in 0.1f64..0.5,
+    ) {
+        // Every conjunction of ≤3 items over distinct attributes that meets
+        // the threshold must be mined — the prefix-join may not drop
+        // candidates the naive O(items³) enumeration finds.
+        let within = Mask::ones(df.n_rows());
+        let cfg = AprioriConfig { min_support, max_len: 3, max_values_per_attr: 8 };
+        let found = apriori(&df, &attrs(), &within, &cfg).unwrap();
+        let found_set: HashSet<String> = found.iter().map(|f| f.pattern.to_string()).collect();
+        let min_count = ((min_support * df.n_rows() as f64).ceil() as usize).max(1);
+        let items = single_attribute_items(&df, &attrs(), &within, 8).unwrap();
+        for i in 0..items.len() {
+            for j in i..items.len() {
+                for k in j..items.len() {
+                    let picks: Vec<usize> = {
+                        let mut v = vec![i, j, k];
+                        v.dedup();
+                        v
+                    };
+                    let mut attrs_seen: Vec<&str> =
+                        picks.iter().map(|&p| items[p].0.attr.as_str()).collect();
+                    attrs_seen.sort_unstable();
+                    attrs_seen.dedup();
+                    if attrs_seen.len() != picks.len() {
+                        continue; // two items on one attribute
+                    }
+                    let mut mask = items[picks[0]].1.clone();
+                    for &p in &picks[1..] {
+                        mask = &mask & &items[p].1;
+                    }
+                    if mask.count() < min_count {
+                        continue;
+                    }
+                    let preds: Vec<_> = picks.iter().map(|&p| items[p].0.clone()).collect();
+                    let pattern = faircap::table::Pattern::new(preds);
+                    prop_assert!(
+                        found_set.contains(&pattern.to_string()),
+                        "frequent {} ({} rows ≥ {}) not mined",
+                        pattern, mask.count(), min_count
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn lattice_nodes_have_positive_ancestry(df in frame_strategy()) {
         // Every evaluated node of length > 1 must have all its parents
         // evaluated and positive, per §5.2's materialization rule.
