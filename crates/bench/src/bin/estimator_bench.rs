@@ -15,7 +15,11 @@
 //!   brute-force pair scan (quadratic, so only run at the 10⁴ tier).
 //!
 //! Results go to stdout *and* `BENCH_estimators.json` (CWD, or the
-//! directory given as the first argument). With `--gate BASELINE.json`,
+//! directory given as the first argument). Each row carries the best-of
+//! rep's per-estimate [`HotStats`] (`build_ns` / `index_ns` / `solve_ns`
+//! / `tasks` / `tree_visits`), so the scale-curve trend lines show where
+//! the time goes, not just how much there is.
+//! With `--gate BASELINE.json`,
 //! each (estimator, rows) entry's best-of-reps time is compared against
 //! the committed baseline's and the run exits 1 on a >20% regression
 //! (plus a 1 ms absolute slack so sub-millisecond cases don't gate on
@@ -29,7 +33,7 @@
 
 use faircap_causal::estimate::{matching, reference};
 use faircap_causal::{
-    estimate_cate, Estimator as _, EstimatorKind, HotStats, MatchParams, MatchStrategy,
+    EstimateCtx, Estimator as _, EstimatorKind, HotStats, MatchParams, MatchStrategy,
 };
 use faircap_core::Json;
 use faircap_scenario::{generate, ScenarioSpec, TruthGroup};
@@ -61,6 +65,11 @@ struct Entry {
     min_ms: f64,
     mean_ms: f64,
     cate: f64,
+    /// Hot-path stage accounting of the best-of rep (the rep `min_ms`
+    /// came from), with `solve_ns` closed as `total − build − index`
+    /// exactly like the engine does. Reference baselines without staged
+    /// accounting report everything under `solve_ns`.
+    stats: HotStats,
 }
 
 impl Entry {
@@ -73,6 +82,11 @@ impl Entry {
                 ("min_ms", Json::Num(self.min_ms)),
                 ("mean_ms", Json::Num(self.mean_ms)),
                 ("cate", Json::Num(self.cate)),
+                ("build_ns", Json::Num(self.stats.build_ns as f64)),
+                ("index_ns", Json::Num(self.stats.index_ns as f64)),
+                ("solve_ns", Json::Num(self.stats.solve_ns as f64)),
+                ("tasks", Json::Num(self.stats.tasks as f64)),
+                ("tree_visits", Json::Num(self.stats.tree_visits as f64)),
             ]
             .into_iter()
             .map(|(k, v)| (k.to_owned(), v))
@@ -82,15 +96,25 @@ impl Entry {
 }
 
 /// Time one estimator case: `reps` timed runs, best-of and mean recorded.
-fn bench_case(label: &str, rows: usize, f: impl Fn() -> f64) -> Entry {
+/// Each rep estimates into a fresh [`HotStats`]; the entry keeps the
+/// best-of rep's accounting so the JSON row explains where `min_ms` went.
+fn bench_case(label: &str, rows: usize, f: impl Fn(&mut HotStats) -> f64) -> Entry {
     let mut times_ms = Vec::with_capacity(REPS);
     let mut cate = 0.0;
+    let mut best: Option<(f64, HotStats)> = None;
     for _ in 0..REPS {
+        let mut stats = HotStats::default();
         let t0 = Instant::now();
-        cate = f();
-        times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        cate = f(&mut stats);
+        let total_ns = t0.elapsed().as_nanos() as u64;
+        let ms = total_ns as f64 / 1e6;
+        stats.solve_ns = total_ns.saturating_sub(stats.build_ns.saturating_add(stats.index_ns));
+        times_ms.push(ms);
+        if best.as_ref().is_none_or(|(t, _)| ms < *t) {
+            best = Some((ms, stats));
+        }
     }
-    let min_ms = times_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let (min_ms, stats) = best.expect("at least one rep");
     let mean_ms = times_ms.iter().sum::<f64>() / times_ms.len() as f64;
     println!(
         "estimator_bench: rows={rows} {label:<15} min {min_ms:9.2} ms  mean {mean_ms:9.2} ms  cate {cate:+.3}"
@@ -102,6 +126,7 @@ fn bench_case(label: &str, rows: usize, f: impl Fn() -> f64) -> Entry {
         min_ms,
         mean_ms,
         cate,
+        stats,
     }
 }
 
@@ -129,40 +154,39 @@ fn run_tier(rows: usize, entries: &mut Vec<Entry>) {
     let adjustment: Vec<String> = sc.dataset.immutable.clone();
 
     for kind in EstimatorKind::ALL {
-        entries.push(bench_case(kind.name(), rows, || {
-            estimate_cate(kind, df, &group, &treated, outcome, &adjustment)
-                .expect("estimate")
-                .cate
+        entries.push(bench_case(kind.name(), rows, |stats| {
+            let mut ctx = EstimateCtx {
+                workers: 1,
+                stats: HotStats::default(),
+                index_cache: None,
+            };
+            let estimate = kind
+                .estimate_with_ctx(&mut ctx, df, &group, &treated, outcome, &adjustment)
+                .expect("estimate");
+            stats.absorb(&ctx.stats);
+            estimate.cate
         }));
     }
-    entries.push(bench_case("linear_naive", rows, || {
+    entries.push(bench_case("linear_naive", rows, |_stats| {
         reference::linear_naive(df, &group, &treated, outcome, &adjustment)
             .expect("linear_naive")
             .cate
     }));
-    entries.push(bench_case("ipw_naive", rows, || {
+    entries.push(bench_case("ipw_naive", rows, |_stats| {
         reference::ipw_naive(df, &group, &treated, outcome, &adjustment)
             .expect("ipw_naive")
             .cate
     }));
     if rows <= BRUTE_MAX_ROWS {
-        entries.push(bench_case("matching_brute", rows, || {
+        entries.push(bench_case("matching_brute", rows, |stats| {
             let params = MatchParams {
                 index: None,
                 strategy: MatchStrategy::Brute,
                 workers: 1,
             };
-            matching::estimate_with(
-                df,
-                &group,
-                &treated,
-                outcome,
-                &adjustment,
-                &params,
-                &mut HotStats::default(),
-            )
-            .expect("matching_brute")
-            .cate
+            matching::estimate_with(df, &group, &treated, outcome, &adjustment, &params, stats)
+                .expect("matching_brute")
+                .cate
         }));
     }
 

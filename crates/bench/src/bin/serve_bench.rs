@@ -44,11 +44,6 @@ const SEED: u64 = 42;
 /// Relative keep-alive throughput drop vs. the baseline that fails the gate.
 const GATE_MAX_REGRESSION: f64 = 0.20;
 
-fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
-    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
-    sorted[idx]
-}
-
 struct PhaseResult {
     phase: &'static str,
     clients: usize,
@@ -100,7 +95,7 @@ fn run_phase(
     body_of: impl Fn(usize, usize) -> String + Sync,
 ) -> PhaseResult {
     let started = Instant::now();
-    let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+    let latencies_ms: Vec<f64> = std::thread::scope(|scope| {
         let body_of = &body_of;
         let handles: Vec<_> = (0..clients)
             .map(|c| {
@@ -142,19 +137,22 @@ fn run_phase(
             .collect()
     });
     let wall = started.elapsed();
-    latencies_ms.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let completed = latencies_ms.len();
+    // Percentiles share the serve layer's log-bucketed histogram
+    // semantics (`faircap_obs::summarize_ms`), so BENCH_serve rows agree
+    // with `/v1/metrics` and `/metrics` on the same run.
+    let summary = faircap_obs::summarize_ms(&latencies_ms).expect("non-empty phase");
     let result = PhaseResult {
         phase,
         clients,
         completed,
         wall,
         throughput: completed as f64 / wall.as_secs_f64(),
-        mean: latencies_ms.iter().sum::<f64>() / completed as f64,
-        p50: percentile_ms(&latencies_ms, 0.50),
-        p90: percentile_ms(&latencies_ms, 0.90),
-        p99: percentile_ms(&latencies_ms, 0.99),
-        max: *latencies_ms.last().expect("non-empty"),
+        mean: summary.mean_ms,
+        p50: summary.p50_ms,
+        p90: summary.p90_ms,
+        p99: summary.p99_ms,
+        max: summary.max_ms,
         coalesce_hits: None,
     };
     println!(
@@ -274,6 +272,13 @@ fn main() {
             ("rows", num(rows as f64)),
             ("seed", num(SEED as f64)),
             ("warm", Json::Bool(true)),
+            // Schema note: percentiles are log-bucketed-histogram
+            // quantiles shared with the serve layer, not exact
+            // sorted-sample ranks as in pre-observability rows.
+            (
+                "quantile_method",
+                Json::Str(faircap_obs::QUANTILE_METHOD.into()),
+            ),
             (
                 "phases",
                 Json::Arr(vec![

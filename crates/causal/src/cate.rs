@@ -38,6 +38,7 @@ use crate::error::{CausalError, Result};
 use crate::estimate::matching::MatchIndex;
 use crate::estimate::{kernel, Estimate, EstimateCtx, Estimator, HotStats};
 use crate::graph::Dag;
+use faircap_obs::{Histogram, HistogramSnapshot, SpanHandle};
 use faircap_table::{DataFrame, DataType, FnvHasher, Mask, Pattern, ShardedLruCache};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
@@ -205,6 +206,11 @@ pub struct CateEngine {
     match_index_cache: MatchIndexCache,
     /// Hot-path cost totals across every estimation run.
     hot: Mutex<EngineHotStats>,
+    /// Per-estimator-name estimate-duration histograms (nanoseconds per
+    /// uncached estimation run), exposed via
+    /// [`estimate_histograms`](Self::estimate_histograms) for the serving
+    /// layer's `/metrics` exposition.
+    estimate_hist: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
 impl std::fmt::Debug for CateEngine {
@@ -242,6 +248,7 @@ impl CateEngine {
             per_estimator: Mutex::new(HashMap::new()),
             match_index_cache: MatchIndexCache::default(),
             hot: Mutex::new(EngineHotStats::default()),
+            estimate_hist: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -269,6 +276,7 @@ impl CateEngine {
             engine: self,
             estimator,
             name: Arc::from(estimator.name()),
+            span: None,
         }
     }
 
@@ -351,18 +359,28 @@ impl CateEngine {
         intervention: &Pattern,
         estimator: &dyn Estimator,
     ) -> Option<Estimate> {
-        self.cate_with_name(group, intervention, &Arc::from(estimator.name()), estimator)
+        self.cate_with_name(
+            group,
+            intervention,
+            &Arc::from(estimator.name()),
+            estimator,
+            None,
+        )
     }
 
     /// [`cate`](Self::cate) with a pre-interned estimator name —
     /// [`CateQuery`] resolves the `Arc<str>` once per solve so the
-    /// per-query key build only clones a pointer.
+    /// per-query key build only clones a pointer. When `span` is set (a
+    /// traced solve) every query emits a child span: `estimate_hit:<name>`
+    /// for a cache lookup answered from the estimate cache,
+    /// `estimate:<name>` covering the actual estimation on a miss.
     fn cate_with_name(
         &self,
         group: &Mask,
         intervention: &Pattern,
         name: &Arc<str>,
         estimator: &dyn Estimator,
+        span: Option<&SpanHandle>,
     ) -> Option<Estimate> {
         let key = EstimateKey {
             estimator: Arc::clone(name),
@@ -371,9 +389,15 @@ impl CateEngine {
         };
         if let Some(hit) = self.estimate_cache.get(&key) {
             self.bump(name, |s| s.hits += 1);
+            if let Some(h) = span {
+                h.child(format!("estimate_hit:{name}")).finish();
+            }
             return hit;
         }
-        let result = self.cate_uncached(group, key.group_fp, intervention, estimator);
+        let result = {
+            let _estimate_span = span.map(|h| h.child(format!("estimate:{name}")));
+            self.cate_uncached(group, key.group_fp, intervention, estimator)
+        };
         // A racing duplicate query may have inserted the same key first;
         // `replaced` distinguishes that (same value — estimation is
         // deterministic), so per-estimator entry counts stay exact.
@@ -427,7 +451,34 @@ impl CateEngine {
         let mut hot = self.hot.lock();
         hot.stats.absorb(&stats);
         hot.estimates += 1;
+        drop(hot);
+        self.estimate_duration_hist(estimator.name()).record(total);
         result
+    }
+
+    /// The estimate-duration histogram of one estimator name, created on
+    /// first use. The `Arc` keeps recording lock-free once resolved.
+    fn estimate_duration_hist(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.estimate_hist.lock();
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new());
+                map.insert(name.to_owned(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Per-estimator estimate-duration histograms (nanoseconds per
+    /// uncached estimation), snapshotted in estimator-name order.
+    /// Estimators never run on this engine are absent.
+    pub fn estimate_histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.estimate_hist
+            .lock()
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect()
     }
 
     /// Number of cached estimates (diagnostics).
@@ -596,12 +647,23 @@ pub struct CateQuery<'a> {
     engine: &'a CateEngine,
     estimator: &'a dyn Estimator,
     name: Arc<str>,
+    /// Parent span of a traced solve; when set, every query emits
+    /// estimate/estimate-hit child spans under it.
+    span: Option<SpanHandle>,
 }
 
 impl<'a> CateQuery<'a> {
     /// The underlying engine.
     pub fn engine(&self) -> &'a CateEngine {
         self.engine
+    }
+
+    /// Attach a tracing parent: estimate spans of subsequent queries nest
+    /// under `span`. `None` (the default) traces nothing and costs one
+    /// branch per query.
+    pub fn with_span(mut self, span: Option<SpanHandle>) -> CateQuery<'a> {
+        self.span = span;
+        self
     }
 
     /// The bound estimator.
@@ -621,8 +683,13 @@ impl<'a> CateQuery<'a> {
 
     /// See [`CateEngine::cate`].
     pub fn cate(&self, group: &Mask, intervention: &Pattern) -> Option<Estimate> {
-        self.engine
-            .cate_with_name(group, intervention, &self.name, self.estimator)
+        self.engine.cate_with_name(
+            group,
+            intervention,
+            &self.name,
+            self.estimator,
+            self.span.as_ref(),
+        )
     }
 }
 

@@ -16,6 +16,7 @@ use crate::exec::{self, ExecStats};
 use crate::rule::Rule;
 use faircap_causal::CateQuery;
 use faircap_mining::MiningStats;
+use faircap_obs::SpanHandle;
 use faircap_table::{Mask, Pattern, ShardedLruCache};
 use intervention::GroupEvaluation;
 use std::sync::Arc;
@@ -83,6 +84,12 @@ pub(crate) struct Step2Output {
 /// estimation + sub-utilities) is looked up / stored under its
 /// [`InterventionKey`], so constraint-only re-solves skip estimation
 /// entirely and only re-run the cheap phase-2 arithmetic.
+///
+/// When `span` is given (a traced solve's Step-2 span), each cache hit
+/// records an `intervention_cache_hit` point span and each evaluated group
+/// records an `evaluate_group` span under which the engine's per-estimate
+/// spans nest.
+#[allow(clippy::too_many_arguments)] // internal fan-out entry point
 pub(crate) fn mine_all_interventions(
     query: &CateQuery<'_>,
     groups: &[faircap_mining::FrequentPattern],
@@ -91,13 +98,17 @@ pub(crate) fn mine_all_interventions(
     config: &FairCapConfig,
     workers: Option<usize>,
     cache: Option<(&InterventionCache, &str)>,
+    span: Option<&SpanHandle>,
 ) -> Step2Output {
     type GroupResult = (Vec<Rule>, MiningStats, u64, u64);
     let k = config.interventions_per_group.max(1);
     let worker = |g: &faircap_mining::FrequentPattern| -> GroupResult {
-        if let Some((cache, estimator)) = cache {
-            let key = InterventionKey::of(&g.pattern, estimator, config);
-            if let Some(hit) = cache.get(&key) {
+        let key = cache.map(|(_, estimator)| InterventionKey::of(&g.pattern, estimator, config));
+        if let (Some((cache, _)), Some(key)) = (cache, &key) {
+            if let Some(hit) = cache.get(key) {
+                if let Some(h) = span {
+                    h.child("intervention_cache_hit").finish();
+                }
                 let rules = intervention::rules_from_evaluation(
                     &hit,
                     &g.pattern,
@@ -108,42 +119,32 @@ pub(crate) fn mine_all_interventions(
                 );
                 return (rules, MiningStats::default(), 1, 0);
             }
-            let (evaluation, stats) = intervention::evaluate_group_interventions(
-                query,
-                &g.support,
-                protected_mask,
-                mutable,
-                config.max_intervention_len,
-                config.alpha,
-            );
-            let evaluation = Arc::new(evaluation);
-            cache.insert(key, Arc::clone(&evaluation));
-            let rules = intervention::rules_from_evaluation(
-                &evaluation,
-                &g.pattern,
-                &g.support,
-                protected_mask,
-                config,
-                k,
-            );
+        }
+        let group_span = span.map(|h| h.child("evaluate_group"));
+        let query = query
+            .clone()
+            .with_span(group_span.as_ref().map(|s| s.handle()));
+        let (evaluation, stats) = intervention::evaluate_group_interventions(
+            &query,
+            &g.support,
+            protected_mask,
+            mutable,
+            config.max_intervention_len,
+            config.alpha,
+        );
+        drop(group_span);
+        let rules = intervention::rules_from_evaluation(
+            &evaluation,
+            &g.pattern,
+            &g.support,
+            protected_mask,
+            config,
+            k,
+        );
+        if let (Some((cache, _)), Some(key)) = (cache, key) {
+            cache.insert(key, Arc::new(evaluation));
             (rules, stats, 0, 1)
         } else {
-            let (evaluation, stats) = intervention::evaluate_group_interventions(
-                query,
-                &g.support,
-                protected_mask,
-                mutable,
-                config.max_intervention_len,
-                config.alpha,
-            );
-            let rules = intervention::rules_from_evaluation(
-                &evaluation,
-                &g.pattern,
-                &g.support,
-                protected_mask,
-                config,
-                k,
-            );
             (rules, stats, 0, 0)
         }
     };

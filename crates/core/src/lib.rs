@@ -72,7 +72,7 @@ pub use decision_tree::{all_structural_variants, choose_variant, FairnessKind, V
 pub use error::{Error, Result};
 pub use exec::ExecStats;
 pub use faircap_mining::MiningStats;
-pub use registry::{RegisteredSession, SessionRegistry};
+pub use registry::{RegisteredSession, SessionRegistry, WarmBootInfo};
 pub use report::{SolutionReport, SolveStats, StepTimings};
 pub use rule::{Rule, RuleUtility};
 pub use session::{FairCap, PrescriptionSession, SessionBuilder, SolveHotStats, SolveRequest};

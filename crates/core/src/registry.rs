@@ -17,6 +17,19 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Provenance of a warm boot: which snapshot file a session was restored
+/// from and how long the restore took. Recorded by the serving CLI after a
+/// successful [`warm_start`] and surfaced on `/v1/metrics` and `/metrics`.
+///
+/// [`warm_start`]: crate::session::SessionBuilder::warm_start
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmBootInfo {
+    /// Path of the snapshot file the session was restored from.
+    pub snapshot_path: String,
+    /// Wall-clock milliseconds spent reading and importing the snapshot.
+    pub restore_ms: f64,
+}
+
 /// A session plus its serving bookkeeping. Obtained from
 /// [`SessionRegistry::get`]; all methods take `&self` and are safe to call
 /// from any number of threads.
@@ -27,6 +40,7 @@ pub struct RegisteredSession {
     solves_err: AtomicU64,
     solves_coalesced: AtomicU64,
     last_exec: Mutex<Option<ExecStats>>,
+    warm_boot: Mutex<Option<WarmBootInfo>>,
 }
 
 impl RegisteredSession {
@@ -66,6 +80,16 @@ impl RegisteredSession {
     /// Executor statistics of the most recent parallel solve, if any.
     pub fn last_exec(&self) -> Option<ExecStats> {
         self.last_exec.lock().clone()
+    }
+
+    /// Record that the wrapped session was warm-booted from a snapshot.
+    pub fn set_warm_boot(&self, info: WarmBootInfo) {
+        *self.warm_boot.lock() = Some(info);
+    }
+
+    /// Warm-boot provenance, if the session was restored from a snapshot.
+    pub fn warm_boot(&self) -> Option<WarmBootInfo> {
+        self.warm_boot.lock().clone()
     }
 
     /// Solve on the wrapped session, recording outcome counters and the
@@ -121,6 +145,7 @@ impl SessionRegistry {
             solves_err: AtomicU64::new(0),
             solves_coalesced: AtomicU64::new(0),
             last_exec: Mutex::new(None),
+            warm_boot: Mutex::new(None),
         });
         entries.insert(name, Arc::clone(&entry));
         Some(entry)

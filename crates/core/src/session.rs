@@ -28,6 +28,7 @@ use crate::report::{SolutionReport, SolveStats, StepTimings};
 use crate::snapshot::SessionSnapshot;
 use faircap_causal::{CacheStats, CateEngine, Dag, Estimator, EstimatorKind};
 use faircap_mining::{FrequentPattern, MiningStats};
+use faircap_obs::SpanHandle;
 use faircap_table::{CacheCounters, DataFrame, Mask, Pattern, ShardedLruCache};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -286,6 +287,16 @@ pub struct SolveRequest {
     /// caches (grouping patterns and intervention evaluations). On by
     /// default; benchmarks turn it off to measure the uncached path.
     pub use_solve_cache: bool,
+    /// Whether the caller wants the span tree of this solve echoed back
+    /// (the wire-level `trace: true` field). The session itself only
+    /// records spans when [`SolveRequest::span`] is set; this flag tells
+    /// the serving layer to embed the finished tree in the response.
+    pub trace: bool,
+    /// Tracing parent: when set, the solve records `step1_grouping` /
+    /// `step2_interventions` / `step3_greedy` child spans (and, beneath
+    /// Step 2, per-group evaluation and per-estimate spans) under this
+    /// handle. `None` (the default) traces nothing.
+    pub span: Option<SpanHandle>,
 }
 
 impl Default for SolveRequest {
@@ -298,6 +309,8 @@ impl Default for SolveRequest {
             grouping_cache_bound: None,
             intervention_cache_bound: None,
             use_solve_cache: true,
+            trace: false,
+            span: None,
         }
     }
 }
@@ -370,6 +383,20 @@ impl SolveRequest {
         self.use_solve_cache = on;
         self
     }
+
+    /// Ask the serving layer to echo this solve's span tree back in the
+    /// response (wire `trace: true`). Has no effect on the session itself;
+    /// pair with [`SolveRequest::span`] to actually record spans.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Record this solve's step spans under `span`.
+    pub fn span(mut self, span: SpanHandle) -> Self {
+        self.span = Some(span);
+        self
+    }
 }
 
 impl From<FairCapConfig> for SolveRequest {
@@ -394,6 +421,8 @@ impl std::fmt::Debug for SolveRequest {
             .field("grouping_cache_bound", &self.grouping_cache_bound)
             .field("intervention_cache_bound", &self.intervention_cache_bound)
             .field("use_solve_cache", &self.use_solve_cache)
+            .field("trace", &self.trace)
+            .field("span", &self.span.is_some())
             .finish()
     }
 }
@@ -707,15 +736,21 @@ impl PrescriptionSession {
         }
         let estimator: &dyn Estimator = request.estimator.as_deref().unwrap_or(&config.estimator);
         let query = self.engine.with_estimator(estimator);
+        let span = request.span.as_ref();
 
         // ---- Step 1: grouping patterns (§5.1), cached per parameters. ----
         let t0 = Instant::now();
+        let step1_span = span.map(|h| h.child("step1_grouping"));
         let (groups, grouping_stats) = self.grouping_patterns(config, request.use_solve_cache)?;
+        drop(step1_span);
         let grouping_time = t0.elapsed();
 
         // ---- Step 2: intervention mining (§5.2), work-stealing fan-out
         // across groups, phase-1 evaluations cached per group. ----
         let t1 = Instant::now();
+        let step2_span = span.map(|h| h.child("step2_interventions"));
+        let step2_handle = step2_span.as_ref().map(|s| s.handle());
+        let query = query.with_span(step2_handle.clone());
         let step2 = mine_all_interventions(
             &query,
             &groups,
@@ -726,18 +761,22 @@ impl PrescriptionSession {
             request
                 .use_solve_cache
                 .then_some((&self.interventions, estimator.name())),
+            step2_handle.as_ref(),
         );
+        drop(step2_span);
         let n_candidates = step2.rules.len();
         let intervention_time = t1.elapsed();
 
         // ---- Step 3: greedy selection (§5.3). ----
         let t2 = Instant::now();
+        let step3_span = span.map(|h| h.child("step3_greedy"));
         let (outcome, greedy_stats) = greedy::greedy_select_with_stats(
             step2.rules,
             config,
             self.df.n_rows(),
             &self.protected_mask,
         );
+        drop(step3_span);
         let greedy_time = t2.elapsed();
 
         let timings = StepTimings {

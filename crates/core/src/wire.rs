@@ -425,7 +425,8 @@ fn bad(msg: impl Into<String>) -> Error {
 ///   "estimate_cache_bound": 10000,
 ///   "grouping_cache_bound": 64,
 ///   "intervention_cache_bound": 256,
-///   "use_solve_cache": true
+///   "use_solve_cache": true,
+///   "trace": false
 /// }
 /// ```
 pub fn solve_request_from_json(json: &Json) -> Result<SolveRequest> {
@@ -476,6 +477,11 @@ pub fn solve_request_from_json(json: &Json) -> Result<SolveRequest> {
                 request.use_solve_cache = value
                     .as_bool()
                     .ok_or_else(|| bad("`use_solve_cache` must be a boolean"))?
+            }
+            "trace" => {
+                request.trace = value
+                    .as_bool()
+                    .ok_or_else(|| bad("`trace` must be a boolean"))?
             }
             other => return Err(bad(format!("unknown request field `{other}`"))),
         }
@@ -664,6 +670,7 @@ pub fn solve_request_to_canonical_json(request: &SolveRequest) -> Json {
             opt_usize(request.intervention_cache_bound),
         ),
         ("use_solve_cache", Json::Bool(request.use_solve_cache)),
+        ("trace", Json::Bool(request.trace)),
     ])
 }
 
@@ -1010,6 +1017,7 @@ mod tests {
             "grouping_cache_bound",
             "intervention_cache_bound",
             "use_solve_cache",
+            "trace",
         ] {
             assert!(doc.get(field).is_some(), "canonical form omits `{field}`");
         }

@@ -1,0 +1,37 @@
+//! # faircap-obs
+//!
+//! Dependency-free observability layer for the FairCap serving pipeline,
+//! three pillars:
+//!
+//! * [`hist`] — fixed log-bucketed (HDR-style) [`Histogram`]s: lock-free
+//!   atomic buckets, mergeable, with quantiles whose error is bounded by
+//!   the bucket layout (≤ 1/32 relative). Used for solve latency, queue
+//!   wait, per-estimator estimate duration, and keep-alive request
+//!   latency.
+//! * [`trace`] — a lightweight span/trace API ([`Trace`], [`Span`],
+//!   [`SpanHandle`]) with monotonic nanosecond timestamps and FNV-derived
+//!   64-bit trace ids, threaded through the full solve path (grouping,
+//!   intervention mining, estimate calls, CELF greedy, cache lookups,
+//!   queue wait, reactor phases). Finished traces land in a bounded
+//!   [`TraceRing`] that keeps the slowest solves sticky.
+//! * [`prom`] — Prometheus text-format exposition ([`PromText`]) plus an
+//!   in-repo [`validate_exposition`] checker used by tests and the CI
+//!   smoke gate, with the stable `faircap_<subsystem>_<name>_<unit>`
+//!   naming scheme enforced by [`validate_naming`].
+//!
+//! The crate is intentionally std-only so it can sit at the bottom of the
+//! workspace dependency graph (`table`/`causal`/`core`/`serve`/`scenario`
+//! all use it).
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod prom;
+pub mod trace;
+
+pub use hist::{
+    summarize_ms, Histogram, HistogramSnapshot, LatencySummary, QUANTILE_METHOD,
+    RELATIVE_ERROR_BOUND,
+};
+pub use prom::{validate_exposition, validate_naming, PromText};
+pub use trace::{FinishedTrace, Span, SpanHandle, SpanRecord, Trace, TraceRing};

@@ -1,0 +1,483 @@
+//! Prometheus text-format exposition (version 0.0.4) and an in-repo
+//! syntax checker.
+//!
+//! ## Naming scheme
+//!
+//! Every metric this workspace exposes follows
+//! `faircap_<subsystem>_<name>_<unit>` — e.g.
+//! `faircap_serve_solve_latency_us`, `faircap_cache_hits_total`,
+//! `faircap_estimate_duration_ns`. Counters end in `_total`, durations
+//! carry their unit (`_us` / `_ns` / `_seconds`), and histograms expand
+//! into the standard `_bucket` / `_sum` / `_count` series.
+//! [`validate_naming`] gate-checks a scraped exposition against the
+//! scheme so a new counter cannot silently bypass it.
+//!
+//! ## Writer
+//!
+//! [`PromText`] is an append-only builder: one
+//! [`family`](PromText::family) call per metric name (emitting `# HELP` /
+//! `# TYPE` once), then any number of [`sample`](PromText::sample)s with
+//! optional labels. [`histogram`](PromText::histogram) expands a
+//! [`HistogramSnapshot`] into cumulative non-empty `_bucket` series plus
+//! the mandatory `+Inf` bucket, `_sum`, and `_count`.
+
+use crate::hist::HistogramSnapshot;
+use std::collections::HashMap;
+
+/// Append-only builder of one Prometheus text exposition.
+#[derive(Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Start a metric family: `# HELP` and `# TYPE` lines. `kind` is one
+    /// of `counter` / `gauge` / `histogram`. Call once per family, before
+    /// its samples.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        debug_assert!(valid_metric_name(name), "invalid metric name {name}");
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out
+            .push_str(&help.replace('\\', "\\\\").replace('\n', "\\n"));
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// One sample line: `name{labels} value`.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                self.out.push_str(&escape_label(v));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&render_value(value));
+        self.out.push('\n');
+    }
+
+    /// Expand a histogram snapshot into `_bucket`/`_sum`/`_count` samples
+    /// under `name` (whose family must be declared with kind
+    /// `histogram`). Only non-empty buckets are emitted (plus `+Inf`),
+    /// cumulatively, with `le` as the bucket's inclusive upper bound.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        let mut cum = 0u64;
+        for (upper, n) in snap.nonzero_buckets() {
+            cum += n;
+            let le = format!("{upper}");
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.sample(&format!("{name}_bucket"), &with_le, cum as f64);
+        }
+        let mut with_inf: Vec<(&str, &str)> = labels.to_vec();
+        with_inf.push(("le", "+Inf"));
+        self.sample(&format!("{name}_bucket"), &with_inf, snap.count as f64);
+        self.sample(&format!("{name}_sum"), labels, snap.sum as f64);
+        self.sample(&format!("{name}_count"), labels, snap.count as f64);
+    }
+
+    /// The finished exposition text.
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_value(v: f64) -> String {
+    if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_owned()
+    } else if v.is_nan() {
+        "NaN".to_owned()
+    } else {
+        // Integral values render without the trailing `.0` Rust would add.
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse a sample value (`+Inf` / `-Inf` / `NaN` / float).
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => s.parse().ok(),
+    }
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parse `name{l="v",…} value [timestamp]`; `Err` with the reason.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    match line.find('{') {
+        Some(brace) => {
+            let close = line
+                .rfind('}')
+                .filter(|&c| c > brace)
+                .ok_or_else(|| format!("unclosed label braces: {line}"))?;
+            parse_sample_parts(
+                &line[..brace],
+                &line[brace + 1..close],
+                line[close + 1..].trim(),
+                line,
+            )
+        }
+        None => {
+            let mut it = line.splitn(2, char::is_whitespace);
+            let name = it.next().unwrap_or("");
+            let after = it.next().unwrap_or("").trim();
+            parse_sample_parts(name, "", after, line)
+        }
+    }
+}
+
+fn parse_sample_parts(
+    name: &str,
+    labels_text: &str,
+    after: &str,
+    line: &str,
+) -> Result<Sample, String> {
+    if !valid_metric_name(name) {
+        return Err(format!("invalid metric name `{name}` in: {line}"));
+    }
+    let mut labels = Vec::new();
+    let mut rest = labels_text.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=` in: {line}"))?;
+        let key = rest[..eq].trim();
+        if !valid_label_name(key) {
+            return Err(format!("invalid label name `{key}` in: {line}"));
+        }
+        let after_eq = rest[eq + 1..].trim_start();
+        if !after_eq.starts_with('"') {
+            return Err(format!("unquoted label value in: {line}"));
+        }
+        // Scan the quoted value honoring backslash escapes.
+        let mut value = String::new();
+        let mut chars = after_eq[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, e)) => value.push(e),
+                    None => return Err(format!("dangling escape in: {line}")),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value in: {line}"))?;
+        labels.push((key.to_owned(), value));
+        rest = after_eq[1 + end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value in: {line}"));
+        }
+    }
+    let mut parts = after.split_whitespace();
+    let value_text = parts
+        .next()
+        .ok_or_else(|| format!("sample without a value: {line}"))?;
+    let value = parse_value(value_text)
+        .ok_or_else(|| format!("unparseable value `{value_text}`: {line}"))?;
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("unparseable timestamp `{ts}`: {line}"))?;
+    }
+    if parts.next().is_some() {
+        return Err(format!("trailing junk on sample line: {line}"));
+    }
+    Ok(Sample {
+        name: name.to_owned(),
+        labels,
+        value,
+    })
+}
+
+/// The family name a sample belongs to: its name minus a histogram
+/// series suffix.
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    name
+}
+
+/// Validate a Prometheus text exposition: line syntax, `TYPE` kinds,
+/// one `TYPE` per family, and histogram invariants (`le`-labeled
+/// buckets, a `+Inf` bucket whose count equals `_count`, cumulative
+/// non-decreasing bucket values). Returns `Err` with the first problem.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    const KINDS: [&str; 5] = ["counter", "gauge", "histogram", "summary", "untyped"];
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().ok_or("TYPE line without a metric name")?;
+                let kind = it
+                    .next()
+                    .ok_or_else(|| format!("TYPE {name} without a kind"))?;
+                if !valid_metric_name(name) {
+                    return Err(format!("invalid metric name in TYPE line: {name}"));
+                }
+                if !KINDS.contains(&kind) {
+                    return Err(format!("unknown TYPE kind `{kind}` for {name}"));
+                }
+                if types.insert(name.to_owned(), kind.to_owned()).is_some() {
+                    return Err(format!("duplicate TYPE for {name}"));
+                }
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("invalid metric name in HELP line: {name}"));
+                }
+            }
+            // Other comments are free-form.
+            continue;
+        }
+        samples.push(parse_sample(line)?);
+    }
+    // Histogram invariants per (family, non-le label set).
+    for (family, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        let mut groups: HashMap<String, Vec<&Sample>> = HashMap::new();
+        for s in samples
+            .iter()
+            .filter(|s| s.name == format!("{family}_bucket"))
+        {
+            let mut key: Vec<String> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            key.sort();
+            groups.entry(key.join(",")).or_default().push(s);
+        }
+        if groups.is_empty() {
+            return Err(format!("histogram {family} has no _bucket series"));
+        }
+        for (key, buckets) in &groups {
+            let mut bounds: Vec<(f64, f64)> = Vec::new();
+            for b in buckets {
+                let le = b
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.as_str())
+                    .ok_or_else(|| format!("{family}_bucket without an le label"))?;
+                let le = parse_value(le)
+                    .ok_or_else(|| format!("{family}_bucket with unparseable le `{le}`"))?;
+                bounds.push((le, b.value));
+            }
+            bounds.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("le values are ordered"));
+            let inf = bounds
+                .last()
+                .filter(|(le, _)| le.is_infinite())
+                .ok_or_else(|| format!("histogram {family}{{{key}}} lacks a +Inf bucket"))?
+                .1;
+            for pair in bounds.windows(2) {
+                if pair[1].1 < pair[0].1 {
+                    return Err(format!(
+                        "histogram {family}{{{key}}} buckets are not cumulative"
+                    ));
+                }
+            }
+            let count = samples
+                .iter()
+                .find(|s| {
+                    s.name == format!("{family}_count") && {
+                        let mut k: Vec<String> =
+                            s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                        k.sort();
+                        k.join(",") == *key
+                    }
+                })
+                .ok_or_else(|| format!("histogram {family}{{{key}}} lacks _count"))?
+                .value;
+            if (count - inf).abs() > f64::EPSILON {
+                return Err(format!(
+                    "histogram {family}{{{key}}}: +Inf bucket {inf} != _count {count}"
+                ));
+            }
+            samples
+                .iter()
+                .find(|s| s.name == format!("{family}_sum"))
+                .ok_or_else(|| format!("histogram {family} lacks _sum"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Check every sample family in an exposition against the repo naming
+/// scheme: lowercase `snake_case` starting with `prefix` (normally
+/// `faircap_`). Returns the offending names.
+pub fn validate_naming(text: &str, prefix: &str) -> Result<(), Vec<String>> {
+    let mut bad: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let name = line
+            .split(|c: char| c == '{' || c.is_whitespace())
+            .next()
+            .unwrap_or("");
+        let family = family_of(name);
+        let ok = family.starts_with(prefix)
+            && family
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+        if !ok && !bad.iter().any(|b| b == family) {
+            bad.push(family.to_owned());
+        }
+    }
+    if bad.is_empty() {
+        Ok(())
+    } else {
+        Err(bad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn writer_emits_valid_exposition() {
+        let h = Histogram::new();
+        for v in [3u64, 50, 700, 700, 9000] {
+            h.record(v);
+        }
+        let mut pt = PromText::new();
+        pt.family("faircap_requests_total", "counter", "HTTP requests");
+        pt.sample("faircap_requests_total", &[], 42.0);
+        pt.family("faircap_cache_hits_total", "counter", "cache hits");
+        pt.sample(
+            "faircap_cache_hits_total",
+            &[("session", "german"), ("cache", "estimate")],
+            7.0,
+        );
+        pt.family("faircap_solve_latency_us", "histogram", "solve latency");
+        pt.histogram("faircap_solve_latency_us", &[], &h.snapshot());
+        let text = pt.render();
+        validate_exposition(&text).expect("writer output validates");
+        validate_naming(&text, "faircap_").expect("writer output follows the scheme");
+        assert!(text.contains("le=\"+Inf\"} 5"));
+        assert!(text.contains("faircap_solve_latency_us_count 5"));
+        assert!(text.contains("faircap_solve_latency_us_sum 10453"));
+    }
+
+    #[test]
+    fn labels_escape_and_round_trip() {
+        let mut pt = PromText::new();
+        pt.family("faircap_test_total", "counter", "help with\nnewline");
+        pt.sample(
+            "faircap_test_total",
+            &[("name", "quo\"te\\slash\nline")],
+            1.0,
+        );
+        validate_exposition(&pt.render()).expect("escaped labels validate");
+    }
+
+    #[test]
+    fn checker_rejects_malformed_lines() {
+        assert!(validate_exposition("1bad_name 3").is_err());
+        assert!(validate_exposition("name{l=unquoted} 3").is_err());
+        assert!(validate_exposition("name{l=\"v\"} notanumber").is_err());
+        assert!(validate_exposition("name{l=\"v\"").is_err());
+        assert!(validate_exposition("# TYPE m sideways\nm 1").is_err());
+        assert!(validate_exposition("# TYPE m counter\n# TYPE m counter\nm 1").is_err());
+        // Histogram without +Inf / with non-cumulative buckets.
+        assert!(validate_exposition(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1"
+        )
+        .is_err());
+        assert!(validate_exposition(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3"
+        )
+        .is_err());
+        // Valid minimal histogram passes.
+        validate_exposition(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2",
+        )
+        .expect("minimal histogram");
+    }
+
+    #[test]
+    fn naming_gate_catches_scheme_violations() {
+        assert!(validate_naming("faircap_serve_solves_total 1", "faircap_").is_ok());
+        let err = validate_naming("http_requests 1\nfaircap_ok_total 2", "faircap_").unwrap_err();
+        assert_eq!(err, vec!["http_requests".to_owned()]);
+        assert!(validate_naming("faircap_CamelCase 1", "faircap_").is_err());
+    }
+}

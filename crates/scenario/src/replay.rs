@@ -286,6 +286,14 @@ impl ReplayReport {
             ("wall_s".to_owned(), num(self.wall_s)),
             ("throughput_rps".to_owned(), num(self.throughput_rps)),
             ("mean_ms".to_owned(), num(self.mean_ms)),
+            // Schema note: since the observability PR, percentiles are
+            // log-bucketed-histogram quantiles (shared with the serve
+            // layer), not exact sorted-sample ranks; this marker lets
+            // consumers tell the two row generations apart.
+            (
+                "quantile_method".to_owned(),
+                Json::Str(faircap_obs::QUANTILE_METHOD.to_owned()),
+            ),
             ("p50_ms".to_owned(), num(self.p50_ms)),
             ("p90_ms".to_owned(), num(self.p90_ms)),
             ("p99_ms".to_owned(), num(self.p99_ms)),
@@ -388,15 +396,6 @@ fn fire(target: &ReplayTarget<'_>, body: &str) -> u16 {
     }
 }
 
-/// Nearest-rank percentile of an ascending sample.
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let rank = (sorted_ms.len() as f64 * p).ceil().max(1.0) as usize;
-    sorted_ms[rank.min(sorted_ms.len()) - 1]
-}
-
 /// Estimate-cache counters read before/after a run.
 #[derive(Debug, Clone, Copy, Default)]
 struct CacheSnapshot {
@@ -494,12 +493,15 @@ pub fn replay(
     let wall_s = started.elapsed().as_secs_f64();
     let after = cache_snapshot(target);
 
-    let mut ok_latencies: Vec<f64> = samples
+    let ok_latencies: Vec<f64> = samples
         .iter()
         .filter(|(status, _)| (200..300).contains(status))
         .map(|&(_, ms)| ms)
         .collect();
-    ok_latencies.sort_by(|a, b| a.total_cmp(b));
+    // Percentiles go through the shared log-bucketed histogram
+    // (`faircap_obs::summarize_ms`) so BENCH_scale rows use the same
+    // quantile semantics as the serve layer's `/v1/metrics`.
+    let latency = faircap_obs::summarize_ms(&ok_latencies);
     let count_status = |p: fn(u16) -> bool| samples.iter().filter(|(s, _)| p(*s)).count();
     let (mode, rate_hz) = match options.arrival {
         Arrival::Closed { .. } => ("closed".to_owned(), None),
@@ -523,15 +525,11 @@ pub fn replay(
         } else {
             0.0
         },
-        mean_ms: if ok_latencies.is_empty() {
-            0.0
-        } else {
-            ok_latencies.iter().sum::<f64>() / ok_latencies.len() as f64
-        },
-        p50_ms: percentile(&ok_latencies, 0.50),
-        p90_ms: percentile(&ok_latencies, 0.90),
-        p99_ms: percentile(&ok_latencies, 0.99),
-        max_ms: ok_latencies.last().copied().unwrap_or(0.0),
+        mean_ms: latency.map(|l| l.mean_ms).unwrap_or(0.0),
+        p50_ms: latency.map(|l| l.p50_ms).unwrap_or(0.0),
+        p90_ms: latency.map(|l| l.p90_ms).unwrap_or(0.0),
+        p99_ms: latency.map(|l| l.p99_ms).unwrap_or(0.0),
+        max_ms: latency.map(|l| l.max_ms).unwrap_or(0.0),
         ok: ok_latencies.len(),
         rejected_429: count_status(|s| s == 429),
         rejected_503: count_status(|s| s == 503),
@@ -597,10 +595,15 @@ mod tests {
 
     #[test]
     fn percentiles_of_known_samples() {
+        // Shared histogram semantics: within the log-bucket error bound
+        // above the exact nearest-rank value.
         let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&xs, 0.5), 50.0);
-        assert_eq!(percentile(&xs, 0.99), 99.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
+        let s = faircap_obs::summarize_ms(&xs).unwrap();
+        for (got, exact) in [(s.p50_ms, 50.0), (s.p99_ms, 99.0)] {
+            assert!(got >= exact, "{got} < {exact}");
+            assert!(got <= exact * (1.0 + faircap_obs::RELATIVE_ERROR_BOUND));
+        }
+        assert!(faircap_obs::summarize_ms(&[]).is_none());
     }
 
     #[test]

@@ -17,13 +17,19 @@
 //!    in-flight requests may coalesce into one underlying solve);
 //! 4. `GET /v1/metrics` must be `200` and report **nonzero estimate-cache
 //!    hits**, ≥8 delivered solves, and the `coalesce_hits` counter;
-//! 5. `POST /v1/shutdown` asks the server to drain so the CI job's
+//! 5. a solve with `"trace": true` must return an embedded span tree
+//!    covering the full pipeline (queue wait, Step 1/2/3, an estimate
+//!    span), echo `X-Faircap-Trace-Id`, and land in `GET /v1/trace`;
+//! 6. `GET /metrics` must parse as valid Prometheus exposition, pass the
+//!    `faircap_` naming gate, and its solve-latency p99 must agree with
+//!    `/v1/metrics` within one log-bucket's relative error;
+//! 7. `POST /v1/shutdown` asks the server to drain so the CI job's
 //!    background process exits cleanly.
 
 use faircap_core::Json;
 use faircap_serve::ServeClient;
 use std::net::SocketAddr;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const CONCURRENCY: usize = 8;
 
@@ -46,6 +52,40 @@ fn rules_of(body: &str) -> Vec<String> {
                 .to_owned()
         })
         .collect()
+}
+
+/// Nearest-rank quantile over a family's Prometheus `_bucket` lines:
+/// cumulative `le` buckets, rank `ceil(q·count)`, value = the first
+/// bucket bound whose cumulative count reaches the rank.
+fn prom_bucket_quantile(text: &str, family: &str, q: f64) -> Option<f64> {
+    let prefix = format!("{family}_bucket{{");
+    let mut buckets: Vec<(f64, u64)> = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(&prefix) else {
+            continue;
+        };
+        let le = rest
+            .split("le=\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())?;
+        let bound = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse().ok()?
+        };
+        let count: u64 = rest.rsplit(' ').next()?.trim().parse().ok()?;
+        buckets.push((bound, count));
+    }
+    buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite-or-inf bounds"));
+    let total = buckets.last()?.1;
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    buckets
+        .iter()
+        .find(|(_, cum)| *cum >= rank)
+        .map(|(bound, _)| *bound)
 }
 
 fn main() {
@@ -171,6 +211,144 @@ fn main() {
         .unwrap_or_else(|| fail("metrics without requests.coalesce_hits"));
     println!(
         "serve_smoke: metrics OK ({solves_ok} solves, {hits} cache hits, {coalesce_hits} coalesce hits)"
+    );
+
+    // Traced solve: the embedded span tree must cover the full pipeline
+    // and the trace id must round-trip through the header and the ring.
+    // The non-default estimator misses the intervention cache (its key
+    // includes the estimator name), so Step 2 actually evaluates groups
+    // and the estimate-layer spans appear even on a warm session.
+    let t0 = Instant::now();
+    let traced = client
+        .post_json(
+            "/v1/solve",
+            r#"{"max_rules": 5, "estimator": "ipw", "trace": true}"#,
+        )
+        .unwrap_or_else(|e| fail(format_args!("traced solve failed: {e}")));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if traced.status != 200 {
+        fail(format_args!(
+            "traced solve returned {}: {}",
+            traced.status, traced.body
+        ));
+    }
+    let Some(header_id) = traced.header("x-faircap-trace-id").map(str::to_owned) else {
+        fail("traced solve response has no x-faircap-trace-id header");
+    };
+    let doc =
+        Json::parse(&traced.body).unwrap_or_else(|e| fail(format_args!("bad traced JSON: {e}")));
+    let Some(trace) = doc.get("trace") else {
+        fail("traced solve response has no `trace` field");
+    };
+    let body_id = trace
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail("trace without trace_id"));
+    if body_id != header_id {
+        fail(format_args!(
+            "trace_id mismatch: body {body_id} vs header {header_id}"
+        ));
+    }
+    let duration_ms = trace
+        .get("duration_ms")
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| fail("trace without duration_ms"));
+    if duration_ms <= 0.0 || duration_ms > wall_ms {
+        fail(format_args!(
+            "trace root duration {duration_ms:.3} ms outside (0, wall {wall_ms:.3} ms]"
+        ));
+    }
+    let Some(spans) = trace.get("spans").and_then(Json::as_arr) else {
+        fail("trace without spans array");
+    };
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Json::as_str))
+        .collect();
+    for required in [
+        "request",
+        "queue_wait",
+        "solve",
+        "respond",
+        "step1_grouping",
+        "step2_interventions",
+        "step3_greedy",
+    ] {
+        if !names.contains(&required) {
+            fail(format_args!(
+                "trace missing span `{required}` (got {names:?})"
+            ));
+        }
+    }
+    if !names.iter().any(|n| n.starts_with("estimate")) {
+        fail(format_args!("trace has no estimate span (got {names:?})"));
+    }
+    println!(
+        "serve_smoke: traced solve OK ({} spans, root {duration_ms:.2} ms, id {header_id})",
+        spans.len()
+    );
+
+    let ring = client
+        .get("/v1/trace")
+        .unwrap_or_else(|e| fail(format_args!("trace-ring request failed: {e}")));
+    if ring.status != 200 {
+        fail(format_args!("/v1/trace returned {}", ring.status));
+    }
+    let ring_doc =
+        Json::parse(&ring.body).unwrap_or_else(|e| fail(format_args!("bad /v1/trace JSON: {e}")));
+    let Some(traces) = ring_doc.get("traces").and_then(Json::as_arr) else {
+        fail("/v1/trace without traces array");
+    };
+    if !traces
+        .iter()
+        .any(|t| t.get("trace_id").and_then(Json::as_str) == Some(header_id.as_str()))
+    {
+        fail(format_args!(
+            "/v1/trace does not contain the traced solve {header_id}"
+        ));
+    }
+    println!("serve_smoke: /v1/trace contains the traced solve");
+
+    // Prometheus exposition: structurally valid, naming-gated, and its
+    // solve-latency p99 agrees with /v1/metrics (same histogram, scraped
+    // back to back with no solves in between).
+    let json_metrics = client
+        .get("/v1/metrics")
+        .unwrap_or_else(|e| fail(format_args!("metrics re-read failed: {e}")));
+    let prom = client
+        .get("/metrics")
+        .unwrap_or_else(|e| fail(format_args!("prometheus request failed: {e}")));
+    if prom.status != 200 {
+        fail(format_args!("/metrics returned {}", prom.status));
+    }
+    if let Err(e) = faircap_obs::validate_exposition(&prom.body) {
+        fail(format_args!("invalid Prometheus exposition: {e}"));
+    }
+    if let Err(bad) = faircap_obs::validate_naming(&prom.body, "faircap_") {
+        fail(format_args!("metric names outside faircap_*: {bad:?}"));
+    }
+    let json_doc = Json::parse(&json_metrics.body)
+        .unwrap_or_else(|e| fail(format_args!("bad metrics JSON: {e}")));
+    let json_p99_ms = json_doc
+        .get("solve_latency")
+        .and_then(|l| l.get("p99_ms"))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| fail("metrics without solve_latency.p99_ms"));
+    let prom_p99_ms = prom_bucket_quantile(&prom.body, "faircap_serve_solve_latency_us", 0.99)
+        .unwrap_or_else(|| fail("no faircap_serve_solve_latency_us buckets"))
+        / 1e3;
+    // The JSON p99 clamps its bucket bound to the exact max; the bucket
+    // quantile cannot, so it may exceed the JSON value by at most one
+    // bucket's relative width.
+    let ceiling = json_p99_ms * (1.0 + faircap_obs::RELATIVE_ERROR_BOUND) + 1e-3;
+    if prom_p99_ms + 1e-9 < json_p99_ms || prom_p99_ms > ceiling {
+        fail(format_args!(
+            "solve-latency p99 disagrees: /metrics {prom_p99_ms:.3} ms vs /v1/metrics \
+             {json_p99_ms:.3} ms (ceiling {ceiling:.3} ms)"
+        ));
+    }
+    println!(
+        "serve_smoke: /metrics OK (exposition valid, p99 {prom_p99_ms:.2} ms vs JSON {json_p99_ms:.2} ms)"
     );
 
     let shutdown = client

@@ -18,13 +18,26 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-/// A parsed client-side response: status code and body text.
+/// A parsed client-side response: status code, headers, and body text.
 #[derive(Debug, Clone)]
 pub struct ClientResponse {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers as `(lowercased-name, value)` pairs.
+    pub headers: Vec<(String, String)>,
     /// Response body (JSON in this API).
     pub body: String,
+}
+
+impl ClientResponse {
+    /// The first header with the given name (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Blocking HTTP client bound to one server address.
@@ -97,18 +110,26 @@ impl ServeClient {
                     format!("bad status line `{}`", status_line.trim_end()),
                 )
             })?;
-        // Skip headers; the server always closes, so the body is
+        // Collect headers; the server always closes, so the body is
         // read-to-end (content-length is honoured implicitly).
+        let mut headers = Vec::new();
         loop {
             let mut line = String::new();
             let n = reader.read_line(&mut line)?;
             if n == 0 || line == "\r\n" || line == "\n" {
                 break;
             }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+            }
         }
         let mut body = String::new();
         reader.read_to_string(&mut body)?;
-        Ok(ClientResponse { status, body })
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
     }
 
     /// Open a persistent keep-alive connection to the server.
@@ -199,6 +220,7 @@ impl ClientConnection {
                 )
             })?;
         let mut content_length: Option<usize> = None;
+        let mut headers = Vec::new();
         loop {
             let mut line = String::new();
             let n = self.reader.read_line(&mut line)?;
@@ -206,9 +228,12 @@ impl ClientConnection {
                 break;
             }
             if let Some((name, value)) = line.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().ok();
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_owned();
+                if name == "content-length" {
+                    content_length = value.parse().ok();
                 }
+                headers.push((name, value));
             }
         }
         let len = content_length.ok_or_else(|| {
@@ -225,7 +250,11 @@ impl ClientConnection {
                 format!("non-UTF-8 body: {e}"),
             )
         })?;
-        Ok(ClientResponse { status, body })
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
     }
 
     /// One full request/response exchange, keeping the connection alive.

@@ -242,8 +242,11 @@ pub fn parse_request(buf: &[u8]) -> Result<Parsed, ParseError> {
 pub struct Response {
     /// Status code.
     pub status: u16,
-    /// Body bytes (always JSON in this API).
+    /// Body bytes.
     pub body: String,
+    /// `Content-Type` header value (JSON for the API, plain text for the
+    /// Prometheus exposition).
+    pub content_type: &'static str,
     /// Extra headers beyond the standard set, e.g. `Retry-After`.
     pub extra_headers: Vec<(&'static str, String)>,
 }
@@ -254,6 +257,17 @@ impl Response {
         Response {
             status,
             body: body.render(),
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A plain-text response in the Prometheus exposition content type.
+    pub fn prometheus(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
             extra_headers: Vec::new(),
         }
     }
@@ -278,9 +292,10 @@ impl Response {
     /// fatal parse errors, `Connection: close` requests, and drain.
     pub fn encode(&self, close: bool) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             status_text(self.status),
+            self.content_type,
             self.body.len(),
             if close { "close" } else { "keep-alive" },
         );

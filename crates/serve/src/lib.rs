@@ -47,9 +47,25 @@
 //! | POST   | `/v1/solve`    | JSON [`SolveRequest`] → JSON solution report |
 //! | GET    | `/v1/sessions` | Registered sessions and their counters       |
 //! | GET    | `/v1/metrics`  | Admission gauges, latencies, cache stats     |
+//! | GET    | `/v1/trace`    | Recent/slowest solve traces (`?session=`, `?min_ms=`) |
+//! | GET    | `/metrics`     | Prometheus text-format exposition            |
 //! | POST   | `/v1/snapshot` | Persist warm caches to the snapshot dir      |
 //! | POST   | `/v1/shutdown` | Request a graceful drain                     |
 //! | GET    | `/healthz`     | Liveness probe                               |
+//!
+//! ## Observability
+//!
+//! Every solve can be traced end to end (`docs/observability.md`): send
+//! `"trace": true` in the solve body (or an `X-Faircap-Trace-Id` header,
+//! or set `FAIRCAP_TRACE=1` server-wide) and the solve runs with a span
+//! tree — queue wait, Step 1/2/3, per-group and per-estimate spans — that
+//! is echoed in the response (`trace` field + `X-Faircap-Trace-Id`
+//! header) and retained in a bounded ring served from `GET /v1/trace`
+//! (the slowest traces are sticky). Traced requests bypass coalescing so
+//! the spans describe a real underlying solve. Latency accounting uses
+//! log-bucketed histograms ([`metrics::LatencyRecorder`]) exposed both as
+//! JSON summaries on `/v1/metrics` and as Prometheus `_bucket` series on
+//! `GET /metrics`.
 //!
 //! JSON schemas are documented in `docs/serving.md`; the request/report
 //! wire format lives in `faircap_core::wire` so rulesets served over HTTP
@@ -74,14 +90,22 @@ pub use reactor::PollerKind;
 use coalesce::{Attach, Coalescer};
 use faircap_core::wire::{solution_report_to_json, solve_request_from_json};
 use faircap_core::{Error, Json, RegisteredSession, SessionRegistry};
+use faircap_obs::{FinishedTrace, HistogramSnapshot, PromText, Trace, TraceRing};
 use http::{ParseError, Request, Response};
-use metrics::{ConnGauges, ServerMetrics};
+use metrics::{ConnGauges, LatencyRecorder, ServerMetrics};
 use pool::{SubmitError, WorkerPool};
-use reactor::{App, Completion, Completions, Dispatch, ReactorHandle, ReactorOptions};
+use reactor::{
+    App, Completion, Completions, Dispatch, ReactorHandle, ReactorOptions, ReactorPhase,
+};
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Recent finished traces retained for `GET /v1/trace`.
+const TRACE_RING_RECENT: usize = 64;
+/// Slowest finished traces retained beyond the recent ring.
+const TRACE_RING_SLOW: usize = 8;
 
 /// Server configuration: bind address, solve-pool sizes, connection
 /// limits, and the snapshot directory for warm boots.
@@ -132,6 +156,10 @@ struct Inner {
     completions: Arc<Completions>,
     started: Instant,
     poller_name: &'static str,
+    traces: TraceRing,
+    /// `FAIRCAP_TRACE` was set at boot: trace every solve server-wide
+    /// (bypassing coalescing), so slow solves always land in the ring.
+    trace_all: bool,
     shutdown_flag: Mutex<bool>,
     shutdown_cv: Condvar,
 }
@@ -187,6 +215,10 @@ impl Server {
             completions: Arc::clone(&completions),
             started: Instant::now(),
             poller_name,
+            traces: TraceRing::new(TRACE_RING_RECENT, TRACE_RING_SLOW),
+            trace_all: std::env::var("FAIRCAP_TRACE")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false),
             shutdown_flag: Mutex::new(false),
             shutdown_cv: Condvar::new(),
             registry,
@@ -292,11 +324,28 @@ impl Inner {
             return Dispatch::Immediate(Response::error(503, "server is draining for shutdown"));
         }
 
+        // Tracing: opt in per request (`"trace": true` in the body or an
+        // `X-Faircap-Trace-Id` header) or server-wide (`FAIRCAP_TRACE`).
+        let header_id = request
+            .header("x-faircap-trace-id")
+            .and_then(Trace::parse_id);
+        let traced = solve_request.trace || header_id.is_some() || self.trace_all;
+        let trace = traced.then(|| match header_id {
+            Some(id) => Trace::with_id(id),
+            None => Trace::new(entry.name()),
+        });
+
         // Coalesce: identical in-flight (session, request) pairs share one
         // underlying solve. `attach`/`abort` both run here on the reactor
         // thread, so a leader's failed submission can never strand a
-        // follower.
-        let key = coalesce::fingerprint(entry.name(), &solve_request);
+        // follower. Traced solves never coalesce: their spans must
+        // describe a real underlying solve, not an attach to someone
+        // else's.
+        let key = if traced {
+            None
+        } else {
+            coalesce::fingerprint(entry.name(), &solve_request)
+        };
         if let Some(key) = &key {
             match self.coalescer.attach(key.clone(), waiter) {
                 Attach::Attached => {
@@ -308,27 +357,62 @@ impl Inner {
             }
         }
 
+        // The root and queue-wait spans open here on the reactor thread,
+        // so the queue-wait span measures exactly the time between
+        // admission and a pool worker picking the job up.
+        let root = trace.as_ref().map(|t| t.root("request"));
+        let queue_span = root.as_ref().map(|r| r.child("queue_wait"));
+        let queued_at = Instant::now();
+        let embed = solve_request.trace;
         let job_inner = Arc::clone(self);
         let job_key = key.clone();
         let job_entry = Arc::clone(&entry);
+        let job_trace = trace.clone();
         let submitted = self.solve_pool.try_submit(move || {
-            let response = match job_entry.solve(&solve_request) {
+            job_inner.metrics.queue_wait.record(queued_at.elapsed());
+            drop(queue_span);
+            let solve_span = root.as_ref().map(|r| r.child("solve"));
+            let solve_request = match &solve_span {
+                Some(s) => solve_request.span(s.handle()),
+                None => solve_request,
+            };
+            let result = job_entry.solve(&solve_request);
+            drop(solve_span);
+            let response = match result {
                 Ok(report) => {
+                    let respond_span = root.as_ref().map(|r| r.child("respond"));
                     let mut doc =
                         vec![("session".to_owned(), Json::Str(job_entry.name().to_owned()))];
                     match solution_report_to_json(&report) {
                         Json::Obj(fields) => doc.extend(fields),
                         other => doc.push(("report".to_owned(), other)),
                     }
+                    drop(respond_span);
+                    drop(root);
+                    if let Some(trace) = &job_trace {
+                        let finished = trace.finish(job_entry.name());
+                        if embed {
+                            doc.push(("trace".to_owned(), finished_trace_json(&finished)));
+                        }
+                        job_inner.traces.push(finished);
+                    }
                     Response::json(200, &Json::Obj(doc))
                 }
                 Err(e) => {
+                    drop(root);
+                    if let Some(trace) = &job_trace {
+                        job_inner.traces.push(trace.finish(job_entry.name()));
+                    }
                     let status = match e {
                         Error::InvalidRequest(_) => 422,
                         _ => 500,
                     };
                     Response::error(status, e.to_string())
                 }
+            };
+            let response = match &job_trace {
+                Some(trace) => response.with_header("x-faircap-trace-id", trace.id_hex()),
+                None => response,
             };
             let waiters = match &job_key {
                 Some(k) => job_inner.coalescer.take(k),
@@ -371,7 +455,13 @@ impl Inner {
 impl App for Inner {
     fn handle(self: &Arc<Self>, request: &Request, waiter: u64) -> Dispatch {
         ServerMetrics::bump(&self.metrics.http_requests);
-        match (request.method.as_str(), request.path.as_str()) {
+        // Routes are the path with any query string stripped; only
+        // `/v1/trace` currently reads the query.
+        let (route, query) = match request.path.split_once('?') {
+            Some((route, query)) => (route, Some(query)),
+            None => (request.path.as_str(), None),
+        };
+        match (request.method.as_str(), route) {
             ("POST", "/v1/solve") => self.dispatch_solve(request, waiter),
             ("GET", "/healthz") => Dispatch::Immediate(Response::json(
                 200,
@@ -385,6 +475,8 @@ impl App for Inner {
             )),
             ("GET", "/v1/sessions") => Dispatch::Immediate(sessions_response(self)),
             ("GET", "/v1/metrics") => Dispatch::Immediate(metrics_response(self)),
+            ("GET", "/v1/trace") => Dispatch::Immediate(trace_response(self, query)),
+            ("GET", "/metrics") => Dispatch::Immediate(prometheus_response(self)),
             ("POST", "/v1/snapshot") => Dispatch::Immediate(snapshot_response(self, request)),
             ("POST", "/v1/shutdown") => {
                 request_shutdown(self);
@@ -393,16 +485,27 @@ impl App for Inner {
                     &Json::Obj(vec![("draining".into(), Json::Bool(true))]),
                 ))
             }
-            (_, "/v1/solve" | "/v1/snapshot" | "/v1/shutdown" | "/v1/sessions" | "/v1/metrics") => {
-                Dispatch::Immediate(Response::error(
-                    405,
-                    format!("method {} not allowed here", request.method),
-                ))
-            }
+            (
+                _,
+                "/v1/solve" | "/v1/snapshot" | "/v1/shutdown" | "/v1/sessions" | "/v1/metrics"
+                | "/v1/trace" | "/metrics",
+            ) => Dispatch::Immediate(Response::error(
+                405,
+                format!("method {} not allowed here", request.method),
+            )),
             (_, path) => {
                 Dispatch::Immediate(Response::error(404, format!("no such endpoint `{path}`")))
             }
         }
+    }
+
+    fn on_phase(&self, phase: ReactorPhase, took: Duration) {
+        let recorder = match phase {
+            ReactorPhase::Read => &self.metrics.reactor_read,
+            ReactorPhase::Dispatch => &self.metrics.request_latency,
+            ReactorPhase::Write => &self.metrics.reactor_write,
+        };
+        recorder.record(took);
     }
 
     fn on_timeout(&self, _waiter: u64) -> Response {
@@ -547,6 +650,20 @@ fn session_json(entry: &RegisteredSession) -> Json {
             "solves_coalesced".into(),
             Json::Num(entry.solves_coalesced() as f64),
         ),
+        // Warm-boot provenance: which snapshot the session restored from
+        // and how long the restore took; `null` for a cold boot.
+        (
+            "warm_boot".into(),
+            entry
+                .warm_boot()
+                .map(|w| {
+                    Json::Obj(vec![
+                        ("snapshot_path".into(), Json::Str(w.snapshot_path)),
+                        ("restore_ms".into(), Json::Num(w.restore_ms)),
+                    ])
+                })
+                .unwrap_or(Json::Null),
+        ),
         (
             "estimate_cache".into(),
             cache_stats_json(stats.hits, stats.misses, stats.entries, stats.evictions),
@@ -660,18 +777,24 @@ fn sessions_response(inner: &Inner) -> Response {
     )
 }
 
-fn metrics_response(inner: &Inner) -> Response {
-    let m = &inner.metrics;
-    let latency = match m.solve_latency.summary_ms() {
+fn latency_summary_json(recorder: &LatencyRecorder) -> Json {
+    match recorder.summary_ms() {
         Some((p50, p90, p99, max)) => Json::Obj(vec![
-            ("count".into(), Json::Num(m.solve_latency.count() as f64)),
+            ("count".into(), Json::Num(recorder.count() as f64)),
             ("p50_ms".into(), Json::Num(p50)),
             ("p90_ms".into(), Json::Num(p90)),
             ("p99_ms".into(), Json::Num(p99)),
             ("max_ms".into(), Json::Num(max)),
         ]),
         None => Json::Null,
-    };
+    }
+}
+
+fn metrics_response(inner: &Inner) -> Response {
+    let m = &inner.metrics;
+    let latency = latency_summary_json(&m.solve_latency);
+    let queue_wait = latency_summary_json(&m.queue_wait);
+    let request_latency = latency_summary_json(&m.request_latency);
     let admission = Json::Obj(vec![
         (
             "max_concurrent_solves".into(),
@@ -773,11 +896,515 @@ fn metrics_response(inner: &Inner) -> Response {
                 "uptime_ms".into(),
                 Json::Num(inner.started.elapsed().as_secs_f64() * 1e3),
             ),
+            (
+                "uptime_seconds".into(),
+                Json::Num(inner.started.elapsed().as_secs_f64()),
+            ),
+            (
+                "version".into(),
+                Json::Str(env!("CARGO_PKG_VERSION").to_owned()),
+            ),
             ("requests".into(), requests),
             ("admission".into(), admission),
             ("connections".into(), connections),
             ("solve_latency".into(), latency),
+            ("queue_wait".into(), queue_wait),
+            ("request_latency".into(), request_latency),
             ("sessions".into(), Json::Obj(sessions)),
         ]),
     )
+}
+
+/// Render one finished trace as the wire JSON shared by the embedded
+/// solve-response `trace` field and `GET /v1/trace`.
+fn finished_trace_json(t: &FinishedTrace) -> Json {
+    let spans: Vec<Json> = t
+        .spans
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("id".into(), Json::Num(s.id as f64)),
+                (
+                    "parent".into(),
+                    s.parent.map(|p| Json::Num(p as f64)).unwrap_or(Json::Null),
+                ),
+                ("name".into(), Json::Str(s.name.clone())),
+                ("start_ns".into(), Json::Num(s.start_ns as f64)),
+                ("end_ns".into(), Json::Num(s.end_ns as f64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("trace_id".into(), Json::Str(format!("{:016x}", t.id))),
+        ("session".into(), Json::Str(t.session.clone())),
+        ("duration_ms".into(), Json::Num(t.duration_ns as f64 / 1e6)),
+        ("dropped_spans".into(), Json::Num(t.dropped as f64)),
+        ("spans".into(), Json::Arr(spans)),
+    ])
+}
+
+/// `GET /v1/trace`: recent and slowest traces, filterable with
+/// `?session=<name>` and `?min_ms=<float>`.
+fn trace_response(inner: &Inner, query: Option<&str>) -> Response {
+    let mut session: Option<String> = None;
+    let mut min_ms = 0.0f64;
+    for pair in query.unwrap_or("").split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        match k {
+            "session" => session = Some(v.to_owned()),
+            "min_ms" => match v.parse::<f64>() {
+                Ok(ms) if ms >= 0.0 && ms.is_finite() => min_ms = ms,
+                _ => {
+                    return Response::error(
+                        400,
+                        format!("`min_ms` must be a non-negative number, got `{v}`"),
+                    )
+                }
+            },
+            other => {
+                return Response::error(400, format!("unknown query parameter `{other}`"));
+            }
+        }
+    }
+    let traces: Vec<Json> = inner
+        .traces
+        .snapshot(session.as_deref(), (min_ms * 1e6) as u64)
+        .iter()
+        .map(finished_trace_json)
+        .collect();
+    Response::json(200, &Json::Obj(vec![("traces".into(), Json::Arr(traces))]))
+}
+
+/// `GET /metrics`: the full server state in Prometheus text format
+/// (version 0.0.4). Every family follows the
+/// `faircap_<subsystem>_<name>_<unit>` scheme checked by
+/// [`faircap_obs::validate_naming`]; the histograms here are the same
+/// [`LatencyRecorder`]s summarized on `/v1/metrics`, so percentiles
+/// derived from the `_bucket` series agree with the JSON summaries.
+fn prometheus_response(inner: &Inner) -> Response {
+    let m = &inner.metrics;
+    let mut pt = PromText::new();
+
+    // Process identity and uptime.
+    pt.family(
+        "faircap_build_info",
+        "gauge",
+        "Build metadata carried in labels; the value is always 1",
+    );
+    pt.sample(
+        "faircap_build_info",
+        &[("version", env!("CARGO_PKG_VERSION"))],
+        1.0,
+    );
+    pt.family(
+        "faircap_serve_uptime_seconds",
+        "gauge",
+        "Seconds since the server started",
+    );
+    pt.sample(
+        "faircap_serve_uptime_seconds",
+        &[],
+        inner.started.elapsed().as_secs_f64(),
+    );
+
+    // Server-wide request and connection counters.
+    for (name, value, help) in [
+        (
+            "faircap_serve_http_requests_total",
+            ServerMetrics::read(&m.http_requests),
+            "HTTP requests accepted and parsed (any endpoint)",
+        ),
+        (
+            "faircap_serve_http_errors_total",
+            ServerMetrics::read(&m.http_errors),
+            "Requests that failed to parse as HTTP",
+        ),
+        (
+            "faircap_serve_solves_ok_total",
+            ServerMetrics::read(&m.solves_ok),
+            "Solve responses delivered with status 200",
+        ),
+        (
+            "faircap_serve_solves_err_total",
+            ServerMetrics::read(&m.solves_err),
+            "Solve responses delivered with an error status",
+        ),
+        (
+            "faircap_serve_coalesce_hits_total",
+            ServerMetrics::read(&m.coalesce_hits),
+            "Requests attached to an identical in-flight solve",
+        ),
+        (
+            "faircap_serve_rejected_queue_full_total",
+            ServerMetrics::read(&m.rejected_queue_full),
+            "Solves shed with 429 because the bounded queue was full",
+        ),
+        (
+            "faircap_serve_rejected_shutdown_total",
+            ServerMetrics::read(&m.rejected_shutdown),
+            "Solves refused with 503 while draining",
+        ),
+        (
+            "faircap_serve_timeouts_total",
+            ServerMetrics::read(&m.timeouts),
+            "Solves that exceeded the per-request timeout (504)",
+        ),
+        (
+            "faircap_serve_connections_accepted_total",
+            ServerMetrics::read(&inner.gauges.accepted),
+            "Connections accepted from the listener",
+        ),
+        (
+            "faircap_serve_connections_closed_total",
+            ServerMetrics::read(&inner.gauges.closed),
+            "Connections fully closed by the reactor",
+        ),
+        (
+            "faircap_serve_connections_rejected_over_capacity_total",
+            ServerMetrics::read(&inner.gauges.rejected_over_capacity),
+            "Connections answered 503 over the open-connection cap",
+        ),
+    ] {
+        pt.family(name, "counter", help);
+        pt.sample(name, &[], value as f64);
+    }
+
+    // Admission and connection gauges.
+    for (name, value, help) in [
+        (
+            "faircap_serve_connections_open",
+            inner.gauges.open() as f64,
+            "Currently open connections",
+        ),
+        (
+            "faircap_serve_queue_depth",
+            inner.solve_pool.queue_depth() as f64,
+            "Admitted solves waiting for a pool worker",
+        ),
+        (
+            "faircap_serve_queue_depth_max",
+            inner.solve_pool.max_queue_depth() as f64,
+            "High-water mark of the solve queue",
+        ),
+        (
+            "faircap_serve_in_flight",
+            inner.solve_pool.in_flight() as f64,
+            "Solves currently running on the pool",
+        ),
+        (
+            "faircap_serve_coalesce_in_flight",
+            inner.coalescer.in_flight() as f64,
+            "Coalesce groups currently in flight",
+        ),
+        (
+            "faircap_serve_max_concurrent_solves",
+            inner.solve_pool.workers() as f64,
+            "Configured solve worker count",
+        ),
+        (
+            "faircap_serve_solve_queue_limit",
+            inner.solve_pool.queue_cap() as f64,
+            "Configured bound on admitted-but-not-started solves",
+        ),
+        (
+            "faircap_serve_max_connections",
+            inner.config.max_connections as f64,
+            "Configured open-connection cap",
+        ),
+    ] {
+        pt.family(name, "gauge", help);
+        pt.sample(name, &[], value);
+    }
+
+    // Latency histograms (microseconds) — the same recorders `/v1/metrics`
+    // summarizes, exposed as cumulative `_bucket` series.
+    for (name, recorder, help) in [
+        (
+            "faircap_serve_solve_latency_us",
+            &m.solve_latency,
+            "End-to-end solve latency, admission to delivery",
+        ),
+        (
+            "faircap_serve_queue_wait_us",
+            &m.queue_wait,
+            "Time admitted solves spent queued before a worker picked them up",
+        ),
+        (
+            "faircap_serve_request_latency_us",
+            &m.request_latency,
+            "Reactor dispatch latency per keep-alive request",
+        ),
+        (
+            "faircap_serve_reactor_read_us",
+            &m.reactor_read,
+            "Reactor read-side servicing per readable connection",
+        ),
+        (
+            "faircap_serve_reactor_write_us",
+            &m.reactor_write,
+            "Reactor write-side flushes of queued response bytes",
+        ),
+    ] {
+        pt.family(name, "histogram", help);
+        pt.histogram(name, &[], &recorder.snapshot_us());
+    }
+
+    // Per-session state, one sample per registered session.
+    let entries = inner.registry.entries();
+
+    pt.family(
+        "faircap_session_rows",
+        "gauge",
+        "Rows in the session's dataframe",
+    );
+    for e in &entries {
+        pt.sample(
+            "faircap_session_rows",
+            &[("session", e.name())],
+            e.session().df().n_rows() as f64,
+        );
+    }
+
+    for (name, reader, help) in [
+        (
+            "faircap_session_solves_ok_total",
+            (|e: &RegisteredSession| e.solves_ok()) as fn(&RegisteredSession) -> u64,
+            "Completed underlying solves on the session",
+        ),
+        (
+            "faircap_session_solves_err_total",
+            |e: &RegisteredSession| e.solves_err(),
+            "Failed solves on the session",
+        ),
+        (
+            "faircap_session_solves_coalesced_total",
+            |e: &RegisteredSession| e.solves_coalesced(),
+            "Requests served by attaching to an in-flight solve",
+        ),
+    ] {
+        pt.family(name, "counter", help);
+        for e in &entries {
+            pt.sample(name, &[("session", e.name())], reader(e) as f64);
+        }
+    }
+
+    // Cache counters, one family per stat with a `cache` label; the
+    // estimate cache additionally splits per estimator as
+    // `cache="estimate/<estimator>"` (not double-counted into
+    // `cache="estimate"` sums — aggregate and split are separate rows).
+    let mut cache_rows: Vec<(String, String, u64, u64, u64, u64)> = Vec::new();
+    for e in &entries {
+        let s = e.session();
+        let n = e.name().to_owned();
+        let st = s.cache_stats();
+        cache_rows.push((
+            n.clone(),
+            "estimate".into(),
+            st.hits,
+            st.misses,
+            st.entries as u64,
+            st.evictions,
+        ));
+        let st = s.grouping_cache_stats();
+        cache_rows.push((
+            n.clone(),
+            "grouping".into(),
+            st.hits,
+            st.misses,
+            st.entries as u64,
+            st.evictions,
+        ));
+        let st = s.intervention_cache_stats();
+        cache_rows.push((
+            n.clone(),
+            "intervention".into(),
+            st.hits,
+            st.misses,
+            st.entries as u64,
+            st.evictions,
+        ));
+        let st = s.engine().match_index_cache_stats();
+        cache_rows.push((
+            n.clone(),
+            "match_index".into(),
+            st.hits,
+            st.misses,
+            st.entries as u64,
+            st.evictions,
+        ));
+        for (est, st) in s.cache_stats_by_estimator() {
+            cache_rows.push((
+                n.clone(),
+                format!("estimate/{est}"),
+                st.hits,
+                st.misses,
+                st.entries as u64,
+                st.evictions,
+            ));
+        }
+    }
+    for (name, kind, pick, help) in [
+        (
+            "faircap_session_cache_hits_total",
+            "counter",
+            (|r: &(String, String, u64, u64, u64, u64)| r.2)
+                as fn(&(String, String, u64, u64, u64, u64)) -> u64,
+            "Session cache hits by cache (estimate, grouping, intervention, match_index, estimate/<estimator>)",
+        ),
+        (
+            "faircap_session_cache_misses_total",
+            "counter",
+            |r: &(String, String, u64, u64, u64, u64)| r.3,
+            "Session cache misses by cache",
+        ),
+        (
+            "faircap_session_cache_entries",
+            "gauge",
+            |r: &(String, String, u64, u64, u64, u64)| r.4,
+            "Live session cache entries by cache",
+        ),
+        (
+            "faircap_session_cache_evictions_total",
+            "counter",
+            |r: &(String, String, u64, u64, u64, u64)| r.5,
+            "Session cache evictions by cache",
+        ),
+    ] {
+        pt.family(name, kind, help);
+        for row in &cache_rows {
+            pt.sample(
+                name,
+                &[("session", &row.0), ("cache", &row.1)],
+                pick(row) as f64,
+            );
+        }
+    }
+
+    // Solve-path cost accounting (aggregated over every solve).
+    pt.family(
+        "faircap_session_solve_step_ns_total",
+        "counter",
+        "Cumulative per-step solve time (step: mine, intervene, select)",
+    );
+    pt.family(
+        "faircap_session_solve_work_total",
+        "counter",
+        "Solve-path work items (kind: solves, candidates, pruned, evaluated, greedy_evaluations, greedy_reevaluations)",
+    );
+    for e in &entries {
+        let h = e.session().solve_hot_stats();
+        for (step, ns) in [
+            ("mine", h.mine_ns),
+            ("intervene", h.intervene_ns),
+            ("select", h.select_ns),
+        ] {
+            pt.sample(
+                "faircap_session_solve_step_ns_total",
+                &[("session", e.name()), ("step", step)],
+                ns as f64,
+            );
+        }
+        for (kind, n) in [
+            ("solves", h.solves),
+            ("candidates", h.candidates),
+            ("pruned", h.pruned),
+            ("evaluated", h.evaluated),
+            ("greedy_evaluations", h.greedy_evaluations),
+            ("greedy_reevaluations", h.greedy_reevaluations),
+        ] {
+            pt.sample(
+                "faircap_session_solve_work_total",
+                &[("session", e.name()), ("kind", kind)],
+                n as f64,
+            );
+        }
+    }
+
+    // Estimator hot-path cost accounting (aggregated over every estimate).
+    pt.family(
+        "faircap_session_estimate_stage_ns_total",
+        "counter",
+        "Cumulative estimator hot-path time (stage: build, index, solve)",
+    );
+    pt.family(
+        "faircap_session_estimate_work_total",
+        "counter",
+        "Estimator work items (kind: estimates, tasks, tree_visits)",
+    );
+    for e in &entries {
+        let hot = e.session().engine().hot_stats();
+        for (stage, ns) in [
+            ("build", hot.stats.build_ns),
+            ("index", hot.stats.index_ns),
+            ("solve", hot.stats.solve_ns),
+        ] {
+            pt.sample(
+                "faircap_session_estimate_stage_ns_total",
+                &[("session", e.name()), ("stage", stage)],
+                ns as f64,
+            );
+        }
+        for (kind, n) in [
+            ("estimates", hot.estimates),
+            ("tasks", hot.stats.tasks),
+            ("tree_visits", hot.stats.tree_visits),
+        ] {
+            pt.sample(
+                "faircap_session_estimate_work_total",
+                &[("session", e.name()), ("kind", kind)],
+                n as f64,
+            );
+        }
+    }
+
+    // Warm-boot provenance: emitted only for warm-booted sessions, so a
+    // cold boot is visible as the series' absence.
+    let warm: Vec<(&str, faircap_core::WarmBootInfo)> = entries
+        .iter()
+        .filter_map(|e| e.warm_boot().map(|w| (e.name(), w)))
+        .collect();
+    if !warm.is_empty() {
+        pt.family(
+            "faircap_session_warm_boot_restore_ms",
+            "gauge",
+            "Milliseconds spent restoring the session's snapshot at warm boot",
+        );
+        for (session, w) in &warm {
+            pt.sample(
+                "faircap_session_warm_boot_restore_ms",
+                &[("session", session), ("snapshot", &w.snapshot_path)],
+                w.restore_ms,
+            );
+        }
+    }
+
+    // Per-estimator estimate-duration histograms (nanoseconds). The
+    // family is only declared once at least one estimator has recorded —
+    // a histogram family with no bucket series is invalid.
+    let est_hists: Vec<(&str, String, HistogramSnapshot)> = entries
+        .iter()
+        .flat_map(|e| {
+            e.session()
+                .engine()
+                .estimate_histograms()
+                .into_iter()
+                .map(move |(est, snap)| (e.name(), est, snap))
+        })
+        .collect();
+    if !est_hists.is_empty() {
+        pt.family(
+            "faircap_estimator_estimate_duration_ns",
+            "histogram",
+            "Per-estimate wall time by estimator (cache misses only)",
+        );
+        for (session, est, snap) in &est_hists {
+            pt.histogram(
+                "faircap_estimator_estimate_duration_ns",
+                &[("session", session), ("estimator", est)],
+                snap,
+            );
+        }
+    }
+
+    Response::prometheus(200, pt.render())
 }

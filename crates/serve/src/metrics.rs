@@ -1,71 +1,56 @@
-//! Live serving metrics: request/outcome counters and a latency reservoir.
+//! Live serving metrics: request/outcome counters and log-bucketed latency
+//! histograms.
 //!
 //! Everything here is updated on the request path, so the accounting is
-//! lock-light: plain atomics for counters, one short mutex for the latency
-//! reservoir. The `/v1/metrics` endpoint snapshots these together with the
-//! solve pool's queue gauges and each session's cache counters.
+//! lock-free: plain atomics for counters, [`faircap_obs::Histogram`]s for
+//! latencies. The `/v1/metrics` endpoint snapshots these together with the
+//! solve pool's queue gauges and each session's cache counters; `/metrics`
+//! exposes the same state in Prometheus text format.
 
+use faircap_obs::{Histogram, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
-/// How many latency samples the reservoir keeps. Once full, new samples
-/// overwrite the oldest (a ring), so percentiles reflect recent traffic.
-const LATENCY_CAP: usize = 4096;
-
-/// A fixed-size ring of request latencies with percentile readout.
+/// A latency histogram with percentile readout.
+///
+/// Backed by a fixed log-bucketed [`Histogram`] recording **microseconds**,
+/// so every percentile is exact to within
+/// [`faircap_obs::RELATIVE_ERROR_BOUND`] (3.125 %) over *all* samples ever
+/// recorded — unlike the sampled ring it replaced, nothing is evicted and
+/// the serve-layer and bench-layer quantiles share one semantics.
 #[derive(Default)]
 pub struct LatencyRecorder {
-    samples: Mutex<Ring>,
-}
-
-#[derive(Default)]
-struct Ring {
-    micros: Vec<u64>,
-    next: usize,
-    total: u64,
+    hist: Histogram,
 }
 
 impl LatencyRecorder {
-    /// Record one request latency.
+    /// Record one latency.
     pub fn record(&self, latency: Duration) {
         let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let mut ring = self.samples.lock().expect("latency lock");
-        ring.total += 1;
-        if ring.micros.len() < LATENCY_CAP {
-            ring.micros.push(micros);
-        } else {
-            let at = ring.next;
-            ring.micros[at] = micros;
-        }
-        ring.next = (ring.next + 1) % LATENCY_CAP;
+        self.hist.record(micros);
     }
 
-    /// Total latencies ever recorded (not capped by the ring).
+    /// Total latencies ever recorded.
     pub fn count(&self) -> u64 {
-        self.samples.lock().expect("latency lock").total
+        self.hist.count()
     }
 
-    /// Percentile summary over the retained window, in milliseconds:
-    /// `(p50, p90, p99, max)`. `None` when nothing was recorded yet.
+    /// Percentile summary in milliseconds: `(p50, p90, p99, max)`. `None`
+    /// when nothing was recorded yet. Percentiles are nearest-rank over the
+    /// histogram buckets (upper bucket bound, clamped to the exact max).
     pub fn summary_ms(&self) -> Option<(f64, f64, f64, f64)> {
-        let ring = self.samples.lock().expect("latency lock");
-        if ring.micros.is_empty() {
+        let snap = self.hist.snapshot();
+        if snap.count == 0 {
             return None;
         }
-        let mut sorted = ring.micros.clone();
-        drop(ring);
-        sorted.sort_unstable();
-        let pct = |p: f64| -> f64 {
-            let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
-            sorted[idx] as f64 / 1e3
-        };
-        Some((
-            pct(0.50),
-            pct(0.90),
-            pct(0.99),
-            *sorted.last().expect("non-empty") as f64 / 1e3,
-        ))
+        let pct = |q: f64| snap.quantile(q).unwrap_or(snap.max) as f64 / 1e3;
+        Some((pct(0.50), pct(0.90), pct(0.99), snap.max as f64 / 1e3))
+    }
+
+    /// A point-in-time copy of the underlying histogram, in microseconds —
+    /// the raw material for Prometheus `_bucket` exposition.
+    pub fn snapshot_us(&self) -> HistogramSnapshot {
+        self.hist.snapshot()
     }
 }
 
@@ -90,8 +75,19 @@ pub struct ServerMetrics {
     /// Requests answered by attaching to an already-in-flight identical
     /// solve instead of submitting a new one.
     pub coalesce_hits: AtomicU64,
-    /// End-to-end latency of completed solves.
+    /// End-to-end latency of completed solves (admission → delivery).
     pub solve_latency: LatencyRecorder,
+    /// Time admitted solves spent queued before a pool worker picked them
+    /// up.
+    pub queue_wait: LatencyRecorder,
+    /// Per-request reactor dispatch latency: parse → routed response or
+    /// admission, for every keep-alive request (quick endpoints included).
+    pub request_latency: LatencyRecorder,
+    /// Reactor read-side servicing per readable connection (drain + parse
+    /// + dispatch + opportunistic flush).
+    pub reactor_read: LatencyRecorder,
+    /// Reactor write-side flushes (queued response bytes → socket).
+    pub reactor_write: LatencyRecorder,
 }
 
 impl ServerMetrics {
@@ -147,6 +143,7 @@ impl ConnGauges {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use faircap_obs::RELATIVE_ERROR_BOUND;
 
     #[test]
     fn percentiles_over_known_samples() {
@@ -156,21 +153,29 @@ mod tests {
             rec.record(Duration::from_millis(ms));
         }
         let (p50, p90, p99, max) = rec.summary_ms().unwrap();
-        assert_eq!(p50, 50.0);
-        assert_eq!(p90, 90.0);
-        assert_eq!(p99, 99.0);
-        assert_eq!(max, 100.0);
+        // Log-bucketed percentiles: ≥ the exact sample, within the bound.
+        for (got, exact) in [(p50, 50.0), (p90, 90.0), (p99, 99.0)] {
+            assert!(got >= exact, "{got} < exact {exact}");
+            assert!(
+                got <= exact * (1.0 + RELATIVE_ERROR_BOUND),
+                "{got} exceeds the error bound over exact {exact}"
+            );
+        }
+        assert_eq!(max, 100.0, "max is exact");
         assert_eq!(rec.count(), 100);
     }
 
     #[test]
-    fn ring_overwrites_oldest() {
+    fn nothing_is_evicted() {
         let rec = LatencyRecorder::default();
-        for _ in 0..(LATENCY_CAP + 10) {
+        for _ in 0..10_000 {
             rec.record(Duration::from_millis(5));
         }
-        assert_eq!(rec.count() as usize, LATENCY_CAP + 10);
-        let (p50, _, _, _) = rec.summary_ms().unwrap();
-        assert_eq!(p50, 5.0);
+        rec.record(Duration::from_millis(500));
+        assert_eq!(rec.count(), 10_001);
+        let (p50, _, _, max) = rec.summary_ms().unwrap();
+        assert!(p50 <= 5.0 * (1.0 + RELATIVE_ERROR_BOUND));
+        assert_eq!(max, 500.0, "the one slow sample survives any volume");
+        assert_eq!(rec.snapshot_us().count, 10_001);
     }
 }

@@ -417,6 +417,21 @@ pub enum Dispatch {
     Pending,
 }
 
+/// A reactor work phase, reported to [`App::on_phase`] for latency
+/// accounting. Phases overlap: `Dispatch` (one routed request) nests
+/// inside `Read` (one readable connection's servicing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReactorPhase {
+    /// One readable connection's servicing: socket drain + parse of every
+    /// complete pipelined request + dispatch + opportunistic flush.
+    Read,
+    /// One [`App::handle`] call (request routing/admission).
+    Dispatch,
+    /// One flush of queued response bytes to a socket (writable-event and
+    /// completion-delivery flushes).
+    Write,
+}
+
 /// The serving application driven by the reactor. One instance serves
 /// every connection; all hooks run on the reactor thread except
 /// [`Completions::complete`], which solve workers call.
@@ -433,6 +448,11 @@ pub trait App: Send + Sync + 'static {
     /// A pending response was delivered to a live connection: `status` of
     /// the response, `waited` from admission to delivery.
     fn on_delivered(&self, status: u16, waited: Duration);
+    /// One reactor phase took `took` of reactor-thread time. Default no-op;
+    /// the server feeds these into its reactor latency histograms.
+    fn on_phase(&self, phase: ReactorPhase, took: Duration) {
+        let _ = (phase, took);
+    }
 }
 
 /// One finished piece of pending work, fanned out to every waiter.
@@ -674,10 +694,14 @@ impl<A: App> Reactor<A> {
                         self.drop_conn_state(&mut conn);
                     } else {
                         if event.readable {
+                            let t = Instant::now();
                             self.read_and_serve(&mut conn, event.fd, now);
+                            self.app.on_phase(ReactorPhase::Read, t.elapsed());
                         }
                         if event.writable && !conn.dead {
+                            let t = Instant::now();
                             flush(&mut conn, now);
+                            self.app.on_phase(ReactorPhase::Write, t.elapsed());
                         }
                     }
                     self.conns.insert(event.fd, conn);
@@ -784,7 +808,11 @@ impl<A: App> Reactor<A> {
                     let close = !request.keep_alive;
                     let id = self.next_waiter;
                     self.next_waiter += 1;
-                    match self.app.handle(&request, id) {
+                    let dispatched_at = Instant::now();
+                    let dispatch = self.app.handle(&request, id);
+                    self.app
+                        .on_phase(ReactorPhase::Dispatch, dispatched_at.elapsed());
+                    match dispatch {
                         Dispatch::Immediate(response) => {
                             conn.slots.push_back(Slot::Ready {
                                 bytes: response.encode(close),
@@ -859,7 +887,9 @@ impl<A: App> Reactor<A> {
                         }
                     }
                 }
+                let t = Instant::now();
                 flush(conn, now);
+                self.app.on_phase(ReactorPhase::Write, t.elapsed());
             }
         }
     }

@@ -27,6 +27,7 @@ use faircap_causal::{Dag, Estimator, EstimatorKind};
 use faircap_core::{
     CoverageConstraint, FairCap, FairCapConfig, FairnessConstraint, FairnessScope,
     PrescriptionSession, SessionRegistry, SessionSnapshot, SolutionReport, SolveRequest,
+    WarmBootInfo,
 };
 use faircap_scenario::{
     Arrival, RecoveryOptions, ReplayOptions, ReplayTarget, ScenarioSpec, WorkloadMix,
@@ -610,16 +611,19 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeCliOptions, String> {
 /// `DIR/<name>.fc` when a snapshot directory is configured and the file
 /// exists. An unreadable or incompatible snapshot (e.g. the refused
 /// pre-v2 format) is reported on stderr and the session boots cold —
-/// availability beats a stale cache.
+/// availability beats a stale cache. A successful warm boot returns its
+/// provenance (snapshot path, wall-clock restore duration) for the
+/// observability endpoints.
 fn build_serve_session(
     spec: &ServeDatasetSpec,
     snapshot_dir: Option<&str>,
-) -> Result<PrescriptionSession, CliError> {
+) -> Result<(PrescriptionSession, Option<WarmBootInfo>), CliError> {
     let snapshot_path = snapshot_dir
         .map(|dir| std::path::Path::new(dir).join(format!("{}.fc", spec.name)))
         .filter(|p| p.exists());
     match &snapshot_path {
         Some(path) => {
+            let restore_started = std::time::Instant::now();
             match build_session(
                 &spec.data,
                 &spec.dag,
@@ -629,8 +633,16 @@ fn build_serve_session(
                 Some(&path.display().to_string()),
             ) {
                 Ok(session) => {
-                    eprintln!("faircap-serve: warm boot from {}", path.display());
-                    Ok(session)
+                    let info = WarmBootInfo {
+                        snapshot_path: path.display().to_string(),
+                        restore_ms: restore_started.elapsed().as_secs_f64() * 1e3,
+                    };
+                    eprintln!(
+                        "faircap-serve: warm boot from {} ({:.1} ms)",
+                        path.display(),
+                        info.restore_ms
+                    );
+                    Ok((session, Some(info)))
                 }
                 // Only a *snapshot* problem (unreadable, refused version,
                 // instance mismatch) falls back to a cold boot; broken
@@ -648,6 +660,7 @@ fn build_serve_session(
                         &spec.protected,
                         None,
                     )
+                    .map(|session| (session, None))
                 }
                 Err(other) => Err(other),
             }
@@ -659,7 +672,8 @@ fn build_serve_session(
             &spec.mutable,
             &spec.protected,
             None,
-        ),
+        )
+        .map(|session| (session, None)),
     }
 }
 
@@ -669,10 +683,13 @@ fn build_serve_session(
 pub fn run_serve(opts: &ServeCliOptions) -> Result<(), CliError> {
     let registry = std::sync::Arc::new(SessionRegistry::new());
     for spec in &opts.datasets {
-        let session = build_serve_session(spec, opts.snapshot_dir.as_deref())?;
-        registry
+        let (session, warm_boot) = build_serve_session(spec, opts.snapshot_dir.as_deref())?;
+        let entry = registry
             .register(&spec.name, session)
             .expect("parse_serve_args refuses duplicate names");
+        if let Some(info) = warm_boot {
+            entry.set_warm_boot(info);
+        }
     }
     let config = ServeConfig {
         addr: opts.addr.clone(),

@@ -106,6 +106,7 @@ pub use faircap_causal as causal;
 pub use faircap_core as core;
 pub use faircap_data as data;
 pub use faircap_mining as mining;
+pub use faircap_obs as obs;
 pub use faircap_scenario as scenario;
 pub use faircap_serve as serve;
 pub use faircap_table as table;

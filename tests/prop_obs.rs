@@ -1,0 +1,140 @@
+//! Property-based tests for the observability substrate: log-bucketed
+//! histograms must stay within their advertised quantile error bound and
+//! merge losslessly, and span trees must keep their structural
+//! invariants under arbitrary shapes — including panicking scopes.
+
+use faircap::obs::{Histogram, Span, Trace, RELATIVE_ERROR_BOUND};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over a sorted sample, mirroring the
+/// histogram's rank convention: `rank = ceil(q·n)` clamped to `[1, n]`.
+fn exact_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Grow `parent`'s subtree: each element of `shape` is the fan-out at one
+/// DFS-visited node, consumed left to right, depth-bounded so arbitrary
+/// inputs terminate.
+fn build_subtree(parent: &Span, shape: &mut std::slice::Iter<'_, usize>, depth: usize) {
+    if depth == 0 {
+        return;
+    }
+    if let Some(&fanout) = shape.next() {
+        for i in 0..fanout {
+            let child = parent.child(format!("d{depth}_{i}"));
+            build_subtree(&child, shape, depth - 1);
+        }
+    }
+}
+
+proptest! {
+    /// Histogram quantiles are nearest-rank with bounded relative error:
+    /// always ≥ the exact sample at that rank and at most
+    /// `(1 + RELATIVE_ERROR_BOUND)×` it, exactly the maximum at q = 1.
+    #[test]
+    fn histogram_quantile_within_error_bound(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let hist = Histogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let mut samples = samples;
+        samples.sort_unstable();
+        let exact = exact_nearest_rank(&samples, q);
+        let got = hist.quantile(q).expect("non-empty histogram");
+        prop_assert!(got >= exact, "q={q}: histogram {got} < exact {exact}");
+        prop_assert!(
+            got as f64 <= exact as f64 * (1.0 + RELATIVE_ERROR_BOUND) + 1.0,
+            "q={q}: histogram {got} exceeds bound around exact {exact}"
+        );
+        prop_assert_eq!(hist.quantile(1.0), Some(*samples.last().unwrap()));
+    }
+
+    /// `merge_from` is exactly equivalent to having recorded the other
+    /// histogram's values locally: bucket-for-bucket snapshot equality.
+    #[test]
+    fn histogram_merge_equals_record_all(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..100),
+    ) {
+        let left = Histogram::new();
+        let right = Histogram::new();
+        let combined = Histogram::new();
+        for &v in &a {
+            left.record(v);
+            combined.record(v);
+        }
+        for &v in &b {
+            right.record(v);
+            combined.record(v);
+        }
+        left.merge_from(&right);
+        prop_assert_eq!(left.snapshot(), combined.snapshot());
+        prop_assert_eq!(left.count(), (a.len() + b.len()) as u64);
+    }
+
+    /// Arbitrary span trees keep their structural invariants: unique ids,
+    /// every non-root parent id resolves, and children nest strictly
+    /// inside their parent's interval.
+    #[test]
+    fn span_tree_invariants(shape in prop::collection::vec(0usize..4, 0..12)) {
+        let trace = Trace::new("prop");
+        {
+            let root = trace.root("request");
+            build_subtree(&root, &mut shape.iter(), 4);
+        }
+        let records = trace.records();
+        prop_assert!(!records.is_empty(), "root span must be recorded");
+        let mut ids: Vec<u64> = records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), records.len(), "span ids must be unique");
+        let root = records
+            .iter()
+            .find(|r| r.parent.is_none())
+            .expect("exactly one root");
+        for record in &records {
+            prop_assert!(record.end_ns >= record.start_ns);
+            if let Some(parent_id) = record.parent {
+                let parent = records
+                    .iter()
+                    .find(|r| r.id == parent_id)
+                    .expect("parent span is recorded");
+                prop_assert!(
+                    record.start_ns >= parent.start_ns && record.end_ns <= parent.end_ns,
+                    "child [{}, {}] escapes parent [{}, {}]",
+                    record.start_ns, record.end_ns, parent.start_ns, parent.end_ns
+                );
+            } else {
+                prop_assert_eq!(record.id, root.id, "only one root span");
+            }
+        }
+    }
+
+    /// Spans record on `Drop`, so a panicking scope still flushes every
+    /// span that was open when the panic unwound through it.
+    #[test]
+    fn panicking_scope_records_all_open_spans(depth in 1usize..8) {
+        let trace = Trace::new("panic");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let root = trace.root("request");
+            fn descend(parent: &Span, remaining: usize) {
+                let child = parent.child(format!("level{remaining}"));
+                if remaining == 1 {
+                    panic!("injected failure");
+                }
+                descend(&child, remaining - 1);
+            }
+            descend(&root, depth);
+        }));
+        prop_assert!(result.is_err(), "the injected panic must propagate");
+        let records = trace.records();
+        // Root plus one span per level, all recorded despite the unwind.
+        prop_assert_eq!(records.len(), depth + 1);
+        prop_assert!(records.iter().any(|r| r.parent.is_none()));
+    }
+}
